@@ -1,0 +1,174 @@
+// google-benchmark microbenchmarks for the substrate layers: the SAT core,
+// minimal-model primitives, fixpoints, stratification and reducts. These
+// are the per-oracle-call costs the table harnesses multiply up.
+#include <benchmark/benchmark.h>
+
+#include "fixpoint/ddr_fixpoint.h"
+#include "gen/generators.h"
+#include "ground/grounder.h"
+#include "minimal/minimal_models.h"
+#include "qbf/qbf_solver.h"
+#include "sat/solver.h"
+#include "semantics/wfs.h"
+#include "strat/priority.h"
+#include "strat/stratifier.h"
+
+namespace dd {
+namespace {
+
+void BM_SatSolveRandom3Sat(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(42);
+  for (auto _ : state) {
+    state.PauseTiming();
+    sat::Solver s;
+    s.EnsureVars(n);
+    for (int i = 0; i < static_cast<int>(4.0 * n); ++i) {
+      std::vector<Lit> c;
+      for (int j = 0; j < 3; ++j) {
+        c.push_back(Lit::Make(static_cast<Var>(rng.Below(n)),
+                              rng.Chance(0.5)));
+      }
+      s.AddClause(c);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(s.Solve());
+  }
+}
+BENCHMARK(BM_SatSolveRandom3Sat)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_MinimizeModel(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Database db = RandomPositiveDdb(n, 2 * n, 7);
+  MinimalEngine e(db);
+  Partition all = Partition::MinimizeAll(n);
+  auto m = e.FindModel();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.Minimize(*m, all));
+  }
+}
+BENCHMARK(BM_MinimizeModel)->Arg(20)->Arg(40)->Arg(80);
+
+void BM_IsMinimalModel(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Database db = RandomPositiveDdb(n, 2 * n, 8);
+  MinimalEngine e(db);
+  Partition all = Partition::MinimizeAll(n);
+  Interpretation mm = e.Minimize(*e.FindModel(), all);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.IsMinimal(mm, all));
+  }
+}
+BENCHMARK(BM_IsMinimalModel)->Arg(20)->Arg(40)->Arg(80);
+
+void BM_EnumerateMinimalModels(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Database db = RandomPositiveDdb(n, 2 * n, 9);
+  for (auto _ : state) {
+    MinimalEngine e(db);
+    Partition all = Partition::MinimizeAll(n);
+    int count = e.EnumerateMinimalProjections(
+        all, 256, [](const Interpretation&) { return true; });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_EnumerateMinimalModels)->Arg(12)->Arg(16);
+
+void BM_DefiniteLeastModel(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Database db = RandomPositiveDdb(n, 3 * n, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DefiniteLeastModel(db));
+  }
+}
+BENCHMARK(BM_DefiniteLeastModel)->Arg(100)->Arg(1000);
+
+void BM_Stratify(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Database db = RandomStratifiedDdb(n, 3 * n, 4, 0.5, 11);
+  for (auto _ : state) {
+    auto s = Stratify(db);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_Stratify)->Arg(100)->Arg(1000);
+
+void BM_PriorityRelation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Database db = RandomStratifiedDdb(n, 3 * n, 4, 0.5, 12);
+  for (auto _ : state) {
+    PriorityRelation p(db);
+    benchmark::DoNotOptimize(p.HasStrictCycle());
+  }
+}
+BENCHMARK(BM_PriorityRelation)->Arg(50)->Arg(100);
+
+void BM_GlReduct(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  DdbConfig cfg;
+  cfg.num_vars = n;
+  cfg.num_clauses = 3 * n;
+  cfg.negation_fraction = 0.4;
+  cfg.seed = 13;
+  Database db = RandomDdb(cfg);
+  Interpretation m(n);
+  for (Var v = 0; v < n; v += 2) m.Insert(v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.GlReduct(m));
+  }
+}
+BENCHMARK(BM_GlReduct)->Arg(100)->Arg(1000);
+
+void BM_QbfCegar(benchmark::State& state) {
+  const int b = static_cast<int>(state.range(0));
+  QbfForallExistsCnf q = RandomQbf(b, b, 3 * b, 3, 14);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveForallExists(q));
+  }
+}
+BENCHMARK(BM_QbfCegar)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_Grounding(benchmark::State& state) {
+  // Transitive closure over a chain of `n` constants: Theta(n^2) ground
+  // path atoms, Theta(n^3) candidate instantiations for the join rule.
+  const int n = static_cast<int>(state.range(0));
+  std::string prog;
+  for (int i = 0; i + 1 < n; ++i) {
+    prog += "edge(c" + std::to_string(i) + ", c" + std::to_string(i + 1) +
+            ").\n";
+  }
+  prog += "path(X, Y) :- edge(X, Y).\n";
+  prog += "path(X, Z) :- path(X, Y), edge(Y, Z).\n";
+  for (auto _ : state) {
+    auto db = ground::GroundProgramText(prog);
+    benchmark::DoNotOptimize(db);
+  }
+}
+BENCHMARK(BM_Grounding)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_WellFoundedModel(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  DdbConfig cfg;
+  cfg.num_vars = n;
+  cfg.num_clauses = 3 * n;
+  cfg.max_head = 1;
+  cfg.negation_fraction = 0.4;
+  cfg.seed = 21;
+  Database db = RandomDdb(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WellFoundedModel(db));
+  }
+}
+BENCHMARK(BM_WellFoundedModel)->Arg(100)->Arg(400);
+
+void BM_MinimalModelState(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Database db = RandomPositiveDdb(n, n, 15);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MinimalModelState(db, 100000));
+  }
+}
+BENCHMARK(BM_MinimalModelState)->Arg(8)->Arg(12);
+
+}  // namespace
+}  // namespace dd

@@ -1,0 +1,107 @@
+// Per-cell scaling curves for representative Table 1/2 cells: the same
+// decision procedures as bench_table1/2 swept over database size, with the
+// growth exponent estimated from the curve. The tractable cells stay
+// near-linear; the oracle-driven cells grow with the instance's combinat-
+// orial structure (number of minimal projections, CEGAR refinements).
+#include <cstdio>
+#include <functional>
+
+#include "bench/bench_util.h"
+#include "gen/generators.h"
+#include "qbf/reductions.h"
+#include "semantics/ddr.h"
+#include "semantics/dsm.h"
+#include "semantics/egcwa.h"
+#include "semantics/gcwa.h"
+#include "tests/test_util.h"
+#include "util/timer.h"
+
+namespace dd {
+namespace {
+
+struct Curve {
+  const char* name;
+  std::vector<int> sizes;
+  // Returns SAT calls; records seconds via Timer outside.
+  std::function<int64_t(int n, uint64_t seed, Rng* rng)> run;
+};
+
+int main_impl() {
+  SemanticsOptions opts;
+  opts.max_candidates = 5000000;
+
+  std::vector<Curve> curves = {
+      {"DDR literal (in P)",
+       {50, 100, 200, 400},
+       [&](int n, uint64_t seed, Rng*) {
+         Database db = RandomPositiveDdb(n, 2 * n, seed);
+         DdrSemantics s(db, opts);
+         for (Var v = 0; v < 10; ++v) (void)s.InfersLiteral(Lit::Neg(v));
+         return s.stats().sat_calls;
+       }},
+      {"GCWA literal (Pi2p, Theorem 3.1 family; n = quantifier block)",
+       {3, 5, 7, 9, 11},
+       [&](int n, uint64_t seed, Rng*) {
+         QbfForallExistsCnf q = RandomQbf(n, n, 2 * n, 3, seed);
+         ReducedInstance inst = ReducePi2ToGcwaLiteral(q);
+         GcwaSemantics s(inst.db, opts);
+         (void)s.InfersLiteral(Lit::Neg(inst.w));
+         return s.stats().sat_calls;
+       }},
+      {"EGCWA formula (Pi2p, disjunction-rich positive DDBs)",
+       {8, 12, 16, 20, 24},
+       [&](int n, uint64_t seed, Rng* rng) {
+         DdbConfig cfg;
+         cfg.num_vars = n;
+         cfg.num_clauses = n;
+         cfg.max_head = 3;
+         cfg.fact_fraction = 0.7;
+         cfg.seed = seed;
+         Database db = RandomDdb(cfg);
+         EgcwaSemantics s(db, opts);
+         (void)s.InfersFormula(testing::RandomFormula(rng, n, 3));
+         return s.stats().sat_calls;
+       }},
+      {"DSM existence (Sigma2p)",
+       {8, 12, 16, 20},
+       [&](int n, uint64_t seed, Rng*) {
+         DdbConfig cfg;
+         cfg.num_vars = n;
+         cfg.num_clauses = 2 * n;
+         cfg.negation_fraction = 0.35;
+         cfg.seed = seed;
+         Database db = RandomDdb(cfg);
+         DsmSemantics s(db, opts);
+         (void)s.HasModel();
+         return s.stats().sat_calls;
+       }},
+  };
+
+  for (const Curve& c : curves) {
+    std::printf("%s\n", c.name);
+    std::printf("%8s %12s %12s\n", "n", "time[s]", "SAT calls");
+    std::vector<std::pair<int, double>> pts;
+    Rng rng(0x5CA11);
+    for (int n : c.sizes) {
+      double secs = 0;
+      int64_t sat = 0;
+      const int reps = 5;
+      Rng seeds(static_cast<uint64_t>(n) * 19);
+      for (int i = 0; i < reps; ++i) {
+        Timer t;
+        sat += c.run(n, seeds.Next(), &rng);
+        secs += t.ElapsedSeconds();
+      }
+      pts.push_back({n, secs});
+      std::printf("%8d %12.5f %12lld\n", n, secs,
+                  static_cast<long long>(sat));
+    }
+    std::printf("growth: %s\n\n", bench::GrowthNote(pts).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dd
+
+int main() { return dd::main_impl(); }

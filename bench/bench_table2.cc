@@ -1,0 +1,341 @@
+// Reproduces Table 2 of the paper: the same three decision problems for
+// general propositional DDBs — integrity clauses allowed everywhere, plus
+// negation for the semantics defined on DNDBs (PERF, ICWA, DSM, PDSM).
+//
+// Shape to verify against Table 1:
+//   * DDR and PWS literal inference LOSE their zero-oracle path: with
+//     integrity clauses both now make SAT calls / split enumerations
+//     (Chan: coNP-complete). This is the single most visible movement
+//     between the two tables.
+//   * Model existence stops being free for the CWA family: EGCWA/GCWA/
+//     CCWA/ECWA existence now equals satisfiability (NP-complete) and
+//     issues exactly one SAT query per instance.
+//   * ICWA model existence stays O(1) — stratification certifies
+//     consistency (no integrity clauses in its row, as in the paper).
+//   * PERF/DSM/PDSM model existence becomes a genuine search
+//     (Σ₂ᵖ-complete): candidate minimal models are generated and checked.
+#include <cstdio>
+#include <functional>
+
+#include "bench/bench_util.h"
+#include "core/oracle_stats.h"
+#include "gen/generators.h"
+#include "semantics/ccwa.h"
+#include "semantics/ddr.h"
+#include "semantics/dsm.h"
+#include "semantics/ecwa_circ.h"
+#include "semantics/egcwa.h"
+#include "semantics/gcwa.h"
+#include "semantics/icwa.h"
+#include "semantics/pdsm.h"
+#include "semantics/perf.h"
+#include "semantics/pws.h"
+#include "tests/test_util.h"
+#include "util/timer.h"
+
+namespace dd {
+namespace {
+
+Database MakeIcDb(int n, uint64_t seed) {
+  DdbConfig cfg;
+  cfg.num_vars = n;
+  cfg.num_clauses = 2 * n;
+  cfg.integrity_fraction = 0.15;
+  cfg.seed = seed;
+  return RandomDdb(cfg);
+}
+
+Database MakeNormalDb(int n, uint64_t seed) {
+  DdbConfig cfg;
+  cfg.num_vars = n;
+  cfg.num_clauses = 2 * n;
+  cfg.integrity_fraction = 0.1;
+  cfg.negation_fraction = 0.3;
+  cfg.seed = seed;
+  return RandomDdb(cfg);
+}
+
+Database MakeStratDb(int n, uint64_t seed) {
+  return RandomStratifiedDdb(n, 2 * n, 3, 0.5, seed);
+}
+
+// PWS enumerates head splits (exponential in the number of disjunctive
+// rules); keep that family small so the coNP jump is visible without the
+// harness timing out.
+Database MakePwsDb(int n, uint64_t seed) {
+  DdbConfig cfg;
+  cfg.num_vars = n;
+  cfg.num_clauses = n;
+  cfg.max_head = 2;
+  cfg.fact_fraction = 0.5;
+  cfg.integrity_fraction = 0.2;
+  cfg.seed = seed;
+  return RandomDdb(cfg);
+}
+
+struct Cell {
+  const char* semantics;
+  const char* task;
+  const char* paper_class;
+  int num_vars;
+  std::function<Database(int, uint64_t)> make;
+  std::function<int64_t(const Database&, Rng*)> run;
+};
+
+Partition HalfPartition(int n) {
+  Partition p;
+  p.p = Interpretation(n);
+  p.q = Interpretation(n);
+  p.z = Interpretation(n);
+  for (Var v = 0; v < n; ++v) {
+    if (v < n / 2) {
+      p.p.Insert(v);
+    } else if (v < 3 * n / 4) {
+      p.q.Insert(v);
+    } else {
+      p.z.Insert(v);
+    }
+  }
+  return p;
+}
+
+int main_impl() {
+  const int kInstances = 5;
+  SemanticsOptions opts;
+  opts.max_candidates = 2000000;
+
+  auto query = [](const Database& db, Rng* rng) {
+    return testing::RandomFormula(rng, db.num_vars(), 3);
+  };
+
+  std::vector<Cell> cells = {
+      {"GCWA", "literal ~p", "Pi2p-complete", 12, MakeIcDb,
+       [&](const Database& db, Rng*) {
+         GcwaSemantics s(db, opts);
+         (void)s.InfersLiteral(Lit::Neg(0));
+         return s.stats().sat_calls;
+       }},
+      {"GCWA", "formula", "Pi2p-hard, in P^Sigma2p[O(log n)]", 12, MakeIcDb,
+       [&](const Database& db, Rng* rng) {
+         GcwaSemantics s(db, opts);
+         (void)s.InfersFormula(query(db, rng));
+         return s.stats().sat_calls;
+       }},
+      {"GCWA", "exists model", "NP-complete (=SAT)", 12, MakeIcDb,
+       [&](const Database& db, Rng*) {
+         GcwaSemantics s(db, opts);
+         (void)s.HasModel();
+         return s.stats().sat_calls;
+       }},
+      {"DDR", "literal ~p", "coNP-complete (*Chan)", 12, MakeIcDb,
+       [&](const Database& db, Rng*) {
+         DdrSemantics s(db, opts);
+         (void)s.InfersLiteral(Lit::Neg(0));
+         return s.stats().sat_calls;
+       }},
+      {"DDR", "formula", "coNP-complete", 12, MakeIcDb,
+       [&](const Database& db, Rng* rng) {
+         DdrSemantics s(db, opts);
+         (void)s.InfersFormula(query(db, rng));
+         return s.stats().sat_calls;
+       }},
+      {"DDR", "exists model", "NP-complete", 12, MakeIcDb,
+       [&](const Database& db, Rng*) {
+         DdrSemantics s(db, opts);
+         (void)s.HasModel();
+         return s.stats().sat_calls;
+       }},
+      {"PWS", "literal ~p", "coNP-complete (*Chan)", 10, MakePwsDb,
+       [&](const Database& db, Rng*) {
+         PwsSemantics s(db, opts);
+         (void)s.InfersLiteral(Lit::Neg(0));
+         return s.stats().sat_calls;
+       }},
+      {"PWS", "formula", "coNP-complete", 10, MakePwsDb,
+       [&](const Database& db, Rng* rng) {
+         PwsSemantics s(db, opts);
+         (void)s.InfersFormula(query(db, rng));
+         return s.stats().sat_calls;
+       }},
+      {"PWS", "exists model", "NP-complete", 10, MakePwsDb,
+       [&](const Database& db, Rng*) {
+         PwsSemantics s(db, opts);
+         (void)s.HasModel();
+         return s.stats().sat_calls;
+       }},
+      {"EGCWA", "literal ~p", "Pi2p-complete", 12, MakeIcDb,
+       [&](const Database& db, Rng*) {
+         EgcwaSemantics s(db, opts);
+         (void)s.InfersLiteral(Lit::Neg(0));
+         return s.stats().sat_calls;
+       }},
+      {"EGCWA", "formula", "Pi2p-complete", 12, MakeIcDb,
+       [&](const Database& db, Rng* rng) {
+         EgcwaSemantics s(db, opts);
+         (void)s.InfersFormula(query(db, rng));
+         return s.stats().sat_calls;
+       }},
+      {"EGCWA", "exists model", "NP-complete", 12, MakeIcDb,
+       [&](const Database& db, Rng*) {
+         EgcwaSemantics s(db, opts);
+         (void)s.HasModel();
+         return s.stats().sat_calls;
+       }},
+      {"CCWA", "literal ~p", "Pi2p-hard, in P^Sigma2p[O(log n)]", 12,
+       MakeIcDb,
+       [&](const Database& db, Rng*) {
+         CcwaSemantics s(db, HalfPartition(db.num_vars()), opts);
+         (void)s.InfersLiteral(Lit::Neg(0));
+         return s.stats().sat_calls;
+       }},
+      {"CCWA", "formula", "Pi2p-hard, in P^Sigma2p[O(log n)]", 12, MakeIcDb,
+       [&](const Database& db, Rng* rng) {
+         CcwaSemantics s(db, HalfPartition(db.num_vars()), opts);
+         (void)s.InfersFormula(query(db, rng));
+         return s.stats().sat_calls;
+       }},
+      {"CCWA", "exists model", "NP-complete", 12, MakeIcDb,
+       [&](const Database& db, Rng*) {
+         CcwaSemantics s(db, HalfPartition(db.num_vars()), opts);
+         (void)s.HasModel();
+         return s.stats().sat_calls;
+       }},
+      {"ECWA", "literal ~p", "Pi2p-complete", 12, MakeIcDb,
+       [&](const Database& db, Rng*) {
+         EcwaSemantics s(db, HalfPartition(db.num_vars()), opts);
+         (void)s.InfersFormula(FormulaNode::MakeLit(Lit::Neg(0)));
+         return s.stats().sat_calls;
+       }},
+      {"ECWA", "formula", "Pi2p-complete", 12, MakeIcDb,
+       [&](const Database& db, Rng* rng) {
+         EcwaSemantics s(db, HalfPartition(db.num_vars()), opts);
+         (void)s.InfersFormula(query(db, rng));
+         return s.stats().sat_calls;
+       }},
+      {"ECWA", "exists model", "NP-complete", 12, MakeIcDb,
+       [&](const Database& db, Rng*) {
+         EcwaSemantics s(db, HalfPartition(db.num_vars()), opts);
+         (void)s.HasModel();
+         return s.stats().sat_calls;
+       }},
+      {"ICWA", "literal ~p", "Pi2p-complete", 10, MakeStratDb,
+       [&](const Database& db, Rng*) {
+         IcwaSemantics s(db, opts);
+         (void)s.InfersFormula(FormulaNode::MakeLit(Lit::Neg(0)));
+         return s.stats().sat_calls;
+       }},
+      {"ICWA", "formula", "Pi2p-complete", 10, MakeStratDb,
+       [&](const Database& db, Rng* rng) {
+         IcwaSemantics s(db, opts);
+         (void)s.InfersFormula(query(db, rng));
+         return s.stats().sat_calls;
+       }},
+      {"ICWA", "exists model", "O(1) (given S)", 10, MakeStratDb,
+       [&](const Database& db, Rng*) {
+         IcwaSemantics s(db, opts);
+         (void)s.HasModel();
+         return s.stats().sat_calls;
+       }},
+      {"PERF", "literal ~p", "Pi2p-complete", 10, MakeStratDb,
+       [&](const Database& db, Rng*) {
+         PerfSemantics s(db, opts);
+         (void)s.InfersFormula(FormulaNode::MakeLit(Lit::Neg(0)));
+         return s.stats().sat_calls;
+       }},
+      {"PERF", "formula", "Pi2p-complete", 10, MakeStratDb,
+       [&](const Database& db, Rng* rng) {
+         PerfSemantics s(db, opts);
+         (void)s.InfersFormula(query(db, rng));
+         return s.stats().sat_calls;
+       }},
+      {"PERF", "exists model", "Sigma2p-complete", 10,
+       [](int n, uint64_t seed) {
+         // Possibly unstratifiable DNDBs: existence is a real search.
+         DdbConfig cfg;
+         cfg.num_vars = n;
+         cfg.num_clauses = 2 * n;
+         cfg.negation_fraction = 0.35;
+         cfg.seed = seed;
+         return RandomDdb(cfg);
+       },
+       [&](const Database& db, Rng*) {
+         PerfSemantics s(db, opts);
+         (void)s.HasModel();
+         return s.stats().sat_calls;
+       }},
+      {"DSM", "literal ~p", "Pi2p-complete", 10, MakeNormalDb,
+       [&](const Database& db, Rng*) {
+         DsmSemantics s(db, opts);
+         (void)s.InfersFormula(FormulaNode::MakeLit(Lit::Neg(0)));
+         return s.stats().sat_calls;
+       }},
+      {"DSM", "formula", "Pi2p-complete", 10, MakeNormalDb,
+       [&](const Database& db, Rng* rng) {
+         DsmSemantics s(db, opts);
+         (void)s.InfersFormula(query(db, rng));
+         return s.stats().sat_calls;
+       }},
+      {"DSM", "exists model", "Sigma2p-complete", 10, MakeNormalDb,
+       [&](const Database& db, Rng*) {
+         DsmSemantics s(db, opts);
+         (void)s.HasModel();
+         return s.stats().sat_calls;
+       }},
+      {"PDSM", "literal ~p", "Pi2p-complete", 6, MakeNormalDb,
+       [&](const Database& db, Rng*) {
+         PdsmSemantics s(db, opts);
+         (void)s.InfersFormula(FormulaNode::MakeLit(Lit::Neg(0)));
+         return s.stats().sat_calls;
+       }},
+      {"PDSM", "formula", "Pi2p-complete", 6, MakeNormalDb,
+       [&](const Database& db, Rng* rng) {
+         PdsmSemantics s(db, opts);
+         (void)s.InfersFormula(query(db, rng));
+         return s.stats().sat_calls;
+       }},
+      {"PDSM", "exists model", "Sigma2p-complete", 6, MakeNormalDb,
+       [&](const Database& db, Rng*) {
+         PdsmSemantics s(db, opts);
+         (void)s.HasModel();
+         return s.stats().sat_calls;
+       }},
+  };
+
+  std::vector<MeasuredCell> rows;
+  for (const Cell& cell : cells) {
+    Rng rng(0x7AB1E002);
+    Timer t;
+    int64_t sat = 0;
+    Rng seeds(2000 + static_cast<uint64_t>(cell.num_vars));
+    for (int i = 0; i < kInstances; ++i) {
+      Database db = cell.make(cell.num_vars, seeds.Next());
+      sat += cell.run(db, &rng);
+    }
+    MeasuredCell row;
+    row.semantics = cell.semantics;
+    row.task = cell.task;
+    row.paper_class = cell.paper_class;
+    row.seconds = t.ElapsedSeconds();
+    row.sat_calls = sat;
+    row.instances = kInstances;
+    row.note = sat == 0 ? "no oracle: O(1)/poly path"
+                        : StrFormat("n=%d", cell.num_vars);
+    rows.push_back(row);
+  }
+  std::printf("%s\n",
+              FormatMeasuredTable(
+                  "Table 2 (measured): propositional DDBs with integrity "
+                  "clauses (negation for PERF/ICWA/DSM/PDSM rows)",
+                  rows)
+                  .c_str());
+  std::printf(
+      "Movements vs Table 1 to check: DDR/PWS literal cells now spend "
+      "oracle work; CWA-family existence issues SAT calls; ICWA existence "
+      "stays free.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dd
+
+int main() { return dd::main_impl(); }

@@ -1,0 +1,41 @@
+// Shared helpers for the table-reproduction harnesses.
+#ifndef DD_BENCH_BENCH_UTIL_H_
+#define DD_BENCH_BENCH_UTIL_H_
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace dd {
+namespace bench {
+
+/// Measures a per-size series and reports the growth pattern. `points`
+/// holds (size, seconds) pairs; the estimate fits t ~ c * n^k on the last
+/// points and reports k (a small k on a wide range reads "polynomial").
+inline std::string GrowthNote(const std::vector<std::pair<int, double>>& pts) {
+  if (pts.size() < 2) return "n/a";
+  // Log-log slope between first and last point with nonzero time.
+  double n0 = 0, t0 = 0, n1 = 0, t1 = 0;
+  for (const auto& [n, t] : pts) {
+    if (t > 1e-9) {
+      if (t0 == 0) {
+        n0 = n;
+        t0 = t;
+      }
+      n1 = n;
+      t1 = t;
+    }
+  }
+  if (t0 == 0 || n0 == n1) return "flat";
+  double k = std::log(t1 / t0) / std::log(n1 / n0);
+  return StrFormat("t~n^%.1f", k);
+}
+
+}  // namespace bench
+}  // namespace dd
+
+#endif  // DD_BENCH_BENCH_UTIL_H_

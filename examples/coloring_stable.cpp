@@ -1,0 +1,63 @@
+// Graph 3-coloring with disjunctive stable models (DSM).
+//
+// Each node chooses a color through a disjunctive fact; integrity clauses
+// forbid monochromatic edges. On this (deductive + integrity) encoding the
+// stable models are precisely the proper colorings — the combinatorial
+// workload the DSM rows of Table 2 are exercised on.
+#include <cstdio>
+
+#include "gen/generators.h"
+#include "logic/parser.h"
+#include "logic/printer.h"
+#include "semantics/dsm.h"
+#include "semantics/pdsm.h"
+
+int main() {
+  dd::Database db = dd::GraphColoringDdb(/*num_nodes=*/6,
+                                         /*edge_probability=*/0.5,
+                                         /*num_colors=*/3, /*seed=*/7);
+  std::printf("== Encoding ==\n%s\n", db.ToString().c_str());
+
+  dd::SemanticsOptions opts;
+  opts.max_models = 16;
+  dd::DsmSemantics dsm(db, opts);
+
+  auto has = dsm.HasModel();
+  if (!has.ok()) {
+    std::fprintf(stderr, "%s\n", has.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("3-colorable: %s\n\n", *has ? "yes" : "no");
+
+  auto models = dsm.Models(8);
+  if (models.ok()) {
+    std::printf("== First %zu colorings (stable models) ==\n",
+                models->size());
+    for (const auto& m : *models) {
+      std::printf("  %s\n", m.ToString(db.vocabulary()).c_str());
+    }
+  }
+
+  // Skeptical query: is node 0 forced to avoid some color in every
+  // coloring? (Rarely, unless the graph is rigid.)
+  auto f = dd::ParseFormula("~c0_n0", &db.vocabulary());
+  if (f.ok()) {
+    auto r = dsm.InfersFormula(*f);
+    std::printf("\nnode 0 never gets color 0 (skeptically): %s\n",
+                r.ok() && *r ? "yes" : "no");
+  }
+
+  // The same database under the 3-valued PDSM: on negation-free programs
+  // the total partial stable models coincide with DSM.
+  dd::Database small = dd::GraphColoringDdb(4, 0.5, 3, 3);
+  dd::PdsmSemantics pdsm(small);
+  auto partial = pdsm.PartialModels(8);
+  if (partial.ok()) {
+    std::printf("\n== PDSM view of a smaller instance (%zu models) ==\n",
+                partial->size());
+    for (const auto& p : *partial) {
+      std::printf("  %s\n", p.ToString(small.vocabulary()).c_str());
+    }
+  }
+  return 0;
+}

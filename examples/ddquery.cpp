@@ -1,0 +1,293 @@
+// ddquery: an interactive / scriptable query shell over the library.
+//
+//   ddquery <program.ddb>          load a database and read commands from
+//                                  stdin (or pipe a script in)
+//   ddquery                        start with an empty database
+//
+// Commands:
+//   load <file>                    replace the database from a file
+//   loadg <file>                   load a first-order program and ground it
+//   add <clause.>                  append one clause (same syntax as files)
+//   show                           print the database
+//   strata                         print the stratification (if any)
+//   models <SEM> [cap]             list the intended models under SEM
+//   infer <SEM> <formula>          skeptical formula inference
+//   brave <SEM> <formula>          credulous inference (some model)
+//   why <SEM> <formula>            verdict + counter-model when it fails
+//   lit <SEM> <literal>            skeptical literal inference
+//   exists <SEM>                   model existence
+//   partition p=a,b q=c rest=z     set the CCWA/ECWA partition
+//   stats                          cumulative oracle counters
+//   help | quit
+//
+// SEM is one of: gcwa egcwa ccwa ecwa ddr pws perf icwa dsm pdsm
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "core/oracle_stats.h"
+#include "core/reasoner.h"
+#include "ground/grounder.h"
+#include "logic/printer.h"
+#include "strat/stratifier.h"
+#include "util/string_util.h"
+
+namespace {
+
+std::optional<dd::SemanticsKind> KindFromName(const std::string& s) {
+  static const std::pair<const char*, dd::SemanticsKind> kMap[] = {
+      {"gcwa", dd::SemanticsKind::kGcwa},
+      {"egcwa", dd::SemanticsKind::kEgcwa},
+      {"ccwa", dd::SemanticsKind::kCcwa},
+      {"ecwa", dd::SemanticsKind::kEcwa},
+      {"circ", dd::SemanticsKind::kEcwa},
+      {"ddr", dd::SemanticsKind::kDdr},
+      {"wgcwa", dd::SemanticsKind::kDdr},
+      {"pws", dd::SemanticsKind::kPws},
+      {"pms", dd::SemanticsKind::kPws},
+      {"perf", dd::SemanticsKind::kPerf},
+      {"icwa", dd::SemanticsKind::kIcwa},
+      {"dsm", dd::SemanticsKind::kDsm},
+      {"pdsm", dd::SemanticsKind::kPdsm},
+  };
+  for (const auto& [name, kind] : kMap) {
+    if (s == name) return kind;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void PrintHelp() {
+  std::printf(
+      "commands: load <file> | add <clause.> | show | strata |\n"
+      "          models <sem> [cap] | infer <sem> <formula> |\n"
+      "          lit <sem> <literal> | exists <sem> |\n"
+      "          partition p=a,b q=c rest=z | stats | help | quit\n"
+      "semantics: gcwa egcwa ccwa ecwa ddr pws perf icwa dsm pdsm\n");
+}
+
+// Parses "p=a,b" style partition arguments.
+bool ParsePartitionArgs(const std::string& rest_of_line, dd::Reasoner* r) {
+  std::vector<std::string> p, q, z;
+  char rest = 'z';
+  std::istringstream in(rest_of_line);
+  std::string tok;
+  while (in >> tok) {
+    auto eq = tok.find('=');
+    if (eq == std::string::npos) {
+      std::printf("bad partition token '%s'\n", tok.c_str());
+      return false;
+    }
+    std::string key = tok.substr(0, eq);
+    std::string val = tok.substr(eq + 1);
+    if (key == "rest") {
+      if (val.size() != 1) {
+        std::printf("rest must be one of p/q/z\n");
+        return false;
+      }
+      rest = val[0];
+      continue;
+    }
+    std::vector<std::string>* side = key == "p"   ? &p
+                                     : key == "q" ? &q
+                                     : key == "z" ? &z
+                                                  : nullptr;
+    if (side == nullptr) {
+      std::printf("unknown partition part '%s'\n", key.c_str());
+      return false;
+    }
+    for (const auto& name : dd::Split(val, ',')) {
+      if (!name.empty()) side->push_back(name);
+    }
+  }
+  dd::Status s = r->SetPartition(p, q, z, rest);
+  if (!s.ok()) {
+    std::printf("%s\n", s.ToString().c_str());
+    return false;
+  }
+  std::printf("partition set\n");
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dd::Reasoner reasoner{dd::Database()};
+  if (argc > 1) {
+    auto text = ReadFile(argv[1]);
+    if (!text) {
+      std::fprintf(stderr, "cannot read %s\n", argv[1]);
+      return 1;
+    }
+    auto r = dd::Reasoner::FromProgram(*text);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    reasoner = std::move(r).value();
+    std::printf("loaded %s (%s)\n", argv[1],
+                dd::DatabaseSummary(reasoner.db()).c_str());
+  }
+
+  std::string line;
+  const bool interactive = isatty(fileno(stdin)) != 0;
+  for (;;) {
+    if (interactive) {
+      std::printf("ddq> ");
+      std::fflush(stdout);
+    }
+    if (!std::getline(std::cin, line)) break;
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd)) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      PrintHelp();
+      continue;
+    }
+    if (cmd == "show") {
+      std::printf("%s", reasoner.db().ToString().c_str());
+      continue;
+    }
+    if (cmd == "stats") {
+      std::printf("%s\n", dd::FormatStats(reasoner.TotalStats()).c_str());
+      continue;
+    }
+    if (cmd == "load" || cmd == "loadg") {
+      std::string path;
+      in >> path;
+      auto text = ReadFile(path);
+      if (!text) {
+        std::printf("cannot read %s\n", path.c_str());
+        continue;
+      }
+      if (cmd == "loadg") {
+        auto db = dd::ground::GroundProgramText(*text);
+        if (!db.ok()) {
+          std::printf("%s\n", db.status().ToString().c_str());
+          continue;
+        }
+        reasoner = dd::Reasoner(std::move(db).value());
+      } else {
+        auto r = dd::Reasoner::FromProgram(*text);
+        if (!r.ok()) {
+          std::printf("%s\n", r.status().ToString().c_str());
+          continue;
+        }
+        reasoner = std::move(r).value();
+      }
+      std::printf("loaded (%s)\n",
+                  dd::DatabaseSummary(reasoner.db()).c_str());
+      continue;
+    }
+    if (cmd == "add") {
+      std::string clause;
+      std::getline(in, clause);
+      // Re-parse the whole program plus the new clause (keeps ids stable
+      // enough for interactive use and reuses one parser).
+      auto r = dd::Reasoner::FromProgram(reasoner.db().ToString() + clause);
+      if (!r.ok()) {
+        std::printf("%s\n", r.status().ToString().c_str());
+        continue;
+      }
+      reasoner = std::move(r).value();
+      std::printf("ok (%s)\n", dd::DatabaseSummary(reasoner.db()).c_str());
+      continue;
+    }
+    if (cmd == "strata") {
+      auto s = dd::Stratify(reasoner.db());
+      if (!s.ok()) {
+        std::printf("%s\n", s.status().ToString().c_str());
+      } else {
+        std::printf("%s", s->ToString(reasoner.db().vocabulary()).c_str());
+      }
+      continue;
+    }
+    if (cmd == "partition") {
+      std::string rest;
+      std::getline(in, rest);
+      ParsePartitionArgs(rest, &reasoner);
+      continue;
+    }
+
+    // Remaining commands start with a semantics name.
+    std::string sem_name;
+    if (cmd == "models" || cmd == "infer" || cmd == "lit" ||
+        cmd == "exists" || cmd == "brave" || cmd == "why") {
+      if (!(in >> sem_name)) {
+        std::printf("missing semantics name\n");
+        continue;
+      }
+      auto kind = KindFromName(sem_name);
+      if (!kind) {
+        std::printf("unknown semantics '%s'\n", sem_name.c_str());
+        continue;
+      }
+      if (cmd == "models") {
+        int64_t cap = 32;
+        in >> cap;
+        auto models = reasoner.Models(*kind, cap);
+        if (!models.ok()) {
+          std::printf("%s\n", models.status().ToString().c_str());
+          continue;
+        }
+        std::printf("%s(%zu models)\n",
+                    dd::ModelsToString(*models,
+                                       reasoner.db().vocabulary())
+                        .c_str(),
+                    models->size());
+      } else if (cmd == "exists") {
+        auto r = reasoner.HasModel(*kind);
+        std::printf("%s\n", r.ok() ? (*r ? "yes" : "no")
+                                   : r.status().ToString().c_str());
+      } else if (cmd == "brave" || cmd == "why") {
+        std::string rest;
+        std::getline(in, rest);
+        auto f = reasoner.ParseQueryFormula(rest);
+        if (!f.ok()) {
+          std::printf("%s\n", f.status().ToString().c_str());
+          continue;
+        }
+        if (cmd == "brave") {
+          auto r = reasoner.Get(*kind)->InfersCredulously(*f);
+          std::printf("%s\n", r.ok() ? (*r ? "yes" : "no")
+                                     : r.status().ToString().c_str());
+        } else {
+          auto ce = reasoner.Get(*kind)->FindCounterexample(*f);
+          if (!ce.ok()) {
+            std::printf("%s\n", ce.status().ToString().c_str());
+          } else if (!ce->has_value()) {
+            std::printf("inferred: true in every %s model\n",
+                        sem_name.c_str());
+          } else {
+            std::printf(
+                "not inferred: counter-model %s\n",
+                (*ce)->ToString(reasoner.db().vocabulary()).c_str());
+          }
+        }
+      } else {
+        std::string rest;
+        std::getline(in, rest);
+        auto r = cmd == "infer" ? reasoner.InfersFormula(*kind, rest)
+                                : reasoner.InfersLiteral(*kind, rest);
+        std::printf("%s\n", r.ok() ? (*r ? "yes" : "no")
+                                   : r.status().ToString().c_str());
+      }
+      continue;
+    }
+    std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Builds everything and regenerates the full experiment record:
+#   test_output.txt   - the complete test-suite run
+#   bench_output.txt  - every table/figure harness + microbenchmarks
+set -u
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "########## $(basename "$b") ##########" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+  echo | tee -a bench_output.txt
+done
+echo "wrote test_output.txt and bench_output.txt"

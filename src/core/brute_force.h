@@ -1,0 +1,83 @@
+// Definitional reference implementations of every semantics by exhaustive
+// enumeration (2^n interpretations, 3^n for PDSM).
+//
+// This module is the ground truth of the test suite: each oracle-based
+// implementation is property-tested against it on thousands of randomized
+// small databases. It deliberately shares no code with the production
+// engines — satisfaction loops, subset checks, reducts and preference
+// orders are all re-derived straight from the definitions in the paper.
+#ifndef DD_CORE_BRUTE_FORCE_H_
+#define DD_CORE_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "logic/database.h"
+#include "logic/formula.h"
+#include "logic/interpretation.h"
+#include "logic/partial_interpretation.h"
+#include "minimal/pqz.h"
+
+namespace dd {
+namespace brute {
+
+/// Hard variable-count limit for the 2^n loops (checked with DD_CHECK:
+/// exceeding it is a programming error in a test, not a runtime condition).
+inline constexpr int kMaxVars = 24;
+/// Limit for the 3^n loops.
+inline constexpr int kMaxVars3 = 13;
+
+/// All classical models.
+std::vector<Interpretation> AllModels(const Database& db);
+
+/// All subset-minimal models.
+std::vector<Interpretation> MinimalModels(const Database& db);
+
+/// All <P;Z>-minimal models (the preorder compares P-parts under equal
+/// Q-parts).
+std::vector<Interpretation> PqzMinimalModels(const Database& db,
+                                             const Partition& pqz);
+
+/// GCWA model set: models satisfying ¬x for every atom false in all
+/// minimal models.
+std::vector<Interpretation> GcwaModels(const Database& db);
+
+/// CCWA model set for a partition.
+std::vector<Interpretation> CcwaModels(const Database& db,
+                                       const Partition& pqz);
+
+/// DDR model set: T_DB↑ω computed by brute saturation of derivable
+/// disjuncts (no subsumption shortcuts); ¬x added for absent atoms.
+/// Requires a deductive database.
+std::vector<Interpretation> DdrModels(const Database& db);
+
+/// All possible models (split enumeration straight from the definition).
+/// Requires a deductive database.
+std::vector<Interpretation> PossibleModels(const Database& db);
+
+/// PWS model set: models of DB plus ¬x for atoms in no possible model.
+std::vector<Interpretation> PwsModels(const Database& db);
+
+/// Is `n` preferable to `m` under the priority relation (checked literally:
+/// every x ∈ n∖m dominated by some y ∈ m∖n with x < y)?
+bool Preferable(const Database& db, const Interpretation& n,
+                const Interpretation& m);
+
+/// All perfect models (models with no preferable model).
+std::vector<Interpretation> PerfectModels(const Database& db);
+
+/// All ICWA models for the database's canonical stratification.
+std::vector<Interpretation> IcwaModels(const Database& db);
+
+/// All disjunctive stable models (GL-reduct recomputed per candidate).
+std::vector<Interpretation> StableModels(const Database& db);
+
+/// All partial stable models (3^n enumeration, pairwise truth-minimality).
+std::vector<PartialInterpretation> PartialStableModels(const Database& db);
+
+/// Skeptical inference over a model list.
+bool Infers(const std::vector<Interpretation>& models, const Formula& f);
+
+}  // namespace brute
+}  // namespace dd
+
+#endif  // DD_CORE_BRUTE_FORCE_H_

@@ -1,0 +1,34 @@
+#include "core/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "logic/parser.h"
+#include "logic/printer.h"
+
+namespace dd {
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return Status::Internal("read error on '" + path + "'");
+  return buf.str();
+}
+
+Result<Database> LoadDatabaseFile(const std::string& path) {
+  DD_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return ParseDatabase(text);
+}
+
+Status SaveDatabaseFile(const Database& db, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::NotFound("cannot open '" + path + "' for write");
+  out << "% " << DatabaseSummary(db) << "\n";
+  out << db.ToString();
+  if (!out.good()) return Status::Internal("write error on '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace dd

@@ -1,0 +1,24 @@
+// File I/O for databases and first-order programs.
+#ifndef DD_CORE_IO_H_
+#define DD_CORE_IO_H_
+
+#include <string>
+
+#include "logic/database.h"
+#include "util/status.h"
+
+namespace dd {
+
+/// Reads a whole file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Parses a propositional database from a file.
+Result<Database> LoadDatabaseFile(const std::string& path);
+
+/// Writes the database in the library's program syntax; the result parses
+/// back to an equivalent database.
+Status SaveDatabaseFile(const Database& db, const std::string& path);
+
+}  // namespace dd
+
+#endif  // DD_CORE_IO_H_

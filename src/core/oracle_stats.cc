@@ -1,0 +1,34 @@
+#include "core/oracle_stats.h"
+
+#include "util/string_util.h"
+
+namespace dd {
+
+std::string FormatStats(const MinimalStats& s) {
+  return StrFormat(
+      "SAT calls=%lld, minimizations=%lld, CEGAR=%lld, models=%lld",
+      static_cast<long long>(s.sat_calls),
+      static_cast<long long>(s.minimizations),
+      static_cast<long long>(s.cegar_iterations),
+      static_cast<long long>(s.models_enumerated));
+}
+
+std::string FormatMeasuredTable(const std::string& title,
+                                const std::vector<MeasuredCell>& cells) {
+  std::string out;
+  out += title + "\n";
+  out += StrFormat("%-10s %-22s %-34s %12s %12s %8s  %s\n", "Semantics",
+                   "Task", "Paper class", "time[s]", "SAT calls", "inst",
+                   "measured");
+  out += std::string(118, '-') + "\n";
+  for (const auto& c : cells) {
+    out += StrFormat("%-10s %-22s %-34s %12.4f %12lld %8lld  %s\n",
+                     c.semantics.c_str(), c.task.c_str(),
+                     c.paper_class.c_str(), c.seconds,
+                     static_cast<long long>(c.sat_calls),
+                     static_cast<long long>(c.instances), c.note.c_str());
+  }
+  return out;
+}
+
+}  // namespace dd

@@ -1,0 +1,33 @@
+// Formatting helpers for the oracle-call accounting the bench harnesses
+// print: the observable correlate of the paper's complexity placements.
+#ifndef DD_CORE_ORACLE_STATS_H_
+#define DD_CORE_ORACLE_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "minimal/minimal_models.h"
+
+namespace dd {
+
+/// One measured cell of a reproduced table.
+struct MeasuredCell {
+  std::string semantics;
+  std::string task;
+  std::string paper_class;   ///< the complexity class Table 1/2 reports
+  double seconds = 0.0;      ///< wall time on the harness workload
+  int64_t sat_calls = 0;     ///< NP-oracle invocations
+  int64_t instances = 0;     ///< number of instances aggregated
+  std::string note;          ///< e.g. "poly fit exp=1.9" or "growth x34"
+};
+
+/// Renders "SAT calls=…, minimizations=…, CEGAR=…, models=…".
+std::string FormatStats(const MinimalStats& s);
+
+/// Renders a fixed-width table with a header, one row per cell.
+std::string FormatMeasuredTable(const std::string& title,
+                                const std::vector<MeasuredCell>& cells);
+
+}  // namespace dd
+
+#endif  // DD_CORE_ORACLE_STATS_H_

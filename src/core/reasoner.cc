@@ -1,0 +1,129 @@
+#include "core/reasoner.h"
+
+#include "semantics/ccwa.h"
+#include "semantics/ecwa_circ.h"
+#include "util/string_util.h"
+
+namespace dd {
+
+Reasoner::Reasoner(Database db, SemanticsOptions opts)
+    : db_(std::move(db)), opts_(opts) {}
+
+Result<Reasoner> Reasoner::FromProgram(std::string_view text,
+                                       SemanticsOptions opts) {
+  DD_ASSIGN_OR_RETURN(Database db, ParseDatabase(text));
+  return Reasoner(std::move(db), opts);
+}
+
+Semantics* Reasoner::Get(SemanticsKind kind) {
+  auto it = engines_.find(kind);
+  if (it == engines_.end()) {
+    std::unique_ptr<Semantics> engine;
+    if (partition_.has_value() && kind == SemanticsKind::kCcwa) {
+      engine = std::make_unique<CcwaSemantics>(db_, *partition_, opts_);
+    } else if (partition_.has_value() && kind == SemanticsKind::kEcwa) {
+      engine = std::make_unique<EcwaSemantics>(db_, *partition_, opts_);
+    } else {
+      engine = MakeSemantics(kind, db_, opts_);
+    }
+    it = engines_.emplace(kind, std::move(engine)).first;
+  }
+  return it->second.get();
+}
+
+Status Reasoner::SetPartition(const std::vector<std::string>& p_atoms,
+                              const std::vector<std::string>& q_atoms,
+                              const std::vector<std::string>& z_atoms,
+                              char rest) {
+  const int n = db_.num_vars();
+  Partition part;
+  part.p = Interpretation(n);
+  part.q = Interpretation(n);
+  part.z = Interpretation(n);
+  Interpretation assigned(n);
+  auto place = [&](const std::vector<std::string>& names,
+                   Interpretation* side) -> Status {
+    for (const auto& name : names) {
+      Var v = db_.vocabulary().Find(name);
+      if (v == kInvalidVar) {
+        return Status::NotFound("unknown atom '" + name + "'");
+      }
+      if (assigned.Contains(v)) {
+        return Status::InvalidArgument(
+            "atom '" + name + "' placed in two parts");
+      }
+      assigned.Insert(v);
+      side->Insert(v);
+    }
+    return Status::OK();
+  };
+  DD_RETURN_IF_ERROR(place(p_atoms, &part.p));
+  DD_RETURN_IF_ERROR(place(q_atoms, &part.q));
+  DD_RETURN_IF_ERROR(place(z_atoms, &part.z));
+  for (Var v = 0; v < n; ++v) {
+    if (assigned.Contains(v)) continue;
+    switch (rest) {
+      case 'p':
+        part.p.Insert(v);
+        break;
+      case 'q':
+        part.q.Insert(v);
+        break;
+      case 'z':
+        part.z.Insert(v);
+        break;
+      default:
+        return Status::InvalidArgument(
+            StrFormat("rest part must be 'p', 'q' or 'z', got '%c'", rest));
+    }
+  }
+  DD_RETURN_IF_ERROR(part.Validate());
+  partition_ = std::move(part);
+  engines_.erase(SemanticsKind::kCcwa);
+  engines_.erase(SemanticsKind::kEcwa);
+  return Status::OK();
+}
+
+Result<bool> Reasoner::InfersLiteral(SemanticsKind kind,
+                                     std::string_view literal) {
+  int before = db_.num_vars();
+  DD_ASSIGN_OR_RETURN(Lit l, ParseLiteral(literal, &db_.vocabulary()));
+  if (db_.num_vars() != before) {
+    // The literal mentioned a fresh atom; rebuild engines so their variable
+    // ranges include it.
+    engines_.clear();
+  }
+  return Get(kind)->InfersLiteral(l);
+}
+
+Result<Formula> Reasoner::ParseQueryFormula(std::string_view formula) {
+  int before = db_.num_vars();
+  DD_ASSIGN_OR_RETURN(Formula f, ParseFormula(formula, &db_.vocabulary()));
+  if (db_.num_vars() != before) engines_.clear();
+  return f;
+}
+
+Result<bool> Reasoner::InfersFormula(SemanticsKind kind,
+                                     std::string_view formula) {
+  DD_ASSIGN_OR_RETURN(Formula f, ParseQueryFormula(formula));
+  return Get(kind)->InfersFormula(f);
+}
+
+Result<bool> Reasoner::HasModel(SemanticsKind kind) {
+  return Get(kind)->HasModel();
+}
+
+Result<std::vector<Interpretation>> Reasoner::Models(SemanticsKind kind,
+                                                     int64_t cap) {
+  return Get(kind)->Models(cap);
+}
+
+MinimalStats Reasoner::TotalStats() const {
+  MinimalStats out;
+  for (const auto& [kind, engine] : engines_) {
+    out.Add(engine->stats());
+  }
+  return out;
+}
+
+}  // namespace dd

@@ -1,0 +1,76 @@
+// Reasoner: the library's top-level facade.
+//
+// Wraps a database and lazily instantiates semantics engines; queries take
+// textual literals/formulas and are parsed against the database vocabulary.
+//
+//   Reasoner r(std::move(db));
+//   r.InfersLiteral(SemanticsKind::kGcwa, "not c");
+//   r.InfersFormula(SemanticsKind::kEgcwa, "a | ~b");
+//   r.HasModel(SemanticsKind::kDsm);
+#ifndef DD_CORE_REASONER_H_
+#define DD_CORE_REASONER_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "logic/database.h"
+#include "logic/parser.h"
+#include "minimal/pqz.h"
+#include "semantics/semantics.h"
+
+namespace dd {
+
+class Reasoner {
+ public:
+  explicit Reasoner(Database db, SemanticsOptions opts = {});
+
+  /// Parses program text into a reasoner.
+  static Result<Reasoner> FromProgram(std::string_view text,
+                                      SemanticsOptions opts = {});
+
+  const Database& db() const { return db_; }
+
+  /// Skeptical literal inference, e.g. InfersLiteral(kGcwa, "not c").
+  Result<bool> InfersLiteral(SemanticsKind kind, std::string_view literal);
+
+  /// Skeptical formula inference, e.g. InfersFormula(kEgcwa, "a -> b").
+  Result<bool> InfersFormula(SemanticsKind kind, std::string_view formula);
+
+  /// Parses a query formula against the database vocabulary (fresh atoms
+  /// are interned; engines are rebuilt when the vocabulary grows). Use
+  /// with Get(kind)->InfersCredulously / FindCounterexample.
+  Result<Formula> ParseQueryFormula(std::string_view formula);
+
+  Result<bool> HasModel(SemanticsKind kind);
+
+  Result<std::vector<Interpretation>> Models(SemanticsKind kind,
+                                             int64_t cap = -1);
+
+  /// The lazily created engine for `kind` (never null).
+  Semantics* Get(SemanticsKind kind);
+
+  /// Configures the <P;Q;Z> partition used by CCWA and ECWA, given atom
+  /// names. Unlisted atoms fall into the part named by `rest` ('p', 'q' or
+  /// 'z'). Resets the cached CCWA/ECWA engines.
+  Status SetPartition(const std::vector<std::string>& p_atoms,
+                      const std::vector<std::string>& q_atoms,
+                      const std::vector<std::string>& z_atoms,
+                      char rest = 'z');
+
+  /// Aggregated oracle counters over all engines used so far.
+  MinimalStats TotalStats() const;
+
+ private:
+  Database db_;
+  SemanticsOptions opts_;
+  std::map<SemanticsKind, std::unique_ptr<Semantics>> engines_;
+  std::optional<Partition> partition_;
+};
+
+}  // namespace dd
+
+#endif  // DD_CORE_REASONER_H_

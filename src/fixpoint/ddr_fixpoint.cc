@@ -1,0 +1,143 @@
+#include "fixpoint/ddr_fixpoint.h"
+
+#include <vector>
+
+#include "util/macros.h"
+#include "util/string_util.h"
+
+namespace dd {
+
+namespace {
+
+Status RequireDeductive(const Database& db, const char* op) {
+  if (db.HasNegation()) {
+    return Status::FailedPrecondition(
+        StrFormat("%s is defined for deductive databases (C+); "
+                  "the database contains negation",
+                  op));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Interpretation DefiniteLeastModel(const Database& db) {
+  // Split every head: the least model of the all-heads split program.
+  // Rules are (head_atom, body); fire when all body atoms derived.
+  struct Rule {
+    Var head;
+    int unsatisfied;
+  };
+  std::vector<Rule> rules;
+  std::vector<std::vector<int>> watch(static_cast<size_t>(db.num_vars()));
+  std::vector<Var> queue;
+  Interpretation derived(db.num_vars());
+
+  auto derive = [&](Var v) {
+    if (!derived.Contains(v)) {
+      derived.Insert(v);
+      queue.push_back(v);
+    }
+  };
+
+  for (const Clause& c : db.clauses()) {
+    if (c.is_integrity()) continue;
+    DD_CHECK(c.neg_body().empty());
+    for (Var h : c.heads()) {
+      if (c.pos_body().empty()) {
+        derive(h);
+        continue;
+      }
+      int idx = static_cast<int>(rules.size());
+      rules.push_back({h, static_cast<int>(c.pos_body().size())});
+      for (Var b : c.pos_body()) {
+        watch[static_cast<size_t>(b)].push_back(idx);
+      }
+    }
+  }
+
+  while (!queue.empty()) {
+    Var v = queue.back();
+    queue.pop_back();
+    for (int ri : watch[static_cast<size_t>(v)]) {
+      Rule& r = rules[static_cast<size_t>(ri)];
+      if (--r.unsatisfied == 0) derive(r.head);
+    }
+  }
+  return derived;
+}
+
+Result<Interpretation> DerivableAtoms(const Database& db) {
+  DD_RETURN_IF_ERROR(RequireDeductive(db, "DerivableAtoms"));
+  return DefiniteLeastModel(db);
+}
+
+namespace {
+
+// Enumerates, for the body atoms body[j..], all ways of covering each b by a
+// disjunct of `state` containing b; accumulates the union of the chosen
+// disjuncts minus the covered atoms into `carry` and inserts the resulting
+// candidate disjunct when the body is exhausted.
+bool ExpandBody(const Database& db, const std::vector<Var>& body, size_t j,
+                const std::vector<Interpretation>& snapshot,
+                const Interpretation& heads, Interpretation carry,
+                DisjunctSet* state, bool* changed, int64_t max_disjuncts) {
+  if (j == body.size()) {
+    Interpretation candidate = heads;
+    for (Var v : carry.TrueAtoms()) candidate.Insert(v);
+    if (state->Insert(candidate)) *changed = true;
+    return state->size() <= max_disjuncts;
+  }
+  Var b = body[j];
+  for (const Interpretation& d : snapshot) {
+    if (!d.Contains(b)) continue;
+    Interpretation next = carry;
+    for (Var v : d.TrueAtoms()) {
+      if (v != b) next.Insert(v);
+    }
+    if (!ExpandBody(db, body, j + 1, snapshot, heads, std::move(next), state,
+                    changed, max_disjuncts)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<DisjunctSet> MinimalModelState(const Database& db,
+                                      int64_t max_disjuncts) {
+  DD_RETURN_IF_ERROR(RequireDeductive(db, "MinimalModelState"));
+  DisjunctSet state(db.num_vars());
+
+  // Base: disjunctive facts.
+  for (const Clause& c : db.clauses()) {
+    if (c.is_integrity() || !c.pos_body().empty()) continue;
+    state.Insert(
+        Interpretation::FromAtoms(db.num_vars(), c.heads()));
+  }
+
+  // Saturate T_DB with subsumption reduction.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Snapshot: this round only resolves against disjuncts from the
+    // previous round (naive evaluation; rounds repeat until stable).
+    std::vector<Interpretation> snapshot = state.items();
+    for (const Clause& c : db.clauses()) {
+      if (c.is_integrity() || c.pos_body().empty()) continue;
+      Interpretation heads =
+          Interpretation::FromAtoms(db.num_vars(), c.heads());
+      if (!ExpandBody(db, c.pos_body(), 0, snapshot, heads,
+                      Interpretation(db.num_vars()), &state, &changed,
+                      max_disjuncts)) {
+        return Status::ResourceExhausted(
+            StrFormat("model state exceeded %lld disjuncts",
+                      static_cast<long long>(max_disjuncts)));
+      }
+    }
+  }
+  return state;
+}
+
+}  // namespace dd

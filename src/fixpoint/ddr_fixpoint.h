@@ -1,0 +1,50 @@
+// The T_DB fixpoint machinery behind the DDR / WGCWA semantics (Section 3.2
+// of the paper) and the minimal model state used for cross-checking GCWA.
+//
+// Both computations are defined for disjunctive *deductive* databases
+// (DB ⊆ C+, no negation). Integrity clauses are ignored by T_DB — this is
+// exactly the behaviour Example 3.1 of the paper exhibits (DDR(DB) ⊭ ¬c
+// although the integrity clause rules a∧b out).
+#ifndef DD_FIXPOINT_DDR_FIXPOINT_H_
+#define DD_FIXPOINT_DDR_FIXPOINT_H_
+
+#include <cstdint>
+
+#include "fixpoint/disjunct_set.h"
+#include "logic/database.h"
+#include "logic/interpretation.h"
+#include "util/status.h"
+
+namespace dd {
+
+/// The atoms occurring in T_DB↑ω, i.e. in at least one derivable disjunct.
+///
+/// Computed in polynomial time as the least model of the definite program
+/// that splits every disjunctive head ("ai :- body" for each head atom ai):
+/// an atom appears in some derivable disjunct iff it is derivable when all
+/// head choices are available, which is precisely this least model.
+/// DDR adds ¬x exactly for the atoms x outside this set.
+///
+/// Requires db.IsDeductive(); integrity clauses contribute nothing.
+Result<Interpretation> DerivableAtoms(const Database& db);
+
+/// Least model of a definite (non-disjunctive, negation-free) program via
+/// unit propagation on the rules; integrity clauses are ignored.
+/// Exposed separately because PWS's split programs reuse it.
+Interpretation DefiniteLeastModel(const Database& db);
+
+/// The minimal model state MS(DB): the ⊆-minimal disjuncts derivable by
+/// saturating T_DB (with subsumption reduction at every step).
+///
+/// For positive databases, atoms absent from MS(DB) are exactly the atoms
+/// false in every minimal model, which gives an independent (fixpoint-based)
+/// implementation of GCWA's negation set to cross-check the SAT-based one.
+///
+/// The state can be exponentially large; `max_disjuncts` bounds it
+/// (ResourceExhausted on overflow). Requires db.IsDeductive().
+Result<DisjunctSet> MinimalModelState(const Database& db,
+                                      int64_t max_disjuncts = 100000);
+
+}  // namespace dd
+
+#endif  // DD_FIXPOINT_DDR_FIXPOINT_H_

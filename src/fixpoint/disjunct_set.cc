@@ -1,0 +1,62 @@
+#include "fixpoint/disjunct_set.h"
+
+#include <algorithm>
+
+#include "logic/vocabulary.h"
+#include "util/macros.h"
+
+namespace dd {
+
+bool DisjunctSet::Insert(const Interpretation& disjunct) {
+  DD_CHECK(disjunct.num_vars() == num_vars_);
+  for (const auto& d : items_) {
+    if (d.SubsetOf(disjunct)) return false;  // already entailed
+  }
+  // Evict entries the new disjunct strictly subsumes.
+  items_.erase(std::remove_if(items_.begin(), items_.end(),
+                              [&](const Interpretation& d) {
+                                return disjunct.SubsetOf(d);
+                              }),
+               items_.end());
+  items_.push_back(disjunct);
+  return true;
+}
+
+bool DisjunctSet::Subsumes(const Interpretation& disjunct) const {
+  for (const auto& d : items_) {
+    if (d.SubsetOf(disjunct)) return true;
+  }
+  return false;
+}
+
+Interpretation DisjunctSet::Atoms() const {
+  Interpretation out(num_vars_);
+  for (const auto& d : items_) {
+    for (Var v : d.TrueAtoms()) out.Insert(v);
+  }
+  return out;
+}
+
+std::string DisjunctSet::ToString(const Vocabulary& voc) const {
+  std::vector<std::string> lines;
+  lines.reserve(items_.size());
+  for (const auto& d : items_) {
+    std::string line;
+    bool first = true;
+    for (Var v : d.TrueAtoms()) {
+      if (!first) line += " | ";
+      first = false;
+      line += voc.Name(v);
+    }
+    lines.push_back(std::move(line));
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (auto& l : lines) {
+    out += l;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace dd

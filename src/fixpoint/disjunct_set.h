@@ -1,0 +1,50 @@
+// Sets of positive disjuncts with subsumption reduction.
+//
+// A "disjunct" is a nonempty disjunction of atoms, represented as the set of
+// its atoms. A DisjunctSet maintains a ⊆-antichain: inserting a disjunct
+// drops it if some stored disjunct subsumes it (is a subset), and evicts
+// stored disjuncts it subsumes. This realizes the *minimal model state*
+// MS(DB) of Minker/Rajasekar when saturated under the T_DB operator.
+#ifndef DD_FIXPOINT_DISJUNCT_SET_H_
+#define DD_FIXPOINT_DISJUNCT_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "logic/interpretation.h"
+#include "logic/types.h"
+
+namespace dd {
+
+class Vocabulary;
+
+/// An antichain of positive disjuncts over a fixed variable range.
+class DisjunctSet {
+ public:
+  explicit DisjunctSet(int num_vars) : num_vars_(num_vars) {}
+
+  int num_vars() const { return num_vars_; }
+  int size() const { return static_cast<int>(items_.size()); }
+  const std::vector<Interpretation>& items() const { return items_; }
+
+  /// Inserts with two-way subsumption. Returns true iff the set changed.
+  bool Insert(const Interpretation& disjunct);
+
+  /// True iff some stored disjunct is a subset of `disjunct` (i.e. the
+  /// argument is entailed by the set).
+  bool Subsumes(const Interpretation& disjunct) const;
+
+  /// Union of the atoms of all stored disjuncts.
+  Interpretation Atoms() const;
+
+  /// Every stored disjunct rendered as "a | b", one per line, sorted.
+  std::string ToString(const Vocabulary& voc) const;
+
+ private:
+  int num_vars_;
+  std::vector<Interpretation> items_;
+};
+
+}  // namespace dd
+
+#endif  // DD_FIXPOINT_DISJUNCT_SET_H_

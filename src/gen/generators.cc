@@ -1,0 +1,223 @@
+#include "gen/generators.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+#include "util/string_util.h"
+
+namespace dd {
+
+namespace {
+
+// Interns "p0".."p{n-1}" and returns their ids (== 0..n-1).
+void InternAtoms(Database* db, int n, const char* prefix = "p") {
+  for (int i = 0; i < n; ++i) {
+    db->vocabulary().Intern(StrFormat("%s%d", prefix, i));
+  }
+}
+
+}  // namespace
+
+Database RandomDdb(const DdbConfig& cfg) {
+  DD_CHECK(cfg.num_vars >= 2);
+  Rng rng(cfg.seed);
+  Database db;
+  InternAtoms(&db, cfg.num_vars);
+
+  for (int c = 0; c < cfg.num_clauses; ++c) {
+    bool integrity = rng.Chance(cfg.integrity_fraction);
+    std::vector<Var> heads;
+    if (!integrity) {
+      int head_size = static_cast<int>(rng.Range(1, cfg.max_head));
+      head_size = std::min(head_size, cfg.num_vars);
+      for (int v : rng.SampleDistinct(cfg.num_vars, head_size)) {
+        heads.push_back(static_cast<Var>(v));
+      }
+    }
+    std::vector<Var> pos_body, neg_body;
+    bool fact = !integrity && rng.Chance(cfg.fact_fraction);
+    if (!fact) {
+      int body_size = static_cast<int>(
+          rng.Range(integrity ? 1 : 0, cfg.max_body));
+      for (int v : rng.SampleDistinct(cfg.num_vars, body_size)) {
+        // Avoid self-supporting heads in the body.
+        if (std::find(heads.begin(), heads.end(), static_cast<Var>(v)) !=
+            heads.end()) {
+          continue;
+        }
+        if (rng.Chance(cfg.negation_fraction)) {
+          neg_body.push_back(static_cast<Var>(v));
+        } else {
+          pos_body.push_back(static_cast<Var>(v));
+        }
+      }
+      if (integrity && pos_body.empty() && neg_body.empty()) {
+        pos_body.push_back(static_cast<Var>(rng.Below(cfg.num_vars)));
+      }
+    }
+    db.AddClause(Clause(std::move(heads), std::move(pos_body),
+                        std::move(neg_body)));
+  }
+  return db;
+}
+
+Database RandomPositiveDdb(int num_vars, int num_clauses, uint64_t seed) {
+  DdbConfig cfg;
+  cfg.num_vars = num_vars;
+  cfg.num_clauses = num_clauses;
+  cfg.seed = seed;
+  return RandomDdb(cfg);
+}
+
+Database RandomStratifiedDdb(int num_vars, int num_clauses, int num_strata,
+                             double negation_fraction, uint64_t seed) {
+  DD_CHECK(num_strata >= 1 && num_vars >= num_strata);
+  Rng rng(seed);
+  Database db;
+  InternAtoms(&db, num_vars);
+  // Atom v sits on level v * num_strata / num_vars: contiguous blocks.
+  auto level_of = [&](Var v) {
+    return static_cast<int>(static_cast<int64_t>(v) * num_strata / num_vars);
+  };
+  std::vector<std::vector<Var>> by_level(static_cast<size_t>(num_strata));
+  std::vector<std::vector<Var>> up_to_level(static_cast<size_t>(num_strata));
+  for (Var v = 0; v < num_vars; ++v) {
+    by_level[static_cast<size_t>(level_of(v))].push_back(v);
+  }
+  for (int l = 0; l < num_strata; ++l) {
+    if (l > 0) up_to_level[static_cast<size_t>(l)] =
+        up_to_level[static_cast<size_t>(l - 1)];
+    for (Var v : by_level[static_cast<size_t>(l)]) {
+      up_to_level[static_cast<size_t>(l)].push_back(v);
+    }
+  }
+
+  for (int c = 0; c < num_clauses; ++c) {
+    int level = static_cast<int>(rng.Below(static_cast<uint64_t>(num_strata)));
+    const auto& pool = by_level[static_cast<size_t>(level)];
+    if (pool.empty()) continue;
+    int head_size = static_cast<int>(
+        rng.Range(1, std::min<int64_t>(2, static_cast<int64_t>(pool.size()))));
+    std::vector<Var> heads;
+    for (int idx :
+         rng.SampleDistinct(static_cast<int>(pool.size()), head_size)) {
+      heads.push_back(pool[static_cast<size_t>(idx)]);
+    }
+    std::vector<Var> pos_body, neg_body;
+    int body_size = static_cast<int>(rng.Range(0, 2));
+    for (int b = 0; b < body_size; ++b) {
+      bool negate = level > 0 && rng.Chance(negation_fraction);
+      if (negate) {
+        // Strictly lower level.
+        const auto& lower = up_to_level[static_cast<size_t>(level - 1)];
+        Var v = lower[static_cast<size_t>(rng.Below(lower.size()))];
+        neg_body.push_back(v);
+      } else {
+        const auto& le = up_to_level[static_cast<size_t>(level)];
+        Var v = le[static_cast<size_t>(rng.Below(le.size()))];
+        if (std::find(heads.begin(), heads.end(), v) == heads.end()) {
+          pos_body.push_back(v);
+        }
+      }
+    }
+    db.AddClause(Clause(std::move(heads), std::move(pos_body),
+                        std::move(neg_body)));
+  }
+  return db;
+}
+
+QbfForallExistsCnf RandomQbf(int nx, int ny, int num_clauses, int width,
+                             uint64_t seed) {
+  DD_CHECK(nx >= 1 && ny >= 1 && width >= 2);
+  Rng rng(seed);
+  QbfForallExistsCnf q;
+  q.num_vars = nx + ny;
+  for (int i = 0; i < nx; ++i) q.universal.push_back(static_cast<Var>(i));
+  for (int i = 0; i < ny; ++i) {
+    q.existential.push_back(static_cast<Var>(nx + i));
+  }
+  for (int c = 0; c < num_clauses; ++c) {
+    std::vector<Lit> clause;
+    // Force a mix: one universal, one existential, rest free.
+    clause.push_back(Lit::Make(static_cast<Var>(rng.Below(nx)),
+                               rng.Chance(0.5)));
+    clause.push_back(Lit::Make(static_cast<Var>(nx + rng.Below(ny)),
+                               rng.Chance(0.5)));
+    for (int w = 2; w < width; ++w) {
+      clause.push_back(Lit::Make(static_cast<Var>(rng.Below(nx + ny)),
+                                 rng.Chance(0.5)));
+    }
+    q.clauses.push_back(std::move(clause));
+  }
+  return q;
+}
+
+sat::Cnf RandomCnf(int num_vars, int num_clauses, int width, uint64_t seed) {
+  DD_CHECK(num_vars >= 1 && width >= 1);
+  Rng rng(seed);
+  sat::Cnf cnf;
+  cnf.num_vars = num_vars;
+  for (int c = 0; c < num_clauses; ++c) {
+    std::vector<Lit> clause;
+    for (int w = 0; w < width; ++w) {
+      clause.push_back(Lit::Make(static_cast<Var>(rng.Below(num_vars)),
+                                 rng.Chance(0.5)));
+    }
+    cnf.clauses.push_back(std::move(clause));
+  }
+  return cnf;
+}
+
+Database GraphColoringDdb(int num_nodes, double edge_probability,
+                          int num_colors, uint64_t seed) {
+  DD_CHECK(num_nodes >= 1 && num_colors >= 2);
+  Rng rng(seed);
+  Database db;
+  auto color_atom = [&](int node, int color) {
+    return db.vocabulary().Intern(StrFormat("c%d_n%d", color, node));
+  };
+  for (int v = 0; v < num_nodes; ++v) {
+    std::vector<Var> heads;
+    for (int k = 0; k < num_colors; ++k) heads.push_back(color_atom(v, k));
+    db.AddClause(Clause::Fact(std::move(heads)));
+  }
+  for (int u = 0; u < num_nodes; ++u) {
+    for (int v = u + 1; v < num_nodes; ++v) {
+      if (!rng.Chance(edge_probability)) continue;
+      for (int k = 0; k < num_colors; ++k) {
+        db.AddClause(Clause::Integrity({color_atom(u, k), color_atom(v, k)}));
+      }
+    }
+  }
+  return db;
+}
+
+Database DiagnosisDdb(int num_gates, int num_faulty, uint64_t seed) {
+  DD_CHECK(num_gates >= 1 && num_faulty >= 1 && num_faulty <= num_gates);
+  Rng rng(seed);
+  (void)rng;
+  Database db;
+  // `num_faulty` independent buffer chains; each chain's output is observed
+  // low although its input is high, so each needs at least one abnormal
+  // gate; the minimal diagnoses pick one gate per chain.
+  int per_chain = (num_gates + num_faulty - 1) / num_faulty;
+  int gate = 0;
+  for (int chain = 0; chain < num_faulty; ++chain) {
+    Var prev = db.vocabulary().Intern(StrFormat("in%d", chain));
+    db.AddClause(Clause::Fact({prev}));
+    int len = std::min(per_chain, num_gates - gate);
+    if (len <= 0) len = 1;
+    for (int g = 0; g < len; ++g, ++gate) {
+      Var val = db.vocabulary().Intern(StrFormat("val%d", gate));
+      Var ab = db.vocabulary().Intern(StrFormat("ab%d", gate));
+      // A healthy gate propagates its input: val | ab :- prev.
+      db.AddClause(Clause({val, ab}, {prev}, {}));
+      prev = val;
+    }
+    // Observation: the chain output is low.
+    db.AddClause(Clause::Integrity({prev}));
+  }
+  return db;
+}
+
+}  // namespace dd

@@ -1,0 +1,67 @@
+// Workload generators for the test suite and the bench harnesses.
+//
+// The paper studies propositional databases abstractly; these generators
+// provide the concrete instance families the reproduced tables are measured
+// on: random positive DDBs, integrity-clause mixes, stratified DNDBs,
+// random 2-QBFs for the hardness reductions, and two structured families
+// (graph coloring, circuit diagnosis) used by the examples.
+#ifndef DD_GEN_GENERATORS_H_
+#define DD_GEN_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "logic/database.h"
+#include "qbf/qbf.h"
+#include "sat/dimacs.h"
+#include "util/rng.h"
+
+namespace dd {
+
+/// Shape of a random disjunctive database.
+struct DdbConfig {
+  int num_vars = 12;
+  int num_clauses = 30;
+  int max_head = 3;      ///< head atoms per clause, uniform in [1, max_head]
+  int max_body = 3;      ///< positive body atoms, uniform in [0, max_body]
+  double fact_fraction = 0.3;       ///< clauses forced to have empty bodies
+  double integrity_fraction = 0.0;  ///< clauses with empty heads
+  double negation_fraction = 0.0;   ///< body literals made negative
+  uint64_t seed = 1;
+};
+
+/// Random DDB with the given shape. Atom names are "p0", "p1", ....
+Database RandomDdb(const DdbConfig& cfg);
+
+/// Random *positive* DDB (Table 1 regime): no integrity, no negation.
+Database RandomPositiveDdb(int num_vars, int num_clauses, uint64_t seed);
+
+/// Random stratified DNDB: atoms are spread over `num_strata` levels;
+/// clause heads live on one level, positive bodies on <= that level and
+/// negative bodies strictly below, so the result is always stratifiable.
+Database RandomStratifiedDdb(int num_vars, int num_clauses, int num_strata,
+                             double negation_fraction, uint64_t seed);
+
+/// Random ∀X∃Y CNF 2-QBF with `nx`+`ny` variables and `num_clauses`
+/// clauses of the given width; every clause mixes both blocks.
+QbfForallExistsCnf RandomQbf(int nx, int ny, int num_clauses, int width,
+                             uint64_t seed);
+
+/// Random CNF (for UMINSAT / EGCWA-existence experiments).
+sat::Cnf RandomCnf(int num_vars, int num_clauses, int width, uint64_t seed);
+
+/// 3-coloring of a random graph as a DNDB: one disjunctive choice fact per
+/// node, one integrity clause per edge and color. Stable/minimal models
+/// correspond to proper colorings.
+Database GraphColoringDdb(int num_nodes, double edge_probability,
+                          int num_colors, uint64_t seed);
+
+/// Model-based diagnosis instance: a chain of `num_gates` buffers, each
+/// either ok or abnormal (ok_i | ab_i), correct gates propagate their
+/// input, and the observation contradicts the fault-free behaviour of
+/// `num_faulty` gates. Minimal models localize minimal diagnoses.
+Database DiagnosisDdb(int num_gates, int num_faulty, uint64_t seed);
+
+}  // namespace dd
+
+#endif  // DD_GEN_GENERATORS_H_

@@ -1,0 +1,69 @@
+// First-order (Datalog-style) rule language and its AST.
+//
+// The paper analyzes *propositional* (grounded) disjunctive databases and
+// remarks that general databases are grounded first. This module provides
+// that front-end: rules with predicates, constants and variables, e.g.
+//
+//   color(N, red) | color(N, green) | color(N, blue) :- node(N).
+//   :- edge(X, Y), color(X, C), color(Y, C).
+//
+// Variables are identifiers starting with an uppercase letter; everything
+// else is a constant. The grounder (ground/grounder.h) instantiates the
+// rules over the Herbrand universe into a propositional Database.
+#ifndef DD_GROUND_AST_H_
+#define DD_GROUND_AST_H_
+
+#include <string>
+#include <vector>
+
+namespace dd {
+namespace ground {
+
+/// A term: a variable (uppercase initial) or a constant.
+struct Term {
+  bool is_variable = false;
+  std::string name;
+
+  bool operator==(const Term& o) const {
+    return is_variable == o.is_variable && name == o.name;
+  }
+};
+
+/// A predicate atom p(t1, ..., tk); k = 0 encodes a propositional atom.
+struct PredAtom {
+  std::string predicate;
+  std::vector<Term> args;
+
+  int arity() const { return static_cast<int>(args.size()); }
+  bool IsGround() const;
+  /// Renders "p(a,B)" (no spaces); ground atoms name propositional vars.
+  std::string ToString() const;
+};
+
+/// One first-order rule  h1 | ... :- b1, ..., not c1, ...
+struct FoRule {
+  std::vector<PredAtom> heads;
+  std::vector<PredAtom> pos_body;
+  std::vector<PredAtom> neg_body;
+
+  /// Names of all variables occurring in the rule (deduplicated, in order
+  /// of first occurrence).
+  std::vector<std::string> Variables() const;
+  /// Datalog safety: every variable occurs in the positive body.
+  bool IsSafe() const;
+  std::string ToString() const;
+};
+
+/// A first-order program.
+struct FoProgram {
+  std::vector<FoRule> rules;
+
+  /// All constants mentioned anywhere (the Herbrand universe), sorted.
+  std::vector<std::string> Constants() const;
+  std::string ToString() const;
+};
+
+}  // namespace ground
+}  // namespace dd
+
+#endif  // DD_GROUND_AST_H_

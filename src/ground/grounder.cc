@@ -1,0 +1,313 @@
+#include "ground/grounder.h"
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ground/parser.h"
+#include "util/string_util.h"
+
+namespace dd {
+namespace ground {
+
+namespace {
+
+// Predicate-level derivability: a predicate can hold in some intended
+// model only if it heads a rule whose positive-body predicates are all
+// derivable. Used by the relevance filter (deductive programs only; with
+// negation an underivable atom can still be forced true classically, so
+// the filter is disabled there).
+std::set<std::string> DerivablePredicates(const FoProgram& prog) {
+  std::set<std::string> derivable;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FoRule& r : prog.rules) {
+      bool body_ok = true;
+      for (const PredAtom& b : r.pos_body) {
+        if (derivable.find(b.predicate) == derivable.end()) {
+          body_ok = false;
+          break;
+        }
+      }
+      if (!body_ok) continue;
+      for (const PredAtom& h : r.heads) {
+        if (derivable.insert(h.predicate).second) changed = true;
+      }
+    }
+  }
+  return derivable;
+}
+
+bool HasNegation(const FoProgram& prog) {
+  for (const FoRule& r : prog.rules) {
+    if (!r.neg_body.empty()) return true;
+  }
+  return false;
+}
+
+// Substitutes the current variable assignment into an atom and interns the
+// resulting ground atom name.
+Var InternGround(const PredAtom& atom,
+                 const std::unordered_map<std::string, std::string>& subst,
+                 Vocabulary* voc) {
+  if (atom.args.empty()) return voc->Intern(atom.predicate);
+  std::string name = atom.predicate + "(";
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    if (i) name += ",";
+    const Term& t = atom.args[i];
+    name += t.is_variable ? subst.at(t.name) : t.name;
+  }
+  name += ")";
+  return voc->Intern(name);
+}
+
+}  // namespace
+
+Result<Database> Ground(const FoProgram& program, const GroundOptions& opts) {
+  // Safety.
+  if (opts.require_safety) {
+    for (const FoRule& r : program.rules) {
+      if (!r.IsSafe()) {
+        return Status::FailedPrecondition(
+            "unsafe rule (variable outside the positive body): " +
+            r.ToString());
+      }
+    }
+  }
+  std::vector<std::string> universe = program.Constants();
+  const bool use_relevance =
+      opts.relevance_filter && !HasNegation(program);
+  std::set<std::string> derivable;
+  if (use_relevance) derivable = DerivablePredicates(program);
+
+  Database db;
+  std::set<std::vector<int32_t>> seen;  // clause dedupe keys
+  int64_t emitted = 0;
+
+  for (const FoRule& r : program.rules) {
+    if (use_relevance) {
+      bool feasible = true;
+      for (const PredAtom& b : r.pos_body) {
+        if (derivable.find(b.predicate) == derivable.end()) {
+          feasible = false;
+          break;
+        }
+      }
+      if (!feasible) continue;  // the body can never hold
+    }
+    std::vector<std::string> vars = r.Variables();
+    if (!vars.empty() && universe.empty()) {
+      // No constants anywhere: rules with variables have no instances.
+      continue;
+    }
+    // Odometer over universe^|vars|.
+    std::vector<size_t> pick(vars.size(), 0);
+    std::unordered_map<std::string, std::string> subst;
+    for (;;) {
+      subst.clear();
+      for (size_t i = 0; i < vars.size(); ++i) {
+        subst[vars[i]] = universe[pick[i]];
+      }
+      std::vector<Var> heads, pos, neg;
+      for (const PredAtom& a : r.heads) {
+        heads.push_back(InternGround(a, subst, &db.vocabulary()));
+      }
+      for (const PredAtom& a : r.pos_body) {
+        pos.push_back(InternGround(a, subst, &db.vocabulary()));
+      }
+      for (const PredAtom& a : r.neg_body) {
+        neg.push_back(InternGround(a, subst, &db.vocabulary()));
+      }
+      Clause clause(std::move(heads), std::move(pos), std::move(neg));
+      std::vector<int32_t> key;
+      for (Var v : clause.heads()) key.push_back(v);
+      key.push_back(-1);
+      for (Var v : clause.pos_body()) key.push_back(v);
+      key.push_back(-2);
+      for (Var v : clause.neg_body()) key.push_back(v);
+      if (seen.insert(key).second) {
+        db.AddClause(std::move(clause));
+        if (++emitted > opts.max_clauses) {
+          return Status::ResourceExhausted(
+              StrFormat("grounding exceeded %lld clauses",
+                        static_cast<long long>(opts.max_clauses)));
+        }
+      }
+      // Advance.
+      size_t i = 0;
+      for (; i < pick.size(); ++i) {
+        if (++pick[i] < universe.size()) break;
+        pick[i] = 0;
+      }
+      if (i == pick.size()) break;
+    }
+  }
+  return db;
+}
+
+Result<Database> GroundProgramText(std::string_view text,
+                                   const GroundOptions& opts) {
+  DD_ASSIGN_OR_RETURN(FoProgram prog, ParseProgram(text));
+  return Ground(prog, opts);
+}
+
+namespace {
+
+// Ground-tuple store for the bottom-up grounder: per predicate, the set of
+// derived argument tuples.
+class TupleStore {
+ public:
+  // Returns true if the tuple was new.
+  bool Insert(const std::string& pred, std::vector<std::string> args) {
+    auto& entry = by_pred_[pred];
+    std::string key = Join(args, "\x1f");
+    if (!entry.seen.insert(key).second) return false;
+    entry.tuples.push_back(std::move(args));
+    return true;
+  }
+
+  const std::vector<std::vector<std::string>>* Tuples(
+      const std::string& pred) const {
+    auto it = by_pred_.find(pred);
+    return it == by_pred_.end() ? nullptr : &it->second.tuples;
+  }
+
+ private:
+  struct Entry {
+    std::set<std::string> seen;
+    std::vector<std::vector<std::string>> tuples;
+  };
+  std::map<std::string, Entry> by_pred_;
+};
+
+// Backtracking join of the positive body against the store. Calls `emit`
+// with a complete substitution for every match.
+void JoinBody(const std::vector<PredAtom>& body, size_t idx,
+              const TupleStore& store,
+              std::unordered_map<std::string, std::string>* subst,
+              const std::function<void()>& emit) {
+  if (idx == body.size()) {
+    emit();
+    return;
+  }
+  const PredAtom& atom = body[idx];
+  const auto* tuples = store.Tuples(atom.predicate);
+  if (tuples == nullptr) return;
+  for (const auto& tuple : *tuples) {
+    if (static_cast<int>(tuple.size()) != atom.arity()) continue;
+    // Try to unify the atom's terms with the tuple.
+    std::vector<std::string> bound_here;
+    bool ok = true;
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      const Term& t = atom.args[i];
+      if (!t.is_variable) {
+        if (t.name != tuple[i]) {
+          ok = false;
+          break;
+        }
+        continue;
+      }
+      auto it = subst->find(t.name);
+      if (it != subst->end()) {
+        if (it->second != tuple[i]) {
+          ok = false;
+          break;
+        }
+      } else {
+        (*subst)[t.name] = tuple[i];
+        bound_here.push_back(t.name);
+      }
+    }
+    if (ok) JoinBody(body, idx + 1, store, subst, emit);
+    for (const auto& v : bound_here) subst->erase(v);
+  }
+}
+
+}  // namespace
+
+Result<Database> GroundBottomUp(const FoProgram& program,
+                                const GroundOptions& opts) {
+  for (const FoRule& r : program.rules) {
+    if (!r.neg_body.empty()) {
+      return Status::FailedPrecondition(
+          "GroundBottomUp handles deductive programs only (no negation): " +
+          r.ToString());
+    }
+    if (!r.IsSafe()) {
+      return Status::FailedPrecondition(
+          "unsafe rule (variable outside the positive body): " +
+          r.ToString());
+    }
+  }
+
+  Database db;
+  TupleStore store;
+  std::set<std::vector<int32_t>> seen_clauses;
+  int64_t emitted = 0;
+  Status overflow = Status::OK();
+
+  auto ground_args =
+      [](const PredAtom& a,
+         const std::unordered_map<std::string, std::string>& subst) {
+        std::vector<std::string> out;
+        out.reserve(a.args.size());
+        for (const Term& t : a.args) {
+          out.push_back(t.is_variable ? subst.at(t.name) : t.name);
+        }
+        return out;
+      };
+
+  bool changed = true;
+  while (changed && overflow.ok()) {
+    changed = false;
+    // Newly derived head tuples are buffered and installed after the pass:
+    // inserting during the join would invalidate the tuple vectors the
+    // backtracking iteration walks.
+    std::vector<std::pair<std::string, std::vector<std::string>>> pending;
+    for (const FoRule& r : program.rules) {
+      if (!overflow.ok()) break;
+      std::unordered_map<std::string, std::string> subst;
+      JoinBody(r.pos_body, 0, store, &subst, [&]() {
+        if (!overflow.ok()) return;
+        // Build and dedupe the instance.
+        std::vector<Var> heads, pos;
+        for (const PredAtom& a : r.heads) {
+          heads.push_back(InternGround(a, subst, &db.vocabulary()));
+        }
+        for (const PredAtom& a : r.pos_body) {
+          pos.push_back(InternGround(a, subst, &db.vocabulary()));
+        }
+        Clause clause(std::move(heads), std::move(pos), {});
+        std::vector<int32_t> key;
+        for (Var v : clause.heads()) key.push_back(v);
+        key.push_back(-1);
+        for (Var v : clause.pos_body()) key.push_back(v);
+        if (seen_clauses.insert(key).second) {
+          db.AddClause(std::move(clause));
+          if (++emitted > opts.max_clauses) {
+            overflow = Status::ResourceExhausted(
+                StrFormat("grounding exceeded %lld clauses",
+                          static_cast<long long>(opts.max_clauses)));
+            return;
+          }
+        }
+        // Every head atom becomes derivable (installed after the pass).
+        for (const PredAtom& a : r.heads) {
+          pending.emplace_back(a.predicate, ground_args(a, subst));
+        }
+      });
+    }
+    for (auto& [pred, args] : pending) {
+      if (store.Insert(pred, std::move(args))) changed = true;
+    }
+  }
+  DD_RETURN_IF_ERROR(overflow);
+  return db;
+}
+
+}  // namespace ground
+}  // namespace dd

@@ -1,0 +1,166 @@
+#include "ground/parser.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace dd {
+namespace ground {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<FoProgram> Run() {
+    FoProgram prog;
+    SkipSpace();
+    while (pos_ < text_.size()) {
+      DD_ASSIGN_OR_RETURN(FoRule rule, ParseRule());
+      prog.rules.push_back(std::move(rule));
+      SkipSpace();
+    }
+    return prog;
+  }
+
+ private:
+  void SkipSpace() {
+    for (;;) {
+      while (pos_ < text_.size() &&
+             std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+        if (text_[pos_] == '\n') ++line_;
+        ++pos_;
+      }
+      if (pos_ < text_.size() &&
+          (text_[pos_] == '%' ||
+           (text_[pos_] == '/' && pos_ + 1 < text_.size() &&
+            text_[pos_ + 1] == '/'))) {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      break;
+    }
+  }
+
+  bool Eat(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool EatArrow() {
+    SkipSpace();
+    if (pos_ + 1 < text_.size() &&
+        ((text_[pos_] == ':' && text_[pos_ + 1] == '-') ||
+         (text_[pos_] == '<' && text_[pos_ + 1] == '-'))) {
+      pos_ += 2;
+      return true;
+    }
+    return false;
+  }
+
+  Status Err(const std::string& msg) const {
+    return Status::InvalidArgument(
+        StrFormat("line %d: %s", line_, msg.c_str()));
+  }
+
+  Result<std::string> ParseIdent() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '\'')) {
+      ++pos_;
+    }
+    if (start == pos_) return Err("identifier expected");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Result<PredAtom> ParseAtom() {
+    DD_ASSIGN_OR_RETURN(std::string name, ParseIdent());
+    if (name == "not") return Err("'not' is not a valid atom name");
+    PredAtom atom;
+    atom.predicate = std::move(name);
+    if (Eat('(')) {
+      for (;;) {
+        DD_ASSIGN_OR_RETURN(std::string t, ParseIdent());
+        Term term;
+        term.name = std::move(t);
+        term.is_variable =
+            std::isupper(static_cast<unsigned char>(term.name[0])) ||
+            term.name[0] == '_';
+        atom.args.push_back(std::move(term));
+        if (Eat(',')) continue;
+        if (Eat(')')) break;
+        return Err("',' or ')' expected in argument list");
+      }
+    }
+    return atom;
+  }
+
+  // Returns true if the next token is the keyword "not" (consumed).
+  bool EatNot() {
+    SkipSpace();
+    if (text_.substr(pos_).rfind("not", 0) == 0) {
+      size_t after = pos_ + 3;
+      if (after >= text_.size() ||
+          (!std::isalnum(static_cast<unsigned char>(text_[after])) &&
+           text_[after] != '_')) {
+        pos_ = after;
+        return true;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == '~' || text_[pos_] == '-')) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<FoRule> ParseRule() {
+    FoRule rule;
+    SkipSpace();
+    // Head (absent for integrity rules starting with ':-').
+    if (!(pos_ + 1 < text_.size() && text_[pos_] == ':' &&
+          text_[pos_ + 1] == '-')) {
+      for (;;) {
+        DD_ASSIGN_OR_RETURN(PredAtom a, ParseAtom());
+        rule.heads.push_back(std::move(a));
+        if (Eat('|') || Eat(';')) continue;
+        break;
+      }
+    }
+    if (EatArrow()) {
+      for (;;) {
+        bool neg = EatNot();
+        DD_ASSIGN_OR_RETURN(PredAtom a, ParseAtom());
+        (neg ? rule.neg_body : rule.pos_body).push_back(std::move(a));
+        if (Eat(',')) continue;
+        break;
+      }
+    }
+    if (!Eat('.')) return Err("'.' expected");
+    if (rule.heads.empty() && rule.pos_body.empty() &&
+        rule.neg_body.empty()) {
+      return Err("empty rule");
+    }
+    return rule;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+Result<FoProgram> ParseProgram(std::string_view text) {
+  return Parser(text).Run();
+}
+
+}  // namespace ground
+}  // namespace dd

@@ -1,0 +1,30 @@
+// Parser for the first-order rule language (ground/ast.h).
+//
+// Syntax is the propositional program syntax extended with predicate
+// arguments:
+//
+//   path(X, Y) | blocked(X, Y) :- edge(X, Y).
+//   path(X, Z) :- path(X, Y), path(Y, Z).
+//   :- blocked(a, b), not repaired.
+//
+// Identifiers starting with an uppercase letter (or '_') are variables;
+// all other identifiers and integer literals are constants. '%' and '//'
+// start comments.
+#ifndef DD_GROUND_PARSER_H_
+#define DD_GROUND_PARSER_H_
+
+#include <string_view>
+
+#include "ground/ast.h"
+#include "util/status.h"
+
+namespace dd {
+namespace ground {
+
+/// Parses a first-order program.
+Result<FoProgram> ParseProgram(std::string_view text);
+
+}  // namespace ground
+}  // namespace dd
+
+#endif  // DD_GROUND_PARSER_H_

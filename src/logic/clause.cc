@@ -1,0 +1,90 @@
+#include "logic/clause.h"
+
+#include <algorithm>
+
+#include "logic/vocabulary.h"
+#include "util/macros.h"
+
+namespace dd {
+
+namespace {
+// Canonicalize: sort and dedupe so structural equality is semantic equality
+// for atom lists.
+void Canonicalize(std::vector<Var>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+}  // namespace
+
+Clause::Clause(std::vector<Var> heads, std::vector<Var> pos_body,
+               std::vector<Var> neg_body)
+    : heads_(std::move(heads)),
+      pos_body_(std::move(pos_body)),
+      neg_body_(std::move(neg_body)) {
+  Canonicalize(&heads_);
+  Canonicalize(&pos_body_);
+  Canonicalize(&neg_body_);
+}
+
+bool Clause::SatisfiedBy(const Interpretation& i) const {
+  for (Var b : pos_body_)
+    if (!i.Contains(b)) return true;  // body false
+  for (Var c : neg_body_)
+    if (i.Contains(c)) return true;  // body false
+  for (Var h : heads_)
+    if (i.Contains(h)) return true;  // head true
+  return false;
+}
+
+bool Clause::SatisfiedBy3(const PartialInterpretation& i) const {
+  TruthValue body = TruthValue::kTrue;
+  for (Var b : pos_body_) body = std::min(body, i.Value(b));
+  for (Var c : neg_body_) body = std::min(body, Negate(i.Value(c)));
+  TruthValue head = TruthValue::kFalse;
+  for (Var h : heads_) head = std::max(head, i.Value(h));
+  return body <= head;
+}
+
+std::vector<Lit> Clause::ToClassicalClause() const {
+  std::vector<Lit> out;
+  out.reserve(heads_.size() + pos_body_.size() + neg_body_.size());
+  for (Var h : heads_) out.push_back(Lit::Pos(h));
+  for (Var b : pos_body_) out.push_back(Lit::Neg(b));
+  for (Var c : neg_body_) out.push_back(Lit::Pos(c));
+  return out;
+}
+
+Var Clause::MaxVar() const {
+  Var m = kInvalidVar;
+  for (Var v : heads_) m = std::max(m, v);
+  for (Var v : pos_body_) m = std::max(m, v);
+  for (Var v : neg_body_) m = std::max(m, v);
+  return m;
+}
+
+std::string Clause::ToString(const Vocabulary& voc) const {
+  std::string out;
+  for (size_t i = 0; i < heads_.size(); ++i) {
+    if (i) out += " | ";
+    out += voc.Name(heads_[i]);
+  }
+  if (!pos_body_.empty() || !neg_body_.empty()) {
+    out += heads_.empty() ? ":- " : " :- ";
+    bool first = true;
+    for (Var b : pos_body_) {
+      if (!first) out += ", ";
+      first = false;
+      out += voc.Name(b);
+    }
+    for (Var c : neg_body_) {
+      if (!first) out += ", ";
+      first = false;
+      out += "not ";
+      out += voc.Name(c);
+    }
+  }
+  out += ".";
+  return out;
+}
+
+}  // namespace dd

@@ -1,0 +1,83 @@
+// Database clauses: a1 | ... | an :- b1, ..., bk, not c1, ..., not cm.
+//
+// Following the paper's clause language C: heads are disjunctions of atoms,
+// bodies are conjunctions of atoms and (for DNDBs) negated atoms. Special
+// cases, using the paper's terminology:
+//   * integrity clause:  empty head  (":- body", classically body -> false)
+//   * fact:              empty body with nonempty head ("a | b.")
+//   * positive clause:   no negated body atoms (the class C+)
+#ifndef DD_LOGIC_CLAUSE_H_
+#define DD_LOGIC_CLAUSE_H_
+
+#include <string>
+#include <vector>
+
+#include "logic/interpretation.h"
+#include "logic/partial_interpretation.h"
+#include "logic/types.h"
+
+namespace dd {
+
+class Vocabulary;
+
+/// One database clause  head1 | ... | headN :- pos1, ..., not neg1, ...
+class Clause {
+ public:
+  Clause() = default;
+  Clause(std::vector<Var> heads, std::vector<Var> pos_body,
+         std::vector<Var> neg_body);
+
+  /// A disjunctive fact `a1 | ... | an.`
+  static Clause Fact(std::vector<Var> heads) {
+    return Clause(std::move(heads), {}, {});
+  }
+  /// An integrity clause `:- body.`
+  static Clause Integrity(std::vector<Var> pos_body,
+                          std::vector<Var> neg_body = {}) {
+    return Clause({}, std::move(pos_body), std::move(neg_body));
+  }
+
+  const std::vector<Var>& heads() const { return heads_; }
+  const std::vector<Var>& pos_body() const { return pos_body_; }
+  const std::vector<Var>& neg_body() const { return neg_body_; }
+
+  bool is_integrity() const { return heads_.empty(); }
+  bool is_fact() const {
+    return !heads_.empty() && pos_body_.empty() && neg_body_.empty();
+  }
+  /// Member of C+ (no "not" in the body).
+  bool is_positive() const { return neg_body_.empty(); }
+  /// Non-disjunctive (at most one head atom).
+  bool is_normal_rule() const { return heads_.size() <= 1; }
+
+  /// Two-valued satisfaction: body true implies some head true.
+  bool SatisfiedBy(const Interpretation& i) const;
+
+  /// Three-valued satisfaction: value(head) >= value(body), where head value
+  /// is the max over head atoms (0 if none) and body value the min over body
+  /// literals (1 if none). This is Przymusinski's 3-valued clause semantics.
+  bool SatisfiedBy3(const PartialInterpretation& i) const;
+
+  /// The classical clause: heads ∪ {¬b : b ∈ pos_body} ∪ {c : c ∈ neg_body}.
+  std::vector<Lit> ToClassicalClause() const;
+
+  /// Largest variable mentioned, or kInvalidVar if the clause is empty.
+  Var MaxVar() const;
+
+  /// Renders e.g. "a | b :- c, not d." using `voc`.
+  std::string ToString(const Vocabulary& voc) const;
+
+  bool operator==(const Clause& o) const {
+    return heads_ == o.heads_ && pos_body_ == o.pos_body_ &&
+           neg_body_ == o.neg_body_;
+  }
+
+ private:
+  std::vector<Var> heads_;
+  std::vector<Var> pos_body_;
+  std::vector<Var> neg_body_;
+};
+
+}  // namespace dd
+
+#endif  // DD_LOGIC_CLAUSE_H_

@@ -1,0 +1,111 @@
+#include "logic/database.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace dd {
+
+void Database::AddClause(Clause c) {
+  DD_CHECK(c.MaxVar() < num_vars());
+  clauses_.push_back(std::move(c));
+}
+
+void Database::AddRule(const std::vector<std::string>& heads,
+                       const std::vector<std::string>& pos_body,
+                       const std::vector<std::string>& neg_body) {
+  std::vector<Var> h, pb, nb;
+  h.reserve(heads.size());
+  for (const auto& s : heads) h.push_back(voc_.Intern(s));
+  for (const auto& s : pos_body) pb.push_back(voc_.Intern(s));
+  for (const auto& s : neg_body) nb.push_back(voc_.Intern(s));
+  clauses_.emplace_back(std::move(h), std::move(pb), std::move(nb));
+}
+
+bool Database::HasNegation() const {
+  return std::any_of(clauses_.begin(), clauses_.end(),
+                     [](const Clause& c) { return !c.is_positive(); });
+}
+
+bool Database::HasIntegrityClauses() const {
+  return std::any_of(clauses_.begin(), clauses_.end(),
+                     [](const Clause& c) { return c.is_integrity(); });
+}
+
+bool Database::Satisfies(const Interpretation& i) const {
+  DD_DCHECK(i.num_vars() >= num_vars());
+  for (const Clause& c : clauses_) {
+    if (!c.SatisfiedBy(i)) return false;
+  }
+  return true;
+}
+
+bool Database::Satisfies3(const PartialInterpretation& i) const {
+  for (const Clause& c : clauses_) {
+    if (!c.SatisfiedBy3(i)) return false;
+  }
+  return true;
+}
+
+std::vector<std::vector<Lit>> Database::ToCnf() const {
+  std::vector<std::vector<Lit>> cnf;
+  cnf.reserve(clauses_.size());
+  for (const Clause& c : clauses_) cnf.push_back(c.ToClassicalClause());
+  return cnf;
+}
+
+Database Database::GlReduct(const Interpretation& i) const {
+  Database out(voc_);
+  for (const Clause& c : clauses_) {
+    bool blocked = false;
+    for (Var neg : c.neg_body()) {
+      if (i.Contains(neg)) {
+        blocked = true;
+        break;
+      }
+    }
+    if (blocked) continue;
+    out.AddClause(Clause(c.heads(), c.pos_body(), {}));
+  }
+  return out;
+}
+
+Database Database::Positivize() const {
+  Database out(voc_);
+  for (const Clause& c : clauses_) {
+    std::vector<Var> heads = c.heads();
+    heads.insert(heads.end(), c.neg_body().begin(), c.neg_body().end());
+    out.AddClause(Clause(std::move(heads), c.pos_body(), {}));
+  }
+  return out;
+}
+
+Database Database::SelectClauses(const std::vector<int>& clause_indices) const {
+  Database out(voc_);
+  for (int idx : clause_indices) {
+    DD_CHECK(idx >= 0 && idx < num_clauses());
+    out.AddClause(clauses_[static_cast<size_t>(idx)]);
+  }
+  return out;
+}
+
+Interpretation Database::MentionedAtoms() const {
+  Interpretation out(num_vars());
+  for (const Clause& c : clauses_) {
+    for (Var v : c.heads()) out.Insert(v);
+    for (Var v : c.pos_body()) out.Insert(v);
+    for (Var v : c.neg_body()) out.Insert(v);
+  }
+  return out;
+}
+
+std::string Database::ToString() const {
+  std::string out;
+  for (const Clause& c : clauses_) {
+    out += c.ToString(voc_);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace dd

@@ -1,0 +1,96 @@
+// Database: a finite set of clauses over a vocabulary, with the syntactic
+// classification the paper's two tables are organized around.
+#ifndef DD_LOGIC_DATABASE_H_
+#define DD_LOGIC_DATABASE_H_
+
+#include <string>
+#include <vector>
+
+#include "logic/clause.h"
+#include "logic/interpretation.h"
+#include "logic/types.h"
+#include "logic/vocabulary.h"
+
+namespace dd {
+
+/// Syntactic class of a database, after [Fernandez & Minker 92] as used in
+/// the paper (Section 2): every DB is a DNDB; it is a DDDB if no "not"
+/// occurs; Table 1 additionally excludes integrity clauses ("positive").
+enum class DatabaseClass {
+  kPositive,    ///< no negation, no integrity clauses (Table 1 regime)
+  kDeductive,   ///< DDDB: no negation (subset of C+), integrity allowed
+  kStratified,  ///< DSDB: negation stratified (computed by strat/)
+  kNormal,      ///< DNDB: arbitrary clauses
+};
+
+/// A propositional disjunctive database: vocabulary + clause list.
+///
+/// This is the central value type of the library; all semantics operate on
+/// (const) Databases. Copies are deep and cheap enough at the scales the
+/// experiments use.
+class Database {
+ public:
+  Database() = default;
+  explicit Database(Vocabulary voc) : voc_(std::move(voc)) {}
+
+  Vocabulary& vocabulary() { return voc_; }
+  const Vocabulary& vocabulary() const { return voc_; }
+
+  /// Number of propositional variables |V|.
+  int num_vars() const { return voc_.size(); }
+  int num_clauses() const { return static_cast<int>(clauses_.size()); }
+  const std::vector<Clause>& clauses() const { return clauses_; }
+  const Clause& clause(int i) const { return clauses_[static_cast<size_t>(i)]; }
+
+  /// Appends a clause; all its variables must already be interned.
+  void AddClause(Clause c);
+
+  /// Convenience: interns names and appends the clause.
+  void AddRule(const std::vector<std::string>& heads,
+               const std::vector<std::string>& pos_body = {},
+               const std::vector<std::string>& neg_body = {});
+
+  bool HasNegation() const;
+  bool HasIntegrityClauses() const;
+  /// Table 1 regime: no integrity clauses and no negation.
+  bool IsPositive() const { return !HasNegation() && !HasIntegrityClauses(); }
+  /// DDDB: contained in C+ (no negation).
+  bool IsDeductive() const { return !HasNegation(); }
+
+  /// Classical satisfaction: I satisfies every clause.
+  bool Satisfies(const Interpretation& i) const;
+  /// Three-valued satisfaction of every clause.
+  bool Satisfies3(const PartialInterpretation& i) const;
+
+  /// The classical CNF of the database (one classical clause per DB clause).
+  std::vector<std::vector<Lit>> ToCnf() const;
+
+  /// Gelfond-Lifschitz reduct DB^I: drop every clause with a negated body
+  /// atom that is true in I; delete the negative body from the rest.
+  /// The result is a DDDB over the same vocabulary.
+  Database GlReduct(const Interpretation& i) const;
+
+  /// The positivized database used by ICWA (paper Section 4): every body
+  /// literal "not c" is moved to the head as atom c, yielding a DB in C+.
+  Database Positivize() const;
+
+  /// Subdatabase containing only the clauses at positions [0, k) of the
+  /// given clause index list (strata decompositions use this).
+  Database SelectClauses(const std::vector<int>& clause_indices) const;
+
+  /// All atoms occurring anywhere in some clause (facts about unused
+  /// vocabulary atoms matter to CWA-style semantics: unmentioned atoms are
+  /// trivially false in all minimal models).
+  Interpretation MentionedAtoms() const;
+
+  /// Multi-line textual form, one clause per line.
+  std::string ToString() const;
+
+ private:
+  Vocabulary voc_;
+  std::vector<Clause> clauses_;
+};
+
+}  // namespace dd
+
+#endif  // DD_LOGIC_DATABASE_H_

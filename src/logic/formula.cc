@@ -1,0 +1,242 @@
+#include "logic/formula.h"
+
+#include <algorithm>
+
+#include "logic/vocabulary.h"
+#include "util/macros.h"
+
+namespace dd {
+
+Formula FormulaNode::MakeConst(bool value) {
+  return Formula(new FormulaNode(FormulaKind::kConst, value, kInvalidVar, {}));
+}
+
+Formula FormulaNode::MakeAtom(Var v) {
+  DD_CHECK(v >= 0);
+  return Formula(new FormulaNode(FormulaKind::kAtom, false, v, {}));
+}
+
+Formula FormulaNode::MakeNot(Formula f) {
+  DD_CHECK(f != nullptr);
+  return Formula(
+      new FormulaNode(FormulaKind::kNot, false, kInvalidVar, {std::move(f)}));
+}
+
+Formula FormulaNode::MakeAnd(std::vector<Formula> fs) {
+  if (fs.empty()) return MakeConst(true);
+  if (fs.size() == 1) return fs[0];
+  return Formula(
+      new FormulaNode(FormulaKind::kAnd, false, kInvalidVar, std::move(fs)));
+}
+
+Formula FormulaNode::MakeAnd(Formula a, Formula b) {
+  return MakeAnd(std::vector<Formula>{std::move(a), std::move(b)});
+}
+
+Formula FormulaNode::MakeOr(std::vector<Formula> fs) {
+  if (fs.empty()) return MakeConst(false);
+  if (fs.size() == 1) return fs[0];
+  return Formula(
+      new FormulaNode(FormulaKind::kOr, false, kInvalidVar, std::move(fs)));
+}
+
+Formula FormulaNode::MakeOr(Formula a, Formula b) {
+  return MakeOr(std::vector<Formula>{std::move(a), std::move(b)});
+}
+
+Formula FormulaNode::MakeImplies(Formula lhs, Formula rhs) {
+  return Formula(new FormulaNode(FormulaKind::kImplies, false, kInvalidVar,
+                                 {std::move(lhs), std::move(rhs)}));
+}
+
+Formula FormulaNode::MakeIff(Formula lhs, Formula rhs) {
+  return Formula(new FormulaNode(FormulaKind::kIff, false, kInvalidVar,
+                                 {std::move(lhs), std::move(rhs)}));
+}
+
+Formula FormulaNode::MakeLit(Lit l) {
+  Formula a = MakeAtom(l.var());
+  return l.positive() ? a : MakeNot(a);
+}
+
+bool FormulaNode::Eval(const Interpretation& i) const {
+  switch (kind_) {
+    case FormulaKind::kConst:
+      return const_value_;
+    case FormulaKind::kAtom:
+      return i.Contains(atom_);
+    case FormulaKind::kNot:
+      return !children_[0]->Eval(i);
+    case FormulaKind::kAnd:
+      for (const auto& c : children_)
+        if (!c->Eval(i)) return false;
+      return true;
+    case FormulaKind::kOr:
+      for (const auto& c : children_)
+        if (c->Eval(i)) return true;
+      return false;
+    case FormulaKind::kImplies:
+      return !children_[0]->Eval(i) || children_[1]->Eval(i);
+    case FormulaKind::kIff:
+      return children_[0]->Eval(i) == children_[1]->Eval(i);
+  }
+  DD_CHECK(false);
+  return false;
+}
+
+TruthValue FormulaNode::Eval3(const PartialInterpretation& i) const {
+  switch (kind_) {
+    case FormulaKind::kConst:
+      return const_value_ ? TruthValue::kTrue : TruthValue::kFalse;
+    case FormulaKind::kAtom:
+      return i.Value(atom_);
+    case FormulaKind::kNot:
+      return Negate(children_[0]->Eval3(i));
+    case FormulaKind::kAnd: {
+      TruthValue t = TruthValue::kTrue;
+      for (const auto& c : children_) t = std::min(t, c->Eval3(i));
+      return t;
+    }
+    case FormulaKind::kOr: {
+      TruthValue t = TruthValue::kFalse;
+      for (const auto& c : children_) t = std::max(t, c->Eval3(i));
+      return t;
+    }
+    case FormulaKind::kImplies:
+      return std::max(Negate(children_[0]->Eval3(i)), children_[1]->Eval3(i));
+    case FormulaKind::kIff: {
+      // (a -> b) and (b -> a) under strong Kleene.
+      TruthValue a = children_[0]->Eval3(i);
+      TruthValue b = children_[1]->Eval3(i);
+      return std::min(std::max(Negate(a), b), std::max(Negate(b), a));
+    }
+  }
+  DD_CHECK(false);
+  return TruthValue::kUndef;
+}
+
+void FormulaNode::CollectAtoms(Interpretation* out) const {
+  if (kind_ == FormulaKind::kAtom) {
+    out->Insert(atom_);
+    return;
+  }
+  for (const auto& c : children_) c->CollectAtoms(out);
+}
+
+Var FormulaNode::MaxVar() const {
+  Var m = (kind_ == FormulaKind::kAtom) ? atom_ : kInvalidVar;
+  for (const auto& c : children_) m = std::max(m, c->MaxVar());
+  return m;
+}
+
+std::string FormulaNode::ToString(const Vocabulary& voc) const {
+  switch (kind_) {
+    case FormulaKind::kConst:
+      return const_value_ ? "true" : "false";
+    case FormulaKind::kAtom:
+      return voc.Name(atom_);
+    case FormulaKind::kNot:
+      return "~" + children_[0]->ToString(voc);
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      std::string sep = kind_ == FormulaKind::kAnd ? " & " : " | ";
+      std::string out = "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i) out += sep;
+        out += children_[i]->ToString(voc);
+      }
+      return out + ")";
+    }
+    case FormulaKind::kImplies:
+      return "(" + children_[0]->ToString(voc) + " -> " +
+             children_[1]->ToString(voc) + ")";
+    case FormulaKind::kIff:
+      return "(" + children_[0]->ToString(voc) + " <-> " +
+             children_[1]->ToString(voc) + ")";
+  }
+  DD_CHECK(false);
+  return "";
+}
+
+namespace {
+
+// Recursive Tseitin transform. Leafs return plain literals; internal nodes
+// get a definition variable constrained in both directions.
+Lit Encode(const FormulaNode& f, Var* next_var,
+           std::vector<std::vector<Lit>>* clauses) {
+  switch (f.kind()) {
+    case FormulaKind::kConst: {
+      // Represent constants with a fresh variable pinned by a unit clause.
+      Var v = (*next_var)++;
+      Lit l = Lit::Pos(v);
+      clauses->push_back({f.const_value() ? l : ~l});
+      return l;
+    }
+    case FormulaKind::kAtom:
+      return Lit::Pos(f.atom());
+    case FormulaKind::kNot:
+      return ~Encode(*f.children()[0], next_var, clauses);
+    case FormulaKind::kAnd: {
+      std::vector<Lit> parts;
+      parts.reserve(f.children().size());
+      for (const auto& c : f.children())
+        parts.push_back(Encode(*c, next_var, clauses));
+      Lit d = Lit::Pos((*next_var)++);
+      // d -> part_i  and  (all parts) -> d.
+      std::vector<Lit> back{d};
+      for (Lit p : parts) {
+        clauses->push_back({~d, p});
+        back.push_back(~p);
+      }
+      clauses->push_back(std::move(back));
+      return d;
+    }
+    case FormulaKind::kOr: {
+      std::vector<Lit> parts;
+      parts.reserve(f.children().size());
+      for (const auto& c : f.children())
+        parts.push_back(Encode(*c, next_var, clauses));
+      Lit d = Lit::Pos((*next_var)++);
+      // part_i -> d  and  d -> (some part).
+      std::vector<Lit> fwd{~d};
+      for (Lit p : parts) {
+        clauses->push_back({~p, d});
+        fwd.push_back(p);
+      }
+      clauses->push_back(std::move(fwd));
+      return d;
+    }
+    case FormulaKind::kImplies: {
+      Lit a = Encode(*f.children()[0], next_var, clauses);
+      Lit b = Encode(*f.children()[1], next_var, clauses);
+      Lit d = Lit::Pos((*next_var)++);
+      clauses->push_back({~d, ~a, b});  // d -> (a -> b)
+      clauses->push_back({a, d});       // ~a -> d
+      clauses->push_back({~b, d});      // b -> d
+      return d;
+    }
+    case FormulaKind::kIff: {
+      Lit a = Encode(*f.children()[0], next_var, clauses);
+      Lit b = Encode(*f.children()[1], next_var, clauses);
+      Lit d = Lit::Pos((*next_var)++);
+      clauses->push_back({~d, ~a, b});
+      clauses->push_back({~d, a, ~b});
+      clauses->push_back({d, a, b});
+      clauses->push_back({d, ~a, ~b});
+      return d;
+    }
+  }
+  DD_CHECK(false);
+  return Lit();
+}
+
+}  // namespace
+
+Lit TseitinEncode(const Formula& f, Var* next_var,
+                  std::vector<std::vector<Lit>>* clauses) {
+  DD_CHECK(f != nullptr && next_var != nullptr && clauses != nullptr);
+  DD_CHECK(*next_var > f->MaxVar());
+  return Encode(*f, next_var, clauses);
+}
+
+}  // namespace dd

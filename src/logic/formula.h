@@ -1,0 +1,90 @@
+// Propositional formulas for the "inference of a formula" task.
+//
+// Immutable shared AST. Supports two-valued and Kleene three-valued
+// evaluation, plus a Tseitin CNF encoding used by SAT-based inference
+// ("is there a model of DB' satisfying ~F?").
+#ifndef DD_LOGIC_FORMULA_H_
+#define DD_LOGIC_FORMULA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "logic/interpretation.h"
+#include "logic/partial_interpretation.h"
+#include "logic/types.h"
+
+namespace dd {
+
+class Vocabulary;
+
+/// Connectives of the formula language.
+enum class FormulaKind { kConst, kAtom, kNot, kAnd, kOr, kImplies, kIff };
+
+class FormulaNode;
+/// Formulas are immutable and shared; copying a Formula is O(1).
+using Formula = std::shared_ptr<const FormulaNode>;
+
+/// A node of the formula AST.
+class FormulaNode {
+ public:
+  /// Constant true/false.
+  static Formula MakeConst(bool value);
+  /// A propositional atom.
+  static Formula MakeAtom(Var v);
+  static Formula MakeNot(Formula f);
+  /// N-ary conjunction; empty = true.
+  static Formula MakeAnd(std::vector<Formula> fs);
+  static Formula MakeAnd(Formula a, Formula b);
+  /// N-ary disjunction; empty = false.
+  static Formula MakeOr(std::vector<Formula> fs);
+  static Formula MakeOr(Formula a, Formula b);
+  static Formula MakeImplies(Formula lhs, Formula rhs);
+  static Formula MakeIff(Formula lhs, Formula rhs);
+  /// The literal `l` as a formula.
+  static Formula MakeLit(Lit l);
+
+  FormulaKind kind() const { return kind_; }
+  bool const_value() const { return const_value_; }
+  Var atom() const { return atom_; }
+  const std::vector<Formula>& children() const { return children_; }
+
+  /// Two-valued evaluation.
+  bool Eval(const Interpretation& i) const;
+
+  /// Kleene three-valued evaluation (strong Kleene connectives; "implies"
+  /// and "iff" via their classical definitions).
+  TruthValue Eval3(const PartialInterpretation& i) const;
+
+  /// Adds every atom occurring in the formula to `out` (sized num_vars).
+  void CollectAtoms(Interpretation* out) const;
+
+  /// Largest atom mentioned, kInvalidVar if none.
+  Var MaxVar() const;
+
+  std::string ToString(const Vocabulary& voc) const;
+
+ private:
+  FormulaNode(FormulaKind kind, bool cval, Var atom,
+              std::vector<Formula> children)
+      : kind_(kind),
+        const_value_(cval),
+        atom_(atom),
+        children_(std::move(children)) {}
+
+  FormulaKind kind_;
+  bool const_value_ = false;
+  Var atom_ = kInvalidVar;
+  std::vector<Formula> children_;
+};
+
+/// Tseitin-encodes `f` into CNF clauses over fresh variables starting at
+/// `*next_var` (incremented as used). Returns a literal `l` such that the
+/// emitted clauses entail l <-> f; callers assert `l` (or its negation) to
+/// constrain a SAT query by the formula.
+Lit TseitinEncode(const Formula& f, Var* next_var,
+                  std::vector<std::vector<Lit>>* clauses);
+
+}  // namespace dd
+
+#endif  // DD_LOGIC_FORMULA_H_

@@ -1,0 +1,108 @@
+#include "logic/interpretation.h"
+
+#include <bit>
+
+#include "logic/vocabulary.h"
+#include "util/macros.h"
+
+namespace dd {
+
+Interpretation::Interpretation(int num_vars)
+    : num_vars_(num_vars),
+      words_(static_cast<size_t>((num_vars + 63) / 64), 0) {
+  DD_CHECK(num_vars >= 0);
+}
+
+Interpretation Interpretation::FromAtoms(int num_vars,
+                                         const std::vector<Var>& true_atoms) {
+  Interpretation out(num_vars);
+  for (Var v : true_atoms) out.Insert(v);
+  return out;
+}
+
+void Interpretation::Set(Var v, bool value) {
+  DD_DCHECK(v >= 0 && v < num_vars_);
+  uint64_t& w = words_[static_cast<size_t>(v) >> 6];
+  uint64_t bit = 1ULL << (v & 63);
+  if (value) {
+    w |= bit;
+  } else {
+    w &= ~bit;
+  }
+}
+
+int Interpretation::TrueCount() const {
+  int count = 0;
+  for (uint64_t w : words_) count += std::popcount(w);
+  return count;
+}
+
+std::vector<Var> Interpretation::TrueAtoms() const {
+  std::vector<Var> out;
+  for (size_t wi = 0; wi < words_.size(); ++wi) {
+    uint64_t w = words_[wi];
+    while (w) {
+      int b = std::countr_zero(w);
+      out.push_back(static_cast<Var>(wi * 64 + static_cast<size_t>(b)));
+      w &= w - 1;
+    }
+  }
+  return out;
+}
+
+bool Interpretation::SubsetOf(const Interpretation& other) const {
+  DD_DCHECK(num_vars_ == other.num_vars_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & ~other.words_[i]) return false;
+  }
+  return true;
+}
+
+bool Interpretation::SubsetOfOn(const Interpretation& other,
+                                const Interpretation& mask) const {
+  DD_DCHECK(num_vars_ == other.num_vars_ && num_vars_ == mask.num_vars_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & mask.words_[i] & ~other.words_[i]) return false;
+  }
+  return true;
+}
+
+bool Interpretation::EqualOn(const Interpretation& other,
+                             const Interpretation& mask) const {
+  DD_DCHECK(num_vars_ == other.num_vars_ && num_vars_ == mask.num_vars_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] ^ other.words_[i]) & mask.words_[i]) return false;
+  }
+  return true;
+}
+
+bool Interpretation::operator<(const Interpretation& o) const {
+  if (num_vars_ != o.num_vars_) return num_vars_ < o.num_vars_;
+  return words_ < o.words_;
+}
+
+std::string Interpretation::ToString(const Vocabulary& voc) const {
+  std::string out = "{";
+  bool first = true;
+  for (Var v : TrueAtoms()) {
+    if (!first) out += ", ";
+    first = false;
+    out += voc.Name(v);
+  }
+  out += "}";
+  return out;
+}
+
+size_t Interpretation::Hash() const {
+  // FNV-1a over the words plus the size.
+  size_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ULL;
+  };
+  mix(static_cast<uint64_t>(num_vars_));
+  for (uint64_t w : words_) mix(w);
+  return h;
+}
+
+}  // namespace dd

@@ -1,0 +1,92 @@
+// Two-valued interpretations as dynamic bitsets over variables.
+//
+// An Interpretation I is identified with the set of atoms it makes true;
+// the paper writes models as atom sets (e.g. M = {a, c}).
+#ifndef DD_LOGIC_INTERPRETATION_H_
+#define DD_LOGIC_INTERPRETATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logic/types.h"
+
+namespace dd {
+
+class Vocabulary;
+
+/// A total two-valued interpretation over variables [0, num_vars).
+///
+/// Identified with the set of true atoms. Supports the subset/strict-subset
+/// comparisons that minimal-model reasoning is built on.
+class Interpretation {
+ public:
+  Interpretation() : num_vars_(0) {}
+  explicit Interpretation(int num_vars);
+
+  /// Builds an interpretation over `num_vars` with exactly `true_atoms` true.
+  static Interpretation FromAtoms(int num_vars,
+                                  const std::vector<Var>& true_atoms);
+
+  int num_vars() const { return num_vars_; }
+
+  bool Contains(Var v) const {
+    return (words_[static_cast<size_t>(v) >> 6] >> (v & 63)) & 1;
+  }
+  void Set(Var v, bool value);
+  void Insert(Var v) { Set(v, true); }
+  void Erase(Var v) { Set(v, false); }
+
+  /// True under this interpretation?
+  bool Satisfies(Lit l) const {
+    return Contains(l.var()) == l.positive();
+  }
+
+  /// Number of true atoms.
+  int TrueCount() const;
+
+  /// All true atoms, ascending.
+  std::vector<Var> TrueAtoms() const;
+
+  /// Set-inclusion: every true atom of *this is true in `other`.
+  bool SubsetOf(const Interpretation& other) const;
+  bool StrictSubsetOf(const Interpretation& other) const {
+    return SubsetOf(other) && *this != other;
+  }
+
+  /// Subset comparison restricted to atoms in `mask` (used by the
+  /// <=_{P;Z} preorder of CCWA/ECWA, where only P-atoms are minimized).
+  bool SubsetOfOn(const Interpretation& other,
+                  const Interpretation& mask) const;
+  bool EqualOn(const Interpretation& other, const Interpretation& mask) const;
+
+  bool operator==(const Interpretation& o) const {
+    return num_vars_ == o.num_vars_ && words_ == o.words_;
+  }
+  bool operator!=(const Interpretation& o) const { return !(*this == o); }
+
+  /// Strict weak order for use in std::set / sorting (lexicographic on
+  /// words); not the subset order.
+  bool operator<(const Interpretation& o) const;
+
+  /// Renders "{a, c}" using `voc` names.
+  std::string ToString(const Vocabulary& voc) const;
+
+  /// Stable hash of the bit content.
+  size_t Hash() const;
+
+ private:
+  int num_vars_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace dd
+
+template <>
+struct std::hash<dd::Interpretation> {
+  size_t operator()(const dd::Interpretation& i) const noexcept {
+    return i.Hash();
+  }
+};
+
+#endif  // DD_LOGIC_INTERPRETATION_H_

@@ -1,0 +1,404 @@
+#include "logic/parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace dd {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer shared by the program and formula grammars.
+// ---------------------------------------------------------------------------
+
+enum class Tok {
+  kAtom,     // identifier
+  kPipe,     // | or ;
+  kComma,    // ,
+  kIf,       // :-
+  kDot,      // .
+  kNot,      // 'not' keyword or ~ or -
+  kLParen,   // (
+  kRParen,   // )
+  kAnd,      // &
+  kImplies,  // ->
+  kIff,      // <->
+  kTrue,     // 'true'
+  kFalse,    // 'false'
+  kEnd,
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  int line;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '%' || (c == '/' && Peek(1) == '/')) {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_' || text_[pos_] == '\''))
+          ++pos_;
+        // Ground atoms produced by the grounder carry their argument list
+        // in the name: an immediately following '(' (no whitespace) is
+        // absorbed through the matching ')'.
+        if (pos_ < text_.size() && text_[pos_] == '(') {
+          size_t scan = pos_ + 1;
+          bool closed = false;
+          while (scan < text_.size()) {
+            char a = text_[scan];
+            if (a == ')') {
+              closed = true;
+              ++scan;
+              break;
+            }
+            if (std::isalnum(static_cast<unsigned char>(a)) || a == '_' ||
+                a == '\'' || a == ',' || a == ' ') {
+              ++scan;
+              continue;
+            }
+            break;  // not an argument list; leave '(' for the grammar
+          }
+          if (closed) pos_ = scan;
+        }
+        std::string word(text_.substr(start, pos_ - start));
+        // Normalize: strip spaces inside the argument list so that
+        // "p(a, b)" and "p(a,b)" intern identically.
+        if (word.find('(') != std::string::npos) {
+          std::string norm;
+          for (char ch : word) {
+            if (ch != ' ') norm += ch;
+          }
+          word = std::move(norm);
+        }
+        if (word == "not") {
+          out.push_back({Tok::kNot, word, line_});
+        } else if (word == "true") {
+          out.push_back({Tok::kTrue, word, line_});
+        } else if (word == "false") {
+          out.push_back({Tok::kFalse, word, line_});
+        } else if (word == "v" || word == "or") {
+          out.push_back({Tok::kPipe, word, line_});
+        } else {
+          out.push_back({Tok::kAtom, word, line_});
+        }
+        continue;
+      }
+      switch (c) {
+        case '|':
+        case ';':
+          out.push_back({Tok::kPipe, std::string(1, c), line_});
+          ++pos_;
+          break;
+        case ',':
+          out.push_back({Tok::kComma, ",", line_});
+          ++pos_;
+          break;
+        case '.':
+          out.push_back({Tok::kDot, ".", line_});
+          ++pos_;
+          break;
+        case '~':
+          out.push_back({Tok::kNot, "~", line_});
+          ++pos_;
+          break;
+        case '&':
+          out.push_back({Tok::kAnd, "&", line_});
+          ++pos_;
+          break;
+        case '(':
+          out.push_back({Tok::kLParen, "(", line_});
+          ++pos_;
+          break;
+        case ')':
+          out.push_back({Tok::kRParen, ")", line_});
+          ++pos_;
+          break;
+        case ':':
+          if (Peek(1) == '-') {
+            out.push_back({Tok::kIf, ":-", line_});
+            pos_ += 2;
+          } else {
+            return Err("':' not followed by '-'");
+          }
+          break;
+        case '<':
+          if (Peek(1) == '-' && Peek(2) == '>') {
+            out.push_back({Tok::kIff, "<->", line_});
+            pos_ += 3;
+          } else if (Peek(1) == '-') {
+            // Treat "a <- b" as "a :- b" for convenience.
+            out.push_back({Tok::kIf, "<-", line_});
+            pos_ += 2;
+          } else {
+            return Err("unexpected '<'");
+          }
+          break;
+        case '-':
+          if (Peek(1) == '>') {
+            out.push_back({Tok::kImplies, "->", line_});
+            pos_ += 2;
+          } else {
+            out.push_back({Tok::kNot, "-", line_});
+            ++pos_;
+          }
+          break;
+        default:
+          return Err(StrFormat("unexpected character '%c'", c));
+      }
+    }
+    out.push_back({Tok::kEnd, "", line_});
+    return out;
+  }
+
+ private:
+  char Peek(size_t ahead) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+  Status Err(const std::string& msg) const {
+    return Status::InvalidArgument(
+        StrFormat("line %d: %s", line_, msg.c_str()));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+// ---------------------------------------------------------------------------
+// Program parser.
+// ---------------------------------------------------------------------------
+
+class ProgramParser {
+ public:
+  explicit ProgramParser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  Result<Database> Run() {
+    Database db;
+    while (Cur().kind != Tok::kEnd) {
+      DD_RETURN_IF_ERROR(ParseClause(&db));
+    }
+    return db;
+  }
+
+ private:
+  const Token& Cur() const { return toks_[pos_]; }
+  void Advance() { ++pos_; }
+
+  Status Err(const std::string& msg) const {
+    return Status::InvalidArgument(
+        StrFormat("line %d: %s (at '%s')", Cur().line, msg.c_str(),
+                  Cur().text.c_str()));
+  }
+
+  Status ParseClause(Database* db) {
+    std::vector<Var> heads, pos_body, neg_body;
+    // Head: possibly empty (integrity clause starts with ':-').
+    if (Cur().kind == Tok::kAtom) {
+      heads.push_back(db->vocabulary().Intern(Cur().text));
+      Advance();
+      while (Cur().kind == Tok::kPipe) {
+        Advance();
+        if (Cur().kind != Tok::kAtom) return Err("atom expected after '|'");
+        heads.push_back(db->vocabulary().Intern(Cur().text));
+        Advance();
+      }
+    }
+    if (Cur().kind == Tok::kIf) {
+      Advance();
+      for (;;) {
+        bool neg = false;
+        if (Cur().kind == Tok::kNot) {
+          neg = true;
+          Advance();
+        }
+        if (Cur().kind != Tok::kAtom) return Err("atom expected in body");
+        Var v = db->vocabulary().Intern(Cur().text);
+        (neg ? neg_body : pos_body).push_back(v);
+        Advance();
+        if (Cur().kind == Tok::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    } else if (heads.empty()) {
+      return Err("clause with no head must have a body");
+    }
+    if (Cur().kind != Tok::kDot) return Err("'.' expected");
+    Advance();
+    if (heads.empty() && pos_body.empty() && neg_body.empty()) {
+      return Err("empty clause");
+    }
+    db->AddClause(Clause(std::move(heads), std::move(pos_body),
+                         std::move(neg_body)));
+    return Status::OK();
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Formula parser (recursive descent, standard precedence).
+// ---------------------------------------------------------------------------
+
+class FormulaParser {
+ public:
+  FormulaParser(std::vector<Token> toks, Vocabulary* voc)
+      : toks_(std::move(toks)), voc_(voc) {}
+
+  Result<Formula> Run() {
+    DD_ASSIGN_OR_RETURN(Formula f, ParseIff());
+    if (Cur().kind != Tok::kEnd) return Err("trailing input after formula");
+    return f;
+  }
+
+ private:
+  const Token& Cur() const { return toks_[pos_]; }
+  void Advance() { ++pos_; }
+  Status Err(const std::string& msg) const {
+    return Status::InvalidArgument(
+        StrFormat("line %d: %s (at '%s')", Cur().line, msg.c_str(),
+                  Cur().text.c_str()));
+  }
+
+  Result<Formula> ParseIff() {
+    DD_ASSIGN_OR_RETURN(Formula lhs, ParseImplies());
+    while (Cur().kind == Tok::kIff) {
+      Advance();
+      DD_ASSIGN_OR_RETURN(Formula rhs, ParseImplies());
+      lhs = FormulaNode::MakeIff(lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<Formula> ParseImplies() {
+    DD_ASSIGN_OR_RETURN(Formula lhs, ParseOr());
+    if (Cur().kind == Tok::kImplies) {
+      Advance();
+      DD_ASSIGN_OR_RETURN(Formula rhs, ParseImplies());  // right-assoc
+      return FormulaNode::MakeImplies(lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<Formula> ParseOr() {
+    DD_ASSIGN_OR_RETURN(Formula f, ParseAnd());
+    std::vector<Formula> parts{f};
+    while (Cur().kind == Tok::kPipe) {
+      Advance();
+      DD_ASSIGN_OR_RETURN(Formula g, ParseAnd());
+      parts.push_back(g);
+    }
+    return FormulaNode::MakeOr(std::move(parts));
+  }
+
+  Result<Formula> ParseAnd() {
+    DD_ASSIGN_OR_RETURN(Formula f, ParseUnary());
+    std::vector<Formula> parts{f};
+    // Both '&' and ',' act as conjunction in formulas.
+    while (Cur().kind == Tok::kAnd || Cur().kind == Tok::kComma) {
+      Advance();
+      DD_ASSIGN_OR_RETURN(Formula g, ParseUnary());
+      parts.push_back(g);
+    }
+    return FormulaNode::MakeAnd(std::move(parts));
+  }
+
+  Result<Formula> ParseUnary() {
+    if (Cur().kind == Tok::kNot) {
+      Advance();
+      DD_ASSIGN_OR_RETURN(Formula f, ParseUnary());
+      return FormulaNode::MakeNot(f);
+    }
+    return ParsePrimary();
+  }
+
+  Result<Formula> ParsePrimary() {
+    switch (Cur().kind) {
+      case Tok::kTrue:
+        Advance();
+        return FormulaNode::MakeConst(true);
+      case Tok::kFalse:
+        Advance();
+        return FormulaNode::MakeConst(false);
+      case Tok::kAtom: {
+        Formula f = FormulaNode::MakeAtom(voc_->Intern(Cur().text));
+        Advance();
+        return f;
+      }
+      case Tok::kLParen: {
+        Advance();
+        DD_ASSIGN_OR_RETURN(Formula f, ParseIff());
+        if (Cur().kind != Tok::kRParen) return Err("')' expected");
+        Advance();
+        return f;
+      }
+      default:
+        return Err("atom, constant, '~' or '(' expected");
+    }
+  }
+
+  std::vector<Token> toks_;
+  Vocabulary* voc_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Database> ParseDatabase(std::string_view text) {
+  DD_ASSIGN_OR_RETURN(std::vector<Token> toks, Lexer(text).Run());
+  return ProgramParser(std::move(toks)).Run();
+}
+
+Result<Formula> ParseFormula(std::string_view text, Vocabulary* voc) {
+  DD_ASSIGN_OR_RETURN(std::vector<Token> toks, Lexer(text).Run());
+  return FormulaParser(std::move(toks), voc).Run();
+}
+
+Result<Lit> ParseLiteral(std::string_view text, Vocabulary* voc) {
+  DD_ASSIGN_OR_RETURN(std::vector<Token> toks, Lexer(text).Run());
+  size_t i = 0;
+  bool neg = false;
+  if (toks[i].kind == Tok::kNot) {
+    neg = true;
+    ++i;
+  }
+  if (toks[i].kind != Tok::kAtom) {
+    return Status::InvalidArgument("literal must be an optionally negated atom");
+  }
+  Var v = voc->Intern(toks[i].text);
+  ++i;
+  if (toks[i].kind != Tok::kEnd) {
+    return Status::InvalidArgument("trailing input after literal");
+  }
+  return Lit::Make(v, !neg);
+}
+
+}  // namespace dd

@@ -1,0 +1,39 @@
+// Text formats for databases and query formulas.
+//
+// Database program syntax (one clause per statement, '%' comments):
+//
+//   a | b.                 % disjunctive fact
+//   c :- a, not d.         % rule with positive and negated body atoms
+//   :- a, b.               % integrity clause (empty head)
+//
+// Head atoms are separated by '|' (';' also accepted). Body literals are
+// separated by ','; negation is written 'not x' or '~x'.
+//
+// Formula syntax (for the formula-inference task), loosest to tightest:
+//
+//   f := f '<->' f | f '->' f | f '|' f | f '&' f | '~' f
+//      | atom | 'true' | 'false' | '(' f ')'
+#ifndef DD_LOGIC_PARSER_H_
+#define DD_LOGIC_PARSER_H_
+
+#include <string_view>
+
+#include "logic/database.h"
+#include "logic/formula.h"
+#include "util/status.h"
+
+namespace dd {
+
+/// Parses a whole database program.
+Result<Database> ParseDatabase(std::string_view text);
+
+/// Parses a single formula; atoms are interned into `*voc` (new atoms are
+/// permitted and are simply unconstrained by the database).
+Result<Formula> ParseFormula(std::string_view text, Vocabulary* voc);
+
+/// Parses a literal like "x" or "not x" / "~x" / "-x" against `*voc`.
+Result<Lit> ParseLiteral(std::string_view text, Vocabulary* voc);
+
+}  // namespace dd
+
+#endif  // DD_LOGIC_PARSER_H_

@@ -1,0 +1,96 @@
+#include "logic/partial_interpretation.h"
+
+#include "logic/vocabulary.h"
+#include "util/macros.h"
+
+namespace dd {
+
+TruthValue Negate(TruthValue v) {
+  switch (v) {
+    case TruthValue::kFalse:
+      return TruthValue::kTrue;
+    case TruthValue::kUndef:
+      return TruthValue::kUndef;
+    case TruthValue::kTrue:
+      return TruthValue::kFalse;
+  }
+  return TruthValue::kUndef;
+}
+
+PartialInterpretation::PartialInterpretation(int num_vars)
+    : num_vars_(num_vars),
+      vals_(static_cast<size_t>(num_vars), TruthValue::kUndef) {
+  DD_CHECK(num_vars >= 0);
+}
+
+PartialInterpretation PartialInterpretation::FromTotal(
+    const Interpretation& i) {
+  PartialInterpretation out(i.num_vars());
+  for (Var v = 0; v < i.num_vars(); ++v) {
+    out.SetValue(v, i.Contains(v) ? TruthValue::kTrue : TruthValue::kFalse);
+  }
+  return out;
+}
+
+TruthValue PartialInterpretation::Value(Var v) const {
+  DD_DCHECK(v >= 0 && v < num_vars_);
+  return vals_[static_cast<size_t>(v)];
+}
+
+void PartialInterpretation::SetValue(Var v, TruthValue t) {
+  DD_DCHECK(v >= 0 && v < num_vars_);
+  vals_[static_cast<size_t>(v)] = t;
+}
+
+bool PartialInterpretation::IsTotal() const {
+  for (TruthValue t : vals_)
+    if (t == TruthValue::kUndef) return false;
+  return true;
+}
+
+Interpretation PartialInterpretation::TrueSet() const {
+  Interpretation out(num_vars_);
+  for (Var v = 0; v < num_vars_; ++v)
+    if (Value(v) == TruthValue::kTrue) out.Insert(v);
+  return out;
+}
+
+Interpretation PartialInterpretation::NotFalseSet() const {
+  Interpretation out(num_vars_);
+  for (Var v = 0; v < num_vars_; ++v)
+    if (Value(v) != TruthValue::kFalse) out.Insert(v);
+  return out;
+}
+
+bool PartialInterpretation::TruthLeq(
+    const PartialInterpretation& other) const {
+  DD_DCHECK(num_vars_ == other.num_vars_);
+  for (size_t i = 0; i < vals_.size(); ++i) {
+    if (!(vals_[i] <= other.vals_[i])) return false;
+  }
+  return true;
+}
+
+std::string PartialInterpretation::ToString(const Vocabulary& voc) const {
+  std::string out = "{";
+  for (Var v = 0; v < num_vars_; ++v) {
+    if (v) out += ", ";
+    out += voc.Name(v);
+    out += "=";
+    switch (Value(v)) {
+      case TruthValue::kFalse:
+        out += "0";
+        break;
+      case TruthValue::kUndef:
+        out += "1/2";
+        break;
+      case TruthValue::kTrue:
+        out += "1";
+        break;
+    }
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace dd

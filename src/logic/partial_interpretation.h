@@ -1,0 +1,90 @@
+// Three-valued (partial) interpretations for the PDSM semantics.
+//
+// Following Przymusinski, truth values are 1 (true), 0 (false) and 1/2
+// (undefined); we represent them as TruthValue with the natural order
+// 0 < 1/2 < 1 used both for clause evaluation (Kleene) and for the
+// truth-minimality that defines partial stable models.
+#ifndef DD_LOGIC_PARTIAL_INTERPRETATION_H_
+#define DD_LOGIC_PARTIAL_INTERPRETATION_H_
+
+#include <string>
+#include <vector>
+
+#include "logic/interpretation.h"
+#include "logic/types.h"
+
+namespace dd {
+
+class Vocabulary;
+
+/// Three-valued truth values, ordered kFalse < kUndef < kTrue.
+enum class TruthValue : uint8_t { kFalse = 0, kUndef = 1, kTrue = 2 };
+
+/// Complement: 1 - v (true<->false, undef fixed).
+TruthValue Negate(TruthValue v);
+
+inline bool operator<(TruthValue a, TruthValue b) {
+  return static_cast<uint8_t>(a) < static_cast<uint8_t>(b);
+}
+inline bool operator<=(TruthValue a, TruthValue b) {
+  return static_cast<uint8_t>(a) <= static_cast<uint8_t>(b);
+}
+
+/// A total three-valued assignment to variables [0, num_vars).
+class PartialInterpretation {
+ public:
+  PartialInterpretation() : num_vars_(0) {}
+  /// All atoms start undefined.
+  explicit PartialInterpretation(int num_vars);
+
+  /// Lifts a two-valued interpretation (no undefined atoms).
+  static PartialInterpretation FromTotal(const Interpretation& i);
+
+  int num_vars() const { return num_vars_; }
+
+  TruthValue Value(Var v) const;
+  void SetValue(Var v, TruthValue t);
+
+  /// Value of a literal (negation flips true/false, fixes undef).
+  TruthValue ValueOf(Lit l) const {
+    TruthValue t = Value(l.var());
+    return l.positive() ? t : Negate(t);
+  }
+
+  bool IsTotal() const;
+
+  /// Projects to the set of true atoms (used when comparing against
+  /// two-valued semantics; only meaningful when IsTotal()).
+  Interpretation TrueSet() const;
+  /// The set of atoms that are not false (true or undefined).
+  Interpretation NotFalseSet() const;
+
+  /// Truth ordering I <= J: pointwise Value_I(v) <= Value_J(v).
+  /// Partial stable models are <=-minimal models of the reduct.
+  bool TruthLeq(const PartialInterpretation& other) const;
+  bool TruthLt(const PartialInterpretation& other) const {
+    return TruthLeq(other) && *this != other;
+  }
+
+  bool operator==(const PartialInterpretation& o) const {
+    return num_vars_ == o.num_vars_ && vals_ == o.vals_;
+  }
+  bool operator!=(const PartialInterpretation& o) const {
+    return !(*this == o);
+  }
+  bool operator<(const PartialInterpretation& o) const {
+    if (num_vars_ != o.num_vars_) return num_vars_ < o.num_vars_;
+    return vals_ < o.vals_;
+  }
+
+  /// Renders e.g. "{a=1, b=0, c=1/2}".
+  std::string ToString(const Vocabulary& voc) const;
+
+ private:
+  int num_vars_;
+  std::vector<TruthValue> vals_;
+};
+
+}  // namespace dd
+
+#endif  // DD_LOGIC_PARTIAL_INTERPRETATION_H_

@@ -1,0 +1,29 @@
+#include "logic/printer.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace dd {
+
+std::string ModelsToString(const std::vector<Interpretation>& models,
+                           const Vocabulary& voc) {
+  std::vector<std::string> lines;
+  lines.reserve(models.size());
+  for (const auto& m : models) lines.push_back(m.ToString(voc));
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const auto& l : lines) {
+    out += l;
+    out += "\n";
+  }
+  return out;
+}
+
+std::string DatabaseSummary(const Database& db) {
+  return StrFormat("p ddb %d %d%s%s", db.num_vars(), db.num_clauses(),
+                   db.HasNegation() ? " neg" : "",
+                   db.HasIntegrityClauses() ? " ic" : "");
+}
+
+}  // namespace dd

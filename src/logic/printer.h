@@ -1,0 +1,22 @@
+// Rendering helpers beyond the ToString members: model sets, tables.
+#ifndef DD_LOGIC_PRINTER_H_
+#define DD_LOGIC_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+#include "logic/database.h"
+#include "logic/interpretation.h"
+
+namespace dd {
+
+/// Renders a set of models, one per line, sorted for determinism.
+std::string ModelsToString(const std::vector<Interpretation>& models,
+                           const Vocabulary& voc);
+
+/// Renders a DIMACS-like summary line "p ddb <vars> <clauses>".
+std::string DatabaseSummary(const Database& db);
+
+}  // namespace dd
+
+#endif  // DD_LOGIC_PRINTER_H_

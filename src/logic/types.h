@@ -1,0 +1,66 @@
+// Fundamental types: propositional variables and literals.
+//
+// Variables are dense 0-based integers managed by a Vocabulary. Literals use
+// the MiniSat-style encoding lit = 2*var + (negated ? 1 : 0), which the SAT
+// core indexes arrays with directly.
+#ifndef DD_LOGIC_TYPES_H_
+#define DD_LOGIC_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace dd {
+
+/// A propositional variable, a dense index in [0, Vocabulary::size()).
+using Var = int32_t;
+
+constexpr Var kInvalidVar = -1;
+
+/// A literal: a variable together with a polarity.
+///
+/// Encoded as 2*var + (negated ? 1 : 0) so that literals index arrays
+/// directly and negation is a single XOR.
+class Lit {
+ public:
+  Lit() : code_(-2) {}
+  /// Builds the literal `v` (positive=true) or `~v` (positive=false).
+  static Lit Make(Var v, bool positive) {
+    Lit l;
+    l.code_ = 2 * v + (positive ? 0 : 1);
+    return l;
+  }
+  static Lit Pos(Var v) { return Make(v, true); }
+  static Lit Neg(Var v) { return Make(v, false); }
+  static Lit FromCode(int32_t code) {
+    Lit l;
+    l.code_ = code;
+    return l;
+  }
+
+  Var var() const { return code_ >> 1; }
+  bool positive() const { return (code_ & 1) == 0; }
+  bool negative() const { return (code_ & 1) == 1; }
+  int32_t code() const { return code_; }
+  bool valid() const { return code_ >= 0; }
+
+  /// The complementary literal.
+  Lit operator~() const { return FromCode(code_ ^ 1); }
+
+  bool operator==(const Lit& o) const { return code_ == o.code_; }
+  bool operator!=(const Lit& o) const { return code_ != o.code_; }
+  bool operator<(const Lit& o) const { return code_ < o.code_; }
+
+ private:
+  int32_t code_;
+};
+
+}  // namespace dd
+
+template <>
+struct std::hash<dd::Lit> {
+  size_t operator()(const dd::Lit& l) const noexcept {
+    return std::hash<int32_t>()(l.code());
+  }
+};
+
+#endif  // DD_LOGIC_TYPES_H_

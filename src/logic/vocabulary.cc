@@ -1,0 +1,39 @@
+#include "logic/vocabulary.h"
+
+#include "util/macros.h"
+#include "util/string_util.h"
+
+namespace dd {
+
+Var Vocabulary::Intern(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  Var v = static_cast<Var>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), v);
+  return v;
+}
+
+Var Vocabulary::Find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? kInvalidVar : it->second;
+}
+
+const std::string& Vocabulary::Name(Var v) const {
+  DD_CHECK(Contains(v));
+  return names_[static_cast<size_t>(v)];
+}
+
+Var Vocabulary::MakeFresh(int n, std::string_view prefix) {
+  DD_CHECK(n >= 0);
+  Var first = size();
+  for (int i = 0; i < n; ++i) {
+    std::string name = std::string(prefix) + std::to_string(i);
+    // Avoid collisions with user atoms by appending primes if necessary.
+    while (Find(name) != kInvalidVar) name += "'";
+    Intern(name);
+  }
+  return first;
+}
+
+}  // namespace dd

@@ -1,0 +1,47 @@
+// Vocabulary: the bidirectional map between atom names and dense Var ids.
+#ifndef DD_LOGIC_VOCABULARY_H_
+#define DD_LOGIC_VOCABULARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "logic/types.h"
+
+namespace dd {
+
+/// Owns the set of propositional variables of a database.
+///
+/// Variables are created on first mention (Intern) and numbered densely from
+/// zero, so interpretations can be bitsets indexed by Var.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Returns the Var for `name`, creating it if unseen.
+  Var Intern(std::string_view name);
+
+  /// Returns the Var for `name` or kInvalidVar if it was never interned.
+  Var Find(std::string_view name) const;
+
+  /// Name of `v`; v must be a valid variable of this vocabulary.
+  const std::string& Name(Var v) const;
+
+  /// Number of variables.
+  int size() const { return static_cast<int>(names_.size()); }
+
+  bool Contains(Var v) const { return v >= 0 && v < size(); }
+
+  /// Creates `n` fresh anonymous variables named `prefix0..prefix{n-1}`
+  /// (used by generators and Tseitin encodings); returns the first Var.
+  Var MakeFresh(int n, std::string_view prefix);
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, Var> index_;
+};
+
+}  // namespace dd
+
+#endif  // DD_LOGIC_VOCABULARY_H_

@@ -1,0 +1,341 @@
+#include "minimal/minimal_models.h"
+
+#include <algorithm>
+
+#include "sat/solver.h"
+#include "util/macros.h"
+
+namespace dd {
+
+namespace {
+
+using sat::SolveResult;
+using sat::Solver;
+
+// Loads the database CNF into a fresh solver.
+void LoadDb(const Database& db, Solver* s) {
+  s->EnsureVars(db.num_vars());
+  // Prefer-false polarity makes the first model found already small, which
+  // shortens minimization loops.
+  s->SetDefaultPolarity(false);
+  for (const auto& cl : db.ToCnf()) s->AddClause(cl);
+}
+
+// Adds the clause excluding the "region" of a minimal projection: models M''
+// with M''∩P ⊇ p* and M''∩Q = q* . Returns false if the region is the whole
+// model space (empty clause), in which case the caller must stop instead.
+bool AddRegionBlock(const Interpretation& proj, const Partition& pqz,
+                    Solver* s) {
+  std::vector<Lit> block;
+  for (Var v : proj.TrueAtoms()) {
+    if (pqz.p.Contains(v)) block.push_back(Lit::Neg(v));
+  }
+  for (Var v = 0; v < pqz.num_vars(); ++v) {
+    if (!pqz.q.Contains(v)) continue;
+    block.push_back(proj.Contains(v) ? Lit::Neg(v) : Lit::Pos(v));
+  }
+  if (block.empty()) return false;
+  s->AddClause(std::move(block));
+  return true;
+}
+
+// Fixes the (P,Q)-projection of `m` as unit assumptions (Z left free).
+std::vector<Lit> ProjectionAssumptions(const Interpretation& m,
+                                       const Partition& pqz) {
+  std::vector<Lit> out;
+  for (Var v = 0; v < pqz.num_vars(); ++v) {
+    if (pqz.p.Contains(v) || pqz.q.Contains(v)) {
+      out.push_back(Lit::Make(v, m.Contains(v)));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+MinimalEngine::MinimalEngine(const Database& db) : db_(db) {}
+
+bool MinimalEngine::HasModel() {
+  Solver s;
+  LoadDb(db_, &s);
+  SolveResult r = s.Solve();
+  stats_.sat_calls += s.stats().solve_calls;
+  DD_CHECK(r != SolveResult::kUnknown);
+  return r == SolveResult::kSat;
+}
+
+std::optional<Interpretation> MinimalEngine::FindModel() {
+  Solver s;
+  LoadDb(db_, &s);
+  SolveResult r = s.Solve();
+  stats_.sat_calls += s.stats().solve_calls;
+  if (r != SolveResult::kSat) return std::nullopt;
+  return s.Model(db_.num_vars());
+}
+
+bool MinimalEngine::IsMinimal(const Interpretation& m, const Partition& pqz) {
+  if (!IsModel(m)) return false;
+  // Search a model strictly below m in the <P;Z> preorder: Q fixed to m's
+  // values, every P-atom false in m stays false, some P-atom true in m
+  // becomes false.
+  Solver s;
+  LoadDb(db_, &s);
+  std::vector<Lit> smaller;
+  for (Var v = 0; v < db_.num_vars(); ++v) {
+    if (pqz.q.Contains(v)) {
+      s.AddUnit(Lit::Make(v, m.Contains(v)));
+    } else if (pqz.p.Contains(v)) {
+      if (m.Contains(v)) {
+        smaller.push_back(Lit::Neg(v));
+      } else {
+        s.AddUnit(Lit::Neg(v));
+      }
+    }
+  }
+  if (smaller.empty()) {
+    // m's P-part is empty: nothing below it.
+    return true;
+  }
+  s.AddClause(std::move(smaller));
+  SolveResult r = s.Solve();
+  stats_.sat_calls += s.stats().solve_calls;
+  DD_CHECK(r != SolveResult::kUnknown);
+  return r == SolveResult::kUnsat;
+}
+
+Interpretation MinimalEngine::Minimize(const Interpretation& m,
+                                       const Partition& pqz) {
+  DD_CHECK(IsModel(m));
+  ++stats_.minimizations;
+  Interpretation cur = m;
+  // Incremental descent: as P-atoms leave the candidate they are pinned
+  // false with permanent units; the "strictly smaller" clause is refreshed
+  // through a fresh selector each round.
+  Solver s;
+  LoadDb(db_, &s);
+  for (Var v = 0; v < db_.num_vars(); ++v) {
+    if (pqz.q.Contains(v)) s.AddUnit(Lit::Make(v, m.Contains(v)));
+    if (pqz.p.Contains(v) && !m.Contains(v)) s.AddUnit(Lit::Neg(v));
+  }
+  Var next_selector = static_cast<Var>(db_.num_vars());
+  for (;;) {
+    std::vector<Var> true_p;
+    for (Var v : cur.TrueAtoms()) {
+      if (pqz.p.Contains(v)) true_p.push_back(v);
+    }
+    if (true_p.empty()) break;  // nothing left to remove
+    Var sel = next_selector++;
+    s.EnsureVars(sel + 1);
+    std::vector<Lit> clause{Lit::Neg(sel)};
+    for (Var v : true_p) clause.push_back(Lit::Neg(v));
+    s.AddClause(std::move(clause));
+    SolveResult r = s.Solve({Lit::Pos(sel)});
+    if (r != SolveResult::kSat) break;  // cur is minimal
+    Interpretation found = s.Model(db_.num_vars());
+    // Pin the freshly removed P-atoms false for all later rounds.
+    for (Var v : true_p) {
+      if (!found.Contains(v)) s.AddUnit(Lit::Neg(v));
+    }
+    cur = found;
+  }
+  stats_.sat_calls += s.stats().solve_calls;
+  return cur;
+}
+
+int MinimalEngine::EnumerateMinimalProjections(
+    const Partition& pqz, int64_t cap,
+    const std::function<bool(const Interpretation&)>& cb) {
+  Solver s;
+  LoadDb(db_, &s);
+  int emitted = 0;
+  for (;;) {
+    if (cap >= 0 && emitted >= cap) break;
+    SolveResult r = s.Solve();
+    if (r != SolveResult::kSat) break;
+    Interpretation m = s.Model(db_.num_vars());
+    Interpretation mm = Minimize(m, pqz);
+    ++emitted;
+    ++stats_.models_enumerated;
+    if (!cb(mm)) break;
+    if (!AddRegionBlock(mm, pqz, &s)) break;  // region = everything
+  }
+  stats_.sat_calls += s.stats().solve_calls;
+  return emitted;
+}
+
+int MinimalEngine::EnumerateAllMinimalModels(
+    const Partition& pqz, int64_t cap,
+    const std::function<bool(const Interpretation&)>& cb) {
+  // Outer loop over minimal projections; inner loop over Z-completions.
+  int emitted = 0;
+  bool stop = false;
+  EnumerateMinimalProjections(
+      pqz, /*cap=*/-1, [&](const Interpretation& proj) {
+        Solver s;
+        LoadDb(db_, &s);
+        std::vector<Lit> fixed = ProjectionAssumptions(proj, pqz);
+        for (Lit l : fixed) s.AddUnit(l);
+        for (;;) {
+          if (cap >= 0 && emitted >= cap) {
+            stop = true;
+            break;
+          }
+          SolveResult r = s.Solve();
+          if (r != SolveResult::kSat) break;
+          Interpretation m = s.Model(db_.num_vars());
+          ++emitted;
+          ++stats_.models_enumerated;
+          if (!cb(m)) {
+            stop = true;
+            break;
+          }
+          // Exclude exactly this Z-completion.
+          std::vector<Lit> diff;
+          for (Var v = 0; v < db_.num_vars(); ++v) {
+            if (pqz.z.Contains(v)) {
+              diff.push_back(m.Contains(v) ? Lit::Neg(v) : Lit::Pos(v));
+            }
+          }
+          if (diff.empty()) break;  // no Z atoms: one completion only
+          s.AddClause(std::move(diff));
+        }
+        stats_.sat_calls += s.stats().solve_calls;
+        return !stop;
+      });
+  return emitted;
+}
+
+bool MinimalEngine::MinimalEntails(const Formula& f, const Partition& pqz,
+                                   Interpretation* counterexample) {
+  // Counterexample search: a <P;Z>-minimal model of DB violating F.
+  Solver s;
+  LoadDb(db_, &s);
+  Var next = static_cast<Var>(db_.num_vars());
+  std::vector<std::vector<Lit>> fcnf;
+  Lit fl = TseitinEncode(f, &next, &fcnf);
+  s.EnsureVars(next);
+  for (auto& cl : fcnf) s.AddClause(std::move(cl));
+  s.AddUnit(~fl);  // assert ~F
+
+  for (;;) {
+    ++stats_.cegar_iterations;
+    SolveResult r = s.Solve();
+    if (r != SolveResult::kSat) {
+      stats_.sat_calls += s.stats().solve_calls;
+      return true;  // no counterexample candidate remains
+    }
+    Interpretation m = s.Model(db_.num_vars());
+    if (IsMinimal(m, pqz)) {
+      stats_.sat_calls += s.stats().solve_calls;
+      if (counterexample != nullptr) *counterexample = m;
+      return false;  // m is a minimal model with ~F
+    }
+    Interpretation mm = Minimize(m, pqz);
+    // Does any model sharing mm's minimal projection violate F? Such a
+    // model is itself minimal (minimality depends only on the projection).
+    {
+      Solver probe;
+      LoadDb(db_, &probe);
+      Var pn = static_cast<Var>(db_.num_vars());
+      std::vector<std::vector<Lit>> pcnf;
+      Lit pl = TseitinEncode(f, &pn, &pcnf);
+      probe.EnsureVars(pn);
+      for (auto& cl : pcnf) probe.AddClause(std::move(cl));
+      probe.AddUnit(~pl);
+      SolveResult pr = probe.Solve(ProjectionAssumptions(mm, pqz));
+      stats_.sat_calls += probe.stats().solve_calls;
+      if (pr == SolveResult::kSat) {
+        stats_.sat_calls += s.stats().solve_calls;
+        if (counterexample != nullptr) {
+          *counterexample = probe.Model(db_.num_vars());
+        }
+        return false;
+      }
+    }
+    // No minimal counterexample in this region: exclude the region.
+    if (!AddRegionBlock(mm, pqz, &s)) {
+      stats_.sat_calls += s.stats().solve_calls;
+      return true;
+    }
+  }
+}
+
+bool MinimalEngine::ExistsMinimalModelWith(Lit lit, const Partition& pqz,
+                                           Interpretation* witness) {
+  Solver s;
+  LoadDb(db_, &s);
+  s.AddUnit(lit);
+  for (;;) {
+    ++stats_.cegar_iterations;
+    SolveResult r = s.Solve();
+    if (r != SolveResult::kSat) {
+      stats_.sat_calls += s.stats().solve_calls;
+      return false;
+    }
+    Interpretation m = s.Model(db_.num_vars());
+    if (IsMinimal(m, pqz)) {
+      stats_.sat_calls += s.stats().solve_calls;
+      if (witness != nullptr) *witness = m;
+      return true;
+    }
+    Interpretation mm = Minimize(m, pqz);
+    // Some model with mm's projection satisfying lit would be minimal.
+    {
+      Solver probe;
+      LoadDb(db_, &probe);
+      probe.AddUnit(lit);
+      SolveResult pr = probe.Solve(ProjectionAssumptions(mm, pqz));
+      stats_.sat_calls += probe.stats().solve_calls;
+      if (pr == SolveResult::kSat) {
+        stats_.sat_calls += s.stats().solve_calls;
+        if (witness != nullptr) *witness = probe.Model(db_.num_vars());
+        return true;
+      }
+    }
+    if (!AddRegionBlock(mm, pqz, &s)) {
+      stats_.sat_calls += s.stats().solve_calls;
+      return false;
+    }
+  }
+}
+
+Interpretation MinimalEngine::FreeAtoms(const Partition& pqz) {
+  const int n = db_.num_vars();
+  Interpretation free(n);
+  Interpretation determined(n);
+  // Atoms never mentioned in a head cannot be true in a minimal model when
+  // they are minimized; quick syntactic pre-pass.
+  Interpretation in_heads(n);
+  for (const Clause& c : db_.clauses()) {
+    for (Var v : c.heads()) in_heads.Insert(v);
+  }
+  for (Var v = 0; v < n; ++v) {
+    if (!pqz.p.Contains(v)) {
+      determined.Insert(v);  // only P-atoms are classified
+      continue;
+    }
+    if (!in_heads.Contains(v) && db_.IsDeductive()) {
+      // In a DDDB, minimized atoms can only be supported through heads.
+      determined.Insert(v);
+    }
+  }
+  for (Var v = 0; v < n; ++v) {
+    if (determined.Contains(v)) continue;
+    Interpretation witness;
+    bool is_free = ExistsMinimalModelWith(Lit::Pos(v), pqz, &witness);
+    determined.Insert(v);
+    if (is_free) {
+      // The witness settles all of its true P-atoms at once.
+      for (Var w : witness.TrueAtoms()) {
+        if (pqz.p.Contains(w)) {
+          free.Insert(w);
+          determined.Insert(w);
+        }
+      }
+      free.Insert(v);
+    }
+  }
+  return free;
+}
+
+}  // namespace dd

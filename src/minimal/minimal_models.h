@@ -1,0 +1,115 @@
+// Minimal-model reasoning over a SAT oracle.
+//
+// This module realizes the oracle structure of the paper's membership
+// proofs: a minimality check is one NP-oracle (SAT) call, a model is
+// minimized with at most |P| calls, and the Π₂ᵖ inference tasks run a
+// counterexample-guided loop whose every step is an oracle call.
+//
+// All operations work relative to a partition <P;Q;Z> (minimal/pqz.h);
+// classical minimal models are the P = V case.
+//
+// A key structural fact exploited throughout: whether a model M is
+// <P;Z>-minimal depends only on its (P,Q)-projection, because the preorder
+// ignores Z entirely. Enumeration therefore proceeds over minimal
+// *projections*, with Z-completions re-attached on demand.
+#ifndef DD_MINIMAL_MINIMAL_MODELS_H_
+#define DD_MINIMAL_MINIMAL_MODELS_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "logic/database.h"
+#include "logic/formula.h"
+#include "logic/interpretation.h"
+#include "minimal/pqz.h"
+#include "util/status.h"
+
+namespace dd {
+
+/// Counters for the oracle-call accounting the benches report.
+struct MinimalStats {
+  int64_t sat_calls = 0;        ///< NP-oracle invocations
+  int64_t minimizations = 0;    ///< model-minimization loops run
+  int64_t cegar_iterations = 0; ///< refinement steps in entailment loops
+  int64_t models_enumerated = 0;
+
+  void Add(const MinimalStats& o) {
+    sat_calls += o.sat_calls;
+    minimizations += o.minimizations;
+    cegar_iterations += o.cegar_iterations;
+    models_enumerated += o.models_enumerated;
+  }
+};
+
+/// Minimal-model engine for one database.
+///
+/// The engine is stateless between calls except for the cumulative
+/// statistics; methods are const-correct with respect to the database.
+class MinimalEngine {
+ public:
+  explicit MinimalEngine(const Database& db);
+
+  const Database& db() const { return db_; }
+  const MinimalStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = MinimalStats(); }
+  /// Folds another engine's counters into this one (used when a semantics
+  /// spawns helper engines, e.g. per-reduct stability checks).
+  void AbsorbStats(const MinimalStats& s) { stats_.Add(s); }
+
+  /// Classical satisfiability of the database (one SAT call).
+  bool HasModel();
+
+  /// Some classical model, if any.
+  std::optional<Interpretation> FindModel();
+
+  /// Is `m` a model of the database?
+  bool IsModel(const Interpretation& m) const { return db_.Satisfies(m); }
+
+  /// Is `m` a <P;Z>-minimal model? One SAT call (plus the model check).
+  bool IsMinimal(const Interpretation& m, const Partition& pqz);
+
+  /// Shrinks model `m` to a <P;Z>-minimal model below it (P-part only ever
+  /// shrinks; the Q-part is preserved; Z floats). At most |P|+1 SAT calls.
+  Interpretation Minimize(const Interpretation& m, const Partition& pqz);
+
+  /// Enumerates one representative model per <P;Z>-minimal projection,
+  /// invoking `cb`. Stops early if `cb` returns false or after `cap`
+  /// models (cap < 0 = unlimited). Returns the number emitted.
+  int EnumerateMinimalProjections(
+      const Partition& pqz, int64_t cap,
+      const std::function<bool(const Interpretation&)>& cb);
+
+  /// Enumerates *all* <P;Z>-minimal models, i.e. every Z-completion of
+  /// every minimal projection. Exponential in |Z| in the worst case; used
+  /// by cross-checks and small-instance tooling.
+  int EnumerateAllMinimalModels(
+      const Partition& pqz, int64_t cap,
+      const std::function<bool(const Interpretation&)>& cb);
+
+  /// Decides MM(DB;P;Z) |= F: is the formula true in every <P;Z>-minimal
+  /// model? (Π₂ᵖ; counterexample-guided.) Vacuously true if DB has no model.
+  /// On a negative answer, `counterexample` (if non-null) receives a
+  /// <P;Z>-minimal model violating F.
+  bool MinimalEntails(const Formula& f, const Partition& pqz,
+                      Interpretation* counterexample = nullptr);
+
+  /// Decides whether some <P;Z>-minimal model satisfies `lit`
+  /// (the Σ₂ᵖ building block of GCWA/CCWA: "is atom x free?").
+  /// On success, `*witness` (if non-null) receives such a minimal model.
+  bool ExistsMinimalModelWith(Lit lit, const Partition& pqz,
+                              Interpretation* witness = nullptr);
+
+  /// The atoms of P that are true in at least one <P;Z>-minimal model.
+  /// GCWA/CCWA add ¬x exactly for the P-atoms outside this set.
+  Interpretation FreeAtoms(const Partition& pqz);
+
+ private:
+  Database db_;
+  MinimalStats stats_;
+};
+
+}  // namespace dd
+
+#endif  // DD_MINIMAL_MINIMAL_MODELS_H_

@@ -1,0 +1,45 @@
+#include "minimal/pqz.h"
+
+#include "util/string_util.h"
+
+namespace dd {
+
+Partition Partition::MinimizeAll(int num_vars) {
+  Partition out;
+  out.p = Interpretation(num_vars);
+  out.q = Interpretation(num_vars);
+  out.z = Interpretation(num_vars);
+  for (Var v = 0; v < num_vars; ++v) out.p.Insert(v);
+  return out;
+}
+
+Result<Partition> Partition::Make(int num_vars,
+                                  const std::vector<Var>& p_atoms,
+                                  const std::vector<Var>& q_atoms,
+                                  const std::vector<Var>& z_atoms) {
+  Partition out;
+  out.p = Interpretation::FromAtoms(num_vars, p_atoms);
+  out.q = Interpretation::FromAtoms(num_vars, q_atoms);
+  out.z = Interpretation::FromAtoms(num_vars, z_atoms);
+  DD_RETURN_IF_ERROR(out.Validate());
+  return out;
+}
+
+Status Partition::Validate() const {
+  const int n = num_vars();
+  if (q.num_vars() != n || z.num_vars() != n) {
+    return Status::InvalidArgument("partition parts have differing sizes");
+  }
+  for (Var v = 0; v < n; ++v) {
+    int count = (p.Contains(v) ? 1 : 0) + (q.Contains(v) ? 1 : 0) +
+                (z.Contains(v) ? 1 : 0);
+    if (count != 1) {
+      return Status::InvalidArgument(
+          StrFormat("variable %d is in %d parts, expected exactly 1", v,
+                    count));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dd

@@ -1,0 +1,42 @@
+// The variable partition <P;Q;Z> of CCWA/ECWA/circumscription.
+//
+// P: minimized atoms, Q: fixed atoms, Z: floating ("varying") atoms.
+// The preorder on models is  M <=_{P;Z} N  iff  M∩P ⊆ N∩P and M∩Q = N∩Q;
+// MM(DB;P;Z) are the models minimal under it. GCWA/EGCWA correspond to the
+// degenerate partition P = V, Q = Z = ∅.
+#ifndef DD_MINIMAL_PQZ_H_
+#define DD_MINIMAL_PQZ_H_
+
+#include <string>
+#include <vector>
+
+#include "logic/interpretation.h"
+#include "logic/types.h"
+#include "util/status.h"
+
+namespace dd {
+
+/// A partition <P;Q;Z> of the variables [0, num_vars).
+struct Partition {
+  Interpretation p;  ///< minimized
+  Interpretation q;  ///< fixed
+  Interpretation z;  ///< floating
+
+  /// P = all variables (the GCWA/EGCWA preorder).
+  static Partition MinimizeAll(int num_vars);
+
+  /// Builds a partition from explicit atom lists; every variable must be
+  /// assigned to exactly one part.
+  static Result<Partition> Make(int num_vars, const std::vector<Var>& p_atoms,
+                                const std::vector<Var>& q_atoms,
+                                const std::vector<Var>& z_atoms);
+
+  int num_vars() const { return p.num_vars(); }
+
+  /// Verifies P, Q, Z are pairwise disjoint and cover the variables.
+  Status Validate() const;
+};
+
+}  // namespace dd
+
+#endif  // DD_MINIMAL_PQZ_H_

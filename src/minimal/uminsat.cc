@@ -1,0 +1,42 @@
+#include "minimal/uminsat.h"
+
+#include "sat/solver.h"
+
+namespace dd {
+
+UminsatResult UniqueMinimalModel(MinimalEngine* engine) {
+  UminsatResult out;
+  const Database& db = engine->db();
+  Partition all = Partition::MinimizeAll(db.num_vars());
+
+  std::optional<Interpretation> model = engine->FindModel();
+  if (!model.has_value()) return out;
+  out.has_model = true;
+
+  Interpretation m = engine->Minimize(*model, all);
+  out.witness = m;
+
+  // m is the unique minimal model iff every model contains m: a model N
+  // with N ⊉ m minimizes to a minimal model ⊆ N, which cannot be m.
+  sat::Solver s;
+  s.EnsureVars(db.num_vars());
+  for (const auto& cl : db.ToCnf()) s.AddClause(cl);
+  std::vector<Lit> not_superset;
+  for (Var v : m.TrueAtoms()) not_superset.push_back(Lit::Neg(v));
+  if (not_superset.empty()) {
+    // m = ∅ is contained in every model; trivially unique.
+    out.unique = true;
+    return out;
+  }
+  s.AddClause(std::move(not_superset));
+  if (s.Solve() == sat::SolveResult::kSat) {
+    Interpretation n = s.Model(db.num_vars());
+    out.unique = false;
+    out.second = engine->Minimize(n, all);
+  } else {
+    out.unique = true;
+  }
+  return out;
+}
+
+}  // namespace dd

@@ -1,0 +1,35 @@
+// UMINSAT: deciding whether a database (or CNF) has a UNIQUE minimal model.
+//
+// Proposition 5.4 of the paper: UMINSAT is coNP-hard and, unless the
+// polynomial hierarchy collapses, not in coD^P. Lemma 5.5 transfers it to
+// unique-minimal-model of a normal logic program; the executable reduction
+// lives in qbf/reductions.h.
+#ifndef DD_MINIMAL_UMINSAT_H_
+#define DD_MINIMAL_UMINSAT_H_
+
+#include <optional>
+
+#include "logic/database.h"
+#include "minimal/minimal_models.h"
+
+namespace dd {
+
+/// Outcome of a unique-minimal-model query.
+struct UminsatResult {
+  bool has_model = false;
+  bool unique = false;  ///< meaningful only when has_model
+  /// A minimal model (the unique one when unique); present iff has_model.
+  std::optional<Interpretation> witness;
+  /// A second, distinct minimal model; present iff has_model && !unique.
+  std::optional<Interpretation> second;
+};
+
+/// Decides whether `db` has a unique minimal model. Runs in a constant
+/// number of minimization passes plus SAT calls, mirroring the problem's
+/// position "between" coNP and D^P discussed in Section 5 of the paper.
+/// Oracle accounting accrues to `engine`.
+UminsatResult UniqueMinimalModel(MinimalEngine* engine);
+
+}  // namespace dd
+
+#endif  // DD_MINIMAL_UMINSAT_H_

@@ -1,0 +1,80 @@
+#include "qbf/qbf.h"
+
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace dd {
+
+namespace {
+
+Status ValidateQuantification(int num_vars, const std::vector<Var>& a,
+                              const std::vector<Var>& b,
+                              const std::vector<std::vector<Lit>>& lit_sets) {
+  std::vector<int> count(static_cast<size_t>(num_vars), 0);
+  for (Var v : a) {
+    if (v < 0 || v >= num_vars)
+      return Status::InvalidArgument("quantified variable out of range");
+    ++count[static_cast<size_t>(v)];
+  }
+  for (Var v : b) {
+    if (v < 0 || v >= num_vars)
+      return Status::InvalidArgument("quantified variable out of range");
+    ++count[static_cast<size_t>(v)];
+  }
+  for (int c : count) {
+    if (c > 1) return Status::InvalidArgument("variable quantified twice");
+  }
+  for (const auto& ls : lit_sets) {
+    for (Lit l : ls) {
+      if (l.var() < 0 || l.var() >= num_vars)
+        return Status::InvalidArgument("matrix variable out of range");
+      if (count[static_cast<size_t>(l.var())] == 0)
+        return Status::InvalidArgument(
+            StrFormat("matrix variable %d is not quantified", l.var()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status QbfForallExistsCnf::Validate() const {
+  return ValidateQuantification(num_vars, universal, existential, clauses);
+}
+
+Status QbfExistsForallDnf::Validate() const {
+  return ValidateQuantification(num_vars, existential, universal, terms);
+}
+
+QbfExistsForallDnf NegateToExistsForall(const QbfForallExistsCnf& q) {
+  QbfExistsForallDnf out;
+  out.num_vars = q.num_vars;
+  out.existential = q.universal;
+  out.universal = q.existential;
+  out.terms.reserve(q.clauses.size());
+  for (const auto& cl : q.clauses) {
+    std::vector<Lit> term;
+    term.reserve(cl.size());
+    for (Lit l : cl) term.push_back(~l);
+    out.terms.push_back(std::move(term));
+  }
+  return out;
+}
+
+QbfForallExistsCnf NegateToForallExists(const QbfExistsForallDnf& q) {
+  QbfForallExistsCnf out;
+  out.num_vars = q.num_vars;
+  out.universal = q.existential;
+  out.existential = q.universal;
+  out.clauses.reserve(q.terms.size());
+  for (const auto& t : q.terms) {
+    std::vector<Lit> cl;
+    cl.reserve(t.size());
+    for (Lit l : t) cl.push_back(~l);
+    out.clauses.push_back(std::move(cl));
+  }
+  return out;
+}
+
+}  // namespace dd

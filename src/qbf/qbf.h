@@ -1,0 +1,49 @@
+// Two-level quantified Boolean formulas.
+//
+// The paper's hardness results live at the second level of the polynomial
+// hierarchy: Π₂ᵖ via validity of ∀X∃Y φ with φ in CNF, Σ₂ᵖ via validity of
+// ∃X∀Y ψ with ψ in DNF. The two are dual: ¬(∀X∃Y φ) = ∃X∀Y ¬φ and ¬CNF is
+// a DNF over the negated literals.
+#ifndef DD_QBF_QBF_H_
+#define DD_QBF_QBF_H_
+
+#include <string>
+#include <vector>
+
+#include "logic/types.h"
+#include "util/status.h"
+
+namespace dd {
+
+/// Φ = ∀X ∃Y φ, φ a CNF over X ∪ Y. Validity is Π₂ᵖ-complete.
+struct QbfForallExistsCnf {
+  int num_vars = 0;
+  std::vector<Var> universal;    ///< X
+  std::vector<Var> existential;  ///< Y
+  std::vector<std::vector<Lit>> clauses;
+
+  /// Every variable of every clause must be quantified exactly once.
+  Status Validate() const;
+};
+
+/// Φ = ∃X ∀Y ψ, ψ a DNF (disjunction of terms, each a conjunction of
+/// literals). Validity is Σ₂ᵖ-complete.
+struct QbfExistsForallDnf {
+  int num_vars = 0;
+  std::vector<Var> existential;  ///< X
+  std::vector<Var> universal;    ///< Y
+  std::vector<std::vector<Lit>> terms;
+
+  Status Validate() const;
+};
+
+/// De Morgan dual: ¬(∀X∃Yφ) as ∃X∀Y(¬φ). The result is valid iff the
+/// input is invalid.
+QbfExistsForallDnf NegateToExistsForall(const QbfForallExistsCnf& q);
+
+/// De Morgan dual in the other direction.
+QbfForallExistsCnf NegateToForallExists(const QbfExistsForallDnf& q);
+
+}  // namespace dd
+
+#endif  // DD_QBF_QBF_H_

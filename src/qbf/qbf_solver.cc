@@ -1,0 +1,135 @@
+#include "qbf/qbf_solver.h"
+
+#include "sat/solver.h"
+#include "util/macros.h"
+#include "util/string_util.h"
+
+namespace dd {
+
+namespace {
+using sat::SolveResult;
+using sat::Solver;
+}  // namespace
+
+Result<bool> SolveForallExists(const QbfForallExistsCnf& q,
+                               Interpretation* counterexample,
+                               QbfStats* stats) {
+  DD_RETURN_IF_ERROR(q.Validate());
+  QbfStats local;
+  QbfStats* st = stats != nullptr ? stats : &local;
+
+  Interpretation is_existential(q.num_vars);
+  for (Var v : q.existential) is_existential.Insert(v);
+
+  // Verification solver: the matrix, queried under X-assumptions.
+  Solver verify;
+  verify.EnsureVars(q.num_vars);
+  for (const auto& cl : q.clauses) verify.AddClause(cl);
+
+  // Abstraction solver over X (selector variables are appended above the
+  // matrix variables).
+  Solver abstract;
+  abstract.EnsureVars(q.num_vars);
+  Var next_selector = static_cast<Var>(q.num_vars);
+
+  for (;;) {
+    ++st->candidate_calls;
+    SolveResult ar = abstract.Solve();
+    DD_CHECK(ar != SolveResult::kUnknown);
+    if (ar == SolveResult::kUnsat) {
+      // Every X-assignment has been certified to have a completion.
+      return true;
+    }
+    Interpretation cand = abstract.Model(q.num_vars);
+
+    std::vector<Lit> assumptions;
+    assumptions.reserve(q.universal.size());
+    for (Var v : q.universal) {
+      assumptions.push_back(Lit::Make(v, cand.Contains(v)));
+    }
+    ++st->verification_calls;
+    SolveResult vr = verify.Solve(assumptions);
+    DD_CHECK(vr != SolveResult::kUnknown);
+    if (vr == SolveResult::kUnsat) {
+      if (counterexample != nullptr) {
+        Interpretation ce(q.num_vars);
+        for (Var v : q.universal) {
+          if (cand.Contains(v)) ce.Insert(v);
+        }
+        *counterexample = ce;
+      }
+      return false;
+    }
+    Interpretation y = verify.Model(q.num_vars);
+
+    // Refine: exclude every X for which the found Y-assignment works, i.e.
+    // assert that some clause is falsified once Y := y.
+    ++st->refinements;
+    std::vector<Lit> some_violated;
+    bool all_clauses_satisfied_by_y = true;
+    for (const auto& cl : q.clauses) {
+      bool sat_by_y = false;
+      for (Lit l : cl) {
+        if (is_existential.Contains(l.var()) && y.Satisfies(l)) {
+          sat_by_y = true;
+          break;
+        }
+      }
+      if (sat_by_y) continue;
+      all_clauses_satisfied_by_y = false;
+      // The clause survives with its universal part; a fresh selector
+      // asserts "this clause is violated".
+      Var sel = next_selector++;
+      abstract.EnsureVars(sel + 1);
+      for (Lit l : cl) {
+        if (!is_existential.Contains(l.var())) {
+          abstract.AddBinary(Lit::Neg(sel), ~l);
+        }
+      }
+      some_violated.push_back(Lit::Pos(sel));
+    }
+    if (all_clauses_satisfied_by_y) {
+      // y satisfies the whole matrix on its own: valid for every X.
+      return true;
+    }
+    abstract.AddClause(std::move(some_violated));
+  }
+}
+
+Result<bool> SolveExistsForall(const QbfExistsForallDnf& q,
+                               Interpretation* witness, QbfStats* stats) {
+  DD_RETURN_IF_ERROR(q.Validate());
+  QbfForallExistsCnf dual = NegateToForallExists(q);
+  Interpretation ce;
+  DD_ASSIGN_OR_RETURN(bool dual_valid, SolveForallExists(dual, &ce, stats));
+  if (!dual_valid && witness != nullptr) *witness = ce;
+  return !dual_valid;
+}
+
+Result<bool> SolveForallExistsByExpansion(const QbfForallExistsCnf& q) {
+  DD_RETURN_IF_ERROR(q.Validate());
+  if (q.universal.size() > 25) {
+    return Status::ResourceExhausted(
+        StrFormat("expansion over %d universal variables is infeasible",
+                  static_cast<int>(q.universal.size())));
+  }
+  Solver verify;
+  verify.EnsureVars(q.num_vars);
+  for (const auto& cl : q.clauses) verify.AddClause(cl);
+
+  const uint64_t count = uint64_t{1} << q.universal.size();
+  for (uint64_t bits = 0; bits < count; ++bits) {
+    std::vector<Lit> assumptions;
+    assumptions.reserve(q.universal.size());
+    for (size_t i = 0; i < q.universal.size(); ++i) {
+      assumptions.push_back(
+          Lit::Make(q.universal[i], (bits >> i) & 1));
+    }
+    SolveResult r = verify.Solve(assumptions);
+    DD_CHECK(r != SolveResult::kUnknown);
+    if (r == SolveResult::kUnsat) return false;
+  }
+  return true;
+}
+
+}  // namespace dd

@@ -1,0 +1,47 @@
+// 2-QBF solving: the library's Σ₂ᵖ / Π₂ᵖ oracle.
+//
+// Two engines:
+//  * CEGAR (default): a candidate solver over the outer block and a
+//    verification solver over the full matrix refine each other, the
+//    standard counterexample-guided 2QBF loop.
+//  * Expansion: enumerates all outer-block assignments; exponential, kept
+//    as the independent reference implementation (ablation + tests).
+#ifndef DD_QBF_QBF_SOLVER_H_
+#define DD_QBF_QBF_SOLVER_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "logic/interpretation.h"
+#include "qbf/qbf.h"
+#include "util/status.h"
+
+namespace dd {
+
+/// Counters for the CEGAR loop.
+struct QbfStats {
+  int64_t candidate_calls = 0;     ///< SAT calls on the abstraction
+  int64_t verification_calls = 0;  ///< SAT calls on the matrix
+  int64_t refinements = 0;
+};
+
+/// Decides validity of ∀X∃Yφ. If invalid and `counterexample` is non-null,
+/// it receives an X-assignment with no Y-completion (over [0, num_vars),
+/// Y-part zero).
+Result<bool> SolveForallExists(const QbfForallExistsCnf& q,
+                               Interpretation* counterexample = nullptr,
+                               QbfStats* stats = nullptr);
+
+/// Decides validity of ∃X∀Yψ (DNF matrix). If valid and `witness` non-null,
+/// it receives an X-assignment all of whose Y-completions satisfy ψ.
+Result<bool> SolveExistsForall(const QbfExistsForallDnf& q,
+                               Interpretation* witness = nullptr,
+                               QbfStats* stats = nullptr);
+
+/// Reference implementation by full expansion of the universal block
+/// (exponential in |X|; use only for small instances / cross-checks).
+Result<bool> SolveForallExistsByExpansion(const QbfForallExistsCnf& q);
+
+}  // namespace dd
+
+#endif  // DD_QBF_QBF_SOLVER_H_

@@ -1,0 +1,139 @@
+#include "qbf/reductions.h"
+
+#include <string>
+#include <unordered_map>
+
+#include "util/macros.h"
+#include "util/string_util.h"
+
+namespace dd {
+
+namespace {
+
+// Shared gadget body for Theorem 3.1 / Section 5.2: builds the choice
+// clauses, the w-saturation of the universal block, and the term rules.
+ReducedInstance BuildMinimalMembershipGadget(const QbfExistsForallDnf& q) {
+  DD_CHECK(q.Validate().ok());
+  ReducedInstance out;
+  Vocabulary& voc = out.db.vocabulary();
+
+  // pos[v] / neg[v]: the atom standing for "v true" / "v false".
+  std::unordered_map<Var, Var> pos, neg;
+  auto make_pair = [&](Var v, const char* prefix) {
+    std::string base = StrFormat("%s%d", prefix, v);
+    pos[v] = voc.Intern(base);
+    neg[v] = voc.Intern(base + "'");
+  };
+  for (Var x : q.existential) make_pair(x, "x");
+  for (Var y : q.universal) make_pair(y, "y");
+  out.w = voc.Intern("w");
+
+  auto sigma = [&](Lit l) { return l.positive() ? pos[l.var()] : neg[l.var()]; };
+
+  // Choice clauses: every variable gets one of its two atoms.
+  for (Var x : q.existential) {
+    out.db.AddClause(Clause::Fact({pos[x], neg[x]}));
+  }
+  for (Var y : q.universal) {
+    out.db.AddClause(Clause::Fact({pos[y], neg[y]}));
+  }
+  // w saturates the universal block.
+  for (Var y : q.universal) {
+    out.db.AddClause(Clause({pos[y]}, {out.w}, {}));
+    out.db.AddClause(Clause({neg[y]}, {out.w}, {}));
+  }
+  // One rule per DNF term: the term fires w.
+  for (const auto& term : q.terms) {
+    std::vector<Var> body;
+    body.reserve(term.size());
+    for (Lit l : term) body.push_back(sigma(l));
+    out.db.AddClause(Clause({out.w}, std::move(body), {}));
+  }
+  return out;
+}
+
+}  // namespace
+
+ReducedInstance ReduceSigma2ToMinimalMembership(const QbfExistsForallDnf& q) {
+  return BuildMinimalMembershipGadget(q);
+}
+
+ReducedInstance ReducePi2ToGcwaLiteral(const QbfForallExistsCnf& q) {
+  // Φ valid <=> ¬Φ invalid <=> no minimal model contains w.
+  return BuildMinimalMembershipGadget(NegateToExistsForall(q));
+}
+
+ReducedInstance ReduceSigma2ToDsmExistence(const QbfExistsForallDnf& q) {
+  ReducedInstance out = BuildMinimalMembershipGadget(q);
+  // w :- not w : kills every stable model without w.
+  out.db.AddClause(Clause({out.w}, {}, {out.w}));
+  return out;
+}
+
+Database CnfToDatabase(const sat::Cnf& cnf) {
+  Database db;
+  Vocabulary& voc = db.vocabulary();
+  for (Var v = 0; v < cnf.num_vars; ++v) {
+    voc.Intern(StrFormat("v%d", v));
+  }
+  for (const auto& cl : cnf.clauses) {
+    std::vector<Var> heads, body;
+    for (Lit l : cl) {
+      if (l.positive()) {
+        heads.push_back(l.var());
+      } else {
+        body.push_back(l.var());
+      }
+    }
+    db.AddClause(Clause(std::move(heads), std::move(body), {}));
+  }
+  return db;
+}
+
+ReducedInstance ReduceUnsatToUniqueMinimalModel(const sat::Cnf& cnf) {
+  ReducedInstance out;
+  Vocabulary& voc = out.db.vocabulary();
+  std::vector<Var> pos(static_cast<size_t>(cnf.num_vars));
+  std::vector<Var> neg(static_cast<size_t>(cnf.num_vars));
+  for (Var v = 0; v < cnf.num_vars; ++v) {
+    pos[static_cast<size_t>(v)] = voc.Intern(StrFormat("x%d", v));
+    neg[static_cast<size_t>(v)] = voc.Intern(StrFormat("x%d'", v));
+  }
+  out.w = voc.Intern("w");
+  for (Var v = 0; v < cnf.num_vars; ++v) {
+    Var xv = pos[static_cast<size_t>(v)];
+    Var nv = neg[static_cast<size_t>(v)];
+    out.db.AddClause(Clause::Fact({xv, nv, out.w}));
+    out.db.AddClause(Clause({out.w}, {xv, nv}, {}));
+  }
+  for (const auto& cl : cnf.clauses) {
+    std::vector<Var> heads{out.w};
+    for (Lit l : cl) {
+      heads.push_back(l.positive() ? pos[static_cast<size_t>(l.var())]
+                                   : neg[static_cast<size_t>(l.var())]);
+    }
+    out.db.AddClause(Clause::Fact(std::move(heads)));
+  }
+  return out;
+}
+
+Result<Database> PositiveDbToNormalProgram(const Database& db) {
+  if (db.HasNegation()) {
+    return Status::FailedPrecondition(
+        "PositiveDbToNormalProgram expects a database without negation");
+  }
+  Database out(db.vocabulary());
+  for (const Clause& c : db.clauses()) {
+    if (c.heads().size() <= 1) {
+      out.AddClause(c);
+      continue;
+    }
+    // a1 | ... | an :- body  ==>  a1 :- body, not a2, ..., not an
+    // (classically the same clause).
+    std::vector<Var> neg_body(c.heads().begin() + 1, c.heads().end());
+    out.AddClause(Clause({c.heads()[0]}, c.pos_body(), std::move(neg_body)));
+  }
+  return out;
+}
+
+}  // namespace dd

@@ -1,0 +1,72 @@
+#include "sat/dimacs.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace dd {
+namespace sat {
+
+Result<Cnf> ParseDimacs(std::string_view text) {
+  Cnf cnf;
+  std::vector<Lit> current;
+  std::istringstream in{std::string(text)};
+  std::string tok;
+  bool in_header = false;
+  while (in >> tok) {
+    if (tok == "c") {
+      std::string rest;
+      std::getline(in, rest);
+      continue;
+    }
+    if (tok == "p") {
+      in_header = true;
+      continue;
+    }
+    if (in_header && (tok == "cnf" || tok == "ddb")) continue;
+    char* end = nullptr;
+    long v = std::strtol(tok.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      return Status::InvalidArgument("bad DIMACS token: " + tok);
+    }
+    if (in_header) {
+      // First number of the header is the variable count; ignore the
+      // clause count (we trust the clause list itself).
+      cnf.num_vars = std::max(cnf.num_vars, static_cast<int>(v));
+      std::string rest;
+      std::getline(in, rest);
+      in_header = false;
+      continue;
+    }
+    if (v == 0) {
+      cnf.clauses.push_back(std::move(current));
+      current.clear();
+    } else {
+      Var var = static_cast<Var>(std::labs(v)) - 1;
+      cnf.num_vars = std::max(cnf.num_vars, var + 1);
+      current.push_back(Lit::Make(var, v > 0));
+    }
+  }
+  if (!current.empty()) {
+    return Status::InvalidArgument("clause not terminated by 0");
+  }
+  return cnf;
+}
+
+std::string ToDimacs(const Cnf& cnf) {
+  std::string out = StrFormat("p cnf %d %d\n", cnf.num_vars,
+                              static_cast<int>(cnf.clauses.size()));
+  for (const auto& cl : cnf.clauses) {
+    for (Lit l : cl) {
+      out += std::to_string(l.positive() ? l.var() + 1 : -(l.var() + 1));
+      out += " ";
+    }
+    out += "0\n";
+  }
+  return out;
+}
+
+}  // namespace sat
+}  // namespace dd

@@ -1,0 +1,30 @@
+// DIMACS CNF import/export, used by tests and the bench tooling.
+#ifndef DD_SAT_DIMACS_H_
+#define DD_SAT_DIMACS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "logic/types.h"
+#include "util/status.h"
+
+namespace dd {
+namespace sat {
+
+/// A raw CNF: number of variables plus clause list.
+struct Cnf {
+  int num_vars = 0;
+  std::vector<std::vector<Lit>> clauses;
+};
+
+/// Parses DIMACS text ("p cnf V C" header optional; 0-terminated clauses).
+Result<Cnf> ParseDimacs(std::string_view text);
+
+/// Renders a CNF in DIMACS format.
+std::string ToDimacs(const Cnf& cnf);
+
+}  // namespace sat
+}  // namespace dd
+
+#endif  // DD_SAT_DIMACS_H_

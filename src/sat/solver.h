@@ -1,0 +1,171 @@
+// A from-scratch CDCL SAT solver: the "NP oracle" that every membership
+// algorithm in the paper is built on.
+//
+// Features: two-literal watching, VSIDS-style activity with a binary heap,
+// phase saving, first-UIP conflict analysis with local clause minimization,
+// Luby restarts, activity-driven learnt-clause reduction, incremental
+// solving under assumptions with failed-assumption extraction.
+//
+// The solver counts its invocations and conflicts; the bench harness uses
+// these counters as the observable correlate of the paper's oracle-based
+// complexity bounds.
+#ifndef DD_SAT_SOLVER_H_
+#define DD_SAT_SOLVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "logic/interpretation.h"
+#include "logic/types.h"
+
+namespace dd {
+namespace sat {
+
+/// Outcome of a Solve() call.
+enum class SolveResult {
+  kSat,
+  kUnsat,
+  kUnknown,  ///< conflict budget exhausted
+};
+
+/// Running counters, cumulative over the life of the solver.
+struct SolverStats {
+  int64_t solve_calls = 0;
+  int64_t decisions = 0;
+  int64_t propagations = 0;
+  int64_t conflicts = 0;
+  int64_t restarts = 0;
+  int64_t learnt_clauses = 0;
+  int64_t removed_clauses = 0;
+};
+
+/// Incremental CDCL solver.
+///
+/// Variables are the same dense Vars as the logic layer; callers must
+/// EnsureVars() (or AddClause, which grows the variable range implicitly)
+/// before referencing a variable.
+class Solver {
+ public:
+  Solver();
+
+  /// Grows the variable range to at least `n` variables.
+  void EnsureVars(int n);
+
+  int num_vars() const { return static_cast<int>(assign_.size()); }
+
+  /// Adds a clause (empty clause makes the instance trivially UNSAT).
+  /// Tautologies are dropped; duplicate literals are merged.
+  void AddClause(std::vector<Lit> lits);
+
+  /// Convenience for unit/binary/ternary clauses.
+  void AddUnit(Lit a) { AddClause({a}); }
+  void AddBinary(Lit a, Lit b) { AddClause({a, b}); }
+  void AddTernary(Lit a, Lit b, Lit c) { AddClause({a, b, c}); }
+
+  /// Decides satisfiability under the given assumptions.
+  SolveResult Solve(const std::vector<Lit>& assumptions = {});
+
+  /// After kSat: the satisfying assignment restricted to [0, n) vars.
+  /// Unassigned variables (possible when clauses never mention them) are
+  /// reported false, which is the preferred polarity for minimal-model work.
+  Interpretation Model(int n) const;
+  Interpretation Model() const { return Model(num_vars()); }
+
+  /// After kUnsat under assumptions: a subset of the assumptions whose
+  /// conjunction is already inconsistent with the clauses (the "final
+  /// conflict"). Empty if the clause set itself is UNSAT.
+  const std::vector<Lit>& FailedAssumptions() const { return conflict_; }
+
+  /// Limits the number of conflicts a single Solve() may spend
+  /// (<0 = unlimited). On exhaustion Solve returns kUnknown.
+  void SetConflictBudget(int64_t budget) { conflict_budget_ = budget; }
+
+  /// Sets the default polarity used when a variable is first decided
+  /// (false = prefer setting variables false; good for minimization work).
+  void SetDefaultPolarity(bool value) { default_polarity_ = value; }
+
+  const SolverStats& stats() const { return stats_; }
+
+ private:
+  // Assignment lattice values.
+  enum : uint8_t { kTrue = 0, kFalse = 1, kUndef = 2 };
+
+  struct ClauseData {
+    std::vector<Lit> lits;
+    double activity = 0.0;
+    bool learnt = false;
+    bool removed = false;
+  };
+
+  struct Watcher {
+    int clause;
+    Lit blocker;
+  };
+
+  uint8_t ValueLit(Lit l) const {
+    uint8_t v = assign_[static_cast<size_t>(l.var())];
+    if (v == kUndef) return kUndef;
+    return (v == kTrue) == l.positive() ? kTrue : kFalse;
+  }
+
+  void Enqueue(Lit l, int reason);
+  int Propagate();  // returns conflicting clause index or -1
+  Lit PickBranchLit();
+  void Analyze(int confl, std::vector<Lit>* learnt, int* out_btlevel);
+  bool LitRedundant(Lit l, uint32_t abstract_levels);
+  void AnalyzeFinal(Lit p);
+  void CancelUntil(int level);
+  void NewDecisionLevel() { trail_lim_.push_back(static_cast<int>(trail_.size())); }
+  int DecisionLevel() const { return static_cast<int>(trail_lim_.size()); }
+  int AttachClause(ClauseData cd);
+  void DetachAll();
+  void ReattachAll();
+  void ReduceDb();
+  void BumpVar(Var v);
+  void BumpClause(int ci);
+  void DecayActivities();
+
+  // Heap keyed by var activity.
+  void HeapInsert(Var v);
+  void HeapUpdate(Var v);
+  Var HeapPop();
+  bool HeapEmpty() const { return heap_.empty(); }
+  void HeapSiftUp(int i);
+  void HeapSiftDown(int i);
+
+  std::vector<ClauseData> clauses_;
+  std::vector<std::vector<Watcher>> watches_;  // indexed by lit code
+  std::vector<uint8_t> assign_;                // per var
+  std::vector<int> level_;                     // per var
+  std::vector<int> reason_;                    // per var, clause idx or -1
+  std::vector<bool> polarity_;                 // saved phase per var
+  std::vector<double> activity_;               // per var
+  std::vector<int> heap_pos_;                  // per var, -1 if absent
+  std::vector<Var> heap_;
+
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;
+  size_t qhead_ = 0;
+
+  std::vector<Lit> conflict_;   // failed assumptions
+  std::vector<uint8_t> seen_;   // per var scratch for Analyze
+  std::vector<Lit> analyze_toclear_;
+  std::vector<Lit> analyze_stack_;
+
+  std::vector<uint8_t> model_;  // snapshot of the last satisfying assignment
+
+  bool ok_ = true;  // false once an empty clause is derived at level 0
+  int64_t num_learnts_ = 0;
+  bool default_polarity_ = false;
+  double var_inc_ = 1.0;
+  double cla_inc_ = 1.0;
+  int64_t conflict_budget_ = -1;
+  double max_learnts_ = 0.0;
+
+  SolverStats stats_;
+};
+
+}  // namespace sat
+}  // namespace dd
+
+#endif  // DD_SAT_SOLVER_H_

@@ -1,0 +1,42 @@
+#include "semantics/ccwa.h"
+
+#include "util/macros.h"
+
+namespace dd {
+
+CcwaSemantics::CcwaSemantics(const Database& db, Partition pqz,
+                             const SemanticsOptions& opts)
+    : ClosedWorldSemantics(db, opts), pqz_(std::move(pqz)) {
+  DD_CHECK(pqz_.Validate().ok());
+  DD_CHECK(pqz_.num_vars() == db.num_vars());
+}
+
+Result<bool> CcwaSemantics::HasModel() {
+  // Every <P;Z>-minimal model satisfies the augmentation, so CCWA(DB) is
+  // nonempty exactly when DB is satisfiable.
+  if (db().IsPositive()) return true;
+  return engine()->HasModel();
+}
+
+Result<bool> CcwaSemantics::InfersLiteral(Lit l) {
+  if (l.negative() && pqz_.p.Contains(l.var())) {
+    return !engine()->ExistsMinimalModelWith(~l, pqz_);
+  }
+  return InfersFormula(FormulaNode::MakeLit(l));
+}
+
+Result<CountingInferenceResult> CcwaSemantics::InfersFormulaViaCounting(
+    const Formula& f) {
+  return CountingInference(engine(), pqz_, f);
+}
+
+Result<Interpretation> CcwaSemantics::ComputeNegatedAtoms() {
+  Interpretation free = engine()->FreeAtoms(pqz_);
+  Interpretation negs(db().num_vars());
+  for (Var v = 0; v < db().num_vars(); ++v) {
+    if (pqz_.p.Contains(v) && !free.Contains(v)) negs.Insert(v);
+  }
+  return negs;
+}
+
+}  // namespace dd

@@ -1,0 +1,104 @@
+#include "semantics/closed_world_base.h"
+
+#include "sat/solver.h"
+#include "util/string_util.h"
+
+namespace dd {
+
+ClosedWorldSemantics::ClosedWorldSemantics(const Database& db,
+                                           const SemanticsOptions& opts)
+    : db_(db), opts_(opts), engine_(db) {}
+
+Result<Interpretation> ClosedWorldSemantics::NegatedAtoms() {
+  if (!negs_.has_value()) {
+    DD_ASSIGN_OR_RETURN(Interpretation n, ComputeNegatedAtoms());
+    negs_ = std::move(n);
+  }
+  return *negs_;
+}
+
+Result<bool> ClosedWorldSemantics::InfersFormula(const Formula& f) {
+  DD_ASSIGN_OR_RETURN(Interpretation negs, NegatedAtoms());
+  sat::Solver s;
+  s.EnsureVars(db_.num_vars());
+  for (const auto& cl : db_.ToCnf()) s.AddClause(cl);
+  for (Var v : negs.TrueAtoms()) s.AddUnit(Lit::Neg(v));
+  Var next = static_cast<Var>(db_.num_vars());
+  std::vector<std::vector<Lit>> fcnf;
+  Lit fl = TseitinEncode(f, &next, &fcnf);
+  s.EnsureVars(next);
+  for (auto& cl : fcnf) s.AddClause(std::move(cl));
+  s.AddUnit(~fl);
+  bool unsat = s.Solve() == sat::SolveResult::kUnsat;
+  MinimalStats ms;
+  ms.sat_calls = s.stats().solve_calls;
+  engine_.AbsorbStats(ms);
+  return unsat;
+}
+
+Result<std::optional<Interpretation>> ClosedWorldSemantics::FindCounterexample(
+    const Formula& f) {
+  DD_ASSIGN_OR_RETURN(Interpretation negs, NegatedAtoms());
+  sat::Solver s;
+  s.EnsureVars(db_.num_vars());
+  for (const auto& cl : db_.ToCnf()) s.AddClause(cl);
+  for (Var v : negs.TrueAtoms()) s.AddUnit(Lit::Neg(v));
+  Var next = static_cast<Var>(db_.num_vars());
+  std::vector<std::vector<Lit>> fcnf;
+  Lit fl = TseitinEncode(f, &next, &fcnf);
+  s.EnsureVars(next);
+  for (auto& cl : fcnf) s.AddClause(std::move(cl));
+  s.AddUnit(~fl);
+  bool sat = s.Solve() == sat::SolveResult::kSat;
+  MinimalStats ms;
+  ms.sat_calls = s.stats().solve_calls;
+  engine_.AbsorbStats(ms);
+  if (!sat) return std::optional<Interpretation>();
+  return std::optional<Interpretation>(s.Model(db_.num_vars()));
+}
+
+Result<bool> ClosedWorldSemantics::HasModel() {
+  DD_ASSIGN_OR_RETURN(Interpretation negs, NegatedAtoms());
+  sat::Solver s;
+  s.EnsureVars(db_.num_vars());
+  for (const auto& cl : db_.ToCnf()) s.AddClause(cl);
+  for (Var v : negs.TrueAtoms()) s.AddUnit(Lit::Neg(v));
+  bool sat = s.Solve() == sat::SolveResult::kSat;
+  MinimalStats ms;
+  ms.sat_calls = s.stats().solve_calls;
+  engine_.AbsorbStats(ms);
+  return sat;
+}
+
+Result<std::vector<Interpretation>> ClosedWorldSemantics::Models(
+    int64_t cap) {
+  if (cap < 0) cap = opts_.max_models;
+  DD_ASSIGN_OR_RETURN(Interpretation negs, NegatedAtoms());
+  sat::Solver s;
+  s.EnsureVars(db_.num_vars());
+  for (const auto& cl : db_.ToCnf()) s.AddClause(cl);
+  for (Var v : negs.TrueAtoms()) s.AddUnit(Lit::Neg(v));
+
+  std::vector<Interpretation> out;
+  while (s.Solve() == sat::SolveResult::kSat) {
+    Interpretation m = s.Model(db_.num_vars());
+    out.push_back(m);
+    if (static_cast<int64_t>(out.size()) > cap) {
+      return Status::ResourceExhausted(
+          StrFormat("more than %lld models", static_cast<long long>(cap)));
+    }
+    // Exclude exactly m.
+    std::vector<Lit> block;
+    for (Var v = 0; v < db_.num_vars(); ++v) {
+      block.push_back(m.Contains(v) ? Lit::Neg(v) : Lit::Pos(v));
+    }
+    if (block.empty()) break;
+    s.AddClause(std::move(block));
+  }
+  MinimalStats ms;
+  ms.sat_calls = s.stats().solve_calls;
+  engine_.AbsorbStats(ms);
+  return out;
+}
+
+}  // namespace dd

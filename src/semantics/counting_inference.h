@@ -1,0 +1,44 @@
+// The paper's Section 3.1 algorithm: formula inference under GCWA/CCWA in
+// polynomial time with O(log n) calls to a Σ₂ᵖ oracle.
+//
+// Augmented inference DB ∪ {¬x : x ∈ P, x false in all <P;Z>-minimal
+// models} |= F is decided in two steps (method of [Eiter & Gottlob 91]):
+//
+//   1. Binary-search the number f* of *free* P-atoms (true in some minimal
+//      model) using the Σ₂ᵖ-oracle "are at least j P-atoms free?" —
+//      O(log |P|) calls.
+//   2. One final Σ₂ᵖ call: "is there a set U of exactly f* free atoms and a
+//      model of DB ∪ {¬x : x ∈ P∖U} violating F?" Since f* is the maximum,
+//      U necessarily equals the free set, so the call is sound.
+//
+// The oracle-call counter is the observable the bench_oracle_calls harness
+// plots against |P| to exhibit the O(log n) bound.
+#ifndef DD_SEMANTICS_COUNTING_INFERENCE_H_
+#define DD_SEMANTICS_COUNTING_INFERENCE_H_
+
+#include <cstdint>
+
+#include "logic/database.h"
+#include "logic/formula.h"
+#include "minimal/minimal_models.h"
+#include "minimal/pqz.h"
+#include "util/status.h"
+
+namespace dd {
+
+/// Outcome of the counting algorithm.
+struct CountingInferenceResult {
+  bool inferred = false;
+  int free_count = 0;         ///< f*: number of free P-atoms
+  int64_t oracle_calls = 0;   ///< Σ₂ᵖ-oracle invocations (binary search + 1)
+};
+
+/// Runs the Section 3.1 algorithm for the partition `pqz` (GCWA is the
+/// P = V case). Oracle internals accrue to `engine`'s SAT statistics.
+Result<CountingInferenceResult> CountingInference(MinimalEngine* engine,
+                                                  const Partition& pqz,
+                                                  const Formula& f);
+
+}  // namespace dd
+
+#endif  // DD_SEMANTICS_COUNTING_INFERENCE_H_

@@ -1,0 +1,30 @@
+#include "semantics/cwa.h"
+
+#include "sat/solver.h"
+
+namespace dd {
+
+CwaSemantics::CwaSemantics(const Database& db, const SemanticsOptions& opts)
+    : ClosedWorldSemantics(db, opts) {}
+
+Result<Interpretation> CwaSemantics::ComputeNegatedAtoms() {
+  // ¬x joins CWA(DB) iff DB |≠ x, i.e. DB ∧ ¬x is satisfiable (or DB
+  // itself is unsatisfiable, in which case everything is entailed and
+  // nothing is negated — CWA(DB) is then inconsistent anyway).
+  const Database& database = db();
+  Interpretation negs(database.num_vars());
+  sat::Solver s;
+  s.EnsureVars(database.num_vars());
+  for (const auto& cl : database.ToCnf()) s.AddClause(cl);
+  for (Var v = 0; v < database.num_vars(); ++v) {
+    if (s.Solve({Lit::Neg(v)}) == sat::SolveResult::kSat) {
+      negs.Insert(v);
+    }
+  }
+  MinimalStats ms;
+  ms.sat_calls = s.stats().solve_calls;
+  engine()->AbsorbStats(ms);
+  return negs;
+}
+
+}  // namespace dd

@@ -1,0 +1,112 @@
+#include "semantics/egcwa.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace dd {
+
+EgcwaSemantics::EgcwaSemantics(const Database& db,
+                               const SemanticsOptions& opts)
+    : db_(db),
+      opts_(opts),
+      engine_(db),
+      all_(Partition::MinimizeAll(db.num_vars())) {}
+
+Result<bool> EgcwaSemantics::InfersFormula(const Formula& f) {
+  return engine_.MinimalEntails(f, all_);
+}
+
+Result<std::optional<Interpretation>> EgcwaSemantics::FindCounterexample(
+    const Formula& f) {
+  Interpretation witness;
+  if (engine_.MinimalEntails(f, all_, &witness)) {
+    return std::optional<Interpretation>();
+  }
+  return std::optional<Interpretation>(witness);
+}
+
+Result<bool> EgcwaSemantics::HasModel() {
+  // EGCWA(DB) = MM(DB) is nonempty iff DB has any model at all (finite
+  // propositional case: every model contains a minimal one).
+  if (db_.IsPositive()) return true;  // Table 1's O(1) entry
+  return engine_.HasModel();
+}
+
+Result<std::vector<Interpretation>> EgcwaSemantics::Models(int64_t cap) {
+  if (cap < 0) cap = opts_.max_models;
+  std::vector<Interpretation> out;
+  bool overflow = false;
+  engine_.EnumerateMinimalProjections(all_, cap + 1,
+                                      [&](const Interpretation& m) {
+                                        if (static_cast<int64_t>(out.size()) >=
+                                            cap) {
+                                          overflow = true;
+                                          return false;
+                                        }
+                                        out.push_back(m);
+                                        return true;
+                                      });
+  if (overflow) {
+    return Status::ResourceExhausted(StrFormat(
+        "more than %lld minimal models", static_cast<long long>(cap)));
+  }
+  return out;
+}
+
+Result<std::vector<std::vector<Var>>> EgcwaSemantics::EntailedNegativeClauses(
+    int max_size) {
+  // Materialize the minimal models once; a set S yields an entailed
+  // negative clause iff no minimal model contains S, and we report only
+  // the ⊆-minimal such S (everything above them is subsumed).
+  DD_ASSIGN_OR_RETURN(std::vector<Interpretation> minimal, Models());
+  const int n = db_.num_vars();
+  std::vector<std::vector<Var>> found;
+
+  // Breadth-first by size: a candidate is interesting only if all its
+  // proper subsets are "covered" (contained in some minimal model), which
+  // by induction means no previously found set is a subset.
+  std::vector<std::vector<Var>> frontier{{}};  // sets of the previous size
+  for (int size = 1; size <= max_size && size <= n; ++size) {
+    std::vector<std::vector<Var>> next;
+    for (const auto& base : frontier) {
+      Var start = base.empty() ? 0 : base.back() + 1;
+      for (Var v = start; v < n; ++v) {
+        std::vector<Var> cand = base;
+        cand.push_back(v);
+        // Skip if a found (smaller) entailed set is inside cand.
+        bool subsumed = false;
+        for (const auto& f : found) {
+          if (std::includes(cand.begin(), cand.end(), f.begin(), f.end())) {
+            subsumed = true;
+            break;
+          }
+        }
+        if (subsumed) continue;
+        bool covered = false;
+        for (const auto& m : minimal) {
+          bool inside = true;
+          for (Var x : cand) {
+            if (!m.Contains(x)) {
+              inside = false;
+              break;
+            }
+          }
+          if (inside) {
+            covered = true;
+            break;
+          }
+        }
+        if (covered) {
+          next.push_back(std::move(cand));  // still alive; grow it later
+        } else {
+          found.push_back(std::move(cand));  // minimal entailed clause
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return found;
+}
+
+}  // namespace dd

@@ -1,0 +1,171 @@
+#include "semantics/perf.h"
+
+#include "sat/solver.h"
+#include "util/string_util.h"
+
+namespace dd {
+
+PerfSemantics::PerfSemantics(const Database& db, const SemanticsOptions& opts)
+    : db_(db),
+      opts_(opts),
+      engine_(db),
+      priority_(db),
+      all_(Partition::MinimizeAll(db.num_vars())) {}
+
+Status PerfSemantics::CheckSupported() const {
+  if (db_.HasIntegrityClauses()) {
+    return Status::FailedPrecondition(
+        "PERF is defined for databases without integrity clauses "
+        "(paper footnote 3)");
+  }
+  return Status::OK();
+}
+
+Result<bool> PerfSemantics::IsPerfect(const Interpretation& m) {
+  DD_RETURN_IF_ERROR(CheckSupported());
+  if (!db_.Satisfies(m)) return false;
+  // One SAT call: does a model N preferable to m exist? N « m iff N ≠ m and
+  // every x ∈ N∖m is dominated by some y ∈ m∖N with x < y.
+  sat::Solver s;
+  s.EnsureVars(db_.num_vars());
+  for (const auto& cl : db_.ToCnf()) s.AddClause(cl);
+  std::vector<Lit> differs;
+  for (Var v = 0; v < db_.num_vars(); ++v) {
+    differs.push_back(m.Contains(v) ? Lit::Neg(v) : Lit::Pos(v));
+  }
+  s.AddClause(std::move(differs));
+  for (Var x = 0; x < db_.num_vars(); ++x) {
+    if (m.Contains(x)) continue;
+    std::vector<Lit> dom{Lit::Neg(x)};
+    for (Var y : priority_.StrictlyAbove(x).TrueAtoms()) {
+      if (m.Contains(y)) dom.push_back(Lit::Neg(y));
+    }
+    s.AddClause(std::move(dom));
+  }
+  return s.Solve() == sat::SolveResult::kUnsat;
+}
+
+Result<std::vector<Interpretation>> PerfSemantics::Models(int64_t cap) {
+  DD_RETURN_IF_ERROR(CheckSupported());
+  if (cap < 0) cap = opts_.max_models;
+  std::vector<Interpretation> out;
+  Status inner = Status::OK();
+  int64_t candidates = 0;
+  engine_.EnumerateMinimalProjections(
+      all_, /*cap=*/-1, [&](const Interpretation& m) {
+        if (++candidates > opts_.max_candidates) {
+          inner = Status::ResourceExhausted("too many minimal models");
+          return false;
+        }
+        Result<bool> perfect = IsPerfect(m);
+        if (!perfect.ok()) {
+          inner = perfect.status();
+          return false;
+        }
+        if (*perfect) {
+          out.push_back(m);
+          if (static_cast<int64_t>(out.size()) >= cap) return false;
+        }
+        return true;
+      });
+  DD_RETURN_IF_ERROR(inner);
+  return out;
+}
+
+Result<std::vector<Interpretation>> PerfSemantics::ModelsByStrataIteration(
+    int64_t cap) {
+  DD_RETURN_IF_ERROR(CheckSupported());
+  if (cap < 0) cap = opts_.max_models;
+  DD_ASSIGN_OR_RETURN(Stratification strat, Stratify(db_));
+
+  std::vector<Interpretation> out;
+  Status inner = Status::OK();
+  int64_t explored = 0;
+
+  // Depth-first over strata: at level i extend the prefix (atoms of levels
+  // < i) by every minimal completion of the clauses up to level i.
+  std::function<void(int, const Interpretation&)> descend =
+      [&](int level, const Interpretation& prefix) {
+        if (!inner.ok() || static_cast<int64_t>(out.size()) >= cap) return;
+        if (level == strat.num_strata) {
+          out.push_back(prefix);
+          return;
+        }
+        // Clauses up to this level, plus pins for the prefix atoms.
+        Database dbi = db_.SelectClauses(strat.ClausesUpToLevel(level));
+        for (Var v = 0; v < db_.num_vars(); ++v) {
+          if (strat.atom_level[static_cast<size_t>(v)] < level) {
+            if (prefix.Contains(v)) {
+              dbi.AddClause(Clause::Fact({v}));
+            } else {
+              dbi.AddClause(Clause::Integrity({v}));
+            }
+          }
+        }
+        MinimalEngine e(dbi);
+        Partition p = Partition::MinimizeAll(db_.num_vars());
+        e.EnumerateMinimalProjections(
+            p, /*cap=*/-1, [&](const Interpretation& m) {
+              if (++explored > opts_.max_candidates) {
+                inner = Status::ResourceExhausted(
+                    "strata iteration explored too many candidates");
+                return false;
+              }
+              // The completion keeps the prefix and fixes this level.
+              descend(level + 1, m);
+              return inner.ok() &&
+                     static_cast<int64_t>(out.size()) < cap;
+            });
+      };
+  descend(0, Interpretation(db_.num_vars()));
+  DD_RETURN_IF_ERROR(inner);
+  return out;
+}
+
+Result<bool> PerfSemantics::InfersFormula(const Formula& f) {
+  DD_ASSIGN_OR_RETURN(std::optional<Interpretation> ce,
+                      FindCounterexample(f));
+  return !ce.has_value();
+}
+
+Result<std::optional<Interpretation>> PerfSemantics::FindCounterexample(
+    const Formula& f) {
+  DD_RETURN_IF_ERROR(CheckSupported());
+  // Counterexample search among the minimal models (perfect ⊆ minimal).
+  std::optional<Interpretation> out;
+  Status inner = Status::OK();
+  int64_t candidates = 0;
+  engine_.EnumerateMinimalProjections(
+      all_, /*cap=*/-1, [&](const Interpretation& m) {
+        if (++candidates > opts_.max_candidates) {
+          inner = Status::ResourceExhausted("too many minimal models");
+          return false;
+        }
+        if (f->Eval(m)) return true;  // satisfies F: not a counterexample
+        Result<bool> perfect = IsPerfect(m);
+        if (!perfect.ok()) {
+          inner = perfect.status();
+          return false;
+        }
+        if (*perfect) {
+          out = m;
+          return false;
+        }
+        return true;
+      });
+  DD_RETURN_IF_ERROR(inner);
+  return out;
+}
+
+Result<bool> PerfSemantics::HasModel() {
+  DD_RETURN_IF_ERROR(CheckSupported());
+  if (db_.IsPositive()) {
+    // Without negation there are no strict priorities, PERF = MM, and a
+    // positive DB always has minimal models — Table 1's O(1) entry.
+    return true;
+  }
+  DD_ASSIGN_OR_RETURN(std::vector<Interpretation> ms, Models(1));
+  return !ms.empty();
+}
+
+}  // namespace dd

@@ -1,0 +1,187 @@
+#include "semantics/pws.h"
+
+#include <algorithm>
+#include <set>
+
+#include "fixpoint/ddr_fixpoint.h"
+#include "semantics/pws_encoding.h"
+#include "util/string_util.h"
+
+namespace dd {
+
+namespace {
+
+// A definite rule of a split program.
+struct SplitRule {
+  Var head;
+  const std::vector<Var>* body;
+};
+
+// Least model of a set of definite rules (queue-based unit fixpoint).
+Interpretation LeastModel(int num_vars, const std::vector<SplitRule>& rules) {
+  struct Pending {
+    Var head;
+    int unsatisfied;
+  };
+  std::vector<Pending> pending;
+  std::vector<std::vector<int>> watch(static_cast<size_t>(num_vars));
+  std::vector<Var> queue;
+  Interpretation derived(num_vars);
+  auto derive = [&](Var v) {
+    if (!derived.Contains(v)) {
+      derived.Insert(v);
+      queue.push_back(v);
+    }
+  };
+  for (const SplitRule& r : rules) {
+    if (r.body->empty()) {
+      derive(r.head);
+      continue;
+    }
+    int idx = static_cast<int>(pending.size());
+    pending.push_back({r.head, static_cast<int>(r.body->size())});
+    for (Var b : *r.body) watch[static_cast<size_t>(b)].push_back(idx);
+  }
+  while (!queue.empty()) {
+    Var v = queue.back();
+    queue.pop_back();
+    for (int ri : watch[static_cast<size_t>(v)]) {
+      if (--pending[static_cast<size_t>(ri)].unsatisfied == 0) {
+        derive(pending[static_cast<size_t>(ri)].head);
+      }
+    }
+  }
+  return derived;
+}
+
+}  // namespace
+
+PwsSemantics::PwsSemantics(const Database& db, const SemanticsOptions& opts)
+    : ClosedWorldSemantics(db, opts) {}
+
+Status PwsSemantics::CheckDeductive() const {
+  if (db().HasNegation()) {
+    return Status::FailedPrecondition(
+        "PWS is defined for deductive databases (no negation)");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Interpretation>> PwsSemantics::PossibleModels() {
+  DD_RETURN_IF_ERROR(CheckDeductive());
+  // Collect the rules (non-integrity clauses) and the integrity clauses.
+  std::vector<const Clause*> rules;
+  std::vector<const Clause*> constraints;
+  for (const Clause& c : db().clauses()) {
+    if (c.heads().size() > 31) {
+      return Status::ResourceExhausted(
+          "PWS split enumeration limited to heads of at most 31 atoms");
+    }
+    (c.is_integrity() ? constraints : rules).push_back(&c);
+  }
+
+  std::set<Interpretation> found;
+  int64_t splits_explored = 0;
+
+  // Odometer over nonempty head subsets of every rule.
+  std::vector<uint32_t> choice(rules.size(), 1);  // masks, start at {first}
+  std::vector<SplitRule> split;
+  for (;;) {
+    if (++splits_explored > options().max_candidates) {
+      return Status::ResourceExhausted(StrFormat(
+          "PWS split enumeration exceeded %lld splits",
+          static_cast<long long>(options().max_candidates)));
+    }
+    // Materialize the split program.
+    split.clear();
+    for (size_t i = 0; i < rules.size(); ++i) {
+      const Clause& c = *rules[i];
+      uint32_t mask = choice[i];
+      for (size_t h = 0; h < c.heads().size(); ++h) {
+        if (mask & (1u << h)) split.push_back({c.heads()[h], &c.pos_body()});
+      }
+    }
+    Interpretation lm = LeastModel(db().num_vars(), split);
+    // A possible model must satisfy the integrity clauses.
+    bool ok = true;
+    for (const Clause* ic : constraints) {
+      if (!ic->SatisfiedBy(lm)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) found.insert(lm);
+
+    // Advance the odometer.
+    size_t i = 0;
+    for (; i < rules.size(); ++i) {
+      uint32_t full = (1u << rules[i]->heads().size()) - 1;
+      if (choice[i] < full) {
+        ++choice[i];
+        break;
+      }
+      choice[i] = 1;
+    }
+    if (i == rules.size()) break;  // odometer wrapped: done
+    // Rules with empty choice impossible: masks start at 1.
+  }
+  return std::vector<Interpretation>(found.begin(), found.end());
+}
+
+Result<Interpretation> PwsSemantics::PossibleAtoms() {
+  DD_RETURN_IF_ERROR(CheckDeductive());
+  if (!db().HasIntegrityClauses()) {
+    // Polynomial path: split choices are monotone, so the full-split least
+    // model is itself a possible model containing every atom any possible
+    // model contains.
+    return DefiniteLeastModel(db());
+  }
+  if (options().pws_use_sat_encoding) {
+    PwsEncodingStats stats;
+    DD_ASSIGN_OR_RETURN(Interpretation atoms,
+                        PossibleAtomsViaSat(db(), &stats));
+    MinimalStats ms;
+    ms.sat_calls = stats.sat_calls;
+    engine()->AbsorbStats(ms);
+    return atoms;
+  }
+  DD_ASSIGN_OR_RETURN(std::vector<Interpretation> pms, PossibleModels());
+  Interpretation atoms(db().num_vars());
+  for (const auto& m : pms) {
+    for (Var v : m.TrueAtoms()) atoms.Insert(v);
+  }
+  return atoms;
+}
+
+Result<bool> PwsSemantics::InfersLiteral(Lit l) {
+  DD_RETURN_IF_ERROR(CheckDeductive());
+  if (l.negative() && db().IsPositive()) {
+    DD_ASSIGN_OR_RETURN(Interpretation atoms, PossibleAtoms());
+    // As with DDR: the atom set of the full split is a counter-model when
+    // it contains x, and ¬x is part of the augmentation otherwise.
+    return !atoms.Contains(l.var());
+  }
+  return InfersFormula(FormulaNode::MakeLit(l));
+}
+
+Result<bool> PwsSemantics::InfersFormula(const Formula& f) {
+  DD_RETURN_IF_ERROR(CheckDeductive());
+  return ClosedWorldSemantics::InfersFormula(f);
+}
+
+Result<bool> PwsSemantics::HasModel() {
+  DD_RETURN_IF_ERROR(CheckDeductive());
+  if (db().IsPositive()) return true;
+  return ClosedWorldSemantics::HasModel();
+}
+
+Result<Interpretation> PwsSemantics::ComputeNegatedAtoms() {
+  DD_ASSIGN_OR_RETURN(Interpretation atoms, PossibleAtoms());
+  Interpretation negs(db().num_vars());
+  for (Var v = 0; v < db().num_vars(); ++v) {
+    if (!atoms.Contains(v)) negs.Insert(v);
+  }
+  return negs;
+}
+
+}  // namespace dd

@@ -1,0 +1,240 @@
+#include "semantics/pws_encoding.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sat/solver.h"
+#include "util/macros.h"
+
+namespace dd {
+
+namespace {
+
+using sat::SolveResult;
+using sat::Solver;
+
+// Builder for the possible-model encoding. Variable layout:
+//   [0, n)            x_v (shared with the database ids)
+//   then K bits per atom, then selectors and auxiliaries as allocated.
+class Encoder {
+ public:
+  explicit Encoder(const Database& db) : db_(db), n_(db.num_vars()) {
+    // K = bits needed to count to n-1 (levels in [0, n)).
+    k_ = 1;
+    while ((1 << k_) < std::max(2, n_)) ++k_;
+    next_ = static_cast<Var>(n_);
+    level_base_ = next_;
+    next_ += static_cast<Var>(n_ * k_);
+    Build();
+  }
+
+  void LoadInto(Solver* s) const {
+    s->EnsureVars(next_);
+    for (const auto& cl : clauses_) s->AddClause(cl);
+  }
+
+  int num_vars() const { return next_; }
+  int num_clauses() const { return static_cast<int>(clauses_.size()); }
+
+  /// First variable beyond the encoding (for goal-side Tseitin).
+  Var FreshBase() const { return next_; }
+
+ private:
+  Var LevelBit(Var v, int k) const {
+    return level_base_ + static_cast<Var>(v) * k_ + static_cast<Var>(k);
+  }
+
+  Var Fresh() { return next_++; }
+
+  void Emit(std::vector<Lit> cl) { clauses_.push_back(std::move(cl)); }
+
+  // Returns a literal asserting level(b) < level(a) (binary comparison,
+  // most significant bit first), built from fresh auxiliaries.
+  Lit LessThan(Var b, Var a) {
+    // lt_k: bits above k are equal and bit k has b=0, a=1.
+    // result = ∨_k lt_k ; eq_k tracks equality of bits > k.
+    Lit result = Lit::Pos(Fresh());
+    std::vector<Lit> some_lt{~result};
+    Lit eq_above;  // invalid for the most significant position
+    for (int k = k_ - 1; k >= 0; --k) {
+      Lit bb = Lit::Pos(LevelBit(b, k));
+      Lit ab = Lit::Pos(LevelBit(a, k));
+      Lit lt_k = Lit::Pos(Fresh());
+      // lt_k -> ~bb, lt_k -> ab, lt_k -> eq_above.
+      Emit({~lt_k, ~bb});
+      Emit({~lt_k, ab});
+      if (eq_above.valid()) Emit({~lt_k, eq_above});
+      // Completeness direction: (~bb & ab & eq_above) -> lt_k.
+      if (eq_above.valid()) {
+        Emit({bb, ~ab, ~eq_above, lt_k});
+      } else {
+        Emit({bb, ~ab, lt_k});
+      }
+      some_lt.push_back(lt_k);
+      // eq_k = eq_above & (bb == ab).
+      if (k > 0) {
+        Lit eq_k = Lit::Pos(Fresh());
+        Emit({~eq_k, ~bb, ab});
+        Emit({~eq_k, bb, ~ab});
+        if (eq_above.valid()) {
+          Emit({~eq_k, eq_above});
+          Emit({eq_k, ~bb, ~ab, ~eq_above});
+          Emit({eq_k, bb, ab, ~eq_above});
+        } else {
+          Emit({eq_k, ~bb, ~ab});
+          Emit({eq_k, bb, ab});
+        }
+        eq_above = eq_k;
+      }
+    }
+    // result -> some lt_k. (The reverse direction is unnecessary: the
+    // soundness argument only needs "result => b<a", and satisfiability is
+    // preserved because the completeness clauses force the lt_k whose bit
+    // condition holds, after which result may be set freely.)
+    Emit(std::move(some_lt));
+    return result;
+  }
+
+  void Build() {
+    // Collect rules (non-integrity) and constraints.
+    for (int ci = 0; ci < db_.num_clauses(); ++ci) {
+      const Clause& c = db_.clause(ci);
+      if (c.is_integrity()) {
+        // Classical: ∨_b ¬x_b (deductive DBs have positive bodies only).
+        std::vector<Lit> cl;
+        for (Var b : c.pos_body()) cl.push_back(Lit::Neg(b));
+        Emit(std::move(cl));
+        continue;
+      }
+      // Selectors.
+      std::vector<Var> sel;
+      sel.reserve(c.heads().size());
+      for (size_t ai = 0; ai < c.heads().size(); ++ai) sel.push_back(Fresh());
+      // (1) nonempty selection.
+      std::vector<Lit> nonempty;
+      for (Var s : sel) nonempty.push_back(Lit::Pos(s));
+      Emit(std::move(nonempty));
+      // (2) selected rules fire.
+      for (size_t ai = 0; ai < c.heads().size(); ++ai) {
+        std::vector<Lit> fire{Lit::Neg(sel[ai])};
+        for (Var b : c.pos_body()) fire.push_back(Lit::Neg(b));
+        fire.push_back(Lit::Pos(c.heads()[ai]));
+        Emit(std::move(fire));
+      }
+      // Remember occurrences for the support constraints.
+      for (size_t ai = 0; ai < c.heads().size(); ++ai) {
+        occurrences_[c.heads()[ai]].push_back({ci, sel[ai]});
+      }
+    }
+    // (3) support with acyclic levels.
+    for (Var v = 0; v < n_; ++v) {
+      std::vector<Lit> support{Lit::Neg(v)};
+      auto it = occurrences_.find(v);
+      if (it != occurrences_.end()) {
+        for (const auto& [ci, sel] : it->second) {
+          const Clause& c = db_.clause(ci);
+          Lit y = Lit::Pos(Fresh());
+          Emit({~y, Lit::Pos(sel)});
+          for (Var b : c.pos_body()) {
+            Emit({~y, Lit::Pos(b)});
+            Lit lt = LessThan(b, v);
+            Emit({~y, lt});
+          }
+          support.push_back(y);
+        }
+      }
+      Emit(std::move(support));
+    }
+  }
+
+  const Database& db_;
+  int n_;
+  int k_;
+  Var next_;
+  Var level_base_;
+  std::vector<std::vector<Lit>> clauses_;
+  std::unordered_map<Var, std::vector<std::pair<int, Var>>> occurrences_;
+};
+
+Status RequireDeductive(const Database& db) {
+  if (db.HasNegation()) {
+    return Status::FailedPrecondition(
+        "the possible-model encoding requires a deductive database");
+  }
+  return Status::OK();
+}
+
+Result<bool> Query(const Database& db,
+                   const std::function<void(Solver*, Var)>& add_goal,
+                   Interpretation* witness, PwsEncodingStats* stats) {
+  DD_RETURN_IF_ERROR(RequireDeductive(db));
+  Encoder enc(db);
+  Solver s;
+  enc.LoadInto(&s);
+  add_goal(&s, enc.FreshBase());
+  SolveResult r = s.Solve();
+  if (stats != nullptr) {
+    stats->encoded_vars = enc.num_vars();
+    stats->encoded_clauses = enc.num_clauses();
+    stats->sat_calls += s.stats().solve_calls;
+  }
+  DD_CHECK(r != SolveResult::kUnknown);
+  if (r == SolveResult::kSat && witness != nullptr) {
+    *witness = s.Model(db.num_vars());
+  }
+  return r == SolveResult::kSat;
+}
+
+}  // namespace
+
+Result<bool> ExistsPossibleModelWith(const Database& db, Lit goal_lit,
+                                     Interpretation* witness,
+                                     PwsEncodingStats* stats) {
+  return Query(
+      db, [&](Solver* s, Var) { s->AddUnit(goal_lit); }, witness, stats);
+}
+
+Result<bool> ExistsPossibleModelViolating(const Database& db,
+                                          const Formula& f,
+                                          Interpretation* witness,
+                                          PwsEncodingStats* stats) {
+  return Query(
+      db,
+      [&](Solver* s, Var fresh) {
+        Var next = fresh;
+        std::vector<std::vector<Lit>> fcnf;
+        Lit fl = TseitinEncode(f, &next, &fcnf);
+        s->EnsureVars(next);
+        for (auto& cl : fcnf) s->AddClause(std::move(cl));
+        s->AddUnit(~fl);
+      },
+      witness, stats);
+}
+
+Result<Interpretation> PossibleAtomsViaSat(const Database& db,
+                                           PwsEncodingStats* stats) {
+  DD_RETURN_IF_ERROR(RequireDeductive(db));
+  Interpretation atoms(db.num_vars());
+  Interpretation decided(db.num_vars());
+  for (Var v = 0; v < db.num_vars(); ++v) {
+    if (decided.Contains(v)) continue;
+    Interpretation witness;
+    DD_ASSIGN_OR_RETURN(
+        bool in_some, ExistsPossibleModelWith(db, Lit::Pos(v), &witness,
+                                              stats));
+    decided.Insert(v);
+    if (in_some) {
+      // The whole witness settles its atoms positively.
+      for (Var w : witness.TrueAtoms()) {
+        atoms.Insert(w);
+        decided.Insert(w);
+      }
+    }
+  }
+  return atoms;
+}
+
+}  // namespace dd

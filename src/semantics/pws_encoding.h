@@ -1,0 +1,67 @@
+// SAT encoding of possible-model search for PWS (extension module).
+//
+// The paper's coNP upper bound for PWS literal inference with integrity
+// clauses rests on "guess a possible world, verify in P". The split
+// enumeration in PwsSemantics realizes the verifier but explores splits
+// exhaustively; this module implements the guess as a single SAT query, so
+// a possible model containing a given atom (or violating a formula) is
+// found in one NP-oracle call.
+//
+// Encoding ("level" justification of least models): variables
+//   x_v       atom v true in the possible model
+//   s_{r,a}   head atom a selected in the split of rule r
+//   l_{v,k}   binary level bits per atom (K = ceil(lg n))
+// with clauses
+//   (1) each rule selects a nonempty head subset:  ∨_a s_{r,a}
+//   (2) selected rules fire:  s_{r,a} ∧ body -> x_a
+//   (3) every true atom is supported by a selected rule whose body is true
+//       at strictly smaller levels (acyclic justification), via one
+//       auxiliary y_{r,a} per head occurrence and bitwise < comparators.
+// Integrity clauses are added classically over the x variables.
+//
+// M satisfies (1)-(3) iff M is the least model of the selected split (the
+// level function witnesses derivability; conversely derivation order gives
+// levels), so SAT(encoding ∧ goal) decides "∃ possible model ⊨ goal".
+#ifndef DD_SEMANTICS_PWS_ENCODING_H_
+#define DD_SEMANTICS_PWS_ENCODING_H_
+
+#include <optional>
+
+#include "logic/database.h"
+#include "logic/formula.h"
+#include "logic/interpretation.h"
+#include "util/status.h"
+
+namespace dd {
+
+/// Statistics for one encoded query.
+struct PwsEncodingStats {
+  int encoded_vars = 0;
+  int encoded_clauses = 0;
+  int64_t sat_calls = 0;
+};
+
+/// Decides whether some possible model of `db` satisfies `goal_lit`.
+/// On success, `witness` (if non-null) receives such a possible model.
+/// Requires db.IsDeductive().
+Result<bool> ExistsPossibleModelWith(const Database& db, Lit goal_lit,
+                                     Interpretation* witness = nullptr,
+                                     PwsEncodingStats* stats = nullptr);
+
+/// Decides whether some possible model of `db` violates `f`
+/// (the counterexample query of PWS formula inference over possible
+/// models). Requires db.IsDeductive().
+Result<bool> ExistsPossibleModelViolating(const Database& db,
+                                          const Formula& f,
+                                          Interpretation* witness = nullptr,
+                                          PwsEncodingStats* stats = nullptr);
+
+/// The union of all possible models computed through the encoding: one SAT
+/// query per undecided atom (with witness propagation). This is the
+/// polynomially-many-oracle-calls realization of PWS's negation set.
+Result<Interpretation> PossibleAtomsViaSat(const Database& db,
+                                           PwsEncodingStats* stats = nullptr);
+
+}  // namespace dd
+
+#endif  // DD_SEMANTICS_PWS_ENCODING_H_

@@ -1,0 +1,101 @@
+#include "semantics/semantics.h"
+
+#include "minimal/pqz.h"
+#include "semantics/ccwa.h"
+#include "semantics/cwa.h"
+#include "semantics/ddr.h"
+#include "semantics/dsm.h"
+#include "semantics/ecwa_circ.h"
+#include "semantics/egcwa.h"
+#include "semantics/gcwa.h"
+#include "semantics/icwa.h"
+#include "semantics/pdsm.h"
+#include "semantics/perf.h"
+#include "semantics/pws.h"
+#include "util/macros.h"
+
+namespace dd {
+
+const char* SemanticsKindName(SemanticsKind k) {
+  switch (k) {
+    case SemanticsKind::kCwa:
+      return "CWA";
+    case SemanticsKind::kGcwa:
+      return "GCWA";
+    case SemanticsKind::kEgcwa:
+      return "EGCWA";
+    case SemanticsKind::kCcwa:
+      return "CCWA";
+    case SemanticsKind::kEcwa:
+      return "ECWA";
+    case SemanticsKind::kDdr:
+      return "DDR";
+    case SemanticsKind::kPws:
+      return "PWS";
+    case SemanticsKind::kPerf:
+      return "PERF";
+    case SemanticsKind::kIcwa:
+      return "ICWA";
+    case SemanticsKind::kDsm:
+      return "DSM";
+    case SemanticsKind::kPdsm:
+      return "PDSM";
+  }
+  DD_CHECK(false);
+  return "?";
+}
+
+Result<bool> Semantics::InfersLiteral(Lit l) {
+  return InfersFormula(FormulaNode::MakeLit(l));
+}
+
+Result<bool> Semantics::InfersCredulously(const Formula& f) {
+  // A model violating ~f is exactly a model satisfying f.
+  DD_ASSIGN_OR_RETURN(std::optional<Interpretation> witness,
+                      FindCounterexample(FormulaNode::MakeNot(f)));
+  return witness.has_value();
+}
+
+Result<std::optional<Interpretation>> Semantics::FindCounterexample(
+    const Formula& f) {
+  DD_ASSIGN_OR_RETURN(std::vector<Interpretation> models, Models());
+  for (const Interpretation& m : models) {
+    if (!f->Eval(m)) return std::optional<Interpretation>(m);
+  }
+  return std::optional<Interpretation>();
+}
+
+std::unique_ptr<Semantics> MakeSemantics(SemanticsKind kind,
+                                         const Database& db,
+                                         const SemanticsOptions& opts) {
+  switch (kind) {
+    case SemanticsKind::kCwa:
+      return std::make_unique<CwaSemantics>(db, opts);
+    case SemanticsKind::kGcwa:
+      return std::make_unique<GcwaSemantics>(db, opts);
+    case SemanticsKind::kEgcwa:
+      return std::make_unique<EgcwaSemantics>(db, opts);
+    case SemanticsKind::kCcwa:
+      return std::make_unique<CcwaSemantics>(
+          db, Partition::MinimizeAll(db.num_vars()), opts);
+    case SemanticsKind::kEcwa:
+      return std::make_unique<EcwaSemantics>(
+          db, Partition::MinimizeAll(db.num_vars()), opts);
+    case SemanticsKind::kDdr:
+      return std::make_unique<DdrSemantics>(db, opts);
+    case SemanticsKind::kPws:
+      return std::make_unique<PwsSemantics>(db, opts);
+    case SemanticsKind::kPerf:
+      return std::make_unique<PerfSemantics>(db, opts);
+    case SemanticsKind::kIcwa:
+      return std::make_unique<IcwaSemantics>(db, opts);
+    case SemanticsKind::kDsm:
+      return std::make_unique<DsmSemantics>(db, opts);
+    case SemanticsKind::kPdsm:
+      return std::make_unique<PdsmSemantics>(db, opts);
+  }
+  DD_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace dd

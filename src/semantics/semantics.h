@@ -1,0 +1,116 @@
+// The common interface of the paper's database semantics.
+//
+// Every semantics assigns a database DB a set of "intended" models (for
+// PDSM, three-valued ones). The three decision problems the paper studies
+// are exposed uniformly:
+//
+//   InfersLiteral(l)  - is l true in every intended model?
+//   InfersFormula(F)  - is F true in every intended model?
+//   HasModel()        - is the intended-model set nonempty?
+//
+// Implementations are algorithm-faithful to the paper's membership proofs:
+// their oracle structure (SAT calls, CEGAR refinements) is counted and
+// reported through stats().
+#ifndef DD_SEMANTICS_SEMANTICS_H_
+#define DD_SEMANTICS_SEMANTICS_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "logic/database.h"
+#include "logic/formula.h"
+#include "logic/interpretation.h"
+#include "minimal/minimal_models.h"
+#include "util/status.h"
+
+namespace dd {
+
+/// Tuning knobs shared by all semantics.
+struct SemanticsOptions {
+  /// Upper bound on models returned by Models().
+  int64_t max_models = 1000000;
+  /// Upper bound on candidate interpretations examined by enumeration-based
+  /// procedures (PWS splits, PERF/DSM candidate loops, PDSM bit models).
+  /// Exceeding it yields ResourceExhausted rather than a wrong answer.
+  int64_t max_candidates = 1000000;
+  /// PWS: compute the possible-atom set through the SAT encoding
+  /// (semantics/pws_encoding.h) instead of split enumeration. One NP-oracle
+  /// call per undecided atom; immune to split blowup.
+  bool pws_use_sat_encoding = false;
+};
+
+/// Identifier for each implemented semantics.
+enum class SemanticsKind {
+  kCwa,  ///< Reiter's CWA (baseline the paper departs from)
+  kGcwa,
+  kEgcwa,
+  kCcwa,
+  kEcwa,  ///< identical to propositional circumscription (CIRC)
+  kDdr,   ///< identical to WGCWA
+  kPws,   ///< identical to PMS
+  kPerf,
+  kIcwa,
+  kDsm,
+  kPdsm,
+};
+
+/// Short uppercase name ("GCWA", ...).
+const char* SemanticsKindName(SemanticsKind k);
+
+/// Abstract base for all semantics.
+class Semantics {
+ public:
+  virtual ~Semantics() = default;
+
+  virtual SemanticsKind kind() const = 0;
+  std::string name() const { return SemanticsKindName(kind()); }
+
+  /// Skeptical inference of a propositional formula.
+  virtual Result<bool> InfersFormula(const Formula& f) = 0;
+
+  /// Skeptical inference of a literal. Default delegates to InfersFormula;
+  /// semantics with cheaper literal paths (DDR, PWS, GCWA) override it.
+  virtual Result<bool> InfersLiteral(Lit l);
+
+  /// Does the database possess a model under this semantics?
+  virtual Result<bool> HasModel() = 0;
+
+  /// The intended two-valued models, up to `cap` (< 0: options cap).
+  /// PDSM overrides the three-valued variant instead and reports its total
+  /// stable models here.
+  virtual Result<std::vector<Interpretation>> Models(int64_t cap = -1) = 0;
+
+  /// A certificate for a failed inference: an intended model violating `f`,
+  /// or nullopt when f is inferred. The default enumerates Models() (so it
+  /// may hit the resource caps); semantics with native counterexample
+  /// search override it. (PDSM reports the true-atom projection of a
+  /// partial counterexample.)
+  virtual Result<std::optional<Interpretation>> FindCounterexample(
+      const Formula& f);
+
+  /// Brave (credulous) inference: is f true in *some* intended model?
+  /// The dual of InfersFormula, realized through FindCounterexample(~f)
+  /// (the complexity jumps from the paper's Π-side classes to their
+  /// Σ-side duals, the variant Schaerf's related work analyzes).
+  /// Under PDSM's 3-valued reading this asks for a partial stable model in
+  /// which f is not false.
+  Result<bool> InfersCredulously(const Formula& f);
+
+  /// Cumulative oracle accounting.
+  virtual const MinimalStats& stats() const = 0;
+};
+
+/// Factory covering the semantics that need no extra parameters
+/// (CCWA/ECWA require a partition and have their own constructors; the
+/// factory instantiates them with the all-minimized partition, under which
+/// CCWA degenerates to GCWA and ECWA to EGCWA).
+std::unique_ptr<Semantics> MakeSemantics(SemanticsKind kind,
+                                         const Database& db,
+                                         const SemanticsOptions& opts = {});
+
+}  // namespace dd
+
+#endif  // DD_SEMANTICS_SEMANTICS_H_

@@ -1,0 +1,64 @@
+#include "semantics/wfs.h"
+
+#include "fixpoint/ddr_fixpoint.h"
+#include "util/macros.h"
+
+namespace dd {
+
+namespace {
+
+Status CheckNormal(const Database& db) {
+  for (const Clause& c : db.clauses()) {
+    if (c.is_integrity()) {
+      return Status::FailedPrecondition(
+          "WFS is defined for programs without integrity clauses");
+    }
+    if (!c.is_normal_rule()) {
+      return Status::FailedPrecondition(
+          "WFS is defined for normal (non-disjunctive) programs");
+    }
+  }
+  return Status::OK();
+}
+
+// Γ(S): least model of the GL-reduct of db w.r.t. S.
+Interpretation Gamma(const Database& db, const Interpretation& s) {
+  return DefiniteLeastModel(db.GlReduct(s));
+}
+
+}  // namespace
+
+Result<PartialInterpretation> WellFoundedModel(const Database& db) {
+  DD_RETURN_IF_ERROR(CheckNormal(db));
+  const int n = db.num_vars();
+  // Alternate from the empty set: T_0 = ∅, U_0 = Γ(∅) ⊇ everything
+  // derivable, then T_{i+1} = Γ(U_i), U_{i+1} = Γ(T_{i+1}).
+  Interpretation t(n);
+  Interpretation u = Gamma(db, t);
+  for (;;) {
+    Interpretation t_next = Gamma(db, u);
+    Interpretation u_next = Gamma(db, t_next);
+    if (t_next == t && u_next == u) break;
+    t = t_next;
+    u = u_next;
+  }
+  DD_CHECK(t.SubsetOf(u));
+  PartialInterpretation out(n);
+  for (Var v = 0; v < n; ++v) {
+    if (t.Contains(v)) {
+      out.SetValue(v, TruthValue::kTrue);
+    } else if (!u.Contains(v)) {
+      out.SetValue(v, TruthValue::kFalse);
+    } else {
+      out.SetValue(v, TruthValue::kUndef);
+    }
+  }
+  return out;
+}
+
+Result<bool> WellFoundedModelIsTotal(const Database& db) {
+  DD_ASSIGN_OR_RETURN(PartialInterpretation wfm, WellFoundedModel(db));
+  return wfm.IsTotal();
+}
+
+}  // namespace dd

@@ -1,0 +1,37 @@
+// Well-Founded Semantics for normal (non-disjunctive) logic programs
+// (van Gelder, Ross & Schlipf [29]) — the semantics PDSM extends.
+//
+// Extension module: the paper defines PDSM as the disjunctive
+// generalization of WFS; this module implements WFS directly through the
+// alternating-fixpoint construction and the tests confirm the relationship
+// on normal programs (the well-founded model is the knowledge-least
+// partial stable model; a total well-founded model is the unique stable
+// model).
+//
+// Alternating fixpoint: for a set of atoms S, let Γ(S) be the least model
+// of the GL-reduct DB^S. Γ is antitone, Γ² is monotone; iterating from ∅
+// yields the least fixpoint T of Γ² and its companion U = Γ(T) with
+// T ⊆ U. The well-founded model makes T true, complement(U) false and
+// U \ T undefined.
+#ifndef DD_SEMANTICS_WFS_H_
+#define DD_SEMANTICS_WFS_H_
+
+#include "logic/database.h"
+#include "logic/partial_interpretation.h"
+#include "util/status.h"
+
+namespace dd {
+
+/// Computes the well-founded model of a normal logic program (every clause
+/// has at most one head atom; integrity clauses are rejected — WFS is a
+/// single-model semantics and constraints would need a paraconsistent
+/// treatment). Polynomial time; no oracle involved.
+Result<PartialInterpretation> WellFoundedModel(const Database& db);
+
+/// Convenience: the well-founded model is total iff the program has a
+/// unique stable model equal to its true part.
+Result<bool> WellFoundedModelIsTotal(const Database& db);
+
+}  // namespace dd
+
+#endif  // DD_SEMANTICS_WFS_H_

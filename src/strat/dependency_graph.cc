@@ -1,0 +1,106 @@
+#include "strat/dependency_graph.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace dd {
+
+DependencyGraph::DependencyGraph(const Database& db)
+    : adj_(static_cast<size_t>(db.num_vars())) {
+  for (const Clause& c : db.clauses()) {
+    for (Var a : c.heads()) {
+      for (Var b : c.pos_body()) {
+        adj_[static_cast<size_t>(b)].push_back({a, false});
+      }
+      for (Var neg : c.neg_body()) {
+        adj_[static_cast<size_t>(neg)].push_back({a, true});
+      }
+      for (Var a2 : c.heads()) {
+        if (a2 != a) adj_[static_cast<size_t>(a)].push_back({a2, false});
+      }
+    }
+  }
+}
+
+std::vector<int> DependencyGraph::SccIds() const {
+  // Iterative Tarjan.
+  const int n = num_nodes();
+  std::vector<int> index(static_cast<size_t>(n), -1);
+  std::vector<int> lowlink(static_cast<size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<size_t>(n), false);
+  std::vector<int> comp(static_cast<size_t>(n), -1);
+  std::vector<Var> stack;
+  int next_index = 0;
+  int next_comp = 0;
+
+  struct Frame {
+    Var v;
+    size_t edge;
+  };
+  std::vector<Frame> call;
+
+  for (Var root = 0; root < n; ++root) {
+    if (index[static_cast<size_t>(root)] != -1) continue;
+    call.push_back({root, 0});
+    while (!call.empty()) {
+      Frame& f = call.back();
+      Var v = f.v;
+      if (f.edge == 0) {
+        index[static_cast<size_t>(v)] = lowlink[static_cast<size_t>(v)] =
+            next_index++;
+        stack.push_back(v);
+        on_stack[static_cast<size_t>(v)] = true;
+      }
+      bool descended = false;
+      while (f.edge < adj_[static_cast<size_t>(v)].size()) {
+        Var w = adj_[static_cast<size_t>(v)][f.edge].to;
+        ++f.edge;
+        if (index[static_cast<size_t>(w)] == -1) {
+          call.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[static_cast<size_t>(w)]) {
+          lowlink[static_cast<size_t>(v)] = std::min(
+              lowlink[static_cast<size_t>(v)], index[static_cast<size_t>(w)]);
+        }
+      }
+      if (descended) continue;
+      // v finished.
+      if (lowlink[static_cast<size_t>(v)] == index[static_cast<size_t>(v)]) {
+        for (;;) {
+          Var w = stack.back();
+          stack.pop_back();
+          on_stack[static_cast<size_t>(w)] = false;
+          comp[static_cast<size_t>(w)] = next_comp;
+          if (w == v) break;
+        }
+        ++next_comp;
+      }
+      call.pop_back();
+      if (!call.empty()) {
+        Var parent = call.back().v;
+        lowlink[static_cast<size_t>(parent)] =
+            std::min(lowlink[static_cast<size_t>(parent)],
+                     lowlink[static_cast<size_t>(v)]);
+      }
+    }
+  }
+  return comp;
+}
+
+bool DependencyGraph::HasStrictCycle() const {
+  std::vector<int> comp = SccIds();
+  for (Var v = 0; v < num_nodes(); ++v) {
+    for (const DepEdge& e : adj_[static_cast<size_t>(v)]) {
+      if (e.strict &&
+          comp[static_cast<size_t>(v)] == comp[static_cast<size_t>(e.to)]) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace dd

@@ -1,0 +1,50 @@
+// Atom dependency graph of a database, with strictness-annotated edges.
+//
+// An edge u -> v with weight w ∈ {0,1} encodes the stratification
+// constraint  level(v) >= level(u) + w :
+//   * positive body atom b, head atom a:  b ->0 a
+//   * negated  body atom c, head atom a:  c ->1 a   (strict)
+//   * head atoms a, a' of one clause:     a ->0 a' and a' ->0 a
+//     (disjunctive heads must share a stratum, after Przymusinski)
+#ifndef DD_STRAT_DEPENDENCY_GRAPH_H_
+#define DD_STRAT_DEPENDENCY_GRAPH_H_
+
+#include <vector>
+
+#include "logic/database.h"
+#include "logic/types.h"
+
+namespace dd {
+
+/// One directed dependency edge.
+struct DepEdge {
+  Var to;
+  bool strict;  ///< true for edges induced by negation
+};
+
+/// The dependency graph over the atoms of a database.
+class DependencyGraph {
+ public:
+  explicit DependencyGraph(const Database& db);
+
+  int num_nodes() const { return static_cast<int>(adj_.size()); }
+  const std::vector<DepEdge>& OutEdges(Var v) const {
+    return adj_[static_cast<size_t>(v)];
+  }
+
+  /// Tarjan SCC. Returns the component id of each node; ids are assigned in
+  /// reverse topological order of the condensation (i.e. if comp(u) can
+  /// reach comp(v) and they differ, then comp(u) > comp(v)).
+  std::vector<int> SccIds() const;
+
+  /// True iff some strict edge joins two nodes of the same SCC — exactly
+  /// the condition under which no stratification exists.
+  bool HasStrictCycle() const;
+
+ private:
+  std::vector<std::vector<DepEdge>> adj_;
+};
+
+}  // namespace dd
+
+#endif  // DD_STRAT_DEPENDENCY_GRAPH_H_

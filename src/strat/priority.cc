@@ -1,0 +1,61 @@
+#include "strat/priority.h"
+
+#include <queue>
+
+namespace dd {
+
+PriorityRelation::PriorityRelation(const Database& db) {
+  const int n = db.num_vars();
+  // Direct edges x -> y (x <= y), with strict flag.
+  struct Edge {
+    Var to;
+    bool strict;
+  };
+  std::vector<std::vector<Edge>> adj(static_cast<size_t>(n));
+  for (const Clause& c : db.clauses()) {
+    for (Var a : c.heads()) {
+      for (Var neg : c.neg_body())
+        adj[static_cast<size_t>(a)].push_back({neg, true});
+      for (Var b : c.pos_body())
+        adj[static_cast<size_t>(a)].push_back({b, false});
+      for (Var a2 : c.heads()) {
+        if (a2 != a) adj[static_cast<size_t>(a)].push_back({a2, false});
+      }
+    }
+  }
+
+  leq_.assign(static_cast<size_t>(n), Interpretation(n));
+  lt_.assign(static_cast<size_t>(n), Interpretation(n));
+
+  // Per-source BFS over (node, crossed-strict-edge) states.
+  for (Var src = 0; src < n; ++src) {
+    // state 0: reachable without a strict edge; state 1: with one.
+    std::vector<uint8_t> seen(static_cast<size_t>(n) * 2, 0);
+    std::queue<std::pair<Var, int>> q;
+    q.push({src, 0});
+    seen[static_cast<size_t>(src) * 2] = 1;
+    leq_[static_cast<size_t>(src)].Insert(src);
+    while (!q.empty()) {
+      auto [v, strict] = q.front();
+      q.pop();
+      for (const Edge& e : adj[static_cast<size_t>(v)]) {
+        int ns = strict | (e.strict ? 1 : 0);
+        size_t key = static_cast<size_t>(e.to) * 2 + static_cast<size_t>(ns);
+        if (seen[key]) continue;
+        seen[key] = 1;
+        leq_[static_cast<size_t>(src)].Insert(e.to);
+        if (ns) lt_[static_cast<size_t>(src)].Insert(e.to);
+        q.push({e.to, ns});
+      }
+    }
+  }
+}
+
+bool PriorityRelation::HasStrictCycle() const {
+  for (Var v = 0; v < num_vars(); ++v) {
+    if (Less(v, v)) return true;
+  }
+  return false;
+}
+
+}  // namespace dd

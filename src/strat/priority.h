@@ -1,0 +1,57 @@
+// The priority relation of the Perfect Models Semantics (paper Section 5.1,
+// after Przymusinski).
+//
+// For every clause  a1|...|an :- b1,...,bk, not c1,...,not cm :
+//   (i)   ai <  cj   (negated body atoms get strictly higher priority)
+//   (ii)  ai <= bj   (positive body atoms get at least the heads' priority)
+//   (iii) ai ~~ aj   (head atoms share a priority level)
+// where "x < y" reads: y has higher priority than x.
+//
+// The relation used by the preference order is the transitive closure;
+// Less(x,y) holds iff a <=-path from x to y crosses a strict edge.
+#ifndef DD_STRAT_PRIORITY_H_
+#define DD_STRAT_PRIORITY_H_
+
+#include <vector>
+
+#include "logic/database.h"
+#include "logic/interpretation.h"
+#include "logic/types.h"
+
+namespace dd {
+
+/// Precomputed transitive priority relation over the atoms of a database.
+class PriorityRelation {
+ public:
+  explicit PriorityRelation(const Database& db);
+
+  int num_vars() const { return static_cast<int>(leq_.size()); }
+
+  /// x <= y: y has at least x's priority (reflexive, transitive).
+  bool LessEq(Var x, Var y) const {
+    return leq_[static_cast<size_t>(x)].Contains(y);
+  }
+  /// x < y: y has strictly higher priority.
+  bool Less(Var x, Var y) const {
+    return lt_[static_cast<size_t>(x)].Contains(y);
+  }
+
+  /// All y with x < y, as a bitset (used by the SAT encoding of the
+  /// preference check).
+  const Interpretation& StrictlyAbove(Var x) const {
+    return lt_[static_cast<size_t>(x)];
+  }
+
+  /// True iff some atom satisfies x < x, i.e. the priority relation has a
+  /// cycle through negation; perfect models are then not guaranteed to
+  /// exist (the DB is not locally stratified).
+  bool HasStrictCycle() const;
+
+ private:
+  std::vector<Interpretation> leq_;  ///< row x = { y : x <= y }
+  std::vector<Interpretation> lt_;   ///< row x = { y : x <  y }
+};
+
+}  // namespace dd
+
+#endif  // DD_STRAT_PRIORITY_H_

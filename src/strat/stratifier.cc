@@ -1,0 +1,117 @@
+#include "strat/stratifier.h"
+
+#include <algorithm>
+
+#include "strat/dependency_graph.h"
+#include "util/macros.h"
+
+namespace dd {
+
+std::vector<Var> Stratification::AtomsOfLevel(int i) const {
+  std::vector<Var> out;
+  for (Var v = 0; v < static_cast<Var>(atom_level.size()); ++v) {
+    if (atom_level[static_cast<size_t>(v)] == i) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<Var> Stratification::AtomsAboveLevel(int i) const {
+  std::vector<Var> out;
+  for (Var v = 0; v < static_cast<Var>(atom_level.size()); ++v) {
+    if (atom_level[static_cast<size_t>(v)] > i) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<int> Stratification::ClausesUpToLevel(int i) const {
+  std::vector<int> out;
+  for (int c = 0; c < static_cast<int>(clause_level.size()); ++c) {
+    if (clause_level[static_cast<size_t>(c)] <= i) out.push_back(c);
+  }
+  return out;
+}
+
+std::string Stratification::ToString(const Vocabulary& voc) const {
+  std::string out;
+  for (int i = 0; i < num_strata; ++i) {
+    out += "S" + std::to_string(i + 1) + ": {";
+    bool first = true;
+    for (Var v : AtomsOfLevel(i)) {
+      if (!first) out += ", ";
+      first = false;
+      out += voc.Name(v);
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+Result<Stratification> Stratify(const Database& db) {
+  DependencyGraph g(db);
+  std::vector<int> comp = g.SccIds();
+
+  // Reject cycles through negation.
+  for (Var v = 0; v < db.num_vars(); ++v) {
+    for (const DepEdge& e : g.OutEdges(v)) {
+      if (e.strict &&
+          comp[static_cast<size_t>(v)] == comp[static_cast<size_t>(e.to)]) {
+        return Status::FailedPrecondition(
+            "database is not stratifiable: atom '" + db.vocabulary().Name(v) +
+            "' depends on itself through negation");
+      }
+    }
+  }
+
+  // Longest path over the condensation, counting strict edges. Tarjan ids
+  // are in reverse topological order, so descending id order is
+  // topological.
+  int num_comps = 0;
+  for (int c : comp) num_comps = std::max(num_comps, c + 1);
+  std::vector<int> comp_level(static_cast<size_t>(num_comps), 0);
+  for (int c = num_comps - 1; c >= 0; --c) {
+    for (Var v = 0; v < db.num_vars(); ++v) {
+      if (comp[static_cast<size_t>(v)] != c) continue;
+      for (const DepEdge& e : g.OutEdges(v)) {
+        int tc = comp[static_cast<size_t>(e.to)];
+        if (tc == c) continue;
+        comp_level[static_cast<size_t>(tc)] =
+            std::max(comp_level[static_cast<size_t>(tc)],
+                     comp_level[static_cast<size_t>(c)] + (e.strict ? 1 : 0));
+      }
+    }
+  }
+
+  Stratification out;
+  out.atom_level.resize(static_cast<size_t>(db.num_vars()));
+  int max_level = 0;
+  for (Var v = 0; v < db.num_vars(); ++v) {
+    out.atom_level[static_cast<size_t>(v)] =
+        comp_level[static_cast<size_t>(comp[static_cast<size_t>(v)])];
+    max_level = std::max(max_level, out.atom_level[static_cast<size_t>(v)]);
+  }
+  out.num_strata = max_level + 1;
+
+  out.clause_level.resize(static_cast<size_t>(db.num_clauses()));
+  for (int ci = 0; ci < db.num_clauses(); ++ci) {
+    const Clause& c = db.clause(ci);
+    int level = 0;
+    if (!c.heads().empty()) {
+      // All head atoms share an SCC (they are mutually 0-linked).
+      level = out.atom_level[static_cast<size_t>(c.heads()[0])];
+    } else {
+      // Integrity clause: evaluated once all its atoms are settled.
+      for (Var b : c.pos_body())
+        level = std::max(level, out.atom_level[static_cast<size_t>(b)]);
+      for (Var n : c.neg_body())
+        level = std::max(level, out.atom_level[static_cast<size_t>(n)]);
+    }
+    out.clause_level[static_cast<size_t>(ci)] = level;
+  }
+  return out;
+}
+
+bool IsStratifiable(const Database& db) {
+  return !DependencyGraph(db).HasStrictCycle();
+}
+
+}  // namespace dd

@@ -1,0 +1,47 @@
+// Stratification of disjunctive databases (Section 4 of the paper).
+//
+// A stratification splits the clauses into strata S1,...,Sr such that for
+// every clause, positive body atoms are defined in the same or an earlier
+// stratum and negated body atoms strictly earlier. The paper notes a
+// stratification can be found efficiently; Stratify() computes one with the
+// minimum number of strata (levels are longest strict-edge distances).
+#ifndef DD_STRAT_STRATIFIER_H_
+#define DD_STRAT_STRATIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "logic/database.h"
+#include "util/status.h"
+
+namespace dd {
+
+/// A computed stratification.
+struct Stratification {
+  /// Stratum index of each atom, in [0, num_strata).
+  std::vector<int> atom_level;
+  /// Stratum index of each clause (= its head atoms' level; integrity
+  /// clauses sit at the highest level their body atoms require).
+  std::vector<int> clause_level;
+  int num_strata = 0;
+
+  /// Atoms of stratum `i`.
+  std::vector<Var> AtomsOfLevel(int i) const;
+  /// Atoms of strata > `i` (the floating part when stratum i is minimized).
+  std::vector<Var> AtomsAboveLevel(int i) const;
+  /// Indices of clauses at levels <= `i`.
+  std::vector<int> ClausesUpToLevel(int i) const;
+
+  std::string ToString(const Vocabulary& voc) const;
+};
+
+/// Computes a stratification, or FailedPrecondition when the database is
+/// not stratifiable (a cycle through negation exists).
+Result<Stratification> Stratify(const Database& db);
+
+/// Cheap predicate form of Stratify().
+bool IsStratifiable(const Database& db);
+
+}  // namespace dd
+
+#endif  // DD_STRAT_STRATIFIER_H_

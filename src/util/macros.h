@@ -1,0 +1,28 @@
+// Assertion and annotation macros used across the library.
+//
+// DD_CHECK(cond)  - always-on invariant check; aborts with a message.
+// DD_DCHECK(cond) - debug-only invariant check (compiled out in NDEBUG).
+#ifndef DD_UTIL_MACROS_H_
+#define DD_UTIL_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define DD_CHECK(cond)                                                       \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "DD_CHECK failed at %s:%d: %s\n", __FILE__,       \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define DD_DCHECK(cond) \
+  do {                  \
+  } while (0)
+#else
+#define DD_DCHECK(cond) DD_CHECK(cond)
+#endif
+
+#endif  // DD_UTIL_MACROS_H_

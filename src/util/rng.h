@@ -1,0 +1,56 @@
+// Deterministic pseudo-random number generation for generators and tests.
+//
+// A thin wrapper over a 64-bit SplitMix/xoshiro-style generator so that
+// workload generation is reproducible across platforms and standard-library
+// versions (std::mt19937 distributions are not portable).
+#ifndef DD_UTIL_RNG_H_
+#define DD_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dd {
+
+/// Deterministic, portable 64-bit PRNG (xoshiro256**).
+class Rng {
+ public:
+  /// Seeds the stream; equal seeds yield equal streams on every platform.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound), bound > 0. Uses rejection sampling so
+  /// the distribution is exactly uniform.
+  uint64_t Below(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with probability p.
+  bool Chance(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Below(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Samples k distinct values from [0, n) in random order (k <= n).
+  std::vector<int> SampleDistinct(int n, int k);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace dd
+
+#endif  // DD_UTIL_RNG_H_

@@ -1,0 +1,123 @@
+// Status / Result error handling, in the Arrow/RocksDB idiom: the library
+// does not throw; fallible operations return dd::Status or dd::Result<T>.
+#ifndef DD_UTIL_STATUS_H_
+#define DD_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/macros.h"
+
+namespace dd {
+
+/// Machine-readable error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< malformed input (parser errors, bad partitions, ...)
+  kNotFound,          ///< requested object does not exist
+  kFailedPrecondition,///< operation not applicable (e.g. DB not stratified)
+  kResourceExhausted, ///< configured limit hit (model cap, conflict budget)
+  kInternal,          ///< invariant violation inside the library
+};
+
+/// Result of a fallible operation: a code plus a human-readable message.
+///
+/// Usage mirrors arrow::Status:
+///   DD_RETURN_IF_ERROR(DoThing());
+///   Status s = parser.Parse(text);
+///   if (!s.ok()) { ... s.message() ... }
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error holder, in the arrow::Result mould.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : v_(std::move(status)) {  // NOLINT(runtime/explicit)
+    DD_CHECK(!std::get<Status>(v_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(v_);
+  }
+
+  /// Returns the contained value; aborts if this holds an error.
+  const T& value() const& {
+    DD_CHECK(ok());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    DD_CHECK(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    DD_CHECK(ok());
+    return std::move(std::get<T>(v_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define DD_RETURN_IF_ERROR(expr)          \
+  do {                                    \
+    ::dd::Status _dd_st = (expr);         \
+    if (!_dd_st.ok()) return _dd_st;      \
+  } while (0)
+
+/// Unwraps a Result into `lhs`, propagating failure.
+#define DD_ASSIGN_OR_RETURN(lhs, rexpr)         \
+  auto _dd_res_##__LINE__ = (rexpr);            \
+  if (!_dd_res_##__LINE__.ok())                 \
+    return _dd_res_##__LINE__.status();         \
+  lhs = std::move(_dd_res_##__LINE__).value()
+
+}  // namespace dd
+
+#endif  // DD_UTIL_STATUS_H_

@@ -1,0 +1,30 @@
+// Wall-clock timing helper for benches and the experiment harness.
+#ifndef DD_UTIL_TIMER_H_
+#define DD_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace dd {
+
+/// Monotonic stopwatch. Started on construction; Restart() resets.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Restart, in seconds.
+  double ElapsedSeconds() const;
+
+  /// Elapsed time in microseconds.
+  int64_t ElapsedMicros() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dd
+
+#endif  // DD_UTIL_TIMER_H_

@@ -1,0 +1,202 @@
+#include "core/brute_force.h"
+#include "gen/generators.h"
+#include "gtest/gtest.h"
+#include "semantics/ddr.h"
+#include "semantics/gcwa.h"
+#include "semantics/pws.h"
+#include "tests/test_util.h"
+
+namespace dd {
+namespace {
+
+using testing::Db;
+using testing::F;
+using testing::ModelSet;
+
+// ---------------------------------------------------------------------------
+// Example 3.1 of the paper, verbatim: DB = {a|b, :- a&b, c :- a&b}.
+// DDR's fixpoint ignores the integrity clause, so DDR(DB) |≠ ¬c; Chan's PWS
+// respects it and infers ¬c.
+// ---------------------------------------------------------------------------
+TEST(Example31, DdrDoesNotInferNotC) {
+  Database db = Db("a | b. :- a, b. c :- a, b.");
+  DdrSemantics ddr(db);
+  auto r = ddr.InfersLiteral(Lit::Neg(db.vocabulary().Find("c")));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(*r);
+}
+
+TEST(Example31, PwsInfersNotC) {
+  Database db = Db("a | b. :- a, b. c :- a, b.");
+  PwsSemantics pws(db);
+  auto r = pws.InfersLiteral(Lit::Neg(db.vocabulary().Find("c")));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(*r);
+}
+
+TEST(Ddr, WeakerThanGcwa) {
+  // DB = {a, a|b}: GCWA |= ¬b but WGCWA/DDR does not (b occurs in a
+  // derivable disjunct).
+  Database db = Db("a. a | b.");
+  DdrSemantics ddr(db);
+  GcwaSemantics gcwa(db);
+  Lit nb = Lit::Neg(db.vocabulary().Find("b"));
+  EXPECT_FALSE(*ddr.InfersLiteral(nb));
+  EXPECT_TRUE(*gcwa.InfersLiteral(nb));
+}
+
+TEST(Ddr, ModelsMatchBruteForce) {
+  Rng rng(515);
+  for (int iter = 0; iter < 80; ++iter) {
+    DdbConfig cfg;
+    cfg.num_vars = 4 + static_cast<int>(rng.Below(3));
+    cfg.num_clauses = 4 + static_cast<int>(rng.Below(8));
+    cfg.integrity_fraction = 0.15;
+    cfg.seed = rng.Next();
+    Database db = RandomDdb(cfg);
+    DdrSemantics ddr(db);
+    auto got = ddr.Models();
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(ModelSet(*got), ModelSet(brute::DdrModels(db)))
+        << db.ToString();
+  }
+}
+
+TEST(Ddr, LiteralAndFormulaInferenceMatchBruteForce) {
+  Rng rng(616);
+  for (int iter = 0; iter < 80; ++iter) {
+    DdbConfig cfg;
+    cfg.num_vars = 4 + static_cast<int>(rng.Below(3));
+    cfg.num_clauses = 4 + static_cast<int>(rng.Below(8));
+    cfg.integrity_fraction = iter % 2 ? 0.2 : 0.0;
+    cfg.seed = rng.Next();
+    Database db = RandomDdb(cfg);
+    DdrSemantics ddr(db);
+    auto models = brute::DdrModels(db);
+    for (Var v = 0; v < db.num_vars(); ++v) {
+      Lit l = Lit::Neg(v);
+      auto got = ddr.InfersLiteral(l);
+      ASSERT_TRUE(got.ok());
+      ASSERT_EQ(*got, brute::Infers(models, FormulaNode::MakeLit(l)))
+          << db.ToString() << " v=" << v;
+    }
+    Formula f = testing::RandomFormula(&rng, db.num_vars(), 3);
+    auto fg = ddr.InfersFormula(f);
+    ASSERT_TRUE(fg.ok());
+    ASSERT_EQ(*fg, brute::Infers(models, f)) << db.ToString();
+  }
+}
+
+TEST(Ddr, RejectsNegation) {
+  Database db = Db("a :- not b.");
+  DdrSemantics ddr(db);
+  EXPECT_EQ(ddr.InfersLiteral(Lit::Neg(0)).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ddr.HasModel().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Ddr, PolynomialPathNeedsNoSatCalls) {
+  Database db = Db("a | b. c :- a. d :- c.");
+  DdrSemantics ddr(db);
+  auto r = ddr.InfersLiteral(Lit::Neg(db.vocabulary().Find("d")));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);  // d is derivable through the a-branch
+  EXPECT_EQ(ddr.stats().sat_calls, 0);
+}
+
+TEST(Pws, PossibleModelsOfPlainDisjunction) {
+  Database db = Db("a | b.");
+  PwsSemantics pws(db);
+  auto pms = pws.PossibleModels();
+  ASSERT_TRUE(pms.ok());
+  // Splits {a}, {b}, {a,b} give three distinct least models.
+  EXPECT_EQ(pms->size(), 3u);
+}
+
+TEST(Pws, PossibleModelsMatchBruteForce) {
+  Rng rng(717);
+  for (int iter = 0; iter < 80; ++iter) {
+    DdbConfig cfg;
+    cfg.num_vars = 4 + static_cast<int>(rng.Below(3));
+    cfg.num_clauses = 3 + static_cast<int>(rng.Below(6));
+    cfg.integrity_fraction = 0.2;
+    cfg.seed = rng.Next();
+    Database db = RandomDdb(cfg);
+    PwsSemantics pws(db);
+    auto got = pws.PossibleModels();
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(ModelSet(*got), ModelSet(brute::PossibleModels(db)))
+        << db.ToString();
+  }
+}
+
+TEST(Pws, ModelsAndInferenceMatchBruteForce) {
+  Rng rng(818);
+  for (int iter = 0; iter < 60; ++iter) {
+    DdbConfig cfg;
+    cfg.num_vars = 4 + static_cast<int>(rng.Below(3));
+    cfg.num_clauses = 3 + static_cast<int>(rng.Below(6));
+    cfg.integrity_fraction = iter % 2 ? 0.25 : 0.0;
+    cfg.seed = rng.Next();
+    Database db = RandomDdb(cfg);
+    PwsSemantics pws(db);
+    auto got = pws.Models();
+    ASSERT_TRUE(got.ok());
+    auto expected = brute::PwsModels(db);
+    ASSERT_EQ(ModelSet(*got), ModelSet(expected)) << db.ToString();
+    for (Var v = 0; v < db.num_vars(); ++v) {
+      Lit l = Lit::Neg(v);
+      auto lit = pws.InfersLiteral(l);
+      ASSERT_TRUE(lit.ok());
+      ASSERT_EQ(*lit, brute::Infers(expected, FormulaNode::MakeLit(l)))
+          << db.ToString() << " v=" << v;
+    }
+  }
+}
+
+TEST(Pws, AgreesWithDdrOnPositiveDbs) {
+  // Without integrity clauses the possible-atom set equals the DDR
+  // fixpoint, so both semantics augment identically.
+  Rng rng(919);
+  for (int iter = 0; iter < 60; ++iter) {
+    Database db = RandomPositiveDdb(5, 3 + static_cast<int>(rng.Below(8)),
+                                    rng.Next());
+    PwsSemantics pws(db);
+    DdrSemantics ddr(db);
+    Formula f = testing::RandomFormula(&rng, db.num_vars(), 2);
+    ASSERT_EQ(*pws.InfersFormula(f), *ddr.InfersFormula(f)) << db.ToString();
+  }
+}
+
+TEST(Pws, SplitEnumerationCapIsEnforced) {
+  std::string prog;
+  for (int i = 0; i < 10; ++i) {
+    prog += "a" + std::to_string(i) + " | b" + std::to_string(i) + " | c" +
+            std::to_string(i) + ".\n";
+  }
+  prog += ":- a0.\n";  // integrity clause forces the enumeration path
+  Database db = Db(prog);
+  SemanticsOptions opts;
+  opts.max_candidates = 100;
+  PwsSemantics pws(db, opts);
+  EXPECT_EQ(pws.PossibleModels().status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(Pws, RejectsNegation) {
+  Database db = Db("a :- not b.");
+  PwsSemantics pws(db);
+  EXPECT_EQ(pws.PossibleModels().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Pws, HasModelIsTrivialForPositive) {
+  Database db = Db("a | b. c :- a.");
+  PwsSemantics pws(db);
+  EXPECT_TRUE(*pws.HasModel());
+  EXPECT_EQ(pws.stats().sat_calls, 0);
+}
+
+}  // namespace
+}  // namespace dd

@@ -1,0 +1,61 @@
+#include "gtest/gtest.h"
+#include "sat/dimacs.h"
+
+namespace dd {
+namespace {
+
+using sat::Cnf;
+using sat::ParseDimacs;
+using sat::ToDimacs;
+
+TEST(Dimacs, ParseWithHeader) {
+  auto r = ParseDimacs("c comment\np cnf 3 2\n1 -2 0\n2 3 0\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_vars, 3);
+  ASSERT_EQ(r->clauses.size(), 2u);
+  EXPECT_EQ(r->clauses[0][0], Lit::Pos(0));
+  EXPECT_EQ(r->clauses[0][1], Lit::Neg(1));
+}
+
+TEST(Dimacs, ParseWithoutHeader) {
+  auto r = ParseDimacs("1 2 0 -1 0");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_vars, 2);
+  EXPECT_EQ(r->clauses.size(), 2u);
+}
+
+TEST(Dimacs, HeaderUnderestimateIsCorrected) {
+  auto r = ParseDimacs("p cnf 1 1\n5 0\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_vars, 5);
+}
+
+TEST(Dimacs, Errors) {
+  EXPECT_FALSE(ParseDimacs("1 2").ok());    // unterminated clause
+  EXPECT_FALSE(ParseDimacs("1 x 0").ok());  // bad token
+}
+
+TEST(Dimacs, RoundTrip) {
+  Cnf cnf;
+  cnf.num_vars = 4;
+  cnf.clauses = {{Lit::Pos(0), Lit::Neg(3)}, {Lit::Pos(2)}};
+  auto r = ParseDimacs(ToDimacs(cnf));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_vars, 4);
+  ASSERT_EQ(r->clauses.size(), 2u);
+  EXPECT_EQ(r->clauses[0], cnf.clauses[0]);
+  EXPECT_EQ(r->clauses[1], cnf.clauses[1]);
+}
+
+TEST(Dimacs, EmptyClauseRoundTrip) {
+  Cnf cnf;
+  cnf.num_vars = 1;
+  cnf.clauses = {{}};
+  auto r = ParseDimacs(ToDimacs(cnf));
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->clauses.size(), 1u);
+  EXPECT_TRUE(r->clauses[0].empty());
+}
+
+}  // namespace
+}  // namespace dd

@@ -1,0 +1,117 @@
+#include "gtest/gtest.h"
+#include "logic/formula.h"
+#include "sat/solver.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace dd {
+namespace {
+
+using FN = FormulaNode;
+
+TEST(Formula, ConstantsAndAtoms) {
+  Interpretation i = Interpretation::FromAtoms(2, {0});
+  EXPECT_TRUE(FN::MakeConst(true)->Eval(i));
+  EXPECT_FALSE(FN::MakeConst(false)->Eval(i));
+  EXPECT_TRUE(FN::MakeAtom(0)->Eval(i));
+  EXPECT_FALSE(FN::MakeAtom(1)->Eval(i));
+  EXPECT_TRUE(FN::MakeLit(Lit::Neg(1))->Eval(i));
+}
+
+TEST(Formula, Connectives) {
+  Interpretation i = Interpretation::FromAtoms(2, {0});
+  Formula a = FN::MakeAtom(0), b = FN::MakeAtom(1);
+  EXPECT_FALSE(FN::MakeAnd(a, b)->Eval(i));
+  EXPECT_TRUE(FN::MakeOr(a, b)->Eval(i));
+  EXPECT_FALSE(FN::MakeImplies(a, b)->Eval(i));
+  EXPECT_TRUE(FN::MakeImplies(b, a)->Eval(i));
+  EXPECT_FALSE(FN::MakeIff(a, b)->Eval(i));
+  EXPECT_TRUE(FN::MakeIff(a, FN::MakeNot(b))->Eval(i));
+}
+
+TEST(Formula, EmptyJunctions) {
+  Interpretation i(1);
+  EXPECT_TRUE(FN::MakeAnd({})->Eval(i));
+  EXPECT_FALSE(FN::MakeOr({})->Eval(i));
+}
+
+TEST(Formula, CollectAtomsAndMaxVar) {
+  Formula f = FN::MakeAnd(FN::MakeAtom(1),
+                          FN::MakeNot(FN::MakeOr(FN::MakeAtom(4),
+                                                 FN::MakeConst(false))));
+  Interpretation atoms(6);
+  f->CollectAtoms(&atoms);
+  EXPECT_EQ(atoms.TrueAtoms(), (std::vector<Var>{1, 4}));
+  EXPECT_EQ(f->MaxVar(), 4);
+  EXPECT_EQ(FN::MakeConst(true)->MaxVar(), kInvalidVar);
+}
+
+TEST(Formula, Eval3KleeneTables) {
+  PartialInterpretation i(2);
+  i.SetValue(0, TruthValue::kUndef);
+  i.SetValue(1, TruthValue::kTrue);
+  Formula u = FN::MakeAtom(0), t = FN::MakeAtom(1);
+  EXPECT_EQ(FN::MakeAnd(u, t)->Eval3(i), TruthValue::kUndef);
+  EXPECT_EQ(FN::MakeOr(u, t)->Eval3(i), TruthValue::kTrue);
+  EXPECT_EQ(FN::MakeNot(u)->Eval3(i), TruthValue::kUndef);
+  EXPECT_EQ(FN::MakeImplies(u, t)->Eval3(i), TruthValue::kTrue);
+  EXPECT_EQ(FN::MakeImplies(t, u)->Eval3(i), TruthValue::kUndef);
+  EXPECT_EQ(FN::MakeIff(u, u)->Eval3(i), TruthValue::kUndef);  // strong Kleene
+}
+
+TEST(Formula, Eval3AgreesWithEvalOnTotal) {
+  Rng rng(42);
+  for (int iter = 0; iter < 200; ++iter) {
+    int n = 4;
+    Formula f = testing::RandomFormula(&rng, n, 3);
+    Interpretation i(n);
+    for (Var v = 0; v < n; ++v) {
+      if (rng.Chance(0.5)) i.Insert(v);
+    }
+    PartialInterpretation p = PartialInterpretation::FromTotal(i);
+    EXPECT_EQ(f->Eval(i), f->Eval3(p) == TruthValue::kTrue);
+  }
+}
+
+TEST(Formula, ToStringReadable) {
+  Vocabulary voc;
+  Var a = voc.Intern("a"), b = voc.Intern("b");
+  Formula f = FN::MakeImplies(FN::MakeAtom(a),
+                              FN::MakeNot(FN::MakeAtom(b)));
+  EXPECT_EQ(f->ToString(voc), "(a -> ~b)");
+}
+
+// Property: the Tseitin encoding is satisfiability-faithful. For random
+// formulas f and random assignments to the original atoms, asserting the
+// definition literal forces the encoded clauses to be satisfiable exactly
+// when f evaluates true.
+TEST(Tseitin, FaithfulUnderBothPolarities) {
+  Rng rng(7);
+  for (int iter = 0; iter < 300; ++iter) {
+    const int n = 5;
+    Formula f = testing::RandomFormula(&rng, n, 3);
+    for (int polarity = 0; polarity < 2; ++polarity) {
+      Var next = n;
+      std::vector<std::vector<Lit>> clauses;
+      Lit fl = TseitinEncode(f, &next, &clauses);
+
+      Interpretation assignment(n);
+      for (Var v = 0; v < n; ++v) {
+        if (rng.Chance(0.5)) assignment.Insert(v);
+      }
+      sat::Solver s;
+      s.EnsureVars(next);
+      for (const auto& cl : clauses) s.AddClause(cl);
+      s.AddUnit(polarity ? fl : ~fl);
+      for (Var v = 0; v < n; ++v) {
+        s.AddUnit(Lit::Make(v, assignment.Contains(v)));
+      }
+      bool expected = f->Eval(assignment) == (polarity == 1);
+      EXPECT_EQ(s.Solve() == sat::SolveResult::kSat, expected)
+          << "iter=" << iter << " polarity=" << polarity;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dd

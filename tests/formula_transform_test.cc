@@ -1,0 +1,120 @@
+#include "logic/formula_transform.h"
+
+#include <functional>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace dd {
+namespace {
+
+using FN = FormulaNode;
+
+// Enumerates both 2-valued and 3-valued assignments to compare formulas.
+void AssertEquivalent(const Formula& a, const Formula& b, int n,
+                      bool check_kleene) {
+  for (uint64_t bits = 0; bits < (uint64_t{1} << n); ++bits) {
+    Interpretation i(n);
+    for (int v = 0; v < n; ++v) {
+      if ((bits >> v) & 1) i.Insert(static_cast<Var>(v));
+    }
+    ASSERT_EQ(a->Eval(i), b->Eval(i));
+  }
+  if (!check_kleene) return;
+  uint64_t count = 1;
+  for (int v = 0; v < n; ++v) count *= 3;
+  for (uint64_t code = 0; code < count; ++code) {
+    PartialInterpretation p(n);
+    uint64_t c = code;
+    for (int v = 0; v < n; ++v) {
+      p.SetValue(static_cast<Var>(v), static_cast<TruthValue>(c % 3));
+      c /= 3;
+    }
+    ASSERT_EQ(a->Eval3(p), b->Eval3(p));
+  }
+}
+
+TEST(Simplify, ConstantFolding) {
+  Vocabulary voc;
+  Formula a = FN::MakeAtom(voc.Intern("a"));
+  EXPECT_TRUE(StructurallyEqual(
+      Simplify(FN::MakeAnd(a, FN::MakeConst(true))), a));
+  Formula folded = Simplify(FN::MakeAnd(a, FN::MakeConst(false)));
+  ASSERT_EQ(folded->kind(), FormulaKind::kConst);
+  EXPECT_FALSE(folded->const_value());
+  EXPECT_TRUE(StructurallyEqual(
+      Simplify(FN::MakeOr(a, FN::MakeConst(false))), a));
+  EXPECT_TRUE(StructurallyEqual(
+      Simplify(FN::MakeImplies(FN::MakeConst(true), a)), a));
+  EXPECT_TRUE(StructurallyEqual(
+      Simplify(FN::MakeNot(FN::MakeNot(a))), a));
+}
+
+TEST(Simplify, FlattensAndDeduplicates) {
+  Formula a = FN::MakeAtom(0), b = FN::MakeAtom(1);
+  Formula nested = FN::MakeAnd(FN::MakeAnd(a, b), FN::MakeAnd(a, b));
+  Formula s = Simplify(nested);
+  EXPECT_EQ(s->kind(), FormulaKind::kAnd);
+  EXPECT_EQ(s->children().size(), 2u);
+  EXPECT_EQ(NodeCount(s), 3);
+}
+
+TEST(Simplify, SingleJunctCollapses) {
+  Formula a = FN::MakeAtom(0);
+  Formula f = FN::MakeOr(a, a);
+  EXPECT_TRUE(StructurallyEqual(Simplify(f), a));
+}
+
+TEST(Simplify, RandomEquivalenceBothSemantics) {
+  Rng rng(31415);
+  for (int iter = 0; iter < 300; ++iter) {
+    const int n = 4;
+    Formula f = testing::RandomFormula(&rng, n, 4);
+    Formula s = Simplify(f);
+    AssertEquivalent(f, s, n, /*check_kleene=*/true);
+    EXPECT_LE(NodeCount(s), NodeCount(f) + 1);
+  }
+}
+
+TEST(Nnf, NegationOnlyAtAtoms) {
+  Rng rng(2718);
+  std::function<bool(const Formula&)> check = [&](const Formula& f) -> bool {
+    if (f->kind() == FormulaKind::kNot) {
+      return f->children()[0]->kind() == FormulaKind::kAtom;
+    }
+    if (f->kind() == FormulaKind::kImplies ||
+        f->kind() == FormulaKind::kIff) {
+      return false;  // expanded away
+    }
+    for (const Formula& c : f->children()) {
+      if (!check(c)) return false;
+    }
+    return true;
+  };
+  for (int iter = 0; iter < 200; ++iter) {
+    Formula f = testing::RandomFormula(&rng, 4, 4);
+    EXPECT_TRUE(check(ToNnf(f)));
+  }
+}
+
+TEST(Nnf, RandomEquivalenceBothSemantics) {
+  Rng rng(1618);
+  for (int iter = 0; iter < 300; ++iter) {
+    const int n = 4;
+    Formula f = testing::RandomFormula(&rng, n, 3);
+    AssertEquivalent(f, ToNnf(f), n, /*check_kleene=*/true);
+  }
+}
+
+TEST(StructurallyEqual, Basics) {
+  Formula a = FN::MakeAtom(0), b = FN::MakeAtom(1);
+  EXPECT_TRUE(StructurallyEqual(FN::MakeAnd(a, b), FN::MakeAnd(a, b)));
+  EXPECT_FALSE(StructurallyEqual(FN::MakeAnd(a, b), FN::MakeAnd(b, a)));
+  EXPECT_FALSE(StructurallyEqual(a, b));
+  EXPECT_TRUE(StructurallyEqual(FN::MakeConst(true), FN::MakeConst(true)));
+  EXPECT_FALSE(StructurallyEqual(FN::MakeConst(true), FN::MakeConst(false)));
+}
+
+}  // namespace
+}  // namespace dd

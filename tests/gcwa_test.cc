@@ -1,0 +1,165 @@
+#include "core/brute_force.h"
+#include "gen/generators.h"
+#include "gtest/gtest.h"
+#include "semantics/gcwa.h"
+#include "tests/test_util.h"
+
+namespace dd {
+namespace {
+
+using testing::Db;
+using testing::F;
+using testing::ModelSet;
+
+TEST(Gcwa, TextbookDisjunction) {
+  // DB = {a | b}: neither ¬a nor ¬b (both free), but ¬c is inferred.
+  Database db = Db("a | b. c :- c.");
+  GcwaSemantics gcwa(db);
+  Vocabulary* voc = &db.vocabulary();
+  EXPECT_FALSE(*gcwa.InfersLiteral(Lit::Neg(voc->Find("a"))));
+  EXPECT_FALSE(*gcwa.InfersLiteral(Lit::Neg(voc->Find("b"))));
+  EXPECT_TRUE(*gcwa.InfersLiteral(Lit::Neg(voc->Find("c"))));
+  EXPECT_FALSE(*gcwa.InfersLiteral(Lit::Pos(voc->Find("a"))));
+  EXPECT_TRUE(*gcwa.InfersFormula(F(&db, "a | b")));
+  // GCWA keeps non-minimal models: a & b remains possible.
+  EXPECT_FALSE(*gcwa.InfersFormula(F(&db, "~a | ~b")));
+}
+
+TEST(Gcwa, FreeAtomAsymmetry) {
+  // DB = {a, a | b}: b occurs only in a subsumed disjunct; GCWA |= ¬b.
+  Database db = Db("a. a | b.");
+  GcwaSemantics gcwa(db);
+  EXPECT_TRUE(*gcwa.InfersLiteral(Lit::Neg(db.vocabulary().Find("b"))));
+  EXPECT_TRUE(*gcwa.InfersLiteral(Lit::Pos(db.vocabulary().Find("a"))));
+}
+
+TEST(Gcwa, ModelExistence) {
+  EXPECT_TRUE(*GcwaSemantics(Db("a | b. c :- a.")).HasModel());
+  EXPECT_FALSE(*GcwaSemantics(Db("a. :- a.")).HasModel());
+  // Consistent with integrity clauses.
+  EXPECT_TRUE(*GcwaSemantics(Db("a | b. :- a, b.")).HasModel());
+}
+
+TEST(Gcwa, ModelsMatchBruteForce) {
+  Rng rng(101);
+  for (int iter = 0; iter < 80; ++iter) {
+    DdbConfig cfg;
+    cfg.num_vars = 4 + static_cast<int>(rng.Below(3));
+    cfg.num_clauses = 4 + static_cast<int>(rng.Below(8));
+    cfg.integrity_fraction = 0.15;
+    cfg.seed = rng.Next();
+    Database db = RandomDdb(cfg);
+    GcwaSemantics gcwa(db);
+    auto got = gcwa.Models();
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(ModelSet(*got), ModelSet(brute::GcwaModels(db)))
+        << db.ToString();
+  }
+}
+
+TEST(Gcwa, LiteralInferenceMatchesBruteForce) {
+  Rng rng(202);
+  for (int iter = 0; iter < 120; ++iter) {
+    DdbConfig cfg;
+    cfg.num_vars = 4 + static_cast<int>(rng.Below(4));
+    cfg.num_clauses = 4 + static_cast<int>(rng.Below(9));
+    cfg.integrity_fraction = 0.2;
+    cfg.seed = rng.Next();
+    Database db = RandomDdb(cfg);
+    GcwaSemantics gcwa(db);
+    auto models = brute::GcwaModels(db);
+    for (Var v = 0; v < db.num_vars(); ++v) {
+      for (bool sign : {true, false}) {
+        Lit l = Lit::Make(v, sign);
+        auto got = gcwa.InfersLiteral(l);
+        ASSERT_TRUE(got.ok());
+        ASSERT_EQ(*got, brute::Infers(models, FormulaNode::MakeLit(l)))
+            << db.ToString() << " lit var " << v << " sign " << sign;
+      }
+    }
+  }
+}
+
+TEST(Gcwa, FormulaInferenceMatchesBruteForce) {
+  Rng rng(303);
+  for (int iter = 0; iter < 120; ++iter) {
+    DdbConfig cfg;
+    cfg.num_vars = 4 + static_cast<int>(rng.Below(4));
+    cfg.num_clauses = 4 + static_cast<int>(rng.Below(9));
+    cfg.integrity_fraction = 0.15;
+    cfg.seed = rng.Next();
+    Database db = RandomDdb(cfg);
+    GcwaSemantics gcwa(db);
+    Formula f = testing::RandomFormula(&rng, db.num_vars(), 3);
+    auto got = gcwa.InfersFormula(f);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(*got, brute::Infers(brute::GcwaModels(db), f))
+        << db.ToString() << "\nF = " << f->ToString(db.vocabulary());
+  }
+}
+
+TEST(Gcwa, CountingAlgorithmAgreesWithDirectInference) {
+  Rng rng(404);
+  for (int iter = 0; iter < 80; ++iter) {
+    DdbConfig cfg;
+    cfg.num_vars = 4 + static_cast<int>(rng.Below(4));
+    cfg.num_clauses = 4 + static_cast<int>(rng.Below(8));
+    cfg.integrity_fraction = 0.1;
+    cfg.seed = rng.Next();
+    Database db = RandomDdb(cfg);
+    GcwaSemantics gcwa(db);
+    Formula f = testing::RandomFormula(&rng, db.num_vars(), 2);
+    auto direct = gcwa.InfersFormula(f);
+    auto counting = gcwa.InfersFormulaViaCounting(f);
+    ASSERT_TRUE(direct.ok() && counting.ok());
+    ASSERT_EQ(counting->inferred, *direct)
+        << db.ToString() << "\nF = " << f->ToString(db.vocabulary());
+    // Free count equals the number of atoms in some minimal model.
+    Interpretation free(db.num_vars());
+    for (const auto& m : brute::MinimalModels(db)) {
+      for (Var v : m.TrueAtoms()) free.Insert(v);
+    }
+    ASSERT_EQ(counting->free_count, free.TrueCount());
+  }
+}
+
+TEST(Gcwa, CountingAlgorithmUsesLogarithmicallyManyOracleCalls) {
+  // |P| = n: the binary search uses ceil(log2(n+1)) calls plus one final.
+  for (int n : {4, 8, 16, 32}) {
+    Database db = RandomPositiveDdb(n, 2 * n, 42 + static_cast<uint64_t>(n));
+    GcwaSemantics gcwa(db);
+    auto r = gcwa.InfersFormulaViaCounting(
+        FormulaNode::MakeAtom(0));
+    ASSERT_TRUE(r.ok());
+    int expected_max = 1;
+    while ((1 << expected_max) < n + 1) ++expected_max;
+    EXPECT_LE(r->oracle_calls, expected_max + 1) << n;
+    EXPECT_GE(r->oracle_calls, 2);
+  }
+}
+
+TEST(Gcwa, CountingAlgorithmOnUnsatisfiableDb) {
+  Database db = Db("a. :- a.");
+  GcwaSemantics gcwa(db);
+  auto r = gcwa.InfersFormulaViaCounting(F(&db, "a & ~a"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->inferred);  // vacuously
+  EXPECT_EQ(r->free_count, 0);
+}
+
+TEST(Gcwa, UnsatDatabaseInfersEverything) {
+  Database db = Db("a. :- a.");
+  GcwaSemantics gcwa(db);
+  EXPECT_TRUE(*gcwa.InfersFormula(F(&db, "a & ~a")));
+  EXPECT_FALSE(*gcwa.HasModel());
+}
+
+TEST(Gcwa, StatsAccumulateAcrossQueries) {
+  Database db = Db("a | b. c | d :- a.");
+  GcwaSemantics gcwa(db);
+  (void)gcwa.InfersLiteral(Lit::Neg(0));
+  EXPECT_GT(gcwa.stats().sat_calls, 0);
+}
+
+}  // namespace
+}  // namespace dd

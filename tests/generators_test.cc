@@ -1,0 +1,127 @@
+#include "gen/generators.h"
+
+#include "core/brute_force.h"
+#include "gtest/gtest.h"
+#include "strat/stratifier.h"
+#include "tests/test_util.h"
+
+namespace dd {
+namespace {
+
+TEST(Generators, RandomDdbIsDeterministic) {
+  DdbConfig cfg;
+  cfg.seed = 77;
+  Database a = RandomDdb(cfg);
+  Database b = RandomDdb(cfg);
+  EXPECT_EQ(a.ToString(), b.ToString());
+  cfg.seed = 78;
+  EXPECT_NE(RandomDdb(cfg).ToString(), a.ToString());
+}
+
+TEST(Generators, RandomDdbRespectsShape) {
+  DdbConfig cfg;
+  cfg.num_vars = 10;
+  cfg.num_clauses = 40;
+  cfg.max_head = 3;
+  cfg.max_body = 3;
+  cfg.integrity_fraction = 0.0;
+  cfg.negation_fraction = 0.0;
+  cfg.seed = 5;
+  Database db = RandomDdb(cfg);
+  EXPECT_EQ(db.num_clauses(), 40);
+  EXPECT_TRUE(db.IsPositive());
+  for (const Clause& c : db.clauses()) {
+    EXPECT_GE(c.heads().size(), 1u);
+    EXPECT_LE(c.heads().size(), 3u);
+    EXPECT_LE(c.pos_body().size(), 3u);
+  }
+}
+
+TEST(Generators, IntegrityAndNegationFractions) {
+  DdbConfig cfg;
+  cfg.num_vars = 12;
+  cfg.num_clauses = 300;
+  cfg.integrity_fraction = 0.3;
+  cfg.negation_fraction = 0.5;
+  cfg.fact_fraction = 0.0;
+  cfg.seed = 9;
+  Database db = RandomDdb(cfg);
+  int integrity = 0;
+  for (const Clause& c : db.clauses()) integrity += c.is_integrity();
+  EXPECT_GT(integrity, 40);
+  EXPECT_LT(integrity, 160);
+  EXPECT_TRUE(db.HasNegation());
+}
+
+TEST(Generators, RandomPositiveDdbIsPositive) {
+  Database db = RandomPositiveDdb(8, 20, 3);
+  EXPECT_TRUE(db.IsPositive());
+  EXPECT_EQ(db.num_vars(), 8);
+}
+
+TEST(Generators, StratifiedDdbIsAlwaysStratifiable) {
+  Rng rng(1);
+  for (int iter = 0; iter < 50; ++iter) {
+    Database db = RandomStratifiedDdb(12, 20, 4, 0.6, rng.Next());
+    EXPECT_TRUE(IsStratifiable(db)) << db.ToString();
+  }
+}
+
+TEST(Generators, StratifiedDdbUsesNegation) {
+  Database db = RandomStratifiedDdb(12, 60, 4, 0.9, 3);
+  EXPECT_TRUE(db.HasNegation());
+}
+
+TEST(Generators, RandomQbfShape) {
+  QbfForallExistsCnf q = RandomQbf(3, 4, 10, 3, 2);
+  EXPECT_TRUE(q.Validate().ok());
+  EXPECT_EQ(q.universal.size(), 3u);
+  EXPECT_EQ(q.existential.size(), 4u);
+  EXPECT_EQ(q.clauses.size(), 10u);
+  for (const auto& cl : q.clauses) EXPECT_EQ(cl.size(), 3u);
+}
+
+TEST(Generators, RandomCnfShape) {
+  sat::Cnf cnf = RandomCnf(6, 15, 3, 4);
+  EXPECT_EQ(cnf.num_vars, 6);
+  EXPECT_EQ(cnf.clauses.size(), 15u);
+}
+
+TEST(Generators, GraphColoringStructure) {
+  Database db = GraphColoringDdb(5, 0.5, 3, 11);
+  EXPECT_TRUE(db.IsDeductive());
+  EXPECT_EQ(db.num_vars(), 15);
+  // Minimal models assign at least one color per node and never two equal
+  // colors across an edge; spot-check via brute force.
+  auto mins = brute::MinimalModels(db);
+  for (const auto& m : mins) {
+    for (int node = 0; node < 5; ++node) {
+      int colored = 0;
+      for (int k = 0; k < 3; ++k) {
+        Var atom = db.vocabulary().Find("c" + std::to_string(k) + "_n" +
+                                        std::to_string(node));
+        colored += m.Contains(atom);
+      }
+      EXPECT_EQ(colored, 1);
+    }
+  }
+}
+
+TEST(Generators, DiagnosisMinimalModelsAreSingleFaultsPerChain) {
+  Database db = DiagnosisDdb(6, 2, 13);
+  auto mins = brute::MinimalModels(db);
+  EXPECT_FALSE(mins.empty());
+  for (const auto& m : mins) {
+    int ab_count = 0;
+    for (Var v = 0; v < db.num_vars(); ++v) {
+      const std::string& name = db.vocabulary().Name(v);
+      if (name.rfind("ab", 0) == 0 && m.Contains(v)) ++ab_count;
+    }
+    EXPECT_EQ(ab_count, 2);  // exactly one fault per chain
+  }
+  // 3 gates per chain, 2 chains: 9 combinations of single faults.
+  EXPECT_EQ(mins.size(), 9u);
+}
+
+}  // namespace
+}  // namespace dd

@@ -1,0 +1,292 @@
+#include "ground/grounder.h"
+
+#include "core/brute_force.h"
+#include "core/reasoner.h"
+#include "ground/parser.h"
+#include "gtest/gtest.h"
+#include "semantics/dsm.h"
+#include "semantics/egcwa.h"
+#include "tests/test_util.h"
+
+namespace dd {
+namespace {
+
+using ground::FoProgram;
+using ground::GroundOptions;
+using ground::GroundProgramText;
+using ground::ParseProgram;
+
+TEST(GroundParser, AtomsTermsAndRules) {
+  auto p = ParseProgram(
+      "edge(a, b).\n"
+      "path(X, Y) :- edge(X, Y).\n"
+      "path(X, Z) :- path(X, Y), edge(Y, Z).\n"
+      ":- path(X, X).\n"
+      "flag :- not path(a, b).\n");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  ASSERT_EQ(p->rules.size(), 5u);
+  EXPECT_TRUE(p->rules[0].heads[0].IsGround());
+  EXPECT_FALSE(p->rules[1].heads[0].IsGround());
+  EXPECT_TRUE(p->rules[3].heads.empty());
+  EXPECT_EQ(p->rules[4].neg_body.size(), 1u);
+  EXPECT_EQ(p->rules[1].Variables(), (std::vector<std::string>{"X", "Y"}));
+  EXPECT_EQ(p->Constants(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(GroundParser, VariableConvention) {
+  auto p = ParseProgram("p(X, x, _tmp, 42).");
+  ASSERT_TRUE(p.ok());
+  const auto& args = p->rules[0].heads[0].args;
+  EXPECT_TRUE(args[0].is_variable);
+  EXPECT_FALSE(args[1].is_variable);
+  EXPECT_TRUE(args[2].is_variable);
+  EXPECT_FALSE(args[3].is_variable);
+}
+
+TEST(GroundParser, Errors) {
+  EXPECT_FALSE(ParseProgram("p(a").ok());
+  EXPECT_FALSE(ParseProgram("p(a,).").ok());
+  EXPECT_FALSE(ParseProgram("p(a)").ok());
+  EXPECT_FALSE(ParseProgram(":- .").ok());
+  EXPECT_FALSE(ParseProgram("not :- a.").ok());
+}
+
+TEST(GroundParser, RoundTripThroughToString) {
+  const char* text =
+      "a(X) | b(X) :- c(X), not d(X).\n"
+      ":- a(k).\n";
+  auto p = ParseProgram(text);
+  ASSERT_TRUE(p.ok());
+  auto p2 = ParseProgram(p->ToString());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p->ToString(), p2->ToString());
+}
+
+TEST(Grounder, SimpleInstantiation) {
+  auto db = GroundProgramText(
+      "node(a). node(b).\n"
+      "red(X) | blue(X) :- node(X).\n");
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  // 2 node facts + 2 instantiated choice rules.
+  EXPECT_EQ(db->num_clauses(), 4);
+  EXPECT_NE(db->vocabulary().Find("red(a)"), kInvalidVar);
+  EXPECT_NE(db->vocabulary().Find("blue(b)"), kInvalidVar);
+}
+
+TEST(Grounder, SafetyEnforcedByDefault) {
+  auto bad = GroundProgramText("p(X).");
+  EXPECT_EQ(bad.status().code(), StatusCode::kFailedPrecondition);
+  GroundOptions opts;
+  opts.require_safety = false;
+  auto ok = GroundProgramText("q(a). p(X).", opts);
+  ASSERT_TRUE(ok.ok());
+  // p instantiated over the universe {a}.
+  EXPECT_NE(ok->vocabulary().Find("p(a)"), kInvalidVar);
+}
+
+TEST(Grounder, RelevanceFilterDropsUnderivableBodies) {
+  GroundOptions with, without;
+  with.relevance_filter = true;
+  without.relevance_filter = false;
+  const char* text =
+      "fact(a).\n"
+      "out(X) :- ghost(X), fact(X).\n";  // ghost is never derivable
+  auto filtered = GroundProgramText(text, with);
+  auto full = GroundProgramText(text, without);
+  ASSERT_TRUE(filtered.ok() && full.ok());
+  EXPECT_LT(filtered->num_clauses(), full->num_clauses());
+  // Semantics preserved: same minimal models on the shared atoms.
+  EXPECT_EQ(brute::MinimalModels(*filtered).size(),
+            brute::MinimalModels(*full).size());
+}
+
+TEST(Grounder, RelevanceFilterScopeCounterexample) {
+  // The documented limitation: under ECWA with a floating atom, the filter
+  // changes answers — the dropped rule "x :- ghost" constrained the junk
+  // completions. This pins the documented behaviour down.
+  GroundOptions on, off;
+  on.relevance_filter = true;
+  off.relevance_filter = false;
+  const char* text = "a. x :- ghost.";
+  auto filtered = GroundProgramText(text, on);
+  auto full = GroundProgramText(text, off);
+  ASSERT_TRUE(filtered.ok() && full.ok());
+  EXPECT_EQ(filtered->num_clauses(), 1);
+  EXPECT_EQ(full->num_clauses(), 2);
+  // Classical models over {ghost, x} differ, which is exactly why the
+  // filter is opt-in.
+  EXPECT_NE(brute::AllModels(*filtered).size(),
+            brute::AllModels(*full).size());
+}
+
+TEST(Grounder, RelevanceFilterDisabledUnderNegation) {
+  // With negation the filter would be unsound; verify it is bypassed and
+  // grounding keeps the rule even when explicitly requested.
+  GroundOptions opts;
+  opts.relevance_filter = true;
+  auto db = GroundProgramText(
+      "item(a).\n"
+      "ok(X) :- item(X), not broken(X).\n",
+      opts);
+  ASSERT_TRUE(db.ok());
+  EXPECT_NE(db->vocabulary().Find("ok(a)"), kInvalidVar);
+  EgcwaSemantics egcwa(*db);
+  auto models = egcwa.Models();
+  ASSERT_TRUE(models.ok());
+  // Minimal model: {item(a), ok(a)}... classically minimal models are
+  // {item(a), ok(a)} and {item(a), broken(a)}.
+  EXPECT_EQ(models->size(), 2u);
+}
+
+TEST(Grounder, ClauseCapEnforced) {
+  GroundOptions opts;
+  opts.max_clauses = 10;
+  auto db = GroundProgramText(
+      "d(a). d(b). d(c). d(e). d(f).\n"
+      "p(X, Y, Z) :- d(X), d(Y), d(Z).\n",
+      opts);
+  EXPECT_EQ(db.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Grounder, DuplicateInstancesDeduplicated) {
+  auto db = GroundProgramText(
+      "d(a).\n"
+      "p :- d(a).\n"
+      "p :- d(X).\n");  // the instance duplicates the ground rule
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->num_clauses(), 2);
+}
+
+TEST(GroundBottomUp, RejectsNegationAndUnsafety) {
+  auto p1 = ParseProgram("a(X) :- b(X), not c(X). b(k).");
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(ground::GroundBottomUp(*p1).status().code(),
+            StatusCode::kFailedPrecondition);
+  auto p2 = ParseProgram("a(X). b(k).");
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(ground::GroundBottomUp(*p2).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(GroundBottomUp, AgreesWithNaiveOnCwaFamilyAnswers) {
+  // Bottom-up grounding only keeps derivable-body instances; for the
+  // CWA/fixpoint family the answers must match the full naive grounding.
+  const char* prog =
+      "edge(a, b). edge(b, c). edge(c, d).\n"
+      "path(X, Y) | detour(X, Y) :- edge(X, Y).\n"
+      "path(X, Z) :- path(X, Y), path(Y, Z).\n"
+      "reach(X) :- path(a, X).\n";
+  auto parsed = ParseProgram(prog);
+  ASSERT_TRUE(parsed.ok());
+  auto naive = ground::Ground(*parsed);
+  auto smart = ground::GroundBottomUp(*parsed);
+  ASSERT_TRUE(naive.ok() && smart.ok());
+  EXPECT_LT(smart->num_clauses(), naive->num_clauses());
+  Reasoner rn(*naive), rs(*smart);
+  for (const char* q :
+       {"not reach(d)", "not reach(b)", "not path(b,a)", "not detour(a,b)"}) {
+    auto a = rn.InfersLiteral(SemanticsKind::kGcwa, q);
+    auto b = rs.InfersLiteral(SemanticsKind::kGcwa, q);
+    ASSERT_TRUE(a.ok() && b.ok()) << q;
+    EXPECT_EQ(*a, *b) << q;
+    auto c = rn.InfersLiteral(SemanticsKind::kDdr, q);
+    auto d = rs.InfersLiteral(SemanticsKind::kDdr, q);
+    ASSERT_TRUE(c.ok() && d.ok()) << q;
+    EXPECT_EQ(*c, *d) << q;
+  }
+}
+
+TEST(GroundBottomUp, ScalesWhereNaiveExplodes) {
+  // Chain of 40 constants: the join rule has 3 variables, so naive
+  // grounding enumerates 40^3 = 64000 instantiations while the bottom-up
+  // join only touches derivable path atoms.
+  std::string prog;
+  const int n = 40;
+  for (int i = 0; i + 1 < n; ++i) {
+    prog += "edge(c" + std::to_string(i) + ", c" + std::to_string(i + 1) +
+            ").\n";
+  }
+  prog += "path(X, Y) :- edge(X, Y).\n";
+  prog += "path(X, Z) :- path(X, Y), edge(Y, Z).\n";
+  auto parsed = ParseProgram(prog);
+  ASSERT_TRUE(parsed.ok());
+  auto smart = ground::GroundBottomUp(*parsed);
+  ASSERT_TRUE(smart.ok()) << smart.status().ToString();
+  // n-1 edges + n-1 base-path instances + C(n-1,2)-ish join instances:
+  // far below the naive 64000.
+  EXPECT_LT(smart->num_clauses(), 2000);
+  // Spot-check reachability end to end.
+  Reasoner r(*smart);
+  EXPECT_TRUE(*r.InfersLiteral(SemanticsKind::kGcwa, "path(c0,c39)"));
+  EXPECT_TRUE(*r.InfersLiteral(SemanticsKind::kGcwa, "not path(c39,c0)"));
+}
+
+TEST(GroundBottomUp, IntegrityInstancesFromDerivableBodies) {
+  const char* prog =
+      "q(a) | q(b).\n"
+      ":- q(X), q(Y), neq(X, Y).\n"
+      "neq(a, b). neq(b, a).\n";
+  auto parsed = ParseProgram(prog);
+  ASSERT_TRUE(parsed.ok());
+  auto db = ground::GroundBottomUp(*parsed);
+  ASSERT_TRUE(db.ok());
+  // Both q atoms are derivable, so the integrity instances appear.
+  DsmSemantics dsm(*db);
+  auto models = dsm.Models();
+  ASSERT_TRUE(models.ok());
+  // Exactly two stable models: q(a) or q(b), never both.
+  EXPECT_EQ(models->size(), 2u);
+}
+
+TEST(Grounder, ThreeColoringEndToEnd) {
+  // A triangle is 3-colorable but not 2-colorable.
+  const char* triangle =
+      "node(a). node(b). node(c).\n"
+      "edge(a, b). edge(b, c). edge(a, c).\n"
+      "col(X, r) | col(X, g) | col(X, b2) :- node(X).\n"
+      ":- edge(X, Y), col(X, C), col(Y, C).\n";
+  auto db = GroundProgramText(triangle);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  DsmSemantics dsm(*db);
+  EXPECT_TRUE(*dsm.HasModel());
+
+  const char* two_colors =
+      "node(a). node(b). node(c).\n"
+      "edge(a, b). edge(b, c). edge(a, c).\n"
+      "col(X, r) | col(X, g) :- node(X).\n"
+      ":- edge(X, Y), col(X, C), col(Y, C).\n";
+  auto db2 = GroundProgramText(two_colors);
+  ASSERT_TRUE(db2.ok());
+  DsmSemantics dsm2(*db2);
+  EXPECT_FALSE(*dsm2.HasModel());
+}
+
+TEST(Grounder, TransitiveClosure) {
+  const char* prog =
+      "edge(a, b). edge(b, c).\n"
+      "path(X, Y) :- edge(X, Y).\n"
+      "path(X, Z) :- path(X, Y), edge(Y, Z).\n";
+  auto db = GroundProgramText(prog);
+  ASSERT_TRUE(db.ok());
+  Reasoner r(std::move(db).value());
+  EXPECT_TRUE(*r.InfersLiteral(SemanticsKind::kGcwa, "path(a,c)"));
+  EXPECT_TRUE(*r.InfersLiteral(SemanticsKind::kGcwa, "not path(c,a)"));
+}
+
+TEST(Grounder, StratifiedDefaultsThroughGrounding) {
+  // win(X) :- move(X,Y), not win(Y): the classic game program (acyclic
+  // moves keep it stratified after grounding on this instance's ordering).
+  const char* game =
+      "move(a, b). move(b, c).\n"
+      "win(X) :- move(X, Y), not win(Y).\n";
+  auto db = GroundProgramText(game);
+  ASSERT_TRUE(db.ok());
+  Reasoner r(std::move(db).value());
+  // c has no moves: lost. b can move to c: won. a moves to b (won): lost.
+  EXPECT_TRUE(*r.InfersFormula(SemanticsKind::kDsm, "win(b)"));
+  EXPECT_TRUE(*r.InfersFormula(SemanticsKind::kDsm, "~win(a)"));
+  EXPECT_TRUE(*r.InfersFormula(SemanticsKind::kDsm, "~win(c)"));
+}
+
+}  // namespace
+}  // namespace dd

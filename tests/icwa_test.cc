@@ -1,0 +1,119 @@
+#include "core/brute_force.h"
+#include "gen/generators.h"
+#include "gtest/gtest.h"
+#include "semantics/egcwa.h"
+#include "semantics/icwa.h"
+#include "tests/test_util.h"
+
+namespace dd {
+namespace {
+
+using testing::Db;
+using testing::F;
+using testing::ModelSet;
+
+TEST(Icwa, SingleStratumPositiveDbEqualsEgcwa) {
+  // Theorem 4.2's observation: with S = <V>, ICWA collapses to EGCWA on
+  // positive databases.
+  Rng rng(111);
+  for (int iter = 0; iter < 50; ++iter) {
+    Database db = RandomPositiveDdb(5, 4 + static_cast<int>(rng.Below(7)),
+                                    rng.Next());
+    IcwaSemantics icwa(db);
+    EgcwaSemantics egcwa(db);
+    Formula f = testing::RandomFormula(&rng, db.num_vars(), 2);
+    ASSERT_EQ(*icwa.InfersFormula(f), *egcwa.InfersFormula(f))
+        << db.ToString();
+  }
+}
+
+TEST(Icwa, StratifiedTextbookExample) {
+  // a | b in stratum 1; c :- not a in stratum 2. ICWA models: pick a
+  // minimal choice from {a,b}, then close carefully above it.
+  Database db = Db("a | b. c :- not a.");
+  IcwaSemantics icwa(db);
+  auto models = icwa.Models();
+  ASSERT_TRUE(models.ok()) << models.status().ToString();
+  // Expected: {a} (a chosen, c blocked) and {b, c} (a false fires c).
+  Var a = db.vocabulary().Find("a"), b = db.vocabulary().Find("b"),
+      c = db.vocabulary().Find("c");
+  std::set<Interpretation> expect{
+      Interpretation::FromAtoms(3, {a}),
+      Interpretation::FromAtoms(3, {b, c}),
+  };
+  EXPECT_EQ(ModelSet(*models), expect);
+  EXPECT_TRUE(*icwa.InfersFormula(F(&db, "a | c")));
+  EXPECT_FALSE(*icwa.InfersFormula(F(&db, "c")));
+}
+
+TEST(Icwa, ModelsMatchBruteForce) {
+  Rng rng(222);
+  for (int iter = 0; iter < 60; ++iter) {
+    Database db = RandomStratifiedDdb(5 + static_cast<int>(rng.Below(3)),
+                                      5 + static_cast<int>(rng.Below(8)), 3,
+                                      0.5, rng.Next());
+    IcwaSemantics icwa(db);
+    auto got = icwa.Models();
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_EQ(ModelSet(*got), ModelSet(brute::IcwaModels(db)))
+        << db.ToString();
+  }
+}
+
+TEST(Icwa, FormulaInferenceMatchesBruteForce) {
+  Rng rng(333);
+  for (int iter = 0; iter < 80; ++iter) {
+    Database db = RandomStratifiedDdb(5 + static_cast<int>(rng.Below(3)),
+                                      5 + static_cast<int>(rng.Below(7)), 3,
+                                      0.5, rng.Next());
+    IcwaSemantics icwa(db);
+    Formula f = testing::RandomFormula(&rng, db.num_vars(), 3);
+    auto got = icwa.InfersFormula(f);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_EQ(*got, brute::Infers(brute::IcwaModels(db), f))
+        << db.ToString() << "\nF = " << f->ToString(db.vocabulary());
+  }
+}
+
+TEST(Icwa, IsIcwaModelAgreesWithBruteForce) {
+  Rng rng(444);
+  for (int iter = 0; iter < 40; ++iter) {
+    Database db = RandomStratifiedDdb(5, 5 + static_cast<int>(rng.Below(6)),
+                                      2, 0.5, rng.Next());
+    IcwaSemantics icwa(db);
+    auto expected = ModelSet(brute::IcwaModels(db));
+    for (const auto& m : brute::AllModels(db.Positivize())) {
+      auto got = icwa.IsIcwaModel(m);
+      ASSERT_TRUE(got.ok());
+      ASSERT_EQ(*got, expected.count(m) > 0) << db.ToString();
+    }
+  }
+}
+
+TEST(Icwa, HasModelIsConstantForStratifiedDbs) {
+  Database db = Db("a | b. c :- not a. d :- c, not b.");
+  IcwaSemantics icwa(db);
+  auto r = icwa.HasModel();
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+  // The O(1) claim: no oracle calls were needed.
+  EXPECT_EQ(icwa.stats().sat_calls, 0);
+}
+
+TEST(Icwa, FailsOnUnstratifiable) {
+  Database db = Db("a :- not b. b :- not a.");
+  IcwaSemantics icwa(db);
+  EXPECT_EQ(icwa.HasModel().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Icwa, AcceptsExplicitStratification) {
+  Database db = Db("a | b. c :- not a.");
+  auto strat = Stratify(db);
+  ASSERT_TRUE(strat.ok());
+  IcwaSemantics icwa(db, *strat);
+  EXPECT_TRUE(*icwa.HasModel());
+}
+
+}  // namespace
+}  // namespace dd

@@ -1,0 +1,187 @@
+// Cross-semantics properties from the paper's Sections 3-5, checked on
+// randomized databases: the known inclusions and collapses between the ten
+// semantics. These relations hold *between* independently implemented
+// engines, so they catch errors that single-semantics tests cannot.
+#include "core/brute_force.h"
+#include "gen/generators.h"
+#include "gtest/gtest.h"
+#include "semantics/ddr.h"
+#include "semantics/dsm.h"
+#include "semantics/ecwa_circ.h"
+#include "semantics/egcwa.h"
+#include "semantics/gcwa.h"
+#include "semantics/icwa.h"
+#include "semantics/pdsm.h"
+#include "semantics/perf.h"
+#include "semantics/pws.h"
+#include "tests/test_util.h"
+
+namespace dd {
+namespace {
+
+using testing::ModelSet;
+
+TEST(Hierarchy, GcwaInferenceImpliesEgcwaInference) {
+  // GCWA's model set contains EGCWA's (every minimal model is a GCWA
+  // model), so GCWA-inference is the weaker relation.
+  Rng rng(1);
+  for (int iter = 0; iter < 60; ++iter) {
+    DdbConfig cfg;
+    cfg.num_vars = 5;
+    cfg.num_clauses = 6;
+    cfg.integrity_fraction = 0.1;
+    cfg.seed = rng.Next();
+    Database db = RandomDdb(cfg);
+    GcwaSemantics gcwa(db);
+    EgcwaSemantics egcwa(db);
+    Formula f = testing::RandomFormula(&rng, db.num_vars(), 3);
+    if (*gcwa.InfersFormula(f)) {
+      EXPECT_TRUE(*egcwa.InfersFormula(f))
+          << db.ToString() << "\nF = " << f->ToString(db.vocabulary());
+    }
+  }
+}
+
+TEST(Hierarchy, WgcwaIsWeakerThanGcwaOnNegativeLiterals) {
+  // DDR (= WGCWA) never infers a negative literal GCWA misses.
+  Rng rng(2);
+  for (int iter = 0; iter < 60; ++iter) {
+    Database db = RandomPositiveDdb(5, 4 + static_cast<int>(rng.Below(8)),
+                                    rng.Next());
+    GcwaSemantics gcwa(db);
+    DdrSemantics ddr(db);
+    for (Var v = 0; v < db.num_vars(); ++v) {
+      if (*ddr.InfersLiteral(Lit::Neg(v))) {
+        EXPECT_TRUE(*gcwa.InfersLiteral(Lit::Neg(v))) << db.ToString();
+      }
+    }
+  }
+}
+
+TEST(Hierarchy, PositiveDbCollapse) {
+  // On positive DBs: EGCWA = ECWA(P=V) = PERF = DSM = MM, and the total
+  // PDSM models again coincide.
+  Rng rng(3);
+  for (int iter = 0; iter < 40; ++iter) {
+    Database db = RandomPositiveDdb(5, 4 + static_cast<int>(rng.Below(7)),
+                                    rng.Next());
+    auto mm = ModelSet(brute::MinimalModels(db));
+    EXPECT_EQ(ModelSet(*EgcwaSemantics(db).Models()), mm) << db.ToString();
+    EXPECT_EQ(ModelSet(*EcwaSemantics(db, Partition::MinimizeAll(
+                                              db.num_vars()))
+                            .Models()),
+              mm)
+        << db.ToString();
+    EXPECT_EQ(ModelSet(*PerfSemantics(db).Models()), mm) << db.ToString();
+    EXPECT_EQ(ModelSet(*DsmSemantics(db).Models()), mm) << db.ToString();
+  }
+}
+
+TEST(Hierarchy, StableSubsetOfPerfectSubsetOfMinimalOnStratified) {
+  // For stratified DBs the perfect models coincide with the stable models
+  // (Przymusinski), and both sit inside the minimal models.
+  Rng rng(4);
+  for (int iter = 0; iter < 50; ++iter) {
+    Database db = RandomStratifiedDdb(5, 6, 3, 0.5, rng.Next());
+    auto minimal = ModelSet(brute::MinimalModels(db));
+    auto perfect = ModelSet(*PerfSemantics(db).Models());
+    auto stable = ModelSet(*DsmSemantics(db).Models());
+    EXPECT_EQ(perfect, stable) << db.ToString();
+    for (const auto& m : perfect) EXPECT_TRUE(minimal.count(m) > 0);
+  }
+}
+
+TEST(Hierarchy, IcwaCapturesPerfOnStratifiedDbs) {
+  // The paper introduces ICWA as the iterated-closure characterization of
+  // PERF under stratified negation; on stratified DBs the two model sets
+  // coincide (and hence equal the stable models as well).
+  Rng rng(42);
+  for (int iter = 0; iter < 60; ++iter) {
+    Database db = RandomStratifiedDdb(5 + static_cast<int>(rng.Below(3)),
+                                      5 + static_cast<int>(rng.Below(7)), 3,
+                                      0.5, rng.Next());
+    PerfSemantics perf(db);
+    IcwaSemantics icwa(db);
+    auto p = perf.Models();
+    auto i = icwa.Models();
+    ASSERT_TRUE(p.ok() && i.ok());
+    ASSERT_EQ(ModelSet(*p), ModelSet(*i)) << db.ToString();
+  }
+}
+
+TEST(Hierarchy, PdsmExtendsDsm) {
+  // Every (total) stable model appears among the partial stable models.
+  Rng rng(5);
+  for (int iter = 0; iter < 40; ++iter) {
+    DdbConfig cfg;
+    cfg.num_vars = 4;
+    cfg.num_clauses = 5;
+    cfg.negation_fraction = 0.4;
+    cfg.seed = rng.Next();
+    Database db = RandomDdb(cfg);
+    auto stable = ModelSet(*DsmSemantics(db).Models());
+    auto partial = *PdsmSemantics(db).PartialModels();
+    std::set<Interpretation> total;
+    for (const auto& p : partial) {
+      if (p.IsTotal()) total.insert(p.TrueSet());
+    }
+    EXPECT_EQ(total, stable) << db.ToString();
+  }
+}
+
+TEST(Hierarchy, PwsAndDdrDivergeOnlyWithIntegrityClauses) {
+  Rng rng(6);
+  int diverged = 0;
+  for (int iter = 0; iter < 60; ++iter) {
+    DdbConfig cfg;
+    cfg.num_vars = 5;
+    cfg.num_clauses = 6;
+    cfg.integrity_fraction = 0.3;
+    cfg.seed = rng.Next();
+    Database db = RandomDdb(cfg);
+    PwsSemantics pws(db);
+    DdrSemantics ddr(db);
+    for (Var v = 0; v < db.num_vars(); ++v) {
+      bool p = *pws.InfersLiteral(Lit::Neg(v));
+      bool d = *ddr.InfersLiteral(Lit::Neg(v));
+      // PWS possible models are a subset of the DDR-supported atoms, so
+      // PWS infers at least as many negative literals.
+      if (d) {
+        EXPECT_TRUE(p) << db.ToString();
+      }
+      diverged += (p != d);
+    }
+  }
+  EXPECT_GT(diverged, 0);  // the divergence really happens
+}
+
+TEST(Hierarchy, DsmInferenceExtendsEgcwaOnNegationFreeDbs) {
+  // With no negation the reduct is the database itself, so stable = minimal
+  // and both semantics infer the same formulas.
+  Rng rng(7);
+  for (int iter = 0; iter < 40; ++iter) {
+    DdbConfig cfg;
+    cfg.num_vars = 5;
+    cfg.num_clauses = 6;
+    cfg.integrity_fraction = 0.2;
+    cfg.seed = rng.Next();
+    Database db = RandomDdb(cfg);
+    Formula f = testing::RandomFormula(&rng, db.num_vars(), 2);
+    EXPECT_EQ(*DsmSemantics(db).InfersFormula(f),
+              *EgcwaSemantics(db).InfersFormula(f))
+        << db.ToString();
+  }
+}
+
+TEST(Hierarchy, EverySemanticsVacuousOnUnsatisfiableDb) {
+  Database db = testing::Db("a. :- a.");
+  Formula contradiction = testing::F(&db, "a & ~a");
+  EXPECT_TRUE(*GcwaSemantics(db).InfersFormula(contradiction));
+  EXPECT_TRUE(*EgcwaSemantics(db).InfersFormula(contradiction));
+  EXPECT_TRUE(*DdrSemantics(db).InfersFormula(contradiction));
+  EXPECT_TRUE(*PwsSemantics(db).InfersFormula(contradiction));
+  EXPECT_TRUE(*DsmSemantics(db).InfersFormula(contradiction));
+}
+
+}  // namespace
+}  // namespace dd

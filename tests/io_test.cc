@@ -1,0 +1,78 @@
+#include "core/io.h"
+
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "core/brute_force.h"
+#include "gen/generators.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace dd {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(Io, ReadMissingFileIsNotFound) {
+  EXPECT_EQ(ReadFileToString("/nonexistent/really/not/here").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(LoadDatabaseFile("/nonexistent/really/not/here").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(Io, SaveLoadRoundTrip) {
+  Database db = testing::Db("a | b. c :- a, not d. :- b, c.");
+  std::string path = TempPath("roundtrip.ddb");
+  ASSERT_TRUE(SaveDatabaseFile(db, path).ok());
+  auto loaded = LoadDatabaseFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_clauses(), db.num_clauses());
+  EXPECT_EQ(loaded->ToString(), db.ToString());
+  std::remove(path.c_str());
+}
+
+TEST(Io, RoundTripPreservesSemantics) {
+  // The reloaded vocabulary may renumber atoms (and drop unmentioned
+  // ones), so compare minimal models by atom *names*.
+  auto name_models = [](const Database& db) {
+    std::set<std::set<std::string>> out;
+    for (const auto& m : brute::MinimalModels(db)) {
+      std::set<std::string> names;
+      for (Var v : m.TrueAtoms()) names.insert(db.vocabulary().Name(v));
+      out.insert(std::move(names));
+    }
+    return out;
+  };
+  Rng rng(4711);
+  for (int iter = 0; iter < 20; ++iter) {
+    DdbConfig cfg;
+    cfg.num_vars = 5;
+    cfg.num_clauses = 6;
+    cfg.integrity_fraction = 0.2;
+    cfg.negation_fraction = 0.3;
+    cfg.seed = rng.Next();
+    Database db = RandomDdb(cfg);
+    std::string path = TempPath("roundtrip_sem.ddb");
+    ASSERT_TRUE(SaveDatabaseFile(db, path).ok());
+    auto loaded = LoadDatabaseFile(path);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(name_models(db), name_models(*loaded)) << db.ToString();
+    std::remove(path.c_str());
+  }
+}
+
+TEST(Io, GroundAtomNamesSurviveRoundTrip) {
+  Database db = testing::Db("path(a,b) | blocked(a,b). :- path(a,b).");
+  std::string path = TempPath("ground_names.ddb");
+  ASSERT_TRUE(SaveDatabaseFile(db, path).ok());
+  auto loaded = LoadDatabaseFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_NE(loaded->vocabulary().Find("path(a,b)"), kInvalidVar);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dd

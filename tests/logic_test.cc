@@ -1,0 +1,280 @@
+#include "gtest/gtest.h"
+#include "logic/clause.h"
+#include "logic/database.h"
+#include "logic/interpretation.h"
+#include "logic/partial_interpretation.h"
+#include "logic/printer.h"
+#include "logic/types.h"
+#include "logic/vocabulary.h"
+#include "tests/test_util.h"
+
+namespace dd {
+namespace {
+
+using testing::Db;
+
+TEST(Lit, EncodingRoundTrip) {
+  Lit p = Lit::Pos(5);
+  EXPECT_EQ(p.var(), 5);
+  EXPECT_TRUE(p.positive());
+  Lit n = ~p;
+  EXPECT_EQ(n.var(), 5);
+  EXPECT_TRUE(n.negative());
+  EXPECT_EQ(~n, p);
+  EXPECT_NE(p, n);
+  EXPECT_EQ(Lit::Make(3, false), Lit::Neg(3));
+  EXPECT_FALSE(Lit().valid());
+  EXPECT_TRUE(p.valid());
+}
+
+TEST(Vocabulary, InternIsIdempotent) {
+  Vocabulary voc;
+  Var a = voc.Intern("a");
+  Var b = voc.Intern("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(voc.Intern("a"), a);
+  EXPECT_EQ(voc.size(), 2);
+  EXPECT_EQ(voc.Name(a), "a");
+  EXPECT_EQ(voc.Find("b"), b);
+  EXPECT_EQ(voc.Find("zzz"), kInvalidVar);
+}
+
+TEST(Vocabulary, MakeFreshAvoidsCollisions) {
+  Vocabulary voc;
+  voc.Intern("t0");
+  Var first = voc.MakeFresh(3, "t");
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(voc.size(), 4);
+  // The fresh "t0" got renamed to avoid the existing atom.
+  EXPECT_NE(voc.Name(1), "t0");
+}
+
+TEST(Interpretation, BasicSetOperations) {
+  Interpretation i(70);  // spans two words
+  EXPECT_EQ(i.TrueCount(), 0);
+  i.Insert(0);
+  i.Insert(69);
+  EXPECT_TRUE(i.Contains(0));
+  EXPECT_TRUE(i.Contains(69));
+  EXPECT_FALSE(i.Contains(33));
+  EXPECT_EQ(i.TrueCount(), 2);
+  auto atoms = i.TrueAtoms();
+  ASSERT_EQ(atoms.size(), 2u);
+  EXPECT_EQ(atoms[0], 0);
+  EXPECT_EQ(atoms[1], 69);
+  i.Erase(0);
+  EXPECT_FALSE(i.Contains(0));
+}
+
+TEST(Interpretation, SubsetChecks) {
+  Interpretation a = Interpretation::FromAtoms(10, {1, 3});
+  Interpretation b = Interpretation::FromAtoms(10, {1, 3, 5});
+  EXPECT_TRUE(a.SubsetOf(b));
+  EXPECT_TRUE(a.StrictSubsetOf(b));
+  EXPECT_FALSE(b.SubsetOf(a));
+  EXPECT_TRUE(a.SubsetOf(a));
+  EXPECT_FALSE(a.StrictSubsetOf(a));
+}
+
+TEST(Interpretation, MaskedComparisons) {
+  Interpretation mask = Interpretation::FromAtoms(8, {0, 1});
+  Interpretation a = Interpretation::FromAtoms(8, {0, 5});
+  Interpretation b = Interpretation::FromAtoms(8, {0, 1, 6});
+  EXPECT_TRUE(a.SubsetOfOn(b, mask));   // {0} ⊆ {0,1} on the mask
+  EXPECT_FALSE(b.SubsetOfOn(a, mask));  // {0,1} ⊄ {0}
+  EXPECT_FALSE(a.EqualOn(b, mask));
+  Interpretation c = Interpretation::FromAtoms(8, {0, 7});
+  EXPECT_TRUE(a.EqualOn(c, mask));
+}
+
+TEST(Interpretation, SatisfiesLiteral) {
+  Interpretation i = Interpretation::FromAtoms(4, {2});
+  EXPECT_TRUE(i.Satisfies(Lit::Pos(2)));
+  EXPECT_FALSE(i.Satisfies(Lit::Neg(2)));
+  EXPECT_TRUE(i.Satisfies(Lit::Neg(0)));
+}
+
+TEST(Interpretation, HashAndEquality) {
+  Interpretation a = Interpretation::FromAtoms(10, {1, 2});
+  Interpretation b = Interpretation::FromAtoms(10, {1, 2});
+  Interpretation c = Interpretation::FromAtoms(10, {1});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_NE(a, c);
+}
+
+TEST(PartialInterpretation, ValuesAndNegation) {
+  PartialInterpretation i(3);
+  EXPECT_EQ(i.Value(0), TruthValue::kUndef);
+  i.SetValue(0, TruthValue::kTrue);
+  i.SetValue(1, TruthValue::kFalse);
+  EXPECT_EQ(i.ValueOf(Lit::Pos(0)), TruthValue::kTrue);
+  EXPECT_EQ(i.ValueOf(Lit::Neg(0)), TruthValue::kFalse);
+  EXPECT_EQ(i.ValueOf(Lit::Neg(2)), TruthValue::kUndef);
+  EXPECT_FALSE(i.IsTotal());
+  i.SetValue(2, TruthValue::kFalse);
+  EXPECT_TRUE(i.IsTotal());
+  EXPECT_EQ(Negate(TruthValue::kUndef), TruthValue::kUndef);
+}
+
+TEST(PartialInterpretation, TruthOrder) {
+  PartialInterpretation lo(2), hi(2);
+  lo.SetValue(0, TruthValue::kFalse);
+  lo.SetValue(1, TruthValue::kUndef);
+  hi.SetValue(0, TruthValue::kUndef);
+  hi.SetValue(1, TruthValue::kTrue);
+  EXPECT_TRUE(lo.TruthLeq(hi));
+  EXPECT_TRUE(lo.TruthLt(hi));
+  EXPECT_FALSE(hi.TruthLeq(lo));
+  EXPECT_TRUE(lo.TruthLeq(lo));
+  EXPECT_FALSE(lo.TruthLt(lo));
+}
+
+TEST(PartialInterpretation, ProjectionSets) {
+  PartialInterpretation i(3);
+  i.SetValue(0, TruthValue::kTrue);
+  i.SetValue(1, TruthValue::kUndef);
+  i.SetValue(2, TruthValue::kFalse);
+  EXPECT_EQ(i.TrueSet().TrueAtoms(), std::vector<Var>{0});
+  auto nf = i.NotFalseSet().TrueAtoms();
+  EXPECT_EQ(nf, (std::vector<Var>{0, 1}));
+}
+
+TEST(Clause, Canonicalization) {
+  Clause c({2, 1, 2}, {3, 3}, {});
+  EXPECT_EQ(c.heads(), (std::vector<Var>{1, 2}));
+  EXPECT_EQ(c.pos_body(), std::vector<Var>{3});
+}
+
+TEST(Clause, Classification) {
+  EXPECT_TRUE(Clause::Fact({1}).is_fact());
+  EXPECT_TRUE(Clause::Integrity({1}).is_integrity());
+  EXPECT_TRUE(Clause({1}, {2}, {}).is_positive());
+  EXPECT_FALSE(Clause({1}, {}, {2}).is_positive());
+  EXPECT_TRUE(Clause({1}, {}, {2}).is_normal_rule());
+  EXPECT_FALSE(Clause({1, 2}, {}, {}).is_normal_rule());
+}
+
+TEST(Clause, TwoValuedSatisfaction) {
+  // a | b :- c, not d.
+  Clause c({0, 1}, {2}, {3});
+  EXPECT_TRUE(c.SatisfiedBy(Interpretation::FromAtoms(4, {})));       // body 0
+  EXPECT_TRUE(c.SatisfiedBy(Interpretation::FromAtoms(4, {2, 3})));   // d kills
+  EXPECT_TRUE(c.SatisfiedBy(Interpretation::FromAtoms(4, {2, 0})));   // head
+  EXPECT_FALSE(c.SatisfiedBy(Interpretation::FromAtoms(4, {2})));     // fires
+}
+
+TEST(Clause, ThreeValuedSatisfaction) {
+  // a :- b.  value(a) must be >= value(b).
+  Clause c({0}, {1}, {});
+  PartialInterpretation i(2);
+  i.SetValue(0, TruthValue::kUndef);
+  i.SetValue(1, TruthValue::kTrue);
+  EXPECT_FALSE(c.SatisfiedBy3(i));  // 1 > 1/2
+  i.SetValue(1, TruthValue::kUndef);
+  EXPECT_TRUE(c.SatisfiedBy3(i));  // 1/2 >= 1/2
+  i.SetValue(0, TruthValue::kFalse);
+  EXPECT_FALSE(c.SatisfiedBy3(i));
+  i.SetValue(1, TruthValue::kFalse);
+  EXPECT_TRUE(c.SatisfiedBy3(i));
+}
+
+TEST(Clause, ClassicalClauseForm) {
+  Clause c({0}, {1}, {2});  // a :- b, not c  ==  a | ~b | c
+  auto lits = c.ToClassicalClause();
+  ASSERT_EQ(lits.size(), 3u);
+  EXPECT_EQ(lits[0], Lit::Pos(0));
+  EXPECT_EQ(lits[1], Lit::Neg(1));
+  EXPECT_EQ(lits[2], Lit::Pos(2));
+}
+
+TEST(Database, Classification) {
+  Database pos = Db("a | b. c :- a.");
+  EXPECT_TRUE(pos.IsPositive());
+  EXPECT_TRUE(pos.IsDeductive());
+
+  Database ic = Db("a | b. :- a, b.");
+  EXPECT_FALSE(ic.IsPositive());
+  EXPECT_TRUE(ic.IsDeductive());
+  EXPECT_TRUE(ic.HasIntegrityClauses());
+
+  Database neg = Db("a :- not b.");
+  EXPECT_FALSE(neg.IsDeductive());
+  EXPECT_TRUE(neg.HasNegation());
+}
+
+TEST(Database, SatisfactionAndCnf) {
+  Database db = Db("a | b. c :- a, not d.");
+  Interpretation m = Interpretation::FromAtoms(db.num_vars(), {});
+  EXPECT_FALSE(db.Satisfies(m));
+  Var a = db.vocabulary().Find("a");
+  Var c = db.vocabulary().Find("c");
+  m.Insert(a);
+  EXPECT_FALSE(db.Satisfies(m));  // c :- a fires
+  m.Insert(c);
+  EXPECT_TRUE(db.Satisfies(m));
+  EXPECT_EQ(db.ToCnf().size(), 2u);
+}
+
+TEST(Database, GlReduct) {
+  Database db = Db("a :- not b. b :- not a. c | d :- a, not c.");
+  Var a = db.vocabulary().Find("a");
+  Var b = db.vocabulary().Find("b");
+  Interpretation m(db.num_vars());
+  m.Insert(a);
+  Database reduct = db.GlReduct(m);
+  // "a :- not b" survives stripped; "b :- not a" is dropped (a in m);
+  // "c | d :- a, not c" survives stripped (c not in m).
+  ASSERT_EQ(reduct.num_clauses(), 2);
+  EXPECT_FALSE(reduct.HasNegation());
+  EXPECT_EQ(reduct.clause(0).heads(), std::vector<Var>{a});
+  EXPECT_TRUE(reduct.clause(0).pos_body().empty());
+  EXPECT_EQ(reduct.clause(1).pos_body(), std::vector<Var>{a});
+  (void)b;
+}
+
+TEST(Database, PositivizePreservesClassicalModels) {
+  Database db = Db("a :- b, not c. :- d, not a.");
+  Database pos = db.Positivize();
+  EXPECT_FALSE(pos.HasNegation());
+  // Classical models must coincide (the move head<->negated-body is a
+  // classical no-op).
+  for (uint64_t bits = 0; bits < (1u << db.num_vars()); ++bits) {
+    Interpretation i(db.num_vars());
+    for (Var v = 0; v < db.num_vars(); ++v) {
+      if ((bits >> v) & 1) i.Insert(v);
+    }
+    EXPECT_EQ(db.Satisfies(i), pos.Satisfies(i)) << bits;
+  }
+}
+
+TEST(Database, MentionedAtomsAndSelect) {
+  Database db = Db("a | b. c :- d.");
+  EXPECT_EQ(db.MentionedAtoms().TrueCount(), 4);
+  Database sel = db.SelectClauses({1});
+  EXPECT_EQ(sel.num_clauses(), 1);
+  EXPECT_EQ(sel.num_vars(), db.num_vars());
+}
+
+TEST(Printer, RendersModelsSorted) {
+  Database db = Db("a | b.");
+  std::vector<Interpretation> ms = {
+      Interpretation::FromAtoms(2, {1}),
+      Interpretation::FromAtoms(2, {0}),
+  };
+  std::string s = ModelsToString(ms, db.vocabulary());
+  EXPECT_EQ(s, "{a}\n{b}\n");
+  EXPECT_EQ(DatabaseSummary(db), "p ddb 2 1");
+  Database ic = Db("a :- not b. :- a.");
+  EXPECT_EQ(DatabaseSummary(ic), "p ddb 2 2 neg ic");
+}
+
+TEST(Clause, ToStringForms) {
+  Database db = Db("a | b :- c, not d. e. :- f.");
+  EXPECT_EQ(db.clause(0).ToString(db.vocabulary()), "a | b :- c, not d.");
+  EXPECT_EQ(db.clause(1).ToString(db.vocabulary()), "e.");
+  EXPECT_EQ(db.clause(2).ToString(db.vocabulary()), ":- f.");
+}
+
+}  // namespace
+}  // namespace dd

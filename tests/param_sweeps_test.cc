@@ -1,0 +1,283 @@
+// Parameterized property sweeps (TEST_P): semantics-generic invariants run
+// against every implemented semantics, and size-parameterized randomized
+// sweeps for the SAT core, the minimal-model engine and the Theorem 3.1
+// reduction.
+#include <tuple>
+
+#include "core/brute_force.h"
+#include "gen/generators.h"
+#include "gtest/gtest.h"
+#include "minimal/minimal_models.h"
+#include "qbf/qbf_solver.h"
+#include "qbf/reductions.h"
+#include "sat/solver.h"
+#include "semantics/gcwa.h"
+#include "semantics/semantics.h"
+#include "tests/test_util.h"
+
+namespace dd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Invariants every semantics must satisfy, parameterized over the kind.
+// ---------------------------------------------------------------------------
+
+class SemanticsInvariants : public ::testing::TestWithParam<SemanticsKind> {
+ protected:
+  // DDR/PWS are defined on deductive databases only; give every kind a
+  // family it supports.
+  Database MakeDb(Rng* rng) const {
+    SemanticsKind k = GetParam();
+    if (k == SemanticsKind::kDdr || k == SemanticsKind::kPws) {
+      DdbConfig cfg;
+      cfg.num_vars = 5;
+      cfg.num_clauses = 6;
+      cfg.max_head = 2;
+      cfg.integrity_fraction = 0.15;
+      cfg.seed = rng->Next();
+      return RandomDdb(cfg);
+    }
+    if (k == SemanticsKind::kPerf) {
+      // PERF rejects integrity clauses.
+      return RandomStratifiedDdb(5, 6, 2, 0.4, rng->Next());
+    }
+    if (k == SemanticsKind::kIcwa) {
+      return RandomStratifiedDdb(5, 6, 2, 0.4, rng->Next());
+    }
+    DdbConfig cfg;
+    cfg.num_vars = 5;
+    cfg.num_clauses = 6;
+    cfg.integrity_fraction = 0.1;
+    cfg.negation_fraction =
+        (k == SemanticsKind::kDsm || k == SemanticsKind::kPdsm) ? 0.3 : 0.0;
+    cfg.seed = rng->Next();
+    return RandomDdb(cfg);
+  }
+};
+
+TEST_P(SemanticsInvariants, ModelsSatisfyTheDatabaseClassically) {
+  Rng rng(17 + static_cast<uint64_t>(GetParam()));
+  for (int iter = 0; iter < 25; ++iter) {
+    Database db = MakeDb(&rng);
+    auto sem = MakeSemantics(GetParam(), db);
+    auto models = sem->Models(200);
+    if (!models.ok()) continue;  // resource caps are legitimate
+    for (const auto& m : *models) {
+      // ICWA models satisfy the positivized database, which has the same
+      // classical models; everything else satisfies db directly.
+      ASSERT_TRUE(db.Satisfies(m))
+          << sem->name() << "\n"
+          << db.ToString() << m.ToString(db.vocabulary());
+    }
+  }
+}
+
+TEST_P(SemanticsInvariants, HasModelAgreesWithModels) {
+  Rng rng(23 + static_cast<uint64_t>(GetParam()));
+  for (int iter = 0; iter < 25; ++iter) {
+    Database db = MakeDb(&rng);
+    auto sem = MakeSemantics(GetParam(), db);
+    auto has = sem->HasModel();
+    auto models = sem->Models(200);
+    if (!has.ok() || !models.ok()) continue;
+    if (GetParam() == SemanticsKind::kPdsm) {
+      // Models() reports only the *total* partial stable models; existence
+      // may rest on a genuinely partial one. Only one direction holds.
+      if (!models->empty()) {
+        ASSERT_TRUE(*has) << db.ToString();
+      }
+    } else {
+      ASSERT_EQ(*has, !models->empty()) << sem->name() << "\n"
+                                        << db.ToString();
+    }
+  }
+}
+
+TEST_P(SemanticsInvariants, ConstantsAreHandled) {
+  Rng rng(31 + static_cast<uint64_t>(GetParam()));
+  Database db = MakeDb(&rng);
+  auto sem = MakeSemantics(GetParam(), db);
+  auto t = sem->InfersFormula(FormulaNode::MakeConst(true));
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(*t) << sem->name();
+  auto f = sem->InfersFormula(FormulaNode::MakeConst(false));
+  auto has = sem->HasModel();
+  ASSERT_TRUE(f.ok() && has.ok());
+  // "false" is inferred exactly when the semantics admits no model.
+  EXPECT_EQ(*f, !*has) << sem->name();
+}
+
+TEST_P(SemanticsInvariants, LiteralInferenceIsFormulaInference) {
+  Rng rng(41 + static_cast<uint64_t>(GetParam()));
+  for (int iter = 0; iter < 15; ++iter) {
+    Database db = MakeDb(&rng);
+    auto sem = MakeSemantics(GetParam(), db);
+    for (Var v = 0; v < db.num_vars(); ++v) {
+      for (bool sign : {true, false}) {
+        Lit l = Lit::Make(v, sign);
+        auto a = sem->InfersLiteral(l);
+        auto b = sem->InfersFormula(FormulaNode::MakeLit(l));
+        if (!a.ok() || !b.ok()) continue;
+        ASSERT_EQ(*a, *b) << sem->name() << "\n" << db.ToString();
+      }
+    }
+  }
+}
+
+TEST_P(SemanticsInvariants, InferenceClosedUnderConjunction) {
+  Rng rng(53 + static_cast<uint64_t>(GetParam()));
+  for (int iter = 0; iter < 15; ++iter) {
+    Database db = MakeDb(&rng);
+    auto sem = MakeSemantics(GetParam(), db);
+    Formula f = testing::RandomFormula(&rng, db.num_vars(), 2);
+    Formula g = testing::RandomFormula(&rng, db.num_vars(), 2);
+    auto rf = sem->InfersFormula(f);
+    auto rg = sem->InfersFormula(g);
+    auto rfg = sem->InfersFormula(FormulaNode::MakeAnd(f, g));
+    if (!rf.ok() || !rg.ok() || !rfg.ok()) continue;
+    ASSERT_EQ(*rfg, *rf && *rg) << sem->name() << "\n" << db.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSemantics, SemanticsInvariants,
+    ::testing::Values(SemanticsKind::kCwa,
+                      SemanticsKind::kGcwa, SemanticsKind::kEgcwa,
+                      SemanticsKind::kCcwa, SemanticsKind::kEcwa,
+                      SemanticsKind::kDdr, SemanticsKind::kPws,
+                      SemanticsKind::kPerf, SemanticsKind::kIcwa,
+                      SemanticsKind::kDsm, SemanticsKind::kPdsm),
+    [](const ::testing::TestParamInfo<SemanticsKind>& info) {
+      return SemanticsKindName(info.param);
+    });
+
+// ---------------------------------------------------------------------------
+// SAT sweep over sizes and clause/variable ratios.
+// ---------------------------------------------------------------------------
+
+class SatSweep : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(SatSweep, AgreesWithBruteForce) {
+  auto [n, ratio] = GetParam();
+  Rng rng(static_cast<uint64_t>(n * 1000 + ratio * 10));
+  for (int iter = 0; iter < 100; ++iter) {
+    int m = static_cast<int>(n * ratio);
+    std::vector<std::vector<Lit>> clauses;
+    for (int i = 0; i < m; ++i) {
+      std::vector<Lit> c;
+      int len = 1 + static_cast<int>(rng.Below(3));
+      for (int j = 0; j < len; ++j) {
+        c.push_back(Lit::Make(static_cast<Var>(rng.Below(n)),
+                              rng.Chance(0.5)));
+      }
+      clauses.push_back(c);
+    }
+    sat::Solver s;
+    s.EnsureVars(n);
+    for (const auto& c : clauses) s.AddClause(c);
+    bool got = s.Solve() == sat::SolveResult::kSat;
+    bool expected = false;
+    for (uint64_t bits = 0; bits < (uint64_t{1} << n) && !expected; ++bits) {
+      bool ok = true;
+      for (const auto& c : clauses) {
+        bool sat = false;
+        for (Lit l : c) {
+          bool t = (bits >> l.var()) & 1;
+          if (l.positive() == t) {
+            sat = true;
+            break;
+          }
+        }
+        if (!sat) {
+          ok = false;
+          break;
+        }
+      }
+      expected = ok;
+    }
+    ASSERT_EQ(got, expected) << "n=" << n << " ratio=" << ratio;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SatSweep,
+                         ::testing::Combine(::testing::Values(4, 7, 10),
+                                            ::testing::Values(1.0, 2.5,
+                                                              4.5)));
+
+// ---------------------------------------------------------------------------
+// Minimal-model engine sweep over database shapes.
+// ---------------------------------------------------------------------------
+
+struct ShapeParam {
+  int num_vars;
+  double integrity;
+  double negation;
+};
+
+class MinimalSweep : public ::testing::TestWithParam<ShapeParam> {};
+
+TEST_P(MinimalSweep, EnumerationMatchesBruteForce) {
+  ShapeParam p = GetParam();
+  Rng rng(static_cast<uint64_t>(p.num_vars) * 7919 +
+          static_cast<uint64_t>(p.integrity * 100));
+  for (int iter = 0; iter < 40; ++iter) {
+    DdbConfig cfg;
+    cfg.num_vars = p.num_vars;
+    cfg.num_clauses = p.num_vars + 2;
+    cfg.integrity_fraction = p.integrity;
+    cfg.negation_fraction = p.negation;
+    cfg.seed = rng.Next();
+    Database db = RandomDdb(cfg);
+    MinimalEngine e(db);
+    Partition all = Partition::MinimizeAll(db.num_vars());
+    std::vector<Interpretation> got;
+    e.EnumerateMinimalProjections(all, -1, [&](const Interpretation& m) {
+      got.push_back(m);
+      return true;
+    });
+    ASSERT_EQ(testing::ModelSet(got),
+              testing::ModelSet(brute::MinimalModels(db)))
+        << db.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MinimalSweep,
+    ::testing::Values(ShapeParam{4, 0.0, 0.0}, ShapeParam{6, 0.0, 0.0},
+                      ShapeParam{6, 0.25, 0.0}, ShapeParam{6, 0.0, 0.4},
+                      ShapeParam{8, 0.15, 0.3}),
+    [](const ::testing::TestParamInfo<ShapeParam>& info) {
+      return "n" + std::to_string(info.param.num_vars) + "_ic" +
+             std::to_string(static_cast<int>(info.param.integrity * 100)) +
+             "_neg" +
+             std::to_string(static_cast<int>(info.param.negation * 100));
+    });
+
+// ---------------------------------------------------------------------------
+// Reduction sweep over quantifier-block sizes.
+// ---------------------------------------------------------------------------
+
+class ReductionSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ReductionSweep, Theorem31AgreesWithQbfSolver) {
+  auto [nx, ny] = GetParam();
+  Rng rng(static_cast<uint64_t>(nx) * 100 + static_cast<uint64_t>(ny));
+  for (int iter = 0; iter < 20; ++iter) {
+    QbfForallExistsCnf q = RandomQbf(nx, ny, 2 * (nx + ny), 3, rng.Next());
+    auto truth = SolveForallExists(q);
+    ASSERT_TRUE(truth.ok());
+    ReducedInstance inst = ReducePi2ToGcwaLiteral(q);
+    GcwaSemantics gcwa(inst.db);
+    auto inferred = gcwa.InfersLiteral(Lit::Neg(inst.w));
+    ASSERT_TRUE(inferred.ok());
+    ASSERT_EQ(*inferred, *truth) << "nx=" << nx << " ny=" << ny;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, ReductionSweep,
+                         ::testing::Combine(::testing::Values(2, 4),
+                                            ::testing::Values(2, 4, 6)));
+
+}  // namespace
+}  // namespace dd

@@ -1,0 +1,176 @@
+#include "gtest/gtest.h"
+#include "logic/parser.h"
+#include "tests/test_util.h"
+
+namespace dd {
+namespace {
+
+TEST(ParseDatabase, FactsRulesIntegrity) {
+  auto r = ParseDatabase(
+      "a | b.\n"
+      "c :- a, not d.\n"
+      ":- a, b.\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Database& db = *r;
+  EXPECT_EQ(db.num_clauses(), 3);
+  EXPECT_EQ(db.num_vars(), 4);
+  EXPECT_TRUE(db.clause(0).is_fact());
+  EXPECT_EQ(db.clause(1).neg_body().size(), 1u);
+  EXPECT_TRUE(db.clause(2).is_integrity());
+}
+
+TEST(ParseDatabase, AlternativeSyntax) {
+  // ';' and 'v' as disjunction, '~' as negation, '<-' as the arrow,
+  // '//' and '%' comments.
+  auto r = ParseDatabase(
+      "% comment line\n"
+      "a ; b.\n"
+      "x v y.  // trailing comment\n"
+      "c <- a, ~d.\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_clauses(), 3);
+  EXPECT_EQ(r->clause(2).neg_body().size(), 1u);
+}
+
+TEST(ParseDatabase, AtomNamesWithPrimesAndUnderscores) {
+  auto r = ParseDatabase("x0' | ab_1 :- y'.\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r->vocabulary().Find("x0'"), kInvalidVar);
+  EXPECT_NE(r->vocabulary().Find("ab_1"), kInvalidVar);
+}
+
+TEST(ParseDatabase, Errors) {
+  EXPECT_FALSE(ParseDatabase("a | b").ok());        // missing dot
+  EXPECT_FALSE(ParseDatabase(":- .").ok());         // empty body
+  EXPECT_FALSE(ParseDatabase("a :- not not b.").ok());
+  EXPECT_FALSE(ParseDatabase("a | .").ok());
+  EXPECT_FALSE(ParseDatabase("a ? b.").ok());
+  EXPECT_FALSE(ParseDatabase("a : b.").ok());
+}
+
+TEST(ParseDatabase, ErrorsCarryLineNumbers) {
+  auto r = ParseDatabase("a.\nb |.\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(ParseDatabase, EmptyProgramIsValid) {
+  auto r = ParseDatabase("  % nothing\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_clauses(), 0);
+}
+
+TEST(ParseDatabase, RoundTripThroughToString) {
+  Database db = testing::Db("a | b :- c, not d. e. :- f, not e.");
+  auto r2 = ParseDatabase(db.ToString());
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ(r2->num_clauses(), db.num_clauses());
+  for (int i = 0; i < db.num_clauses(); ++i) {
+    EXPECT_EQ(r2->clause(i).ToString(r2->vocabulary()),
+              db.clause(i).ToString(db.vocabulary()));
+  }
+}
+
+TEST(ParseFormula, PrecedenceAndAssociativity) {
+  Vocabulary voc;
+  auto f = ParseFormula("a | b & c", &voc);
+  ASSERT_TRUE(f.ok());
+  // & binds tighter than |.
+  EXPECT_EQ((*f)->kind(), FormulaKind::kOr);
+
+  auto g = ParseFormula("a -> b -> c", &voc);
+  ASSERT_TRUE(g.ok());
+  // Right associative: a -> (b -> c).
+  EXPECT_EQ((*g)->children()[1]->kind(), FormulaKind::kImplies);
+
+  auto h = ParseFormula("~a & b", &voc);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ((*h)->kind(), FormulaKind::kAnd);
+  EXPECT_EQ((*h)->children()[0]->kind(), FormulaKind::kNot);
+}
+
+TEST(ParseFormula, ConstantsParensIffComma) {
+  Vocabulary voc;
+  auto f = ParseFormula("(a <-> true) & (false | b)", &voc);
+  ASSERT_TRUE(f.ok());
+  // "," is conjunction in formulas.
+  auto g = ParseFormula("a, b, c", &voc);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ((*g)->kind(), FormulaKind::kAnd);
+  EXPECT_EQ((*g)->children().size(), 3u);
+}
+
+TEST(ParseFormula, EvaluationSmoke) {
+  Vocabulary voc;
+  Var a = voc.Intern("a");
+  auto f = ParseFormula("a -> b", &voc);
+  ASSERT_TRUE(f.ok());
+  Interpretation i(voc.size());
+  i.Insert(a);
+  EXPECT_FALSE((*f)->Eval(i));
+}
+
+TEST(ParseFormula, Errors) {
+  Vocabulary voc;
+  EXPECT_FALSE(ParseFormula("a &", &voc).ok());
+  EXPECT_FALSE(ParseFormula("(a", &voc).ok());
+  EXPECT_FALSE(ParseFormula("a b", &voc).ok());
+  EXPECT_FALSE(ParseFormula("", &voc).ok());
+  EXPECT_FALSE(ParseFormula("a.", &voc).ok());
+}
+
+TEST(ParseDatabase, GroundAtomNamesWithArgumentLists) {
+  // Names produced by the grounder round-trip through the propositional
+  // parser: "p(a,b)" is a single atom.
+  auto r = ParseDatabase("path(a,b) | blocked(a, b). :- path(a,b).");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_vars(), 2);
+  EXPECT_NE(r->vocabulary().Find("path(a,b)"), kInvalidVar);
+  // Interior spaces are normalized away.
+  EXPECT_NE(r->vocabulary().Find("blocked(a,b)"), kInvalidVar);
+}
+
+TEST(ParseFormula, GroundAtomsVsGrouping) {
+  Vocabulary voc;
+  // '(' immediately after an identifier is part of the atom...
+  auto f = ParseFormula("win(a) & ~win(b)", &voc);
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  EXPECT_NE(voc.Find("win(a)"), kInvalidVar);
+  // ...while grouping parentheses elsewhere still work.
+  auto g = ParseFormula("(win(a) | x) -> (x & win(b))", &voc);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  // An identifier followed by a non-argument parenthesis falls back to
+  // grouping: "a(b | c)" reads as atom 'a' then a parse error, since
+  // juxtaposition is not a connective.
+  EXPECT_FALSE(ParseFormula("a(b | c)", &voc).ok());
+}
+
+TEST(ParseLiteral, GroundAtomForm) {
+  Vocabulary voc;
+  auto l = ParseLiteral("not col(n1, red)", &voc);
+  ASSERT_TRUE(l.ok()) << l.status().ToString();
+  EXPECT_TRUE(l->negative());
+  EXPECT_EQ(voc.Find("col(n1,red)"), l->var());
+}
+
+TEST(ParseLiteral, Forms) {
+  Vocabulary voc;
+  auto p = ParseLiteral("x", &voc);
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->positive());
+  auto n1 = ParseLiteral("not x", &voc);
+  auto n2 = ParseLiteral("~x", &voc);
+  auto n3 = ParseLiteral("-x", &voc);
+  ASSERT_TRUE(n1.ok() && n2.ok() && n3.ok());
+  EXPECT_EQ(*n1, *n2);
+  EXPECT_EQ(*n2, *n3);
+  EXPECT_EQ(n1->var(), p->var());
+  EXPECT_TRUE(n1->negative());
+  EXPECT_FALSE(ParseLiteral("not not x", &voc).ok());
+  EXPECT_FALSE(ParseLiteral("x y", &voc).ok());
+  EXPECT_FALSE(ParseLiteral("", &voc).ok());
+}
+
+}  // namespace
+}  // namespace dd

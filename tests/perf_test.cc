@@ -1,0 +1,118 @@
+#include "core/brute_force.h"
+#include "gen/generators.h"
+#include "gtest/gtest.h"
+#include "semantics/egcwa.h"
+#include "semantics/perf.h"
+#include "tests/test_util.h"
+
+namespace dd {
+namespace {
+
+using testing::Db;
+using testing::F;
+using testing::ModelSet;
+
+TEST(Perf, StratifiedTextbookExample) {
+  // b :- not a: the intended (perfect) model is {b}, not the minimal {a}.
+  Database db = Db("b :- not a.");
+  PerfSemantics perf(db);
+  Var a = db.vocabulary().Find("a"), b = db.vocabulary().Find("b");
+  EXPECT_TRUE(*perf.IsPerfect(Interpretation::FromAtoms(2, {b})));
+  EXPECT_FALSE(*perf.IsPerfect(Interpretation::FromAtoms(2, {a})));
+  auto models = perf.Models();
+  ASSERT_TRUE(models.ok());
+  ASSERT_EQ(models->size(), 1u);
+  EXPECT_TRUE((*models)[0].Contains(b));
+  EXPECT_TRUE(*perf.InfersFormula(F(&db, "b & ~a")));
+}
+
+TEST(Perf, EqualsMinimalModelsOnPositiveDbs) {
+  Rng rng(123);
+  for (int iter = 0; iter < 60; ++iter) {
+    Database db = RandomPositiveDdb(4 + static_cast<int>(rng.Below(3)),
+                                    4 + static_cast<int>(rng.Below(8)),
+                                    rng.Next());
+    PerfSemantics perf(db);
+    auto got = perf.Models();
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(ModelSet(*got), ModelSet(brute::MinimalModels(db)))
+        << db.ToString();
+  }
+}
+
+TEST(Perf, ModelsMatchBruteForceOnStratifiedDbs) {
+  Rng rng(234);
+  for (int iter = 0; iter < 60; ++iter) {
+    Database db = RandomStratifiedDdb(5 + static_cast<int>(rng.Below(3)),
+                                      5 + static_cast<int>(rng.Below(8)), 3,
+                                      0.5, rng.Next());
+    PerfSemantics perf(db);
+    auto got = perf.Models();
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_EQ(ModelSet(*got), ModelSet(brute::PerfectModels(db)))
+        << db.ToString();
+  }
+}
+
+TEST(Perf, StrataIterationAgreesWithPreferenceDefinition) {
+  Rng rng(345);
+  for (int iter = 0; iter < 60; ++iter) {
+    Database db = RandomStratifiedDdb(5 + static_cast<int>(rng.Below(3)),
+                                      5 + static_cast<int>(rng.Below(8)), 3,
+                                      0.5, rng.Next());
+    PerfSemantics perf(db);
+    auto by_pref = perf.Models();
+    auto by_strata = perf.ModelsByStrataIteration();
+    ASSERT_TRUE(by_pref.ok() && by_strata.ok())
+        << by_strata.status().ToString();
+    ASSERT_EQ(ModelSet(*by_pref), ModelSet(*by_strata)) << db.ToString();
+  }
+}
+
+TEST(Perf, FormulaInferenceMatchesBruteForce) {
+  Rng rng(456);
+  for (int iter = 0; iter < 60; ++iter) {
+    Database db = RandomStratifiedDdb(5, 5 + static_cast<int>(rng.Below(6)),
+                                      2, 0.5, rng.Next());
+    PerfSemantics perf(db);
+    Formula f = testing::RandomFormula(&rng, db.num_vars(), 3);
+    auto got = perf.InfersFormula(f);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(*got, brute::Infers(brute::PerfectModels(db), f))
+        << db.ToString();
+  }
+}
+
+TEST(Perf, UnstratifiableMayLackPerfectModels) {
+  // a :- not b. b :- not a: the priority relation is cyclic; the two
+  // minimal models {a},{b} are mutually preferable, so no perfect model.
+  Database db = Db("a :- not b. b :- not a.");
+  PerfSemantics perf(db);
+  auto has = perf.HasModel();
+  ASSERT_TRUE(has.ok());
+  EXPECT_FALSE(*has);
+  EXPECT_TRUE(perf.priority().HasStrictCycle());
+  // Matches brute force.
+  EXPECT_TRUE(brute::PerfectModels(db).empty());
+}
+
+TEST(Perf, RejectsIntegrityClauses) {
+  Database db = Db("a | b. :- a.");
+  PerfSemantics perf(db);
+  EXPECT_EQ(perf.Models().status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Perf, HasModelOnStratified) {
+  Database db = Db("a | b. c :- not a.");
+  PerfSemantics perf(db);
+  EXPECT_TRUE(*perf.HasModel());
+}
+
+TEST(Perf, NonModelIsNotPerfect) {
+  Database db = Db("a.");
+  PerfSemantics perf(db);
+  EXPECT_FALSE(*perf.IsPerfect(Interpretation(1)));
+}
+
+}  // namespace
+}  // namespace dd

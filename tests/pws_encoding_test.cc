@@ -1,0 +1,185 @@
+#include "semantics/pws_encoding.h"
+
+#include <set>
+
+#include "core/brute_force.h"
+#include "gen/generators.h"
+#include "gtest/gtest.h"
+#include "semantics/pws.h"
+#include "tests/test_util.h"
+
+namespace dd {
+namespace {
+
+using testing::Db;
+
+TEST(PwsEncoding, PlainDisjunction) {
+  Database db = Db("a | b.");
+  Var a = db.vocabulary().Find("a"), b = db.vocabulary().Find("b");
+  Interpretation w;
+  auto r = ExistsPossibleModelWith(db, Lit::Pos(a), &w);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+  EXPECT_TRUE(w.Contains(a));
+  // A possible model avoiding b exists ({a}).
+  r = ExistsPossibleModelWith(db, Lit::Neg(b), &w);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+}
+
+TEST(PwsEncoding, UnsupportedAtomsNeverAppear) {
+  // c has no rule: no possible model contains it, even though {c} would be
+  // a classical model of the single fact a.
+  Database db = Db("a. b :- b.");
+  Var b = db.vocabulary().Find("b");
+  auto r = ExistsPossibleModelWith(db, Lit::Pos(b));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);  // b :- b cannot acyclically support b
+}
+
+TEST(PwsEncoding, SelfSupportIsRejected) {
+  // The level constraints forbid the circular justification {a, b}.
+  Database db = Db("a :- b. b :- a.");
+  auto ra = ExistsPossibleModelWith(db, Lit::Pos(0));
+  ASSERT_TRUE(ra.ok());
+  EXPECT_FALSE(*ra);
+}
+
+TEST(PwsEncoding, IntegrityClausesPruneWorlds) {
+  // Example 3.1: no possible model contains c.
+  Database db = Db("a | b. :- a, b. c :- a, b.");
+  Var c = db.vocabulary().Find("c");
+  auto r = ExistsPossibleModelWith(db, Lit::Pos(c));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+}
+
+TEST(PwsEncoding, RejectsNegation) {
+  Database db = Db("a :- not b.");
+  EXPECT_EQ(ExistsPossibleModelWith(db, Lit::Pos(0)).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(PwsEncoding, WitnessIsAPossibleModel) {
+  Rng rng(808);
+  for (int iter = 0; iter < 80; ++iter) {
+    DdbConfig cfg;
+    cfg.num_vars = 4 + static_cast<int>(rng.Below(3));
+    cfg.num_clauses = 3 + static_cast<int>(rng.Below(6));
+    cfg.integrity_fraction = 0.2;
+    cfg.seed = rng.Next();
+    Database db = RandomDdb(cfg);
+    auto pms = brute::PossibleModels(db);
+    std::set<Interpretation> pm_set(pms.begin(), pms.end());
+    for (Var v = 0; v < db.num_vars(); ++v) {
+      Interpretation w;
+      auto r = ExistsPossibleModelWith(db, Lit::Pos(v), &w);
+      ASSERT_TRUE(r.ok());
+      bool expected = false;
+      for (const auto& m : pms) expected |= m.Contains(v);
+      ASSERT_EQ(*r, expected) << db.ToString() << " v=" << v;
+      if (*r) {
+        ASSERT_TRUE(w.Contains(v));
+        ASSERT_TRUE(pm_set.count(w) > 0)
+            << db.ToString() << "\nwitness " << w.ToString(db.vocabulary())
+            << " is not a possible model";
+      }
+    }
+  }
+}
+
+TEST(PwsEncoding, ViolatingQueryMatchesEnumeration) {
+  Rng rng(909);
+  for (int iter = 0; iter < 80; ++iter) {
+    DdbConfig cfg;
+    cfg.num_vars = 4 + static_cast<int>(rng.Below(3));
+    cfg.num_clauses = 3 + static_cast<int>(rng.Below(6));
+    cfg.integrity_fraction = 0.2;
+    cfg.seed = rng.Next();
+    Database db = RandomDdb(cfg);
+    Formula f = testing::RandomFormula(&rng, db.num_vars(), 2);
+    auto got = ExistsPossibleModelViolating(db, f);
+    ASSERT_TRUE(got.ok());
+    bool expected = false;
+    for (const auto& m : brute::PossibleModels(db)) {
+      if (!f->Eval(m)) expected = true;
+    }
+    ASSERT_EQ(*got, expected) << db.ToString();
+  }
+}
+
+TEST(PwsEncoding, PossibleAtomsMatchesEnumeration) {
+  Rng rng(1010);
+  for (int iter = 0; iter < 60; ++iter) {
+    DdbConfig cfg;
+    cfg.num_vars = 5;
+    cfg.num_clauses = 3 + static_cast<int>(rng.Below(6));
+    cfg.integrity_fraction = 0.25;
+    cfg.seed = rng.Next();
+    Database db = RandomDdb(cfg);
+    auto got = PossibleAtomsViaSat(db);
+    ASSERT_TRUE(got.ok());
+    Interpretation expected(db.num_vars());
+    for (const auto& m : brute::PossibleModels(db)) {
+      for (Var v : m.TrueAtoms()) expected.Insert(v);
+    }
+    ASSERT_EQ(*got, expected) << db.ToString();
+  }
+}
+
+TEST(PwsEncoding, LongDerivationChainsGetConsistentLevels) {
+  // A 12-step derivation chain exercises the binary level comparators
+  // across their full bit width.
+  Database db;
+  Vocabulary& voc = db.vocabulary();
+  Var prev = voc.Intern("a0");
+  db.AddClause(Clause::Fact({prev}));
+  for (int i = 1; i <= 12; ++i) {
+    Var cur = voc.Intern("a" + std::to_string(i));
+    db.AddClause(Clause({cur}, {prev}, {}));
+    prev = cur;
+  }
+  Interpretation w;
+  auto r = ExistsPossibleModelWith(db, Lit::Pos(prev), &w);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+  EXPECT_EQ(w.TrueCount(), 13);  // the whole chain derives
+  // The tail cannot be reached if the chain is cut by a constraint.
+  db.AddClause(Clause::Integrity({voc.Find("a5")}));
+  auto r2 = ExistsPossibleModelWith(db, Lit::Pos(prev));
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(*r2);  // every possible world derives a5, violating :- a5
+}
+
+TEST(PwsEncoding, StatsReported) {
+  Database db = Db("a | b. c :- a. :- b, c.");
+  PwsEncodingStats stats;
+  auto r = ExistsPossibleModelWith(db, Lit::Pos(0), nullptr, &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(stats.encoded_vars, db.num_vars());
+  EXPECT_GT(stats.encoded_clauses, db.num_clauses());
+  EXPECT_EQ(stats.sat_calls, 1);
+}
+
+TEST(PwsEncoding, ScalesBeyondSplitEnumeration) {
+  // 24 disjunctive rules: 3^24 splits — far beyond enumeration — but one
+  // SAT query decides membership instantly.
+  Database db;
+  Vocabulary& voc = db.vocabulary();
+  std::vector<Var> heads;
+  for (int i = 0; i < 24; ++i) {
+    Var a = voc.Intern("a" + std::to_string(i));
+    Var b = voc.Intern("b" + std::to_string(i));
+    db.AddClause(Clause::Fact({a, b}));
+    heads.push_back(a);
+  }
+  Var goal = voc.Intern("goal");
+  db.AddClause(Clause({goal}, heads, {}));
+  db.AddClause(Clause::Integrity({voc.Find("a0"), voc.Find("b0")}));
+  auto r = ExistsPossibleModelWith(db, Lit::Pos(goal));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);  // choose every a_i (and not both of pair 0)
+}
+
+}  // namespace
+}  // namespace dd

@@ -1,0 +1,162 @@
+// Robustness and stress coverage: parser fuzzing (malformed input must
+// yield Status, never crash), SAT solver long-run paths (restarts and
+// learnt-clause reduction), resource-cap failure injection across the
+// enumeration-based procedures.
+#include <string>
+
+#include "gen/generators.h"
+#include "gtest/gtest.h"
+#include "logic/parser.h"
+#include "sat/solver.h"
+#include "semantics/dsm.h"
+#include "semantics/pdsm.h"
+#include "semantics/perf.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace dd {
+namespace {
+
+TEST(ParserFuzz, RandomGarbageNeverCrashes) {
+  const char charset[] = "ab|:-,.()~&<>xX %\n'_123";
+  Rng rng(20260705);
+  int parsed_ok = 0;
+  for (int iter = 0; iter < 3000; ++iter) {
+    std::string text;
+    int len = static_cast<int>(rng.Below(40));
+    for (int i = 0; i < len; ++i) {
+      text += charset[rng.Below(sizeof(charset) - 1)];
+    }
+    auto db = ParseDatabase(text);
+    parsed_ok += db.ok() ? 1 : 0;
+    Vocabulary voc;
+    (void)ParseFormula(text, &voc);
+    (void)ParseLiteral(text, &voc);
+  }
+  // Some random strings happen to parse; most must fail gracefully.
+  EXPECT_GT(parsed_ok, 0);
+  EXPECT_LT(parsed_ok, 3000);
+}
+
+TEST(ParserFuzz, ValidProgramsRoundTripAfterMutation) {
+  // Mutating one character of a valid program either parses to something
+  // or fails with a Status — never crashes or loops.
+  Rng rng(99);
+  std::string base = "a | b. c :- a, not d. :- b, c.\n";
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string text = base;
+    size_t pos = rng.Below(text.size());
+    text[pos] = static_cast<char>(32 + rng.Below(95));
+    (void)ParseDatabase(text);
+  }
+  SUCCEED();
+}
+
+TEST(SolverStress, ThresholdInstancesExerciseRestartsAndReduce) {
+  // Random 3SAT at the phase transition forces conflicts, restarts and
+  // learnt-clause reduction; answers must stay consistent when re-solved.
+  Rng rng(4242);
+  for (int inst = 0; inst < 3; ++inst) {
+    sat::Solver s;
+    const int n = 120;
+    s.EnsureVars(n);
+    for (int i = 0; i < static_cast<int>(4.2 * n); ++i) {
+      std::vector<Lit> c;
+      for (int j = 0; j < 3; ++j) {
+        c.push_back(Lit::Make(static_cast<Var>(rng.Below(n)),
+                              rng.Chance(0.5)));
+      }
+      s.AddClause(c);
+    }
+    auto first = s.Solve();
+    auto second = s.Solve();
+    ASSERT_EQ(first, second);
+    ASSERT_NE(first, sat::SolveResult::kUnknown);
+    EXPECT_GT(s.stats().conflicts, 0);
+  }
+}
+
+TEST(SolverStress, ManyIncrementalAssumptionRounds) {
+  Rng rng(515151);
+  sat::Solver s;
+  const int n = 60;
+  s.EnsureVars(n);
+  for (int i = 0; i < 3 * n; ++i) {
+    std::vector<Lit> c;
+    for (int j = 0; j < 3; ++j) {
+      c.push_back(
+          Lit::Make(static_cast<Var>(rng.Below(n)), rng.Chance(0.5)));
+    }
+    s.AddClause(c);
+  }
+  // 200 assumption rounds; cross-check a sample against fresh solvers.
+  for (int round = 0; round < 200; ++round) {
+    std::vector<Lit> assumptions;
+    for (uint64_t j = 0; j < 1 + rng.Below(4); ++j) {
+      assumptions.push_back(
+          Lit::Make(static_cast<Var>(rng.Below(n)), rng.Chance(0.5)));
+    }
+    auto r = s.Solve(assumptions);
+    ASSERT_NE(r, sat::SolveResult::kUnknown);
+    if (round % 37 == 0) {
+      sat::Solver fresh;
+      fresh.EnsureVars(n);
+      // Rebuild the same clause set deterministically.
+      Rng rng2(515151);
+      for (int i = 0; i < 3 * n; ++i) {
+        std::vector<Lit> c;
+        for (int j = 0; j < 3; ++j) {
+          c.push_back(Lit::Make(static_cast<Var>(rng2.Below(n)),
+                                rng2.Chance(0.5)));
+        }
+        fresh.AddClause(c);
+      }
+      ASSERT_EQ(fresh.Solve(assumptions), r) << "round " << round;
+    }
+  }
+}
+
+TEST(FailureInjection, CandidateCapsSurfaceAsResourceExhausted) {
+  // A database with many stable-model candidates and a tiny cap.
+  DdbConfig cfg;
+  cfg.num_vars = 10;
+  cfg.num_clauses = 8;
+  cfg.max_head = 3;
+  cfg.fact_fraction = 1.0;
+  cfg.seed = 9;
+  Database db = RandomDdb(cfg);
+  SemanticsOptions opts;
+  opts.max_candidates = 2;
+  DsmSemantics dsm(db, opts);
+  auto r = dsm.Models();
+  // Either few candidates sufficed or the cap fired; both are acceptable,
+  // but a cap must never produce a wrong "false".
+  if (!r.ok()) {
+    EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  }
+
+  PerfSemantics perf(db, opts);
+  auto p = perf.Models();
+  if (!p.ok()) {
+    EXPECT_EQ(p.status().code(), StatusCode::kResourceExhausted);
+  }
+
+  PdsmSemantics pdsm(db, opts);
+  auto q = pdsm.PartialModels();
+  if (!q.ok()) {
+    EXPECT_EQ(q.status().code(), StatusCode::kResourceExhausted);
+  }
+}
+
+TEST(FailureInjection, ModelCapsPropagate) {
+  Database db = testing::Db("a | b. c | d. e | f. g | h.");
+  SemanticsOptions opts;
+  opts.max_models = 3;
+  DsmSemantics dsm(db, opts);
+  auto r = dsm.Models();  // 16 stable models, cap 3
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 3u);
+}
+
+}  // namespace
+}  // namespace dd

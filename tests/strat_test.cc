@@ -1,0 +1,157 @@
+#include "gen/generators.h"
+#include "gtest/gtest.h"
+#include "strat/dependency_graph.h"
+#include "strat/priority.h"
+#include "strat/stratifier.h"
+#include "tests/test_util.h"
+
+namespace dd {
+namespace {
+
+using testing::Db;
+
+TEST(DependencyGraph, EdgesAndScc) {
+  // a :- b. b :- a.  -> one SCC {a,b}; c :- not a is strict.
+  Database db = Db("a :- b. b :- a. c :- not a.");
+  DependencyGraph g(db);
+  auto comp = g.SccIds();
+  Var a = db.vocabulary().Find("a"), b = db.vocabulary().Find("b"),
+      c = db.vocabulary().Find("c");
+  EXPECT_EQ(comp[static_cast<size_t>(a)], comp[static_cast<size_t>(b)]);
+  EXPECT_NE(comp[static_cast<size_t>(a)], comp[static_cast<size_t>(c)]);
+  EXPECT_FALSE(g.HasStrictCycle());
+}
+
+TEST(DependencyGraph, StrictCycleDetected) {
+  // Edges b ->1 a and a ->1 b put both atoms in one SCC with strict edges.
+  Database db = Db("a :- not b. b :- not a.");
+  DependencyGraph g(db);
+  EXPECT_TRUE(g.HasStrictCycle());
+}
+
+TEST(DependencyGraph, OddLoopIsStrictCycle) {
+  Database db = Db("a :- not a.");
+  DependencyGraph g(db);
+  EXPECT_TRUE(g.HasStrictCycle());
+}
+
+TEST(Stratify, TwoStrata) {
+  Database db = Db("a | b. c :- not a.");
+  auto s = Stratify(db);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  Var a = db.vocabulary().Find("a"), b = db.vocabulary().Find("b"),
+      c = db.vocabulary().Find("c");
+  EXPECT_EQ(s->num_strata, 2);
+  EXPECT_EQ(s->atom_level[static_cast<size_t>(a)], 0);
+  EXPECT_EQ(s->atom_level[static_cast<size_t>(b)], 0);
+  EXPECT_EQ(s->atom_level[static_cast<size_t>(c)], 1);
+  EXPECT_EQ(s->clause_level[0], 0);
+  EXPECT_EQ(s->clause_level[1], 1);
+}
+
+TEST(Stratify, HeadAtomsShareStratum) {
+  Database db = Db("a | b :- not c. d :- a.");
+  auto s = Stratify(db);
+  ASSERT_TRUE(s.ok());
+  Var a = db.vocabulary().Find("a"), b = db.vocabulary().Find("b");
+  EXPECT_EQ(s->atom_level[static_cast<size_t>(a)],
+            s->atom_level[static_cast<size_t>(b)]);
+}
+
+TEST(Stratify, FailsOnNegativeCycle) {
+  Database db = Db("a :- not b. b :- not a.");
+  auto s = Stratify(db);
+  EXPECT_EQ(s.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(IsStratifiable(db));
+}
+
+TEST(Stratify, PositiveCycleIsFine) {
+  Database db = Db("a :- b. b :- a. c :- not a.");
+  EXPECT_TRUE(IsStratifiable(db));
+}
+
+TEST(Stratify, ConstraintPropertyOnRandomStratifiedDbs) {
+  Rng rng(123);
+  for (int iter = 0; iter < 80; ++iter) {
+    Database db = RandomStratifiedDdb(
+        8 + static_cast<int>(rng.Below(8)),
+        10 + static_cast<int>(rng.Below(15)), 3, 0.5, rng.Next());
+    auto s = Stratify(db);
+    ASSERT_TRUE(s.ok()) << db.ToString();
+    // Verify the defining constraints hold for the computed levels.
+    for (const Clause& c : db.clauses()) {
+      if (c.heads().empty()) continue;
+      int hl = s->atom_level[static_cast<size_t>(c.heads()[0])];
+      for (Var h : c.heads()) {
+        ASSERT_EQ(s->atom_level[static_cast<size_t>(h)], hl);
+      }
+      for (Var b : c.pos_body()) {
+        ASSERT_LE(s->atom_level[static_cast<size_t>(b)], hl);
+      }
+      for (Var n : c.neg_body()) {
+        ASSERT_LT(s->atom_level[static_cast<size_t>(n)], hl);
+      }
+    }
+  }
+}
+
+TEST(Stratify, HelperAccessors) {
+  Database db = Db("a. b :- not a. c :- not b.");
+  auto s = Stratify(db);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_strata, 3);
+  EXPECT_EQ(s->AtomsOfLevel(0).size(), 1u);
+  EXPECT_EQ(s->AtomsAboveLevel(0).size(), 2u);
+  EXPECT_EQ(s->ClausesUpToLevel(1).size(), 2u);
+  EXPECT_FALSE(s->ToString(db.vocabulary()).empty());
+}
+
+TEST(Priority, EdgesFromClauses) {
+  // b :- not a  =>  b < a (a has higher priority).
+  Database db = Db("b :- not a.");
+  PriorityRelation p(db);
+  Var a = db.vocabulary().Find("a"), b = db.vocabulary().Find("b");
+  EXPECT_TRUE(p.Less(b, a));
+  EXPECT_FALSE(p.Less(a, b));
+  EXPECT_TRUE(p.LessEq(b, a));
+  EXPECT_TRUE(p.LessEq(a, a));  // reflexive
+  EXPECT_FALSE(p.HasStrictCycle());
+}
+
+TEST(Priority, PositiveBodyGivesNonStrict) {
+  Database db = Db("a :- b.");
+  PriorityRelation p(db);
+  Var a = db.vocabulary().Find("a"), b = db.vocabulary().Find("b");
+  EXPECT_TRUE(p.LessEq(a, b));
+  EXPECT_FALSE(p.Less(a, b));
+}
+
+TEST(Priority, TransitiveThroughMixedEdges) {
+  // c :- not b. b :- a.  =>  c < b, b <= a  =>  c < a.
+  Database db = Db("c :- not b. b :- a.");
+  PriorityRelation p(db);
+  Var a = db.vocabulary().Find("a"), b = db.vocabulary().Find("b"),
+      c = db.vocabulary().Find("c");
+  EXPECT_TRUE(p.Less(c, b));
+  EXPECT_TRUE(p.Less(c, a));
+  EXPECT_FALSE(p.Less(b, a));
+  EXPECT_TRUE(p.LessEq(b, a));
+}
+
+TEST(Priority, StrictCycleOnUnstratifiable) {
+  Database db = Db("a :- not b. b :- not a.");
+  PriorityRelation p(db);
+  EXPECT_TRUE(p.HasStrictCycle());
+}
+
+TEST(Priority, HeadAtomsEquivalent) {
+  Database db = Db("a | b.");
+  PriorityRelation p(db);
+  Var a = db.vocabulary().Find("a"), b = db.vocabulary().Find("b");
+  EXPECT_TRUE(p.LessEq(a, b));
+  EXPECT_TRUE(p.LessEq(b, a));
+  EXPECT_FALSE(p.Less(a, b));
+}
+
+}  // namespace
+}  // namespace dd

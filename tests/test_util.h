@@ -1,0 +1,65 @@
+// Shared helpers for the test suite.
+#ifndef DD_TESTS_TEST_UTIL_H_
+#define DD_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "logic/database.h"
+#include "logic/formula.h"
+#include "logic/parser.h"
+#include "util/rng.h"
+
+namespace dd {
+namespace testing {
+
+/// Parses a program, failing the test on parse errors.
+inline Database Db(std::string_view program) {
+  Result<Database> r = ParseDatabase(program);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+/// Parses a formula against the database vocabulary.
+inline Formula F(Database* db, std::string_view text) {
+  Result<Formula> r = ParseFormula(text, &db->vocabulary());
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+/// Canonical (sorted) model set for order-independent comparison.
+inline std::set<Interpretation> ModelSet(
+    const std::vector<Interpretation>& models) {
+  return std::set<Interpretation>(models.begin(), models.end());
+}
+
+/// A random formula over the database's atoms (depth-bounded), for
+/// property tests of formula inference.
+inline Formula RandomFormula(Rng* rng, int num_vars, int depth) {
+  if (depth == 0 || rng->Chance(0.35)) {
+    Formula a = FormulaNode::MakeAtom(
+        static_cast<Var>(rng->Below(static_cast<uint64_t>(num_vars))));
+    return rng->Chance(0.4) ? FormulaNode::MakeNot(a) : a;
+  }
+  switch (rng->Below(4)) {
+    case 0:
+      return FormulaNode::MakeAnd(RandomFormula(rng, num_vars, depth - 1),
+                                  RandomFormula(rng, num_vars, depth - 1));
+    case 1:
+      return FormulaNode::MakeOr(RandomFormula(rng, num_vars, depth - 1),
+                                 RandomFormula(rng, num_vars, depth - 1));
+    case 2:
+      return FormulaNode::MakeImplies(RandomFormula(rng, num_vars, depth - 1),
+                                      RandomFormula(rng, num_vars, depth - 1));
+    default:
+      return FormulaNode::MakeNot(RandomFormula(rng, num_vars, depth - 1));
+  }
+}
+
+}  // namespace testing
+}  // namespace dd
+
+#endif  // DD_TESTS_TEST_UTIL_H_

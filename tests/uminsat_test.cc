@@ -1,0 +1,75 @@
+#include "core/brute_force.h"
+#include "gen/generators.h"
+#include "gtest/gtest.h"
+#include "minimal/uminsat.h"
+#include "tests/test_util.h"
+
+namespace dd {
+namespace {
+
+using testing::Db;
+
+TEST(Uminsat, UnsatDatabase) {
+  Database db = Db("a. :- a.");
+  MinimalEngine e(db);
+  auto r = UniqueMinimalModel(&e);
+  EXPECT_FALSE(r.has_model);
+  EXPECT_FALSE(r.witness.has_value());
+}
+
+TEST(Uminsat, UniqueForDefiniteDb) {
+  Database db = Db("a. b :- a. c :- b.");
+  MinimalEngine e(db);
+  auto r = UniqueMinimalModel(&e);
+  ASSERT_TRUE(r.has_model);
+  EXPECT_TRUE(r.unique);
+  EXPECT_EQ(r.witness->TrueCount(), 3);
+}
+
+TEST(Uminsat, NotUniqueForChoice) {
+  Database db = Db("a | b.");
+  MinimalEngine e(db);
+  auto r = UniqueMinimalModel(&e);
+  ASSERT_TRUE(r.has_model);
+  EXPECT_FALSE(r.unique);
+  ASSERT_TRUE(r.second.has_value());
+  EXPECT_NE(*r.witness, *r.second);
+  EXPECT_TRUE(db.Satisfies(*r.second));
+}
+
+TEST(Uminsat, EmptyMinimalModelIsUnique) {
+  // The empty model satisfies everything here, so it is the unique minimal
+  // model even though other models exist.
+  Database db = Db("a :- b. b :- a.");
+  MinimalEngine e(db);
+  auto r = UniqueMinimalModel(&e);
+  ASSERT_TRUE(r.has_model);
+  EXPECT_TRUE(r.unique);
+  EXPECT_EQ(r.witness->TrueCount(), 0);
+}
+
+TEST(Uminsat, MatchesBruteForceOnRandomDbs) {
+  Rng rng(2718);
+  for (int iter = 0; iter < 150; ++iter) {
+    DdbConfig cfg;
+    cfg.num_vars = 4 + static_cast<int>(rng.Below(4));
+    cfg.num_clauses = 3 + static_cast<int>(rng.Below(8));
+    cfg.integrity_fraction = 0.2;
+    cfg.negation_fraction = 0.2;
+    cfg.seed = rng.Next();
+    Database db = RandomDdb(cfg);
+    MinimalEngine e(db);
+    auto r = UniqueMinimalModel(&e);
+    auto mins = brute::MinimalModels(db);
+    ASSERT_EQ(r.has_model, !mins.empty()) << db.ToString();
+    if (r.has_model) {
+      ASSERT_EQ(r.unique, mins.size() == 1) << db.ToString();
+      bool witness_is_minimal = false;
+      for (const auto& m : mins) witness_is_minimal |= (m == *r.witness);
+      ASSERT_TRUE(witness_is_minimal);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dd

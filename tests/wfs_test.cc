@@ -1,0 +1,131 @@
+#include "semantics/wfs.h"
+
+#include "core/brute_force.h"
+#include "gen/generators.h"
+#include "gtest/gtest.h"
+#include "semantics/dsm.h"
+#include "semantics/pdsm.h"
+#include "tests/test_util.h"
+
+namespace dd {
+namespace {
+
+using testing::Db;
+
+TEST(Wfs, DefiniteProgramIsTotal) {
+  Database db = Db("a. b :- a. c :- d.");
+  auto wfm = WellFoundedModel(db);
+  ASSERT_TRUE(wfm.ok());
+  EXPECT_TRUE(wfm->IsTotal());
+  Vocabulary& voc = db.vocabulary();
+  EXPECT_EQ(wfm->Value(voc.Find("a")), TruthValue::kTrue);
+  EXPECT_EQ(wfm->Value(voc.Find("b")), TruthValue::kTrue);
+  EXPECT_EQ(wfm->Value(voc.Find("c")), TruthValue::kFalse);
+  EXPECT_EQ(wfm->Value(voc.Find("d")), TruthValue::kFalse);
+}
+
+TEST(Wfs, StratifiedProgramIsTotalAndIntended) {
+  Database db = Db("a. b :- not a. c :- not b.");
+  auto wfm = WellFoundedModel(db);
+  ASSERT_TRUE(wfm.ok());
+  EXPECT_TRUE(wfm->IsTotal());
+  Vocabulary& voc = db.vocabulary();
+  EXPECT_EQ(wfm->Value(voc.Find("a")), TruthValue::kTrue);
+  EXPECT_EQ(wfm->Value(voc.Find("b")), TruthValue::kFalse);
+  EXPECT_EQ(wfm->Value(voc.Find("c")), TruthValue::kTrue);
+}
+
+TEST(Wfs, EvenLoopIsUndefined) {
+  Database db = Db("a :- not b. b :- not a.");
+  auto wfm = WellFoundedModel(db);
+  ASSERT_TRUE(wfm.ok());
+  EXPECT_EQ(wfm->Value(0), TruthValue::kUndef);
+  EXPECT_EQ(wfm->Value(1), TruthValue::kUndef);
+}
+
+TEST(Wfs, OddLoopIsUndefined) {
+  Database db = Db("a :- not a.");
+  auto wfm = WellFoundedModel(db);
+  ASSERT_TRUE(wfm.ok());
+  EXPECT_EQ(wfm->Value(0), TruthValue::kUndef);
+}
+
+TEST(Wfs, MixedLoops) {
+  // p is founded, the q/r loop is not, s hangs off the loop.
+  Database db = Db("p. q :- not r. r :- not q. s :- q, not p.");
+  auto wfm = WellFoundedModel(db);
+  ASSERT_TRUE(wfm.ok());
+  Vocabulary& voc = db.vocabulary();
+  EXPECT_EQ(wfm->Value(voc.Find("p")), TruthValue::kTrue);
+  EXPECT_EQ(wfm->Value(voc.Find("q")), TruthValue::kUndef);
+  EXPECT_EQ(wfm->Value(voc.Find("s")), TruthValue::kFalse);  // not p fails
+}
+
+TEST(Wfs, RejectsDisjunctionAndConstraints) {
+  EXPECT_EQ(WellFoundedModel(Db("a | b.")).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(WellFoundedModel(Db("a. :- a.")).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Wfs, IsAPartialStableModel) {
+  // The well-founded model of a normal program is a partial stable model
+  // (in fact the knowledge-least one): cross-check against PDSM.
+  Rng rng(303);
+  for (int iter = 0; iter < 80; ++iter) {
+    DdbConfig cfg;
+    cfg.num_vars = 4 + static_cast<int>(rng.Below(2));
+    cfg.num_clauses = 4 + static_cast<int>(rng.Below(6));
+    cfg.max_head = 1;
+    cfg.negation_fraction = 0.4;
+    cfg.seed = rng.Next();
+    Database db = RandomDdb(cfg);
+    auto wfm = WellFoundedModel(db);
+    ASSERT_TRUE(wfm.ok()) << db.ToString();
+    PdsmSemantics pdsm(db);
+    auto stable = pdsm.IsPartialStable(*wfm);
+    ASSERT_TRUE(stable.ok());
+    ASSERT_TRUE(*stable) << db.ToString() << "\nWFM = "
+                         << wfm->ToString(db.vocabulary());
+    // Knowledge-least: every partial stable model refines the WFM on the
+    // atoms the WFM decides.
+    auto all = pdsm.PartialModels();
+    ASSERT_TRUE(all.ok());
+    for (const auto& p : *all) {
+      for (Var v = 0; v < db.num_vars(); ++v) {
+        if (wfm->Value(v) != TruthValue::kUndef) {
+          ASSERT_EQ(p.Value(v), wfm->Value(v))
+              << db.ToString() << " atom " << v;
+        }
+      }
+    }
+  }
+}
+
+TEST(Wfs, TotalImpliesUniqueStableModel) {
+  Rng rng(404);
+  int total_count = 0;
+  for (int iter = 0; iter < 80; ++iter) {
+    DdbConfig cfg;
+    cfg.num_vars = 5;
+    cfg.num_clauses = 5 + static_cast<int>(rng.Below(5));
+    cfg.max_head = 1;
+    cfg.negation_fraction = 0.35;
+    cfg.seed = rng.Next();
+    Database db = RandomDdb(cfg);
+    auto total = WellFoundedModelIsTotal(db);
+    ASSERT_TRUE(total.ok());
+    if (!*total) continue;
+    ++total_count;
+    auto wfm = WellFoundedModel(db);
+    DsmSemantics dsm(db);
+    auto stable = dsm.Models();
+    ASSERT_TRUE(stable.ok());
+    ASSERT_EQ(stable->size(), 1u) << db.ToString();
+    ASSERT_EQ((*stable)[0], wfm->TrueSet()) << db.ToString();
+  }
+  EXPECT_GT(total_count, 10);  // the family produces total cases
+}
+
+}  // namespace
+}  // namespace dd
