@@ -17,6 +17,7 @@
 #include "semantics/dsm.h"
 #include "semantics/pws.h"
 #include "semantics/pws_encoding.h"
+#include "util/string_util.h"
 #include "util/timer.h"
 
 namespace dd {
@@ -135,8 +136,8 @@ int main_impl() {
     Vocabulary& voc = db.vocabulary();
     std::vector<Var> firsts;
     for (int i = 0; i < rules; ++i) {
-      Var a = voc.Intern("a" + std::to_string(i));
-      Var b = voc.Intern("b" + std::to_string(i));
+      Var a = voc.Intern(StrFormat("a%d", i));
+      Var b = voc.Intern(StrFormat("b%d", i));
       db.AddClause(Clause::Fact({a, b}));
       firsts.push_back(a);
     }

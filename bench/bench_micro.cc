@@ -12,6 +12,7 @@
 #include "semantics/wfs.h"
 #include "strat/priority.h"
 #include "strat/stratifier.h"
+#include "util/string_util.h"
 
 namespace dd {
 namespace {
@@ -134,8 +135,7 @@ void BM_Grounding(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   std::string prog;
   for (int i = 0; i + 1 < n; ++i) {
-    prog += "edge(c" + std::to_string(i) + ", c" + std::to_string(i + 1) +
-            ").\n";
+    prog += StrFormat("edge(c%d, c%d).\n", i, i + 1);
   }
   prog += "path(X, Y) :- edge(X, Y).\n";
   prog += "path(X, Z) :- path(X, Y), edge(Y, Z).\n";

@@ -1,0 +1,139 @@
+// ddlint: static analysis and lint driver for disjunctive database
+// programs.
+//
+//   ddlint [options] <file.ddb>...
+//
+// For every file, prints the analyzer's ProgramProperties (the syntactic
+// class that fixes the complexity regime, per the paper's Tables 1/2),
+// the structured lint diagnostics, and the dispatch table showing which
+// engine each semantics' queries are routed to on this input.
+//
+// Options:
+//   --no-subsumption     skip the O(m^2) subsumption pass
+//   --no-integrity-note  silence the per-integrity-clause notes
+//   --properties-only    print only the properties block
+//   --diagnostics-only   print only the diagnostics
+//
+// Exit status: 0 clean, 1 if any warning/error diagnostic was emitted,
+// 2 on a read or parse failure.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/dispatch.h"
+#include "analysis/linter.h"
+#include "analysis/program_properties.h"
+#include "logic/parser.h"
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+const dd::SemanticsKind kAllKinds[] = {
+    dd::SemanticsKind::kCwa,  dd::SemanticsKind::kGcwa,
+    dd::SemanticsKind::kEgcwa, dd::SemanticsKind::kCcwa,
+    dd::SemanticsKind::kEcwa, dd::SemanticsKind::kDdr,
+    dd::SemanticsKind::kPws,  dd::SemanticsKind::kPerf,
+    dd::SemanticsKind::kIcwa, dd::SemanticsKind::kDsm,
+    dd::SemanticsKind::kPdsm,
+};
+
+void PrintDispatchTable(const dd::analysis::ProgramProperties& props) {
+  std::printf("dispatch (pos-literal / neg-literal / formula / exists):\n");
+  for (dd::SemanticsKind kind : kAllKinds) {
+    // Representative literals: polarity is what the table branches on
+    // (the certain-fact path additionally needs the specific atom).
+    dd::Lit pos = props.num_vars > 0 ? dd::Lit::Pos(0) : dd::Lit();
+    dd::Lit neg = props.num_vars > 0 ? dd::Lit::Neg(0) : dd::Lit();
+    using dd::analysis::QueryKind;
+    using dd::analysis::SelectPath;
+    std::printf("  %-6s %-18s %-18s %-18s %s\n", dd::SemanticsKindName(kind),
+                EnginePathName(SelectPath(props, kind, QueryKind::kLiteral,
+                                          pos)),
+                EnginePathName(SelectPath(props, kind, QueryKind::kLiteral,
+                                          neg)),
+                EnginePathName(SelectPath(props, kind, QueryKind::kFormula)),
+                EnginePathName(SelectPath(props, kind,
+                                          QueryKind::kHasModel)));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dd::analysis::LintOptions lint_opts;
+  bool properties_only = false;
+  bool diagnostics_only = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--no-subsumption") {
+      lint_opts.check_subsumption = false;
+    } else if (arg == "--no-integrity-note") {
+      lint_opts.note_integrity_clauses = false;
+    } else if (arg == "--properties-only") {
+      properties_only = true;
+    } else if (arg == "--diagnostics-only") {
+      diagnostics_only = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: ddlint [--no-subsumption] [--no-integrity-note] "
+                  "[--properties-only] [--diagnostics-only] <file.ddb>...\n");
+      return 0;
+    } else {
+      files.push_back(std::move(arg));
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "ddlint: no input files (try --help)\n");
+    return 2;
+  }
+
+  int worst = 0;
+  for (const std::string& path : files) {
+    std::string text;
+    if (!ReadFile(path, &text)) {
+      std::fprintf(stderr, "ddlint: cannot read %s\n", path.c_str());
+      worst = 2;
+      continue;
+    }
+    auto prog = dd::ParseProgram(text);
+    if (!prog.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   prog.status().ToString().c_str());
+      worst = 2;
+      continue;
+    }
+    std::printf("== %s ==\n", path.c_str());
+    dd::analysis::ProgramProperties props = dd::analysis::Analyze(prog->db);
+    if (!diagnostics_only) {
+      std::printf("%s", props.ToString(prog->db.vocabulary()).c_str());
+      if (!properties_only) PrintDispatchTable(props);
+    }
+    if (!properties_only) {
+      std::vector<dd::analysis::LintDiagnostic> diags =
+          dd::analysis::Lint(*prog, lint_opts);
+      if (diags.empty()) {
+        std::printf("diagnostics: none\n");
+      } else {
+        std::printf("diagnostics:\n%s",
+                    dd::analysis::FormatDiagnostics(diags).c_str());
+        for (const auto& d : diags) {
+          if (d.severity != dd::analysis::LintSeverity::kNote && worst < 1) {
+            worst = 1;
+          }
+        }
+      }
+    }
+    std::printf("\n");
+  }
+  return worst;
+}

@@ -162,7 +162,9 @@ int main(int argc, char** argv) {
       continue;
     }
     if (cmd == "stats") {
-      std::printf("%s\n", dd::FormatStats(reasoner.TotalStats()).c_str());
+      std::printf("%s\n", dd::FormatStats(reasoner.TotalStats(),
+                                          reasoner.dispatch_stats())
+                              .c_str());
       continue;
     }
     if (cmd == "load" || cmd == "loadg") {

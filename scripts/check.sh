@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Full pre-merge check matrix:
+#
+#   1. Release build with -Werror, ctest
+#   2. AddressSanitizer build, ctest
+#   3. UndefinedBehaviorSanitizer build, ctest
+#   4. clang-tidy over src/ (skipped with a notice when not installed)
+#   5. clang-format --dry-run -Werror over src/ (same skip rule)
+#   6. ddlint over examples/programs/*.ddb (exit 2 = parse failure fails
+#      the check; 1 just means diagnostics were reported, which the bait
+#      program does on purpose)
+#
+# Usage: scripts/check.sh [--fast]   (--fast: Release leg only)
+set -u
+cd "$(dirname "$0")/.."
+
+FAST=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    *) echo "usage: scripts/check.sh [--fast]" >&2; exit 2 ;;
+  esac
+done
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+FAILED=0
+
+run_leg() { # name build_dir cmake_args...
+  local name="$1" dir="$2"; shift 2
+  echo "===== $name ====="
+  if ! cmake -B "$dir" -S . "$@" >"$dir.configure.log" 2>&1; then
+    echo "$name: configure FAILED (see $dir.configure.log)"; FAILED=1; return
+  fi
+  if ! cmake --build "$dir" -j "$JOBS" >"$dir.build.log" 2>&1; then
+    echo "$name: build FAILED (see $dir.build.log)"; FAILED=1; return
+  fi
+  if ! ctest --test-dir "$dir" -j "$JOBS" --output-on-failure \
+       >"$dir.ctest.log" 2>&1; then
+    echo "$name: ctest FAILED (see $dir.ctest.log)"; FAILED=1; return
+  fi
+  tail -n 2 "$dir.ctest.log"
+  echo "$name: OK"
+}
+
+run_leg "release (-Werror)" build-check-release \
+        -DCMAKE_BUILD_TYPE=Release -DDD_WERROR=ON -DDD_BUILD_BENCHMARKS=OFF
+
+if [ "$FAST" -eq 0 ]; then
+  run_leg "asan" build-check-asan \
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDD_SANITIZE=address \
+          -DDD_BUILD_BENCHMARKS=OFF
+  run_leg "ubsan" build-check-ubsan \
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDD_SANITIZE=undefined \
+          -DDD_BUILD_BENCHMARKS=OFF
+fi
+
+echo "===== clang-tidy ====="
+if command -v clang-tidy >/dev/null 2>&1; then
+  if ! cmake --build build-check-release --target lint; then
+    echo "clang-tidy: FAILED"; FAILED=1
+  else
+    echo "clang-tidy: OK"
+  fi
+else
+  echo "clang-tidy: not installed; skipping"
+fi
+
+echo "===== clang-format ====="
+if command -v clang-format >/dev/null 2>&1; then
+  if ! find src tests examples bench -name '*.cc' -o -name '*.h' -o -name '*.cpp' \
+       | xargs clang-format --dry-run -Werror; then
+    echo "clang-format: FAILED"; FAILED=1
+  else
+    echo "clang-format: OK"
+  fi
+else
+  echo "clang-format: not installed; skipping"
+fi
+
+echo "===== ddlint over examples/programs ====="
+LINT_BIN=build-check-release/examples/ddlint
+if [ -x "$LINT_BIN" ]; then
+  "$LINT_BIN" examples/programs/*.ddb >/dev/null 2>&1
+  rc=$?
+  if [ "$rc" -ge 2 ]; then
+    echo "ddlint: parse/read failure (exit $rc)"; FAILED=1
+  else
+    echo "ddlint: OK (exit $rc; 1 = diagnostics reported, expected on lint_bait.ddb)"
+  fi
+else
+  echo "ddlint: binary not built; skipping"
+fi
+
+echo
+if [ "$FAILED" -ne 0 ]; then
+  echo "check.sh: FAILURES present"; exit 1
+fi
+echo "check.sh: all legs passed"

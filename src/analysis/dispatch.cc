@@ -1,0 +1,255 @@
+#include "analysis/dispatch.h"
+
+#include "fixpoint/ddr_fixpoint.h"
+#include "util/string_util.h"
+
+namespace dd {
+namespace analysis {
+
+namespace {
+
+/// Do the semantics' own preconditions hold, i.e. would the generic engine
+/// answer (rather than FailedPrecondition)? Fast paths must never mask an
+/// error the generic path would raise.
+bool GenericWouldAnswer(const ProgramProperties& p, SemanticsKind sem) {
+  switch (sem) {
+    case SemanticsKind::kDdr:
+    case SemanticsKind::kPws:
+      return p.is_deductive;
+    case SemanticsKind::kPerf:
+      return !p.has_integrity;
+    case SemanticsKind::kIcwa:
+      return p.is_stratified;
+    default:
+      return true;
+  }
+}
+
+/// Semantics whose intended models are classical models of the database
+/// (so an analyzer-proven fact is true in all of them, and vacuously
+/// inferred when the intended-model set is empty). PDSM's three-valued
+/// models are excluded.
+bool IntendedModelsAreClassical(SemanticsKind sem) {
+  switch (sem) {
+    case SemanticsKind::kCwa:
+    case SemanticsKind::kGcwa:
+    case SemanticsKind::kEgcwa:
+    case SemanticsKind::kCcwa:
+    case SemanticsKind::kEcwa:
+    case SemanticsKind::kDdr:
+    case SemanticsKind::kPws:
+    case SemanticsKind::kPerf:
+    case SemanticsKind::kIcwa:
+    case SemanticsKind::kDsm:
+      return true;
+    case SemanticsKind::kPdsm:
+      return false;
+  }
+  return false;
+}
+
+/// Semantics that collapse to the single least model on Horn databases
+/// (docs/ANALYSIS.md gives the per-semantics argument): the intended-model
+/// set is {LM} when LM satisfies the integrity clauses and ∅ otherwise.
+bool HornCollapses(SemanticsKind sem) {
+  switch (sem) {
+    case SemanticsKind::kCwa:   // DB |= x iff x ∈ LM, so CWA(DB) = {LM}
+    case SemanticsKind::kGcwa:  // MM = {LM}
+    case SemanticsKind::kEgcwa: // MM = {LM}
+    case SemanticsKind::kCcwa:  // = GCWA under the default partition
+    case SemanticsKind::kEcwa:  // = EGCWA under the default partition
+    case SemanticsKind::kDdr:   // DB ∪ {¬x : x ∉ T↑ω} has {LM} or ∅
+    case SemanticsKind::kPws:   // single split: PM ⊆ {LM}
+    case SemanticsKind::kPerf:  // = MM on positive DBs (Horn ∧ ¬integrity)
+    case SemanticsKind::kIcwa:  // single stratum, = EGCWA
+    case SemanticsKind::kDsm:   // GL reduct is identity; stable = MM
+      return true;
+    case SemanticsKind::kPdsm:
+      return false;
+  }
+  return false;
+}
+
+/// HasModel answered O(1) on positive DBs (the Table 1 column): minimal
+/// models exist iff the DB is satisfiable, and positive DBs always are.
+/// CWA is deliberately absent — CWA(DB) can be inconsistent on positive
+/// disjunctive DBs (the paper's introductory example "a | b.").
+bool PositiveAlwaysHasModel(SemanticsKind sem) {
+  switch (sem) {
+    case SemanticsKind::kGcwa:
+    case SemanticsKind::kEgcwa:
+    case SemanticsKind::kCcwa:
+    case SemanticsKind::kEcwa:
+    case SemanticsKind::kDdr:
+    case SemanticsKind::kPws:
+    case SemanticsKind::kPerf:
+    case SemanticsKind::kIcwa:
+    case SemanticsKind::kDsm:
+      return true;
+    case SemanticsKind::kCwa:
+    case SemanticsKind::kPdsm:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* EnginePathName(EnginePath p) {
+  switch (p) {
+    case EnginePath::kGeneric:
+      return "generic";
+    case EnginePath::kFixpointLiteral:
+      return "fixpoint-literal";
+    case EnginePath::kHornLeastModel:
+      return "horn-least-model";
+    case EnginePath::kCertainFact:
+      return "certain-fact";
+    case EnginePath::kConstAnswer:
+      return "const-answer";
+  }
+  return "?";
+}
+
+void DispatchStats::Record(EnginePath p) {
+  switch (p) {
+    case EnginePath::kGeneric:
+      ++generic;
+      break;
+    case EnginePath::kFixpointLiteral:
+      ++fixpoint_literal;
+      break;
+    case EnginePath::kHornLeastModel:
+      ++horn_least_model;
+      break;
+    case EnginePath::kCertainFact:
+      ++certain_fact;
+      break;
+    case EnginePath::kConstAnswer:
+      ++const_answer;
+      break;
+  }
+}
+
+void DispatchStats::Add(const DispatchStats& o) {
+  generic += o.generic;
+  fixpoint_literal += o.fixpoint_literal;
+  horn_least_model += o.horn_least_model;
+  certain_fact += o.certain_fact;
+  const_answer += o.const_answer;
+}
+
+std::string DispatchStats::ToString() const {
+  return StrFormat(
+      "dispatch: generic=%lld, fixpoint=%lld, horn=%lld, certain=%lld, "
+      "const=%lld",
+      static_cast<long long>(generic),
+      static_cast<long long>(fixpoint_literal),
+      static_cast<long long>(horn_least_model),
+      static_cast<long long>(certain_fact),
+      static_cast<long long>(const_answer));
+}
+
+EnginePath SelectPath(const ProgramProperties& props, SemanticsKind sem,
+                      QueryKind query, Lit lit, bool custom_partition) {
+  // A caller-supplied CCWA/ECWA partition changes the minimization
+  // preorder; the fast-path arguments assume minimize-everything.
+  if (custom_partition &&
+      (sem == SemanticsKind::kCcwa || sem == SemanticsKind::kEcwa)) {
+    return EnginePath::kGeneric;
+  }
+  // Never shadow a FailedPrecondition the generic engine would raise.
+  if (!GenericWouldAnswer(props, sem)) return EnginePath::kGeneric;
+
+  const bool horn_ok = props.is_horn && HornCollapses(sem);
+  switch (query) {
+    case QueryKind::kLiteral:
+      if (horn_ok) return EnginePath::kHornLeastModel;
+      if (lit.valid() && lit.negative() && props.is_positive &&
+          (sem == SemanticsKind::kDdr || sem == SemanticsKind::kPws)) {
+        return EnginePath::kFixpointLiteral;
+      }
+      if (lit.valid() && lit.positive() &&
+          props.certain_atoms.Contains(lit.var()) &&
+          IntendedModelsAreClassical(sem)) {
+        return EnginePath::kCertainFact;
+      }
+      return EnginePath::kGeneric;
+    case QueryKind::kFormula:
+      if (horn_ok) return EnginePath::kHornLeastModel;
+      return EnginePath::kGeneric;
+    case QueryKind::kHasModel:
+      if (props.is_positive && PositiveAlwaysHasModel(sem)) {
+        return EnginePath::kConstAnswer;
+      }
+      if (horn_ok) return EnginePath::kHornLeastModel;
+      return EnginePath::kGeneric;
+  }
+  return EnginePath::kGeneric;
+}
+
+FastPathEngine::FastPathEngine(Database db) : db_(std::move(db)) {}
+
+void FastPathEngine::EnsureLeastModel() {
+  if (least_model_.has_value()) return;
+  Interpretation lm = DefiniteLeastModel(db_);
+  horn_consistent_ = true;
+  for (const Clause& c : db_.clauses()) {
+    if (c.is_integrity() && !c.SatisfiedBy(lm)) {
+      horn_consistent_ = false;
+      break;
+    }
+  }
+  least_model_ = std::move(lm);
+}
+
+void FastPathEngine::EnsureFixpoint() {
+  if (fixpoint_atoms_.has_value()) return;
+  // On the positive DBs this path is gated to, DerivableAtoms never fails.
+  Result<Interpretation> fix = DerivableAtoms(db_);
+  DD_CHECK(fix.ok());
+  fixpoint_atoms_ = std::move(fix).value();
+}
+
+Result<bool> FastPathEngine::InfersLiteral(EnginePath path, Lit l) {
+  switch (path) {
+    case EnginePath::kCertainFact:
+      return true;
+    case EnginePath::kFixpointLiteral:
+      EnsureFixpoint();
+      // DDR/PWS |= ¬x on positive DBs iff x is outside T_DB↑ω (Chan).
+      return !fixpoint_atoms_->Contains(l.var());
+    case EnginePath::kHornLeastModel:
+      EnsureLeastModel();
+      // Intended models = {LM} when consistent, ∅ (vacuous truth) else.
+      if (!horn_consistent_) return true;
+      return least_model_->Satisfies(l);
+    default:
+      return Status::Internal("literal query routed to unsupported path");
+  }
+}
+
+Result<bool> FastPathEngine::InfersFormula(EnginePath path,
+                                           const Formula& f) {
+  if (path != EnginePath::kHornLeastModel) {
+    return Status::Internal("formula query routed to unsupported path");
+  }
+  EnsureLeastModel();
+  if (!horn_consistent_) return true;
+  return f->Eval(*least_model_);
+}
+
+Result<bool> FastPathEngine::HasModel(EnginePath path) {
+  switch (path) {
+    case EnginePath::kConstAnswer:
+      return true;  // Table 1's O(1) model-existence column
+    case EnginePath::kHornLeastModel:
+      EnsureLeastModel();
+      return horn_consistent_;
+    default:
+      return Status::Internal("existence query routed to unsupported path");
+  }
+}
+
+}  // namespace analysis
+}  // namespace dd

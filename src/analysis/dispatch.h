@@ -1,0 +1,104 @@
+// Property-driven engine dispatch: the analyzer's payoff.
+//
+// SelectPath is a pure dispatch table from (ProgramProperties, semantics,
+// query) to the cheapest engine that provably returns the same answer as
+// the generic machinery; FastPathEngine executes the non-generic paths
+// using cached polynomial-time artifacts (the definite least model, the
+// T_DB↑ω fixpoint atoms). The table's soundness argument per entry lives
+// in docs/ANALYSIS.md, keyed to the paper's Tables 1 and 2.
+//
+// Every routing decision is recorded in DispatchStats; the Reasoner
+// reports them next to the SAT-oracle counters so a downgrade is always
+// observable.
+#ifndef DD_ANALYSIS_DISPATCH_H_
+#define DD_ANALYSIS_DISPATCH_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "analysis/program_properties.h"
+#include "logic/formula.h"
+#include "semantics/semantics.h"
+
+namespace dd {
+namespace analysis {
+
+/// Which engine serves a query.
+enum class EnginePath {
+  kGeneric,          ///< the semantics' full (oracle-backed) machinery
+  kFixpointLiteral,  ///< DDR/PWS ¬x on positive DBs: T_DB↑ω membership (P)
+  kHornLeastModel,   ///< Horn DBs: evaluate on the definite least model (P)
+  kCertainFact,      ///< literal proven by the analyzer's unit closure (P)
+  kConstAnswer,      ///< read off the properties (e.g. HasModel, Table 1)
+};
+
+const char* EnginePathName(EnginePath p);
+
+/// Counters recording every analyzer-driven downgrade (and the generic
+/// fallthroughs). Aggregated by the Reasoner next to MinimalStats.
+struct DispatchStats {
+  int64_t generic = 0;
+  int64_t fixpoint_literal = 0;
+  int64_t horn_least_model = 0;
+  int64_t certain_fact = 0;
+  int64_t const_answer = 0;
+
+  void Record(EnginePath p);
+  void Add(const DispatchStats& o);
+  /// Queries answered without the generic engine.
+  int64_t Downgrades() const {
+    return fixpoint_literal + horn_least_model + certain_fact + const_answer;
+  }
+  /// "dispatch: generic=…, fixpoint=…, horn=…, certain=…, const=…".
+  std::string ToString() const;
+};
+
+/// The query classes the dispatch table distinguishes.
+enum class QueryKind { kLiteral, kFormula, kHasModel };
+
+/// Pure dispatch decision. `lit` matters only for QueryKind::kLiteral.
+/// `custom_partition` must be true when a caller-supplied <P;Q;Z>
+/// partition is active for CCWA/ECWA (fast paths assume the default
+/// minimize-everything partition and step aside otherwise).
+///
+/// Guarantee: any non-generic path returns exactly the answer the generic
+/// engine would return, including vacuous-truth on semantics-inconsistent
+/// databases; queries the generic engine would reject (FailedPrecondition)
+/// are always routed generic so the error surfaces unchanged.
+EnginePath SelectPath(const ProgramProperties& props, SemanticsKind sem,
+                      QueryKind query, Lit lit = Lit(),
+                      bool custom_partition = false);
+
+/// Executes the cheap paths chosen by SelectPath. Holds (lazily built,
+/// cached) polynomial-time artifacts for one database. Like the semantics
+/// engines, it keeps its own copy of the database, so it stays valid when
+/// the owning facade moves.
+class FastPathEngine {
+ public:
+  explicit FastPathEngine(Database db);
+
+  /// Answers a literal query routed to `path` (not kGeneric).
+  Result<bool> InfersLiteral(EnginePath path, Lit l);
+  /// Answers a formula query routed to `path` (kHornLeastModel only).
+  Result<bool> InfersFormula(EnginePath path, const Formula& f);
+  /// Answers a model-existence query routed to `path`.
+  Result<bool> HasModel(EnginePath path);
+
+ private:
+  /// Least model of the definite fragment plus DB-consistency (Horn path).
+  void EnsureLeastModel();
+  /// T_DB↑ω atoms (positive-DB fixpoint path). On positive DBs this
+  /// coincides with PWS's possible-atom union, so DDR and PWS share it.
+  void EnsureFixpoint();
+
+  Database db_;
+  std::optional<Interpretation> least_model_;
+  bool horn_consistent_ = false;
+  std::optional<Interpretation> fixpoint_atoms_;
+};
+
+}  // namespace analysis
+}  // namespace dd
+
+#endif  // DD_ANALYSIS_DISPATCH_H_

@@ -1,0 +1,251 @@
+#include "analysis/linter.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace dd {
+namespace analysis {
+
+namespace {
+
+std::vector<Var> SortedUnique(const std::vector<Var>& v) {
+  std::vector<Var> out = v;
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+/// The three clause parts, set-normalized, for duplicate/subsumption
+/// checks (classical subsumption is insensitive to order and repetition).
+struct NormClause {
+  std::vector<Var> heads, pos, neg;
+
+  bool operator==(const NormClause& o) const {
+    return heads == o.heads && pos == o.pos && neg == o.neg;
+  }
+  /// True iff this clause's classical clause is a subset of `o`'s, i.e.
+  /// this subsumes o.
+  bool Subsumes(const NormClause& o) const {
+    return std::includes(o.heads.begin(), o.heads.end(), heads.begin(),
+                         heads.end()) &&
+           std::includes(o.pos.begin(), o.pos.end(), pos.begin(),
+                         pos.end()) &&
+           std::includes(o.neg.begin(), o.neg.end(), neg.begin(), neg.end());
+  }
+};
+
+bool Intersect(const std::vector<Var>& a, const std::vector<Var>& b,
+               Var* witness) {
+  for (Var x : a) {
+    if (std::find(b.begin(), b.end(), x) != b.end()) {
+      *witness = x;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* LintSeverityName(LintSeverity s) {
+  switch (s) {
+    case LintSeverity::kError:
+      return "error";
+    case LintSeverity::kWarning:
+      return "warning";
+    case LintSeverity::kNote:
+      return "note";
+  }
+  return "?";
+}
+
+const char* LintRuleName(LintRule r) {
+  switch (r) {
+    case LintRule::kTautology:
+      return "tautology";
+    case LintRule::kContradictoryBody:
+      return "contradictory-body";
+    case LintRule::kDuplicateClause:
+      return "duplicate-clause";
+    case LintRule::kSubsumedClause:
+      return "subsumed-clause";
+    case LintRule::kUnderivableAtom:
+      return "underivable-atom";
+    case LintRule::kOnlyNegativeAtom:
+      return "only-negative-atom";
+    case LintRule::kConstraintLikeHead:
+      return "constraint-like-head";
+    case LintRule::kIntegrityClause:
+      return "integrity-clause";
+  }
+  return "?";
+}
+
+std::string LintDiagnostic::ToString() const {
+  std::string loc;
+  if (line > 0) {
+    loc = StrFormat("line %d: ", line);
+  } else if (clause_index >= 0) {
+    loc = StrFormat("clause %d: ", clause_index);
+  }
+  return StrFormat("%s%s: [%s] %s", loc.c_str(),
+                   LintSeverityName(severity), LintRuleName(rule),
+                   message.c_str());
+}
+
+std::string FormatDiagnostics(const std::vector<LintDiagnostic>& diags) {
+  std::string out;
+  for (const LintDiagnostic& d : diags) {
+    out += d.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<LintDiagnostic> Lint(const Database& db,
+                                 const std::vector<int>* clause_lines,
+                                 const LintOptions& opts) {
+  const Vocabulary& voc = db.vocabulary();
+  const int n = db.num_vars();
+  const int m = db.num_clauses();
+  std::vector<LintDiagnostic> out;
+
+  auto line_of = [&](int ci) {
+    return (clause_lines != nullptr &&
+            ci < static_cast<int>(clause_lines->size()))
+               ? (*clause_lines)[static_cast<size_t>(ci)]
+               : 0;
+  };
+  auto add = [&](LintRule rule, LintSeverity sev, int ci, Var atom,
+                 std::string msg) {
+    LintDiagnostic d;
+    d.rule = rule;
+    d.severity = sev;
+    d.clause_index = ci;
+    d.line = ci >= 0 ? line_of(ci) : 0;
+    d.atom = atom;
+    d.message = std::move(msg);
+    out.push_back(std::move(d));
+  };
+
+  // Occurrence counts per atom, over the whole program.
+  std::vector<int> head_occ(static_cast<size_t>(n), 0);
+  std::vector<int> pos_occ(static_cast<size_t>(n), 0);
+  std::vector<int> neg_occ(static_cast<size_t>(n), 0);
+  for (const Clause& c : db.clauses()) {
+    for (Var a : c.heads()) ++head_occ[static_cast<size_t>(a)];
+    for (Var b : c.pos_body()) ++pos_occ[static_cast<size_t>(b)];
+    for (Var b : c.neg_body()) ++neg_occ[static_cast<size_t>(b)];
+  }
+
+  // ---- clause-local rules -------------------------------------------------
+  std::vector<NormClause> norm(static_cast<size_t>(m));
+  for (int ci = 0; ci < m; ++ci) {
+    const Clause& c = db.clause(ci);
+    NormClause& nc = norm[static_cast<size_t>(ci)];
+    nc.heads = SortedUnique(c.heads());
+    nc.pos = SortedUnique(c.pos_body());
+    nc.neg = SortedUnique(c.neg_body());
+
+    // (Clause canonicalizes its atom lists at construction, so "a | a"
+    // never survives to this layer; no duplicate-head rule needed.)
+    Var w = kInvalidVar;
+    if (Intersect(nc.heads, nc.pos, &w)) {
+      add(LintRule::kTautology, LintSeverity::kWarning, ci, w,
+          StrFormat("clause is a tautology: '%s' occurs in both head and "
+                    "positive body",
+                    voc.Name(w).c_str()));
+    }
+    if (Intersect(nc.pos, nc.neg, &w)) {
+      add(LintRule::kContradictoryBody, LintSeverity::kWarning, ci, w,
+          StrFormat("body requires both '%s' and 'not %s'; the clause can "
+                    "never fire",
+                    voc.Name(w).c_str(), voc.Name(w).c_str()));
+    }
+    if (c.is_integrity() && opts.note_integrity_clauses) {
+      add(LintRule::kIntegrityClause, LintSeverity::kNote, ci, kInvalidVar,
+          "integrity clause: moves literal inference into the Table 2 "
+          "regime and is ignored by the DDR fixpoint");
+    }
+    // Constraint-like head: every head atom occurs nowhere else in the
+    // program — the clause only prunes models, so the author probably
+    // meant an integrity clause.
+    if (!c.heads().empty() && !c.pos_body().empty()) {
+      bool constraint_like = true;
+      for (Var a : nc.heads) {
+        if (head_occ[static_cast<size_t>(a)] >
+                static_cast<int>(std::count(c.heads().begin(),
+                                            c.heads().end(), a)) ||
+            pos_occ[static_cast<size_t>(a)] > 0 ||
+            neg_occ[static_cast<size_t>(a)] > 0) {
+          constraint_like = false;
+          break;
+        }
+      }
+      if (constraint_like) {
+        add(LintRule::kConstraintLikeHead, LintSeverity::kNote, ci,
+            nc.heads[0],
+            "head atoms occur nowhere else; if the clause is meant as a "
+            "constraint, write ':- body.'");
+      }
+    }
+  }
+
+  // ---- duplicate / subsumed clauses --------------------------------------
+  if (opts.check_subsumption) {
+    std::set<int> reported;
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < m; ++j) {
+        if (i == j || reported.count(j) != 0) continue;
+        const NormClause& a = norm[static_cast<size_t>(i)];
+        const NormClause& b = norm[static_cast<size_t>(j)];
+        if (a == b) {
+          if (i < j) {
+            reported.insert(j);
+            add(LintRule::kDuplicateClause, LintSeverity::kWarning, j,
+                kInvalidVar,
+                StrFormat("exact duplicate of clause %d%s", i,
+                          line_of(i) > 0
+                              ? StrFormat(" (line %d)", line_of(i)).c_str()
+                              : ""));
+          }
+        } else if (a.Subsumes(b)) {
+          reported.insert(j);
+          add(LintRule::kSubsumedClause, LintSeverity::kNote, j, kInvalidVar,
+              StrFormat("classically subsumed by clause %d%s (kept: "
+                        "dropping it may change split-based semantics)",
+                        i,
+                        line_of(i) > 0
+                            ? StrFormat(" (line %d)", line_of(i)).c_str()
+                            : ""));
+        }
+      }
+    }
+  }
+
+  // ---- atom-level rules ---------------------------------------------------
+  for (Var v = 0; v < n; ++v) {
+    const bool in_head = head_occ[static_cast<size_t>(v)] > 0;
+    const bool in_pos = pos_occ[static_cast<size_t>(v)] > 0;
+    const bool in_neg = neg_occ[static_cast<size_t>(v)] > 0;
+    if (in_head || (!in_pos && !in_neg)) continue;
+    if (in_neg && !in_pos) {
+      add(LintRule::kOnlyNegativeAtom, LintSeverity::kNote, -1, v,
+          StrFormat("atom '%s' occurs only under 'not'; it is never "
+                    "derivable, so the negation always succeeds",
+                    voc.Name(v).c_str()));
+    } else {
+      add(LintRule::kUnderivableAtom, LintSeverity::kWarning, -1, v,
+          StrFormat("atom '%s' occurs in no clause head; it is false in "
+                    "every minimal, possible and stable model",
+                    voc.Name(v).c_str()));
+    }
+  }
+
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace dd

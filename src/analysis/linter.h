@@ -1,0 +1,92 @@
+// Structured lint diagnostics over a database program.
+//
+// The linter reports clause- and atom-level issues that are either
+// outright mistakes (tautological clauses, bodies containing "b, not b")
+// or smells that change which complexity regime the program lands in
+// (integrity clauses — Table 2 prices; constraint-like heads; atoms that
+// can never be derived). Diagnostics carry severities and, when the
+// program came through logic/parser's ParseProgram, 1-based source lines.
+//
+// The linter only *reports*; it never rewrites the database. (Dropping a
+// subsumed clause is classically sound but can change possible-model and
+// split-based semantics, so rewriting is left to the user.)
+#ifndef DD_ANALYSIS_LINTER_H_
+#define DD_ANALYSIS_LINTER_H_
+
+#include <string>
+#include <vector>
+
+#include "logic/database.h"
+#include "logic/parser.h"
+
+namespace dd {
+namespace analysis {
+
+enum class LintSeverity {
+  kError,    ///< the clause set is degenerate (e.g. empty-clause ancestry)
+  kWarning,  ///< almost certainly not what the author meant
+  kNote,     ///< stylistic or complexity-relevant observation
+};
+
+const char* LintSeverityName(LintSeverity s);
+
+enum class LintRule {
+  kTautology,          ///< head atom repeated in the positive body
+  kContradictoryBody,  ///< "b" and "not b" in one body: never fires
+  kDuplicateClause,    ///< exact duplicate of an earlier clause
+  kSubsumedClause,     ///< another clause subsumes this one
+  kUnderivableAtom,    ///< atom occurs in no head: false in all minimal models
+  kOnlyNegativeAtom,   ///< atom used only under "not"
+  kConstraintLikeHead, ///< head atom used nowhere else: ":- body."?
+  kIntegrityClause,    ///< Table 2 regime / ignored by the DDR fixpoint
+};
+
+const char* LintRuleName(LintRule r);
+
+/// One diagnostic. Clause-level diagnostics carry `clause_index` (and
+/// `line` when positions are known); atom-level ones carry `atom`.
+struct LintDiagnostic {
+  LintRule rule;
+  LintSeverity severity;
+  int clause_index = -1;   ///< index into db.clauses(), or -1
+  int line = 0;            ///< 1-based source line, or 0 when unknown
+  Var atom = kInvalidVar;  ///< subject atom for atom-level rules
+  std::string message;
+
+  /// "line 3: warning: [tautology] ..." (or "clause 2: ..." without
+  /// positions; atom-level diagnostics omit the location).
+  std::string ToString() const;
+};
+
+struct LintOptions {
+  /// Report kIntegrityClause notes (noisy on Table 2 workloads).
+  bool note_integrity_clauses = true;
+  /// O(m^2) subsumption pass; disable for huge programs.
+  bool check_subsumption = true;
+};
+
+/// Lints `db`. `clause_lines` (parallel to db.clauses(), as produced by
+/// ParseProgram) is optional; pass nullptr when positions are unknown.
+std::vector<LintDiagnostic> Lint(const Database& db,
+                                 const std::vector<int>* clause_lines,
+                                 const LintOptions& opts = {});
+
+/// Convenience overload for programs built in memory.
+inline std::vector<LintDiagnostic> Lint(const Database& db,
+                                        const LintOptions& opts = {}) {
+  return Lint(db, nullptr, opts);
+}
+
+/// Lints parsed text, with source positions attached.
+inline std::vector<LintDiagnostic> Lint(const ParsedProgram& prog,
+                                        const LintOptions& opts = {}) {
+  return Lint(prog.db, &prog.clause_lines, opts);
+}
+
+/// Renders every diagnostic, one per line.
+std::string FormatDiagnostics(const std::vector<LintDiagnostic>& diags);
+
+}  // namespace analysis
+}  // namespace dd
+
+#endif  // DD_ANALYSIS_LINTER_H_

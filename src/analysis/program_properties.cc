@@ -1,0 +1,209 @@
+#include "analysis/program_properties.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "strat/dependency_graph.h"
+#include "strat/stratifier.h"
+#include "util/string_util.h"
+
+namespace dd {
+namespace analysis {
+
+namespace {
+
+// Closure of the single-headed positive rules: if every positive body atom
+// of a clause "a :- b1,...,bk." is certain and the clause has exactly one
+// head atom and no negative body, then a is certain (true in every
+// classical model). Queue-based unit fixpoint, linear in the program size.
+Interpretation CertainAtoms(const Database& db) {
+  const int n = db.num_vars();
+  Interpretation certain(n);
+  struct Pending {
+    Var head;
+    int unsatisfied;
+  };
+  std::vector<Pending> pending;
+  std::vector<std::vector<int>> watch(static_cast<size_t>(n));
+  std::vector<Var> queue;
+  auto derive = [&](Var v) {
+    if (!certain.Contains(v)) {
+      certain.Insert(v);
+      queue.push_back(v);
+    }
+  };
+  for (const Clause& c : db.clauses()) {
+    if (c.heads().size() != 1 || !c.neg_body().empty()) continue;
+    if (c.pos_body().empty()) {
+      derive(c.heads()[0]);
+      continue;
+    }
+    int idx = static_cast<int>(pending.size());
+    pending.push_back({c.heads()[0], static_cast<int>(c.pos_body().size())});
+    for (Var b : c.pos_body()) watch[static_cast<size_t>(b)].push_back(idx);
+  }
+  while (!queue.empty()) {
+    Var v = queue.back();
+    queue.pop_back();
+    for (int ri : watch[static_cast<size_t>(v)]) {
+      if (--pending[static_cast<size_t>(ri)].unsatisfied == 0) {
+        derive(pending[static_cast<size_t>(ri)].head);
+      }
+    }
+  }
+  return certain;
+}
+
+}  // namespace
+
+ProgramProperties Analyze(const Database& db) {
+  ProgramProperties p;
+  const int n = db.num_vars();
+  p.num_vars = n;
+  p.num_clauses = db.num_clauses();
+  p.certain_atoms = Interpretation(n);
+  p.underivable_atoms = Interpretation(n);
+
+  // ---- one pass over the clauses: counts and class flags ----------------
+  Interpretation in_some_head(n);
+  std::vector<bool> pos_self_loop(static_cast<size_t>(n), false);
+  for (const Clause& c : db.clauses()) {
+    const int head = static_cast<int>(c.heads().size());
+    const int body =
+        static_cast<int>(c.pos_body().size() + c.neg_body().size());
+    p.max_head_width = std::max(p.max_head_width, head);
+    p.max_body_width = std::max(p.max_body_width, body);
+    if (c.is_fact()) ++p.num_facts;
+    if (c.is_integrity()) ++p.num_integrity;
+    if (head >= 2) ++p.num_disjunctive;
+    if (!c.neg_body().empty()) ++p.num_negative_body;
+    if (head <= 1 && c.neg_body().empty()) ++p.num_horn;
+    for (Var a : c.heads()) {
+      in_some_head.Insert(a);
+      for (Var b : c.pos_body()) {
+        if (a == b) pos_self_loop[static_cast<size_t>(a)] = true;
+      }
+    }
+  }
+  p.has_negation = p.num_negative_body > 0;
+  p.has_integrity = p.num_integrity > 0;
+  p.has_disjunction = p.num_disjunctive > 0;
+  p.is_deductive = !p.has_negation;
+  p.is_positive = p.is_deductive && !p.has_integrity;
+  p.is_disjunction_free = !p.has_disjunction;
+  p.is_horn = p.is_disjunction_free && p.is_deductive;
+  p.is_definite = p.is_horn && !p.has_integrity;
+
+  // ---- dependency graphs -------------------------------------------------
+  // Full graph (head links + strict negation edges): SCC statistics and the
+  // stratification precondition.
+  DependencyGraph full(db);
+  std::vector<int> comp = full.SccIds();
+  int num_comp = 0;
+  for (int c : comp) num_comp = std::max(num_comp, c + 1);
+  std::vector<int> comp_size(static_cast<size_t>(num_comp), 0);
+  std::vector<bool> comp_self(static_cast<size_t>(num_comp), false);
+  std::vector<bool> comp_neg(static_cast<size_t>(num_comp), false);
+  for (Var v = 0; v < n; ++v) {
+    ++comp_size[static_cast<size_t>(comp[static_cast<size_t>(v)])];
+    for (const DepEdge& e : full.OutEdges(v)) {
+      if (comp[static_cast<size_t>(v)] != comp[static_cast<size_t>(e.to)]) {
+        continue;
+      }
+      if (e.to == v) comp_self[static_cast<size_t>(comp[static_cast<size_t>(v)])] = true;
+      if (e.strict) comp_neg[static_cast<size_t>(comp[static_cast<size_t>(v)])] = true;
+    }
+  }
+  p.scc.num_sccs = num_comp;
+  for (int c = 0; c < num_comp; ++c) {
+    p.scc.largest_scc =
+        std::max(p.scc.largest_scc, comp_size[static_cast<size_t>(c)]);
+    if (comp_size[static_cast<size_t>(c)] > 1 ||
+        comp_self[static_cast<size_t>(c)]) {
+      ++p.scc.num_nontrivial_sccs;
+    }
+    if (comp_neg[static_cast<size_t>(c)]) ++p.scc.sccs_with_negation;
+  }
+
+  // Positive graph without head links: tightness and head-cycle-freeness
+  // are defined over body->head positive edges only.
+  DependencyGraph positive(db, DepGraphOptions{/*link_heads=*/false,
+                                               /*include_negation=*/false});
+  std::vector<int> pcomp = positive.SccIds();
+  std::vector<int> pcomp_size(static_cast<size_t>(n), 0);
+  for (Var v = 0; v < n; ++v) {
+    ++pcomp_size[static_cast<size_t>(pcomp[static_cast<size_t>(v)])];
+  }
+  p.is_tight = true;
+  for (Var v = 0; v < n; ++v) {
+    if (pcomp_size[static_cast<size_t>(pcomp[static_cast<size_t>(v)])] > 1 ||
+        pos_self_loop[static_cast<size_t>(v)]) {
+      p.is_tight = false;
+      break;
+    }
+  }
+  p.is_head_cycle_free = true;
+  for (const Clause& c : db.clauses()) {
+    if (c.heads().size() < 2) continue;
+    for (size_t i = 0; i + 1 < c.heads().size() && p.is_head_cycle_free;
+         ++i) {
+      for (size_t j = i + 1; j < c.heads().size(); ++j) {
+        Var a = c.heads()[i], b = c.heads()[j];
+        if (a != b && pcomp[static_cast<size_t>(a)] ==
+                          pcomp[static_cast<size_t>(b)] &&
+            pcomp_size[static_cast<size_t>(pcomp[static_cast<size_t>(a)])] >
+                1) {
+          p.is_head_cycle_free = false;
+          break;
+        }
+      }
+    }
+    if (!p.is_head_cycle_free) break;
+  }
+
+  // ---- stratification -----------------------------------------------------
+  if (Result<Stratification> s = Stratify(db); s.ok()) {
+    p.is_stratified = true;
+    p.num_strata = s->num_strata;
+  }
+
+  // ---- analyzer-proven facts ----------------------------------------------
+  p.certain_atoms = CertainAtoms(db);
+  for (Var v = 0; v < n; ++v) {
+    if (!in_some_head.Contains(v)) p.underivable_atoms.Insert(v);
+  }
+  return p;
+}
+
+std::string ProgramProperties::ToString(const Vocabulary& voc) const {
+  std::string out;
+  out += StrFormat(
+      "vars=%d clauses=%d facts=%d integrity=%d disjunctive=%d "
+      "neg-body=%d horn=%d max-head=%d max-body=%d\n",
+      num_vars, num_clauses, num_facts, num_integrity, num_disjunctive,
+      num_negative_body, num_horn, max_head_width, max_body_width);
+  auto flag = [](bool b) { return b ? "yes" : "no"; };
+  out += StrFormat(
+      "class: positive=%s deductive=%s disjunction-free=%s horn=%s "
+      "definite=%s\n",
+      flag(is_positive), flag(is_deductive), flag(is_disjunction_free),
+      flag(is_horn), flag(is_definite));
+  out += StrFormat(
+      "structure: stratified=%s (strata=%d) tight=%s head-cycle-free=%s\n",
+      flag(is_stratified), num_strata, flag(is_tight),
+      flag(is_head_cycle_free));
+  out += StrFormat(
+      "sccs: total=%d nontrivial=%d largest=%d with-negation=%d\n",
+      scc.num_sccs, scc.num_nontrivial_sccs, scc.largest_scc,
+      scc.sccs_with_negation);
+  // Append-style: gcc-12 -O3 -Wrestrict false positive (PR105651).
+  out += "certain atoms: ";
+  out += certain_atoms.ToString(voc);
+  out += "\nunderivable atoms: ";
+  out += underivable_atoms.ToString(voc);
+  out += "\n";
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace dd

@@ -1,0 +1,93 @@
+// Static program analysis: the syntactic properties that decide, per the
+// paper's Tables 1 and 2, how expensive reasoning over a database must be.
+//
+// The paper's whole point is that *syntactic class determines cost*:
+// positive DDBs put DDR/PWS literal inference in P (Table 1), integrity
+// clauses push the same queries to coNP/Π₂ᵖ (Table 2), and stratification
+// gates PERF/ICWA entirely. Truszczyński's trichotomy sharpens this:
+// head-cycle-free and disjunction-free fragments admit strictly cheaper
+// algorithms. ProgramProperties is computed once, in polynomial time,
+// before any reasoning; the dispatch layer (analysis/dispatch.h) consumes
+// it to route queries to the cheapest sound engine.
+#ifndef DD_ANALYSIS_PROGRAM_PROPERTIES_H_
+#define DD_ANALYSIS_PROGRAM_PROPERTIES_H_
+
+#include <string>
+
+#include "logic/database.h"
+#include "logic/interpretation.h"
+
+namespace dd {
+namespace analysis {
+
+/// Condensation statistics of the (full, stratification-style) atom
+/// dependency graph — the per-SCC shape later sharding/caching PRs key on.
+struct SccStats {
+  int num_sccs = 0;             ///< components of the full dependency graph
+  int num_nontrivial_sccs = 0;  ///< size > 1, or a single self-looping atom
+  int largest_scc = 0;          ///< atoms in the largest component
+  int sccs_with_negation = 0;   ///< components pierced by a strict edge
+};
+
+/// The analyzer's verdict on one database. All fields are derived in
+/// polynomial time from the clause list; nothing here calls a SAT solver.
+struct ProgramProperties {
+  // --- sizes -------------------------------------------------------------
+  int num_vars = 0;
+  int num_clauses = 0;
+  int num_facts = 0;         ///< nonempty head, empty body
+  int num_integrity = 0;     ///< empty head (":- body.")
+  int num_disjunctive = 0;   ///< clauses with >= 2 head atoms
+  int num_negative_body = 0; ///< clauses with at least one "not"
+  int num_horn = 0;          ///< Horn-fragment size: <=1 head, no negation
+  int max_head_width = 0;
+  int max_body_width = 0;    ///< positive + negative body literals
+
+  // --- class flags (paper Section 2 / Tables 1-2) ------------------------
+  bool has_negation = false;    ///< some clause has a negated body atom
+  bool has_integrity = false;   ///< some clause has an empty head
+  bool has_disjunction = false; ///< some clause has >= 2 head atoms
+  bool is_positive = false;     ///< Table 1 regime: no negation, no integrity
+  bool is_deductive = false;    ///< DDDB / C+: no negation
+  bool is_disjunction_free = false;  ///< every head has <= 1 atom
+  bool is_horn = false;         ///< disjunction-free and negation-free
+  bool is_definite = false;     ///< Horn and integrity-free (least model!)
+
+  // --- structural flags (dependency-graph based) -------------------------
+  /// Stratifiable: no cycle through negation (DSDB; gates PERF's
+  /// strata-iteration algorithm and ICWA's very definition).
+  bool is_stratified = false;
+  int num_strata = 0;  ///< strata of the computed stratification (0 if none)
+  /// Tight (Fages): the positive body->head dependency graph is acyclic,
+  /// so stable models coincide with the models of Clark's completion.
+  bool is_tight = false;
+  /// Head-cycle-free (Ben-Eliyahu & Dechter): no clause has two head atoms
+  /// on a common cycle of the positive dependency graph. HCF disjunctive
+  /// programs reduce to non-disjunctive ones (Truszczyński's middle tier).
+  bool is_head_cycle_free = false;
+  SccStats scc;
+
+  // --- analyzer-proven facts --------------------------------------------
+  /// Atoms provably true in EVERY classical model of the database: the
+  /// closure of the single-headed positive rules. Sound for any semantics
+  /// whose intended models are classical models of DB (all the two-valued
+  /// ones here); HasModel/InfersLiteral short-circuit on these.
+  Interpretation certain_atoms;
+  /// Atoms occurring in no clause head: never derivable, hence false in
+  /// every minimal/possible/stable model. (They may still be true in
+  /// arbitrary classical models, so only minimal-model-style dispatch may
+  /// use them; the linter reports them.)
+  Interpretation underivable_atoms;
+
+  /// Multi-line human-readable report (ddlint's "properties" block).
+  std::string ToString(const Vocabulary& voc) const;
+};
+
+/// Runs the analyzer. Polynomial: one pass over the clauses, two SCC
+/// decompositions, one stratification attempt and one unit-closure.
+ProgramProperties Analyze(const Database& db);
+
+}  // namespace analysis
+}  // namespace dd
+
+#endif  // DD_ANALYSIS_PROGRAM_PROPERTIES_H_

@@ -13,6 +13,11 @@ std::string FormatStats(const MinimalStats& s) {
       static_cast<long long>(s.models_enumerated));
 }
 
+std::string FormatStats(const MinimalStats& s,
+                        const analysis::DispatchStats& d) {
+  return FormatStats(s) + " | " + d.ToString();
+}
+
 std::string FormatMeasuredTable(const std::string& title,
                                 const std::vector<MeasuredCell>& cells) {
   std::string out;

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/dispatch.h"
 #include "minimal/minimal_models.h"
 
 namespace dd {
@@ -23,6 +24,12 @@ struct MeasuredCell {
 
 /// Renders "SAT calls=…, minimizations=…, CEGAR=…, models=…".
 std::string FormatStats(const MinimalStats& s);
+
+/// Renders the oracle counters together with the analyzer-dispatch
+/// downgrade counters ("… | dispatch: generic=…, …") so every engine
+/// downgrade is observable next to the oracle work it avoided.
+std::string FormatStats(const MinimalStats& s,
+                        const analysis::DispatchStats& d);
 
 /// Renders a fixed-width table with a header, one row per cell.
 std::string FormatMeasuredTable(const std::string& title,

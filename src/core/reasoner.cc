@@ -84,14 +84,41 @@ Status Reasoner::SetPartition(const std::vector<std::string>& p_atoms,
   return Status::OK();
 }
 
+void Reasoner::InvalidateCaches() {
+  engines_.clear();
+  props_.reset();
+  fast_.reset();
+}
+
+const analysis::ProgramProperties& Reasoner::properties() {
+  if (!props_.has_value()) props_ = analysis::Analyze(db_);
+  return *props_;
+}
+
+analysis::FastPathEngine* Reasoner::fast_engine() {
+  if (fast_ == nullptr) {
+    fast_ = std::make_unique<analysis::FastPathEngine>(db_);
+  }
+  return fast_.get();
+}
+
 Result<bool> Reasoner::InfersLiteral(SemanticsKind kind,
                                      std::string_view literal) {
   int before = db_.num_vars();
   DD_ASSIGN_OR_RETURN(Lit l, ParseLiteral(literal, &db_.vocabulary()));
   if (db_.num_vars() != before) {
-    // The literal mentioned a fresh atom; rebuild engines so their variable
-    // ranges include it.
-    engines_.clear();
+    // The literal mentioned a fresh atom; rebuild engines (and the static
+    // analysis) so their variable ranges include it.
+    InvalidateCaches();
+  }
+  if (opts_.analysis_dispatch) {
+    analysis::EnginePath path =
+        analysis::SelectPath(properties(), kind, analysis::QueryKind::kLiteral,
+                             l, partition_.has_value());
+    dispatch_stats_.Record(path);
+    if (path != analysis::EnginePath::kGeneric) {
+      return fast_engine()->InfersLiteral(path, l);
+    }
   }
   return Get(kind)->InfersLiteral(l);
 }
@@ -99,17 +126,35 @@ Result<bool> Reasoner::InfersLiteral(SemanticsKind kind,
 Result<Formula> Reasoner::ParseQueryFormula(std::string_view formula) {
   int before = db_.num_vars();
   DD_ASSIGN_OR_RETURN(Formula f, ParseFormula(formula, &db_.vocabulary()));
-  if (db_.num_vars() != before) engines_.clear();
+  if (db_.num_vars() != before) InvalidateCaches();
   return f;
 }
 
 Result<bool> Reasoner::InfersFormula(SemanticsKind kind,
                                      std::string_view formula) {
   DD_ASSIGN_OR_RETURN(Formula f, ParseQueryFormula(formula));
+  if (opts_.analysis_dispatch) {
+    analysis::EnginePath path =
+        analysis::SelectPath(properties(), kind, analysis::QueryKind::kFormula,
+                             Lit(), partition_.has_value());
+    dispatch_stats_.Record(path);
+    if (path != analysis::EnginePath::kGeneric) {
+      return fast_engine()->InfersFormula(path, f);
+    }
+  }
   return Get(kind)->InfersFormula(f);
 }
 
 Result<bool> Reasoner::HasModel(SemanticsKind kind) {
+  if (opts_.analysis_dispatch) {
+    analysis::EnginePath path = analysis::SelectPath(
+        properties(), kind, analysis::QueryKind::kHasModel, Lit(),
+        partition_.has_value());
+    dispatch_stats_.Record(path);
+    if (path != analysis::EnginePath::kGeneric) {
+      return fast_engine()->HasModel(path);
+    }
+  }
   return Get(kind)->HasModel();
 }
 

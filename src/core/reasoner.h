@@ -17,6 +17,8 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/dispatch.h"
+#include "analysis/program_properties.h"
 #include "logic/database.h"
 #include "logic/parser.h"
 #include "minimal/pqz.h"
@@ -64,11 +66,34 @@ class Reasoner {
   /// Aggregated oracle counters over all engines used so far.
   MinimalStats TotalStats() const;
 
+  /// The static analysis of the current database (computed lazily, cached;
+  /// recomputed when a query grows the vocabulary).
+  const analysis::ProgramProperties& properties();
+
+  /// Counters for every analyzer-driven engine downgrade (and generic
+  /// fallthroughs) performed by this reasoner.
+  const analysis::DispatchStats& dispatch_stats() const {
+    return dispatch_stats_;
+  }
+
+  /// Toggles analyzer-driven dispatch (on by default; see
+  /// SemanticsOptions::analysis_dispatch). Off forces every query through
+  /// the generic engines.
+  void set_analysis_dispatch(bool on) { opts_.analysis_dispatch = on; }
+
  private:
+  /// Drops cached engines and analysis after the vocabulary grew.
+  void InvalidateCaches();
+  /// The fast-path engine for the current database (never null).
+  analysis::FastPathEngine* fast_engine();
+
   Database db_;
   SemanticsOptions opts_;
   std::map<SemanticsKind, std::unique_ptr<Semantics>> engines_;
   std::optional<Partition> partition_;
+  std::optional<analysis::ProgramProperties> props_;
+  std::unique_ptr<analysis::FastPathEngine> fast_;
+  analysis::DispatchStats dispatch_stats_;
 };
 
 }  // namespace dd

@@ -72,7 +72,8 @@ std::string FoRule::ToString() const {
     for (const PredAtom& a : neg_body) {
       if (!first) out += ", ";
       first = false;
-      out += "not " + a.ToString();
+      out += "not ";  // append-style: gcc-12 -Wrestrict false positive
+      out += a.ToString();
     }
   }
   out += ".";

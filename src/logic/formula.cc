@@ -135,8 +135,14 @@ std::string FormulaNode::ToString(const Vocabulary& voc) const {
       return const_value_ ? "true" : "false";
     case FormulaKind::kAtom:
       return voc.Name(atom_);
-    case FormulaKind::kNot:
-      return "~" + children_[0]->ToString(voc);
+    // Note: the cases below build with std::string out + append rather
+    // than `"(" + std::string&& + ...` chains, which trip a gcc-12 -O3
+    // -Wrestrict false positive (GCC PR105651) under -Werror.
+    case FormulaKind::kNot: {
+      std::string out = "~";
+      out += children_[0]->ToString(voc);
+      return out;
+    }
     case FormulaKind::kAnd:
     case FormulaKind::kOr: {
       std::string sep = kind_ == FormulaKind::kAnd ? " & " : " | ";
@@ -145,14 +151,18 @@ std::string FormulaNode::ToString(const Vocabulary& voc) const {
         if (i) out += sep;
         out += children_[i]->ToString(voc);
       }
-      return out + ")";
+      out += ")";
+      return out;
     }
     case FormulaKind::kImplies:
-      return "(" + children_[0]->ToString(voc) + " -> " +
-             children_[1]->ToString(voc) + ")";
-    case FormulaKind::kIff:
-      return "(" + children_[0]->ToString(voc) + " <-> " +
-             children_[1]->ToString(voc) + ")";
+    case FormulaKind::kIff: {
+      std::string out = "(";
+      out += children_[0]->ToString(voc);
+      out += kind_ == FormulaKind::kImplies ? " -> " : " <-> ";
+      out += children_[1]->ToString(voc);
+      out += ")";
+      return out;
+    }
   }
   DD_CHECK(false);
   return "";

@@ -198,12 +198,13 @@ class ProgramParser {
  public:
   explicit ProgramParser(std::vector<Token> toks) : toks_(std::move(toks)) {}
 
-  Result<Database> Run() {
-    Database db;
+  Result<ParsedProgram> Run() {
+    ParsedProgram out;
     while (Cur().kind != Tok::kEnd) {
-      DD_RETURN_IF_ERROR(ParseClause(&db));
+      out.clause_lines.push_back(Cur().line);
+      DD_RETURN_IF_ERROR(ParseClause(&out.db));
     }
-    return db;
+    return out;
   }
 
  private:
@@ -373,6 +374,11 @@ class FormulaParser {
 }  // namespace
 
 Result<Database> ParseDatabase(std::string_view text) {
+  DD_ASSIGN_OR_RETURN(ParsedProgram prog, ParseProgram(text));
+  return std::move(prog.db);
+}
+
+Result<ParsedProgram> ParseProgram(std::string_view text) {
   DD_ASSIGN_OR_RETURN(std::vector<Token> toks, Lexer(text).Run());
   return ProgramParser(std::move(toks)).Run();
 }

@@ -17,6 +17,7 @@
 #define DD_LOGIC_PARSER_H_
 
 #include <string_view>
+#include <vector>
 
 #include "logic/database.h"
 #include "logic/formula.h"
@@ -24,8 +25,20 @@
 
 namespace dd {
 
+/// A parsed program together with source positions, for tooling that
+/// reports diagnostics (analysis/linter.h, the ddlint CLI).
+struct ParsedProgram {
+  Database db;
+  /// 1-based source line on which each clause starts; parallel to
+  /// db.clauses().
+  std::vector<int> clause_lines;
+};
+
 /// Parses a whole database program.
 Result<Database> ParseDatabase(std::string_view text);
+
+/// Parses a whole database program, keeping per-clause source lines.
+Result<ParsedProgram> ParseProgram(std::string_view text);
 
 /// Parses a single formula; atoms are interned into `*voc` (new atoms are
 /// permitted and are simply unconstrained by the database).

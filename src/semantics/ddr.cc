@@ -6,10 +6,12 @@
 namespace dd {
 
 DdrSemantics::DdrSemantics(const Database& db, const SemanticsOptions& opts)
-    : ClosedWorldSemantics(db, opts) {}
+    : ClosedWorldSemantics(db, opts),
+      deductive_(!db.HasNegation()),
+      positive_(deductive_ && !db.HasIntegrityClauses()) {}
 
 Status DdrSemantics::CheckDeductive() const {
-  if (db().HasNegation()) {
+  if (!deductive_) {
     return Status::FailedPrecondition(
         "DDR is defined for deductive databases (no negation)");
   }
@@ -18,12 +20,16 @@ Status DdrSemantics::CheckDeductive() const {
 
 Result<Interpretation> DdrSemantics::FixpointAtoms() {
   DD_RETURN_IF_ERROR(CheckDeductive());
-  return DerivableAtoms(db());
+  if (!fixpoint_.has_value()) {
+    DD_ASSIGN_OR_RETURN(Interpretation fix, DerivableAtoms(db()));
+    fixpoint_ = std::move(fix);
+  }
+  return *fixpoint_;
 }
 
 Result<bool> DdrSemantics::InfersLiteral(Lit l) {
   DD_RETURN_IF_ERROR(CheckDeductive());
-  if (l.negative() && db().IsPositive()) {
+  if (l.negative() && positive_) {
     // Polynomial path (Chan): DDR |= ¬x iff x ∉ T_DB↑ω. If x is outside
     // the fixpoint, ¬x is part of the augmentation. If x is inside, the
     // fixpoint atom set is itself a model of DB plus the augmentation
@@ -42,7 +48,7 @@ Result<bool> DdrSemantics::InfersFormula(const Formula& f) {
 
 Result<bool> DdrSemantics::HasModel() {
   DD_RETURN_IF_ERROR(CheckDeductive());
-  if (db().IsPositive()) return true;  // T↑ω is a model of the augmentation
+  if (positive_) return true;  // T↑ω is a model of the augmentation
   return ClosedWorldSemantics::HasModel();
 }
 

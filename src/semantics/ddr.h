@@ -14,6 +14,8 @@
 #ifndef DD_SEMANTICS_DDR_H_
 #define DD_SEMANTICS_DDR_H_
 
+#include <optional>
+
 #include "semantics/closed_world_base.h"
 
 namespace dd {
@@ -33,7 +35,8 @@ class DdrSemantics : public ClosedWorldSemantics {
   Result<bool> InfersFormula(const Formula& f) override;
   Result<bool> HasModel() override;
 
-  /// Atoms occurring in T_DB↑ω (for inspection and benches).
+  /// Atoms occurring in T_DB↑ω (computed once, then cached; repeated
+  /// negative-literal queries are bitset lookups).
   Result<Interpretation> FixpointAtoms();
 
  protected:
@@ -41,6 +44,12 @@ class DdrSemantics : public ClosedWorldSemantics {
 
  private:
   Status CheckDeductive() const;
+
+  /// Syntactic class, classified once at construction (the per-query
+  /// HasNegation()/IsPositive() rescans used to dominate the P-time path).
+  bool deductive_;
+  bool positive_;
+  std::optional<Interpretation> fixpoint_;
 };
 
 }  // namespace dd

@@ -11,7 +11,8 @@ EgcwaSemantics::EgcwaSemantics(const Database& db,
     : db_(db),
       opts_(opts),
       engine_(db),
-      all_(Partition::MinimizeAll(db.num_vars())) {}
+      all_(Partition::MinimizeAll(db.num_vars())),
+      positive_(db.IsPositive()) {}
 
 Result<bool> EgcwaSemantics::InfersFormula(const Formula& f) {
   return engine_.MinimalEntails(f, all_);
@@ -29,7 +30,7 @@ Result<std::optional<Interpretation>> EgcwaSemantics::FindCounterexample(
 Result<bool> EgcwaSemantics::HasModel() {
   // EGCWA(DB) = MM(DB) is nonempty iff DB has any model at all (finite
   // propositional case: every model contains a minimal one).
-  if (db_.IsPositive()) return true;  // Table 1's O(1) entry
+  if (positive_) return true;  // Table 1's O(1) entry
   return engine_.HasModel();
 }
 

@@ -50,6 +50,8 @@ class EgcwaSemantics : public Semantics {
   SemanticsOptions opts_;
   MinimalEngine engine_;
   Partition all_;
+  /// Classified once at construction; HasModel() consults it per call.
+  bool positive_;
 };
 
 }  // namespace dd

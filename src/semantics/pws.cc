@@ -57,10 +57,12 @@ Interpretation LeastModel(int num_vars, const std::vector<SplitRule>& rules) {
 }  // namespace
 
 PwsSemantics::PwsSemantics(const Database& db, const SemanticsOptions& opts)
-    : ClosedWorldSemantics(db, opts) {}
+    : ClosedWorldSemantics(db, opts),
+      deductive_(!db.HasNegation()),
+      positive_(deductive_ && !db.HasIntegrityClauses()) {}
 
 Status PwsSemantics::CheckDeductive() const {
-  if (db().HasNegation()) {
+  if (!deductive_) {
     return Status::FailedPrecondition(
         "PWS is defined for deductive databases (no negation)");
   }
@@ -130,11 +132,13 @@ Result<std::vector<Interpretation>> PwsSemantics::PossibleModels() {
 
 Result<Interpretation> PwsSemantics::PossibleAtoms() {
   DD_RETURN_IF_ERROR(CheckDeductive());
-  if (!db().HasIntegrityClauses()) {
+  if (possible_atoms_.has_value()) return *possible_atoms_;
+  if (positive_) {
     // Polynomial path: split choices are monotone, so the full-split least
     // model is itself a possible model containing every atom any possible
     // model contains.
-    return DefiniteLeastModel(db());
+    possible_atoms_ = DefiniteLeastModel(db());
+    return *possible_atoms_;
   }
   if (options().pws_use_sat_encoding) {
     PwsEncodingStats stats;
@@ -143,19 +147,21 @@ Result<Interpretation> PwsSemantics::PossibleAtoms() {
     MinimalStats ms;
     ms.sat_calls = stats.sat_calls;
     engine()->AbsorbStats(ms);
-    return atoms;
+    possible_atoms_ = std::move(atoms);
+    return *possible_atoms_;
   }
   DD_ASSIGN_OR_RETURN(std::vector<Interpretation> pms, PossibleModels());
   Interpretation atoms(db().num_vars());
   for (const auto& m : pms) {
     for (Var v : m.TrueAtoms()) atoms.Insert(v);
   }
-  return atoms;
+  possible_atoms_ = std::move(atoms);
+  return *possible_atoms_;
 }
 
 Result<bool> PwsSemantics::InfersLiteral(Lit l) {
   DD_RETURN_IF_ERROR(CheckDeductive());
-  if (l.negative() && db().IsPositive()) {
+  if (l.negative() && positive_) {
     DD_ASSIGN_OR_RETURN(Interpretation atoms, PossibleAtoms());
     // As with DDR: the atom set of the full split is a counter-model when
     // it contains x, and ¬x is part of the augmentation otherwise.
@@ -171,7 +177,7 @@ Result<bool> PwsSemantics::InfersFormula(const Formula& f) {
 
 Result<bool> PwsSemantics::HasModel() {
   DD_RETURN_IF_ERROR(CheckDeductive());
-  if (db().IsPositive()) return true;
+  if (positive_) return true;
   return ClosedWorldSemantics::HasModel();
 }
 

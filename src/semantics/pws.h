@@ -16,6 +16,7 @@
 #ifndef DD_SEMANTICS_PWS_H_
 #define DD_SEMANTICS_PWS_H_
 
+#include <optional>
 #include <vector>
 
 #include "semantics/closed_world_base.h"
@@ -45,8 +46,14 @@ class PwsSemantics : public ClosedWorldSemantics {
 
  private:
   Status CheckDeductive() const;
-  /// Union of all possible models.
+  /// Union of all possible models (computed once, then cached).
   Result<Interpretation> PossibleAtoms();
+
+  /// Syntactic class, classified once at construction (the per-query
+  /// HasNegation()/IsPositive() rescans used to dominate the P-time path).
+  bool deductive_;
+  bool positive_;
+  std::optional<Interpretation> possible_atoms_;
 };
 
 }  // namespace dd

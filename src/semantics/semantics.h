@@ -40,6 +40,11 @@ struct SemanticsOptions {
   /// (semantics/pws_encoding.h) instead of split enumeration. One NP-oracle
   /// call per undecided atom; immune to split blowup.
   bool pws_use_sat_encoding = false;
+  /// Reasoner: route queries through the static-analysis dispatch layer
+  /// (analysis/dispatch.h), which downgrades to polynomial engines when
+  /// ProgramProperties proves the input easy (Tables 1/2). Answers are
+  /// identical to the generic path; off forces the generic engines.
+  bool analysis_dispatch = true;
 };
 
 /// Identifier for each implemented semantics.

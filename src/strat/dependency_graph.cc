@@ -6,18 +6,23 @@
 
 namespace dd {
 
-DependencyGraph::DependencyGraph(const Database& db)
+DependencyGraph::DependencyGraph(const Database& db,
+                                 const DepGraphOptions& opts)
     : adj_(static_cast<size_t>(db.num_vars())) {
   for (const Clause& c : db.clauses()) {
     for (Var a : c.heads()) {
       for (Var b : c.pos_body()) {
         adj_[static_cast<size_t>(b)].push_back({a, false});
       }
-      for (Var neg : c.neg_body()) {
-        adj_[static_cast<size_t>(neg)].push_back({a, true});
+      if (opts.include_negation) {
+        for (Var neg : c.neg_body()) {
+          adj_[static_cast<size_t>(neg)].push_back({a, true});
+        }
       }
-      for (Var a2 : c.heads()) {
-        if (a2 != a) adj_[static_cast<size_t>(a)].push_back({a2, false});
+      if (opts.link_heads) {
+        for (Var a2 : c.heads()) {
+          if (a2 != a) adj_[static_cast<size_t>(a)].push_back({a2, false});
+        }
       }
     }
   }

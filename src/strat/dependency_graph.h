@@ -22,10 +22,21 @@ struct DepEdge {
   bool strict;  ///< true for edges induced by negation
 };
 
+/// Which edge families the graph contains. The default (everything) is the
+/// stratification graph; the analysis layer builds restricted variants:
+/// the *positive* graph without head links is the one head-cycle-freeness
+/// and tightness (Fages) are defined over.
+struct DepGraphOptions {
+  bool link_heads = true;        ///< a ->0 a' between co-head atoms
+  bool include_negation = true;  ///< c ->1 a for negated body atoms
+};
+
 /// The dependency graph over the atoms of a database.
 class DependencyGraph {
  public:
-  explicit DependencyGraph(const Database& db);
+  explicit DependencyGraph(const Database& db)
+      : DependencyGraph(db, DepGraphOptions{}) {}
+  DependencyGraph(const Database& db, const DepGraphOptions& opts);
 
   int num_nodes() const { return static_cast<int>(adj_.size()); }
   const std::vector<DepEdge>& OutEdges(Var v) const {

@@ -34,7 +34,11 @@ std::vector<int> Stratification::ClausesUpToLevel(int i) const {
 std::string Stratification::ToString(const Vocabulary& voc) const {
   std::string out;
   for (int i = 0; i < num_strata; ++i) {
-    out += "S" + std::to_string(i + 1) + ": {";
+    // Append-style (not `"S" + ...`): avoids gcc-12's -O3 -Wrestrict
+    // false positive on operator+(const char*, std::string&&) (PR105651).
+    out += "S";
+    out += std::to_string(i + 1);
+    out += ": {";
     bool first = true;
     for (Var v : AtomsOfLevel(i)) {
       if (!first) out += ", ";

@@ -1,0 +1,244 @@
+// Golden tests for the static analyzer (analysis/program_properties).
+#include "analysis/program_properties.h"
+
+#include "core/reasoner.h"
+#include "gen/generators.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace dd {
+namespace {
+
+using ::dd::analysis::Analyze;
+using ::dd::analysis::ProgramProperties;
+using ::dd::testing::Db;
+
+TEST(Analyze, PositiveDisjunctive) {
+  Database db = Db(
+      "a | b.\n"
+      "c :- a.\n"
+      "c :- b.\n");
+  ProgramProperties p = Analyze(db);
+  EXPECT_EQ(p.num_vars, 3);
+  EXPECT_EQ(p.num_clauses, 3);
+  EXPECT_EQ(p.num_facts, 1);
+  EXPECT_EQ(p.num_integrity, 0);
+  EXPECT_EQ(p.num_disjunctive, 1);
+  EXPECT_EQ(p.num_negative_body, 0);
+  EXPECT_EQ(p.num_horn, 2);
+  EXPECT_EQ(p.max_head_width, 2);
+  EXPECT_EQ(p.max_body_width, 1);
+  EXPECT_TRUE(p.is_positive);
+  EXPECT_TRUE(p.is_deductive);
+  EXPECT_FALSE(p.is_disjunction_free);
+  EXPECT_FALSE(p.is_horn);
+  EXPECT_FALSE(p.is_definite);
+  EXPECT_TRUE(p.is_stratified);
+  EXPECT_TRUE(p.is_tight);
+  EXPECT_TRUE(p.is_head_cycle_free);
+}
+
+TEST(Analyze, DefiniteHorn) {
+  Database db = Db(
+      "a.\n"
+      "b :- a.\n"
+      "c :- a, b.\n");
+  ProgramProperties p = Analyze(db);
+  EXPECT_TRUE(p.is_positive);
+  EXPECT_TRUE(p.is_disjunction_free);
+  EXPECT_TRUE(p.is_horn);
+  EXPECT_TRUE(p.is_definite);
+  // The unit closure derives everything here.
+  EXPECT_TRUE(p.certain_atoms.Contains(0));
+  EXPECT_TRUE(p.certain_atoms.Contains(1));
+  EXPECT_TRUE(p.certain_atoms.Contains(2));
+}
+
+TEST(Analyze, HornWithIntegrityIsNotDefinite) {
+  Database db = Db(
+      "a.\n"
+      ":- a, b.\n");
+  ProgramProperties p = Analyze(db);
+  EXPECT_TRUE(p.has_integrity);
+  EXPECT_FALSE(p.is_positive);
+  EXPECT_TRUE(p.is_horn);
+  EXPECT_FALSE(p.is_definite);
+}
+
+TEST(Analyze, NegationBreaksDeductive) {
+  Database db = Db("a :- not b.\n");
+  ProgramProperties p = Analyze(db);
+  EXPECT_TRUE(p.has_negation);
+  EXPECT_FALSE(p.is_positive);
+  EXPECT_FALSE(p.is_deductive);
+  EXPECT_FALSE(p.is_horn);  // Horn = disjunction-free AND negation-free
+  EXPECT_TRUE(p.is_disjunction_free);
+}
+
+TEST(Analyze, StratificationVerdicts) {
+  // Negation to a strictly lower layer: stratifiable.
+  ProgramProperties strat = Analyze(Db(
+      "b.\n"
+      "a :- not b.\n"));
+  EXPECT_TRUE(strat.is_stratified);
+  EXPECT_GE(strat.num_strata, 2);
+
+  // A negative self-loop: no stratification exists.
+  ProgramProperties odd = Analyze(Db("a :- not a.\n"));
+  EXPECT_FALSE(odd.is_stratified);
+  EXPECT_EQ(odd.num_strata, 0);
+
+  // An even negative cycle is just as unstratifiable.
+  ProgramProperties even = Analyze(Db(
+      "a :- not b.\n"
+      "b :- not a.\n"));
+  EXPECT_FALSE(even.is_stratified);
+}
+
+TEST(Analyze, TightnessAndHeadCycles) {
+  // A disjunctive fact alone: tight and head-cycle-free.
+  ProgramProperties fact = Analyze(Db("a | b.\n"));
+  EXPECT_TRUE(fact.is_tight);
+  EXPECT_TRUE(fact.is_head_cycle_free);
+
+  // a and c are on a positive cycle, but the two atoms of a common head
+  // (a, b) are not: HCF holds while tightness fails.
+  ProgramProperties hcf = Analyze(Db(
+      "a | b :- c.\n"
+      "c :- a.\n"));
+  EXPECT_TRUE(hcf.is_head_cycle_free);
+  EXPECT_FALSE(hcf.is_tight);
+
+  // Closing the cycle through b as well puts both head atoms of
+  // "a | b :- c" on one cycle: the head cycle appears.
+  ProgramProperties cyc = Analyze(Db(
+      "a | b :- c.\n"
+      "c :- a.\n"
+      "c :- b.\n"));
+  EXPECT_FALSE(cyc.is_head_cycle_free);
+  EXPECT_FALSE(cyc.is_tight);
+
+  // A positive self-loop breaks tightness on its own.
+  ProgramProperties loop = Analyze(Db("a :- a.\n"));
+  EXPECT_FALSE(loop.is_tight);
+  EXPECT_TRUE(loop.is_head_cycle_free);
+}
+
+TEST(Analyze, CertainAndUnderivableAtoms) {
+  Database db = Db(
+      "a.\n"
+      "b :- a.\n"
+      "c | d.\n"
+      "e :- c, zz.\n");
+  ProgramProperties p = Analyze(db);
+  // Unit closure: a, b certain; c/d only disjunctively supported; e needs
+  // zz which no clause derives.
+  EXPECT_TRUE(p.certain_atoms.Contains(0));   // a
+  EXPECT_TRUE(p.certain_atoms.Contains(1));   // b
+  EXPECT_FALSE(p.certain_atoms.Contains(2));  // c
+  EXPECT_FALSE(p.certain_atoms.Contains(4));  // e
+  // zz is in no head.
+  Var zz = db.vocabulary().Find("zz");
+  ASSERT_NE(zz, kInvalidVar);
+  EXPECT_TRUE(p.underivable_atoms.Contains(zz));
+  EXPECT_FALSE(p.underivable_atoms.Contains(0));
+}
+
+TEST(Analyze, CertainAtomsRespectBodies) {
+  // "b :- c." must not fire: c is not certain.
+  ProgramProperties p = Analyze(Db(
+      "a.\n"
+      "b :- c.\n"
+      "c | d.\n"));
+  EXPECT_TRUE(p.certain_atoms.Contains(0));
+  EXPECT_FALSE(p.certain_atoms.Contains(1));
+}
+
+TEST(Analyze, SccStats) {
+  ProgramProperties p = Analyze(Db(
+      "a :- b.\n"
+      "b :- a.\n"
+      "c.\n"));
+  EXPECT_EQ(p.scc.num_sccs, 2);
+  EXPECT_EQ(p.scc.num_nontrivial_sccs, 1);
+  EXPECT_EQ(p.scc.largest_scc, 2);
+  EXPECT_EQ(p.scc.sccs_with_negation, 0);
+
+  ProgramProperties n = Analyze(Db(
+      "a :- not b.\n"
+      "b :- a.\n"));
+  EXPECT_EQ(n.scc.num_nontrivial_sccs, 1);
+  EXPECT_EQ(n.scc.sccs_with_negation, 1);
+  EXPECT_FALSE(n.is_stratified);
+}
+
+// --- generator families (Table 1 / Table 2 shapes) -----------------------
+
+TEST(Analyze, RandomPositiveFamilyIsPositive) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Database db = RandomPositiveDdb(10, 20, seed);
+    ProgramProperties p = Analyze(db);
+    EXPECT_TRUE(p.is_positive) << "seed " << seed;
+    EXPECT_TRUE(p.is_deductive);
+    EXPECT_FALSE(p.has_negation);
+    EXPECT_FALSE(p.has_integrity);
+    EXPECT_EQ(p.num_clauses, db.num_clauses());
+  }
+}
+
+TEST(Analyze, RandomMixedFamilyClassifiesFractions) {
+  DdbConfig cfg;
+  cfg.num_vars = 10;
+  cfg.num_clauses = 40;
+  cfg.integrity_fraction = 0.2;
+  cfg.negation_fraction = 0.3;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    cfg.seed = seed;
+    Database db = RandomDdb(cfg);
+    ProgramProperties p = Analyze(db);
+    EXPECT_FALSE(p.is_positive) << "seed " << seed;
+    EXPECT_EQ(p.has_integrity, p.num_integrity > 0);
+    EXPECT_EQ(p.has_negation, p.num_negative_body > 0);
+    EXPECT_EQ(p.num_facts + p.num_integrity <= p.num_clauses, true);
+  }
+}
+
+TEST(Analyze, RandomStratifiedFamilyIsStratified) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Database db = RandomStratifiedDdb(12, 24, 3, 0.4, seed);
+    ProgramProperties p = Analyze(db);
+    EXPECT_TRUE(p.is_stratified) << "seed " << seed;
+  }
+}
+
+TEST(Analyze, CertainAtomsHoldInEveryMinimalModel) {
+  // Soundness spot-check against the actual minimal models.
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    Database db = RandomPositiveDdb(8, 14, seed);
+    ProgramProperties p = Analyze(db);
+    Reasoner r(db);
+    auto models = r.Models(SemanticsKind::kEgcwa);
+    ASSERT_TRUE(models.ok()) << models.status().ToString();
+    for (const Interpretation& m : *models) {
+      for (Var v = 0; v < db.num_vars(); ++v) {
+        if (p.certain_atoms.Contains(v)) {
+          EXPECT_TRUE(m.Contains(v)) << "seed " << seed << " atom " << v;
+        }
+        if (p.underivable_atoms.Contains(v)) {
+          EXPECT_FALSE(m.Contains(v)) << "seed " << seed << " atom " << v;
+        }
+      }
+    }
+  }
+}
+
+TEST(Analyze, ToStringMentionsClassAndStructure) {
+  Database db = Db("a | b.\n");
+  std::string s = Analyze(db).ToString(db.vocabulary());
+  EXPECT_NE(s.find("positive=yes"), std::string::npos);
+  EXPECT_NE(s.find("head-cycle-free=yes"), std::string::npos);
+  EXPECT_NE(s.find("stratified=yes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dd

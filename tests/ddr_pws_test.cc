@@ -5,6 +5,7 @@
 #include "semantics/gcwa.h"
 #include "semantics/pws.h"
 #include "tests/test_util.h"
+#include "util/string_util.h"
 
 namespace dd {
 namespace {
@@ -172,8 +173,7 @@ TEST(Pws, AgreesWithDdrOnPositiveDbs) {
 TEST(Pws, SplitEnumerationCapIsEnforced) {
   std::string prog;
   for (int i = 0; i < 10; ++i) {
-    prog += "a" + std::to_string(i) + " | b" + std::to_string(i) + " | c" +
-            std::to_string(i) + ".\n";
+    prog += StrFormat("a%d | b%d | c%d.\n", i, i, i);
   }
   prog += ":- a0.\n";  // integrity clause forces the enumeration path
   Database db = Db(prog);

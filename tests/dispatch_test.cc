@@ -1,0 +1,300 @@
+// Tests for the analyzer-driven dispatch layer (analysis/dispatch).
+//
+// Two halves: unit checks of the SelectPath table, and the central
+// regression guarantee — for every semantics and every query, a Reasoner
+// with dispatch enabled answers exactly what the generic engines answer
+// (same value, or the same error code when the semantics rejects the
+// input).
+#include "analysis/dispatch.h"
+
+#include <string>
+#include <vector>
+
+#include "core/reasoner.h"
+#include "gen/generators.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "util/string_util.h"
+
+namespace dd {
+namespace {
+
+using ::dd::analysis::Analyze;
+using ::dd::analysis::EnginePath;
+using ::dd::analysis::ProgramProperties;
+using ::dd::analysis::QueryKind;
+using ::dd::analysis::SelectPath;
+using ::dd::testing::Db;
+
+const SemanticsKind kAllKinds[] = {
+    SemanticsKind::kCwa,  SemanticsKind::kGcwa, SemanticsKind::kEgcwa,
+    SemanticsKind::kCcwa, SemanticsKind::kEcwa, SemanticsKind::kDdr,
+    SemanticsKind::kPws,  SemanticsKind::kPerf, SemanticsKind::kIcwa,
+    SemanticsKind::kDsm,  SemanticsKind::kPdsm,
+};
+
+// ---- SelectPath table unit checks ----------------------------------------
+
+TEST(SelectPath, HornRoutesToLeastModel) {
+  ProgramProperties p = Analyze(Db("a.\nb :- a.\n:- a, c.\n"));
+  ASSERT_TRUE(p.is_horn);
+  for (SemanticsKind k : kAllKinds) {
+    EnginePath lit = SelectPath(p, k, QueryKind::kLiteral, Lit::Pos(0));
+    EnginePath form = SelectPath(p, k, QueryKind::kFormula);
+    EnginePath has = SelectPath(p, k, QueryKind::kHasModel);
+    if (k == SemanticsKind::kPdsm) {
+      // Three-valued: the Horn collapse argument does not apply.
+      EXPECT_EQ(lit, EnginePath::kGeneric);
+      EXPECT_EQ(form, EnginePath::kGeneric);
+      EXPECT_EQ(has, EnginePath::kGeneric);
+    } else if (k == SemanticsKind::kPerf) {
+      // PERF rejects integrity clauses: must stay generic so the
+      // FailedPrecondition surfaces.
+      EXPECT_EQ(lit, EnginePath::kGeneric);
+    } else {
+      EXPECT_EQ(lit, EnginePath::kHornLeastModel) << SemanticsKindName(k);
+      EXPECT_EQ(form, EnginePath::kHornLeastModel) << SemanticsKindName(k);
+      EXPECT_EQ(has, EnginePath::kHornLeastModel) << SemanticsKindName(k);
+    }
+  }
+}
+
+TEST(SelectPath, PositiveDisjunctiveFixpointAndConst) {
+  ProgramProperties p = Analyze(Db("a | b.\nc :- a.\n"));
+  ASSERT_TRUE(p.is_positive);
+  ASSERT_FALSE(p.is_horn);
+  // DDR/PWS negative literals ride the T_DB fixpoint.
+  EXPECT_EQ(SelectPath(p, SemanticsKind::kDdr, QueryKind::kLiteral,
+                       Lit::Neg(2)),
+            EnginePath::kFixpointLiteral);
+  EXPECT_EQ(SelectPath(p, SemanticsKind::kPws, QueryKind::kLiteral,
+                       Lit::Neg(2)),
+            EnginePath::kFixpointLiteral);
+  // Positive literals do not (DDR/PWS positive inference is harder).
+  EXPECT_EQ(SelectPath(p, SemanticsKind::kDdr, QueryKind::kLiteral,
+                       Lit::Pos(2)),
+            EnginePath::kGeneric);
+  // HasModel on a positive DB is constant for minimal/possible-model
+  // semantics, but NOT for CWA (a | b. makes CWA inconsistent) and not
+  // for three-valued PDSM.
+  EXPECT_EQ(SelectPath(p, SemanticsKind::kGcwa, QueryKind::kHasModel),
+            EnginePath::kConstAnswer);
+  EXPECT_EQ(SelectPath(p, SemanticsKind::kEgcwa, QueryKind::kHasModel),
+            EnginePath::kConstAnswer);
+  EXPECT_EQ(SelectPath(p, SemanticsKind::kCwa, QueryKind::kHasModel),
+            EnginePath::kGeneric);
+  EXPECT_EQ(SelectPath(p, SemanticsKind::kPdsm, QueryKind::kHasModel),
+            EnginePath::kGeneric);
+}
+
+TEST(SelectPath, CertainFactsShortCircuit) {
+  ProgramProperties p = Analyze(Db("a.\nb :- a.\nc | d.\n"));
+  ASSERT_TRUE(p.certain_atoms.Contains(1));
+  EXPECT_EQ(SelectPath(p, SemanticsKind::kGcwa, QueryKind::kLiteral,
+                       Lit::Pos(1)),
+            EnginePath::kCertainFact);
+  // Not certain: falls through (positive literal, non-Horn program).
+  EXPECT_EQ(SelectPath(p, SemanticsKind::kGcwa, QueryKind::kLiteral,
+                       Lit::Pos(2)),
+            EnginePath::kGeneric);
+}
+
+TEST(SelectPath, CustomPartitionForcesGeneric) {
+  ProgramProperties p = Analyze(Db("a.\nb :- a.\n"));
+  ASSERT_TRUE(p.is_horn);
+  for (SemanticsKind k : {SemanticsKind::kCcwa, SemanticsKind::kEcwa}) {
+    EXPECT_EQ(SelectPath(p, k, QueryKind::kLiteral, Lit::Pos(0),
+                         /*custom_partition=*/true),
+              EnginePath::kGeneric);
+    EXPECT_NE(SelectPath(p, k, QueryKind::kLiteral, Lit::Pos(0),
+                         /*custom_partition=*/false),
+              EnginePath::kGeneric);
+  }
+  // Other semantics ignore the flag (they take no partition).
+  EXPECT_NE(SelectPath(p, SemanticsKind::kGcwa, QueryKind::kLiteral,
+                       Lit::Pos(0), /*custom_partition=*/true),
+            EnginePath::kGeneric);
+}
+
+TEST(SelectPath, SemanticsPreconditionsStayGeneric) {
+  // DDR/PWS are undefined with negation; PERF with integrity clauses;
+  // ICWA needs stratifiability. The table must not mask those errors.
+  ProgramProperties neg = Analyze(Db("a :- not a.\n"));
+  EXPECT_EQ(SelectPath(neg, SemanticsKind::kDdr, QueryKind::kLiteral,
+                       Lit::Neg(0)),
+            EnginePath::kGeneric);
+  EXPECT_EQ(SelectPath(neg, SemanticsKind::kIcwa, QueryKind::kLiteral,
+                       Lit::Pos(0)),
+            EnginePath::kGeneric);
+  ProgramProperties integ = Analyze(Db("a.\n:- a, b.\n"));
+  EXPECT_EQ(SelectPath(integ, SemanticsKind::kPerf, QueryKind::kHasModel),
+            EnginePath::kGeneric);
+}
+
+// ---- regression: dispatch answers == generic answers ---------------------
+
+/// Asserts both Results agree: same ok()-ness, same value or same code.
+template <typename T>
+void ExpectSameResult(const Result<T>& fast, const Result<T>& slow,
+                      const std::string& what) {
+  ASSERT_EQ(fast.ok(), slow.ok())
+      << what << ": dispatch=" << fast.status().ToString()
+      << " generic=" << slow.status().ToString();
+  if (fast.ok()) {
+    EXPECT_EQ(*fast, *slow) << what;
+  } else {
+    EXPECT_EQ(fast.status().code(), slow.status().code()) << what;
+  }
+}
+
+void CheckAllQueriesAgree(const Database& db, const std::string& label) {
+  Reasoner with(db);
+  Reasoner without(db);
+  without.set_analysis_dispatch(false);
+
+  for (SemanticsKind k : kAllKinds) {
+    const std::string tag =
+        label + "/" + SemanticsKindName(k);
+    ExpectSameResult(with.HasModel(k), without.HasModel(k),
+                     tag + "/HasModel");
+    for (Var v = 0; v < db.num_vars(); ++v) {
+      const std::string& name = db.vocabulary().Name(v);
+      ExpectSameResult(with.InfersLiteral(k, name),
+                       without.InfersLiteral(k, name), tag + "/" + name);
+      ExpectSameResult(with.InfersLiteral(k, "not " + name),
+                       without.InfersLiteral(k, "not " + name),
+                       tag + "/not " + name);
+    }
+    if (db.num_vars() >= 2) {
+      const std::string& a = db.vocabulary().Name(0);
+      const std::string& b = db.vocabulary().Name(1);
+      for (const std::string& f :
+           {a + " | " + b, a + " -> " + b, "~" + a + " & ~" + b}) {
+        ExpectSameResult(with.InfersFormula(k, f), without.InfersFormula(k, f),
+                         tag + "/" + f);
+      }
+    }
+  }
+  // Sanity: the dispatch-enabled reasoner really did downgrade somewhere
+  // on analyzable inputs; the disabled one never did.
+  EXPECT_EQ(without.dispatch_stats().Downgrades(), 0);
+}
+
+TEST(DispatchRegression, DefiniteHorn) {
+  CheckAllQueriesAgree(Db("a.\nb :- a.\nc :- a, b.\nd | e :- zz.\n"),
+                       "definite-horn-ish");
+}
+
+TEST(DispatchRegression, HornConsistentIntegrity) {
+  CheckAllQueriesAgree(Db("a.\nb :- a.\n:- a, c.\n"), "horn-integrity-sat");
+}
+
+TEST(DispatchRegression, HornViolatedIntegrity) {
+  // The least model violates the constraint: no classical models at all,
+  // so every semantics must report vacuous truth / no model identically.
+  CheckAllQueriesAgree(Db("a.\nb :- a.\n:- a, b.\n"), "horn-integrity-unsat");
+}
+
+TEST(DispatchRegression, NegativeBodyConstraintIsNotHorn) {
+  // ":- a, not b." must disqualify the Horn collapse: the least model of
+  // the rules ({a}) violates the constraint, yet {a, b} is a classical
+  // model, so "LM inconsistent => no models" would be wrong here. The
+  // analyzer counts negation in integrity clauses, keeping this generic.
+  Database db = Db("a.\n:- a, not b.\n");
+  ProgramProperties p = Analyze(db);
+  EXPECT_FALSE(p.is_horn);
+  for (SemanticsKind k : kAllKinds) {
+    EXPECT_EQ(SelectPath(p, k, QueryKind::kHasModel), EnginePath::kGeneric)
+        << SemanticsKindName(k);
+  }
+  CheckAllQueriesAgree(db, "neg-body-constraint");
+}
+
+TEST(DispatchRegression, PaperExample31) {
+  CheckAllQueriesAgree(Db("a | b.\nc :- a, b.\n:- a, b.\n"), "example-3.1");
+}
+
+TEST(DispatchRegression, PositiveDisjunctiveFamily) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    CheckAllQueriesAgree(RandomPositiveDdb(7, 12, seed),
+                         StrFormat("positive-seed%llu", static_cast<unsigned long long>(seed)));
+  }
+}
+
+TEST(DispatchRegression, IntegrityFamily) {
+  DdbConfig cfg;
+  cfg.num_vars = 6;
+  cfg.num_clauses = 10;
+  cfg.integrity_fraction = 0.25;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    cfg.seed = seed;
+    CheckAllQueriesAgree(RandomDdb(cfg),
+                         StrFormat("integrity-seed%llu", static_cast<unsigned long long>(seed)));
+  }
+}
+
+TEST(DispatchRegression, NegationFamily) {
+  DdbConfig cfg;
+  cfg.num_vars = 6;
+  cfg.num_clauses = 10;
+  cfg.negation_fraction = 0.3;
+  cfg.integrity_fraction = 0.1;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    cfg.seed = seed;
+    CheckAllQueriesAgree(RandomDdb(cfg),
+                         StrFormat("negation-seed%llu", static_cast<unsigned long long>(seed)));
+  }
+}
+
+TEST(DispatchRegression, StratifiedFamily) {
+  for (uint64_t seed = 1; seed <= 2; ++seed) {
+    CheckAllQueriesAgree(RandomStratifiedDdb(7, 12, 3, 0.4, seed),
+                         StrFormat("stratified-seed%llu", static_cast<unsigned long long>(seed)));
+  }
+}
+
+TEST(DispatchRegression, HornProgramsActuallyDowngrade) {
+  Database db = Db("a.\nb :- a.\nc :- b.\n");
+  Reasoner r(db);
+  for (SemanticsKind k : kAllKinds) {
+    auto res = r.HasModel(k);
+    ASSERT_TRUE(res.ok()) << SemanticsKindName(k);
+  }
+  EXPECT_GT(r.dispatch_stats().Downgrades(), 0);
+}
+
+TEST(DispatchRegression, PartitionedReasonerStaysGenericButCorrect) {
+  // A custom <P;Q;Z> partition must push CCWA/ECWA off the fast paths;
+  // answers still agree with a partitioned dispatch-off reasoner.
+  Database db = Db("a.\nb :- a.\nc | d.\n");
+  Reasoner with(db);
+  Reasoner without(db);
+  without.set_analysis_dispatch(false);
+  ASSERT_TRUE(with.SetPartition({"a", "b"}, {}, {"c", "d"}).ok());
+  ASSERT_TRUE(without.SetPartition({"a", "b"}, {}, {"c", "d"}).ok());
+  for (SemanticsKind k : {SemanticsKind::kCcwa, SemanticsKind::kEcwa}) {
+    for (Var v = 0; v < db.num_vars(); ++v) {
+      const std::string& name = db.vocabulary().Name(v);
+      ExpectSameResult(with.InfersLiteral(k, name),
+                       without.InfersLiteral(k, name),
+                       StrFormat("partition/%s", name.c_str()));
+    }
+  }
+}
+
+TEST(DispatchRegression, ToggleAtRuntime) {
+  Database db = Db("a.\nb :- a.\n");
+  Reasoner r(db);
+  auto fast = r.InfersLiteral(SemanticsKind::kGcwa, "b");
+  ASSERT_TRUE(fast.ok());
+  int64_t downgrades = r.dispatch_stats().Downgrades();
+  EXPECT_GT(downgrades, 0);
+  r.set_analysis_dispatch(false);
+  auto slow = r.InfersLiteral(SemanticsKind::kGcwa, "b");
+  ASSERT_TRUE(slow.ok());
+  EXPECT_EQ(*fast, *slow);
+  EXPECT_EQ(r.dispatch_stats().Downgrades(), downgrades);  // no new ones
+}
+
+}  // namespace
+}  // namespace dd

@@ -4,6 +4,7 @@
 #include "gen/generators.h"
 #include "gtest/gtest.h"
 #include "tests/test_util.h"
+#include "util/string_util.h"
 
 namespace dd {
 namespace {
@@ -90,8 +91,7 @@ TEST(MinimalModelState, CapIsEnforced) {
   // Many independent choices blow up the state.
   std::string prog;
   for (int i = 0; i < 12; ++i) {
-    prog += "a" + std::to_string(i) + " | b" + std::to_string(i) + ".\n";
-    prog += "x :- a" + std::to_string(i) + ".\n";
+    prog += StrFormat("a%d | b%d.\nx :- a%d.\n", i, i, i);
   }
   Database db = testing::Db(prog);
   auto r = MinimalModelState(db, /*max_disjuncts=*/10);

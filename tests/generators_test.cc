@@ -4,6 +4,7 @@
 #include "gtest/gtest.h"
 #include "strat/stratifier.h"
 #include "tests/test_util.h"
+#include "util/string_util.h"
 
 namespace dd {
 namespace {
@@ -98,8 +99,7 @@ TEST(Generators, GraphColoringStructure) {
     for (int node = 0; node < 5; ++node) {
       int colored = 0;
       for (int k = 0; k < 3; ++k) {
-        Var atom = db.vocabulary().Find("c" + std::to_string(k) + "_n" +
-                                        std::to_string(node));
+        Var atom = db.vocabulary().Find(StrFormat("c%d_n%d", k, node));
         colored += m.Contains(atom);
       }
       EXPECT_EQ(colored, 1);

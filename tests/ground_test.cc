@@ -7,6 +7,7 @@
 #include "semantics/dsm.h"
 #include "semantics/egcwa.h"
 #include "tests/test_util.h"
+#include "util/string_util.h"
 
 namespace dd {
 namespace {
@@ -203,8 +204,7 @@ TEST(GroundBottomUp, ScalesWhereNaiveExplodes) {
   std::string prog;
   const int n = 40;
   for (int i = 0; i + 1 < n; ++i) {
-    prog += "edge(c" + std::to_string(i) + ", c" + std::to_string(i + 1) +
-            ").\n";
+    prog += StrFormat("edge(c%d, c%d).\n", i, i + 1);
   }
   prog += "path(X, Y) :- edge(X, Y).\n";
   prog += "path(X, Z) :- path(X, Y), edge(Y, Z).\n";

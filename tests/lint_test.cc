@@ -1,0 +1,187 @@
+// Unit tests for the structured linter (analysis/linter): every rule with
+// its expected source line, plus a clean program producing no diagnostics.
+#include "analysis/linter.h"
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "logic/parser.h"
+
+namespace dd {
+namespace {
+
+using ::dd::analysis::FormatDiagnostics;
+using ::dd::analysis::Lint;
+using ::dd::analysis::LintDiagnostic;
+using ::dd::analysis::LintOptions;
+using ::dd::analysis::LintRule;
+using ::dd::analysis::LintSeverity;
+
+std::vector<LintDiagnostic> LintText(std::string_view text,
+                                     const LintOptions& opts = {}) {
+  auto prog = ParseProgram(text);
+  EXPECT_TRUE(prog.ok()) << prog.status().ToString();
+  return Lint(*prog, opts);
+}
+
+/// The diagnostics for `rule`, in emission order.
+std::vector<LintDiagnostic> OfRule(const std::vector<LintDiagnostic>& diags,
+                                   LintRule rule) {
+  std::vector<LintDiagnostic> out;
+  for (const auto& d : diags) {
+    if (d.rule == rule) out.push_back(d);
+  }
+  return out;
+}
+
+TEST(Lint, CleanProgramHasNoDiagnostics) {
+  auto diags = LintText(
+      "a | b.\n"
+      "c :- a.\n"
+      "c :- b.\n");
+  EXPECT_TRUE(diags.empty()) << FormatDiagnostics(diags);
+}
+
+TEST(Lint, Tautology) {
+  auto diags = OfRule(LintText("a.\n"
+                               "b | c :- b.\n"),
+                      LintRule::kTautology);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, LintSeverity::kWarning);
+  EXPECT_EQ(diags[0].clause_index, 1);
+  EXPECT_EQ(diags[0].line, 2);
+}
+
+TEST(Lint, ContradictoryBody) {
+  auto diags = OfRule(LintText("b.\n"
+                               "\n"
+                               "a :- b, not b.\n"),
+                      LintRule::kContradictoryBody);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, LintSeverity::kWarning);
+  EXPECT_EQ(diags[0].line, 3);
+}
+
+TEST(Lint, DuplicateClause) {
+  auto diags = OfRule(LintText("a :- b.\n"
+                               "b.\n"
+                               "a :- b.\n"),
+                      LintRule::kDuplicateClause);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].clause_index, 2);  // the later copy is flagged
+  EXPECT_EQ(diags[0].line, 3);
+}
+
+TEST(Lint, DuplicateDetectionIsOrderInsensitive) {
+  // Clause canonicalization makes "a | b :- c, d" and "b | a :- d, c"
+  // the same clause.
+  auto diags = OfRule(LintText("c. d.\n"
+                               "a | b :- c, d.\n"
+                               "b | a :- d, c.\n"),
+                      LintRule::kDuplicateClause);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].line, 3);
+}
+
+TEST(Lint, SubsumedClause) {
+  // "e | f." subsumes "e | f | g."
+  auto diags = OfRule(LintText("e | f.\n"
+                               "e | f | g.\n"),
+                      LintRule::kSubsumedClause);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, LintSeverity::kNote);
+  EXPECT_EQ(diags[0].clause_index, 1);
+  EXPECT_EQ(diags[0].line, 2);
+}
+
+TEST(Lint, SubsumptionUsesBodiesClassically) {
+  // "a :- b."  ==  a | ~b;  "a :- b, c."  ==  a | ~b | ~c: subsumed.
+  auto diags = OfRule(LintText("b. c.\n"
+                               "a :- b.\n"
+                               "a :- b, c.\n"),
+                      LintRule::kSubsumedClause);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].line, 3);
+}
+
+TEST(Lint, SubsumptionPassCanBeDisabled) {
+  LintOptions opts;
+  opts.check_subsumption = false;
+  auto diags = OfRule(LintText("e | f.\n"
+                               "e | f | g.\n",
+                               opts),
+                      LintRule::kSubsumedClause);
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(Lint, UnderivableAtom) {
+  auto diags = OfRule(LintText("a :- zz.\n"
+                               "a | b.\n"),
+                      LintRule::kUnderivableAtom);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, LintSeverity::kWarning);
+  EXPECT_NE(diags[0].message.find("zz"), std::string::npos);
+}
+
+TEST(Lint, OnlyNegativeAtom) {
+  auto diags = OfRule(LintText("a :- not j.\n"
+                               "a | b.\n"),
+                      LintRule::kOnlyNegativeAtom);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("j"), std::string::npos);
+}
+
+TEST(Lint, ConstraintLikeHead) {
+  // d appears only as the head of a single rule: suspicious.
+  auto diags = OfRule(LintText("a | b.\n"
+                               "d :- a.\n"),
+                      LintRule::kConstraintLikeHead);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].line, 2);
+
+  // But not when the head atom is used elsewhere.
+  auto used = OfRule(LintText("a | b.\n"
+                              "d :- a.\n"
+                              "e :- d.\n"),
+                     LintRule::kConstraintLikeHead);
+  // (e is now constraint-like instead; d is not.)
+  for (const auto& diag : used) EXPECT_NE(diag.line, 2);
+}
+
+TEST(Lint, IntegrityClauseNoteAndToggle) {
+  auto diags = OfRule(LintText("a | b.\n"
+                               ":- a, b.\n"),
+                      LintRule::kIntegrityClause);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, LintSeverity::kNote);
+  EXPECT_EQ(diags[0].line, 2);
+
+  LintOptions quiet;
+  quiet.note_integrity_clauses = false;
+  auto off = OfRule(LintText("a | b.\n"
+                             ":- a, b.\n",
+                             quiet),
+                    LintRule::kIntegrityClause);
+  EXPECT_TRUE(off.empty());
+}
+
+TEST(Lint, WithoutPositionsFallsBackToClauseIndex) {
+  auto r = ParseDatabase("e | f.\ne | f | g.\n");
+  ASSERT_TRUE(r.ok());
+  auto diags = OfRule(Lint(*r), LintRule::kSubsumedClause);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].line, 0);
+  EXPECT_EQ(diags[0].clause_index, 1);
+  EXPECT_NE(diags[0].ToString().find("clause 1"), std::string::npos);
+}
+
+TEST(Lint, FormatDiagnosticsOnePerLine) {
+  auto diags = LintText("a :- b, not b.\n");
+  ASSERT_FALSE(diags.empty());
+  std::string s = FormatDiagnostics(diags);
+  EXPECT_EQ(static_cast<size_t>(std::count(s.begin(), s.end(), '\n')),
+            diags.size());
+}
+
+}  // namespace
+}  // namespace dd

@@ -14,6 +14,7 @@
 #include "semantics/gcwa.h"
 #include "semantics/semantics.h"
 #include "tests/test_util.h"
+#include "util/string_util.h"
 
 namespace dd {
 namespace {
@@ -247,10 +248,9 @@ INSTANTIATE_TEST_SUITE_P(
                       ShapeParam{6, 0.25, 0.0}, ShapeParam{6, 0.0, 0.4},
                       ShapeParam{8, 0.15, 0.3}),
     [](const ::testing::TestParamInfo<ShapeParam>& info) {
-      return "n" + std::to_string(info.param.num_vars) + "_ic" +
-             std::to_string(static_cast<int>(info.param.integrity * 100)) +
-             "_neg" +
-             std::to_string(static_cast<int>(info.param.negation * 100));
+      return StrFormat("n%d_ic%d_neg%d", info.param.num_vars,
+                       static_cast<int>(info.param.integrity * 100),
+                       static_cast<int>(info.param.negation * 100));
     });
 
 // ---------------------------------------------------------------------------

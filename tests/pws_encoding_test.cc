@@ -7,6 +7,7 @@
 #include "gtest/gtest.h"
 #include "semantics/pws.h"
 #include "tests/test_util.h"
+#include "util/string_util.h"
 
 namespace dd {
 namespace {
@@ -135,7 +136,7 @@ TEST(PwsEncoding, LongDerivationChainsGetConsistentLevels) {
   Var prev = voc.Intern("a0");
   db.AddClause(Clause::Fact({prev}));
   for (int i = 1; i <= 12; ++i) {
-    Var cur = voc.Intern("a" + std::to_string(i));
+    Var cur = voc.Intern(StrFormat("a%d", i));
     db.AddClause(Clause({cur}, {prev}, {}));
     prev = cur;
   }
@@ -168,8 +169,8 @@ TEST(PwsEncoding, ScalesBeyondSplitEnumeration) {
   Vocabulary& voc = db.vocabulary();
   std::vector<Var> heads;
   for (int i = 0; i < 24; ++i) {
-    Var a = voc.Intern("a" + std::to_string(i));
-    Var b = voc.Intern("b" + std::to_string(i));
+    Var a = voc.Intern(StrFormat("a%d", i));
+    Var b = voc.Intern(StrFormat("b%d", i));
     db.AddClause(Clause::Fact({a, b}));
     heads.push_back(a);
   }
