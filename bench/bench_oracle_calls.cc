@@ -1,35 +1,110 @@
 // Section 3.1 algorithm: GCWA/CCWA formula inference with O(log n) calls
-// to a Σ₂ᵖ oracle.
+// to a Σ₂ᵖ oracle — plus the oracle-session A/B experiment.
 //
-// The harness runs the binary-search counting algorithm and prints the
-// counted oracle calls next to ceil(log2(|P|+1)) + 1 — the two columns
+// The first harness runs the binary-search counting algorithm and prints
+// the counted oracle calls next to ceil(log2(|P|+1)) + 1 — the two columns
 // should track each other as |P| doubles, which is precisely the
 // P^Sigma2p[O(log n)] upper bound of the paper (and of [Eiter & Gottlob,
 // TCS], whose method Section 3.1 cites).
+//
+// The A/B harness at the bottom measures what oracle sessions
+// (src/oracle/) buy: the same GCWA/EGCWA workload runs once with the
+// persistent incremental session (default) and once with a fresh solver
+// per oracle call (--no-sessions semantics), and the table reports the
+// wall-clock ratio next to the *semantic* oracle-call counts, which must
+// be identical in both modes — the sessions change how fast the oracle
+// answers, never how often the algorithm asks.
+//
+// Flags: --seed=N --threads=N --no-sessions (see bench_util.h). Results
+// land in BENCH_oracle_calls.json for scripts/run_experiments.sh.
 #include <cmath>
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "gen/generators.h"
 #include "semantics/ccwa.h"
+#include "semantics/egcwa.h"
 #include "semantics/gcwa.h"
+#include "util/rng.h"
 #include "util/timer.h"
 
 namespace dd {
 namespace {
 
-int main_impl() {
-  std::printf("GCWA formula inference via the counting algorithm\n");
+using bench::BenchArgs;
+using bench::BenchJsonWriter;
+
+/// One leg of the A/B comparison.
+struct Leg {
+  double ms = 0;            ///< wall-clock of the measured block
+  int64_t oracle_calls = 0; ///< counting-algorithm Σ₂ᵖ calls (structural)
+  int64_t sat_calls = 0;    ///< solver invocations actually performed
+  int64_t cache_hits = 0;   ///< answers served from session memo
+};
+
+/// The A/B workload: the repeated-query pattern sessions are built for.
+/// Everything below asks one fixed database many questions — the GCWA
+/// counting algorithm (every binary-search step re-enumerates minimal
+/// projections), the full negation set (one Σ₂ᵖ-style query per atom),
+/// repeated EGCWA model enumeration, and the per-atom negative-clause
+/// augmentation.
+Leg RunFamily(const Database& db, bool use_sessions, int threads) {
+  SemanticsOptions opts;
+  opts.use_sessions = use_sessions;
+  opts.num_threads = threads;
+  Leg leg;
+  Timer t;
+  {
+    GcwaSemantics gcwa(db, opts);
+    const Var queries = std::min(4, db.num_vars());
+    for (Var a = 0; a < queries; ++a) {
+      auto r = gcwa.InfersFormulaViaCounting(FormulaNode::MakeAtom(a));
+      if (r.ok()) leg.oracle_calls += r->oracle_calls;
+    }
+    auto negs = gcwa.NegatedAtoms();
+    (void)negs;
+    leg.sat_calls += gcwa.stats().sat_calls;
+    leg.cache_hits += gcwa.session_stats().cache_hits;
+  }
+  {
+    EgcwaSemantics egcwa(db, opts);
+    for (int rep = 0; rep < 3; ++rep) {
+      auto ms = egcwa.Models();
+      (void)ms;
+    }
+    auto clauses = egcwa.EntailedNegativeClauses(2);
+    (void)clauses;
+    for (Var v = 0; v < db.num_vars(); ++v) {
+      auto r = egcwa.InfersFormula(FormulaNode::MakeLit(Lit::Neg(v)));
+      (void)r;
+    }
+    leg.sat_calls += egcwa.stats().sat_calls;
+    leg.cache_hits += egcwa.session_stats().cache_hits;
+  }
+  leg.ms = t.ElapsedSeconds() * 1e3;
+  return leg;
+}
+
+int main_impl(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  BenchJsonWriter json("oracle_calls");
+
+  std::printf("GCWA formula inference via the counting algorithm%s\n",
+              args.use_sessions ? "" : " [--no-sessions]");
   std::printf("%8s %14s %18s %12s %10s\n", "|P|=n", "oracle calls",
               "ceil(lg(n+1))+1", "free atoms", "time[s]");
+  SemanticsOptions opts;
+  opts.use_sessions = args.use_sessions;
+  opts.num_threads = args.threads;
   for (int n : {4, 8, 16, 32, 64}) {
     int64_t calls = 0;
     int free_atoms = 0;
     double secs = 0;
     const int reps = 3;
-    Rng seeds(static_cast<uint64_t>(n) * 7);
     for (int i = 0; i < reps; ++i) {
-      Database db = RandomPositiveDdb(n, 2 * n, seeds.Next());
-      GcwaSemantics gcwa(db);
+      Database db = RandomPositiveDdb(
+          n, 2 * n, DeriveSeed(args.seed * 7, static_cast<uint64_t>(n) + i));
+      GcwaSemantics gcwa(db, opts);
       Timer t;
       auto r = gcwa.InfersFormulaViaCounting(FormulaNode::MakeAtom(0));
       secs += t.ElapsedSeconds();
@@ -42,6 +117,9 @@ int main_impl() {
     std::printf("%8d %14.1f %18d %12.1f %10.4f\n", n,
                 static_cast<double>(calls) / reps, bound,
                 static_cast<double>(free_atoms) / reps, secs);
+    json.Add(StrFormat("gcwa_counting%s",
+                       args.use_sessions ? "" : "_no_sessions"),
+             n, secs * 1e3 / reps, calls / reps, 0);
   }
 
   std::printf("\nCCWA variant (P = first half, Q = next quarter, Z = rest)\n");
@@ -51,9 +129,9 @@ int main_impl() {
     int64_t calls = 0;
     double secs = 0;
     const int reps = 3;
-    Rng seeds(static_cast<uint64_t>(n) * 13);
     for (int i = 0; i < reps; ++i) {
-      Database db = RandomPositiveDdb(n, 2 * n, seeds.Next());
+      Database db = RandomPositiveDdb(
+          n, 2 * n, DeriveSeed(args.seed * 13, static_cast<uint64_t>(n) + i));
       Partition p;
       p.p = Interpretation(n);
       p.q = Interpretation(n);
@@ -67,7 +145,7 @@ int main_impl() {
           p.z.Insert(v);
         }
       }
-      CcwaSemantics ccwa(db, p);
+      CcwaSemantics ccwa(db, p, opts);
       Timer t;
       auto r = ccwa.InfersFormulaViaCounting(FormulaNode::MakeAtom(0));
       secs += t.ElapsedSeconds();
@@ -76,14 +154,43 @@ int main_impl() {
     int bound = static_cast<int>(std::ceil(std::log2(n / 2 + 1))) + 1;
     std::printf("%8d %14.1f %18d %10.4f\n", n,
                 static_cast<double>(calls) / reps, bound, secs);
+    json.Add(StrFormat("ccwa_counting%s",
+                       args.use_sessions ? "" : "_no_sessions"),
+             n, secs * 1e3 / reps, calls / reps, 0);
   }
   std::printf(
       "\nExpected shape: the oracle-call column grows by about +1 per "
       "doubling of n — the O(log n) bound.\n");
+
+  std::printf("\nOracle-session A/B (GCWA counting + negation set, EGCWA "
+              "enumeration x3 + negative clauses)\n");
+  std::printf("%8s %12s %12s %10s %12s %12s %12s %8s\n", "n", "fresh[ms]",
+              "session[ms]", "speedup", "oracle =?", "sat fresh",
+              "sat sess", "hits");
+  for (int n : {8, 12, 16, 20, 24}) {
+    Database db = RandomPositiveDdb(
+        n, 2 * n, DeriveSeed(args.seed * 31, static_cast<uint64_t>(n)));
+    Leg fresh = RunFamily(db, /*use_sessions=*/false, args.threads);
+    Leg sess = RunFamily(db, /*use_sessions=*/true, args.threads);
+    const bool same_oracle = fresh.oracle_calls == sess.oracle_calls;
+    std::printf("%8d %12.2f %12.2f %9.2fx %12s %12lld %12lld %8lld\n", n,
+                fresh.ms, sess.ms, fresh.ms / (sess.ms > 0 ? sess.ms : 1e-9),
+                same_oracle ? "yes" : "NO!",
+                static_cast<long long>(fresh.sat_calls),
+                static_cast<long long>(sess.sat_calls),
+                static_cast<long long>(sess.cache_hits));
+    json.Add("ab_fresh", n, fresh.ms, fresh.oracle_calls, fresh.cache_hits);
+    json.Add("ab_session", n, sess.ms, sess.oracle_calls, sess.cache_hits);
+  }
+  std::printf(
+      "\nExpected shape: identical oracle-call counts in both columns — the "
+      "session only removes rebuild/replay work (sat calls drop, hits "
+      "climb), never a semantic oracle invocation.\n");
+  json.Write();
   return 0;
 }
 
 }  // namespace
 }  // namespace dd
 
-int main() { return dd::main_impl(); }
+int main(int argc, char** argv) { return dd::main_impl(argc, argv); }

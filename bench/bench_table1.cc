@@ -30,6 +30,7 @@
 #include "semantics/perf.h"
 #include "semantics/pws.h"
 #include "tests/test_util.h"
+#include "util/rng.h"
 #include "util/timer.h"
 
 namespace dd {
@@ -65,10 +66,14 @@ Formula Query(const Database& db, Rng* rng) {
   return testing::RandomFormula(rng, db.num_vars(), 3);
 }
 
-int main_impl() {
+int main_impl(int argc, char** argv) {
+  const bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::BenchJsonWriter json("table1");
   const int kInstances = 5;
   SemanticsOptions opts;
   opts.max_candidates = 2000000;
+  opts.use_sessions = args.use_sessions;
+  opts.num_threads = args.threads;
 
   std::vector<Cell> cells = {
       {"GCWA", "literal ~p", "Pi2p-complete", 14,
@@ -258,10 +263,13 @@ int main_impl() {
     Rng rng(0x7AB1E001);
     Timer t;
     int64_t sat = 0;
-    Rng seeds(1000 + static_cast<uint64_t>(cell.num_vars));
     for (int i = 0; i < kInstances; ++i) {
-      Database db = RandomPositiveDdb(cell.num_vars, 2 * cell.num_vars,
-                                      seeds.Next());
+      // Per-instance seeds are derived, not drawn from a stream, so any
+      // instance can be regenerated independently (and in parallel).
+      Database db = RandomPositiveDdb(
+          cell.num_vars, 2 * cell.num_vars,
+          DeriveSeed(args.seed * 1000 + static_cast<uint64_t>(cell.num_vars),
+                     static_cast<uint64_t>(i)));
       sat += cell.run(db, &rng);
     }
     MeasuredCell row;
@@ -274,6 +282,8 @@ int main_impl() {
     row.note = sat == 0 ? "no oracle: tractable/O(1) path"
                         : StrFormat("n=%d", cell.num_vars);
     rows.push_back(row);
+    json.Add(StrFormat("%s/%s", cell.semantics, cell.task), cell.num_vars,
+             row.seconds * 1e3, sat, 0);
   }
   std::printf("%s\n",
               FormatMeasuredTable(
@@ -284,10 +294,11 @@ int main_impl() {
   std::printf(
       "Hardness side of each *-complete cell is exercised by "
       "bench_reductions (2-QBF embeddings).\n");
+  json.Write();
   return 0;
 }
 
 }  // namespace
 }  // namespace dd
 
-int main() { return dd::main_impl(); }
+int main(int argc, char** argv) { return dd::main_impl(argc, argv); }

@@ -3,8 +3,12 @@
 #define DD_BENCH_BENCH_UTIL_H_
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/string_util.h"
@@ -12,6 +16,105 @@
 
 namespace dd {
 namespace bench {
+
+/// Command-line knobs shared by every harness:
+///   --seed=N       root seed of the generated instance families
+///   --threads=N    worker threads for the parallel helpers
+///   --no-sessions  fresh-solver-per-oracle-call baseline (the A/B leg)
+/// Unknown arguments are ignored (harnesses stay composable with wrapper
+/// scripts). Both --flag=value and --flag value spellings are accepted.
+struct BenchArgs {
+  uint64_t seed = 1;
+  int threads = 1;
+  bool use_sessions = true;
+
+  static BenchArgs Parse(int argc, char** argv) {
+    BenchArgs a;
+    auto value_of = [&](const char* arg, const char* name,
+                        int* i) -> const char* {
+      size_t len = std::strlen(name);
+      if (std::strncmp(arg, name, len) != 0) return nullptr;
+      if (arg[len] == '=') return arg + len + 1;
+      if (arg[len] == '\0' && *i + 1 < argc) return argv[++*i];
+      return nullptr;
+    };
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--no-sessions") == 0) {
+        a.use_sessions = false;
+      } else if (const char* v = value_of(argv[i], "--seed", &i)) {
+        a.seed = std::strtoull(v, nullptr, 10);
+      } else if (const char* v2 = value_of(argv[i], "--threads", &i)) {
+        a.threads = static_cast<int>(std::strtol(v2, nullptr, 10));
+      }
+    }
+    return a;
+  }
+};
+
+/// One machine-readable measurement row.
+struct BenchRecord {
+  std::string name;         ///< family / configuration label
+  int n = 0;                ///< instance size parameter
+  double wall_ms = 0.0;     ///< wall-clock for the measured block
+  int64_t oracle_calls = 0; ///< semantic oracle calls (mode-invariant)
+  int64_t cache_hits = 0;   ///< oracle answers served from session memo
+};
+
+/// Accumulates BenchRecords and writes them as BENCH_<name>.json in the
+/// working directory (scripts/run_experiments.sh collects these). The file
+/// is written by Write() or, failing that, by the destructor; the format is
+/// a single JSON object {"bench": ..., "records": [...]}.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string bench) : bench_(std::move(bench)) {}
+  BenchJsonWriter(const BenchJsonWriter&) = delete;
+  BenchJsonWriter& operator=(const BenchJsonWriter&) = delete;
+  ~BenchJsonWriter() { Write(); }
+
+  void Add(BenchRecord r) { records_.push_back(std::move(r)); }
+  void Add(const std::string& name, int n, double wall_ms,
+           int64_t oracle_calls, int64_t cache_hits) {
+    records_.push_back({name, n, wall_ms, oracle_calls, cache_hits});
+  }
+
+  /// Writes BENCH_<bench>.json; idempotent. Returns false on I/O failure.
+  bool Write() {
+    if (written_) return true;
+    std::string path = StrFormat("BENCH_%s.json", bench_.c_str());
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"records\": [\n",
+                 Escape(bench_).c_str());
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const BenchRecord& r = records_[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"n\": %d, \"wall_ms\": %.3f, "
+                   "\"oracle_calls\": %lld, \"cache_hits\": %lld}%s\n",
+                   Escape(r.name).c_str(), r.n, r.wall_ms,
+                   static_cast<long long>(r.oracle_calls),
+                   static_cast<long long>(r.cache_hits),
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    written_ = true;
+    return true;
+  }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string bench_;
+  std::vector<BenchRecord> records_;
+  bool written_ = false;
+};
 
 /// Measures a per-size series and reports the growth pattern. `points`
 /// holds (size, seconds) pairs; the estimate fits t ~ c * n^k on the last

@@ -85,6 +85,6 @@ int main() {
                 r.ok() && *r ? "yes" : "no");
   }
   std::printf("\noracle work: %s\n",
-              dd::FormatStats(egcwa.stats()).c_str());
+              dd::FormatStats(egcwa.stats(), egcwa.session_stats()).c_str());
   return 0;
 }

@@ -4,9 +4,12 @@
 #   1. Release build with -Werror, ctest
 #   2. AddressSanitizer build, ctest
 #   3. UndefinedBehaviorSanitizer build, ctest
-#   4. clang-tidy over src/ (skipped with a notice when not installed)
-#   5. clang-format --dry-run -Werror over src/ (same skip rule)
-#   6. ddlint over examples/programs/*.ddb (exit 2 = parse failure fails
+#   4. ThreadSanitizer build, running the concurrency surface only
+#      (thread-pool/parallel-enumeration/oracle-session tests) — TSan
+#      triples runtimes, and the rest of the suite is single-threaded
+#   5. clang-tidy over src/ (skipped with a notice when not installed)
+#   6. clang-format --dry-run -Werror over src/ (same skip rule)
+#   7. ddlint over examples/programs/*.ddb (exit 2 = parse failure fails
 #      the check; 1 just means diagnostics were reported, which the bait
 #      program does on purpose)
 #
@@ -25,8 +28,9 @@ done
 JOBS="$(nproc 2>/dev/null || echo 4)"
 FAILED=0
 
-run_leg() { # name build_dir cmake_args...
+run_leg() { # name build_dir cmake_args...   (CTEST_FILTER: optional -R regex)
   local name="$1" dir="$2"; shift 2
+  local filter="${CTEST_FILTER:-}"
   echo "===== $name ====="
   if ! cmake -B "$dir" -S . "$@" >"$dir.configure.log" 2>&1; then
     echo "$name: configure FAILED (see $dir.configure.log)"; FAILED=1; return
@@ -35,7 +39,7 @@ run_leg() { # name build_dir cmake_args...
     echo "$name: build FAILED (see $dir.build.log)"; FAILED=1; return
   fi
   if ! ctest --test-dir "$dir" -j "$JOBS" --output-on-failure \
-       >"$dir.ctest.log" 2>&1; then
+       ${filter:+-R "$filter"} >"$dir.ctest.log" 2>&1; then
     echo "$name: ctest FAILED (see $dir.ctest.log)"; FAILED=1; return
   fi
   tail -n 2 "$dir.ctest.log"
@@ -51,6 +55,13 @@ if [ "$FAST" -eq 0 ]; then
           -DDD_BUILD_BENCHMARKS=OFF
   run_leg "ubsan" build-check-ubsan \
           -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDD_SANITIZE=undefined \
+          -DDD_BUILD_BENCHMARKS=OFF
+  # The concurrency surface: the thread-pool contract tests, the parallel
+  # enumeration layers behind them, and the oracle-session suite (sessions
+  # are what parallel chunks must NOT share).
+  CTEST_FILTER='thread_pool_test|oracle_session_test|fixpoint_test|egcwa_ecwa_test|ddr_pws_test' \
+  run_leg "tsan (concurrency tests)" build-check-tsan \
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDD_SANITIZE=thread \
           -DDD_BUILD_BENCHMARKS=OFF
 fi
 

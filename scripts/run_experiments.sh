@@ -2,6 +2,12 @@
 # Builds everything and regenerates the full experiment record:
 #   test_output.txt   - the complete test-suite run
 #   bench_output.txt  - every table/figure harness + microbenchmarks
+#   results/          - the machine-readable BENCH_*.json files the
+#                       harnesses emit (bench/bench_util.h writer)
+#
+# Harness flags are forwarded: run_experiments.sh --seed=7 --threads=4
+# passes the root seed / worker count to every harness; --no-sessions
+# regenerates the fresh-solver A/B baseline.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -10,11 +16,14 @@ cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+mkdir -p results
+rm -f results/BENCH_*.json
+
 : > bench_output.txt
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   echo "########## $(basename "$b") ##########" | tee -a bench_output.txt
-  "$b" 2>&1 | tee -a bench_output.txt
+  (cd results && "../$b" "$@" 2>&1) | tee -a bench_output.txt
   echo | tee -a bench_output.txt
 done
-echo "wrote test_output.txt and bench_output.txt"
+echo "wrote test_output.txt, bench_output.txt and $(ls results/BENCH_*.json 2>/dev/null | wc -l) BENCH_*.json files in results/"

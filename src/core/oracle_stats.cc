@@ -18,6 +18,24 @@ std::string FormatStats(const MinimalStats& s,
   return FormatStats(s) + " | " + d.ToString();
 }
 
+std::string FormatStats(const MinimalStats& s,
+                        const oracle::SessionStats& sess) {
+  if (sess.base_loads == 0 && sess.solves == 0 && sess.cache_hits == 0 &&
+      sess.projections_replayed == 0) {
+    return FormatStats(s) + " | session: off";
+  }
+  return FormatStats(s) +
+         StrFormat(" | session: loads=%lld, solves=%lld, ctx=%lld/%lld, "
+                   "cache=%lld/%lld, replayed=%lld",
+                   static_cast<long long>(sess.base_loads),
+                   static_cast<long long>(sess.solves),
+                   static_cast<long long>(sess.contexts_opened),
+                   static_cast<long long>(sess.contexts_retired),
+                   static_cast<long long>(sess.cache_hits),
+                   static_cast<long long>(sess.cache_misses),
+                   static_cast<long long>(sess.projections_replayed));
+}
+
 std::string FormatMeasuredTable(const std::string& title,
                                 const std::vector<MeasuredCell>& cells) {
   std::string out;

@@ -8,6 +8,7 @@
 
 #include "analysis/dispatch.h"
 #include "minimal/minimal_models.h"
+#include "oracle/sat_session.h"
 
 namespace dd {
 
@@ -30,6 +31,14 @@ std::string FormatStats(const MinimalStats& s);
 /// downgrade is observable next to the oracle work it avoided.
 std::string FormatStats(const MinimalStats& s,
                         const analysis::DispatchStats& d);
+
+/// Renders the oracle counters next to the session-reuse counters
+/// ("… | session: loads=…, solves=…, ctx=…/…, cache=…/…, replayed=…"),
+/// so the semantic oracle work and the fraction served from reuse are
+/// observable side by side. All-zero session counters (fresh-solver
+/// mode) render as "session: off".
+std::string FormatStats(const MinimalStats& s,
+                        const oracle::SessionStats& sess);
 
 /// Renders a fixed-width table with a header, one row per cell.
 std::string FormatMeasuredTable(const std::string& title,

@@ -1,9 +1,11 @@
 #include "fixpoint/ddr_fixpoint.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "util/macros.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace dd {
 
@@ -103,10 +105,41 @@ bool ExpandBody(const Database& db, const std::vector<Var>& body, size_t j,
   return true;
 }
 
+// Pure variant for the parallel path: collects this clause's candidate
+// disjuncts into `out` in exactly the order the sequential expansion would
+// insert them, resolving only against the round snapshot. Returns false
+// once `out` grows past `cap` (the caller then falls back to the direct
+// sequential expansion for this clause, preserving exact semantics while
+// bounding memory).
+bool CollectBody(const std::vector<Var>& body, size_t j,
+                 const std::vector<Interpretation>& snapshot,
+                 const Interpretation& heads, Interpretation carry,
+                 std::vector<Interpretation>* out, int64_t cap) {
+  if (j == body.size()) {
+    Interpretation candidate = heads;
+    for (Var v : carry.TrueAtoms()) candidate.Insert(v);
+    out->push_back(std::move(candidate));
+    return static_cast<int64_t>(out->size()) <= cap;
+  }
+  Var b = body[j];
+  for (const Interpretation& d : snapshot) {
+    if (!d.Contains(b)) continue;
+    Interpretation next = carry;
+    for (Var v : d.TrueAtoms()) {
+      if (v != b) next.Insert(v);
+    }
+    if (!CollectBody(body, j + 1, snapshot, heads, std::move(next), out,
+                     cap)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 Result<DisjunctSet> MinimalModelState(const Database& db,
-                                      int64_t max_disjuncts) {
+                                      int64_t max_disjuncts, int threads) {
   DD_RETURN_IF_ERROR(RequireDeductive(db, "MinimalModelState"));
   DisjunctSet state(db.num_vars());
 
@@ -117,6 +150,13 @@ Result<DisjunctSet> MinimalModelState(const Database& db,
         Interpretation::FromAtoms(db.num_vars(), c.heads()));
   }
 
+  // The rule clauses this loop expands, in database order.
+  std::vector<const Clause*> rules;
+  for (const Clause& c : db.clauses()) {
+    if (c.is_integrity() || c.pos_body().empty()) continue;
+    rules.push_back(&c);
+  }
+
   // Saturate T_DB with subsumption reduction.
   bool changed = true;
   while (changed) {
@@ -124,16 +164,64 @@ Result<DisjunctSet> MinimalModelState(const Database& db,
     // Snapshot: this round only resolves against disjuncts from the
     // previous round (naive evaluation; rounds repeat until stable).
     std::vector<Interpretation> snapshot = state.items();
-    for (const Clause& c : db.clauses()) {
-      if (c.is_integrity() || c.pos_body().empty()) continue;
-      Interpretation heads =
-          Interpretation::FromAtoms(db.num_vars(), c.heads());
-      if (!ExpandBody(db, c.pos_body(), 0, snapshot, heads,
-                      Interpretation(db.num_vars()), &state, &changed,
-                      max_disjuncts)) {
-        return Status::ResourceExhausted(
-            StrFormat("model state exceeded %lld disjuncts",
-                      static_cast<long long>(max_disjuncts)));
+    if (threads > 1 && rules.size() > 1) {
+      // Parallel round: candidate generation per clause is pure against
+      // the snapshot; the merge below replays the sequential insertion
+      // sequence in clause order, so the result is thread-count-invariant.
+      struct Expansion {
+        std::vector<Interpretation> candidates;
+        bool overflow = false;
+      };
+      const int64_t local_cap = std::max<int64_t>(1024, 8 * max_disjuncts);
+      std::vector<Expansion> expansions(rules.size());
+      ParallelFor(static_cast<int64_t>(rules.size()), threads,
+                  [&](int64_t i) {
+                    const Clause& c = *rules[static_cast<size_t>(i)];
+                    Expansion& e = expansions[static_cast<size_t>(i)];
+                    Interpretation heads = Interpretation::FromAtoms(
+                        db.num_vars(), c.heads());
+                    e.overflow = !CollectBody(
+                        c.pos_body(), 0, snapshot, heads,
+                        Interpretation(db.num_vars()), &e.candidates,
+                        local_cap);
+                  });
+      for (size_t i = 0; i < rules.size(); ++i) {
+        const Clause& c = *rules[i];
+        if (expansions[i].overflow) {
+          // Too many candidates to materialize: expand this clause
+          // directly into the state, exactly like the sequential path.
+          Interpretation heads =
+              Interpretation::FromAtoms(db.num_vars(), c.heads());
+          if (!ExpandBody(db, c.pos_body(), 0, snapshot, heads,
+                          Interpretation(db.num_vars()), &state, &changed,
+                          max_disjuncts)) {
+            return Status::ResourceExhausted(
+                StrFormat("model state exceeded %lld disjuncts",
+                          static_cast<long long>(max_disjuncts)));
+          }
+          continue;
+        }
+        for (const Interpretation& cand : expansions[i].candidates) {
+          if (state.Insert(cand)) changed = true;
+          if (state.size() > max_disjuncts) {
+            return Status::ResourceExhausted(
+                StrFormat("model state exceeded %lld disjuncts",
+                          static_cast<long long>(max_disjuncts)));
+          }
+        }
+      }
+    } else {
+      for (const Clause* cp : rules) {
+        const Clause& c = *cp;
+        Interpretation heads =
+            Interpretation::FromAtoms(db.num_vars(), c.heads());
+        if (!ExpandBody(db, c.pos_body(), 0, snapshot, heads,
+                        Interpretation(db.num_vars()), &state, &changed,
+                        max_disjuncts)) {
+          return Status::ResourceExhausted(
+              StrFormat("model state exceeded %lld disjuncts",
+                        static_cast<long long>(max_disjuncts)));
+        }
       }
     }
   }

@@ -42,8 +42,16 @@ Interpretation DefiniteLeastModel(const Database& db);
 ///
 /// The state can be exponentially large; `max_disjuncts` bounds it
 /// (ResourceExhausted on overflow). Requires db.IsDeductive().
+///
+/// `threads` parallelizes each saturation round over the rule clauses:
+/// candidate disjuncts are generated against the round's snapshot (a pure
+/// computation) on up to `threads` workers, then merged in clause order,
+/// replaying exactly the sequential insertion sequence — the resulting
+/// state, the changed-flag progression and the overflow point are
+/// bit-identical for every thread count.
 Result<DisjunctSet> MinimalModelState(const Database& db,
-                                      int64_t max_disjuncts = 100000);
+                                      int64_t max_disjuncts = 100000,
+                                      int threads = 1);
 
 }  // namespace dd
 

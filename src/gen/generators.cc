@@ -19,8 +19,13 @@ void InternAtoms(Database* db, int n, const char* prefix = "p") {
 }  // namespace
 
 Database RandomDdb(const DdbConfig& cfg) {
-  DD_CHECK(cfg.num_vars >= 2);
   Rng rng(cfg.seed);
+  return RandomDdb(cfg, &rng);
+}
+
+Database RandomDdb(const DdbConfig& cfg, Rng* rng_in) {
+  DD_CHECK(cfg.num_vars >= 2);
+  Rng& rng = *rng_in;
   Database db;
   InternAtoms(&db, cfg.num_vars);
 
@@ -69,10 +74,24 @@ Database RandomPositiveDdb(int num_vars, int num_clauses, uint64_t seed) {
   return RandomDdb(cfg);
 }
 
+Database RandomPositiveDdb(int num_vars, int num_clauses, Rng* rng) {
+  DdbConfig cfg;
+  cfg.num_vars = num_vars;
+  cfg.num_clauses = num_clauses;
+  return RandomDdb(cfg, rng);
+}
+
 Database RandomStratifiedDdb(int num_vars, int num_clauses, int num_strata,
                              double negation_fraction, uint64_t seed) {
-  DD_CHECK(num_strata >= 1 && num_vars >= num_strata);
   Rng rng(seed);
+  return RandomStratifiedDdb(num_vars, num_clauses, num_strata,
+                             negation_fraction, &rng);
+}
+
+Database RandomStratifiedDdb(int num_vars, int num_clauses, int num_strata,
+                             double negation_fraction, Rng* rng_in) {
+  DD_CHECK(num_strata >= 1 && num_vars >= num_strata);
+  Rng& rng = *rng_in;
   Database db;
   InternAtoms(&db, num_vars);
   // Atom v sits on level v * num_strata / num_vars: contiguous blocks.
@@ -128,8 +147,14 @@ Database RandomStratifiedDdb(int num_vars, int num_clauses, int num_strata,
 
 QbfForallExistsCnf RandomQbf(int nx, int ny, int num_clauses, int width,
                              uint64_t seed) {
-  DD_CHECK(nx >= 1 && ny >= 1 && width >= 2);
   Rng rng(seed);
+  return RandomQbf(nx, ny, num_clauses, width, &rng);
+}
+
+QbfForallExistsCnf RandomQbf(int nx, int ny, int num_clauses, int width,
+                             Rng* rng_in) {
+  DD_CHECK(nx >= 1 && ny >= 1 && width >= 2);
+  Rng& rng = *rng_in;
   QbfForallExistsCnf q;
   q.num_vars = nx + ny;
   for (int i = 0; i < nx; ++i) q.universal.push_back(static_cast<Var>(i));
@@ -153,8 +178,13 @@ QbfForallExistsCnf RandomQbf(int nx, int ny, int num_clauses, int width,
 }
 
 sat::Cnf RandomCnf(int num_vars, int num_clauses, int width, uint64_t seed) {
-  DD_CHECK(num_vars >= 1 && width >= 1);
   Rng rng(seed);
+  return RandomCnf(num_vars, num_clauses, width, &rng);
+}
+
+sat::Cnf RandomCnf(int num_vars, int num_clauses, int width, Rng* rng_in) {
+  DD_CHECK(num_vars >= 1 && width >= 1);
+  Rng& rng = *rng_in;
   sat::Cnf cnf;
   cnf.num_vars = num_vars;
   for (int c = 0; c < num_clauses; ++c) {
@@ -170,8 +200,14 @@ sat::Cnf RandomCnf(int num_vars, int num_clauses, int width, uint64_t seed) {
 
 Database GraphColoringDdb(int num_nodes, double edge_probability,
                           int num_colors, uint64_t seed) {
-  DD_CHECK(num_nodes >= 1 && num_colors >= 2);
   Rng rng(seed);
+  return GraphColoringDdb(num_nodes, edge_probability, num_colors, &rng);
+}
+
+Database GraphColoringDdb(int num_nodes, double edge_probability,
+                          int num_colors, Rng* rng_in) {
+  DD_CHECK(num_nodes >= 1 && num_colors >= 2);
+  Rng& rng = *rng_in;
   Database db;
   auto color_atom = [&](int node, int color) {
     return db.vocabulary().Intern(StrFormat("c%d_n%d", color, node));
@@ -193,8 +229,13 @@ Database GraphColoringDdb(int num_nodes, double edge_probability,
 }
 
 Database DiagnosisDdb(int num_gates, int num_faulty, uint64_t seed) {
-  DD_CHECK(num_gates >= 1 && num_faulty >= 1 && num_faulty <= num_gates);
   Rng rng(seed);
+  return DiagnosisDdb(num_gates, num_faulty, &rng);
+}
+
+Database DiagnosisDdb(int num_gates, int num_faulty, Rng* rng_in) {
+  DD_CHECK(num_gates >= 1 && num_faulty >= 1 && num_faulty <= num_gates);
+  Rng& rng = *rng_in;
   (void)rng;
   Database db;
   // `num_faulty` independent buffer chains; each chain's output is observed

@@ -62,6 +62,29 @@ Database GraphColoringDdb(int num_nodes, double edge_probability,
 /// `num_faulty` gates. Minimal models localize minimal diagnoses.
 Database DiagnosisDdb(int num_gates, int num_faulty, uint64_t seed);
 
+// ---------------------------------------------------------------------------
+// Explicit-stream variants. Each generator above owns a local Rng seeded
+// from its `seed` argument; these overloads instead draw from a caller-owned
+// stream, which makes the randomness flow explicit (no hidden state, and
+// provably no shared mutable globals to race on). Parallel bench families
+// combine them with DeriveSeed(base, i) from util/rng.h: worker t builds
+// instance i from Rng(DeriveSeed(seed, i)) without having to generate
+// instances 0..i-1 first, so the family is identical for every thread
+// count, schedule and visit order. `cfg.seed` / `seed` parameters are
+// ignored by these overloads.
+// ---------------------------------------------------------------------------
+
+Database RandomDdb(const DdbConfig& cfg, Rng* rng);
+Database RandomPositiveDdb(int num_vars, int num_clauses, Rng* rng);
+Database RandomStratifiedDdb(int num_vars, int num_clauses, int num_strata,
+                             double negation_fraction, Rng* rng);
+QbfForallExistsCnf RandomQbf(int nx, int ny, int num_clauses, int width,
+                             Rng* rng);
+sat::Cnf RandomCnf(int num_vars, int num_clauses, int width, Rng* rng);
+Database GraphColoringDdb(int num_nodes, double edge_probability,
+                          int num_colors, Rng* rng);
+Database DiagnosisDdb(int num_gates, int num_faulty, Rng* rng);
+
 }  // namespace dd
 
 #endif  // DD_GEN_GENERATORS_H_

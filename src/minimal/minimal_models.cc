@@ -1,9 +1,13 @@
 #include "minimal/minimal_models.h"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
+#include "oracle/sat_session.h"
 #include "sat/solver.h"
 #include "util/macros.h"
+#include "util/thread_pool.h"
 
 namespace dd {
 
@@ -18,14 +22,14 @@ void LoadDb(const Database& db, Solver* s) {
   // Prefer-false polarity makes the first model found already small, which
   // shortens minimization loops.
   s->SetDefaultPolarity(false);
-  for (const auto& cl : db.ToCnf()) s->AddClause(cl);
+  for (const auto& cl : db.ToCnf()) s->AddClause(cl.data(), cl.size());
 }
 
-// Adds the clause excluding the "region" of a minimal projection: models M''
-// with M''∩P ⊇ p* and M''∩Q = q* . Returns false if the region is the whole
-// model space (empty clause), in which case the caller must stop instead.
-bool AddRegionBlock(const Interpretation& proj, const Partition& pqz,
-                    Solver* s) {
+// The clause excluding the "region" of a minimal projection: models M''
+// with M''∩P ⊇ p* and M''∩Q = q*. Empty iff the region is the whole model
+// space, in which case the caller must stop instead of asserting it.
+std::vector<Lit> RegionBlockClause(const Interpretation& proj,
+                                   const Partition& pqz) {
   std::vector<Lit> block;
   for (Var v : proj.TrueAtoms()) {
     if (pqz.p.Contains(v)) block.push_back(Lit::Neg(v));
@@ -34,6 +38,14 @@ bool AddRegionBlock(const Interpretation& proj, const Partition& pqz,
     if (!pqz.q.Contains(v)) continue;
     block.push_back(proj.Contains(v) ? Lit::Neg(v) : Lit::Pos(v));
   }
+  return block;
+}
+
+// Adds the region block to a fresh solver. Returns false if the region is
+// the whole model space (empty clause).
+bool AddRegionBlock(const Interpretation& proj, const Partition& pqz,
+                    Solver* s) {
+  std::vector<Lit> block = RegionBlockClause(proj, pqz);
   if (block.empty()) return false;
   s->AddClause(std::move(block));
   return true;
@@ -53,9 +65,447 @@ std::vector<Lit> ProjectionAssumptions(const Interpretation& m,
 
 }  // namespace
 
-MinimalEngine::MinimalEngine(const Database& db) : db_(db) {}
+MinimalEngine::MinimalEngine(const Database& db, const MinimalOptions& opts)
+    : db_(db), opts_(opts) {}
+
+oracle::SatSession* MinimalEngine::session() {
+  if (!opts_.use_sessions) return nullptr;
+  if (!session_) session_ = std::make_unique<oracle::SatSession>(db_);
+  return session_.get();
+}
+
+oracle::SessionStats MinimalEngine::session_stats() const {
+  oracle::SessionStats out;
+  if (session_) out = session_->stats();
+  out.cache_hits += cache_.hits() + memo_hits_;
+  out.cache_misses += cache_.misses();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Public dispatchers.
+// ---------------------------------------------------------------------------
 
 bool MinimalEngine::HasModel() {
+  if (!opts_.use_sessions) return HasModelFresh();
+  if (has_model_.has_value()) {
+    ++memo_hits_;
+    return *has_model_;
+  }
+  oracle::SatSession* s = session();
+  SolveResult r = s->Solve();
+  ++stats_.sat_calls;
+  DD_CHECK(r != SolveResult::kUnknown);
+  has_model_ = (r == SolveResult::kSat);
+  if (*has_model_) found_model_ = s->Model(db_.num_vars());
+  return *has_model_;
+}
+
+std::optional<Interpretation> MinimalEngine::FindModel() {
+  if (!opts_.use_sessions) return FindModelFresh();
+  if (!HasModel()) return std::nullopt;
+  return found_model_;
+}
+
+bool MinimalEngine::IsMinimal(const Interpretation& m, const Partition& pqz) {
+  if (!opts_.use_sessions) return IsMinimalFresh(m, pqz);
+  if (!IsModel(m)) return false;
+  const Interpretation masked = oracle::MinimalityCache::MaskPQ(m, pqz);
+  if (std::optional<bool> v = cache_.LookupVerdict(pqz, masked)) return *v;
+  // Search a model strictly below m in the <P;Z> preorder, as one
+  // activation-guarded context on the persistent session: Q-values and
+  // absent P-atoms ride as assumptions, the "strictly smaller" clause is
+  // the only guarded clause.
+  oracle::SatSession* s = session();
+  oracle::SatSession::Context ctx(s);
+  std::vector<Lit> pins;
+  std::vector<Lit> smaller;
+  for (Var v = 0; v < db_.num_vars(); ++v) {
+    if (pqz.q.Contains(v)) {
+      pins.push_back(Lit::Make(v, m.Contains(v)));
+    } else if (pqz.p.Contains(v)) {
+      if (m.Contains(v)) {
+        smaller.push_back(Lit::Neg(v));
+      } else {
+        pins.push_back(Lit::Neg(v));
+      }
+    }
+  }
+  bool minimal;
+  if (smaller.empty()) {
+    // m's P-part is empty: nothing below it.
+    minimal = true;
+  } else {
+    ctx.AddClause(std::move(smaller));
+    SolveResult r = ctx.Solve(pins);
+    ++stats_.sat_calls;
+    DD_CHECK(r != SolveResult::kUnknown);
+    minimal = (r == SolveResult::kUnsat);
+  }
+  cache_.StoreVerdict(pqz, masked, minimal);
+  return minimal;
+}
+
+Interpretation MinimalEngine::Minimize(const Interpretation& m,
+                                       const Partition& pqz) {
+  if (!opts_.use_sessions) return MinimizeFresh(m, pqz);
+  DD_CHECK(IsModel(m));
+  ++stats_.minimizations;
+  const Interpretation masked = oracle::MinimalityCache::MaskPQ(m, pqz);
+  if (std::optional<Interpretation> c = cache_.LookupMinimized(pqz, masked)) {
+    // The cached certificate was minimized under exactly these P/Q pins, so
+    // it is a <P;Z>-minimal model below every Z-completion of the key.
+    return *c;
+  }
+  oracle::SatSession* s = session();
+  oracle::SatSession::Context ctx(s);
+  // Incremental descent: Q-values and absent P-atoms are assumption pins
+  // (extended as atoms leave the candidate); each round's "strictly
+  // smaller" clause is guarded and enabled through a fresh selector.
+  std::vector<Lit> pins;
+  for (Var v = 0; v < db_.num_vars(); ++v) {
+    if (pqz.q.Contains(v)) pins.push_back(Lit::Make(v, m.Contains(v)));
+    if (pqz.p.Contains(v) && !m.Contains(v)) pins.push_back(Lit::Neg(v));
+  }
+  Interpretation cur = m;
+  std::vector<Lit> assumptions;
+  for (;;) {
+    std::vector<Var> true_p;
+    for (Var v : cur.TrueAtoms()) {
+      if (pqz.p.Contains(v)) true_p.push_back(v);
+    }
+    if (true_p.empty()) break;  // nothing left to remove
+    Var sel = s->AllocVar();
+    std::vector<Lit> clause{Lit::Neg(sel)};
+    for (Var v : true_p) clause.push_back(Lit::Neg(v));
+    ctx.AddClause(std::move(clause));
+    assumptions = pins;
+    assumptions.push_back(Lit::Pos(sel));
+    SolveResult r = ctx.Solve(assumptions);
+    ++stats_.sat_calls;
+    if (r != SolveResult::kSat) break;  // cur is minimal
+    Interpretation found = s->Model(db_.num_vars());
+    // Pin the freshly removed P-atoms false for all later rounds.
+    for (Var v : true_p) {
+      if (!found.Contains(v)) pins.push_back(Lit::Neg(v));
+    }
+    cur = found;
+  }
+  cache_.StoreMinimized(pqz, masked, cur);
+  // Minimization doubles as a minimality check: cur is minimal, and m was
+  // minimal iff the descent never moved off m's projection.
+  const Interpretation cur_masked = oracle::MinimalityCache::MaskPQ(cur, pqz);
+  cache_.StoreVerdict(pqz, cur_masked, true);
+  if (!(cur_masked == masked)) cache_.StoreVerdict(pqz, masked, false);
+  return cur;
+}
+
+std::vector<bool> MinimalEngine::AreMinimal(
+    const std::vector<Interpretation>& candidates, const Partition& pqz,
+    int threads) {
+  const int64_t n = static_cast<int64_t>(candidates.size());
+  std::vector<bool> out(candidates.size());
+  if (n == 0) return out;
+  // The chunk layout is a function of n alone — never of the worker count —
+  // so the per-chunk engines (and therefore the merged statistics) are
+  // identical for every `threads` value.
+  const int64_t chunks = std::min<int64_t>(n, 16);
+  std::vector<uint8_t> verdicts(candidates.size(), 0);
+  std::vector<MinimalStats> chunk_stats(static_cast<size_t>(chunks));
+  ParallelFor(chunks, threads, [&](int64_t c) {
+    const int64_t lo = c * n / chunks;
+    const int64_t hi = (c + 1) * n / chunks;
+    MinimalEngine local(db_, opts_);
+    for (int64_t i = lo; i < hi; ++i) {
+      verdicts[static_cast<size_t>(i)] =
+          local.IsMinimal(candidates[static_cast<size_t>(i)], pqz) ? 1 : 0;
+    }
+    chunk_stats[static_cast<size_t>(c)] = local.stats();
+  });
+  for (const MinimalStats& cs : chunk_stats) stats_.Add(cs);
+  for (size_t i = 0; i < candidates.size(); ++i) out[i] = verdicts[i] != 0;
+  return out;
+}
+
+int MinimalEngine::EnumerateMinimalProjections(
+    const Partition& pqz, int64_t cap,
+    const std::function<bool(const Interpretation&)>& cb) {
+  if (!opts_.use_sessions) {
+    return EnumerateMinimalProjectionsFresh(pqz, cap, cb);
+  }
+  oracle::SatSession* s = session();
+  oracle::ProjectionStream* stream = proj_store_.GetStream(pqz);
+  int emitted = 0;
+  // Replay the memoized prefix: zero SAT calls.
+  for (const Interpretation& proj : stream->projections) {
+    if (cap >= 0 && emitted >= cap) return emitted;
+    ++emitted;
+    ++stats_.models_enumerated;
+    ++s->stats().projections_replayed;
+    if (!cb(proj)) return emitted;
+  }
+  if (stream->exhausted) return emitted;
+  // Resume discovery on the stream's persistent context, whose guarded
+  // region blocks are exactly the projections replayed above.
+  if (!stream->ctx) {
+    stream->ctx = std::make_unique<oracle::SatSession::Context>(s);
+  }
+  for (;;) {
+    if (cap >= 0 && emitted >= cap) break;
+    SolveResult r = stream->ctx->Solve();
+    ++stats_.sat_calls;
+    if (r != SolveResult::kSat) {
+      stream->exhausted = true;
+      break;
+    }
+    Interpretation m = s->Model(db_.num_vars());
+    Interpretation mm = Minimize(m, pqz);
+    // Record the projection and its block BEFORE consulting the consumer,
+    // so the stream stays consistent even on early exit.
+    stream->projections.push_back(mm);
+    ++s->stats().projections_discovered;
+    std::vector<Lit> block = RegionBlockClause(mm, pqz);
+    if (block.empty()) {
+      stream->exhausted = true;  // region = everything
+    } else {
+      stream->ctx->AddClause(std::move(block));
+    }
+    ++emitted;
+    ++stats_.models_enumerated;
+    if (!cb(mm)) break;
+    if (stream->exhausted) break;
+  }
+  return emitted;
+}
+
+int MinimalEngine::EnumerateAllMinimalModels(
+    const Partition& pqz, int64_t cap,
+    const std::function<bool(const Interpretation&)>& cb) {
+  if (!opts_.use_sessions) return EnumerateAllMinimalModelsFresh(pqz, cap, cb);
+  // Outer loop over (memoized) minimal projections; inner loop over
+  // Z-completions in a per-projection guarded context.
+  oracle::SatSession* s = session();
+  int emitted = 0;
+  bool stop = false;
+  EnumerateMinimalProjections(
+      pqz, /*cap=*/-1, [&](const Interpretation& proj) {
+        oracle::SatSession::Context ctx(s);
+        const std::vector<Lit> fixed = ProjectionAssumptions(proj, pqz);
+        for (;;) {
+          if (cap >= 0 && emitted >= cap) {
+            stop = true;
+            break;
+          }
+          SolveResult r = ctx.Solve(fixed);
+          ++stats_.sat_calls;
+          if (r != SolveResult::kSat) break;
+          Interpretation m = s->Model(db_.num_vars());
+          ++emitted;
+          ++stats_.models_enumerated;
+          if (!cb(m)) {
+            stop = true;
+            break;
+          }
+          // Exclude exactly this Z-completion.
+          std::vector<Lit> diff;
+          for (Var v = 0; v < db_.num_vars(); ++v) {
+            if (pqz.z.Contains(v)) {
+              diff.push_back(m.Contains(v) ? Lit::Neg(v) : Lit::Pos(v));
+            }
+          }
+          if (diff.empty()) break;  // no Z atoms: one completion only
+          ctx.AddClause(std::move(diff));
+        }
+        return !stop;
+      });
+  return emitted;
+}
+
+bool MinimalEngine::MinimalEntails(const Formula& f, const Partition& pqz,
+                                   Interpretation* counterexample) {
+  if (!opts_.use_sessions) return MinimalEntailsFresh(f, pqz, counterexample);
+  // Counterexample search: a <P;Z>-minimal model of DB violating F. The
+  // Tseitin encoding, the ¬F unit and the region blocks all live in one
+  // guarded context and vanish together when the query ends.
+  oracle::SatSession* s = session();
+  oracle::SatSession::Context ctx(s);
+  Var next = s->next_var();
+  std::vector<std::vector<Lit>> fcnf;
+  Lit fl = TseitinEncode(f, &next, &fcnf);
+  s->ReserveVars(next);
+  for (auto& cl : fcnf) ctx.AddClause(std::move(cl));
+  ctx.AddUnit(~fl);  // assert ~F
+
+  for (;;) {
+    ++stats_.cegar_iterations;
+    SolveResult r = ctx.Solve();
+    ++stats_.sat_calls;
+    if (r != SolveResult::kSat) return true;  // no candidate remains
+    Interpretation m = s->Model(db_.num_vars());
+    if (IsMinimal(m, pqz)) {
+      if (counterexample != nullptr) *counterexample = m;
+      return false;  // m is a minimal model with ~F
+    }
+    Interpretation mm = Minimize(m, pqz);
+    // Does any model sharing mm's minimal projection violate F? Such a
+    // model is itself minimal (minimality depends only on the projection).
+    // The probe reuses this very context: fixing the (P,Q)-projection to
+    // mm's values satisfies every asserted region block outright (mm was
+    // minimized from a candidate that avoided them), so the blocks cannot
+    // constrain the probe and the answer matches a block-free solver.
+    SolveResult pr = ctx.Solve(ProjectionAssumptions(mm, pqz));
+    ++stats_.sat_calls;
+    if (pr == SolveResult::kSat) {
+      if (counterexample != nullptr) *counterexample = s->Model(db_.num_vars());
+      return false;
+    }
+    // No minimal counterexample in this region: exclude the region.
+    std::vector<Lit> block = RegionBlockClause(mm, pqz);
+    if (block.empty()) return true;
+    ctx.AddClause(std::move(block));
+  }
+}
+
+bool MinimalEngine::ExistsMinimalModelWith(Lit lit, const Partition& pqz,
+                                           Interpretation* witness) {
+  if (!opts_.use_sessions) return ExistsMinimalModelWithFresh(lit, pqz, witness);
+  oracle::SatSession* s = session();
+  oracle::SatSession::Context ctx(s);
+  ctx.AddUnit(lit);
+  for (;;) {
+    ++stats_.cegar_iterations;
+    SolveResult r = ctx.Solve();
+    ++stats_.sat_calls;
+    if (r != SolveResult::kSat) return false;
+    Interpretation m = s->Model(db_.num_vars());
+    if (IsMinimal(m, pqz)) {
+      if (witness != nullptr) *witness = m;
+      return true;
+    }
+    Interpretation mm = Minimize(m, pqz);
+    // Some model with mm's projection satisfying lit would be minimal; the
+    // probe reuses this context (region blocks are vacuous under the
+    // projection pins, see MinimalEntails).
+    SolveResult pr = ctx.Solve(ProjectionAssumptions(mm, pqz));
+    ++stats_.sat_calls;
+    if (pr == SolveResult::kSat) {
+      if (witness != nullptr) *witness = s->Model(db_.num_vars());
+      return true;
+    }
+    std::vector<Lit> block = RegionBlockClause(mm, pqz);
+    if (block.empty()) return false;
+    ctx.AddClause(std::move(block));
+  }
+}
+
+Interpretation MinimalEngine::FreeAtoms(const Partition& pqz) {
+  const int n = db_.num_vars();
+  Interpretation free(n);
+  Interpretation determined(n);
+  // Atoms never mentioned in a head cannot be true in a minimal model when
+  // they are minimized; quick syntactic pre-pass.
+  Interpretation in_heads(n);
+  for (const Clause& c : db_.clauses()) {
+    for (Var v : c.heads()) in_heads.Insert(v);
+  }
+  for (Var v = 0; v < n; ++v) {
+    if (!pqz.p.Contains(v)) {
+      determined.Insert(v);  // only P-atoms are classified
+      continue;
+    }
+    if (!in_heads.Contains(v) && db_.IsDeductive()) {
+      // In a DDDB, minimized atoms can only be supported through heads.
+      determined.Insert(v);
+    }
+  }
+  for (Var v = 0; v < n; ++v) {
+    if (determined.Contains(v)) continue;
+    Interpretation witness;
+    bool is_free = ExistsMinimalModelWith(Lit::Pos(v), pqz, &witness);
+    determined.Insert(v);
+    if (is_free) {
+      // The witness settles all of its true P-atoms at once.
+      for (Var w : witness.TrueAtoms()) {
+        if (pqz.p.Contains(w)) {
+          free.Insert(w);
+          determined.Insert(w);
+        }
+      }
+      free.Insert(v);
+    }
+  }
+  return free;
+}
+
+// ---------------------------------------------------------------------------
+// Query: one mode-transparent oracle call "DB plus a few extras".
+// ---------------------------------------------------------------------------
+
+MinimalEngine::Query::Query(MinimalEngine* engine) : engine_(engine) {
+  if (engine_->opts_.use_sessions) {
+    ctx_ = std::make_unique<oracle::SatSession::Context>(engine_->session());
+  } else {
+    fresh_ = std::make_unique<sat::Solver>();
+    LoadDb(engine_->db_, fresh_.get());
+  }
+}
+
+void MinimalEngine::Query::AddClause(std::vector<Lit> lits) {
+  if (ctx_) {
+    ctx_->AddClause(std::move(lits));
+  } else {
+    fresh_->AddClause(std::move(lits));
+  }
+}
+
+void MinimalEngine::Query::AddUnit(Lit l) {
+  if (ctx_) {
+    // Units ride as assumptions: no clause garbage, and FailedAssumptions
+    // keeps working for callers that inspect it.
+    units_.push_back(l);
+  } else {
+    fresh_->AddUnit(l);
+  }
+}
+
+Var MinimalEngine::Query::NextVar() const {
+  if (ctx_) return engine_->session_->next_var();
+  Var solver_next = static_cast<Var>(fresh_->num_vars());
+  Var db_next = static_cast<Var>(engine_->db_.num_vars());
+  return std::max(solver_next, db_next);
+}
+
+void MinimalEngine::Query::ReserveVars(Var next) {
+  if (ctx_) {
+    engine_->session_->ReserveVars(next);
+  } else {
+    fresh_->EnsureVars(next);
+  }
+}
+
+sat::SolveResult MinimalEngine::Query::Solve(
+    const std::vector<Lit>& extra_assumptions) {
+  ++engine_->stats_.sat_calls;
+  if (ctx_) {
+    assumptions_ = units_;
+    assumptions_.insert(assumptions_.end(), extra_assumptions.begin(),
+                        extra_assumptions.end());
+    return ctx_->Solve(assumptions_);
+  }
+  return fresh_->Solve(extra_assumptions);
+}
+
+Interpretation MinimalEngine::Query::Model(int n) const {
+  if (ctx_) return engine_->session_->Model(n);
+  return fresh_->Model(n);
+}
+
+// ---------------------------------------------------------------------------
+// Fresh-solver (pre-session) implementations: the --no-sessions baseline,
+// preserved verbatim from the original engine.
+// ---------------------------------------------------------------------------
+
+bool MinimalEngine::HasModelFresh() {
   Solver s;
   LoadDb(db_, &s);
   SolveResult r = s.Solve();
@@ -64,7 +514,7 @@ bool MinimalEngine::HasModel() {
   return r == SolveResult::kSat;
 }
 
-std::optional<Interpretation> MinimalEngine::FindModel() {
+std::optional<Interpretation> MinimalEngine::FindModelFresh() {
   Solver s;
   LoadDb(db_, &s);
   SolveResult r = s.Solve();
@@ -73,7 +523,8 @@ std::optional<Interpretation> MinimalEngine::FindModel() {
   return s.Model(db_.num_vars());
 }
 
-bool MinimalEngine::IsMinimal(const Interpretation& m, const Partition& pqz) {
+bool MinimalEngine::IsMinimalFresh(const Interpretation& m,
+                                   const Partition& pqz) {
   if (!IsModel(m)) return false;
   // Search a model strictly below m in the <P;Z> preorder: Q fixed to m's
   // values, every P-atom false in m stays false, some P-atom true in m
@@ -103,8 +554,8 @@ bool MinimalEngine::IsMinimal(const Interpretation& m, const Partition& pqz) {
   return r == SolveResult::kUnsat;
 }
 
-Interpretation MinimalEngine::Minimize(const Interpretation& m,
-                                       const Partition& pqz) {
+Interpretation MinimalEngine::MinimizeFresh(const Interpretation& m,
+                                            const Partition& pqz) {
   DD_CHECK(IsModel(m));
   ++stats_.minimizations;
   Interpretation cur = m;
@@ -142,7 +593,7 @@ Interpretation MinimalEngine::Minimize(const Interpretation& m,
   return cur;
 }
 
-int MinimalEngine::EnumerateMinimalProjections(
+int MinimalEngine::EnumerateMinimalProjectionsFresh(
     const Partition& pqz, int64_t cap,
     const std::function<bool(const Interpretation&)>& cb) {
   Solver s;
@@ -163,7 +614,7 @@ int MinimalEngine::EnumerateMinimalProjections(
   return emitted;
 }
 
-int MinimalEngine::EnumerateAllMinimalModels(
+int MinimalEngine::EnumerateAllMinimalModelsFresh(
     const Partition& pqz, int64_t cap,
     const std::function<bool(const Interpretation&)>& cb) {
   // Outer loop over minimal projections; inner loop over Z-completions.
@@ -205,8 +656,8 @@ int MinimalEngine::EnumerateAllMinimalModels(
   return emitted;
 }
 
-bool MinimalEngine::MinimalEntails(const Formula& f, const Partition& pqz,
-                                   Interpretation* counterexample) {
+bool MinimalEngine::MinimalEntailsFresh(const Formula& f, const Partition& pqz,
+                                        Interpretation* counterexample) {
   // Counterexample search: a <P;Z>-minimal model of DB violating F.
   Solver s;
   LoadDb(db_, &s);
@@ -260,8 +711,8 @@ bool MinimalEngine::MinimalEntails(const Formula& f, const Partition& pqz,
   }
 }
 
-bool MinimalEngine::ExistsMinimalModelWith(Lit lit, const Partition& pqz,
-                                           Interpretation* witness) {
+bool MinimalEngine::ExistsMinimalModelWithFresh(Lit lit, const Partition& pqz,
+                                                Interpretation* witness) {
   Solver s;
   LoadDb(db_, &s);
   s.AddUnit(lit);
@@ -297,45 +748,6 @@ bool MinimalEngine::ExistsMinimalModelWith(Lit lit, const Partition& pqz,
       return false;
     }
   }
-}
-
-Interpretation MinimalEngine::FreeAtoms(const Partition& pqz) {
-  const int n = db_.num_vars();
-  Interpretation free(n);
-  Interpretation determined(n);
-  // Atoms never mentioned in a head cannot be true in a minimal model when
-  // they are minimized; quick syntactic pre-pass.
-  Interpretation in_heads(n);
-  for (const Clause& c : db_.clauses()) {
-    for (Var v : c.heads()) in_heads.Insert(v);
-  }
-  for (Var v = 0; v < n; ++v) {
-    if (!pqz.p.Contains(v)) {
-      determined.Insert(v);  // only P-atoms are classified
-      continue;
-    }
-    if (!in_heads.Contains(v) && db_.IsDeductive()) {
-      // In a DDDB, minimized atoms can only be supported through heads.
-      determined.Insert(v);
-    }
-  }
-  for (Var v = 0; v < n; ++v) {
-    if (determined.Contains(v)) continue;
-    Interpretation witness;
-    bool is_free = ExistsMinimalModelWith(Lit::Pos(v), pqz, &witness);
-    determined.Insert(v);
-    if (is_free) {
-      // The witness settles all of its true P-atoms at once.
-      for (Var w : witness.TrueAtoms()) {
-        if (pqz.p.Contains(w)) {
-          free.Insert(w);
-          determined.Insert(w);
-        }
-      }
-      free.Insert(v);
-    }
-  }
-  return free;
 }
 
 }  // namespace dd

@@ -17,10 +17,9 @@ UminsatResult UniqueMinimalModel(MinimalEngine* engine) {
   out.witness = m;
 
   // m is the unique minimal model iff every model contains m: a model N
-  // with N ⊉ m minimizes to a minimal model ⊆ N, which cannot be m.
-  sat::Solver s;
-  s.EnsureVars(db.num_vars());
-  for (const auto& cl : db.ToCnf()) s.AddClause(cl);
+  // with N ⊉ m minimizes to a minimal model ⊆ N, which cannot be m. The
+  // not-superset check is one oracle call "DB plus one clause", routed
+  // mode-transparently through the engine.
   std::vector<Lit> not_superset;
   for (Var v : m.TrueAtoms()) not_superset.push_back(Lit::Neg(v));
   if (not_superset.empty()) {
@@ -28,9 +27,10 @@ UminsatResult UniqueMinimalModel(MinimalEngine* engine) {
     out.unique = true;
     return out;
   }
-  s.AddClause(std::move(not_superset));
-  if (s.Solve() == sat::SolveResult::kSat) {
-    Interpretation n = s.Model(db.num_vars());
+  MinimalEngine::Query q(engine);
+  q.AddClause(std::move(not_superset));
+  if (q.Solve() == sat::SolveResult::kSat) {
+    Interpretation n = q.Model(db.num_vars());
     out.unique = false;
     out.second = engine->Minimize(n, all);
   } else {

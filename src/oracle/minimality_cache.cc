@@ -1,0 +1,76 @@
+#include "oracle/minimality_cache.h"
+
+namespace dd {
+namespace oracle {
+
+namespace {
+
+bool SamePartition(const Partition& a, const Partition& b) {
+  return a.p == b.p && a.q == b.q && a.z == b.z;
+}
+
+}  // namespace
+
+Interpretation MinimalityCache::MaskPQ(const Interpretation& m,
+                                       const Partition& pqz) {
+  Interpretation out(pqz.num_vars());
+  for (Var v : m.TrueAtoms()) {
+    if (v < pqz.num_vars() && (pqz.p.Contains(v) || pqz.q.Contains(v))) {
+      out.Insert(v);
+    }
+  }
+  return out;
+}
+
+MinimalityCache::Shard* MinimalityCache::GetShard(const Partition& pqz) {
+  for (Shard& s : shards_) {
+    if (SamePartition(s.pqz, pqz)) return &s;
+  }
+  shards_.push_back(Shard{pqz, {}, {}});
+  return &shards_.back();
+}
+
+std::optional<bool> MinimalityCache::LookupVerdict(
+    const Partition& pqz, const Interpretation& masked) {
+  Shard* s = GetShard(pqz);
+  auto it = s->verdicts.find(masked);
+  if (it == s->verdicts.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void MinimalityCache::StoreVerdict(const Partition& pqz,
+                                   const Interpretation& masked,
+                                   bool minimal) {
+  GetShard(pqz)->verdicts.insert_or_assign(masked, minimal);
+}
+
+std::optional<Interpretation> MinimalityCache::LookupMinimized(
+    const Partition& pqz, const Interpretation& masked) {
+  Shard* s = GetShard(pqz);
+  auto it = s->minimized.find(masked);
+  if (it == s->minimized.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void MinimalityCache::StoreMinimized(const Partition& pqz,
+                                     const Interpretation& masked,
+                                     const Interpretation& minimal_model) {
+  GetShard(pqz)->minimized.insert_or_assign(masked, minimal_model);
+}
+
+void MinimalityCache::Clear() {
+  shards_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace oracle
+}  // namespace dd

@@ -1,0 +1,74 @@
+// Memoized minimality verdicts and minimization certificates.
+//
+// The structural fact this cache exploits (minimal/minimal_models.h):
+// whether a model M is <P;Z>-minimal depends ONLY on its (P,Q)-projection,
+// because the <P;Z> preorder fixes Q and ignores Z. The cache is therefore
+// keyed on masked interpretations M ∩ (P ∪ Q), and one entry answers the
+// minimality question for every Z-completion of the projection at once.
+//
+// Minimize() results are cached under the same key: the minimization
+// constraints (Q pinned, absent P-atoms pinned false, strictly-smaller
+// clauses) mention only P- and Q-atoms, so the cached result is a genuine
+// <P;Z>-minimal model below every M sharing the masked key. See
+// docs/ORACLE.md for the full soundness argument.
+//
+// Entries are grouped into per-partition shards compared by full bitset
+// equality — never by hash — so distinct partitions can never alias.
+#ifndef DD_ORACLE_MINIMALITY_CACHE_H_
+#define DD_ORACLE_MINIMALITY_CACHE_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "logic/interpretation.h"
+#include "minimal/pqz.h"
+
+namespace dd {
+namespace oracle {
+
+/// Per-engine memo of minimal-model verdicts and certificates.
+class MinimalityCache {
+ public:
+  /// M ∩ (P ∪ Q): the canonical cache key for `m` under `pqz`.
+  static Interpretation MaskPQ(const Interpretation& m, const Partition& pqz);
+
+  /// Cached IsMinimal verdict for the masked projection, if known.
+  std::optional<bool> LookupVerdict(const Partition& pqz,
+                                    const Interpretation& masked);
+  void StoreVerdict(const Partition& pqz, const Interpretation& masked,
+                    bool minimal);
+
+  /// Cached Minimize() certificate (a <P;Z>-minimal model) for models with
+  /// the masked projection, if known.
+  std::optional<Interpretation> LookupMinimized(const Partition& pqz,
+                                                const Interpretation& masked);
+  void StoreMinimized(const Partition& pqz, const Interpretation& masked,
+                      const Interpretation& minimal_model);
+
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+
+  void Clear();
+
+ private:
+  struct Shard {
+    Partition pqz;
+    std::unordered_map<Interpretation, bool> verdicts;
+    std::unordered_map<Interpretation, Interpretation> minimized;
+  };
+
+  /// Finds (or creates) the shard for `pqz` by full bitset equality; the
+  /// number of distinct partitions per engine is tiny (typically 1).
+  Shard* GetShard(const Partition& pqz);
+
+  std::vector<Shard> shards_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace oracle
+}  // namespace dd
+
+#endif  // DD_ORACLE_MINIMALITY_CACHE_H_

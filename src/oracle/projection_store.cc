@@ -1,0 +1,19 @@
+#include "oracle/projection_store.h"
+
+namespace dd {
+namespace oracle {
+
+ProjectionStream* ProjectionStore::GetStream(const Partition& pqz) {
+  for (auto& s : streams_) {
+    if (s->pqz.p == pqz.p && s->pqz.q == pqz.q && s->pqz.z == pqz.z) {
+      return s.get();
+    }
+  }
+  auto stream = std::make_unique<ProjectionStream>();
+  stream->pqz = pqz;
+  streams_.push_back(std::move(stream));
+  return streams_.back().get();
+}
+
+}  // namespace oracle
+}  // namespace dd

@@ -1,0 +1,59 @@
+// Memoized minimal-projection streams: blocking-clause reuse across
+// successive enumeration calls.
+//
+// EnumerateMinimalProjections is the workhorse inside the Σ₂ᵖ oracle of
+// the paper's counting algorithm (Section 3.1): the binary search calls it
+// O(log n) times over the SAME database and partition, each time from
+// scratch in the fresh-solver regime. A ProjectionStream instead records
+// the projections in their discovery order together with the session
+// context holding their region-blocking clauses; later calls replay the
+// memoized prefix with zero SAT calls and, only if the consumer wants
+// more, resume the persistent context exactly where the last call stopped.
+//
+// The stream order is well-defined because enumeration is deterministic:
+// the k-th projection is a function of the database, the partition, and
+// the k-1 blocks already asserted — independent of which oracle call
+// happened to discover it.
+#ifndef DD_ORACLE_PROJECTION_STORE_H_
+#define DD_ORACLE_PROJECTION_STORE_H_
+
+#include <memory>
+#include <vector>
+
+#include "logic/interpretation.h"
+#include "minimal/pqz.h"
+#include "oracle/sat_session.h"
+
+namespace dd {
+namespace oracle {
+
+/// One partition's memoized enumeration state.
+struct ProjectionStream {
+  Partition pqz;
+  /// Minimal projections in discovery order (each is a full model; its
+  /// (P,Q)-projection is the canonical datum).
+  std::vector<Interpretation> projections;
+  /// True once the region blocks cover the whole model space.
+  bool exhausted = false;
+  /// Persistent context guarding the region-blocking clauses; kept alive
+  /// for the life of the stream so resumption is incremental.
+  std::unique_ptr<SatSession::Context> ctx;
+};
+
+/// Per-engine registry of streams, one per partition (full bitset
+/// equality, never hashed).
+class ProjectionStore {
+ public:
+  /// Finds or creates the stream for `pqz`.
+  ProjectionStream* GetStream(const Partition& pqz);
+
+  void Clear() { streams_.clear(); }
+
+ private:
+  std::vector<std::unique_ptr<ProjectionStream>> streams_;
+};
+
+}  // namespace oracle
+}  // namespace dd
+
+#endif  // DD_ORACLE_PROJECTION_STORE_H_

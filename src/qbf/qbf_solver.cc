@@ -11,66 +11,69 @@ using sat::SolveResult;
 using sat::Solver;
 }  // namespace
 
-Result<bool> SolveForallExists(const QbfForallExistsCnf& q,
-                               Interpretation* counterexample,
-                               QbfStats* stats) {
-  DD_RETURN_IF_ERROR(q.Validate());
-  QbfStats local;
-  QbfStats* st = stats != nullptr ? stats : &local;
-
-  Interpretation is_existential(q.num_vars);
-  for (Var v : q.existential) is_existential.Insert(v);
-
-  // Verification solver: the matrix, queried under X-assumptions.
-  Solver verify;
-  verify.EnsureVars(q.num_vars);
-  for (const auto& cl : q.clauses) verify.AddClause(cl);
-
+QbfCegarSession::QbfCegarSession(const QbfForallExistsCnf& q)
+    : q_(q), validate_(q.Validate()), is_existential_(q.num_vars) {
+  if (!validate_.ok()) return;
+  for (Var v : q_.existential) is_existential_.Insert(v);
+  // Verification solver: the matrix, loaded once, queried under
+  // X-assumptions for the rest of the session's life.
+  verify_.EnsureVars(q_.num_vars);
+  for (const auto& cl : q_.clauses) verify_.AddClause(cl.data(), cl.size());
   // Abstraction solver over X (selector variables are appended above the
   // matrix variables).
-  Solver abstract;
-  abstract.EnsureVars(q.num_vars);
-  Var next_selector = static_cast<Var>(q.num_vars);
+  abstract_.EnsureVars(q_.num_vars);
+  next_selector_ = static_cast<Var>(q_.num_vars);
+}
 
+Result<bool> QbfCegarSession::Solve(Interpretation* counterexample) {
+  DD_RETURN_IF_ERROR(validate_);
+  if (result_.has_value()) {
+    // Memoized verdict: replay with zero SAT calls.
+    if (!*result_ && counterexample != nullptr) {
+      *counterexample = counterexample_;
+    }
+    return *result_;
+  }
   for (;;) {
-    ++st->candidate_calls;
-    SolveResult ar = abstract.Solve();
+    ++stats_.candidate_calls;
+    SolveResult ar = abstract_.Solve();
     DD_CHECK(ar != SolveResult::kUnknown);
     if (ar == SolveResult::kUnsat) {
       // Every X-assignment has been certified to have a completion.
+      result_ = true;
       return true;
     }
-    Interpretation cand = abstract.Model(q.num_vars);
+    Interpretation cand = abstract_.Model(q_.num_vars);
 
     std::vector<Lit> assumptions;
-    assumptions.reserve(q.universal.size());
-    for (Var v : q.universal) {
+    assumptions.reserve(q_.universal.size());
+    for (Var v : q_.universal) {
       assumptions.push_back(Lit::Make(v, cand.Contains(v)));
     }
-    ++st->verification_calls;
-    SolveResult vr = verify.Solve(assumptions);
+    ++stats_.verification_calls;
+    SolveResult vr = verify_.Solve(assumptions);
     DD_CHECK(vr != SolveResult::kUnknown);
     if (vr == SolveResult::kUnsat) {
-      if (counterexample != nullptr) {
-        Interpretation ce(q.num_vars);
-        for (Var v : q.universal) {
-          if (cand.Contains(v)) ce.Insert(v);
-        }
-        *counterexample = ce;
+      Interpretation ce(q_.num_vars);
+      for (Var v : q_.universal) {
+        if (cand.Contains(v)) ce.Insert(v);
       }
+      counterexample_ = ce;
+      if (counterexample != nullptr) *counterexample = ce;
+      result_ = false;
       return false;
     }
-    Interpretation y = verify.Model(q.num_vars);
+    Interpretation y = verify_.Model(q_.num_vars);
 
     // Refine: exclude every X for which the found Y-assignment works, i.e.
     // assert that some clause is falsified once Y := y.
-    ++st->refinements;
+    ++stats_.refinements;
     std::vector<Lit> some_violated;
     bool all_clauses_satisfied_by_y = true;
-    for (const auto& cl : q.clauses) {
+    for (const auto& cl : q_.clauses) {
       bool sat_by_y = false;
       for (Lit l : cl) {
-        if (is_existential.Contains(l.var()) && y.Satisfies(l)) {
+        if (is_existential_.Contains(l.var()) && y.Satisfies(l)) {
           sat_by_y = true;
           break;
         }
@@ -79,21 +82,35 @@ Result<bool> SolveForallExists(const QbfForallExistsCnf& q,
       all_clauses_satisfied_by_y = false;
       // The clause survives with its universal part; a fresh selector
       // asserts "this clause is violated".
-      Var sel = next_selector++;
-      abstract.EnsureVars(sel + 1);
+      Var sel = next_selector_++;
+      abstract_.EnsureVars(sel + 1);
       for (Lit l : cl) {
-        if (!is_existential.Contains(l.var())) {
-          abstract.AddBinary(Lit::Neg(sel), ~l);
+        if (!is_existential_.Contains(l.var())) {
+          abstract_.AddBinary(Lit::Neg(sel), ~l);
         }
       }
       some_violated.push_back(Lit::Pos(sel));
     }
     if (all_clauses_satisfied_by_y) {
       // y satisfies the whole matrix on its own: valid for every X.
+      result_ = true;
       return true;
     }
-    abstract.AddClause(std::move(some_violated));
+    abstract_.AddClause(std::move(some_violated));
   }
+}
+
+Result<bool> SolveForallExists(const QbfForallExistsCnf& q,
+                               Interpretation* counterexample,
+                               QbfStats* stats) {
+  QbfCegarSession session(q);
+  DD_ASSIGN_OR_RETURN(bool valid, session.Solve(counterexample));
+  if (stats != nullptr) {
+    stats->candidate_calls += session.stats().candidate_calls;
+    stats->verification_calls += session.stats().verification_calls;
+    stats->refinements += session.stats().refinements;
+  }
+  return valid;
 }
 
 Result<bool> SolveExistsForall(const QbfExistsForallDnf& q,

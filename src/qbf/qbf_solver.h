@@ -14,6 +14,7 @@
 
 #include "logic/interpretation.h"
 #include "qbf/qbf.h"
+#include "sat/solver.h"
 #include "util/status.h"
 
 namespace dd {
@@ -23,6 +24,41 @@ struct QbfStats {
   int64_t candidate_calls = 0;     ///< SAT calls on the abstraction
   int64_t verification_calls = 0;  ///< SAT calls on the matrix
   int64_t refinements = 0;
+};
+
+/// A persistent CEGAR engine for one ∀X∃Yφ instance.
+///
+/// The abstraction and verification solvers follow the same session
+/// discipline as src/oracle/sat_session.h: the matrix is loaded once, both
+/// solvers stay hot across the refinement loop, and the final verdict (plus
+/// counterexample) is memoized so repeated Solve() calls on the same
+/// instance replay without SAT calls. The free functions below are
+/// single-shot wrappers over this class.
+class QbfCegarSession {
+ public:
+  explicit QbfCegarSession(const QbfForallExistsCnf& q);
+
+  /// Decides validity; memoized after the first call. On invalidity,
+  /// `counterexample` (if non-null) receives an X-assignment with no
+  /// Y-completion (Y-part zero).
+  Result<bool> Solve(Interpretation* counterexample = nullptr);
+
+  /// Cumulative CEGAR accounting (frozen once the verdict is memoized).
+  const QbfStats& stats() const { return stats_; }
+
+  /// True once a verdict is memoized (later Solve()s are free).
+  bool solved() const { return result_.has_value(); }
+
+ private:
+  QbfForallExistsCnf q_;
+  Status validate_;
+  Interpretation is_existential_;
+  sat::Solver verify_;    ///< the matrix, queried under X-assumptions
+  sat::Solver abstract_;  ///< over X, refined with violation selectors
+  Var next_selector_;
+  QbfStats stats_;
+  std::optional<bool> result_;
+  Interpretation counterexample_;
 };
 
 /// Decides validity of ∀X∃Yφ. If invalid and `counterexample` is non-null,

@@ -50,15 +50,22 @@ void Solver::EnsureVars(int n) {
 }
 
 void Solver::AddClause(std::vector<Lit> lits) {
+  AddClause(lits.data(), lits.size());
+}
+
+void Solver::AddClause(const Lit* lits, size_t n) {
   DD_CHECK(DecisionLevel() == 0);
   if (!ok_) return;
-  for (Lit l : lits) EnsureVars(l.var() + 1);
+  // Copy into the reusable scratch buffer: bulk load paths (session base
+  // loads, guarded-context clauses) then pay no per-clause allocation.
+  add_buf_.assign(lits, lits + n);
+  for (Lit l : add_buf_) EnsureVars(l.var() + 1);
 
   // Simplify against the level-0 assignment; drop tautologies/duplicates.
-  std::sort(lits.begin(), lits.end());
+  std::sort(add_buf_.begin(), add_buf_.end());
   std::vector<Lit> out;
   Lit prev;
-  for (Lit l : lits) {
+  for (Lit l : add_buf_) {
     if (l == prev) continue;
     if (prev.valid() && l == ~prev) return;  // tautology
     uint8_t v = ValueLit(l);

@@ -57,6 +57,12 @@ class Solver {
   /// Tautologies are dropped; duplicate literals are merged.
   void AddClause(std::vector<Lit> lits);
 
+  /// Span-style overload for hot load paths: copies the literals into a
+  /// reusable internal buffer, so bulk loaders (sessions re-adding a whole
+  /// database CNF, guarded-context clause injection) do not allocate one
+  /// vector per clause.
+  void AddClause(const Lit* lits, size_t n);
+
   /// Convenience for unit/binary/ternary clauses.
   void AddUnit(Lit a) { AddClause({a}); }
   void AddBinary(Lit a, Lit b) { AddClause({a, b}); }
@@ -147,6 +153,7 @@ class Solver {
   std::vector<int> trail_lim_;
   size_t qhead_ = 0;
 
+  std::vector<Lit> add_buf_;    // reusable AddClause scratch
   std::vector<Lit> conflict_;   // failed assumptions
   std::vector<uint8_t> seen_;   // per var scratch for Analyze
   std::vector<Lit> analyze_toclear_;

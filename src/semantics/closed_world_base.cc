@@ -1,5 +1,7 @@
 #include "semantics/closed_world_base.h"
 
+#include <utility>
+
 #include "sat/solver.h"
 #include "util/string_util.h"
 
@@ -7,7 +9,7 @@ namespace dd {
 
 ClosedWorldSemantics::ClosedWorldSemantics(const Database& db,
                                            const SemanticsOptions& opts)
-    : db_(db), opts_(opts), engine_(db) {}
+    : db_(db), opts_(opts), engine_(db, opts.minimal_options()) {}
 
 Result<Interpretation> ClosedWorldSemantics::NegatedAtoms() {
   if (!negs_.has_value()) {
@@ -19,69 +21,53 @@ Result<Interpretation> ClosedWorldSemantics::NegatedAtoms() {
 
 Result<bool> ClosedWorldSemantics::InfersFormula(const Formula& f) {
   DD_ASSIGN_OR_RETURN(Interpretation negs, NegatedAtoms());
-  sat::Solver s;
-  s.EnsureVars(db_.num_vars());
-  for (const auto& cl : db_.ToCnf()) s.AddClause(cl);
-  for (Var v : negs.TrueAtoms()) s.AddUnit(Lit::Neg(v));
-  Var next = static_cast<Var>(db_.num_vars());
+  // One oracle call on DB ∪ N ∪ Tseitin(¬F): mode-transparently either a
+  // guarded context on the engine's session or a dedicated solver.
+  MinimalEngine::Query q(&engine_);
+  for (Var v : negs.TrueAtoms()) q.AddUnit(Lit::Neg(v));
+  Var next = q.NextVar();
   std::vector<std::vector<Lit>> fcnf;
   Lit fl = TseitinEncode(f, &next, &fcnf);
-  s.EnsureVars(next);
-  for (auto& cl : fcnf) s.AddClause(std::move(cl));
-  s.AddUnit(~fl);
-  bool unsat = s.Solve() == sat::SolveResult::kUnsat;
-  MinimalStats ms;
-  ms.sat_calls = s.stats().solve_calls;
-  engine_.AbsorbStats(ms);
-  return unsat;
+  q.ReserveVars(next);
+  for (auto& cl : fcnf) q.AddClause(std::move(cl));
+  q.AddUnit(~fl);
+  return q.Solve() == sat::SolveResult::kUnsat;
 }
 
 Result<std::optional<Interpretation>> ClosedWorldSemantics::FindCounterexample(
     const Formula& f) {
   DD_ASSIGN_OR_RETURN(Interpretation negs, NegatedAtoms());
-  sat::Solver s;
-  s.EnsureVars(db_.num_vars());
-  for (const auto& cl : db_.ToCnf()) s.AddClause(cl);
-  for (Var v : negs.TrueAtoms()) s.AddUnit(Lit::Neg(v));
-  Var next = static_cast<Var>(db_.num_vars());
+  MinimalEngine::Query q(&engine_);
+  for (Var v : negs.TrueAtoms()) q.AddUnit(Lit::Neg(v));
+  Var next = q.NextVar();
   std::vector<std::vector<Lit>> fcnf;
   Lit fl = TseitinEncode(f, &next, &fcnf);
-  s.EnsureVars(next);
-  for (auto& cl : fcnf) s.AddClause(std::move(cl));
-  s.AddUnit(~fl);
-  bool sat = s.Solve() == sat::SolveResult::kSat;
-  MinimalStats ms;
-  ms.sat_calls = s.stats().solve_calls;
-  engine_.AbsorbStats(ms);
-  if (!sat) return std::optional<Interpretation>();
-  return std::optional<Interpretation>(s.Model(db_.num_vars()));
+  q.ReserveVars(next);
+  for (auto& cl : fcnf) q.AddClause(std::move(cl));
+  q.AddUnit(~fl);
+  if (q.Solve() != sat::SolveResult::kSat) {
+    return std::optional<Interpretation>();
+  }
+  return std::optional<Interpretation>(q.Model(db_.num_vars()));
 }
 
 Result<bool> ClosedWorldSemantics::HasModel() {
   DD_ASSIGN_OR_RETURN(Interpretation negs, NegatedAtoms());
-  sat::Solver s;
-  s.EnsureVars(db_.num_vars());
-  for (const auto& cl : db_.ToCnf()) s.AddClause(cl);
-  for (Var v : negs.TrueAtoms()) s.AddUnit(Lit::Neg(v));
-  bool sat = s.Solve() == sat::SolveResult::kSat;
-  MinimalStats ms;
-  ms.sat_calls = s.stats().solve_calls;
-  engine_.AbsorbStats(ms);
-  return sat;
+  MinimalEngine::Query q(&engine_);
+  for (Var v : negs.TrueAtoms()) q.AddUnit(Lit::Neg(v));
+  return q.Solve() == sat::SolveResult::kSat;
 }
 
 Result<std::vector<Interpretation>> ClosedWorldSemantics::Models(
     int64_t cap) {
   if (cap < 0) cap = opts_.max_models;
   DD_ASSIGN_OR_RETURN(Interpretation negs, NegatedAtoms());
-  sat::Solver s;
-  s.EnsureVars(db_.num_vars());
-  for (const auto& cl : db_.ToCnf()) s.AddClause(cl);
-  for (Var v : negs.TrueAtoms()) s.AddUnit(Lit::Neg(v));
+  MinimalEngine::Query q(&engine_);
+  for (Var v : negs.TrueAtoms()) q.AddUnit(Lit::Neg(v));
 
   std::vector<Interpretation> out;
-  while (s.Solve() == sat::SolveResult::kSat) {
-    Interpretation m = s.Model(db_.num_vars());
+  while (q.Solve() == sat::SolveResult::kSat) {
+    Interpretation m = q.Model(db_.num_vars());
     out.push_back(m);
     if (static_cast<int64_t>(out.size()) > cap) {
       return Status::ResourceExhausted(
@@ -93,11 +79,8 @@ Result<std::vector<Interpretation>> ClosedWorldSemantics::Models(
       block.push_back(m.Contains(v) ? Lit::Neg(v) : Lit::Pos(v));
     }
     if (block.empty()) break;
-    s.AddClause(std::move(block));
+    q.AddClause(std::move(block));
   }
-  MinimalStats ms;
-  ms.sat_calls = s.stats().solve_calls;
-  engine_.AbsorbStats(ms);
   return out;
 }
 

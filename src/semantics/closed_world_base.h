@@ -37,6 +37,10 @@ class ClosedWorldSemantics : public Semantics {
 
   const MinimalStats& stats() const override { return engine_.stats(); }
 
+  /// Session-reuse accounting of the underlying engine (all zero in
+  /// fresh-solver mode). The benches report cache_hits from here.
+  oracle::SessionStats session_stats() const { return engine_.session_stats(); }
+
  protected:
   /// Computes the set of atoms x whose ¬x joins the database.
   virtual Result<Interpretation> ComputeNegatedAtoms() = 0;

@@ -48,21 +48,20 @@ bool CounterexampleWithFreeCount(MinimalEngine* engine, const Partition& pqz,
         }
         return count < free_count;
       });
-  // SAT: DB ∧ {¬x : x ∈ P \ covered} ∧ ¬F.
+  // SAT: DB ∧ {¬x : x ∈ P \ covered} ∧ ¬F — one oracle call through the
+  // engine (a guarded session context, or a dedicated solver in fresh mode).
   const Database& db = engine->db();
-  sat::Solver s;
-  s.EnsureVars(db.num_vars());
-  for (const auto& cl : db.ToCnf()) s.AddClause(cl);
+  MinimalEngine::Query q(engine);
   for (Var v = 0; v < db.num_vars(); ++v) {
-    if (pqz.p.Contains(v) && !covered.Contains(v)) s.AddUnit(Lit::Neg(v));
+    if (pqz.p.Contains(v) && !covered.Contains(v)) q.AddUnit(Lit::Neg(v));
   }
-  Var next = static_cast<Var>(db.num_vars());
+  Var next = q.NextVar();
   std::vector<std::vector<Lit>> fcnf;
   Lit fl = TseitinEncode(f, &next, &fcnf);
-  s.EnsureVars(next);
-  for (auto& cl : fcnf) s.AddClause(std::move(cl));
-  s.AddUnit(~fl);
-  return s.Solve() == sat::SolveResult::kSat;
+  q.ReserveVars(next);
+  for (auto& cl : fcnf) q.AddClause(std::move(cl));
+  q.AddUnit(~fl);
+  return q.Solve() == sat::SolveResult::kSat;
 }
 
 }  // namespace

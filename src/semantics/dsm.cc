@@ -8,7 +8,7 @@ namespace dd {
 DsmSemantics::DsmSemantics(const Database& db, const SemanticsOptions& opts)
     : db_(db),
       opts_(opts),
-      engine_(db),
+      engine_(db, opts.minimal_options()),
       all_(Partition::MinimizeAll(db.num_vars())) {}
 
 Result<bool> DsmSemantics::IsStable(const Interpretation& m) {
@@ -16,7 +16,7 @@ Result<bool> DsmSemantics::IsStable(const Interpretation& m) {
   Database reduct = db_.GlReduct(m);
   // m satisfies the reduct whenever it satisfies DB; stability is
   // minimality within the reduct.
-  MinimalEngine re(reduct);
+  MinimalEngine re(reduct, opts_.minimal_options());
   bool stable = re.IsMinimal(m, all_);
   engine_.AbsorbStats(re.stats());
   return stable;

@@ -7,7 +7,10 @@ namespace dd {
 
 EcwaSemantics::EcwaSemantics(const Database& db, Partition pqz,
                              const SemanticsOptions& opts)
-    : db_(db), opts_(opts), engine_(db), pqz_(std::move(pqz)) {
+    : db_(db),
+      opts_(opts),
+      engine_(db, opts.minimal_options()),
+      pqz_(std::move(pqz)) {
   DD_CHECK(pqz_.Validate().ok());
   DD_CHECK(pqz_.num_vars() == db.num_vars());
 }
@@ -53,6 +56,11 @@ Result<std::vector<Interpretation>> EcwaSemantics::Models(int64_t cap) {
 
 bool EcwaSemantics::IsCircumscriptionModel(const Interpretation& m) {
   return engine_.IsMinimal(m, pqz_);
+}
+
+std::vector<bool> EcwaSemantics::AreCircumscriptionModels(
+    const std::vector<Interpretation>& candidates) {
+  return engine_.AreMinimal(candidates, pqz_, opts_.num_threads);
 }
 
 }  // namespace dd

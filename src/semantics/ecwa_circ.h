@@ -43,6 +43,13 @@ class EcwaSemantics : public Semantics {
   /// theorem this holds iff m ∈ MM(DB;P;Z); one SAT call.
   bool IsCircumscriptionModel(const Interpretation& m);
 
+  /// Bulk circumscription check: verdicts[i] == IsCircumscriptionModel(
+  /// candidates[i]). Fans the per-candidate SAT calls out over
+  /// `opts.num_threads` workers (chunked deterministically, so the result
+  /// and the merged stats are thread-count-invariant).
+  std::vector<bool> AreCircumscriptionModels(
+      const std::vector<Interpretation>& candidates);
+
   const MinimalStats& stats() const override { return engine_.stats(); }
 
  private:

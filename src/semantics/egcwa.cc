@@ -1,8 +1,10 @@
 #include "semantics/egcwa.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace dd {
 
@@ -10,7 +12,7 @@ EgcwaSemantics::EgcwaSemantics(const Database& db,
                                const SemanticsOptions& opts)
     : db_(db),
       opts_(opts),
-      engine_(db),
+      engine_(db, opts.minimal_options()),
       all_(Partition::MinimizeAll(db.num_vars())),
       positive_(db.IsPositive()) {}
 
@@ -67,9 +69,23 @@ Result<std::vector<std::vector<Var>>> EgcwaSemantics::EntailedNegativeClauses(
   // Breadth-first by size: a candidate is interesting only if all its
   // proper subsets are "covered" (contained in some minimal model), which
   // by induction means no previously found set is a subset.
+  //
+  // Each level runs in three deterministic stages so the per-candidate
+  // coverage scan (the hot loop: |candidates| × |minimal| containment
+  // tests) can fan out over `opts_.num_threads`:
+  //  1. generate the level's candidates in the canonical (base, v) order,
+  //     filtering against `found` — sound because found sets of the
+  //     *current* size never subsume a distinct same-size candidate, so
+  //     only strictly smaller (prior-level) sets matter, and those are all
+  //     present before the level starts;
+  //  2. check coverage in parallel (pure reads of `minimal`; verdicts land
+  //     in an index-addressed byte buffer, so no element races and no
+  //     dependence on thread count);
+  //  3. merge sequentially in candidate order, reproducing exactly the
+  //     sequential found/next interleaving.
   std::vector<std::vector<Var>> frontier{{}};  // sets of the previous size
   for (int size = 1; size <= max_size && size <= n; ++size) {
-    std::vector<std::vector<Var>> next;
+    std::vector<std::vector<Var>> candidates;
     for (const auto& base : frontier) {
       Var start = base.empty() ? 0 : base.back() + 1;
       for (Var v = start; v < n; ++v) {
@@ -83,26 +99,36 @@ Result<std::vector<std::vector<Var>>> EgcwaSemantics::EntailedNegativeClauses(
             break;
           }
         }
-        if (subsumed) continue;
-        bool covered = false;
-        for (const auto& m : minimal) {
-          bool inside = true;
-          for (Var x : cand) {
-            if (!m.Contains(x)) {
-              inside = false;
-              break;
-            }
-          }
-          if (inside) {
-            covered = true;
-            break;
-          }
-        }
-        if (covered) {
-          next.push_back(std::move(cand));  // still alive; grow it later
-        } else {
-          found.push_back(std::move(cand));  // minimal entailed clause
-        }
+        if (!subsumed) candidates.push_back(std::move(cand));
+      }
+    }
+
+    std::vector<uint8_t> covered(candidates.size(), 0);
+    ParallelFor(static_cast<int64_t>(candidates.size()), opts_.num_threads,
+                [&](int64_t i) {
+                  const std::vector<Var>& cand =
+                      candidates[static_cast<size_t>(i)];
+                  for (const auto& m : minimal) {
+                    bool inside = true;
+                    for (Var x : cand) {
+                      if (!m.Contains(x)) {
+                        inside = false;
+                        break;
+                      }
+                    }
+                    if (inside) {
+                      covered[static_cast<size_t>(i)] = 1;
+                      return;
+                    }
+                  }
+                });
+
+    std::vector<std::vector<Var>> next;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (covered[i]) {
+        next.push_back(std::move(candidates[i]));  // still alive; grow later
+      } else {
+        found.push_back(std::move(candidates[i]));  // minimal entailed clause
       }
     }
     frontier = std::move(next);

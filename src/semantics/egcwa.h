@@ -45,6 +45,10 @@ class EgcwaSemantics : public Semantics {
 
   const MinimalStats& stats() const override { return engine_.stats(); }
 
+  /// Session-reuse accounting of the underlying engine (all zero in
+  /// fresh-solver mode). The benches report cache_hits from here.
+  oracle::SessionStats session_stats() const { return engine_.session_stats(); }
+
  private:
   Database db_;
   SemanticsOptions opts_;

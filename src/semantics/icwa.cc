@@ -12,15 +12,17 @@ using sat::Solver;
 }  // namespace
 
 IcwaSemantics::IcwaSemantics(const Database& db, const SemanticsOptions& opts)
-    : db_(db), opts_(opts), positivized_(db.Positivize()),
-      engine_(positivized_) {}
+    : db_(db),
+      opts_(opts),
+      positivized_(db.Positivize()),
+      engine_(positivized_, opts.minimal_options()) {}
 
 IcwaSemantics::IcwaSemantics(const Database& db, Stratification strat,
                              const SemanticsOptions& opts)
     : db_(db),
       opts_(opts),
       positivized_(db.Positivize()),
-      engine_(positivized_),
+      engine_(positivized_, opts.minimal_options()),
       strat_(std::move(strat)),
       strat_provided_(true) {}
 
@@ -96,15 +98,14 @@ Result<bool> IcwaSemantics::InfersFormula(const Formula& f) {
     Interpretation mm = engine_.Minimize(m, pi);
     // Probe: a ¬F-model sharing mm's exact <Pᵢ,Qᵢ>-projection would be
     // ECWA_i-minimal; if none exists the whole region is safe to block
-    // (its ICWA models, if any, satisfy F).
-    Solver probe;
-    probe.EnsureVars(next);
-    for (const auto& cl : positivized_.ToCnf()) probe.AddClause(cl);
+    // (its ICWA models, if any, satisfy F). The probe is "positivized DB
+    // plus Tseitin(¬F)", so it rides the engine's session in session mode.
+    MinimalEngine::Query probe(&engine_);
     {
       std::vector<std::vector<Lit>> pcnf;
-      Var pnext = static_cast<Var>(positivized_.num_vars());
+      Var pnext = probe.NextVar();
       Lit pl = TseitinEncode(f, &pnext, &pcnf);
-      probe.EnsureVars(pnext);
+      probe.ReserveVars(pnext);
       for (auto& cl : pcnf) probe.AddClause(std::move(cl));
       probe.AddUnit(~pl);
     }

@@ -24,7 +24,10 @@ Vocabulary MakeBitVocabulary(const Database& db) {
 }  // namespace
 
 PdsmSemantics::PdsmSemantics(const Database& db, const SemanticsOptions& opts)
-    : db_(db), opts_(opts), bit_db_(MakeBitVocabulary(db)), engine_(bit_db_) {
+    : db_(db),
+      opts_(opts),
+      bit_db_(MakeBitVocabulary(db)),
+      engine_(bit_db_, opts.minimal_options()) {
   const Var n = db_.num_vars();
   auto t = [](Var v) { return v; };
   auto nf = [n](Var v) { return n + v; };
@@ -55,7 +58,7 @@ PdsmSemantics::PdsmSemantics(const Database& db, const SemanticsOptions& opts)
     bit_db_.AddClause(Clause(std::move(heads_a), std::move(body_a), {}));
     bit_db_.AddClause(Clause(std::move(heads_b), std::move(body_b), {}));
   }
-  engine_ = MinimalEngine(bit_db_);
+  engine_ = MinimalEngine(bit_db_, opts_.minimal_options());
 }
 
 PartialInterpretation PdsmSemantics::DecodeBits(
@@ -117,7 +120,7 @@ Result<bool> PdsmSemantics::IsPartialStable(const PartialInterpretation& i) {
   Database reduct = BuildReductBitDb(i);
   Interpretation bits = EncodeBits(i);
   if (!reduct.Satisfies(bits)) return false;
-  MinimalEngine re(reduct);
+  MinimalEngine re(reduct, opts_.minimal_options());
   Partition all = Partition::MinimizeAll(reduct.num_vars());
   bool minimal = re.IsMinimal(bits, all);
   engine_.AbsorbStats(re.stats());

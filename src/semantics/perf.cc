@@ -8,7 +8,7 @@ namespace dd {
 PerfSemantics::PerfSemantics(const Database& db, const SemanticsOptions& opts)
     : db_(db),
       opts_(opts),
-      engine_(db),
+      engine_(db, opts.minimal_options()),
       priority_(db),
       all_(Partition::MinimizeAll(db.num_vars())) {}
 
@@ -25,24 +25,25 @@ Result<bool> PerfSemantics::IsPerfect(const Interpretation& m) {
   DD_RETURN_IF_ERROR(CheckSupported());
   if (!db_.Satisfies(m)) return false;
   // One SAT call: does a model N preferable to m exist? N « m iff N ≠ m and
-  // every x ∈ N∖m is dominated by some y ∈ m∖N with x < y.
-  sat::Solver s;
-  s.EnsureVars(db_.num_vars());
-  for (const auto& cl : db_.ToCnf()) s.AddClause(cl);
+  // every x ∈ N∖m is dominated by some y ∈ m∖N with x < y. This is "DB plus
+  // a few query clauses", so it rides the engine's persistent session (a
+  // dedicated solver in --no-sessions mode); the per-candidate loop in
+  // Models() makes it the hot PERF oracle call.
+  MinimalEngine::Query q(&engine_);
   std::vector<Lit> differs;
   for (Var v = 0; v < db_.num_vars(); ++v) {
     differs.push_back(m.Contains(v) ? Lit::Neg(v) : Lit::Pos(v));
   }
-  s.AddClause(std::move(differs));
+  q.AddClause(std::move(differs));
   for (Var x = 0; x < db_.num_vars(); ++x) {
     if (m.Contains(x)) continue;
     std::vector<Lit> dom{Lit::Neg(x)};
     for (Var y : priority_.StrictlyAbove(x).TrueAtoms()) {
       if (m.Contains(y)) dom.push_back(Lit::Neg(y));
     }
-    s.AddClause(std::move(dom));
+    q.AddClause(std::move(dom));
   }
-  return s.Solve() == sat::SolveResult::kUnsat;
+  return q.Solve() == sat::SolveResult::kUnsat;
 }
 
 Result<std::vector<Interpretation>> PerfSemantics::Models(int64_t cap) {
@@ -102,7 +103,7 @@ Result<std::vector<Interpretation>> PerfSemantics::ModelsByStrataIteration(
             }
           }
         }
-        MinimalEngine e(dbi);
+        MinimalEngine e(dbi, opts_.minimal_options());
         Partition p = Partition::MinimizeAll(db_.num_vars());
         e.EnumerateMinimalProjections(
             p, /*cap=*/-1, [&](const Interpretation& m) {

@@ -6,6 +6,7 @@
 #include "fixpoint/ddr_fixpoint.h"
 #include "semantics/pws_encoding.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace dd {
 
@@ -82,7 +83,80 @@ Result<std::vector<Interpretation>> PwsSemantics::PossibleModels() {
     (c.is_integrity() ? constraints : rules).push_back(&c);
   }
 
+  // Evaluates one split program (given by the choice masks) and inserts its
+  // least model into `out` if the integrity clauses hold. `split` is the
+  // caller's scratch buffer (avoids per-split allocation).
+  auto process = [&](const std::vector<uint32_t>& choice,
+                     std::vector<SplitRule>* split,
+                     std::set<Interpretation>* out) {
+    split->clear();
+    for (size_t i = 0; i < rules.size(); ++i) {
+      const Clause& c = *rules[i];
+      uint32_t mask = choice[i];
+      for (size_t h = 0; h < c.heads().size(); ++h) {
+        if (mask & (1u << h)) split->push_back({c.heads()[h], &c.pos_body()});
+      }
+    }
+    Interpretation lm = LeastModel(db().num_vars(), *split);
+    for (const Clause* ic : constraints) {
+      if (!ic->SatisfiedBy(lm)) return;
+    }
+    out->insert(std::move(lm));
+  };
+
   std::set<Interpretation> found;
+
+  if (options().num_threads > 1 && !rules.empty()) {
+    // Parallel enumeration, partitioned by the first rule's head choice.
+    // The split-count budget is checked upfront (saturating product of the
+    // per-rule nonempty-subset counts), so workers run unthrottled; the
+    // sequential path's budget check trips in exactly the same cases.
+    // Each worker owns a std::set, merged below — the master set is the
+    // canonical (sorted, deduplicated) union, so the result is identical
+    // to the sequential enumeration for every thread count.
+    int64_t total = 1;
+    for (const Clause* r : rules) {
+      const int64_t opts_r = (int64_t{1} << r->heads().size()) - 1;
+      if (total > options().max_candidates / opts_r) {
+        total = options().max_candidates + 1;
+        break;
+      }
+      total *= opts_r;
+    }
+    if (total > options().max_candidates) {
+      return Status::ResourceExhausted(StrFormat(
+          "PWS split enumeration exceeded %lld splits",
+          static_cast<long long>(options().max_candidates)));
+    }
+    const uint32_t full0 = (1u << rules[0]->heads().size()) - 1;
+    std::vector<std::set<Interpretation>> partials(full0);
+    ParallelFor(static_cast<int64_t>(full0), options().num_threads,
+                [&](int64_t t) {
+                  std::vector<uint32_t> choice(rules.size(), 1);
+                  choice[0] = static_cast<uint32_t>(t) + 1;
+                  std::vector<SplitRule> split;
+                  for (;;) {
+                    process(choice, &split, &partials[static_cast<size_t>(t)]);
+                    // Advance the odometer over rules[1..] only; rule 0 is
+                    // this task's fixed partition coordinate.
+                    size_t i = 1;
+                    for (; i < rules.size(); ++i) {
+                      uint32_t full = (1u << rules[i]->heads().size()) - 1;
+                      if (choice[i] < full) {
+                        ++choice[i];
+                        break;
+                      }
+                      choice[i] = 1;
+                    }
+                    if (i == rules.size()) break;  // inner odometer wrapped
+                  }
+                });
+    for (std::set<Interpretation>& p : partials) {
+      found.insert(p.begin(), p.end());
+    }
+    return std::vector<Interpretation>(found.begin(), found.end());
+  }
+
   int64_t splits_explored = 0;
 
   // Odometer over nonempty head subsets of every rule.
@@ -94,25 +168,7 @@ Result<std::vector<Interpretation>> PwsSemantics::PossibleModels() {
           "PWS split enumeration exceeded %lld splits",
           static_cast<long long>(options().max_candidates)));
     }
-    // Materialize the split program.
-    split.clear();
-    for (size_t i = 0; i < rules.size(); ++i) {
-      const Clause& c = *rules[i];
-      uint32_t mask = choice[i];
-      for (size_t h = 0; h < c.heads().size(); ++h) {
-        if (mask & (1u << h)) split.push_back({c.heads()[h], &c.pos_body()});
-      }
-    }
-    Interpretation lm = LeastModel(db().num_vars(), split);
-    // A possible model must satisfy the integrity clauses.
-    bool ok = true;
-    for (const Clause* ic : constraints) {
-      if (!ic->SatisfiedBy(lm)) {
-        ok = false;
-        break;
-      }
-    }
-    if (ok) found.insert(lm);
+    process(choice, &split, &found);
 
     // Advance the odometer.
     size_t i = 0;

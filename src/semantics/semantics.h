@@ -45,6 +45,22 @@ struct SemanticsOptions {
   /// ProgramProperties proves the input easy (Tables 1/2). Answers are
   /// identical to the generic path; off forces the generic engines.
   bool analysis_dispatch = true;
+  /// Route NP-oracle calls through one persistent incremental session per
+  /// database (src/oracle/sat_session.h) instead of a fresh solver per
+  /// call. Answers are identical in both modes; off restores the
+  /// historical baseline (the benches' --no-sessions A/B leg).
+  bool use_sessions = true;
+  /// Worker threads for the parallel helpers (bulk minimality checks, DDR
+  /// expansion rounds, PWS split scanning). Results are bit-identical for
+  /// every value; <= 1 runs serially on the calling thread.
+  int num_threads = 1;
+
+  /// The engine-level tuning derived from these options.
+  MinimalOptions minimal_options() const {
+    MinimalOptions mo;
+    mo.use_sessions = use_sessions;
+    return mo;
+  }
 };
 
 /// Identifier for each implemented semantics.

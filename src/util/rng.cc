@@ -15,6 +15,15 @@ inline uint64_t SplitMix64(uint64_t* state) {
 inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 }  // namespace
 
+uint64_t DeriveSeed(uint64_t base, uint64_t index) {
+  // Two SplitMix64 steps over a keyed combination: the odd multiplier keeps
+  // distinct (base, index) pairs from colliding on the additive state, and
+  // the finalizer decorrelates neighbouring indices.
+  uint64_t state = base ^ (index * 0xd1342543de82ef95ULL + 1);
+  (void)SplitMix64(&state);
+  return SplitMix64(&state);
+}
+
 Rng::Rng(uint64_t seed) {
   // xoshiro256** must not be seeded with all zeros; SplitMix expansion
   // guarantees a well-mixed nonzero state for any seed.

@@ -13,6 +13,14 @@
 
 namespace dd {
 
+/// Order-independent seed derivation: a well-mixed seed for the `index`-th
+/// member of a family rooted at `base`. Unlike drawing seeds from a shared
+/// Rng stream (`seeds.Next()`), DeriveSeed(base, i) depends only on (base,
+/// i) — parallel bench workers can generate instance i without having
+/// generated instances 0..i-1 first, and the family is identical for every
+/// thread count and visit order.
+uint64_t DeriveSeed(uint64_t base, uint64_t index);
+
 /// Deterministic, portable 64-bit PRNG (xoshiro256**).
 class Rng {
  public:

@@ -1,0 +1,78 @@
+// A small fixed-size worker pool plus the ordered-parallel-loop helper the
+// enumeration layers use.
+//
+// Design rules (enforced by tests/thread_pool_test.cc):
+//   * Work distribution is dynamic (an atomic cursor), but results are
+//     always written to caller-owned, index-addressed slots, so reductions
+//     happen in task order and the merged outcome is bit-identical
+//     regardless of the number of workers (including 1).
+//   * Tasks must not throw; error reporting goes through Status values
+//     stored in the task's result slot.
+//   * No global mutable state: pools are plain objects, and ParallelFor
+//     spawns its own short-lived workers, so nested/concurrent use from
+//     independent call sites cannot deadlock on a shared queue.
+#ifndef DD_UTIL_THREAD_POOL_H_
+#define DD_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dd {
+
+/// A fixed pool of worker threads consuming a FIFO task queue.
+///
+/// Used by the bench harnesses to overlap per-instance work; the library's
+/// own parallel loops go through ParallelFor below.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Worker count used when the caller does not specify one: the
+  /// DD_THREADS environment variable when set to a positive integer,
+  /// otherwise std::thread::hardware_concurrency (at least 1).
+  static int DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  int64_t in_flight_ = 0;  // queued + running
+  bool shutting_down_ = false;
+};
+
+/// Runs `fn(i)` for every i in [0, n) on up to `threads` workers and blocks
+/// until all iterations finished. `threads <= 1` (or n <= 1) degenerates to
+/// a plain serial loop on the calling thread, so the serial and parallel
+/// paths execute the same per-index code.
+///
+/// `fn` must be safe to call concurrently for distinct indices and must
+/// write its result only to index-owned storage; with that contract the
+/// overall result is deterministic in the thread count.
+void ParallelFor(int64_t n, int threads,
+                 const std::function<void(int64_t)>& fn);
+
+}  // namespace dd
+
+#endif  // DD_UTIL_THREAD_POOL_H_

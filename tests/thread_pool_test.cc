@@ -1,0 +1,203 @@
+// ThreadPool / ParallelFor contract tests plus the cross-thread-count
+// determinism guarantees of every parallelized enumeration layer
+// (src/util/thread_pool.h design rules point here).
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "fixpoint/ddr_fixpoint.h"
+#include "gen/generators.h"
+#include "gtest/gtest.h"
+#include "minimal/minimal_models.h"
+#include "minimal/pqz.h"
+#include "semantics/egcwa.h"
+#include "semantics/pws.h"
+#include "semantics/semantics.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace dd {
+namespace {
+
+// Every index in [0, n) is visited exactly once, for serial and parallel
+// worker counts alike (including threads > n).
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  for (int threads : {1, 2, 3, 8, 64}) {
+    const int64_t n = 157;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0);
+    ParallelFor(n, threads, [&](int64_t i) { hits[i].fetch_add(1); });
+    for (int64_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "i=" << i << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEmptyAndSingleton) {
+  int calls = 0;
+  ParallelFor(0, 8, [&](int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelFor(1, 8, [&](int64_t i) { calls += static_cast<int>(i) + 1; });
+  EXPECT_EQ(calls, 1);
+}
+
+// Index-owned slots make the reduction bit-identical in the thread count.
+TEST(ThreadPoolTest, ParallelForIndexOwnedSlotsAreDeterministic) {
+  const int64_t n = 500;
+  std::vector<uint64_t> base(n);
+  ParallelFor(n, 1, [&](int64_t i) { base[i] = DeriveSeed(42, i); });
+  for (int threads : {2, 5, 16}) {
+    std::vector<uint64_t> out(n);
+    ParallelFor(n, threads, [&](int64_t i) { out[i] = DeriveSeed(42, i); });
+    EXPECT_EQ(out, base) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPoolTest, SubmitWaitRunsEveryTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::atomic<int64_t> sum{0};
+  const int kTasks = 200;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&sum, i] { sum.fetch_add(i); });
+  }
+  pool.Wait();
+  EXPECT_EQ(sum.load(), kTasks * (kTasks - 1) / 2);
+  // Wait() is re-usable: a second batch after a completed one works.
+  pool.Submit([&sum] { sum.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(sum.load(), kTasks * (kTasks - 1) / 2 + 1);
+}
+
+TEST(ThreadPoolTest, ThreadCountClampedToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1);
+  std::atomic<int> ran{0};
+  pool.Submit([&ran] { ran.store(1); });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+// DeriveSeed is a pure function of (base, index): stable across calls and
+// order-independent, which is what makes parallel bench families
+// reproducible under a root --seed.
+TEST(ThreadPoolTest, DeriveSeedIsStableAndSpreads) {
+  EXPECT_EQ(DeriveSeed(1, 0), DeriveSeed(1, 0));
+  std::set<uint64_t> seen;
+  for (uint64_t base : {1u, 2u, 99u}) {
+    for (uint64_t i = 0; i < 50; ++i) seen.insert(DeriveSeed(base, i));
+  }
+  // No collisions across 150 derivations (a weak but useful spread check).
+  EXPECT_EQ(seen.size(), 150u);
+}
+
+// The Rng* generator overloads produce the same stream as the seed-based
+// entry points (the seed versions delegate).
+TEST(ThreadPoolTest, GeneratorRngOverloadsMatchSeedVersions) {
+  for (uint64_t seed : {5u, 11u}) {
+    Database a = RandomPositiveDdb(10, 20, seed);
+    Rng rng(seed);
+    Database b = RandomPositiveDdb(10, 20, &rng);
+    EXPECT_EQ(a.ToCnf(), b.ToCnf()) << "seed=" << seed;
+
+    Database sa = RandomStratifiedDdb(8, 16, 3, 0.4, seed);
+    Rng srng(seed);
+    Database sb = RandomStratifiedDdb(8, 16, 3, 0.4, &srng);
+    EXPECT_EQ(sa.ToCnf(), sb.ToCnf()) << "seed=" << seed;
+  }
+}
+
+// Bulk minimality verdicts are bit-identical for every thread count.
+TEST(ThreadPoolTest, AreMinimalDeterministicAcrossThreads) {
+  Database db = RandomPositiveDdb(10, 20, 7);
+  Partition all = Partition::MinimizeAll(db.num_vars());
+  // Candidate pool: random interpretations plus actual minimized models.
+  Rng rng(99);
+  std::vector<Interpretation> candidates;
+  for (int i = 0; i < 24; ++i) {
+    Interpretation m(db.num_vars());
+    for (Var v = 0; v < db.num_vars(); ++v) {
+      if (rng.Chance(0.5)) m.Insert(v);
+    }
+    candidates.push_back(m);
+  }
+  MinimalEngine seed_engine(db);
+  auto m0 = seed_engine.FindModel();
+  ASSERT_TRUE(m0.has_value());
+  candidates.push_back(seed_engine.Minimize(*m0, all));
+
+  MinimalEngine e1(db);
+  std::vector<bool> base = e1.AreMinimal(candidates, all, 1);
+  ASSERT_EQ(base.size(), candidates.size());
+  for (int threads : {2, 4, 16}) {
+    MinimalEngine et(db);
+    EXPECT_EQ(et.AreMinimal(candidates, all, threads), base)
+        << "threads=" << threads;
+  }
+}
+
+// The DDR minimal-model-state fixpoint merges candidate disjuncts in
+// clause order: the saturated antichain is thread-count-invariant.
+TEST(ThreadPoolTest, MinimalModelStateDeterministicAcrossThreads) {
+  for (uint64_t seed : {3u, 13u}) {
+    Database db = RandomPositiveDdb(9, 18, seed);
+    auto base = MinimalModelState(db, 100000, 1);
+    ASSERT_TRUE(base.ok());
+    for (int threads : {2, 8}) {
+      auto r = MinimalModelState(db, 100000, threads);
+      ASSERT_TRUE(r.ok()) << "threads=" << threads;
+      EXPECT_EQ(r->items(), base->items())
+          << "threads=" << threads << " seed=" << seed;
+    }
+  }
+}
+
+// PWS possible-model enumeration partitions the split scan by first-rule
+// mask; the canonical merge makes the result list identical for every
+// worker count (and to the sequential path).
+TEST(ThreadPoolTest, PwsPossibleModelsDeterministicAcrossThreads) {
+  for (uint64_t seed : {4u, 21u}) {
+    // Small instances keep the split product within the candidate budget;
+    // the point here is thread-count invariance, not scale.
+    Database db = RandomPositiveDdb(6, 9, seed);
+    SemanticsOptions o1;
+    o1.num_threads = 1;
+    PwsSemantics p1(db, o1);
+    auto base = p1.PossibleModels();
+    ASSERT_TRUE(base.ok());
+    for (int threads : {2, 6}) {
+      SemanticsOptions ot;
+      ot.num_threads = threads;
+      PwsSemantics pt(db, ot);
+      auto r = pt.PossibleModels();
+      ASSERT_TRUE(r.ok()) << "threads=" << threads;
+      EXPECT_EQ(*r, *base) << "threads=" << threads << " seed=" << seed;
+    }
+  }
+}
+
+// EGCWA's level-parallel coverage checks keep the entailed-negative-clause
+// antichain identical across thread counts.
+TEST(ThreadPoolTest, EgcwaNegativeClausesDeterministicAcrossThreads) {
+  for (uint64_t seed : {6u, 17u}) {
+    Database db = RandomPositiveDdb(8, 16, seed);
+    SemanticsOptions o1;
+    o1.num_threads = 1;
+    EgcwaSemantics e1(db, o1);
+    auto base = e1.EntailedNegativeClauses(2);
+    ASSERT_TRUE(base.ok());
+    for (int threads : {2, 8}) {
+      SemanticsOptions ot;
+      ot.num_threads = threads;
+      EgcwaSemantics et(db, ot);
+      auto r = et.EntailedNegativeClauses(2);
+      ASSERT_TRUE(r.ok()) << "threads=" << threads;
+      EXPECT_EQ(*r, *base) << "threads=" << threads << " seed=" << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dd
