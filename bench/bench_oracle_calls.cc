@@ -48,10 +48,12 @@ struct Leg {
 /// projections), the full negation set (one Σ₂ᵖ-style query per atom),
 /// repeated EGCWA model enumeration, and the per-atom negative-clause
 /// augmentation.
-Leg RunFamily(const Database& db, bool use_sessions, int threads) {
+Leg RunFamily(const Database& db, bool use_sessions, int threads,
+              std::shared_ptr<Budget> watchdog = nullptr) {
   SemanticsOptions opts;
   opts.use_sessions = use_sessions;
   opts.num_threads = threads;
+  opts.budget = std::move(watchdog);
   Leg leg;
   Timer t;
   {
@@ -100,10 +102,14 @@ int main_impl(int argc, char** argv) {
     int64_t calls = 0;
     int free_atoms = 0;
     double secs = 0;
+    bool timed_out = false;
     const int reps = 3;
     for (int i = 0; i < reps; ++i) {
       Database db = RandomPositiveDdb(
           n, 2 * n, DeriveSeed(args.seed * 7, static_cast<uint64_t>(n) + i));
+      // Per-instance watchdog (--timeout-ms): cooperative cutoff instead
+      // of hanging the sweep; the row records "timeout": true.
+      opts.budget = bench::MakeWatchdogBudget(args);
       GcwaSemantics gcwa(db, opts);
       Timer t;
       auto r = gcwa.InfersFormulaViaCounting(FormulaNode::MakeAtom(0));
@@ -112,14 +118,20 @@ int main_impl(int argc, char** argv) {
         calls += r->oracle_calls;
         free_atoms += r->free_count;
       }
+      if (bench::TimedOut(opts.budget)) {
+        timed_out = true;
+        break;
+      }
     }
+    opts.budget = nullptr;
     int bound = static_cast<int>(std::ceil(std::log2(n + 1))) + 1;
-    std::printf("%8d %14.1f %18d %12.1f %10.4f\n", n,
+    std::printf("%8d %14.1f %18d %12.1f %10.4f%s\n", n,
                 static_cast<double>(calls) / reps, bound,
-                static_cast<double>(free_atoms) / reps, secs);
+                static_cast<double>(free_atoms) / reps, secs,
+                timed_out ? "  TIMEOUT" : "");
     json.Add(StrFormat("gcwa_counting%s",
                        args.use_sessions ? "" : "_no_sessions"),
-             n, secs * 1e3 / reps, calls / reps, 0);
+             n, secs * 1e3 / reps, calls / reps, 0, timed_out);
   }
 
   std::printf("\nCCWA variant (P = first half, Q = next quarter, Z = rest)\n");
@@ -128,6 +140,7 @@ int main_impl(int argc, char** argv) {
   for (int n : {8, 16, 32, 64}) {
     int64_t calls = 0;
     double secs = 0;
+    bool timed_out = false;
     const int reps = 3;
     for (int i = 0; i < reps; ++i) {
       Database db = RandomPositiveDdb(
@@ -145,18 +158,25 @@ int main_impl(int argc, char** argv) {
           p.z.Insert(v);
         }
       }
+      opts.budget = bench::MakeWatchdogBudget(args);
       CcwaSemantics ccwa(db, p, opts);
       Timer t;
       auto r = ccwa.InfersFormulaViaCounting(FormulaNode::MakeAtom(0));
       secs += t.ElapsedSeconds();
       if (r.ok()) calls += r->oracle_calls;
+      if (bench::TimedOut(opts.budget)) {
+        timed_out = true;
+        break;
+      }
     }
+    opts.budget = nullptr;
     int bound = static_cast<int>(std::ceil(std::log2(n / 2 + 1))) + 1;
-    std::printf("%8d %14.1f %18d %10.4f\n", n,
-                static_cast<double>(calls) / reps, bound, secs);
+    std::printf("%8d %14.1f %18d %10.4f%s\n", n,
+                static_cast<double>(calls) / reps, bound, secs,
+                timed_out ? "  TIMEOUT" : "");
     json.Add(StrFormat("ccwa_counting%s",
                        args.use_sessions ? "" : "_no_sessions"),
-             n, secs * 1e3 / reps, calls / reps, 0);
+             n, secs * 1e3 / reps, calls / reps, 0, timed_out);
   }
   std::printf(
       "\nExpected shape: the oracle-call column grows by about +1 per "
@@ -170,8 +190,14 @@ int main_impl(int argc, char** argv) {
   for (int n : {8, 12, 16, 20, 24}) {
     Database db = RandomPositiveDdb(
         n, 2 * n, DeriveSeed(args.seed * 31, static_cast<uint64_t>(n)));
-    Leg fresh = RunFamily(db, /*use_sessions=*/false, args.threads);
-    Leg sess = RunFamily(db, /*use_sessions=*/true, args.threads);
+    auto fresh_watchdog = bench::MakeWatchdogBudget(args);
+    auto sess_watchdog = bench::MakeWatchdogBudget(args);
+    Leg fresh = RunFamily(db, /*use_sessions=*/false, args.threads,
+                          fresh_watchdog);
+    Leg sess = RunFamily(db, /*use_sessions=*/true, args.threads,
+                         sess_watchdog);
+    const bool fresh_to = bench::TimedOut(fresh_watchdog);
+    const bool sess_to = bench::TimedOut(sess_watchdog);
     const bool same_oracle = fresh.oracle_calls == sess.oracle_calls;
     std::printf("%8d %12.2f %12.2f %9.2fx %12s %12lld %12lld %8lld\n", n,
                 fresh.ms, sess.ms, fresh.ms / (sess.ms > 0 ? sess.ms : 1e-9),
@@ -179,8 +205,10 @@ int main_impl(int argc, char** argv) {
                 static_cast<long long>(fresh.sat_calls),
                 static_cast<long long>(sess.sat_calls),
                 static_cast<long long>(sess.cache_hits));
-    json.Add("ab_fresh", n, fresh.ms, fresh.oracle_calls, fresh.cache_hits);
-    json.Add("ab_session", n, sess.ms, sess.oracle_calls, sess.cache_hits);
+    json.Add("ab_fresh", n, fresh.ms, fresh.oracle_calls, fresh.cache_hits,
+             fresh_to);
+    json.Add("ab_session", n, sess.ms, sess.oracle_calls, sess.cache_hits,
+             sess_to);
   }
   std::printf(
       "\nExpected shape: identical oracle-call counts in both columns — the "

@@ -263,6 +263,7 @@ int main_impl(int argc, char** argv) {
     Rng rng(0x7AB1E001);
     Timer t;
     int64_t sat = 0;
+    bool timed_out = false;
     for (int i = 0; i < kInstances; ++i) {
       // Per-instance seeds are derived, not drawn from a stream, so any
       // instance can be regenerated independently (and in parallel).
@@ -270,8 +271,17 @@ int main_impl(int argc, char** argv) {
           cell.num_vars, 2 * cell.num_vars,
           DeriveSeed(args.seed * 1000 + static_cast<uint64_t>(cell.num_vars),
                      static_cast<uint64_t>(i)));
+      // Per-instance watchdog: the engines poll this budget between oracle
+      // calls, so a pathological instance is cut off instead of hanging
+      // the whole sweep; the row records the cutoff.
+      opts.budget = bench::MakeWatchdogBudget(args);
       sat += cell.run(db, &rng);
+      if (bench::TimedOut(opts.budget)) {
+        timed_out = true;
+        break;
+      }
     }
+    opts.budget = nullptr;
     MeasuredCell row;
     row.semantics = cell.semantics;
     row.task = cell.task;
@@ -279,11 +289,12 @@ int main_impl(int argc, char** argv) {
     row.seconds = t.ElapsedSeconds();
     row.sat_calls = sat;
     row.instances = kInstances;
-    row.note = sat == 0 ? "no oracle: tractable/O(1) path"
-                        : StrFormat("n=%d", cell.num_vars);
+    row.note = timed_out ? "TIMEOUT (watchdog)"
+               : sat == 0 ? "no oracle: tractable/O(1) path"
+                          : StrFormat("n=%d", cell.num_vars);
     rows.push_back(row);
     json.Add(StrFormat("%s/%s", cell.semantics, cell.task), cell.num_vars,
-             row.seconds * 1e3, sat, 0);
+             row.seconds * 1e3, sat, 0, timed_out);
   }
   std::printf("%s\n",
               FormatMeasuredTable(

@@ -311,14 +311,23 @@ int main_impl(int argc, char** argv) {
     Rng rng(0x7AB1E002);
     Timer t;
     int64_t sat = 0;
+    bool timed_out = false;
     for (int i = 0; i < kInstances; ++i) {
       // Derived (order-independent) per-instance seeds; see util/rng.h.
       Database db = cell.make(
           cell.num_vars,
           DeriveSeed(args.seed * 2000 + static_cast<uint64_t>(cell.num_vars),
                      static_cast<uint64_t>(i)));
+      // Per-instance watchdog (--timeout-ms): cut pathological instances
+      // off cooperatively instead of hanging the sweep.
+      opts.budget = bench::MakeWatchdogBudget(args);
       sat += cell.run(db, &rng);
+      if (bench::TimedOut(opts.budget)) {
+        timed_out = true;
+        break;
+      }
     }
+    opts.budget = nullptr;
     MeasuredCell row;
     row.semantics = cell.semantics;
     row.task = cell.task;
@@ -326,11 +335,12 @@ int main_impl(int argc, char** argv) {
     row.seconds = t.ElapsedSeconds();
     row.sat_calls = sat;
     row.instances = kInstances;
-    row.note = sat == 0 ? "no oracle: O(1)/poly path"
-                        : StrFormat("n=%d", cell.num_vars);
+    row.note = timed_out ? "TIMEOUT (watchdog)"
+               : sat == 0 ? "no oracle: O(1)/poly path"
+                          : StrFormat("n=%d", cell.num_vars);
     rows.push_back(row);
     json.Add(StrFormat("%s/%s", cell.semantics, cell.task), cell.num_vars,
-             row.seconds * 1e3, sat, 0);
+             row.seconds * 1e3, sat, 0, timed_out);
   }
   std::printf("%s\n",
               FormatMeasuredTable(

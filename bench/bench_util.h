@@ -7,10 +7,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "util/budget.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -18,15 +20,19 @@ namespace dd {
 namespace bench {
 
 /// Command-line knobs shared by every harness:
-///   --seed=N       root seed of the generated instance families
-///   --threads=N    worker threads for the parallel helpers
-///   --no-sessions  fresh-solver-per-oracle-call baseline (the A/B leg)
+///   --seed=N        root seed of the generated instance families
+///   --threads=N     worker threads for the parallel helpers
+///   --no-sessions   fresh-solver-per-oracle-call baseline (the A/B leg)
+///   --timeout-ms=N  per-instance watchdog: a measured block that exceeds
+///                   N ms of wall clock is cut off and its row is written
+///                   with "timeout": true instead of hanging the sweep
 /// Unknown arguments are ignored (harnesses stay composable with wrapper
 /// scripts). Both --flag=value and --flag value spellings are accepted.
 struct BenchArgs {
   uint64_t seed = 1;
   int threads = 1;
   bool use_sessions = true;
+  int64_t timeout_ms = -1;
 
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs a;
@@ -45,11 +51,29 @@ struct BenchArgs {
         a.seed = std::strtoull(v, nullptr, 10);
       } else if (const char* v2 = value_of(argv[i], "--threads", &i)) {
         a.threads = static_cast<int>(std::strtol(v2, nullptr, 10));
+      } else if (const char* v3 = value_of(argv[i], "--timeout-ms", &i)) {
+        a.timeout_ms = std::strtoll(v3, nullptr, 10);
       }
     }
     return a;
   }
 };
+
+/// Per-instance watchdog budget (null when --timeout-ms is unset).
+/// Install it on SemanticsOptions::budget before the measured block; after
+/// the block, TimedOut() says whether the instance was cut off. Engines
+/// poll the budget between oracle calls, so the cutoff is cooperative —
+/// the sweep continues with the next instance instead of hanging.
+inline std::shared_ptr<Budget> MakeWatchdogBudget(const BenchArgs& args) {
+  if (args.timeout_ms < 0) return nullptr;
+  Budget::Limits lim;
+  lim.deadline_ms = args.timeout_ms;
+  return Budget::Make(lim);
+}
+
+inline bool TimedOut(const std::shared_ptr<Budget>& b) {
+  return b != nullptr && b->Exhausted();
+}
 
 /// One machine-readable measurement row.
 struct BenchRecord {
@@ -58,6 +82,7 @@ struct BenchRecord {
   double wall_ms = 0.0;     ///< wall-clock for the measured block
   int64_t oracle_calls = 0; ///< semantic oracle calls (mode-invariant)
   int64_t cache_hits = 0;   ///< oracle answers served from session memo
+  bool timeout = false;     ///< the --timeout-ms watchdog cut this row off
 };
 
 /// Accumulates BenchRecords and writes them as BENCH_<name>.json in the
@@ -73,8 +98,8 @@ class BenchJsonWriter {
 
   void Add(BenchRecord r) { records_.push_back(std::move(r)); }
   void Add(const std::string& name, int n, double wall_ms,
-           int64_t oracle_calls, int64_t cache_hits) {
-    records_.push_back({name, n, wall_ms, oracle_calls, cache_hits});
+           int64_t oracle_calls, int64_t cache_hits, bool timeout = false) {
+    records_.push_back({name, n, wall_ms, oracle_calls, cache_hits, timeout});
   }
 
   /// Writes BENCH_<bench>.json; idempotent. Returns false on I/O failure.
@@ -89,10 +114,12 @@ class BenchJsonWriter {
       const BenchRecord& r = records_[i];
       std::fprintf(f,
                    "    {\"name\": \"%s\", \"n\": %d, \"wall_ms\": %.3f, "
-                   "\"oracle_calls\": %lld, \"cache_hits\": %lld}%s\n",
+                   "\"oracle_calls\": %lld, \"cache_hits\": %lld, "
+                   "\"timeout\": %s}%s\n",
                    Escape(r.name).c_str(), r.n, r.wall_ms,
                    static_cast<long long>(r.oracle_calls),
                    static_cast<long long>(r.cache_hits),
+                   r.timeout ? "true" : "false",
                    i + 1 < records_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");

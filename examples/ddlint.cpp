@@ -13,10 +13,16 @@
 //   --no-integrity-note  silence the per-integrity-clause notes
 //   --properties-only    print only the properties block
 //   --diagnostics-only   print only the diagnostics
+//   --timeout-ms=N       wall-clock deadline for the whole run
+//   --conflict-budget=N  accepted for CLI uniformity with ddquery (lint
+//                        runs no SAT oracle, so it never consumes it)
 //
-// Exit status: 0 clean, 1 if any warning/error diagnostic was emitted,
-// 2 on a read or parse failure.
+// Exit status: 0 clean, 1 if any warning/error diagnostic was emitted or
+// any input failed to read/parse, 2 if the run exceeded its budget
+// (--timeout-ms); see docs/ROBUSTNESS.md for the budget protocol.
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -26,6 +32,7 @@
 #include "analysis/linter.h"
 #include "analysis/program_properties.h"
 #include "logic/parser.h"
+#include "util/budget.h"
 
 namespace {
 
@@ -69,10 +76,32 @@ void PrintDispatchTable(const dd::analysis::ProgramProperties& props) {
 
 }  // namespace
 
+namespace {
+
+/// Parses a non-negative int64 from "--name=value"; returns false and
+/// prints a message on a malformed value.
+bool ParseFlagValue(const std::string& arg, const std::string& prefix,
+                    int64_t* out) {
+  std::string value = arg.substr(prefix.size());
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(value.c_str(), &end, 10);
+  if (errno != 0 || end == value.c_str() || *end != '\0' || v < 0) {
+    std::fprintf(stderr, "ddlint: bad value in '%s'\n", arg.c_str());
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   dd::analysis::LintOptions lint_opts;
   bool properties_only = false;
   bool diagnostics_only = false;
+  int64_t timeout_ms = -1;
+  int64_t conflict_budget = -1;  // accepted for uniformity; lint is SAT-free
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -84,9 +113,16 @@ int main(int argc, char** argv) {
       properties_only = true;
     } else if (arg == "--diagnostics-only") {
       diagnostics_only = true;
+    } else if (arg.rfind("--timeout-ms=", 0) == 0) {
+      if (!ParseFlagValue(arg, "--timeout-ms=", &timeout_ms)) return 1;
+    } else if (arg.rfind("--conflict-budget=", 0) == 0) {
+      if (!ParseFlagValue(arg, "--conflict-budget=", &conflict_budget)) {
+        return 1;
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: ddlint [--no-subsumption] [--no-integrity-note] "
-                  "[--properties-only] [--diagnostics-only] <file.ddb>...\n");
+                  "[--properties-only] [--diagnostics-only] "
+                  "[--timeout-ms=N] [--conflict-budget=N] <file.ddb>...\n");
       return 0;
     } else {
       files.push_back(std::move(arg));
@@ -94,22 +130,37 @@ int main(int argc, char** argv) {
   }
   if (files.empty()) {
     std::fprintf(stderr, "ddlint: no input files (try --help)\n");
-    return 2;
+    return 1;
+  }
+
+  // One run-wide deadline: lint passes are polynomial, so a coarse
+  // between-files / between-passes poll suffices (no oracle to interrupt).
+  std::shared_ptr<dd::Budget> budget;
+  if (timeout_ms >= 0) {
+    dd::Budget::Limits lim;
+    lim.deadline_ms = timeout_ms;
+    lim.conflict_budget = conflict_budget;
+    budget = dd::Budget::Make(lim);
   }
 
   int worst = 0;
   for (const std::string& path : files) {
+    if (budget != nullptr && budget->Exhausted()) {
+      std::fprintf(stderr, "ddlint: out of budget (%s); stopping\n",
+                   budget->ToStatus().ToString().c_str());
+      return 2;
+    }
     std::string text;
     if (!ReadFile(path, &text)) {
       std::fprintf(stderr, "ddlint: cannot read %s\n", path.c_str());
-      worst = 2;
+      if (worst < 1) worst = 1;
       continue;
     }
     auto prog = dd::ParseProgram(text);
     if (!prog.ok()) {
       std::fprintf(stderr, "%s: %s\n", path.c_str(),
                    prog.status().ToString().c_str());
-      worst = 2;
+      if (worst < 1) worst = 1;
       continue;
     }
     std::printf("== %s ==\n", path.c_str());
@@ -119,6 +170,11 @@ int main(int argc, char** argv) {
       if (!properties_only) PrintDispatchTable(props);
     }
     if (!properties_only) {
+      if (budget != nullptr && budget->Exhausted()) {
+        std::fprintf(stderr, "ddlint: out of budget (%s); stopping\n",
+                     budget->ToStatus().ToString().c_str());
+        return 2;
+      }
       std::vector<dd::analysis::LintDiagnostic> diags =
           dd::analysis::Lint(*prog, lint_opts);
       if (diags.empty()) {

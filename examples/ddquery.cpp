@@ -21,9 +21,19 @@
 //   help | quit
 //
 // SEM is one of: gcwa egcwa ccwa ecwa ddr pws perf icwa dsm pdsm
+//
+// Budget options (apply to every query command):
+//   --timeout-ms=N        per-query wall-clock deadline
+//   --conflict-budget=N   per-query total CDCL conflict budget
+//
+// Exit status: 0 on success, 1 on a load/parse failure of the initial
+// program, 2 if any query ran out of budget (answered "unknown" or was
+// truncated) — see docs/ROBUSTNESS.md.
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -75,7 +85,42 @@ void PrintHelp() {
       "          models <sem> [cap] | infer <sem> <formula> |\n"
       "          lit <sem> <literal> | exists <sem> |\n"
       "          partition p=a,b q=c rest=z | stats | help | quit\n"
-      "semantics: gcwa egcwa ccwa ecwa ddr pws perf icwa dsm pdsm\n");
+      "semantics: gcwa egcwa ccwa ecwa ddr pws perf icwa dsm pdsm\n"
+      "flags: --timeout-ms=N --conflict-budget=N (budgeted queries; exit 2\n"
+      "       if any query runs out of budget)\n");
+}
+
+/// Parses "--name=123" / "--name 123" style int64 flags; advances *i when
+/// the value is a separate argv entry. Returns false (with a message) on a
+/// malformed value.
+bool ParseInt64Flag(int argc, char** argv, int* i, const std::string& name,
+                    int64_t* out, bool* matched) {
+  std::string arg = argv[*i];
+  std::string prefix = name + "=";
+  std::string value;
+  if (arg == name) {
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "ddquery: %s needs a value\n", name.c_str());
+      return false;
+    }
+    value = argv[++*i];
+  } else if (arg.rfind(prefix, 0) == 0) {
+    value = arg.substr(prefix.size());
+  } else {
+    *matched = false;
+    return true;
+  }
+  *matched = true;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(value.c_str(), &end, 10);
+  if (errno != 0 || end == value.c_str() || *end != '\0' || v < 0) {
+    std::fprintf(stderr, "ddquery: bad value for %s: '%s'\n", name.c_str(),
+                 value.c_str());
+    return false;
+  }
+  *out = v;
+  return true;
 }
 
 // Parses "p=a,b" style partition arguments.
@@ -124,11 +169,28 @@ bool ParsePartitionArgs(const std::string& rest_of_line, dd::Reasoner* r) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  dd::QueryOptions query_opts;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    bool matched = false;
+    if (!ParseInt64Flag(argc, argv, &i, "--timeout-ms",
+                        &query_opts.deadline_ms, &matched)) {
+      return 1;
+    }
+    if (matched) continue;
+    if (!ParseInt64Flag(argc, argv, &i, "--conflict-budget",
+                        &query_opts.conflict_budget, &matched)) {
+      return 1;
+    }
+    if (matched) continue;
+    positional.push_back(argv[i]);
+  }
+
   dd::Reasoner reasoner{dd::Database()};
-  if (argc > 1) {
-    auto text = ReadFile(argv[1]);
+  if (!positional.empty()) {
+    auto text = ReadFile(positional[0]);
     if (!text) {
-      std::fprintf(stderr, "cannot read %s\n", argv[1]);
+      std::fprintf(stderr, "cannot read %s\n", positional[0].c_str());
       return 1;
     }
     auto r = dd::Reasoner::FromProgram(*text);
@@ -137,10 +199,13 @@ int main(int argc, char** argv) {
       return 1;
     }
     reasoner = std::move(r).value();
-    std::printf("loaded %s (%s)\n", argv[1],
+    std::printf("loaded %s (%s)\n", positional[0].c_str(),
                 dd::DatabaseSummary(reasoner.db()).c_str());
   }
 
+  // Set to 2 when any budgeted query exhausts its budget; distinct from the
+  // load/parse failure exit (1) above.
+  int worst_exit = 0;
   std::string line;
   const bool interactive = isatty(fileno(stdin)) != 0;
   for (;;) {
@@ -240,6 +305,21 @@ int main(int argc, char** argv) {
       if (cmd == "models") {
         int64_t cap = 32;
         in >> cap;
+        if (!query_opts.unlimited()) {
+          auto ans = reasoner.Models(*kind, cap, query_opts);
+          if (!ans.ok()) {
+            std::printf("%s\n", ans.status().ToString().c_str());
+            continue;
+          }
+          std::printf("%s(%zu models%s)\n",
+                      dd::ModelsToString(ans->models,
+                                         reasoner.db().vocabulary())
+                          .c_str(),
+                      ans->models.size(),
+                      ans->truncated ? ", truncated: out of budget" : "");
+          if (ans->truncated) worst_exit = 2;
+          continue;
+        }
         auto models = reasoner.Models(*kind, cap);
         if (!models.ok()) {
           std::printf("%s\n", models.status().ToString().c_str());
@@ -251,6 +331,18 @@ int main(int argc, char** argv) {
                         .c_str(),
                     models->size());
       } else if (cmd == "exists") {
+        if (!query_opts.unlimited()) {
+          auto r = reasoner.HasModel(*kind, query_opts);
+          if (!r.ok()) {
+            std::printf("%s\n", r.status().ToString().c_str());
+          } else if (*r == dd::Trilean::kUnknown) {
+            std::printf("unknown (out of budget)\n");
+            worst_exit = 2;
+          } else {
+            std::printf("%s\n", *r == dd::Trilean::kYes ? "yes" : "no");
+          }
+          continue;
+        }
         auto r = reasoner.HasModel(*kind);
         std::printf("%s\n", r.ok() ? (*r ? "yes" : "no")
                                    : r.status().ToString().c_str());
@@ -282,6 +374,20 @@ int main(int argc, char** argv) {
       } else {
         std::string rest;
         std::getline(in, rest);
+        if (!query_opts.unlimited()) {
+          auto r = cmd == "infer"
+                       ? reasoner.InfersFormula(*kind, rest, query_opts)
+                       : reasoner.InfersLiteral(*kind, rest, query_opts);
+          if (!r.ok()) {
+            std::printf("%s\n", r.status().ToString().c_str());
+          } else if (*r == dd::Trilean::kUnknown) {
+            std::printf("unknown (out of budget)\n");
+            worst_exit = 2;
+          } else {
+            std::printf("%s\n", *r == dd::Trilean::kYes ? "yes" : "no");
+          }
+          continue;
+        }
         auto r = cmd == "infer" ? reasoner.InfersFormula(*kind, rest)
                                 : reasoner.InfersLiteral(*kind, rest);
         std::printf("%s\n", r.ok() ? (*r ? "yes" : "no")
@@ -291,5 +397,5 @@ int main(int argc, char** argv) {
     }
     std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
   }
-  return 0;
+  return worst_exit;
 }

@@ -9,9 +9,14 @@
 #      triples runtimes, and the rest of the suite is single-threaded
 #   5. clang-tidy over src/ (skipped with a notice when not installed)
 #   6. clang-format --dry-run -Werror over src/ (same skip rule)
-#   7. ddlint over examples/programs/*.ddb (exit 2 = parse failure fails
-#      the check; 1 just means diagnostics were reported, which the bait
-#      program does on purpose)
+#   7. ddlint over examples/programs/*.ddb (exit 2 = out of budget and
+#      fails the check; 1 means diagnostics or a parse failure were
+#      reported, which the bait program does on purpose)
+#   8. fault-injection + deadline soak: the DD_FAULT_UNKNOWN_AT /
+#      DD_FAULT_EXHAUST_AFTER matrix over the injection-tolerant
+#      FaultSoak suite of budget_test, under the ASan build (docs/
+#      ROBUSTNESS.md: every semantics must answer reference-or-Unknown,
+#      never crash, never flip)
 #
 # Usage: scripts/check.sh [--fast]   (--fast: Release leg only)
 set -u
@@ -94,12 +99,33 @@ if [ -x "$LINT_BIN" ]; then
   "$LINT_BIN" examples/programs/*.ddb >/dev/null 2>&1
   rc=$?
   if [ "$rc" -ge 2 ]; then
-    echo "ddlint: parse/read failure (exit $rc)"; FAILED=1
+    echo "ddlint: out of budget / unexpected failure (exit $rc)"; FAILED=1
   else
     echo "ddlint: OK (exit $rc; 1 = diagnostics reported, expected on lint_bait.ddb)"
   fi
 else
   echo "ddlint: binary not built; skipping"
+fi
+
+echo "===== fault-injection + deadline soak (ASan) ====="
+SOAK_BIN=build-check-asan/tests/budget_test
+if [ "$FAST" -eq 0 ] && [ -x "$SOAK_BIN" ]; then
+  # Inject kUnknown / budget exhaustion at a matrix of oracle-call
+  # positions; the FaultSoak suite accepts reference-answer-or-Unknown
+  # and fails on any crash or flipped yes/no.
+  for n in 1 2 3 5 8 13; do
+    for knob in DD_FAULT_UNKNOWN_AT DD_FAULT_EXHAUST_AFTER; do
+      if ! env "$knob=$n" "$SOAK_BIN" --gtest_filter='FaultSoak.*' \
+           --gtest_brief=1 >/dev/null 2>&1; then
+        echo "soak: FAILED under $knob=$n"; FAILED=1
+      fi
+    done
+  done
+  if [ "$FAILED" -eq 0 ]; then echo "soak: OK (12 injection points)"; fi
+elif [ "$FAST" -eq 1 ]; then
+  echo "soak: skipped (--fast)"
+else
+  echo "soak: budget_test not built under ASan; skipping"
 fi
 
 echo

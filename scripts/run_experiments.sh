@@ -7,7 +7,9 @@
 #
 # Harness flags are forwarded: run_experiments.sh --seed=7 --threads=4
 # passes the root seed / worker count to every harness; --no-sessions
-# regenerates the fresh-solver A/B baseline.
+# regenerates the fresh-solver A/B baseline; --timeout-ms=N arms the
+# per-instance watchdog (rows cut off by it carry "timeout": true in the
+# BENCH_*.json output instead of hanging the sweep — docs/ROBUSTNESS.md).
 set -u
 cd "$(dirname "$0")/.."
 

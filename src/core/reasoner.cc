@@ -163,6 +163,127 @@ Result<std::vector<Interpretation>> Reasoner::Models(SemanticsKind kind,
   return Get(kind)->Models(cap);
 }
 
+namespace {
+
+/// Builds the per-query shared budget (null when `q` has no limits).
+std::shared_ptr<Budget> MakeQueryBudget(const QueryOptions& q) {
+  if (q.unlimited()) return nullptr;
+  Budget::Limits lim;
+  lim.deadline_ms = q.deadline_ms;
+  lim.conflict_budget = q.conflict_budget;
+  lim.oracle_call_budget = q.oracle_call_budget;
+  return Budget::Make(lim, q.cancel);
+}
+
+/// RAII installer: the budget lives on the engine exactly for one query;
+/// removal clears latched interrupts so the engine answers unbudgeted
+/// queries normally afterwards.
+class ScopedBudget {
+ public:
+  ScopedBudget(Semantics* s, std::shared_ptr<Budget> b) : s_(s) {
+    if (b != nullptr) {
+      installed_ = true;
+      s_->SetBudget(std::move(b));
+    }
+  }
+  ~ScopedBudget() {
+    if (installed_) s_->SetBudget(nullptr);
+  }
+  ScopedBudget(const ScopedBudget&) = delete;
+  ScopedBudget& operator=(const ScopedBudget&) = delete;
+
+ private:
+  Semantics* s_;
+  bool installed_ = false;
+};
+
+/// Budget exhaustion degrades to kUnknown; every other Status propagates.
+Result<Trilean> ToTrilean(const Result<bool>& r) {
+  if (r.ok()) return TrileanFromBool(*r);
+  if (r.status().IsBudgetExhaustion()) return Trilean::kUnknown;
+  return r.status();
+}
+
+}  // namespace
+
+Result<Trilean> Reasoner::InfersLiteral(SemanticsKind kind,
+                                        std::string_view literal,
+                                        const QueryOptions& q) {
+  // Parse first: interning a fresh atom invalidates the engine cache, and
+  // the budget must be installed on the engine that runs the query.
+  int before = db_.num_vars();
+  DD_ASSIGN_OR_RETURN(Lit l, ParseLiteral(literal, &db_.vocabulary()));
+  if (db_.num_vars() != before) InvalidateCaches();
+  if (opts_.analysis_dispatch) {
+    analysis::EnginePath path =
+        analysis::SelectPath(properties(), kind, analysis::QueryKind::kLiteral,
+                             l, partition_.has_value());
+    dispatch_stats_.Record(path);
+    if (path != analysis::EnginePath::kGeneric) {
+      // Polynomial fast path: completes without oracle calls, so the
+      // budget is irrelevant and the exact answer stands.
+      return ToTrilean(fast_engine()->InfersLiteral(path, l));
+    }
+  }
+  Semantics* s = Get(kind);
+  ScopedBudget scope(s, MakeQueryBudget(q));
+  return ToTrilean(s->InfersLiteral(l));
+}
+
+Result<Trilean> Reasoner::InfersFormula(SemanticsKind kind,
+                                        std::string_view formula,
+                                        const QueryOptions& q) {
+  DD_ASSIGN_OR_RETURN(Formula f, ParseQueryFormula(formula));
+  if (opts_.analysis_dispatch) {
+    analysis::EnginePath path =
+        analysis::SelectPath(properties(), kind, analysis::QueryKind::kFormula,
+                             Lit(), partition_.has_value());
+    dispatch_stats_.Record(path);
+    if (path != analysis::EnginePath::kGeneric) {
+      return ToTrilean(fast_engine()->InfersFormula(path, f));
+    }
+  }
+  Semantics* s = Get(kind);
+  ScopedBudget scope(s, MakeQueryBudget(q));
+  return ToTrilean(s->InfersFormula(f));
+}
+
+Result<Trilean> Reasoner::HasModel(SemanticsKind kind, const QueryOptions& q) {
+  if (opts_.analysis_dispatch) {
+    analysis::EnginePath path = analysis::SelectPath(
+        properties(), kind, analysis::QueryKind::kHasModel, Lit(),
+        partition_.has_value());
+    dispatch_stats_.Record(path);
+    if (path != analysis::EnginePath::kGeneric) {
+      return ToTrilean(fast_engine()->HasModel(path));
+    }
+  }
+  Semantics* s = Get(kind);
+  ScopedBudget scope(s, MakeQueryBudget(q));
+  return ToTrilean(s->HasModel());
+}
+
+Result<ModelsAnswer> Reasoner::Models(SemanticsKind kind, int64_t cap,
+                                      const QueryOptions& q) {
+  Semantics* s = Get(kind);
+  ScopedBudget scope(s, MakeQueryBudget(q));
+  Result<std::vector<Interpretation>> r = s->Models(cap);
+  ModelsAnswer out;
+  if (r.ok()) {
+    out.models = std::move(*r);
+    return out;
+  }
+  if (r.status().IsBudgetExhaustion()) {
+    // Anytime payload: each model the engine had already collected IS an
+    // intended model; only the enumeration was cut short.
+    out.models = s->TakePartialModels();
+    out.truncated = true;
+    out.reason = r.status();
+    return out;
+  }
+  return r.status();
+}
+
 MinimalStats Reasoner::TotalStats() const {
   MinimalStats out;
   for (const auto& [kind, engine] : engines_) {

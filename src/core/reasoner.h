@@ -23,8 +23,41 @@
 #include "logic/parser.h"
 #include "minimal/pqz.h"
 #include "semantics/semantics.h"
+#include "util/budget.h"
 
 namespace dd {
+
+/// Per-query resource limits for the budgeted (anytime) entry points.
+/// Unset fields (-1 / null) are unlimited; a default-constructed
+/// QueryOptions imposes no limits at all. The budget protocol guarantees
+/// "Unknown is allowed, wrong is not" (docs/ROBUSTNESS.md): a limited query
+/// either returns the same answer the unlimited query would, or
+/// Trilean::kUnknown — never a flipped yes/no.
+struct QueryOptions {
+  /// Wall-clock deadline for the whole query, in milliseconds.
+  int64_t deadline_ms = -1;
+  /// Total CDCL conflicts across every oracle call of the query.
+  int64_t conflict_budget = -1;
+  /// Total NP-oracle (SAT solver) invocations.
+  int64_t oracle_call_budget = -1;
+  /// Optional external kill switch: cancelling it aborts the query from
+  /// another thread (reported as kDeadlineExceeded).
+  std::shared_ptr<CancelToken> cancel;
+
+  bool unlimited() const {
+    return deadline_ms < 0 && conflict_budget < 0 && oracle_call_budget < 0 &&
+           cancel == nullptr;
+  }
+};
+
+/// Result of a budgeted Models() query: on budget exhaustion `models` holds
+/// the anytime prefix (every entry IS an intended model), `truncated` is
+/// true and `reason` carries the exhaustion Status.
+struct ModelsAnswer {
+  std::vector<Interpretation> models;
+  bool truncated = false;
+  Status reason;  ///< OK unless truncated
+};
 
 class Reasoner {
  public:
@@ -51,6 +84,25 @@ class Reasoner {
 
   Result<std::vector<Interpretation>> Models(SemanticsKind kind,
                                              int64_t cap = -1);
+
+  /// Budgeted (anytime) variants. A fresh Budget built from `q` is
+  /// installed on the engine for the duration of the call and removed
+  /// afterwards (clearing any latched interrupt, so the engine stays usable
+  /// for later unbudgeted queries). Budget exhaustion maps to
+  /// Trilean::kUnknown; all other failures surface as Status. Answers other
+  /// than kUnknown are identical to the unbudgeted entry points.
+  Result<Trilean> InfersLiteral(SemanticsKind kind, std::string_view literal,
+                                const QueryOptions& q);
+  Result<Trilean> InfersFormula(SemanticsKind kind, std::string_view formula,
+                                const QueryOptions& q);
+  Result<Trilean> HasModel(SemanticsKind kind, const QueryOptions& q);
+
+  /// Budgeted model enumeration with an anytime payload: on exhaustion the
+  /// models collected so far are returned with truncated=true instead of
+  /// being thrown away. Exceeding `cap` (or options().max_models) also
+  /// reports truncation.
+  Result<ModelsAnswer> Models(SemanticsKind kind, int64_t cap,
+                              const QueryOptions& q);
 
   /// The lazily created engine for `kind` (never null).
   Semantics* Get(SemanticsKind kind);

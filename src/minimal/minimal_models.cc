@@ -16,8 +16,11 @@ namespace {
 using sat::SolveResult;
 using sat::Solver;
 
-// Loads the database CNF into a fresh solver.
-void LoadDb(const Database& db, Solver* s) {
+// Loads the database CNF into a fresh solver and attaches the (possibly
+// null) query budget, so fresh-mode oracle calls honor deadlines too.
+void LoadDb(const Database& db, Solver* s,
+            const std::shared_ptr<Budget>& budget = nullptr) {
+  s->SetBudget(budget);
   s->EnsureVars(db.num_vars());
   // Prefer-false polarity makes the first model found already small, which
   // shortens minimization loops.
@@ -70,8 +73,27 @@ MinimalEngine::MinimalEngine(const Database& db, const MinimalOptions& opts)
 
 oracle::SatSession* MinimalEngine::session() {
   if (!opts_.use_sessions) return nullptr;
-  if (!session_) session_ = std::make_unique<oracle::SatSession>(db_);
+  if (!session_) {
+    session_ = std::make_unique<oracle::SatSession>(db_);
+    session_->SetBudget(opts_.budget);
+  }
   return session_.get();
+}
+
+void MinimalEngine::SetBudget(std::shared_ptr<Budget> budget) {
+  opts_.budget = std::move(budget);
+  if (session_) session_->SetBudget(opts_.budget);
+  ClearInterrupt();
+}
+
+void MinimalEngine::MarkInterrupted() {
+  if (interrupted_) return;
+  interrupted_ = true;
+  Status s = opts_.budget ? opts_.budget->ToStatus() : Status::OK();
+  interrupt_status_ =
+      s.ok() ? Status::ResourceExhausted(
+                   "NP oracle returned unknown (conflict budget or fault)")
+             : s;
 }
 
 oracle::SessionStats MinimalEngine::session_stats() const {
@@ -87,6 +109,7 @@ oracle::SessionStats MinimalEngine::session_stats() const {
 // ---------------------------------------------------------------------------
 
 bool MinimalEngine::HasModel() {
+  if (interrupted_) return false;
   if (!opts_.use_sessions) return HasModelFresh();
   if (has_model_.has_value()) {
     ++memo_hits_;
@@ -95,19 +118,27 @@ bool MinimalEngine::HasModel() {
   oracle::SatSession* s = session();
   SolveResult r = s->Solve();
   ++stats_.sat_calls;
-  DD_CHECK(r != SolveResult::kUnknown);
+  if (r == SolveResult::kUnknown) {
+    // No memoization from an interrupted call: the next (re-budgeted)
+    // HasModel must actually solve.
+    MarkInterrupted();
+    return false;
+  }
   has_model_ = (r == SolveResult::kSat);
   if (*has_model_) found_model_ = s->Model(db_.num_vars());
   return *has_model_;
 }
 
 std::optional<Interpretation> MinimalEngine::FindModel() {
+  if (interrupted_) return std::nullopt;
   if (!opts_.use_sessions) return FindModelFresh();
   if (!HasModel()) return std::nullopt;
+  if (interrupted_) return std::nullopt;
   return found_model_;
 }
 
 bool MinimalEngine::IsMinimal(const Interpretation& m, const Partition& pqz) {
+  if (interrupted_) return false;
   if (!opts_.use_sessions) return IsMinimalFresh(m, pqz);
   if (!IsModel(m)) return false;
   const Interpretation masked = oracle::MinimalityCache::MaskPQ(m, pqz);
@@ -139,7 +170,11 @@ bool MinimalEngine::IsMinimal(const Interpretation& m, const Partition& pqz) {
     ctx.AddClause(std::move(smaller));
     SolveResult r = ctx.Solve(pins);
     ++stats_.sat_calls;
-    DD_CHECK(r != SolveResult::kUnknown);
+    if (r == SolveResult::kUnknown) {
+      // Interrupted: the verdict is unknowable — and must NOT be cached.
+      MarkInterrupted();
+      return false;
+    }
     minimal = (r == SolveResult::kUnsat);
   }
   cache_.StoreVerdict(pqz, masked, minimal);
@@ -148,6 +183,7 @@ bool MinimalEngine::IsMinimal(const Interpretation& m, const Partition& pqz) {
 
 Interpretation MinimalEngine::Minimize(const Interpretation& m,
                                        const Partition& pqz) {
+  if (interrupted_) return m;
   if (!opts_.use_sessions) return MinimizeFresh(m, pqz);
   DD_CHECK(IsModel(m));
   ++stats_.minimizations;
@@ -183,6 +219,13 @@ Interpretation MinimalEngine::Minimize(const Interpretation& m,
     assumptions.push_back(Lit::Pos(sel));
     SolveResult r = ctx.Solve(assumptions);
     ++stats_.sat_calls;
+    if (r == SolveResult::kUnknown) {
+      // Interrupted mid-descent: cur may NOT be minimal. Return it as a
+      // placeholder but skip every cache store below — caching it as
+      // minimal would poison later (un-budgeted) queries.
+      MarkInterrupted();
+      return cur;
+    }
     if (r != SolveResult::kSat) break;  // cur is minimal
     Interpretation found = s->Model(db_.num_vars());
     // Pin the freshly removed P-atoms false for all later rounds.
@@ -205,24 +248,49 @@ std::vector<bool> MinimalEngine::AreMinimal(
     int threads) {
   const int64_t n = static_cast<int64_t>(candidates.size());
   std::vector<bool> out(candidates.size());
-  if (n == 0) return out;
+  if (n == 0 || interrupted_) return out;
   // The chunk layout is a function of n alone — never of the worker count —
   // so the per-chunk engines (and therefore the merged statistics) are
   // identical for every `threads` value.
   const int64_t chunks = std::min<int64_t>(n, 16);
   std::vector<uint8_t> verdicts(candidates.size(), 0);
   std::vector<MinimalStats> chunk_stats(static_cast<size_t>(chunks));
-  ParallelFor(chunks, threads, [&](int64_t c) {
+  std::vector<Status> chunk_interrupts(static_cast<size_t>(chunks));
+  // Cooperative cancellation: chunk engines share the query budget, so the
+  // first chunk to exhaust it cancels the token and sibling slots stop
+  // claiming work.
+  const CancelToken* cancel =
+      opts_.budget ? opts_.budget->cancel_token().get() : nullptr;
+  ParallelFor(chunks, threads, cancel, [&](int64_t c) {
     const int64_t lo = c * n / chunks;
     const int64_t hi = (c + 1) * n / chunks;
     MinimalEngine local(db_, opts_);
     for (int64_t i = lo; i < hi; ++i) {
       verdicts[static_cast<size_t>(i)] =
           local.IsMinimal(candidates[static_cast<size_t>(i)], pqz) ? 1 : 0;
+      if (local.interrupted()) break;
+    }
+    if (local.interrupted()) {
+      chunk_interrupts[static_cast<size_t>(c)] = local.interrupt_status();
     }
     chunk_stats[static_cast<size_t>(c)] = local.stats();
   });
   for (const MinimalStats& cs : chunk_stats) stats_.Add(cs);
+  // Fold chunk interrupts in chunk order (first one wins); a cancelled run
+  // also leaves unclaimed chunks, which is fine — the whole verdict vector
+  // is meaningless once interrupted() is set.
+  for (const Status& ci : chunk_interrupts) {
+    if (!ci.ok()) {
+      if (!interrupted_) {
+        interrupted_ = true;
+        interrupt_status_ = ci;
+      }
+      break;
+    }
+  }
+  if (!interrupted_ && cancel != nullptr && cancel->cancelled()) {
+    MarkInterrupted();
+  }
   for (size_t i = 0; i < candidates.size(); ++i) out[i] = verdicts[i] != 0;
   return out;
 }
@@ -230,6 +298,7 @@ std::vector<bool> MinimalEngine::AreMinimal(
 int MinimalEngine::EnumerateMinimalProjections(
     const Partition& pqz, int64_t cap,
     const std::function<bool(const Interpretation&)>& cb) {
+  if (interrupted_) return 0;
   if (!opts_.use_sessions) {
     return EnumerateMinimalProjectionsFresh(pqz, cap, cb);
   }
@@ -254,12 +323,24 @@ int MinimalEngine::EnumerateMinimalProjections(
     if (cap >= 0 && emitted >= cap) break;
     SolveResult r = stream->ctx->Solve();
     ++stats_.sat_calls;
+    if (r == SolveResult::kUnknown) {
+      // Interrupted, NOT exhausted: leave the stream resumable — a retry
+      // with a fresh budget replays the memoized prefix (zero SAT calls)
+      // and continues discovery exactly where this run stopped.
+      MarkInterrupted();
+      break;
+    }
     if (r != SolveResult::kSat) {
       stream->exhausted = true;
       break;
     }
     Interpretation m = s->Model(db_.num_vars());
     Interpretation mm = Minimize(m, pqz);
+    if (interrupted_) {
+      // Minimization was cut short: mm may not be a minimal projection.
+      // Do not record it in the stream or block its region.
+      break;
+    }
     // Record the projection and its block BEFORE consulting the consumer,
     // so the stream stays consistent even on early exit.
     stream->projections.push_back(mm);
@@ -281,6 +362,7 @@ int MinimalEngine::EnumerateMinimalProjections(
 int MinimalEngine::EnumerateAllMinimalModels(
     const Partition& pqz, int64_t cap,
     const std::function<bool(const Interpretation&)>& cb) {
+  if (interrupted_) return 0;
   if (!opts_.use_sessions) return EnumerateAllMinimalModelsFresh(pqz, cap, cb);
   // Outer loop over (memoized) minimal projections; inner loop over
   // Z-completions in a per-projection guarded context.
@@ -298,6 +380,11 @@ int MinimalEngine::EnumerateAllMinimalModels(
           }
           SolveResult r = ctx.Solve(fixed);
           ++stats_.sat_calls;
+          if (r == SolveResult::kUnknown) {
+            MarkInterrupted();
+            stop = true;
+            break;
+          }
           if (r != SolveResult::kSat) break;
           Interpretation m = s->Model(db_.num_vars());
           ++emitted;
@@ -323,6 +410,7 @@ int MinimalEngine::EnumerateAllMinimalModels(
 
 bool MinimalEngine::MinimalEntails(const Formula& f, const Partition& pqz,
                                    Interpretation* counterexample) {
+  if (interrupted_) return true;
   if (!opts_.use_sessions) return MinimalEntailsFresh(f, pqz, counterexample);
   // Counterexample search: a <P;Z>-minimal model of DB violating F. The
   // Tseitin encoding, the ¬F unit and the region blocks all live in one
@@ -340,13 +428,20 @@ bool MinimalEngine::MinimalEntails(const Formula& f, const Partition& pqz,
     ++stats_.cegar_iterations;
     SolveResult r = ctx.Solve();
     ++stats_.sat_calls;
+    if (r == SolveResult::kUnknown) {
+      MarkInterrupted();
+      return true;  // placeholder; caller must check interrupted()
+    }
     if (r != SolveResult::kSat) return true;  // no candidate remains
     Interpretation m = s->Model(db_.num_vars());
-    if (IsMinimal(m, pqz)) {
+    bool minimal = IsMinimal(m, pqz);
+    if (interrupted_) return true;
+    if (minimal) {
       if (counterexample != nullptr) *counterexample = m;
       return false;  // m is a minimal model with ~F
     }
     Interpretation mm = Minimize(m, pqz);
+    if (interrupted_) return true;
     // Does any model sharing mm's minimal projection violate F? Such a
     // model is itself minimal (minimality depends only on the projection).
     // The probe reuses this very context: fixing the (P,Q)-projection to
@@ -355,6 +450,13 @@ bool MinimalEngine::MinimalEntails(const Formula& f, const Partition& pqz,
     // constrain the probe and the answer matches a block-free solver.
     SolveResult pr = ctx.Solve(ProjectionAssumptions(mm, pqz));
     ++stats_.sat_calls;
+    if (pr == SolveResult::kUnknown) {
+      // Without the probe's verdict we may not exclude this region: doing
+      // so could hide a real counterexample and turn "Unknown" into a
+      // wrong "entailed".
+      MarkInterrupted();
+      return true;
+    }
     if (pr == SolveResult::kSat) {
       if (counterexample != nullptr) *counterexample = s->Model(db_.num_vars());
       return false;
@@ -368,6 +470,7 @@ bool MinimalEngine::MinimalEntails(const Formula& f, const Partition& pqz,
 
 bool MinimalEngine::ExistsMinimalModelWith(Lit lit, const Partition& pqz,
                                            Interpretation* witness) {
+  if (interrupted_) return false;
   if (!opts_.use_sessions) return ExistsMinimalModelWithFresh(lit, pqz, witness);
   oracle::SatSession* s = session();
   oracle::SatSession::Context ctx(s);
@@ -376,18 +479,31 @@ bool MinimalEngine::ExistsMinimalModelWith(Lit lit, const Partition& pqz,
     ++stats_.cegar_iterations;
     SolveResult r = ctx.Solve();
     ++stats_.sat_calls;
+    if (r == SolveResult::kUnknown) {
+      MarkInterrupted();
+      return false;  // placeholder; caller must check interrupted()
+    }
     if (r != SolveResult::kSat) return false;
     Interpretation m = s->Model(db_.num_vars());
-    if (IsMinimal(m, pqz)) {
+    bool minimal = IsMinimal(m, pqz);
+    if (interrupted_) return false;
+    if (minimal) {
       if (witness != nullptr) *witness = m;
       return true;
     }
     Interpretation mm = Minimize(m, pqz);
+    if (interrupted_) return false;
     // Some model with mm's projection satisfying lit would be minimal; the
     // probe reuses this context (region blocks are vacuous under the
     // projection pins, see MinimalEntails).
     SolveResult pr = ctx.Solve(ProjectionAssumptions(mm, pqz));
     ++stats_.sat_calls;
+    if (pr == SolveResult::kUnknown) {
+      // Excluding the region without the probe's verdict could hide a real
+      // witness and turn "Unknown" into a wrong "no".
+      MarkInterrupted();
+      return false;
+    }
     if (pr == SolveResult::kSat) {
       if (witness != nullptr) *witness = s->Model(db_.num_vars());
       return true;
@@ -420,8 +536,10 @@ Interpretation MinimalEngine::FreeAtoms(const Partition& pqz) {
   }
   for (Var v = 0; v < n; ++v) {
     if (determined.Contains(v)) continue;
+    if (interrupted_) return free;  // partial; caller checks interrupted()
     Interpretation witness;
     bool is_free = ExistsMinimalModelWith(Lit::Pos(v), pqz, &witness);
+    if (interrupted_) return free;
     determined.Insert(v);
     if (is_free) {
       // The witness settles all of its true P-atoms at once.
@@ -446,7 +564,7 @@ MinimalEngine::Query::Query(MinimalEngine* engine) : engine_(engine) {
     ctx_ = std::make_unique<oracle::SatSession::Context>(engine_->session());
   } else {
     fresh_ = std::make_unique<sat::Solver>();
-    LoadDb(engine_->db_, fresh_.get());
+    LoadDb(engine_->db_, fresh_.get(), engine_->opts_.budget);
   }
 }
 
@@ -486,13 +604,20 @@ void MinimalEngine::Query::ReserveVars(Var next) {
 sat::SolveResult MinimalEngine::Query::Solve(
     const std::vector<Lit>& extra_assumptions) {
   ++engine_->stats_.sat_calls;
+  sat::SolveResult r;
   if (ctx_) {
     assumptions_ = units_;
     assumptions_.insert(assumptions_.end(), extra_assumptions.begin(),
                         extra_assumptions.end());
-    return ctx_->Solve(assumptions_);
+    r = ctx_->Solve(assumptions_);
+  } else {
+    r = fresh_->Solve(extra_assumptions);
   }
-  return fresh_->Solve(extra_assumptions);
+  // Auto-latch: semantics call sites test `== kSat` / `== kUnsat` and then
+  // consult engine()->interrupted(); this keeps a kUnknown from ever being
+  // silently folded into either branch.
+  if (r == sat::SolveResult::kUnknown) engine_->MarkInterrupted();
+  return r;
 }
 
 Interpretation MinimalEngine::Query::Model(int n) const {
@@ -507,18 +632,25 @@ Interpretation MinimalEngine::Query::Model(int n) const {
 
 bool MinimalEngine::HasModelFresh() {
   Solver s;
-  LoadDb(db_, &s);
+  LoadDb(db_, &s, opts_.budget);
   SolveResult r = s.Solve();
   stats_.sat_calls += s.stats().solve_calls;
-  DD_CHECK(r != SolveResult::kUnknown);
+  if (r == SolveResult::kUnknown) {
+    MarkInterrupted();
+    return false;
+  }
   return r == SolveResult::kSat;
 }
 
 std::optional<Interpretation> MinimalEngine::FindModelFresh() {
   Solver s;
-  LoadDb(db_, &s);
+  LoadDb(db_, &s, opts_.budget);
   SolveResult r = s.Solve();
   stats_.sat_calls += s.stats().solve_calls;
+  if (r == SolveResult::kUnknown) {
+    MarkInterrupted();
+    return std::nullopt;
+  }
   if (r != SolveResult::kSat) return std::nullopt;
   return s.Model(db_.num_vars());
 }
@@ -530,7 +662,7 @@ bool MinimalEngine::IsMinimalFresh(const Interpretation& m,
   // values, every P-atom false in m stays false, some P-atom true in m
   // becomes false.
   Solver s;
-  LoadDb(db_, &s);
+  LoadDb(db_, &s, opts_.budget);
   std::vector<Lit> smaller;
   for (Var v = 0; v < db_.num_vars(); ++v) {
     if (pqz.q.Contains(v)) {
@@ -550,7 +682,10 @@ bool MinimalEngine::IsMinimalFresh(const Interpretation& m,
   s.AddClause(std::move(smaller));
   SolveResult r = s.Solve();
   stats_.sat_calls += s.stats().solve_calls;
-  DD_CHECK(r != SolveResult::kUnknown);
+  if (r == SolveResult::kUnknown) {
+    MarkInterrupted();
+    return false;
+  }
   return r == SolveResult::kUnsat;
 }
 
@@ -563,7 +698,7 @@ Interpretation MinimalEngine::MinimizeFresh(const Interpretation& m,
   // false with permanent units; the "strictly smaller" clause is refreshed
   // through a fresh selector each round.
   Solver s;
-  LoadDb(db_, &s);
+  LoadDb(db_, &s, opts_.budget);
   for (Var v = 0; v < db_.num_vars(); ++v) {
     if (pqz.q.Contains(v)) s.AddUnit(Lit::Make(v, m.Contains(v)));
     if (pqz.p.Contains(v) && !m.Contains(v)) s.AddUnit(Lit::Neg(v));
@@ -581,6 +716,12 @@ Interpretation MinimalEngine::MinimizeFresh(const Interpretation& m,
     for (Var v : true_p) clause.push_back(Lit::Neg(v));
     s.AddClause(std::move(clause));
     SolveResult r = s.Solve({Lit::Pos(sel)});
+    if (r == SolveResult::kUnknown) {
+      // Interrupted mid-descent: cur may not be minimal.
+      stats_.sat_calls += s.stats().solve_calls;
+      MarkInterrupted();
+      return cur;
+    }
     if (r != SolveResult::kSat) break;  // cur is minimal
     Interpretation found = s.Model(db_.num_vars());
     // Pin the freshly removed P-atoms false for all later rounds.
@@ -597,14 +738,19 @@ int MinimalEngine::EnumerateMinimalProjectionsFresh(
     const Partition& pqz, int64_t cap,
     const std::function<bool(const Interpretation&)>& cb) {
   Solver s;
-  LoadDb(db_, &s);
+  LoadDb(db_, &s, opts_.budget);
   int emitted = 0;
   for (;;) {
     if (cap >= 0 && emitted >= cap) break;
     SolveResult r = s.Solve();
+    if (r == SolveResult::kUnknown) {
+      MarkInterrupted();
+      break;  // emitted-so-far is a sound (truncated) prefix
+    }
     if (r != SolveResult::kSat) break;
     Interpretation m = s.Model(db_.num_vars());
     Interpretation mm = Minimize(m, pqz);
+    if (interrupted_) break;  // mm may not be a minimal projection
     ++emitted;
     ++stats_.models_enumerated;
     if (!cb(mm)) break;
@@ -623,7 +769,7 @@ int MinimalEngine::EnumerateAllMinimalModelsFresh(
   EnumerateMinimalProjections(
       pqz, /*cap=*/-1, [&](const Interpretation& proj) {
         Solver s;
-        LoadDb(db_, &s);
+        LoadDb(db_, &s, opts_.budget);
         std::vector<Lit> fixed = ProjectionAssumptions(proj, pqz);
         for (Lit l : fixed) s.AddUnit(l);
         for (;;) {
@@ -632,6 +778,11 @@ int MinimalEngine::EnumerateAllMinimalModelsFresh(
             break;
           }
           SolveResult r = s.Solve();
+          if (r == SolveResult::kUnknown) {
+            MarkInterrupted();
+            stop = true;
+            break;
+          }
           if (r != SolveResult::kSat) break;
           Interpretation m = s.Model(db_.num_vars());
           ++emitted;
@@ -660,7 +811,7 @@ bool MinimalEngine::MinimalEntailsFresh(const Formula& f, const Partition& pqz,
                                         Interpretation* counterexample) {
   // Counterexample search: a <P;Z>-minimal model of DB violating F.
   Solver s;
-  LoadDb(db_, &s);
+  LoadDb(db_, &s, opts_.budget);
   Var next = static_cast<Var>(db_.num_vars());
   std::vector<std::vector<Lit>> fcnf;
   Lit fl = TseitinEncode(f, &next, &fcnf);
@@ -671,22 +822,36 @@ bool MinimalEngine::MinimalEntailsFresh(const Formula& f, const Partition& pqz,
   for (;;) {
     ++stats_.cegar_iterations;
     SolveResult r = s.Solve();
+    if (r == SolveResult::kUnknown) {
+      stats_.sat_calls += s.stats().solve_calls;
+      MarkInterrupted();
+      return true;  // placeholder; caller must check interrupted()
+    }
     if (r != SolveResult::kSat) {
       stats_.sat_calls += s.stats().solve_calls;
       return true;  // no counterexample candidate remains
     }
     Interpretation m = s.Model(db_.num_vars());
-    if (IsMinimal(m, pqz)) {
+    bool minimal = IsMinimal(m, pqz);
+    if (interrupted_) {
+      stats_.sat_calls += s.stats().solve_calls;
+      return true;
+    }
+    if (minimal) {
       stats_.sat_calls += s.stats().solve_calls;
       if (counterexample != nullptr) *counterexample = m;
       return false;  // m is a minimal model with ~F
     }
     Interpretation mm = Minimize(m, pqz);
+    if (interrupted_) {
+      stats_.sat_calls += s.stats().solve_calls;
+      return true;
+    }
     // Does any model sharing mm's minimal projection violate F? Such a
     // model is itself minimal (minimality depends only on the projection).
     {
       Solver probe;
-      LoadDb(db_, &probe);
+      LoadDb(db_, &probe, opts_.budget);
       Var pn = static_cast<Var>(db_.num_vars());
       std::vector<std::vector<Lit>> pcnf;
       Lit pl = TseitinEncode(f, &pn, &pcnf);
@@ -695,6 +860,13 @@ bool MinimalEngine::MinimalEntailsFresh(const Formula& f, const Partition& pqz,
       probe.AddUnit(~pl);
       SolveResult pr = probe.Solve(ProjectionAssumptions(mm, pqz));
       stats_.sat_calls += probe.stats().solve_calls;
+      if (pr == SolveResult::kUnknown) {
+        // Excluding the region without the probe's verdict could hide a
+        // real counterexample (wrong "entailed").
+        stats_.sat_calls += s.stats().solve_calls;
+        MarkInterrupted();
+        return true;
+      }
       if (pr == SolveResult::kSat) {
         stats_.sat_calls += s.stats().solve_calls;
         if (counterexample != nullptr) {
@@ -714,29 +886,48 @@ bool MinimalEngine::MinimalEntailsFresh(const Formula& f, const Partition& pqz,
 bool MinimalEngine::ExistsMinimalModelWithFresh(Lit lit, const Partition& pqz,
                                                 Interpretation* witness) {
   Solver s;
-  LoadDb(db_, &s);
+  LoadDb(db_, &s, opts_.budget);
   s.AddUnit(lit);
   for (;;) {
     ++stats_.cegar_iterations;
     SolveResult r = s.Solve();
+    if (r == SolveResult::kUnknown) {
+      stats_.sat_calls += s.stats().solve_calls;
+      MarkInterrupted();
+      return false;  // placeholder; caller must check interrupted()
+    }
     if (r != SolveResult::kSat) {
       stats_.sat_calls += s.stats().solve_calls;
       return false;
     }
     Interpretation m = s.Model(db_.num_vars());
-    if (IsMinimal(m, pqz)) {
+    bool minimal = IsMinimal(m, pqz);
+    if (interrupted_) {
+      stats_.sat_calls += s.stats().solve_calls;
+      return false;
+    }
+    if (minimal) {
       stats_.sat_calls += s.stats().solve_calls;
       if (witness != nullptr) *witness = m;
       return true;
     }
     Interpretation mm = Minimize(m, pqz);
+    if (interrupted_) {
+      stats_.sat_calls += s.stats().solve_calls;
+      return false;
+    }
     // Some model with mm's projection satisfying lit would be minimal.
     {
       Solver probe;
-      LoadDb(db_, &probe);
+      LoadDb(db_, &probe, opts_.budget);
       probe.AddUnit(lit);
       SolveResult pr = probe.Solve(ProjectionAssumptions(mm, pqz));
       stats_.sat_calls += probe.stats().solve_calls;
+      if (pr == SolveResult::kUnknown) {
+        stats_.sat_calls += s.stats().solve_calls;
+        MarkInterrupted();
+        return false;
+      }
       if (pr == SolveResult::kSat) {
         stats_.sat_calls += s.stats().solve_calls;
         if (witness != nullptr) *witness = probe.Model(db_.num_vars());

@@ -39,6 +39,7 @@
 #include "oracle/projection_store.h"
 #include "oracle/sat_session.h"
 #include "sat/solver.h"
+#include "util/budget.h"
 #include "util/status.h"
 
 namespace dd {
@@ -69,6 +70,12 @@ struct MinimalOptions {
   /// Route oracle calls through one persistent incremental session
   /// (src/oracle/sat_session.h) instead of a fresh solver per call.
   bool use_sessions = true;
+
+  /// Shared query budget (deadline / conflict / oracle-call limits); null
+  /// means unbudgeted. Attached to every solver the engine creates —
+  /// session or fresh — and inherited by chunk-local and helper engines
+  /// built from these options. See util/budget.h and docs/ROBUSTNESS.md.
+  std::shared_ptr<Budget> budget;
 };
 
 /// Minimal-model engine for one database.
@@ -89,6 +96,37 @@ class MinimalEngine {
   void AbsorbStats(const MinimalStats& s) { stats_.Add(s); }
 
   bool sessions_enabled() const { return opts_.use_sessions; }
+
+  // --- Budget / interrupt protocol -----------------------------------------
+  //
+  // When an oracle call reports kUnknown (budget exhaustion or fault
+  // injection), the engine latches an *interrupt*: every boolean/model
+  // return value produced at or after that point is a conservative
+  // placeholder with NO semantic meaning, and callers MUST check
+  // interrupted() after any engine call and discard the value, propagating
+  // interrupt_status() instead. This keeps "Unknown" from ever silently
+  // turning into a wrong yes/no (see docs/ROBUSTNESS.md). While
+  // interrupted, further operations return immediately; caches, memoized
+  // streams and session state are never updated from interrupted
+  // computations, so a later retry (after ClearInterrupt/SetBudget) resumes
+  // from sound memoized prefixes only.
+
+  /// Attaches a shared query budget (nullptr detaches) to this engine and
+  /// its solvers, and clears any latched interrupt.
+  void SetBudget(std::shared_ptr<Budget> budget);
+  const std::shared_ptr<Budget>& budget() const { return opts_.budget; }
+
+  /// True once any oracle call failed to produce an answer.
+  bool interrupted() const { return interrupted_; }
+  /// The Status to propagate (kDeadlineExceeded / kResourceExhausted).
+  /// OK iff !interrupted().
+  const Status& interrupt_status() const { return interrupt_status_; }
+  /// Re-arms the engine after an interrupt (e.g. for a retry with a fresh
+  /// budget). Memoized state is untouched — it was never poisoned.
+  void ClearInterrupt() {
+    interrupted_ = false;
+    interrupt_status_ = Status::OK();
+  }
 
   /// Session-reuse accounting (zeroed in fresh-solver mode).
   oracle::SessionStats session_stats() const;
@@ -210,9 +248,15 @@ class MinimalEngine {
   bool ExistsMinimalModelWithFresh(Lit lit, const Partition& pqz,
                                    Interpretation* witness);
 
+  /// Latches the interrupt flag and derives interrupt_status_ from the
+  /// budget (or a generic ResourceExhausted for injected faults).
+  void MarkInterrupted();
+
   Database db_;
   MinimalOptions opts_;
   MinimalStats stats_;
+  bool interrupted_ = false;
+  Status interrupt_status_;
 
   // Session state (null/empty in fresh mode).
   std::unique_ptr<oracle::SatSession> session_;

@@ -10,10 +10,18 @@ UminsatResult UniqueMinimalModel(MinimalEngine* engine) {
   Partition all = Partition::MinimizeAll(db.num_vars());
 
   std::optional<Interpretation> model = engine->FindModel();
+  if (engine->interrupted()) {
+    out.status = engine->interrupt_status();
+    return out;
+  }
   if (!model.has_value()) return out;
   out.has_model = true;
 
   Interpretation m = engine->Minimize(*model, all);
+  if (engine->interrupted()) {
+    out.status = engine->interrupt_status();
+    return out;
+  }
   out.witness = m;
 
   // m is the unique minimal model iff every model contains m: a model N
@@ -29,10 +37,20 @@ UminsatResult UniqueMinimalModel(MinimalEngine* engine) {
   }
   MinimalEngine::Query q(engine);
   q.AddClause(std::move(not_superset));
-  if (q.Solve() == sat::SolveResult::kSat) {
+  sat::SolveResult r = q.Solve();
+  if (engine->interrupted()) {
+    // kUnknown here must not be folded into the UNSAT ("unique") branch.
+    out.status = engine->interrupt_status();
+    return out;
+  }
+  if (r == sat::SolveResult::kSat) {
     Interpretation n = q.Model(db.num_vars());
     out.unique = false;
     out.second = engine->Minimize(n, all);
+    if (engine->interrupted()) {
+      out.status = engine->interrupt_status();
+      return out;
+    }
   } else {
     out.unique = true;
   }

@@ -11,6 +11,7 @@
 
 #include "logic/database.h"
 #include "minimal/minimal_models.h"
+#include "util/status.h"
 
 namespace dd {
 
@@ -22,6 +23,10 @@ struct UminsatResult {
   std::optional<Interpretation> witness;
   /// A second, distinct minimal model; present iff has_model && !unique.
   std::optional<Interpretation> second;
+  /// Non-OK when the query ran out of budget (or the oracle reported
+  /// kUnknown): every other field is then a meaningless placeholder and
+  /// the answer is Unknown, never a wrong yes/no.
+  Status status;
 };
 
 /// Decides whether `db` has a unique minimal model. Runs in a constant

@@ -26,12 +26,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "logic/database.h"
 #include "logic/interpretation.h"
 #include "logic/types.h"
 #include "sat/solver.h"
+#include "util/budget.h"
 
 namespace dd {
 namespace oracle {
@@ -89,6 +91,13 @@ class SatSession {
   /// Solves against the base clauses only (plus any still-live guarded
   /// groups, which are inactive without their activation assumptions).
   sat::SolveResult Solve(const std::vector<Lit>& assumptions = {});
+
+  /// Attaches a shared query budget to the underlying solver (nullptr
+  /// detaches). Budgeted solves report kUnknown on exhaustion; callers
+  /// must treat that as "no answer", never as UNSAT.
+  void SetBudget(std::shared_ptr<Budget> budget) {
+    solver_.SetBudget(std::move(budget));
+  }
 
   /// The satisfying assignment restricted to [0, n) after a kSat Solve.
   Interpretation Model(int n) const { return solver_.Model(n); }

@@ -37,7 +37,10 @@ Result<bool> QbfCegarSession::Solve(Interpretation* counterexample) {
   for (;;) {
     ++stats_.candidate_calls;
     SolveResult ar = abstract_.Solve();
-    DD_CHECK(ar != SolveResult::kUnknown);
+    if (ar == SolveResult::kUnknown) {
+      // No memoization: the refinement state stays warm for a retry.
+      return BudgetOrUnknownStatus(budget_, "QBF candidate oracle unknown");
+    }
     if (ar == SolveResult::kUnsat) {
       // Every X-assignment has been certified to have a completion.
       result_ = true;
@@ -52,7 +55,9 @@ Result<bool> QbfCegarSession::Solve(Interpretation* counterexample) {
     }
     ++stats_.verification_calls;
     SolveResult vr = verify_.Solve(assumptions);
-    DD_CHECK(vr != SolveResult::kUnknown);
+    if (vr == SolveResult::kUnknown) {
+      return BudgetOrUnknownStatus(budget_, "QBF verification oracle unknown");
+    }
     if (vr == SolveResult::kUnsat) {
       Interpretation ce(q_.num_vars);
       for (Var v : q_.universal) {
@@ -102,8 +107,10 @@ Result<bool> QbfCegarSession::Solve(Interpretation* counterexample) {
 
 Result<bool> SolveForallExists(const QbfForallExistsCnf& q,
                                Interpretation* counterexample,
-                               QbfStats* stats) {
+                               QbfStats* stats,
+                               const std::shared_ptr<Budget>& budget) {
   QbfCegarSession session(q);
+  session.SetBudget(budget);
   DD_ASSIGN_OR_RETURN(bool valid, session.Solve(counterexample));
   if (stats != nullptr) {
     stats->candidate_calls += session.stats().candidate_calls;
@@ -114,16 +121,19 @@ Result<bool> SolveForallExists(const QbfForallExistsCnf& q,
 }
 
 Result<bool> SolveExistsForall(const QbfExistsForallDnf& q,
-                               Interpretation* witness, QbfStats* stats) {
+                               Interpretation* witness, QbfStats* stats,
+                               const std::shared_ptr<Budget>& budget) {
   DD_RETURN_IF_ERROR(q.Validate());
   QbfForallExistsCnf dual = NegateToForallExists(q);
   Interpretation ce;
-  DD_ASSIGN_OR_RETURN(bool dual_valid, SolveForallExists(dual, &ce, stats));
+  DD_ASSIGN_OR_RETURN(bool dual_valid,
+                      SolveForallExists(dual, &ce, stats, budget));
   if (!dual_valid && witness != nullptr) *witness = ce;
   return !dual_valid;
 }
 
-Result<bool> SolveForallExistsByExpansion(const QbfForallExistsCnf& q) {
+Result<bool> SolveForallExistsByExpansion(
+    const QbfForallExistsCnf& q, const std::shared_ptr<Budget>& budget) {
   DD_RETURN_IF_ERROR(q.Validate());
   if (q.universal.size() > 25) {
     return Status::ResourceExhausted(
@@ -131,6 +141,7 @@ Result<bool> SolveForallExistsByExpansion(const QbfForallExistsCnf& q) {
                   static_cast<int>(q.universal.size())));
   }
   Solver verify;
+  verify.SetBudget(budget);
   verify.EnsureVars(q.num_vars);
   for (const auto& cl : q.clauses) verify.AddClause(cl);
 
@@ -143,7 +154,9 @@ Result<bool> SolveForallExistsByExpansion(const QbfForallExistsCnf& q) {
           Lit::Make(q.universal[i], (bits >> i) & 1));
     }
     SolveResult r = verify.Solve(assumptions);
-    DD_CHECK(r != SolveResult::kUnknown);
+    if (r == SolveResult::kUnknown) {
+      return BudgetOrUnknownStatus(budget, "QBF expansion oracle unknown");
+    }
     if (r == SolveResult::kUnsat) return false;
   }
   return true;

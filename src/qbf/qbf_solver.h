@@ -10,11 +10,13 @@
 #define DD_QBF_QBF_SOLVER_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "logic/interpretation.h"
 #include "qbf/qbf.h"
 #include "sat/solver.h"
+#include "util/budget.h"
 #include "util/status.h"
 
 namespace dd {
@@ -40,8 +42,19 @@ class QbfCegarSession {
 
   /// Decides validity; memoized after the first call. On invalidity,
   /// `counterexample` (if non-null) receives an X-assignment with no
-  /// Y-completion (Y-part zero).
+  /// Y-completion (Y-part zero). Under an exhausted budget (or injected
+  /// oracle fault) returns kDeadlineExceeded/kResourceExhausted — the
+  /// verdict is then NOT memoized, so a retry with a fresh budget resumes
+  /// the refinement loop on the warm solvers.
   Result<bool> Solve(Interpretation* counterexample = nullptr);
+
+  /// Attaches a shared query budget to both CEGAR solvers (nullptr
+  /// detaches).
+  void SetBudget(std::shared_ptr<Budget> budget) {
+    budget_ = budget;
+    verify_.SetBudget(budget);
+    abstract_.SetBudget(std::move(budget));
+  }
 
   /// Cumulative CEGAR accounting (frozen once the verdict is memoized).
   const QbfStats& stats() const { return stats_; }
@@ -59,24 +72,30 @@ class QbfCegarSession {
   QbfStats stats_;
   std::optional<bool> result_;
   Interpretation counterexample_;
+  std::shared_ptr<Budget> budget_;
 };
 
 /// Decides validity of ∀X∃Yφ. If invalid and `counterexample` is non-null,
 /// it receives an X-assignment with no Y-completion (over [0, num_vars),
-/// Y-part zero).
+/// Y-part zero). An exhausted `budget` yields
+/// kDeadlineExceeded/kResourceExhausted, never a wrong verdict.
 Result<bool> SolveForallExists(const QbfForallExistsCnf& q,
                                Interpretation* counterexample = nullptr,
-                               QbfStats* stats = nullptr);
+                               QbfStats* stats = nullptr,
+                               const std::shared_ptr<Budget>& budget = nullptr);
 
 /// Decides validity of ∃X∀Yψ (DNF matrix). If valid and `witness` non-null,
 /// it receives an X-assignment all of whose Y-completions satisfy ψ.
 Result<bool> SolveExistsForall(const QbfExistsForallDnf& q,
                                Interpretation* witness = nullptr,
-                               QbfStats* stats = nullptr);
+                               QbfStats* stats = nullptr,
+                               const std::shared_ptr<Budget>& budget = nullptr);
 
 /// Reference implementation by full expansion of the universal block
 /// (exponential in |X|; use only for small instances / cross-checks).
-Result<bool> SolveForallExistsByExpansion(const QbfForallExistsCnf& q);
+Result<bool> SolveForallExistsByExpansion(
+    const QbfForallExistsCnf& q,
+    const std::shared_ptr<Budget>& budget = nullptr);
 
 }  // namespace dd
 

@@ -1,6 +1,7 @@
 #include "sat/dimacs.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 #include <sstream>
 
@@ -8,6 +9,16 @@
 
 namespace dd {
 namespace sat {
+
+namespace {
+
+// Hard cap on DIMACS variable indices and header counts. Malformed or
+// hostile input ("p cnf 99999999999 1", a literal of 2^40, ...) must fail
+// with a Status here, not drive downstream EnsureVars allocations to
+// gigabytes or overflow the Var arithmetic.
+constexpr long long kMaxDimacsVar = 20'000'000;
+
+}  // namespace
 
 Result<Cnf> ParseDimacs(std::string_view text) {
   Cnf cnf;
@@ -26,14 +37,24 @@ Result<Cnf> ParseDimacs(std::string_view text) {
       continue;
     }
     if (in_header && (tok == "cnf" || tok == "ddb")) continue;
+    // strtoll (not strtol): `long` is 32-bit on some targets, and an
+    // overflowed parse must be *detected*, never wrapped into a small var.
+    errno = 0;
     char* end = nullptr;
-    long v = std::strtol(tok.c_str(), &end, 10);
-    if (end == nullptr || *end != '\0') {
+    long long v = std::strtoll(tok.c_str(), &end, 10);
+    if (end == nullptr || end == tok.c_str() || *end != '\0') {
       return Status::InvalidArgument("bad DIMACS token: " + tok);
+    }
+    if (errno == ERANGE || v > kMaxDimacsVar || v < -kMaxDimacsVar) {
+      return Status::InvalidArgument("DIMACS literal out of range: " + tok);
     }
     if (in_header) {
       // First number of the header is the variable count; ignore the
       // clause count (we trust the clause list itself).
+      if (v < 0) {
+        return Status::InvalidArgument("negative DIMACS variable count: " +
+                                       tok);
+      }
       cnf.num_vars = std::max(cnf.num_vars, static_cast<int>(v));
       std::string rest;
       std::getline(in, rest);
@@ -44,7 +65,7 @@ Result<Cnf> ParseDimacs(std::string_view text) {
       cnf.clauses.push_back(std::move(current));
       current.clear();
     } else {
-      Var var = static_cast<Var>(std::labs(v)) - 1;
+      Var var = static_cast<Var>(v > 0 ? v : -v) - 1;
       cnf.num_vars = std::max(cnf.num_vars, var + 1);
       current.push_back(Lit::Make(var, v > 0));
     }

@@ -1,0 +1,57 @@
+#include "sat/fault.h"
+
+#include <cstdlib>
+
+namespace dd {
+namespace sat {
+
+namespace {
+int64_t EnvInt64(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return 0;
+  char* end = nullptr;
+  long long parsed = std::strtoll(v, &end, 10);
+  if (end == v || parsed < 0) return 0;
+  return static_cast<int64_t>(parsed);
+}
+}  // namespace
+
+FaultInjector::FaultInjector() {
+  FaultPlan env;
+  env.unknown_at = EnvInt64("DD_FAULT_UNKNOWN_AT");
+  env.exhaust_after = EnvInt64("DD_FAULT_EXHAUST_AFTER");
+  if (env.enabled()) SetPlan(env);
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();  // never destroyed
+  return *injector;
+}
+
+void FaultInjector::SetPlan(const FaultPlan& plan) {
+  unknown_at_.store(plan.unknown_at, std::memory_order_relaxed);
+  exhaust_after_.store(plan.exhaust_after, std::memory_order_relaxed);
+  solves_.store(0, std::memory_order_relaxed);
+  // Written last: once enabled_ is seen, the knobs are already in place.
+  enabled_.store(plan.enabled(), std::memory_order_release);
+}
+
+FaultPlan FaultInjector::plan() const {
+  FaultPlan p;
+  p.unknown_at = unknown_at_.load(std::memory_order_relaxed);
+  p.exhaust_after = exhaust_after_.load(std::memory_order_relaxed);
+  return p;
+}
+
+bool FaultInjector::OnSolve() {
+  if (!enabled_.load(std::memory_order_acquire)) return false;
+  int64_t k = solves_.fetch_add(1, std::memory_order_relaxed) + 1;
+  int64_t at = unknown_at_.load(std::memory_order_relaxed);
+  if (at > 0 && k == at) return true;
+  int64_t after = exhaust_after_.load(std::memory_order_relaxed);
+  if (after > 0 && k > after) return true;
+  return false;
+}
+
+}  // namespace sat
+}  // namespace dd

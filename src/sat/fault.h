@@ -1,0 +1,123 @@
+// Oracle fault injection: deterministically force sat::Solver::Solve to
+// report kUnknown at chosen points, to prove that every layer above the
+// oracle degrades to a clean Status / Unknown answer — never a crash,
+// never a wrong yes/no.
+//
+// The injector is a process-global singleton consulted at the top of every
+// Solve(). Two knobs, settable from the environment or from tests:
+//
+//   DD_FAULT_UNKNOWN_AT=n     the n-th Solve() in the process (1-based)
+//                             returns kUnknown; all others run normally.
+//   DD_FAULT_EXHAUST_AFTER=n  every Solve() after the first n returns
+//                             kUnknown, simulating a budget that ran dry
+//                             mid-query and stays dry.
+//
+// Tests drive the injector through ScopedFaultPlan, which saves and
+// restores the previous configuration (including one installed from the
+// environment), so a test can compute a fault-free reference answer and
+// then replay the same query under a fault plan. The counters are atomics:
+// the injector is safe to consult from parallel solver threads, and a
+// given plan trips deterministically on the n-th global solve.
+//
+// sat::FaultySolver wraps the same mechanism as an object for call sites
+// that want a locally faulty solver without touching global state.
+#ifndef DD_SAT_FAULT_H_
+#define DD_SAT_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "sat/solver.h"
+
+namespace dd {
+namespace sat {
+
+/// A fault plan: which global solve indices must report kUnknown.
+/// Values <= 0 disable the corresponding knob.
+struct FaultPlan {
+  int64_t unknown_at = 0;      ///< 1-based index of the one faulty solve
+  int64_t exhaust_after = 0;   ///< all solves after this many are faulty
+  bool enabled() const { return unknown_at > 0 || exhaust_after > 0; }
+};
+
+/// Process-global injector. Thread-safe. Reads DD_FAULT_UNKNOWN_AT /
+/// DD_FAULT_EXHAUST_AFTER once, on first access.
+class FaultInjector {
+ public:
+  static FaultInjector& Global();
+
+  /// Called by Solver::Solve on entry. Returns true if this solve must
+  /// report kUnknown. Advances the global solve counter only while a plan
+  /// is enabled, so unfaulted runs pay a single relaxed load.
+  bool OnSolve();
+
+  /// Installs a new plan and resets the solve counter.
+  void SetPlan(const FaultPlan& plan);
+  FaultPlan plan() const;
+
+  /// Solves observed since the last SetPlan (test introspection).
+  int64_t solve_count() const {
+    return solves_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  FaultInjector();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<int64_t> unknown_at_{0};
+  std::atomic<int64_t> exhaust_after_{0};
+  std::atomic<int64_t> solves_{0};
+};
+
+/// RAII plan installer for tests: saves the current plan (from a previous
+/// scope or the environment), installs `plan`, restores on destruction.
+/// Pass a default-constructed plan to run a fault-free reference section
+/// even when DD_FAULT_* is set in the environment.
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(const FaultPlan& plan)
+      : saved_(FaultInjector::Global().plan()) {
+    FaultInjector::Global().SetPlan(plan);
+  }
+  ~ScopedFaultPlan() { FaultInjector::Global().SetPlan(saved_); }
+
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+
+ private:
+  FaultPlan saved_;
+};
+
+/// A Solver whose Solve() can be forced to report kUnknown at the n-th
+/// call on *this* object, independent of the global injector. Useful for
+/// unit-testing a single call site's kUnknown handling in isolation.
+class FaultySolver : public Solver {
+ public:
+  FaultySolver() = default;
+
+  /// The n-th Solve() on this object (1-based) reports kUnknown.
+  void FailAt(int64_t n) { fail_at_ = n; }
+  /// Every Solve() after the first n reports kUnknown.
+  void ExhaustAfter(int64_t n) { exhaust_after_ = n; }
+
+  SolveResult Solve(const std::vector<Lit>& assumptions = {}) {
+    int64_t k = ++local_solves_;
+    if ((fail_at_ > 0 && k == fail_at_) ||
+        (exhaust_after_ > 0 && k > exhaust_after_)) {
+      return SolveResult::kUnknown;
+    }
+    return Solver::Solve(assumptions);
+  }
+
+  int64_t local_solves() const { return local_solves_; }
+
+ private:
+  int64_t fail_at_ = 0;
+  int64_t exhaust_after_ = 0;
+  int64_t local_solves_ = 0;
+};
+
+}  // namespace sat
+}  // namespace dd
+
+#endif  // DD_SAT_FAULT_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sat/fault.h"
 #include "util/macros.h"
 
 namespace dd {
@@ -392,6 +393,13 @@ SolveResult Solver::Solve(const std::vector<Lit>& assumptions) {
   ++stats_.solve_calls;
   conflict_.clear();
   model_.clear();
+  // Fault injection first, so the global solve numbering is uniform across
+  // trivially-decided and fully-searched calls alike.
+  if (FaultInjector::Global().OnSolve()) return SolveResult::kUnknown;
+  if (budget_ != nullptr &&
+      (!budget_->ConsumeOracleCall() || budget_->Exhausted())) {
+    return SolveResult::kUnknown;
+  }
   if (!ok_) return SolveResult::kUnsat;
   for (Lit a : assumptions) EnsureVars(a.var() + 1);
   seen_.assign(static_cast<size_t>(num_vars()), 0);
@@ -407,6 +415,7 @@ SolveResult Solver::Solve(const std::vector<Lit>& assumptions) {
     max_learnts_ = std::max<double>(1000.0, clauses_.size() / 3.0);
 
   int64_t curr_restarts = 0;
+  int64_t budget_ticks = 0;  // decision/propagation rounds since entry
   std::vector<Lit> learnt;
 
   for (;;) {
@@ -415,11 +424,26 @@ SolveResult Solver::Solve(const std::vector<Lit>& assumptions) {
 
     // ---- search loop ----
     for (;;) {
+      // Deadline poll on propagation/decision ticks: catches long satisfiable
+      // searches that rarely conflict. Every 1024 rounds keeps the check off
+      // the hot path.
+      if (budget_ != nullptr && ((++budget_ticks & 1023) == 0) &&
+          budget_->Exhausted()) {
+        CancelUntil(0);
+        return SolveResult::kUnknown;
+      }
       int confl = Propagate();
       if (confl != -1) {
         ++stats_.conflicts;
         ++conflicts_this_restart;
         if (conflicts_left > 0) --conflicts_left;
+        // Global budget: one unit per conflict, deadline polled every 64.
+        if (budget_ != nullptr &&
+            (!budget_->ConsumeConflicts(1) ||
+             ((stats_.conflicts & 63) == 0 && budget_->Exhausted()))) {
+          CancelUntil(0);
+          return SolveResult::kUnknown;
+        }
         if (DecisionLevel() == 0) {
           ok_ = false;
           CancelUntil(0);

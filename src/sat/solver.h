@@ -13,10 +13,12 @@
 #define DD_SAT_SOLVER_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "logic/interpretation.h"
 #include "logic/types.h"
+#include "util/budget.h"
 
 namespace dd {
 namespace sat {
@@ -85,6 +87,17 @@ class Solver {
   /// Limits the number of conflicts a single Solve() may spend
   /// (<0 = unlimited). On exhaustion Solve returns kUnknown.
   void SetConflictBudget(int64_t budget) { conflict_budget_ = budget; }
+
+  /// Attaches a shared query budget (nullptr detaches). While attached,
+  /// Solve() consumes one oracle call per entry and one unit of the global
+  /// conflict budget per conflict, and polls the wall-clock deadline on
+  /// conflict/decision ticks; any exhaustion makes Solve return kUnknown
+  /// (never a wrong verdict). Orthogonal to SetConflictBudget, which stays
+  /// a per-call limit.
+  void SetBudget(std::shared_ptr<Budget> budget) {
+    budget_ = std::move(budget);
+  }
+  const std::shared_ptr<Budget>& budget() const { return budget_; }
 
   /// Sets the default polarity used when a variable is first decided
   /// (false = prefer setting variables false; good for minimization work).
@@ -168,6 +181,7 @@ class Solver {
   double cla_inc_ = 1.0;
   int64_t conflict_budget_ = -1;
   double max_learnts_ = 0.0;
+  std::shared_ptr<Budget> budget_;  // shared query budget (may be null)
 
   SolverStats stats_;
 };

@@ -15,12 +15,16 @@ Result<bool> CcwaSemantics::HasModel() {
   // Every <P;Z>-minimal model satisfies the augmentation, so CCWA(DB) is
   // nonempty exactly when DB is satisfiable.
   if (db().IsPositive()) return true;
-  return engine()->HasModel();
+  bool has = engine()->HasModel();
+  if (engine()->interrupted()) return engine()->interrupt_status();
+  return has;
 }
 
 Result<bool> CcwaSemantics::InfersLiteral(Lit l) {
   if (l.negative() && pqz_.p.Contains(l.var())) {
-    return !engine()->ExistsMinimalModelWith(~l, pqz_);
+    bool exists = engine()->ExistsMinimalModelWith(~l, pqz_);
+    if (engine()->interrupted()) return engine()->interrupt_status();
+    return !exists;
   }
   return InfersFormula(FormulaNode::MakeLit(l));
 }
@@ -32,6 +36,7 @@ Result<CountingInferenceResult> CcwaSemantics::InfersFormulaViaCounting(
 
 Result<Interpretation> CcwaSemantics::ComputeNegatedAtoms() {
   Interpretation free = engine()->FreeAtoms(pqz_);
+  if (engine()->interrupted()) return engine()->interrupt_status();
   Interpretation negs(db().num_vars());
   for (Var v = 0; v < db().num_vars(); ++v) {
     if (pqz_.p.Contains(v) && !free.Contains(v)) negs.Insert(v);

@@ -11,6 +11,11 @@ ClosedWorldSemantics::ClosedWorldSemantics(const Database& db,
                                            const SemanticsOptions& opts)
     : db_(db), opts_(opts), engine_(db, opts.minimal_options()) {}
 
+void ClosedWorldSemantics::SetBudget(std::shared_ptr<Budget> budget) {
+  opts_.budget = budget;
+  engine_.SetBudget(std::move(budget));
+}
+
 Result<Interpretation> ClosedWorldSemantics::NegatedAtoms() {
   if (!negs_.has_value()) {
     DD_ASSIGN_OR_RETURN(Interpretation n, ComputeNegatedAtoms());
@@ -31,7 +36,12 @@ Result<bool> ClosedWorldSemantics::InfersFormula(const Formula& f) {
   q.ReserveVars(next);
   for (auto& cl : fcnf) q.AddClause(std::move(cl));
   q.AddUnit(~fl);
-  return q.Solve() == sat::SolveResult::kUnsat;
+  sat::SolveResult r = q.Solve();
+  if (engine_.interrupted()) {
+    // kUnknown must not be read as UNSAT ("inferred"): degrade to Status.
+    return engine_.interrupt_status();
+  }
+  return r == sat::SolveResult::kUnsat;
 }
 
 Result<std::optional<Interpretation>> ClosedWorldSemantics::FindCounterexample(
@@ -45,7 +55,9 @@ Result<std::optional<Interpretation>> ClosedWorldSemantics::FindCounterexample(
   q.ReserveVars(next);
   for (auto& cl : fcnf) q.AddClause(std::move(cl));
   q.AddUnit(~fl);
-  if (q.Solve() != sat::SolveResult::kSat) {
+  sat::SolveResult r = q.Solve();
+  if (engine_.interrupted()) return engine_.interrupt_status();
+  if (r != sat::SolveResult::kSat) {
     return std::optional<Interpretation>();
   }
   return std::optional<Interpretation>(q.Model(db_.num_vars()));
@@ -55,7 +67,9 @@ Result<bool> ClosedWorldSemantics::HasModel() {
   DD_ASSIGN_OR_RETURN(Interpretation negs, NegatedAtoms());
   MinimalEngine::Query q(&engine_);
   for (Var v : negs.TrueAtoms()) q.AddUnit(Lit::Neg(v));
-  return q.Solve() == sat::SolveResult::kSat;
+  sat::SolveResult r = q.Solve();
+  if (engine_.interrupted()) return engine_.interrupt_status();
+  return r == sat::SolveResult::kSat;
 }
 
 Result<std::vector<Interpretation>> ClosedWorldSemantics::Models(
@@ -66,10 +80,19 @@ Result<std::vector<Interpretation>> ClosedWorldSemantics::Models(
   for (Var v : negs.TrueAtoms()) q.AddUnit(Lit::Neg(v));
 
   std::vector<Interpretation> out;
-  while (q.Solve() == sat::SolveResult::kSat) {
+  for (;;) {
+    sat::SolveResult r = q.Solve();
+    if (engine_.interrupted()) {
+      // Anytime payload: everything collected so far IS a model of DB ∪ N;
+      // the enumeration is merely truncated.
+      partial_models_ = std::move(out);
+      return engine_.interrupt_status();
+    }
+    if (r != sat::SolveResult::kSat) break;
     Interpretation m = q.Model(db_.num_vars());
     out.push_back(m);
     if (static_cast<int64_t>(out.size()) > cap) {
+      partial_models_ = std::move(out);
       return Status::ResourceExhausted(
           StrFormat("more than %lld models", static_cast<long long>(cap)));
     }

@@ -37,6 +37,12 @@ class ClosedWorldSemantics : public Semantics {
 
   const MinimalStats& stats() const override { return engine_.stats(); }
 
+  /// Installs the budget on the options (inherited by helper solvers built
+  /// from options()) and on the owned engine; clears latched interrupts.
+  /// The cached augmentation set N survives — it is only ever cached after
+  /// a *successful* (uninterrupted) computation, so it stays sound.
+  void SetBudget(std::shared_ptr<Budget> budget) override;
+
   /// Session-reuse accounting of the underlying engine (all zero in
   /// fresh-solver mode). The benches report cache_hits from here.
   oracle::SessionStats session_stats() const { return engine_.session_stats(); }

@@ -61,6 +61,8 @@ bool CounterexampleWithFreeCount(MinimalEngine* engine, const Partition& pqz,
   q.ReserveVars(next);
   for (auto& cl : fcnf) q.AddClause(std::move(cl));
   q.AddUnit(~fl);
+  // kUnknown latches the engine interrupt (Query::Solve); the caller checks
+  // engine->interrupted() and must not trust this placeholder.
   return q.Solve() == sat::SolveResult::kSat;
 }
 
@@ -79,7 +81,9 @@ Result<CountingInferenceResult> CountingInference(MinimalEngine* engine,
   while (lo < hi) {
     int mid = lo + (hi - lo + 1) / 2;
     ++out.oracle_calls;
-    if (AtLeastJFree(engine, pqz, mid)) {
+    bool at_least = AtLeastJFree(engine, pqz, mid);
+    if (engine->interrupted()) return engine->interrupt_status();
+    if (at_least) {
       lo = mid;
     } else {
       hi = mid - 1;
@@ -89,6 +93,7 @@ Result<CountingInferenceResult> CountingInference(MinimalEngine* engine,
 
   ++out.oracle_calls;
   out.inferred = !CounterexampleWithFreeCount(engine, pqz, f, out.free_count);
+  if (engine->interrupted()) return engine->interrupt_status();
   return out;
 }
 

@@ -14,10 +14,21 @@ Result<Interpretation> CwaSemantics::ComputeNegatedAtoms() {
   const Database& database = db();
   Interpretation negs(database.num_vars());
   sat::Solver s;
+  s.SetBudget(options().budget);
   s.EnsureVars(database.num_vars());
   for (const auto& cl : database.ToCnf()) s.AddClause(cl);
   for (Var v = 0; v < database.num_vars(); ++v) {
-    if (s.Solve({Lit::Neg(v)}) == sat::SolveResult::kSat) {
+    sat::SolveResult r = s.Solve({Lit::Neg(v)});
+    if (r == sat::SolveResult::kUnknown) {
+      // Folding kUnknown into "not negated" would silently shrink the
+      // augmentation set and change downstream answers.
+      MinimalStats ms;
+      ms.sat_calls = s.stats().solve_calls;
+      engine()->AbsorbStats(ms);
+      return BudgetOrUnknownStatus(options().budget,
+                                   "CWA augmentation oracle unknown");
+    }
+    if (r == sat::SolveResult::kSat) {
       negs.Insert(v);
     }
   }

@@ -11,14 +11,21 @@ DsmSemantics::DsmSemantics(const Database& db, const SemanticsOptions& opts)
       engine_(db, opts.minimal_options()),
       all_(Partition::MinimizeAll(db.num_vars())) {}
 
+void DsmSemantics::SetBudget(std::shared_ptr<Budget> budget) {
+  opts_.budget = budget;
+  engine_.SetBudget(std::move(budget));
+}
+
 Result<bool> DsmSemantics::IsStable(const Interpretation& m) {
   if (!db_.Satisfies(m)) return false;
   Database reduct = db_.GlReduct(m);
   // m satisfies the reduct whenever it satisfies DB; stability is
-  // minimality within the reduct.
+  // minimality within the reduct. The reduct engine inherits the budget
+  // through opts_.minimal_options().
   MinimalEngine re(reduct, opts_.minimal_options());
   bool stable = re.IsMinimal(m, all_);
   engine_.AbsorbStats(re.stats());
+  if (re.interrupted()) return re.interrupt_status();
   return stable;
 }
 
@@ -43,6 +50,7 @@ Status DsmSemantics::ForEachStable(
           if (*stable) return visit(m);
           return true;
         });
+    if (engine_.interrupted()) return engine_.interrupt_status();
     return inner;
   }
 
@@ -54,6 +62,7 @@ Status DsmSemantics::ForEachStable(
   // in the unpruned enumeration; distinct minimal models are never
   // supersets of one another, so every stable model still surfaces.
   sat::Solver s;
+  s.SetBudget(opts_.budget);
   s.EnsureVars(db_.num_vars());
   s.SetDefaultPolarity(false);
   for (const auto& cl : db_.ToCnf()) s.AddClause(cl);
@@ -80,7 +89,17 @@ Status DsmSemantics::ForEachStable(
 
   int64_t candidates = 0;
   for (;;) {
-    if (s.Solve() != sat::SolveResult::kSat) break;
+    sat::SolveResult r = s.Solve();
+    if (r == sat::SolveResult::kUnknown) {
+      // Folding kUnknown into "no more candidates" would silently end the
+      // stable-model search early and report wrong inferences.
+      MinimalStats ms;
+      ms.sat_calls = s.stats().solve_calls;
+      engine_.AbsorbStats(ms);
+      return BudgetOrUnknownStatus(opts_.budget,
+                                   "DSM candidate oracle unknown");
+    }
+    if (r != sat::SolveResult::kSat) break;
     if (++candidates > opts_.max_candidates) {
       return Status::ResourceExhausted(
           StrFormat("DSM candidate search exceeded %lld candidates",
@@ -88,6 +107,12 @@ Status DsmSemantics::ForEachStable(
     }
     Interpretation m = s.Model(db_.num_vars());
     Interpretation mm = engine_.Minimize(m, all_);
+    if (engine_.interrupted()) {
+      MinimalStats ms;
+      ms.sat_calls = s.stats().solve_calls;
+      engine_.AbsorbStats(ms);
+      return engine_.interrupt_status();
+    }
     DD_ASSIGN_OR_RETURN(bool stable, IsStable(mm));
     if (stable && !visit(mm)) break;
     // Block the region above mm (supersets can only be non-minimal).
@@ -105,10 +130,16 @@ Status DsmSemantics::ForEachStable(
 Result<std::vector<Interpretation>> DsmSemantics::Models(int64_t cap) {
   if (cap < 0) cap = opts_.max_models;
   std::vector<Interpretation> out;
-  DD_RETURN_IF_ERROR(ForEachStable([&](const Interpretation& m) {
+  Status st = ForEachStable([&](const Interpretation& m) {
     out.push_back(m);
     return static_cast<int64_t>(out.size()) < cap;
-  }));
+  });
+  if (!st.ok()) {
+    // Anytime payload: every visited model passed the stability check, so
+    // the collection is a sound (merely truncated) prefix.
+    if (st.IsBudgetExhaustion()) partial_models_ = std::move(out);
+    return st;
+  }
   return out;
 }
 

@@ -47,6 +47,11 @@ class DsmSemantics : public Semantics {
 
   const MinimalStats& stats() const override { return engine_.stats(); }
 
+  /// Installs the budget on the owned engine and the options (reduct
+  /// engines and the support-pruned candidate solver are budgeted from the
+  /// options).
+  void SetBudget(std::shared_ptr<Budget> budget) override;
+
  private:
   /// Runs `visit` over stable models until it returns false.
   Status ForEachStable(const std::function<bool(const Interpretation&)>& visit);

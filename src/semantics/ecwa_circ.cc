@@ -15,14 +15,23 @@ EcwaSemantics::EcwaSemantics(const Database& db, Partition pqz,
   DD_CHECK(pqz_.num_vars() == db.num_vars());
 }
 
+void EcwaSemantics::SetBudget(std::shared_ptr<Budget> budget) {
+  opts_.budget = budget;
+  engine_.SetBudget(std::move(budget));
+}
+
 Result<bool> EcwaSemantics::InfersFormula(const Formula& f) {
-  return engine_.MinimalEntails(f, pqz_);
+  bool entails = engine_.MinimalEntails(f, pqz_);
+  if (engine_.interrupted()) return engine_.interrupt_status();
+  return entails;
 }
 
 Result<std::optional<Interpretation>> EcwaSemantics::FindCounterexample(
     const Formula& f) {
   Interpretation witness;
-  if (engine_.MinimalEntails(f, pqz_, &witness)) {
+  bool entails = engine_.MinimalEntails(f, pqz_, &witness);
+  if (engine_.interrupted()) return engine_.interrupt_status();
+  if (entails) {
     return std::optional<Interpretation>();
   }
   return std::optional<Interpretation>(witness);
@@ -30,7 +39,9 @@ Result<std::optional<Interpretation>> EcwaSemantics::FindCounterexample(
 
 Result<bool> EcwaSemantics::HasModel() {
   if (db_.IsPositive()) return true;
-  return engine_.HasModel();
+  bool has = engine_.HasModel();
+  if (engine_.interrupted()) return engine_.interrupt_status();
+  return has;
 }
 
 Result<std::vector<Interpretation>> EcwaSemantics::Models(int64_t cap) {
@@ -47,7 +58,12 @@ Result<std::vector<Interpretation>> EcwaSemantics::Models(int64_t cap) {
                                       out.push_back(m);
                                       return true;
                                     });
+  if (engine_.interrupted()) {
+    partial_models_ = std::move(out);
+    return engine_.interrupt_status();
+  }
   if (overflow) {
+    partial_models_ = std::move(out);
     return Status::ResourceExhausted(StrFormat(
         "more than %lld ECWA models", static_cast<long long>(cap)));
   }

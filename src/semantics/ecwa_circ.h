@@ -52,6 +52,9 @@ class EcwaSemantics : public Semantics {
 
   const MinimalStats& stats() const override { return engine_.stats(); }
 
+  /// Installs the budget on the owned engine; clears latched interrupts.
+  void SetBudget(std::shared_ptr<Budget> budget) override;
+
  private:
   Database db_;
   SemanticsOptions opts_;

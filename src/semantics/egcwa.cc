@@ -16,14 +16,23 @@ EgcwaSemantics::EgcwaSemantics(const Database& db,
       all_(Partition::MinimizeAll(db.num_vars())),
       positive_(db.IsPositive()) {}
 
+void EgcwaSemantics::SetBudget(std::shared_ptr<Budget> budget) {
+  opts_.budget = budget;
+  engine_.SetBudget(std::move(budget));
+}
+
 Result<bool> EgcwaSemantics::InfersFormula(const Formula& f) {
-  return engine_.MinimalEntails(f, all_);
+  bool entails = engine_.MinimalEntails(f, all_);
+  if (engine_.interrupted()) return engine_.interrupt_status();
+  return entails;
 }
 
 Result<std::optional<Interpretation>> EgcwaSemantics::FindCounterexample(
     const Formula& f) {
   Interpretation witness;
-  if (engine_.MinimalEntails(f, all_, &witness)) {
+  bool entails = engine_.MinimalEntails(f, all_, &witness);
+  if (engine_.interrupted()) return engine_.interrupt_status();
+  if (entails) {
     return std::optional<Interpretation>();
   }
   return std::optional<Interpretation>(witness);
@@ -33,7 +42,9 @@ Result<bool> EgcwaSemantics::HasModel() {
   // EGCWA(DB) = MM(DB) is nonempty iff DB has any model at all (finite
   // propositional case: every model contains a minimal one).
   if (positive_) return true;  // Table 1's O(1) entry
-  return engine_.HasModel();
+  bool has = engine_.HasModel();
+  if (engine_.interrupted()) return engine_.interrupt_status();
+  return has;
 }
 
 Result<std::vector<Interpretation>> EgcwaSemantics::Models(int64_t cap) {
@@ -50,7 +61,14 @@ Result<std::vector<Interpretation>> EgcwaSemantics::Models(int64_t cap) {
                                         out.push_back(m);
                                         return true;
                                       });
+  if (engine_.interrupted()) {
+    // Anytime payload: every collected model IS minimal; the enumeration
+    // is merely truncated by the budget.
+    partial_models_ = std::move(out);
+    return engine_.interrupt_status();
+  }
   if (overflow) {
+    partial_models_ = std::move(out);
     return Status::ResourceExhausted(StrFormat(
         "more than %lld minimal models", static_cast<long long>(cap)));
   }
@@ -83,8 +101,13 @@ Result<std::vector<std::vector<Var>>> EgcwaSemantics::EntailedNegativeClauses(
   //     dependence on thread count);
   //  3. merge sequentially in candidate order, reproducing exactly the
   //     sequential found/next interleaving.
+  const CancelToken* cancel =
+      opts_.budget ? opts_.budget->cancel_token().get() : nullptr;
   std::vector<std::vector<Var>> frontier{{}};  // sets of the previous size
   for (int size = 1; size <= max_size && size <= n; ++size) {
+    if (opts_.budget != nullptr && opts_.budget->Exhausted()) {
+      return opts_.budget->ToStatus();
+    }
     std::vector<std::vector<Var>> candidates;
     for (const auto& base : frontier) {
       Var start = base.empty() ? 0 : base.back() + 1;
@@ -105,7 +128,7 @@ Result<std::vector<std::vector<Var>>> EgcwaSemantics::EntailedNegativeClauses(
 
     std::vector<uint8_t> covered(candidates.size(), 0);
     ParallelFor(static_cast<int64_t>(candidates.size()), opts_.num_threads,
-                [&](int64_t i) {
+                cancel, [&](int64_t i) {
                   const std::vector<Var>& cand =
                       candidates[static_cast<size_t>(i)];
                   for (const auto& m : minimal) {
@@ -123,6 +146,12 @@ Result<std::vector<std::vector<Var>>> EgcwaSemantics::EntailedNegativeClauses(
                   }
                 });
 
+    // A cancelled scan leaves `covered` partially computed; merging it
+    // would misclassify unchecked candidates as entailed.
+    if (cancel != nullptr && cancel->cancelled()) {
+      return BudgetOrUnknownStatus(opts_.budget,
+                                   "EGCWA clause scan cancelled");
+    }
     std::vector<std::vector<Var>> next;
     for (size_t i = 0; i < candidates.size(); ++i) {
       if (covered[i]) {

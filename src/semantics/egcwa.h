@@ -45,6 +45,11 @@ class EgcwaSemantics : public Semantics {
 
   const MinimalStats& stats() const override { return engine_.stats(); }
 
+  /// Installs the budget on the owned engine (and on the options, so any
+  /// helper machinery derived from them inherits it); clears latched
+  /// interrupts from a previous budgeted query.
+  void SetBudget(std::shared_ptr<Budget> budget) override;
+
   /// Session-reuse accounting of the underlying engine (all zero in
   /// fresh-solver mode). The benches report cache_hits from here.
   oracle::SessionStats session_stats() const { return engine_.session_stats(); }

@@ -11,7 +11,9 @@ Result<bool> GcwaSemantics::InfersLiteral(Lit l) {
     // GCWA |= ¬x iff x is false in every minimal model: if so, ¬x is part
     // of the augmentation; if x is true in some minimal model M, then M is
     // itself a GCWA model containing x.
-    return !engine()->ExistsMinimalModelWith(~l, all_);
+    bool exists = engine()->ExistsMinimalModelWith(~l, all_);
+    if (engine()->interrupted()) return engine()->interrupt_status();
+    return !exists;
   }
   return InfersFormula(FormulaNode::MakeLit(l));
 }
@@ -21,7 +23,9 @@ Result<bool> GcwaSemantics::HasModel() {
   // which is immediate for positive databases (the all-true interpretation
   // is a model) — the O(1) entry of Table 1.
   if (db().IsPositive()) return true;
-  return engine()->HasModel();
+  bool has = engine()->HasModel();
+  if (engine()->interrupted()) return engine()->interrupt_status();
+  return has;
 }
 
 Result<CountingInferenceResult> GcwaSemantics::InfersFormulaViaCounting(
@@ -31,6 +35,7 @@ Result<CountingInferenceResult> GcwaSemantics::InfersFormulaViaCounting(
 
 Result<Interpretation> GcwaSemantics::ComputeNegatedAtoms() {
   Interpretation free = engine()->FreeAtoms(all_);
+  if (engine()->interrupted()) return engine()->interrupt_status();
   Interpretation negs(db().num_vars());
   for (Var v = 0; v < db().num_vars(); ++v) {
     if (!free.Contains(v)) negs.Insert(v);

@@ -54,11 +54,18 @@ Status IcwaSemantics::EnsureStratified() {
   return Status::OK();
 }
 
+void IcwaSemantics::SetBudget(std::shared_ptr<Budget> budget) {
+  opts_.budget = budget;
+  engine_.SetBudget(std::move(budget));
+}
+
 Result<bool> IcwaSemantics::IsIcwaModel(const Interpretation& m) {
   DD_RETURN_IF_ERROR(EnsureStratified());
   if (!positivized_.Satisfies(m)) return false;
   for (const Partition& p : stratum_partitions_) {
-    if (!engine_.IsMinimal(m, p)) return false;
+    bool minimal = engine_.IsMinimal(m, p);
+    if (engine_.interrupted()) return engine_.interrupt_status();
+    if (!minimal) return false;
   }
   return true;
 }
@@ -67,6 +74,7 @@ Result<bool> IcwaSemantics::InfersFormula(const Formula& f) {
   DD_RETURN_IF_ERROR(EnsureStratified());
   // Counterexample-guided search for an ICWA model violating F.
   Solver s;
+  s.SetBudget(opts_.budget);
   s.EnsureVars(positivized_.num_vars());
   for (const auto& cl : positivized_.ToCnf()) s.AddClause(cl);
   Var next = static_cast<Var>(positivized_.num_vars());
@@ -82,12 +90,21 @@ Result<bool> IcwaSemantics::InfersFormula(const Formula& f) {
       return Status::ResourceExhausted(
           "ICWA inference exceeded the candidate budget");
     }
-    if (s.Solve() != SolveResult::kSat) return true;
+    SolveResult r = s.Solve();
+    if (r == SolveResult::kUnknown) {
+      // Deadline / conflict budget / injected fault: kUnsat would wrongly
+      // report "inferred", so degrade to Status.
+      return BudgetOrUnknownStatus(opts_.budget,
+                                   "ICWA candidate oracle unknown");
+    }
+    if (r != SolveResult::kSat) return true;
     Interpretation m = s.Model(positivized_.num_vars());
 
     int failing = -1;
     for (size_t i = 0; i < stratum_partitions_.size(); ++i) {
-      if (!engine_.IsMinimal(m, stratum_partitions_[i])) {
+      bool minimal = engine_.IsMinimal(m, stratum_partitions_[i]);
+      if (engine_.interrupted()) return engine_.interrupt_status();
+      if (!minimal) {
         failing = static_cast<int>(i);
         break;
       }
@@ -96,6 +113,7 @@ Result<bool> IcwaSemantics::InfersFormula(const Formula& f) {
 
     const Partition& pi = stratum_partitions_[static_cast<size_t>(failing)];
     Interpretation mm = engine_.Minimize(m, pi);
+    if (engine_.interrupted()) return engine_.interrupt_status();
     // Probe: a ¬F-model sharing mm's exact <Pᵢ,Qᵢ>-projection would be
     // ECWA_i-minimal; if none exists the whole region is safe to block
     // (its ICWA models, if any, satisfy F). The probe is "positivized DB
@@ -115,7 +133,13 @@ Result<bool> IcwaSemantics::InfersFormula(const Formula& f) {
         proj.push_back(Lit::Make(v, mm.Contains(v)));
       }
     }
-    if (probe.Solve(proj) == SolveResult::kSat) {
+    SolveResult pr = probe.Solve(proj);
+    if (engine_.interrupted()) {
+      // kUnknown must not fall through to region-blocking: the region might
+      // hold the counterexample the probe failed to find.
+      return engine_.interrupt_status();
+    }
+    if (pr == SolveResult::kSat) {
       // Inconclusive region: exclude exactly m and keep searching.
       std::vector<Lit> block;
       for (Var v = 0; v < positivized_.num_vars(); ++v) {
@@ -164,7 +188,9 @@ Result<std::vector<Interpretation>> IcwaSemantics::Models(int64_t cap) {
         }
         bool ok = true;
         for (size_t i = 1; i < stratum_partitions_.size(); ++i) {
-          if (!engine_.IsMinimal(m, stratum_partitions_[i])) {
+          bool minimal = engine_.IsMinimal(m, stratum_partitions_[i]);
+          if (engine_.interrupted()) return false;  // stop; handled below
+          if (!minimal) {
             ok = false;
             break;
           }
@@ -175,6 +201,12 @@ Result<std::vector<Interpretation>> IcwaSemantics::Models(int64_t cap) {
         }
         return true;
       });
+  if (engine_.interrupted()) {
+    // Anytime payload: each collected model passed every stratum check
+    // before the interrupt, so all of them ARE ICWA models.
+    partial_models_ = std::move(out);
+    return engine_.interrupt_status();
+  }
   DD_RETURN_IF_ERROR(inner);
   return out;
 }

@@ -53,6 +53,10 @@ class IcwaSemantics : public Semantics {
 
   const MinimalStats& stats() const override { return engine_.stats(); }
 
+  /// Installs the budget on the owned engine and the options (the CEGAR
+  /// loop's dedicated solver is budgeted from the options).
+  void SetBudget(std::shared_ptr<Budget> budget) override;
+
  private:
   Status EnsureStratified();
 

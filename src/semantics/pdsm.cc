@@ -113,6 +113,11 @@ Database PdsmSemantics::BuildReductBitDb(const PartialInterpretation& i) const {
   return out;
 }
 
+void PdsmSemantics::SetBudget(std::shared_ptr<Budget> budget) {
+  opts_.budget = budget;
+  engine_.SetBudget(std::move(budget));
+}
+
 Result<bool> PdsmSemantics::IsPartialStable(const PartialInterpretation& i) {
   if (i.num_vars() != db_.num_vars()) {
     return Status::InvalidArgument("interpretation size mismatch");
@@ -124,6 +129,7 @@ Result<bool> PdsmSemantics::IsPartialStable(const PartialInterpretation& i) {
   Partition all = Partition::MinimizeAll(reduct.num_vars());
   bool minimal = re.IsMinimal(bits, all);
   engine_.AbsorbStats(re.stats());
+  if (re.interrupted()) return re.interrupt_status();
   return minimal;
 }
 
@@ -132,11 +138,23 @@ Status PdsmSemantics::ForEachPartialStable(
   // Candidates: 3-valued models of DB, enumerated over the bit encoding
   // with exact blocking.
   sat::Solver s;
+  s.SetBudget(opts_.budget);
   s.EnsureVars(bit_db_.num_vars());
   for (const auto& cl : bit_db_.ToCnf()) s.AddClause(cl);
 
   int64_t candidates = 0;
-  while (s.Solve() == sat::SolveResult::kSat) {
+  for (;;) {
+    sat::SolveResult r = s.Solve();
+    if (r == sat::SolveResult::kUnknown) {
+      // kUnknown is not "no more candidates": stopping here would silently
+      // truncate the partial-stable search and flip inferences.
+      MinimalStats ms;
+      ms.sat_calls = s.stats().solve_calls;
+      engine_.AbsorbStats(ms);
+      return BudgetOrUnknownStatus(opts_.budget,
+                                   "PDSM candidate oracle unknown");
+    }
+    if (r != sat::SolveResult::kSat) break;
     if (++candidates > opts_.max_candidates) {
       return Status::ResourceExhausted(
           StrFormat("PDSM candidate search exceeded %lld interpretations",
@@ -172,14 +190,19 @@ Result<std::vector<PartialInterpretation>> PdsmSemantics::PartialModels(
 Result<std::vector<Interpretation>> PdsmSemantics::Models(int64_t cap) {
   if (cap < 0) cap = opts_.max_models;
   std::vector<Interpretation> out;
-  DD_RETURN_IF_ERROR(
-      ForEachPartialStable([&](const PartialInterpretation& i) {
-        if (i.IsTotal()) {
-          out.push_back(i.TrueSet());
-          if (static_cast<int64_t>(out.size()) >= cap) return false;
-        }
-        return true;
-      }));
+  Status st = ForEachPartialStable([&](const PartialInterpretation& i) {
+    if (i.IsTotal()) {
+      out.push_back(i.TrueSet());
+      if (static_cast<int64_t>(out.size()) >= cap) return false;
+    }
+    return true;
+  });
+  if (!st.ok()) {
+    // Anytime payload: each collected model is a verified total stable
+    // model; the enumeration is merely truncated.
+    if (st.IsBudgetExhaustion()) partial_models_ = std::move(out);
+    return st;
+  }
   return out;
 }
 

@@ -60,6 +60,10 @@ class PdsmSemantics : public Semantics {
 
   const MinimalStats& stats() const override { return engine_.stats(); }
 
+  /// Installs the budget on the owned engine and the options (the reduct
+  /// engines and the bit-model candidate solver inherit it).
+  void SetBudget(std::shared_ptr<Budget> budget) override;
+
   /// The two-bit encoding of the 3-valued models of the database itself
   /// (exposed for tests): atom v maps to bits t=v and nf=num_vars+v.
   const Database& bit_database() const { return bit_db_; }

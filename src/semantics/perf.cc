@@ -21,6 +21,11 @@ Status PerfSemantics::CheckSupported() const {
   return Status::OK();
 }
 
+void PerfSemantics::SetBudget(std::shared_ptr<Budget> budget) {
+  opts_.budget = budget;
+  engine_.SetBudget(std::move(budget));
+}
+
 Result<bool> PerfSemantics::IsPerfect(const Interpretation& m) {
   DD_RETURN_IF_ERROR(CheckSupported());
   if (!db_.Satisfies(m)) return false;
@@ -43,7 +48,12 @@ Result<bool> PerfSemantics::IsPerfect(const Interpretation& m) {
     }
     q.AddClause(std::move(dom));
   }
-  return q.Solve() == sat::SolveResult::kUnsat;
+  sat::SolveResult r = q.Solve();
+  if (engine_.interrupted()) {
+    // kUnknown must not read as kUnsat ("perfect"): degrade to Status.
+    return engine_.interrupt_status();
+  }
+  return r == sat::SolveResult::kUnsat;
 }
 
 Result<std::vector<Interpretation>> PerfSemantics::Models(int64_t cap) {
@@ -69,7 +79,16 @@ Result<std::vector<Interpretation>> PerfSemantics::Models(int64_t cap) {
         }
         return true;
       });
-  DD_RETURN_IF_ERROR(inner);
+  if (engine_.interrupted()) {
+    // Anytime payload: each collected model passed IsPerfect before the
+    // interrupt, so the set is a sound truncated prefix.
+    partial_models_ = std::move(out);
+    return engine_.interrupt_status();
+  }
+  if (!inner.ok()) {
+    if (inner.IsBudgetExhaustion()) partial_models_ = std::move(out);
+    return inner;
+  }
   return out;
 }
 
@@ -117,6 +136,7 @@ Result<std::vector<Interpretation>> PerfSemantics::ModelsByStrataIteration(
               return inner.ok() &&
                      static_cast<int64_t>(out.size()) < cap;
             });
+        if (inner.ok() && e.interrupted()) inner = e.interrupt_status();
       };
   descend(0, Interpretation(db_.num_vars()));
   DD_RETURN_IF_ERROR(inner);
@@ -154,7 +174,12 @@ Result<std::optional<Interpretation>> PerfSemantics::FindCounterexample(
         }
         return true;
       });
-  DD_RETURN_IF_ERROR(inner);
+  if (!inner.ok()) return inner;
+  if (!out.has_value() && engine_.interrupted()) {
+    // No counterexample found, but the enumeration was cut short: "no
+    // counterexample" would wrongly report the formula as inferred.
+    return engine_.interrupt_status();
+  }
   return out;
 }
 

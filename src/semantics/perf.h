@@ -55,6 +55,10 @@ class PerfSemantics : public Semantics {
 
   const MinimalStats& stats() const override { return engine_.stats(); }
 
+  /// Installs the budget on the owned engine and the options (the strata
+  /// iteration's per-level engines inherit it from the options).
+  void SetBudget(std::shared_ptr<Budget> budget) override;
+
  private:
   Status CheckSupported() const;
 

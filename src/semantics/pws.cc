@@ -130,12 +130,19 @@ Result<std::vector<Interpretation>> PwsSemantics::PossibleModels() {
     }
     const uint32_t full0 = (1u << rules[0]->heads().size()) - 1;
     std::vector<std::set<Interpretation>> partials(full0);
-    ParallelFor(static_cast<int64_t>(full0), options().num_threads,
+    const CancelToken* cancel =
+        options().budget ? options().budget->cancel_token().get() : nullptr;
+    ParallelFor(static_cast<int64_t>(full0), options().num_threads, cancel,
                 [&](int64_t t) {
                   std::vector<uint32_t> choice(rules.size(), 1);
                   choice[0] = static_cast<uint32_t>(t) + 1;
                   std::vector<SplitRule> split;
+                  int64_t ticks = 0;
                   for (;;) {
+                    if (cancel != nullptr && ((++ticks & 255) == 0) &&
+                        cancel->cancelled()) {
+                      return;  // partial set discarded via the budget check
+                    }
                     process(choice, &split, &partials[static_cast<size_t>(t)]);
                     // Advance the odometer over rules[1..] only; rule 0 is
                     // this task's fixed partition coordinate.
@@ -151,6 +158,11 @@ Result<std::vector<Interpretation>> PwsSemantics::PossibleModels() {
                     if (i == rules.size()) break;  // inner odometer wrapped
                   }
                 });
+    // Deadline mid-enumeration: the merged set would be missing splits, so
+    // degrade to Status instead of returning a too-small possible-model set.
+    if (options().budget != nullptr && options().budget->Exhausted()) {
+      return options().budget->ToStatus();
+    }
     for (std::set<Interpretation>& p : partials) {
       found.insert(p.begin(), p.end());
     }
@@ -167,6 +179,10 @@ Result<std::vector<Interpretation>> PwsSemantics::PossibleModels() {
       return Status::ResourceExhausted(StrFormat(
           "PWS split enumeration exceeded %lld splits",
           static_cast<long long>(options().max_candidates)));
+    }
+    if (options().budget != nullptr && ((splits_explored & 255) == 0) &&
+        options().budget->Exhausted()) {
+      return options().budget->ToStatus();
     }
     process(choice, &split, &found);
 
@@ -199,7 +215,7 @@ Result<Interpretation> PwsSemantics::PossibleAtoms() {
   if (options().pws_use_sat_encoding) {
     PwsEncodingStats stats;
     DD_ASSIGN_OR_RETURN(Interpretation atoms,
-                        PossibleAtomsViaSat(db(), &stats));
+                        PossibleAtomsViaSat(db(), &stats, options().budget));
     MinimalStats ms;
     ms.sat_calls = stats.sat_calls;
     engine()->AbsorbStats(ms);

@@ -169,10 +169,12 @@ Status RequireDeductive(const Database& db) {
 
 Result<bool> Query(const Database& db,
                    const std::function<void(Solver*, Var)>& add_goal,
-                   Interpretation* witness, PwsEncodingStats* stats) {
+                   Interpretation* witness, PwsEncodingStats* stats,
+                   const std::shared_ptr<Budget>& budget) {
   DD_RETURN_IF_ERROR(RequireDeductive(db));
   Encoder enc(db);
   Solver s;
+  s.SetBudget(budget);
   enc.LoadInto(&s);
   add_goal(&s, enc.FreshBase());
   SolveResult r = s.Solve();
@@ -181,7 +183,11 @@ Result<bool> Query(const Database& db,
     stats->encoded_clauses = enc.num_clauses();
     stats->sat_calls += s.stats().solve_calls;
   }
-  DD_CHECK(r != SolveResult::kUnknown);
+  if (r == SolveResult::kUnknown) {
+    // Budget exhaustion or an injected fault: degrade to Status; folding
+    // kUnknown into "no possible model" would flip downstream inferences.
+    return BudgetOrUnknownStatus(budget, "possible-model encoding oracle unknown");
+  }
   if (r == SolveResult::kSat && witness != nullptr) {
     *witness = s.Model(db.num_vars());
   }
@@ -192,15 +198,18 @@ Result<bool> Query(const Database& db,
 
 Result<bool> ExistsPossibleModelWith(const Database& db, Lit goal_lit,
                                      Interpretation* witness,
-                                     PwsEncodingStats* stats) {
+                                     PwsEncodingStats* stats,
+                                     const std::shared_ptr<Budget>& budget) {
   return Query(
-      db, [&](Solver* s, Var) { s->AddUnit(goal_lit); }, witness, stats);
+      db, [&](Solver* s, Var) { s->AddUnit(goal_lit); }, witness, stats,
+      budget);
 }
 
 Result<bool> ExistsPossibleModelViolating(const Database& db,
                                           const Formula& f,
                                           Interpretation* witness,
-                                          PwsEncodingStats* stats) {
+                                          PwsEncodingStats* stats,
+                                          const std::shared_ptr<Budget>& budget) {
   return Query(
       db,
       [&](Solver* s, Var fresh) {
@@ -211,11 +220,12 @@ Result<bool> ExistsPossibleModelViolating(const Database& db,
         for (auto& cl : fcnf) s->AddClause(std::move(cl));
         s->AddUnit(~fl);
       },
-      witness, stats);
+      witness, stats, budget);
 }
 
 Result<Interpretation> PossibleAtomsViaSat(const Database& db,
-                                           PwsEncodingStats* stats) {
+                                           PwsEncodingStats* stats,
+                                           const std::shared_ptr<Budget>& budget) {
   DD_RETURN_IF_ERROR(RequireDeductive(db));
   Interpretation atoms(db.num_vars());
   Interpretation decided(db.num_vars());
@@ -224,7 +234,7 @@ Result<Interpretation> PossibleAtomsViaSat(const Database& db,
     Interpretation witness;
     DD_ASSIGN_OR_RETURN(
         bool in_some, ExistsPossibleModelWith(db, Lit::Pos(v), &witness,
-                                              stats));
+                                              stats, budget));
     decided.Insert(v);
     if (in_some) {
       // The whole witness settles its atoms positively.

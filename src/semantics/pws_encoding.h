@@ -25,11 +25,13 @@
 #ifndef DD_SEMANTICS_PWS_ENCODING_H_
 #define DD_SEMANTICS_PWS_ENCODING_H_
 
+#include <memory>
 #include <optional>
 
 #include "logic/database.h"
 #include "logic/formula.h"
 #include "logic/interpretation.h"
+#include "util/budget.h"
 #include "util/status.h"
 
 namespace dd {
@@ -43,24 +45,28 @@ struct PwsEncodingStats {
 
 /// Decides whether some possible model of `db` satisfies `goal_lit`.
 /// On success, `witness` (if non-null) receives such a possible model.
-/// Requires db.IsDeductive().
-Result<bool> ExistsPossibleModelWith(const Database& db, Lit goal_lit,
-                                     Interpretation* witness = nullptr,
-                                     PwsEncodingStats* stats = nullptr);
+/// Requires db.IsDeductive(). A non-null `budget` is installed on the
+/// encoded solver; exhaustion (or an injected fault) surfaces as the
+/// budget's Status rather than a wrong answer.
+Result<bool> ExistsPossibleModelWith(
+    const Database& db, Lit goal_lit, Interpretation* witness = nullptr,
+    PwsEncodingStats* stats = nullptr,
+    const std::shared_ptr<Budget>& budget = nullptr);
 
 /// Decides whether some possible model of `db` violates `f`
 /// (the counterexample query of PWS formula inference over possible
 /// models). Requires db.IsDeductive().
-Result<bool> ExistsPossibleModelViolating(const Database& db,
-                                          const Formula& f,
-                                          Interpretation* witness = nullptr,
-                                          PwsEncodingStats* stats = nullptr);
+Result<bool> ExistsPossibleModelViolating(
+    const Database& db, const Formula& f, Interpretation* witness = nullptr,
+    PwsEncodingStats* stats = nullptr,
+    const std::shared_ptr<Budget>& budget = nullptr);
 
 /// The union of all possible models computed through the encoding: one SAT
 /// query per undecided atom (with witness propagation). This is the
 /// polynomially-many-oracle-calls realization of PWS's negation set.
-Result<Interpretation> PossibleAtomsViaSat(const Database& db,
-                                           PwsEncodingStats* stats = nullptr);
+Result<Interpretation> PossibleAtomsViaSat(
+    const Database& db, PwsEncodingStats* stats = nullptr,
+    const std::shared_ptr<Budget>& budget = nullptr);
 
 }  // namespace dd
 

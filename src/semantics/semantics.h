@@ -54,11 +54,18 @@ struct SemanticsOptions {
   /// expansion rounds, PWS split scanning). Results are bit-identical for
   /// every value; <= 1 runs serially on the calling thread.
   int num_threads = 1;
+  /// Shared query budget (deadline / global conflict / oracle-call limits);
+  /// null = unbudgeted. Inherited by every engine and solver the semantics
+  /// creates. Exhaustion surfaces as kDeadlineExceeded/kResourceExhausted —
+  /// answers degrade to Unknown, never to a wrong yes/no. Installed
+  /// per-query via Semantics::SetBudget (see core/Reasoner's QueryOptions).
+  std::shared_ptr<Budget> budget;
 
   /// The engine-level tuning derived from these options.
   MinimalOptions minimal_options() const {
     MinimalOptions mo;
     mo.use_sessions = use_sessions;
+    mo.budget = budget;
     return mo;
   }
 };
@@ -122,6 +129,29 @@ class Semantics {
 
   /// Cumulative oracle accounting.
   virtual const MinimalStats& stats() const = 0;
+
+  /// Installs (or with nullptr removes) a shared query budget on this
+  /// semantics and every engine/solver it owns, clearing any interrupt
+  /// latched by a previous budgeted query. While a budget is attached,
+  /// the Result-returning entry points answer
+  /// kDeadlineExceeded/kResourceExhausted on exhaustion; any OK answer is
+  /// identical to the unbudgeted one ("Unknown is allowed, wrong is not",
+  /// docs/ROBUSTNESS.md).
+  virtual void SetBudget(std::shared_ptr<Budget> budget) = 0;
+
+  /// Anytime payload: the models a Models() call had already collected when
+  /// it was cut short by budget exhaustion (the call itself returns the
+  /// exhaustion Status). Moving-out; cleared by the next Models() call.
+  /// Every returned model IS an intended model — the set is merely
+  /// truncated, per the anytime-soundness contract.
+  std::vector<Interpretation> TakePartialModels() {
+    return std::move(partial_models_);
+  }
+
+ protected:
+  /// Implementations stash their collected-so-far models here before
+  /// returning an exhaustion Status from Models().
+  std::vector<Interpretation> partial_models_;
 };
 
 /// Factory covering the semantics that need no extra parameters

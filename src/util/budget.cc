@@ -1,0 +1,92 @@
+#include "util/budget.h"
+
+namespace dd {
+
+Budget::Budget(const Limits& limits, std::shared_ptr<CancelToken> cancel)
+    : limits_(limits),
+      conflicts_left_(limits.conflict_budget),
+      oracle_calls_left_(limits.oracle_call_budget),
+      cancel_(cancel ? std::move(cancel) : std::make_shared<CancelToken>()) {
+  if (limits_.deadline_ms >= 0) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(limits_.deadline_ms);
+  }
+}
+
+std::shared_ptr<Budget> Budget::Make(const Limits& limits,
+                                     std::shared_ptr<CancelToken> cancel) {
+  // Not make_shared: the constructor is private.
+  return std::shared_ptr<Budget>(new Budget(limits, std::move(cancel)));
+}
+
+void Budget::Latch(BudgetExhaustion why) {
+  int expected = static_cast<int>(BudgetExhaustion::kNone);
+  reason_.compare_exchange_strong(expected, static_cast<int>(why),
+                                  std::memory_order_acq_rel);
+  // Regardless of who won the latch, make sure siblings stop.
+  cancel_->Cancel();
+}
+
+bool Budget::Exhausted() {
+  if (reason_.load(std::memory_order_acquire) !=
+      static_cast<int>(BudgetExhaustion::kNone)) {
+    return true;
+  }
+  if (cancel_->cancelled()) {
+    Latch(BudgetExhaustion::kCancelled);
+    return true;
+  }
+  if (limits_.deadline_ms >= 0 &&
+      std::chrono::steady_clock::now() >= deadline_) {
+    Latch(BudgetExhaustion::kDeadline);
+    return true;
+  }
+  return false;
+}
+
+bool Budget::ConsumeConflicts(int64_t n) {
+  if (limits_.conflict_budget < 0) return true;
+  int64_t left =
+      conflicts_left_.fetch_sub(n, std::memory_order_relaxed) - n;
+  if (left < 0) {
+    Latch(BudgetExhaustion::kConflicts);
+    return false;
+  }
+  return true;
+}
+
+bool Budget::ConsumeOracleCall() {
+  if (limits_.oracle_call_budget < 0) return true;
+  int64_t left = oracle_calls_left_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  if (left < 0) {
+    Latch(BudgetExhaustion::kOracleCalls);
+    return false;
+  }
+  return true;
+}
+
+Status Budget::ToStatus() const {
+  switch (reason()) {
+    case BudgetExhaustion::kNone:
+      return Status::OK();
+    case BudgetExhaustion::kDeadline:
+      return Status::DeadlineExceeded("query deadline exceeded");
+    case BudgetExhaustion::kCancelled:
+      return Status::DeadlineExceeded("query cancelled");
+    case BudgetExhaustion::kConflicts:
+      return Status::ResourceExhausted("conflict budget exhausted");
+    case BudgetExhaustion::kOracleCalls:
+      return Status::ResourceExhausted("oracle-call budget exhausted");
+  }
+  return Status::Internal("unreachable budget reason");
+}
+
+int64_t Budget::RemainingMs() const {
+  if (limits_.deadline_ms < 0) return -1;
+  auto now = std::chrono::steady_clock::now();
+  if (now >= deadline_) return 0;
+  return std::chrono::duration_cast<std::chrono::milliseconds>(deadline_ - now)
+      .count();
+}
+
+}  // namespace dd

@@ -1,0 +1,171 @@
+// Query budgets: deadlines, conflict/oracle-call budgets, cooperative
+// cancellation, and the three-valued answer type for anytime queries.
+//
+// Every decision problem in the paper's Tables 1-2 sits at or above the
+// second level of the polynomial hierarchy, so on adversarial instances the
+// engines are *designed* to blow up. A Budget turns "blow up" into "degrade":
+// it carries a wall-clock deadline (steady_clock), a global conflict budget
+// shared by every SAT call a query makes, an oracle-call budget, and a
+// CancelToken shared with sibling workers. Layers poll it cooperatively:
+//
+//   * sat::Solver::Solve consumes conflicts as they happen and polls the
+//     deadline on propagation/conflict ticks, returning kUnknown on
+//     exhaustion;
+//   * MinimalEngine / uminsat / QBF-CEGAR / the semantics engines poll it
+//     between oracle calls and propagate a Status instead of looping on;
+//   * ParallelFor stops claiming indices once the token is cancelled, so the
+//     first slot to exhaust the budget cancels its siblings.
+//
+// The anytime-soundness contract (docs/ROBUSTNESS.md): when a budget runs
+// out, a query may answer Unknown, and enumerations may return a truncated
+// prefix clearly marked as such — but a definite yes/no/model-set handed
+// back with an OK status is always the same answer an unbudgeted run would
+// produce. Unknown is allowed; wrong is not.
+#ifndef DD_UTIL_BUDGET_H_
+#define DD_UTIL_BUDGET_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace dd {
+
+/// Three-valued answer for budgeted queries: a definite verdict or a sound
+/// "ran out of resources before deciding".
+enum class Trilean { kNo = 0, kYes = 1, kUnknown = 2 };
+
+inline const char* TrileanName(Trilean t) {
+  switch (t) {
+    case Trilean::kNo:
+      return "no";
+    case Trilean::kYes:
+      return "yes";
+    case Trilean::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+inline Trilean TrileanFromBool(bool b) {
+  return b ? Trilean::kYes : Trilean::kNo;
+}
+
+/// A shared cancellation flag. Cheap to poll (relaxed atomic load); once
+/// cancelled it stays cancelled. Budget exhaustion cancels the token, which
+/// is how the first parallel slot to run dry stops its siblings.
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Why a budget stopped admitting work. First exhaustion wins and is
+/// latched; later polls keep reporting the original reason.
+enum class BudgetExhaustion {
+  kNone = 0,
+  kDeadline,     ///< wall-clock deadline passed
+  kConflicts,    ///< global conflict budget consumed
+  kOracleCalls,  ///< oracle-call budget consumed
+  kCancelled,    ///< external CancelToken fired
+};
+
+/// Thread-safe query budget. Create one per top-level query via
+/// Budget::Make, share the std::shared_ptr down through every layer the
+/// query touches, and poll Exhausted() between units of work.
+///
+/// All counters are atomics; Exhausted() and the Consume* calls are safe
+/// from any number of worker threads. A value of -1 for any limit means
+/// "unlimited" along that axis.
+class Budget {
+ public:
+  struct Limits {
+    int64_t deadline_ms = -1;          ///< wall-clock, from Make() call
+    int64_t conflict_budget = -1;      ///< total CDCL conflicts, all solves
+    int64_t oracle_call_budget = -1;   ///< total Solve() entries
+  };
+
+  /// Builds a budget whose deadline clock starts now. `cancel` may be null,
+  /// in which case a private token is created.
+  static std::shared_ptr<Budget> Make(
+      const Limits& limits, std::shared_ptr<CancelToken> cancel = nullptr);
+
+  /// True once any axis has run out (or the token was cancelled). Latches
+  /// the first reason and cancels the token so siblings see it too. Cheap
+  /// when already exhausted; otherwise one steady_clock read when a
+  /// deadline is set.
+  bool Exhausted();
+
+  /// Const probe: reports exhaustion already observed (latched reason or
+  /// cancelled token) without reading the clock. Use Exhausted() at poll
+  /// points; use this where only a cheap recheck is needed.
+  bool ExhaustedNoClock() const {
+    return reason_.load(std::memory_order_relaxed) !=
+               static_cast<int>(BudgetExhaustion::kNone) ||
+           cancel_->cancelled();
+  }
+
+  /// Consumes `n` conflicts. Returns false (and latches kConflicts) if the
+  /// conflict budget is thereby run dry.
+  bool ConsumeConflicts(int64_t n);
+
+  /// Consumes one oracle (SAT solver) call. Returns false (and latches
+  /// kOracleCalls) once the call budget is gone.
+  bool ConsumeOracleCall();
+
+  /// Latched exhaustion reason (kNone while still in budget).
+  BudgetExhaustion reason() const {
+    return static_cast<BudgetExhaustion>(
+        reason_.load(std::memory_order_acquire));
+  }
+
+  /// Maps the latched reason to the Status a query should surface:
+  /// deadline/cancellation -> kDeadlineExceeded, conflict/oracle budgets ->
+  /// kResourceExhausted. OK if not exhausted.
+  Status ToStatus() const;
+
+  const std::shared_ptr<CancelToken>& cancel_token() const { return cancel_; }
+
+  /// Remaining wall-clock in milliseconds; -1 if no deadline. Clamped at 0.
+  int64_t RemainingMs() const;
+
+  const Limits& limits() const { return limits_; }
+
+ private:
+  Budget(const Limits& limits, std::shared_ptr<CancelToken> cancel);
+
+  /// Latch `why` as the exhaustion reason (first writer wins) and cancel
+  /// the shared token.
+  void Latch(BudgetExhaustion why);
+
+  Limits limits_;
+  std::chrono::steady_clock::time_point deadline_;  // valid iff deadline_ms>=0
+  std::atomic<int64_t> conflicts_left_;
+  std::atomic<int64_t> oracle_calls_left_;
+  std::atomic<int> reason_{static_cast<int>(BudgetExhaustion::kNone)};
+  std::shared_ptr<CancelToken> cancel_;
+};
+
+/// The Status to surface when an oracle reported kUnknown: the budget's
+/// latched reason when one is attached and exhausted, otherwise a generic
+/// ResourceExhausted (per-call conflict budgets, fault injection).
+inline Status BudgetOrUnknownStatus(const std::shared_ptr<Budget>& budget,
+                                    const char* what) {
+  if (budget != nullptr) {
+    Status s = budget->ToStatus();
+    if (!s.ok()) return s;
+  }
+  return Status::ResourceExhausted(std::string(what));
+}
+
+}  // namespace dd
+
+#endif  // DD_UTIL_BUDGET_H_

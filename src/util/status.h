@@ -19,6 +19,7 @@ enum class StatusCode {
   kFailedPrecondition,///< operation not applicable (e.g. DB not stratified)
   kResourceExhausted, ///< configured limit hit (model cap, conflict budget)
   kInternal,          ///< invariant violation inside the library
+  kDeadlineExceeded,  ///< wall-clock deadline passed / query cancelled
 };
 
 /// Result of a fallible operation: a code plus a human-readable message.
@@ -49,6 +50,16 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+
+  /// True for the two "ran out of budget, answer is Unknown rather than
+  /// wrong" codes that anytime queries treat as a soft stop.
+  bool IsBudgetExhaustion() const {
+    return code_ == StatusCode::kDeadlineExceeded ||
+           code_ == StatusCode::kResourceExhausted;
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

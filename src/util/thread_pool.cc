@@ -67,15 +67,24 @@ int ThreadPool::DefaultThreads() {
 
 void ParallelFor(int64_t n, int threads,
                  const std::function<void(int64_t)>& fn) {
+  ParallelFor(n, threads, /*cancel=*/nullptr, fn);
+}
+
+void ParallelFor(int64_t n, int threads, const CancelToken* cancel,
+                 const std::function<void(int64_t)>& fn) {
   if (n <= 0) return;
   if (threads > n) threads = static_cast<int>(n);
   if (threads <= 1) {
-    for (int64_t i = 0; i < n; ++i) fn(i);
+    for (int64_t i = 0; i < n; ++i) {
+      if (cancel != nullptr && cancel->cancelled()) return;
+      fn(i);
+    }
     return;
   }
   std::atomic<int64_t> cursor{0};
   auto worker = [&] {
     for (;;) {
+      if (cancel != nullptr && cancel->cancelled()) return;
       int64_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       fn(i);

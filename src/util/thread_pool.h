@@ -22,6 +22,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/budget.h"
+
 namespace dd {
 
 /// A fixed pool of worker threads consuming a FIFO task queue.
@@ -71,6 +73,22 @@ class ThreadPool {
 /// write its result only to index-owned storage; with that contract the
 /// overall result is deterministic in the thread count.
 void ParallelFor(int64_t n, int threads,
+                 const std::function<void(int64_t)>& fn);
+
+/// Cooperatively cancellable ParallelFor: once `cancel` fires (typically
+/// because one slot exhausted the shared query Budget, which cancels its
+/// token), workers stop claiming *new* indices; in-flight iterations run to
+/// completion (iterations poll the budget themselves at oracle-call
+/// granularity). `cancel` may be null, in which case this is plain
+/// ParallelFor.
+///
+/// Determinism contract: an *uncancelled* run executes every index and is
+/// bit-identical in the thread count, exactly like ParallelFor. A cancelled
+/// run may skip an arbitrary suffix/subset of indices — callers must treat
+/// the overall computation as interrupted (answer Unknown / propagate the
+/// budget Status) and never report results merged from a cancelled run as a
+/// definite answer.
+void ParallelFor(int64_t n, int threads, const CancelToken* cancel,
                  const std::function<void(int64_t)>& fn);
 
 }  // namespace dd

@@ -7,6 +7,7 @@
 #include "gen/generators.h"
 #include "gtest/gtest.h"
 #include "logic/parser.h"
+#include "sat/dimacs.h"
 #include "sat/solver.h"
 #include "semantics/dsm.h"
 #include "semantics/pdsm.h"
@@ -50,6 +51,92 @@ TEST(ParserFuzz, ValidProgramsRoundTripAfterMutation) {
     (void)ParseDatabase(text);
   }
   SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
+// DIMACS reader fuzzing (sat/dimacs.cc): malformed headers and literals
+// must come back as Status, never crash, never drive num_vars to absurd
+// values. Runs under the ASan leg of scripts/check.sh like the rest of
+// this file.
+
+TEST(DimacsFuzz, RandomGarbageNeverCrashes) {
+  const char charset[] = "pcnfdb 0123456789-\n\t%x";
+  Rng rng(20260806);
+  int parsed_ok = 0;
+  for (int iter = 0; iter < 5000; ++iter) {
+    std::string text;
+    int len = static_cast<int>(rng.Below(60));
+    for (int i = 0; i < len; ++i) {
+      text += charset[rng.Below(sizeof(charset) - 1)];
+    }
+    auto cnf = sat::ParseDimacs(text);
+    if (cnf.ok()) {
+      ++parsed_ok;
+      // Whatever parsed must be structurally sane.
+      EXPECT_GE(cnf->num_vars, 0);
+      EXPECT_LE(cnf->num_vars, 20000000);
+    }
+  }
+  // Some strings (e.g. all-whitespace) parse to an empty CNF; most fail.
+  EXPECT_GT(parsed_ok, 0);
+  EXPECT_LT(parsed_ok, 5000);
+}
+
+TEST(DimacsFuzz, MalformedInputsReturnStatus) {
+  const char* kBad[] = {
+      "1 2",                         // clause not terminated by 0
+      "p cnf 3 2\n1 -2 0\n2 3",      // last clause unterminated
+      "p cnf abc 3\n1 0",            // non-numeric var count
+      "p cnf -3 2\n1 0",             // negative var count
+      "p cnf 99999999999999999999 1\n1 0",  // overflowing var count
+      "99999999999999999999 0",      // overflowing literal
+      "123456789123 0",              // literal beyond the hard cap
+      "-123456789123 0",             // negative literal beyond the cap
+      "1x 0",                        // trailing junk in a literal
+      "p cnf 3 1\n1 2 x 0",          // junk inside a clause
+  };
+  for (const char* text : kBad) {
+    auto cnf = sat::ParseDimacs(text);
+    EXPECT_FALSE(cnf.ok()) << "accepted: " << text;
+    if (!cnf.ok()) {
+      EXPECT_EQ(cnf.status().code(), StatusCode::kInvalidArgument) << text;
+    }
+  }
+}
+
+TEST(DimacsFuzz, WellFormedInputsStillParse) {
+  auto cnf = sat::ParseDimacs("c comment\np cnf 5 2\n1 -2 0\n3 4 5 0\n");
+  ASSERT_TRUE(cnf.ok());
+  EXPECT_EQ(cnf->num_vars, 5);
+  ASSERT_EQ(cnf->clauses.size(), 2u);
+  EXPECT_EQ(cnf->clauses[0].size(), 2u);
+  // Header may over-declare variables; the count is kept.
+  auto wide = sat::ParseDimacs("p cnf 9 1\n1 0\n");
+  ASSERT_TRUE(wide.ok());
+  EXPECT_EQ(wide->num_vars, 9);
+  // Headerless body is accepted (the reader trusts the clause list).
+  auto bare = sat::ParseDimacs("1 2 0\n-1 0\n");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare->num_vars, 2);
+  ASSERT_EQ(bare->clauses.size(), 2u);
+}
+
+TEST(DimacsFuzz, RoundTripAfterMutationNeverCrashes) {
+  // Mutate one character of a valid DIMACS file; the reader either parses
+  // or fails with a Status — and re-rendering whatever parsed round-trips.
+  Rng rng(77);
+  const std::string base = "p cnf 4 3\n1 -2 0\n2 3 4 0\n-4 0\n";
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string text = base;
+    size_t pos = rng.Below(text.size());
+    text[pos] = static_cast<char>(32 + rng.Below(95));
+    auto cnf = sat::ParseDimacs(text);
+    if (!cnf.ok()) continue;
+    auto again = sat::ParseDimacs(sat::ToDimacs(*cnf));
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->clauses.size(), cnf->clauses.size());
+    EXPECT_GE(again->num_vars, 0);
+  }
 }
 
 TEST(SolverStress, ThresholdInstancesExerciseRestartsAndReduce) {
