@@ -40,6 +40,8 @@ struct Leg {
   int64_t oracle_calls = 0; ///< counting-algorithm Σ₂ᵖ calls (structural)
   int64_t sat_calls = 0;    ///< solver invocations actually performed
   int64_t cache_hits = 0;   ///< answers served from session memo
+  MinimalStats stats;             ///< full oracle counters of the leg
+  oracle::SessionStats sess;      ///< full session-reuse counters
 };
 
 /// The A/B workload: the repeated-query pattern sessions are built for.
@@ -67,6 +69,8 @@ Leg RunFamily(const Database& db, bool use_sessions, int threads,
     (void)negs;
     leg.sat_calls += gcwa.stats().sat_calls;
     leg.cache_hits += gcwa.session_stats().cache_hits;
+    leg.stats.Add(gcwa.stats());
+    leg.sess.Add(gcwa.session_stats());
   }
   {
     EgcwaSemantics egcwa(db, opts);
@@ -82,6 +86,8 @@ Leg RunFamily(const Database& db, bool use_sessions, int threads,
     }
     leg.sat_calls += egcwa.stats().sat_calls;
     leg.cache_hits += egcwa.session_stats().cache_hits;
+    leg.stats.Add(egcwa.stats());
+    leg.sess.Add(egcwa.session_stats());
   }
   leg.ms = t.ElapsedSeconds() * 1e3;
   return leg;
@@ -102,11 +108,16 @@ int main_impl(int argc, char** argv) {
     int64_t calls = 0;
     int free_atoms = 0;
     double secs = 0;
+    double gen_secs = 0;
     bool timed_out = false;
+    MinimalStats row_stats;
+    oracle::SessionStats row_sess;
     const int reps = 3;
     for (int i = 0; i < reps; ++i) {
+      Timer gen_t;
       Database db = RandomPositiveDdb(
           n, 2 * n, DeriveSeed(args.seed * 7, static_cast<uint64_t>(n) + i));
+      gen_secs += gen_t.ElapsedSeconds();
       // Per-instance watchdog (--timeout-ms): cooperative cutoff instead
       // of hanging the sweep; the row records "timeout": true.
       opts.budget = bench::MakeWatchdogBudget(args);
@@ -114,6 +125,8 @@ int main_impl(int argc, char** argv) {
       Timer t;
       auto r = gcwa.InfersFormulaViaCounting(FormulaNode::MakeAtom(0));
       secs += t.ElapsedSeconds();
+      row_stats.Add(gcwa.stats());
+      row_sess.Add(gcwa.session_stats());
       if (r.ok()) {
         calls += r->oracle_calls;
         free_atoms += r->free_count;
@@ -129,9 +142,12 @@ int main_impl(int argc, char** argv) {
                 static_cast<double>(calls) / reps, bound,
                 static_cast<double>(free_atoms) / reps, secs,
                 timed_out ? "  TIMEOUT" : "");
-    json.Add(StrFormat("gcwa_counting%s",
-                       args.use_sessions ? "" : "_no_sessions"),
-             n, secs * 1e3 / reps, calls / reps, 0, timed_out);
+    bench::BenchRecord row{StrFormat("gcwa_counting%s",
+                                     args.use_sessions ? "" : "_no_sessions"),
+                           n, secs * 1e3 / reps, calls / reps, 0, timed_out};
+    row.AddPhase("generate", gen_secs * 1e3).AddPhase("query", secs * 1e3);
+    row.metrics = obs::SnapshotOf(row_stats, nullptr, &row_sess);
+    json.Add(std::move(row));
   }
 
   std::printf("\nCCWA variant (P = first half, Q = next quarter, Z = rest)\n");
@@ -140,11 +156,16 @@ int main_impl(int argc, char** argv) {
   for (int n : {8, 16, 32, 64}) {
     int64_t calls = 0;
     double secs = 0;
+    double gen_secs = 0;
     bool timed_out = false;
+    MinimalStats row_stats;
+    oracle::SessionStats row_sess;
     const int reps = 3;
     for (int i = 0; i < reps; ++i) {
+      Timer gen_t;
       Database db = RandomPositiveDdb(
           n, 2 * n, DeriveSeed(args.seed * 13, static_cast<uint64_t>(n) + i));
+      gen_secs += gen_t.ElapsedSeconds();
       Partition p;
       p.p = Interpretation(n);
       p.q = Interpretation(n);
@@ -163,6 +184,8 @@ int main_impl(int argc, char** argv) {
       Timer t;
       auto r = ccwa.InfersFormulaViaCounting(FormulaNode::MakeAtom(0));
       secs += t.ElapsedSeconds();
+      row_stats.Add(ccwa.stats());
+      row_sess.Add(ccwa.session_stats());
       if (r.ok()) calls += r->oracle_calls;
       if (bench::TimedOut(opts.budget)) {
         timed_out = true;
@@ -174,9 +197,12 @@ int main_impl(int argc, char** argv) {
     std::printf("%8d %14.1f %18d %10.4f%s\n", n,
                 static_cast<double>(calls) / reps, bound, secs,
                 timed_out ? "  TIMEOUT" : "");
-    json.Add(StrFormat("ccwa_counting%s",
-                       args.use_sessions ? "" : "_no_sessions"),
-             n, secs * 1e3 / reps, calls / reps, 0, timed_out);
+    bench::BenchRecord row{StrFormat("ccwa_counting%s",
+                                     args.use_sessions ? "" : "_no_sessions"),
+                           n, secs * 1e3 / reps, calls / reps, 0, timed_out};
+    row.AddPhase("generate", gen_secs * 1e3).AddPhase("query", secs * 1e3);
+    row.metrics = obs::SnapshotOf(row_stats, nullptr, &row_sess);
+    json.Add(std::move(row));
   }
   std::printf(
       "\nExpected shape: the oracle-call column grows by about +1 per "
@@ -205,10 +231,16 @@ int main_impl(int argc, char** argv) {
                 static_cast<long long>(fresh.sat_calls),
                 static_cast<long long>(sess.sat_calls),
                 static_cast<long long>(sess.cache_hits));
-    json.Add("ab_fresh", n, fresh.ms, fresh.oracle_calls, fresh.cache_hits,
-             fresh_to);
-    json.Add("ab_session", n, sess.ms, sess.oracle_calls, sess.cache_hits,
-             sess_to);
+    bench::BenchRecord fresh_row{"ab_fresh", n, fresh.ms, fresh.oracle_calls,
+                                 fresh.cache_hits, fresh_to};
+    fresh_row.AddPhase("workload", fresh.ms);
+    fresh_row.metrics = obs::SnapshotOf(fresh.stats, nullptr, &fresh.sess);
+    json.Add(std::move(fresh_row));
+    bench::BenchRecord sess_row{"ab_session", n, sess.ms, sess.oracle_calls,
+                                sess.cache_hits, sess_to};
+    sess_row.AddPhase("workload", sess.ms);
+    sess_row.metrics = obs::SnapshotOf(sess.stats, nullptr, &sess.sess);
+    json.Add(std::move(sess_row));
   }
   std::printf(
       "\nExpected shape: identical oracle-call counts in both columns — the "

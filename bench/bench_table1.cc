@@ -264,18 +264,24 @@ int main_impl(int argc, char** argv) {
     Timer t;
     int64_t sat = 0;
     bool timed_out = false;
+    double gen_secs = 0;
+    double solve_secs = 0;
     for (int i = 0; i < kInstances; ++i) {
       // Per-instance seeds are derived, not drawn from a stream, so any
       // instance can be regenerated independently (and in parallel).
+      Timer gen_t;
       Database db = RandomPositiveDdb(
           cell.num_vars, 2 * cell.num_vars,
           DeriveSeed(args.seed * 1000 + static_cast<uint64_t>(cell.num_vars),
                      static_cast<uint64_t>(i)));
+      gen_secs += gen_t.ElapsedSeconds();
       // Per-instance watchdog: the engines poll this budget between oracle
       // calls, so a pathological instance is cut off instead of hanging
       // the whole sweep; the row records the cutoff.
       opts.budget = bench::MakeWatchdogBudget(args);
+      Timer solve_t;
       sat += cell.run(db, &rng);
+      solve_secs += solve_t.ElapsedSeconds();
       if (bench::TimedOut(opts.budget)) {
         timed_out = true;
         break;
@@ -293,8 +299,17 @@ int main_impl(int argc, char** argv) {
                : sat == 0 ? "no oracle: tractable/O(1) path"
                           : StrFormat("n=%d", cell.num_vars);
     rows.push_back(row);
-    json.Add(StrFormat("%s/%s", cell.semantics, cell.task), cell.num_vars,
-             row.seconds * 1e3, sat, 0, timed_out);
+    bench::BenchRecord rec{StrFormat("%s/%s", cell.semantics, cell.task),
+                           cell.num_vars, row.seconds * 1e3, sat, 0,
+                           timed_out};
+    // Per-phase attribution + the row's counter snapshot under the
+    // canonical dd.* names (docs/OBSERVABILITY.md).
+    rec.AddPhase("generate", gen_secs * 1e3)
+        .AddPhase("solve", solve_secs * 1e3);
+    MinimalStats cell_stats;
+    cell_stats.sat_calls = sat;
+    rec.metrics = obs::SnapshotOf(cell_stats);
+    json.Add(std::move(rec));
   }
   std::printf("%s\n",
               FormatMeasuredTable(

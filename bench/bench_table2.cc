@@ -312,16 +312,22 @@ int main_impl(int argc, char** argv) {
     Timer t;
     int64_t sat = 0;
     bool timed_out = false;
+    double gen_secs = 0;
+    double solve_secs = 0;
     for (int i = 0; i < kInstances; ++i) {
       // Derived (order-independent) per-instance seeds; see util/rng.h.
+      Timer gen_t;
       Database db = cell.make(
           cell.num_vars,
           DeriveSeed(args.seed * 2000 + static_cast<uint64_t>(cell.num_vars),
                      static_cast<uint64_t>(i)));
+      gen_secs += gen_t.ElapsedSeconds();
       // Per-instance watchdog (--timeout-ms): cut pathological instances
       // off cooperatively instead of hanging the sweep.
       opts.budget = bench::MakeWatchdogBudget(args);
+      Timer solve_t;
       sat += cell.run(db, &rng);
+      solve_secs += solve_t.ElapsedSeconds();
       if (bench::TimedOut(opts.budget)) {
         timed_out = true;
         break;
@@ -339,8 +345,17 @@ int main_impl(int argc, char** argv) {
                : sat == 0 ? "no oracle: O(1)/poly path"
                           : StrFormat("n=%d", cell.num_vars);
     rows.push_back(row);
-    json.Add(StrFormat("%s/%s", cell.semantics, cell.task), cell.num_vars,
-             row.seconds * 1e3, sat, 0, timed_out);
+    bench::BenchRecord rec{StrFormat("%s/%s", cell.semantics, cell.task),
+                           cell.num_vars, row.seconds * 1e3, sat, 0,
+                           timed_out};
+    // Per-phase attribution + the row's counter snapshot under the
+    // canonical dd.* names (docs/OBSERVABILITY.md).
+    rec.AddPhase("generate", gen_secs * 1e3)
+        .AddPhase("solve", solve_secs * 1e3);
+    MinimalStats cell_stats;
+    cell_stats.sat_calls = sat;
+    rec.metrics = obs::SnapshotOf(cell_stats);
+    json.Add(std::move(rec));
   }
   std::printf("%s\n",
               FormatMeasuredTable(

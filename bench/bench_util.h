@@ -7,11 +7,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/stats_view.h"
 #include "util/budget.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -83,6 +86,21 @@ struct BenchRecord {
   int64_t oracle_calls = 0; ///< semantic oracle calls (mode-invariant)
   int64_t cache_hits = 0;   ///< oracle answers served from session memo
   bool timeout = false;     ///< the --timeout-ms watchdog cut this row off
+
+  /// Per-phase wall-clock attribution (name, ms), insertion-ordered — e.g.
+  /// {"generate", 0.4}, {"query", 11.2}. Emitted as the row's "phases"
+  /// object when nonempty.
+  std::vector<std::pair<std::string, double>> phases;
+
+  /// Full counter snapshot for the row under the canonical dd.* names
+  /// (build with obs::SnapshotOf or MetricsRegistry::Snapshot). Emitted as
+  /// the row's "metrics" object via obs::WriteJson when nonempty.
+  obs::MetricsSnapshot metrics;
+
+  BenchRecord& AddPhase(std::string phase, double ms) {
+    phases.emplace_back(std::move(phase), ms);
+    return *this;
+  }
 };
 
 /// Accumulates BenchRecords and writes them as BENCH_<name>.json in the
@@ -103,41 +121,48 @@ class BenchJsonWriter {
   }
 
   /// Writes BENCH_<bench>.json; idempotent. Returns false on I/O failure.
+  /// Rows always carry the flat legacy fields; rows with phase timings
+  /// gain a "phases" object and rows with a counter snapshot gain a
+  /// "metrics" object rendered through obs::WriteJson (the same
+  /// serializer ddquery --metrics uses, so one schema serves both).
   bool Write() {
     if (written_) return true;
     std::string path = StrFormat("BENCH_%s.json", bench_.c_str());
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) return false;
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"records\": [\n",
-                 Escape(bench_).c_str());
+    std::ofstream f(path);
+    if (!f) return false;
+    f << "{\n  \"bench\": \"" << obs::JsonEscape(bench_)
+      << "\",\n  \"schema\": 2,\n  \"records\": [\n";
     for (size_t i = 0; i < records_.size(); ++i) {
       const BenchRecord& r = records_[i];
-      std::fprintf(f,
-                   "    {\"name\": \"%s\", \"n\": %d, \"wall_ms\": %.3f, "
-                   "\"oracle_calls\": %lld, \"cache_hits\": %lld, "
-                   "\"timeout\": %s}%s\n",
-                   Escape(r.name).c_str(), r.n, r.wall_ms,
-                   static_cast<long long>(r.oracle_calls),
-                   static_cast<long long>(r.cache_hits),
-                   r.timeout ? "true" : "false",
-                   i + 1 < records_.size() ? "," : "");
+      f << StrFormat(
+          "    {\"name\": \"%s\", \"n\": %d, \"wall_ms\": %.3f, "
+          "\"oracle_calls\": %lld, \"cache_hits\": %lld, \"timeout\": %s",
+          obs::JsonEscape(r.name).c_str(), r.n, r.wall_ms,
+          static_cast<long long>(r.oracle_calls),
+          static_cast<long long>(r.cache_hits),
+          r.timeout ? "true" : "false");
+      if (!r.phases.empty()) {
+        f << ", \"phases\": {";
+        for (size_t p = 0; p < r.phases.size(); ++p) {
+          f << StrFormat("\"%s\": %.3f%s",
+                         obs::JsonEscape(r.phases[p].first).c_str(),
+                         r.phases[p].second,
+                         p + 1 < r.phases.size() ? ", " : "");
+        }
+        f << "}";
+      }
+      if (!r.metrics.counters.empty() || !r.metrics.histograms.empty()) {
+        f << ", \"metrics\": ";
+        obs::WriteJson(f, r.metrics);
+      }
+      f << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
     }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    written_ = true;
-    return true;
+    f << "  ]\n}\n";
+    written_ = static_cast<bool>(f);
+    return written_;
   }
 
  private:
-  static std::string Escape(const std::string& s) {
-    std::string out;
-    for (char c : s) {
-      if (c == '"' || c == '\\') out.push_back('\\');
-      out.push_back(c);
-    }
-    return out;
-  }
-
   std::string bench_;
   std::vector<BenchRecord> records_;
   bool written_ = false;

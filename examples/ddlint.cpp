@@ -18,8 +18,10 @@
 //                        runs no SAT oracle, so it never consumes it)
 //
 // Exit status: 0 clean, 1 if any warning/error diagnostic was emitted or
-// any input failed to read/parse, 2 if the run exceeded its budget
-// (--timeout-ms); see docs/ROBUSTNESS.md for the budget protocol.
+// any input failed to read/parse, 2 if the run exhausted its budget —
+// the check keys off Budget::Exhausted(), so it covers the deadline
+// (kDeadlineExceeded) and external cancellation (kCancelled) alike; see
+// docs/ROBUSTNESS.md for the budget protocol.
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>

@@ -26,9 +26,15 @@
 //   --timeout-ms=N        per-query wall-clock deadline
 //   --conflict-budget=N   per-query total CDCL conflict budget
 //
+// Observability options (see docs/OBSERVABILITY.md):
+//   --trace-json=FILE     write the session's span tree as JSON on exit
+//   --metrics             print the metrics-registry snapshot as JSON on
+//                         exit (counters under the canonical dd.* names)
+//
 // Exit status: 0 on success, 1 on a load/parse failure of the initial
-// program, 2 if any query ran out of budget (answered "unknown" or was
-// truncated) — see docs/ROBUSTNESS.md.
+// program (or an unwritable --trace-json file), 2 if any query ran out of
+// budget — deadline, conflicts, oracle calls OR external cancellation
+// (kCancelled); both answer "unknown"/truncated — see docs/ROBUSTNESS.md.
 #include <unistd.h>
 
 #include <cerrno>
@@ -44,6 +50,9 @@
 #include "core/reasoner.h"
 #include "ground/grounder.h"
 #include "logic/printer.h"
+#include "obs/metrics.h"
+#include "obs/stats_view.h"
+#include "obs/trace.h"
 #include "strat/stratifier.h"
 #include "util/string_util.h"
 
@@ -87,7 +96,8 @@ void PrintHelp() {
       "          partition p=a,b q=c rest=z | stats | help | quit\n"
       "semantics: gcwa egcwa ccwa ecwa ddr pws perf icwa dsm pdsm\n"
       "flags: --timeout-ms=N --conflict-budget=N (budgeted queries; exit 2\n"
-      "       if any query runs out of budget)\n");
+      "       if any query runs out of budget)\n"
+      "       --trace-json=FILE --metrics (observability exports)\n");
 }
 
 /// Parses "--name=123" / "--name 123" style int64 flags; advances *i when
@@ -170,6 +180,8 @@ bool ParsePartitionArgs(const std::string& rest_of_line, dd::Reasoner* r) {
 
 int main(int argc, char** argv) {
   dd::QueryOptions query_opts;
+  std::string trace_path;
+  bool print_metrics = false;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     bool matched = false;
@@ -183,10 +195,37 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (matched) continue;
+    std::string arg = argv[i];
+    if (arg == "--metrics") {
+      print_metrics = true;
+      continue;
+    }
+    if (arg.rfind("--trace-json=", 0) == 0) {
+      trace_path = arg.substr(std::string("--trace-json=").size());
+      if (trace_path.empty()) {
+        std::fprintf(stderr, "ddquery: --trace-json needs a file name\n");
+        return 1;
+      }
+      continue;
+    }
+    if (arg == "--trace-json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ddquery: --trace-json needs a file name\n");
+        return 1;
+      }
+      trace_path = argv[++i];
+      continue;
+    }
     positional.push_back(argv[i]);
   }
 
+  // One span tree for the whole session: every query command records one
+  // "reasoner"-layer span (with engine-layer spans nested below).
+  dd::obs::TraceContext trace;
+  dd::obs::TraceContext* trace_ptr = trace_path.empty() ? nullptr : &trace;
+
   dd::Reasoner reasoner{dd::Database()};
+  reasoner.set_trace(trace_ptr);
   if (!positional.empty()) {
     auto text = ReadFile(positional[0]);
     if (!text) {
@@ -199,6 +238,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     reasoner = std::move(r).value();
+    reasoner.set_trace(trace_ptr);
     std::printf("loaded %s (%s)\n", positional[0].c_str(),
                 dd::DatabaseSummary(reasoner.db()).c_str());
   }
@@ -227,8 +267,11 @@ int main(int argc, char** argv) {
       continue;
     }
     if (cmd == "stats") {
+      // The combined rendering: oracle counters | dispatch downgrades |
+      // session reuse, reconstructed from a registry snapshot.
+      const dd::oracle::SessionStats sess = reasoner.TotalSessionStats();
       std::printf("%s\n", dd::FormatStats(reasoner.TotalStats(),
-                                          reasoner.dispatch_stats())
+                                          reasoner.dispatch_stats(), sess)
                               .c_str());
       continue;
     }
@@ -255,6 +298,7 @@ int main(int argc, char** argv) {
         }
         reasoner = std::move(r).value();
       }
+      reasoner.set_trace(trace_ptr);
       std::printf("loaded (%s)\n",
                   dd::DatabaseSummary(reasoner.db()).c_str());
       continue;
@@ -270,6 +314,7 @@ int main(int argc, char** argv) {
         continue;
       }
       reasoner = std::move(r).value();
+      reasoner.set_trace(trace_ptr);
       std::printf("ok (%s)\n", dd::DatabaseSummary(reasoner.db()).c_str());
       continue;
     }
@@ -347,21 +392,27 @@ int main(int argc, char** argv) {
         std::printf("%s\n", r.ok() ? (*r ? "yes" : "no")
                                    : r.status().ToString().c_str());
       } else if (cmd == "brave" || cmd == "why") {
+        // Routed through the Reasoner wrappers so the budget flags and the
+        // trace apply to credulous/certificate queries too.
         std::string rest;
         std::getline(in, rest);
-        auto f = reasoner.ParseQueryFormula(rest);
-        if (!f.ok()) {
-          std::printf("%s\n", f.status().ToString().c_str());
-          continue;
-        }
         if (cmd == "brave") {
-          auto r = reasoner.Get(*kind)->InfersCredulously(*f);
-          std::printf("%s\n", r.ok() ? (*r ? "yes" : "no")
-                                     : r.status().ToString().c_str());
+          auto r = reasoner.InfersCredulously(*kind, rest, query_opts);
+          if (!r.ok()) {
+            std::printf("%s\n", r.status().ToString().c_str());
+          } else if (*r == dd::Trilean::kUnknown) {
+            std::printf("unknown (out of budget)\n");
+            worst_exit = 2;
+          } else {
+            std::printf("%s\n", *r == dd::Trilean::kYes ? "yes" : "no");
+          }
         } else {
-          auto ce = reasoner.Get(*kind)->FindCounterexample(*f);
+          auto ce = reasoner.FindCounterexample(*kind, rest, query_opts);
           if (!ce.ok()) {
             std::printf("%s\n", ce.status().ToString().c_str());
+            // Budget exhaustion (deadline/conflicts/oracle calls or
+            // external kCancelled) keeps the budget exit code.
+            if (ce.status().IsBudgetExhaustion()) worst_exit = 2;
           } else if (!ce->has_value()) {
             std::printf("inferred: true in every %s model\n",
                         sem_name.c_str());
@@ -396,6 +447,24 @@ int main(int argc, char** argv) {
       continue;
     }
     std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+  }
+
+  if (trace_ptr != nullptr) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::fprintf(stderr, "ddquery: cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    trace.WriteJson(out);
+    out << "\n";
+  }
+  if (print_metrics) {
+    // Publish once at exit (registry counters are monotonic) and emit the
+    // snapshot under the canonical dd.* names.
+    dd::obs::MetricsRegistry& reg = dd::obs::MetricsRegistry::Global();
+    reasoner.PublishMetrics(&reg);
+    dd::obs::WriteJson(std::cout, reg.Snapshot());
+    std::cout << "\n";
   }
   return worst_exit;
 }

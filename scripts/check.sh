@@ -12,7 +12,10 @@
 #   7. ddlint over examples/programs/*.ddb (exit 2 = out of budget and
 #      fails the check; 1 means diagnostics or a parse failure were
 #      reported, which the bait program does on purpose)
-#   8. fault-injection + deadline soak: the DD_FAULT_UNKNOWN_AT /
+#   8. observability export smoke: ddquery --trace-json/--metrics on a
+#      real example program, both outputs validated through
+#      `python3 -m json.tool` (docs/OBSERVABILITY.md schema contract)
+#   9. fault-injection + deadline soak: the DD_FAULT_UNKNOWN_AT /
 #      DD_FAULT_EXHAUST_AFTER matrix over the injection-tolerant
 #      FaultSoak suite of budget_test, under the ASan build (docs/
 #      ROBUSTNESS.md: every semantics must answer reference-or-Unknown,
@@ -105,6 +108,30 @@ if [ -x "$LINT_BIN" ]; then
   fi
 else
   echo "ddlint: binary not built; skipping"
+fi
+
+echo "===== observability export (trace-json / metrics) ====="
+QUERY_BIN=build-check-release/examples/ddquery
+if [ -x "$QUERY_BIN" ] && command -v python3 >/dev/null 2>&1; then
+  OBS_TMP="$(mktemp -d)"
+  printf 'infer gcwa a | b\nexists egcwa\nstats\nquit\n' | \
+    "$QUERY_BIN" --trace-json="$OBS_TMP/trace.json" \
+    examples/programs/example31.ddb >/dev/null 2>&1
+  rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "obs: ddquery --trace-json exited $rc"; FAILED=1
+  elif ! python3 -m json.tool "$OBS_TMP/trace.json" >/dev/null 2>&1; then
+    echo "obs: trace JSON does not parse"; FAILED=1
+  elif ! printf 'infer gcwa a | b\nquit\n' | \
+        "$QUERY_BIN" --metrics examples/programs/example31.ddb 2>/dev/null \
+        | sed -n '/^{"counters"/p' | python3 -m json.tool >/dev/null 2>&1; then
+    echo "obs: --metrics JSON does not parse"; FAILED=1
+  else
+    echo "obs: OK (trace + metrics JSON validate)"
+  fi
+  rm -rf "$OBS_TMP"
+else
+  echo "obs: ddquery or python3 unavailable; skipping"
 fi
 
 echo "===== fault-injection + deadline soak (ASan) ====="

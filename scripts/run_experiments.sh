@@ -10,11 +10,36 @@
 # regenerates the fresh-solver A/B baseline; --timeout-ms=N arms the
 # per-instance watchdog (rows cut off by it carry "timeout": true in the
 # BENCH_*.json output instead of hanging the sweep — docs/ROBUSTNESS.md).
+#
+# --small runs the quick preset instead: skips the test suite and runs
+# only the oracle-call harness (the one whose rows carry full counter
+# snapshots, docs/OBSERVABILITY.md) under a 10 s watchdog. The resulting
+# results/BENCH_oracle_calls.json is small enough to commit as the
+# checked-in reference export.
 set -u
 cd "$(dirname "$0")/.."
 
+SMALL=0
+ARGS=()
+for arg in "$@"; do
+  case "$arg" in
+    --small) SMALL=1 ;;
+    *) ARGS+=("$arg") ;;
+  esac
+done
+set -- ${ARGS+"${ARGS[@]}"}
+
 cmake -B build -G Ninja
 cmake --build build
+
+if [ "$SMALL" -eq 1 ]; then
+  mkdir -p results
+  rm -f results/BENCH_oracle_calls.json
+  echo "########## bench_oracle_calls (--small preset) ##########"
+  (cd results && ../build/bench/bench_oracle_calls --timeout-ms=10000 "$@")
+  echo "wrote results/BENCH_oracle_calls.json"
+  exit 0
+fi
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 

@@ -1,8 +1,31 @@
 #include "core/oracle_stats.h"
 
+#include "obs/stats_view.h"
 #include "util/string_util.h"
 
 namespace dd {
+
+namespace {
+
+/// " | session: …" suffix shared by the two session-carrying overloads.
+/// All-zero counters (fresh-solver mode) render as "session: off".
+std::string SessionSuffix(const oracle::SessionStats& sess) {
+  if (sess.base_loads == 0 && sess.solves == 0 && sess.cache_hits == 0 &&
+      sess.projections_replayed == 0) {
+    return " | session: off";
+  }
+  return StrFormat(" | session: loads=%lld, solves=%lld, ctx=%lld/%lld, "
+                   "cache=%lld/%lld, replayed=%lld",
+                   static_cast<long long>(sess.base_loads),
+                   static_cast<long long>(sess.solves),
+                   static_cast<long long>(sess.contexts_opened),
+                   static_cast<long long>(sess.contexts_retired),
+                   static_cast<long long>(sess.cache_hits),
+                   static_cast<long long>(sess.cache_misses),
+                   static_cast<long long>(sess.projections_replayed));
+}
+
+}  // namespace
 
 std::string FormatStats(const MinimalStats& s) {
   return StrFormat(
@@ -20,20 +43,21 @@ std::string FormatStats(const MinimalStats& s,
 
 std::string FormatStats(const MinimalStats& s,
                         const oracle::SessionStats& sess) {
-  if (sess.base_loads == 0 && sess.solves == 0 && sess.cache_hits == 0 &&
-      sess.projections_replayed == 0) {
-    return FormatStats(s) + " | session: off";
-  }
-  return FormatStats(s) +
-         StrFormat(" | session: loads=%lld, solves=%lld, ctx=%lld/%lld, "
-                   "cache=%lld/%lld, replayed=%lld",
-                   static_cast<long long>(sess.base_loads),
-                   static_cast<long long>(sess.solves),
-                   static_cast<long long>(sess.contexts_opened),
-                   static_cast<long long>(sess.contexts_retired),
-                   static_cast<long long>(sess.cache_hits),
-                   static_cast<long long>(sess.cache_misses),
-                   static_cast<long long>(sess.projections_replayed));
+  return FormatStats(s) + SessionSuffix(sess);
+}
+
+std::string FormatStats(const MinimalStats& s,
+                        const analysis::DispatchStats& d,
+                        const oracle::SessionStats& sess) {
+  // Round-trip through the registry: publish the structs, snapshot, and
+  // render the reconstructed views. The detour is deliberate — it makes
+  // this renderer (and its tests) a standing proof that the registry
+  // preserves every legacy counter.
+  obs::MetricsSnapshot snap = obs::SnapshotOf(s, &d, &sess);
+  const MinimalStats sv = obs::MinimalStatsView(snap);
+  const analysis::DispatchStats dv = obs::DispatchStatsView(snap);
+  const oracle::SessionStats ssv = obs::SessionStatsView(snap);
+  return FormatStats(sv) + " | " + dv.ToString() + SessionSuffix(ssv);
 }
 
 std::string FormatMeasuredTable(const std::string& title,

@@ -40,6 +40,17 @@ std::string FormatStats(const MinimalStats& s,
 std::string FormatStats(const MinimalStats& s,
                         const oracle::SessionStats& sess);
 
+/// The combined rendering: oracle counters, analyzer-dispatch downgrades,
+/// AND session reuse in one line ("… | dispatch: … | session: …"), so
+/// session-mode bench output can show engine downgrades next to session
+/// reuse. Implemented as a view over an obs::MetricsRegistry snapshot
+/// (src/obs/stats_view.h): the structs are published into a registry and
+/// re-read through the *View functions before rendering, which pins the
+/// struct<->registry round trip.
+std::string FormatStats(const MinimalStats& s,
+                        const analysis::DispatchStats& d,
+                        const oracle::SessionStats& sess);
+
 /// Renders a fixed-width table with a header, one row per cell.
 std::string FormatMeasuredTable(const std::string& title,
                                 const std::vector<MeasuredCell>& cells);

@@ -1,10 +1,84 @@
 #include "core/reasoner.h"
 
+#include "obs/stats_view.h"
 #include "semantics/ccwa.h"
 #include "semantics/ecwa_circ.h"
 #include "util/string_util.h"
 
 namespace dd {
+
+namespace {
+
+/// One "reasoner"-layer span per entry point. The exactness contract
+/// pinned by tests/obs_test.cc — summing `oracle_calls` over these spans
+/// reproduces the legacy TotalStats totals — holds by construction: every
+/// counter below is a TotalStats/TotalSessionStats/DispatchStats delta
+/// across the query.
+class QuerySpan {
+ public:
+  QuerySpan(obs::TraceContext* t, Reasoner* r, const char* op,
+            SemanticsKind kind)
+      : t_(t), r_(r) {
+    if (t_ == nullptr) return;
+    id_ = t_->OpenSpan(op, "reasoner");
+    t_->SetAttr(id_, "semantics", SemanticsKindName(kind));
+    stats_before_ = r_->TotalStats();
+    sess_before_ = r_->TotalSessionStats();
+    dispatch_before_ = r_->dispatch_stats();
+  }
+
+  /// Budget-consumption attribution: the budget is created fresh for one
+  /// query, so its consumed() totals ARE this query's deltas.
+  void AttachBudget(std::shared_ptr<Budget> b) { budget_ = std::move(b); }
+
+  ~QuerySpan() {
+    if (t_ == nullptr) return;
+    const MinimalStats s = r_->TotalStats();
+    t_->AddCounter(id_, "oracle_calls", s.sat_calls - stats_before_.sat_calls);
+    t_->AddCounter(id_, "minimizations",
+                   s.minimizations - stats_before_.minimizations);
+    t_->AddCounter(id_, "cegar_iterations",
+                   s.cegar_iterations - stats_before_.cegar_iterations);
+    t_->AddCounter(id_, "models_enumerated",
+                   s.models_enumerated - stats_before_.models_enumerated);
+    const oracle::SessionStats ss = r_->TotalSessionStats();
+    t_->AddCounter(id_, "cache_hits", ss.cache_hits - sess_before_.cache_hits);
+    t_->AddCounter(id_, "cache_misses",
+                   ss.cache_misses - sess_before_.cache_misses);
+    const analysis::DispatchStats& d = r_->dispatch_stats();
+    t_->AddCounter(id_, "dispatch_generic",
+                   d.generic - dispatch_before_.generic);
+    t_->AddCounter(id_, "dispatch_downgrades",
+                   Downgrades(d) - Downgrades(dispatch_before_));
+    if (budget_ != nullptr) {
+      t_->AddCounter(id_, "conflicts_consumed", budget_->conflicts_consumed());
+      t_->AddCounter(id_, "oracle_calls_consumed",
+                     budget_->oracle_calls_consumed());
+      const Status st = budget_->ToStatus();
+      if (!st.ok()) t_->SetAttr(id_, "exhausted", st.ToString());
+    }
+    t_->CloseSpan(id_);
+  }
+
+  QuerySpan(const QuerySpan&) = delete;
+  QuerySpan& operator=(const QuerySpan&) = delete;
+
+ private:
+  static int64_t Downgrades(const analysis::DispatchStats& d) {
+    return d.fixpoint_literal + d.horn_least_model + d.certain_fact +
+           d.const_answer;
+  }
+
+  obs::TraceContext* t_;
+  Reasoner* r_;
+  int id_ = -1;
+  MinimalStats stats_before_;
+  oracle::SessionStats sess_before_;
+  analysis::DispatchStats dispatch_before_;
+  std::shared_ptr<Budget> budget_;
+};
+
+}  // namespace
 
 Reasoner::Reasoner(Database db, SemanticsOptions opts)
     : db_(std::move(db)), opts_(opts) {}
@@ -26,9 +100,15 @@ Semantics* Reasoner::Get(SemanticsKind kind) {
     } else {
       engine = MakeSemantics(kind, db_, opts_);
     }
+    engine->SetTrace(trace_);
     it = engines_.emplace(kind, std::move(engine)).first;
   }
   return it->second.get();
+}
+
+void Reasoner::set_trace(obs::TraceContext* trace) {
+  trace_ = trace;
+  for (auto& [kind, engine] : engines_) engine->SetTrace(trace);
 }
 
 Status Reasoner::SetPartition(const std::vector<std::string>& p_atoms,
@@ -111,6 +191,7 @@ Result<bool> Reasoner::InfersLiteral(SemanticsKind kind,
     // analysis) so their variable ranges include it.
     InvalidateCaches();
   }
+  QuerySpan span(trace_, this, "InfersLiteral", kind);
   if (opts_.analysis_dispatch) {
     analysis::EnginePath path =
         analysis::SelectPath(properties(), kind, analysis::QueryKind::kLiteral,
@@ -133,6 +214,7 @@ Result<Formula> Reasoner::ParseQueryFormula(std::string_view formula) {
 Result<bool> Reasoner::InfersFormula(SemanticsKind kind,
                                      std::string_view formula) {
   DD_ASSIGN_OR_RETURN(Formula f, ParseQueryFormula(formula));
+  QuerySpan span(trace_, this, "InfersFormula", kind);
   if (opts_.analysis_dispatch) {
     analysis::EnginePath path =
         analysis::SelectPath(properties(), kind, analysis::QueryKind::kFormula,
@@ -146,6 +228,7 @@ Result<bool> Reasoner::InfersFormula(SemanticsKind kind,
 }
 
 Result<bool> Reasoner::HasModel(SemanticsKind kind) {
+  QuerySpan span(trace_, this, "HasModel", kind);
   if (opts_.analysis_dispatch) {
     analysis::EnginePath path = analysis::SelectPath(
         properties(), kind, analysis::QueryKind::kHasModel, Lit(),
@@ -160,6 +243,7 @@ Result<bool> Reasoner::HasModel(SemanticsKind kind) {
 
 Result<std::vector<Interpretation>> Reasoner::Models(SemanticsKind kind,
                                                      int64_t cap) {
+  QuerySpan span(trace_, this, "Models", kind);
   return Get(kind)->Models(cap);
 }
 
@@ -174,6 +258,31 @@ std::shared_ptr<Budget> MakeQueryBudget(const QueryOptions& q) {
   lim.oracle_call_budget = q.oracle_call_budget;
   return Budget::Make(lim, q.cancel);
 }
+
+/// RAII installer for a per-query trace (QueryOptions::trace): installed
+/// on the engine for exactly one call, then the reasoner-level trace (the
+/// fallback, possibly null) is restored.
+class ScopedTrace {
+ public:
+  ScopedTrace(Semantics* s, obs::TraceContext* per_query,
+              obs::TraceContext* fallback)
+      : s_(s), restore_(fallback) {
+    if (per_query != nullptr && per_query != fallback) {
+      installed_ = true;
+      s_->SetTrace(per_query);
+    }
+  }
+  ~ScopedTrace() {
+    if (installed_) s_->SetTrace(restore_);
+  }
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  Semantics* s_;
+  obs::TraceContext* restore_;
+  bool installed_ = false;
+};
 
 /// RAII installer: the budget lives on the engine exactly for one query;
 /// removal clears latched interrupts so the engine answers unbudgeted
@@ -214,6 +323,8 @@ Result<Trilean> Reasoner::InfersLiteral(SemanticsKind kind,
   int before = db_.num_vars();
   DD_ASSIGN_OR_RETURN(Lit l, ParseLiteral(literal, &db_.vocabulary()));
   if (db_.num_vars() != before) InvalidateCaches();
+  QuerySpan span(q.trace != nullptr ? q.trace : trace_, this, "InfersLiteral",
+                 kind);
   if (opts_.analysis_dispatch) {
     analysis::EnginePath path =
         analysis::SelectPath(properties(), kind, analysis::QueryKind::kLiteral,
@@ -226,7 +337,10 @@ Result<Trilean> Reasoner::InfersLiteral(SemanticsKind kind,
     }
   }
   Semantics* s = Get(kind);
-  ScopedBudget scope(s, MakeQueryBudget(q));
+  ScopedTrace traced(s, q.trace, trace_);
+  std::shared_ptr<Budget> b = MakeQueryBudget(q);
+  span.AttachBudget(b);
+  ScopedBudget scope(s, std::move(b));
   return ToTrilean(s->InfersLiteral(l));
 }
 
@@ -234,6 +348,8 @@ Result<Trilean> Reasoner::InfersFormula(SemanticsKind kind,
                                         std::string_view formula,
                                         const QueryOptions& q) {
   DD_ASSIGN_OR_RETURN(Formula f, ParseQueryFormula(formula));
+  QuerySpan span(q.trace != nullptr ? q.trace : trace_, this, "InfersFormula",
+                 kind);
   if (opts_.analysis_dispatch) {
     analysis::EnginePath path =
         analysis::SelectPath(properties(), kind, analysis::QueryKind::kFormula,
@@ -244,11 +360,16 @@ Result<Trilean> Reasoner::InfersFormula(SemanticsKind kind,
     }
   }
   Semantics* s = Get(kind);
-  ScopedBudget scope(s, MakeQueryBudget(q));
+  ScopedTrace traced(s, q.trace, trace_);
+  std::shared_ptr<Budget> b = MakeQueryBudget(q);
+  span.AttachBudget(b);
+  ScopedBudget scope(s, std::move(b));
   return ToTrilean(s->InfersFormula(f));
 }
 
 Result<Trilean> Reasoner::HasModel(SemanticsKind kind, const QueryOptions& q) {
+  QuerySpan span(q.trace != nullptr ? q.trace : trace_, this, "HasModel",
+                 kind);
   if (opts_.analysis_dispatch) {
     analysis::EnginePath path = analysis::SelectPath(
         properties(), kind, analysis::QueryKind::kHasModel, Lit(),
@@ -259,14 +380,21 @@ Result<Trilean> Reasoner::HasModel(SemanticsKind kind, const QueryOptions& q) {
     }
   }
   Semantics* s = Get(kind);
-  ScopedBudget scope(s, MakeQueryBudget(q));
+  ScopedTrace traced(s, q.trace, trace_);
+  std::shared_ptr<Budget> b = MakeQueryBudget(q);
+  span.AttachBudget(b);
+  ScopedBudget scope(s, std::move(b));
   return ToTrilean(s->HasModel());
 }
 
 Result<ModelsAnswer> Reasoner::Models(SemanticsKind kind, int64_t cap,
                                       const QueryOptions& q) {
+  QuerySpan span(q.trace != nullptr ? q.trace : trace_, this, "Models", kind);
   Semantics* s = Get(kind);
-  ScopedBudget scope(s, MakeQueryBudget(q));
+  ScopedTrace traced(s, q.trace, trace_);
+  std::shared_ptr<Budget> b = MakeQueryBudget(q);
+  span.AttachBudget(b);
+  ScopedBudget scope(s, std::move(b));
   Result<std::vector<Interpretation>> r = s->Models(cap);
   ModelsAnswer out;
   if (r.ok()) {
@@ -284,12 +412,53 @@ Result<ModelsAnswer> Reasoner::Models(SemanticsKind kind, int64_t cap,
   return r.status();
 }
 
+Result<Trilean> Reasoner::InfersCredulously(SemanticsKind kind,
+                                            std::string_view formula,
+                                            const QueryOptions& q) {
+  DD_ASSIGN_OR_RETURN(Formula f, ParseQueryFormula(formula));
+  QuerySpan span(q.trace != nullptr ? q.trace : trace_, this,
+                 "InfersCredulously", kind);
+  Semantics* s = Get(kind);
+  ScopedTrace traced(s, q.trace, trace_);
+  std::shared_ptr<Budget> b = MakeQueryBudget(q);
+  span.AttachBudget(b);
+  ScopedBudget scope(s, std::move(b));
+  return ToTrilean(s->InfersCredulously(f));
+}
+
+Result<std::optional<Interpretation>> Reasoner::FindCounterexample(
+    SemanticsKind kind, std::string_view formula, const QueryOptions& q) {
+  DD_ASSIGN_OR_RETURN(Formula f, ParseQueryFormula(formula));
+  QuerySpan span(q.trace != nullptr ? q.trace : trace_, this,
+                 "FindCounterexample", kind);
+  Semantics* s = Get(kind);
+  ScopedTrace traced(s, q.trace, trace_);
+  std::shared_ptr<Budget> b = MakeQueryBudget(q);
+  span.AttachBudget(b);
+  ScopedBudget scope(s, std::move(b));
+  return s->FindCounterexample(f);
+}
+
 MinimalStats Reasoner::TotalStats() const {
   MinimalStats out;
   for (const auto& [kind, engine] : engines_) {
     out.Add(engine->stats());
   }
   return out;
+}
+
+oracle::SessionStats Reasoner::TotalSessionStats() const {
+  oracle::SessionStats out;
+  for (const auto& [kind, engine] : engines_) {
+    out.Add(engine->session_stats());
+  }
+  return out;
+}
+
+void Reasoner::PublishMetrics(obs::MetricsRegistry* reg) const {
+  obs::Publish(TotalStats(), reg);
+  obs::Publish(dispatch_stats_, reg);
+  obs::Publish(TotalSessionStats(), reg);
 }
 
 }  // namespace dd

@@ -22,6 +22,8 @@
 #include "logic/database.h"
 #include "logic/parser.h"
 #include "minimal/pqz.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "semantics/semantics.h"
 #include "util/budget.h"
 
@@ -41,9 +43,18 @@ struct QueryOptions {
   /// Total NP-oracle (SAT solver) invocations.
   int64_t oracle_call_budget = -1;
   /// Optional external kill switch: cancelling it aborts the query from
-  /// another thread (reported as kDeadlineExceeded).
+  /// another thread (reported as kCancelled, which — like the deadline and
+  /// resource codes — satisfies Status::IsBudgetExhaustion()).
   std::shared_ptr<CancelToken> cancel;
 
+  /// Optional per-query trace (not owned): the query's span tree lands
+  /// here, alongside the Budget built from the limits above. Overrides any
+  /// reasoner-level trace installed via Reasoner::set_trace for the
+  /// duration of the call. See obs/trace.h and docs/OBSERVABILITY.md.
+  obs::TraceContext* trace = nullptr;
+
+  /// True when no budget axis is limited (the trace does not affect budget
+  /// construction).
   bool unlimited() const {
     return deadline_ms < 0 && conflict_budget < 0 && oracle_call_budget < 0 &&
            cancel == nullptr;
@@ -104,6 +115,21 @@ class Reasoner {
   Result<ModelsAnswer> Models(SemanticsKind kind, int64_t cap,
                               const QueryOptions& q);
 
+  /// Brave (credulous) inference: is `formula` true in *some* intended
+  /// model? Parsed against the vocabulary, run under the optional budget
+  /// and trace like the skeptical entry points (budget exhaustion =>
+  /// kUnknown).
+  Result<Trilean> InfersCredulously(SemanticsKind kind,
+                                    std::string_view formula,
+                                    const QueryOptions& q = {});
+
+  /// Certificate search: an intended model violating `formula`, or nullopt
+  /// when it is inferred. Budget exhaustion surfaces as the exhaustion
+  /// Status (there is no three-valued certificate).
+  Result<std::optional<Interpretation>> FindCounterexample(
+      SemanticsKind kind, std::string_view formula,
+      const QueryOptions& q = {});
+
   /// The lazily created engine for `kind` (never null).
   Semantics* Get(SemanticsKind kind);
 
@@ -117,6 +143,25 @@ class Reasoner {
 
   /// Aggregated oracle counters over all engines used so far.
   MinimalStats TotalStats() const;
+
+  /// Aggregated session-reuse counters over all engines used so far (all
+  /// zero in fresh-solver mode).
+  oracle::SessionStats TotalSessionStats() const;
+
+  /// Attaches (nullptr detaches) a trace to this reasoner and every engine
+  /// it has created or will create: each entry point then records one
+  /// "reasoner"-layer span carrying the query's oracle-call, cache-hit,
+  /// dispatch-downgrade and budget-consumption attribution, with the
+  /// engine layers' spans nested below. QueryOptions::trace overrides this
+  /// per query.
+  void set_trace(obs::TraceContext* trace);
+  obs::TraceContext* trace() const { return trace_; }
+
+  /// Publishes the reasoner's cumulative counters (oracle totals, dispatch
+  /// downgrades, session reuse) into `reg` under the canonical dd.* names
+  /// (obs/stats_view.h). Counters in the registry are monotonic: publish
+  /// once per reasoner (e.g. at CLI exit), not per query.
+  void PublishMetrics(obs::MetricsRegistry* reg) const;
 
   /// The static analysis of the current database (computed lazily, cached;
   /// recomputed when a query grows the vocabulary).
@@ -141,6 +186,7 @@ class Reasoner {
 
   Database db_;
   SemanticsOptions opts_;
+  obs::TraceContext* trace_ = nullptr;
   std::map<SemanticsKind, std::unique_ptr<Semantics>> engines_;
   std::optional<Partition> partition_;
   std::optional<analysis::ProgramProperties> props_;

@@ -105,11 +105,63 @@ oracle::SessionStats MinimalEngine::session_stats() const {
 }
 
 // ---------------------------------------------------------------------------
+// OpScope: one "minimal"-layer span per outermost public operation.
+// ---------------------------------------------------------------------------
+
+MinimalEngine::OpScope::OpScope(MinimalEngine* e, const char* name) : e_(e) {
+  if (e_->opts_.trace == nullptr) return;
+  counted_ = true;
+  if (e_->op_depth_++ > 0) return;  // nested op: fold into the outer span
+  active_ = true;
+  span_ = e_->opts_.trace->OpenSpan(name, "minimal");
+  before_ = e_->stats_;
+  sess_before_ = e_->session_stats();
+}
+
+MinimalEngine::OpScope::~OpScope() {
+  if (!counted_) return;
+  --e_->op_depth_;
+  if (!active_) return;
+  obs::TraceContext* t = e_->opts_.trace;
+  const MinimalStats& s = e_->stats_;
+  t->AddCounter(span_, "oracle_calls", s.sat_calls - before_.sat_calls);
+  t->AddCounter(span_, "minimizations",
+                s.minimizations - before_.minimizations);
+  t->AddCounter(span_, "cegar_iterations",
+                s.cegar_iterations - before_.cegar_iterations);
+  t->AddCounter(span_, "models_enumerated",
+                s.models_enumerated - before_.models_enumerated);
+  if (e_->interrupted_) t->SetAttr(span_, "interrupted", "true");
+  // Session activity attributable to this operation, as an "oracle"-layer
+  // child span (parent inference: span_ is still open here). Only emitted
+  // when something actually happened, so fresh-mode traces stay lean.
+  const oracle::SessionStats after = e_->session_stats();
+  const int64_t solves = after.solves - sess_before_.solves;
+  const int64_t opened = after.contexts_opened - sess_before_.contexts_opened;
+  const int64_t hits = after.cache_hits - sess_before_.cache_hits;
+  const int64_t misses = after.cache_misses - sess_before_.cache_misses;
+  const int64_t replayed =
+      after.projections_replayed - sess_before_.projections_replayed;
+  if (solves != 0 || opened != 0 || hits != 0 || misses != 0 ||
+      replayed != 0) {
+    int child = t->OpenSpan("oracle.session", "oracle");
+    t->AddCounter(child, "solves", solves);
+    t->AddCounter(child, "contexts_opened", opened);
+    t->AddCounter(child, "cache_hits", hits);
+    t->AddCounter(child, "cache_misses", misses);
+    t->AddCounter(child, "projections_replayed", replayed);
+    t->CloseSpan(child);
+  }
+  t->CloseSpan(span_);
+}
+
+// ---------------------------------------------------------------------------
 // Public dispatchers.
 // ---------------------------------------------------------------------------
 
 bool MinimalEngine::HasModel() {
   if (interrupted_) return false;
+  OpScope op(this, "minimal.has_model");
   if (!opts_.use_sessions) return HasModelFresh();
   if (has_model_.has_value()) {
     ++memo_hits_;
@@ -131,6 +183,7 @@ bool MinimalEngine::HasModel() {
 
 std::optional<Interpretation> MinimalEngine::FindModel() {
   if (interrupted_) return std::nullopt;
+  OpScope op(this, "minimal.find_model");
   if (!opts_.use_sessions) return FindModelFresh();
   if (!HasModel()) return std::nullopt;
   if (interrupted_) return std::nullopt;
@@ -139,6 +192,7 @@ std::optional<Interpretation> MinimalEngine::FindModel() {
 
 bool MinimalEngine::IsMinimal(const Interpretation& m, const Partition& pqz) {
   if (interrupted_) return false;
+  OpScope op(this, "minimal.is_minimal");
   if (!opts_.use_sessions) return IsMinimalFresh(m, pqz);
   if (!IsModel(m)) return false;
   const Interpretation masked = oracle::MinimalityCache::MaskPQ(m, pqz);
@@ -184,6 +238,7 @@ bool MinimalEngine::IsMinimal(const Interpretation& m, const Partition& pqz) {
 Interpretation MinimalEngine::Minimize(const Interpretation& m,
                                        const Partition& pqz) {
   if (interrupted_) return m;
+  OpScope op(this, "minimal.minimize");
   if (!opts_.use_sessions) return MinimizeFresh(m, pqz);
   DD_CHECK(IsModel(m));
   ++stats_.minimizations;
@@ -249,6 +304,7 @@ std::vector<bool> MinimalEngine::AreMinimal(
   const int64_t n = static_cast<int64_t>(candidates.size());
   std::vector<bool> out(candidates.size());
   if (n == 0 || interrupted_) return out;
+  OpScope op(this, "minimal.are_minimal");
   // The chunk layout is a function of n alone — never of the worker count —
   // so the per-chunk engines (and therefore the merged statistics) are
   // identical for every `threads` value.
@@ -261,10 +317,15 @@ std::vector<bool> MinimalEngine::AreMinimal(
   // claiming work.
   const CancelToken* cancel =
       opts_.budget ? opts_.budget->cancel_token().get() : nullptr;
+  // Chunk engines run untraced: their counters are folded into this
+  // engine's stats (and thus into this operation's span) in chunk order,
+  // which keeps the span tree bit-identical across thread counts.
+  MinimalOptions chunk_opts = opts_;
+  chunk_opts.trace = nullptr;
   ParallelFor(chunks, threads, cancel, [&](int64_t c) {
     const int64_t lo = c * n / chunks;
     const int64_t hi = (c + 1) * n / chunks;
-    MinimalEngine local(db_, opts_);
+    MinimalEngine local(db_, chunk_opts);
     for (int64_t i = lo; i < hi; ++i) {
       verdicts[static_cast<size_t>(i)] =
           local.IsMinimal(candidates[static_cast<size_t>(i)], pqz) ? 1 : 0;
@@ -299,6 +360,7 @@ int MinimalEngine::EnumerateMinimalProjections(
     const Partition& pqz, int64_t cap,
     const std::function<bool(const Interpretation&)>& cb) {
   if (interrupted_) return 0;
+  OpScope op(this, "minimal.enumerate_projections");
   if (!opts_.use_sessions) {
     return EnumerateMinimalProjectionsFresh(pqz, cap, cb);
   }
@@ -363,6 +425,7 @@ int MinimalEngine::EnumerateAllMinimalModels(
     const Partition& pqz, int64_t cap,
     const std::function<bool(const Interpretation&)>& cb) {
   if (interrupted_) return 0;
+  OpScope op(this, "minimal.enumerate_all_models");
   if (!opts_.use_sessions) return EnumerateAllMinimalModelsFresh(pqz, cap, cb);
   // Outer loop over (memoized) minimal projections; inner loop over
   // Z-completions in a per-projection guarded context.
@@ -411,6 +474,7 @@ int MinimalEngine::EnumerateAllMinimalModels(
 bool MinimalEngine::MinimalEntails(const Formula& f, const Partition& pqz,
                                    Interpretation* counterexample) {
   if (interrupted_) return true;
+  OpScope op(this, "minimal.entails");
   if (!opts_.use_sessions) return MinimalEntailsFresh(f, pqz, counterexample);
   // Counterexample search: a <P;Z>-minimal model of DB violating F. The
   // Tseitin encoding, the ¬F unit and the region blocks all live in one
@@ -471,6 +535,7 @@ bool MinimalEngine::MinimalEntails(const Formula& f, const Partition& pqz,
 bool MinimalEngine::ExistsMinimalModelWith(Lit lit, const Partition& pqz,
                                            Interpretation* witness) {
   if (interrupted_) return false;
+  OpScope op(this, "minimal.exists_minimal_with");
   if (!opts_.use_sessions) return ExistsMinimalModelWithFresh(lit, pqz, witness);
   oracle::SatSession* s = session();
   oracle::SatSession::Context ctx(s);
@@ -515,6 +580,7 @@ bool MinimalEngine::ExistsMinimalModelWith(Lit lit, const Partition& pqz,
 }
 
 Interpretation MinimalEngine::FreeAtoms(const Partition& pqz) {
+  OpScope op(this, "minimal.free_atoms");
   const int n = db_.num_vars();
   Interpretation free(n);
   Interpretation determined(n);

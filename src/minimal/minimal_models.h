@@ -35,6 +35,7 @@
 #include "logic/formula.h"
 #include "logic/interpretation.h"
 #include "minimal/pqz.h"
+#include "obs/trace.h"
 #include "oracle/minimality_cache.h"
 #include "oracle/projection_store.h"
 #include "oracle/sat_session.h"
@@ -76,6 +77,16 @@ struct MinimalOptions {
   /// session or fresh — and inherited by chunk-local and helper engines
   /// built from these options. See util/budget.h and docs/ROBUSTNESS.md.
   std::shared_ptr<Budget> budget;
+
+  /// Optional query trace (not owned; null = tracing off, zero overhead).
+  /// When set, every outermost public engine operation opens one
+  /// "minimal"-layer span carrying the counter deltas it caused
+  /// (oracle_calls, minimizations, cegar_iterations, models_enumerated)
+  /// plus an "oracle"-layer child span with the session/cache activity it
+  /// triggered. Chunk-local engines in AreMinimal always run untraced so
+  /// the span tree is identical for every thread count. See obs/trace.h
+  /// and docs/OBSERVABILITY.md.
+  obs::TraceContext* trace = nullptr;
 };
 
 /// Minimal-model engine for one database.
@@ -115,6 +126,11 @@ class MinimalEngine {
   /// its solvers, and clears any latched interrupt.
   void SetBudget(std::shared_ptr<Budget> budget);
   const std::shared_ptr<Budget>& budget() const { return opts_.budget; }
+
+  /// Attaches (nullptr detaches) a query trace. Must not be called while
+  /// an engine operation is in flight.
+  void SetTrace(obs::TraceContext* trace) { opts_.trace = trace; }
+  obs::TraceContext* trace() const { return opts_.trace; }
 
   /// True once any oracle call failed to produce an answer.
   bool interrupted() const { return interrupted_; }
@@ -231,6 +247,28 @@ class MinimalEngine {
  private:
   friend class Query;
 
+  /// RAII scope for one public engine operation. When a trace is attached
+  /// and this is the outermost operation (re-entrant calls — e.g.
+  /// EnumerateAllMinimalModels → EnumerateMinimalProjections → Minimize —
+  /// fold into the outer scope), it opens a "minimal"-layer span and, at
+  /// close, attributes the MinimalStats deltas the operation caused plus
+  /// an "oracle"-layer child span with the session activity it triggered.
+  class OpScope {
+   public:
+    OpScope(MinimalEngine* e, const char* name);
+    ~OpScope();
+    OpScope(const OpScope&) = delete;
+    OpScope& operator=(const OpScope&) = delete;
+
+   private:
+    MinimalEngine* e_;
+    bool counted_ = false;  ///< incremented op_depth_ (trace was attached)
+    bool active_ = false;   ///< outermost: owns a span
+    int span_ = -1;
+    MinimalStats before_;
+    oracle::SessionStats sess_before_;
+  };
+
   // Fresh-solver (pre-session) implementations, preserved verbatim for the
   // --no-sessions A/B baseline.
   bool HasModelFresh();
@@ -255,6 +293,7 @@ class MinimalEngine {
   Database db_;
   MinimalOptions opts_;
   MinimalStats stats_;
+  int op_depth_ = 0;  ///< re-entrancy depth of public ops (OpScope)
   bool interrupted_ = false;
   Status interrupt_status_;
 

@@ -5,6 +5,11 @@
 namespace dd {
 
 UminsatResult UniqueMinimalModel(MinimalEngine* engine) {
+  // One "minimal"-layer span for the whole UMINSAT decision; the engine
+  // operations below (FindModel / Minimize / the Query oracle call) nest
+  // their own spans underneath it.
+  obs::ScopedSpan span(engine->trace(), "uminsat.unique_minimal_model",
+                       "minimal");
   UminsatResult out;
   const Database& db = engine->db();
   Partition all = Partition::MinimizeAll(db.num_vars());

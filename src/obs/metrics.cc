@@ -1,0 +1,161 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace dd {
+namespace obs {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Stable small stripe index per thread: threads are handed consecutive
+/// indices on first use, so up to kStripes concurrent writers land on
+/// distinct cache lines.
+int StripeOfThisThread() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned mine =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<int>(mine);
+}
+
+}  // namespace
+
+void Counter::Add(int64_t n) {
+  if (n == 0) return;
+  cells_[StripeOfThisThread() % kStripes].v.fetch_add(
+      n, std::memory_order_relaxed);
+}
+
+int64_t Counter::Value() const {
+  int64_t sum = 0;
+  for (const Cell& c : cells_) sum += c.v.load(std::memory_order_relaxed);
+  return sum;
+}
+
+void Histogram::Record(int64_t value) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  int idx = 0;
+  if (value > 0) {
+    // Bucket i covers 2^(i-1) <= v < 2^i; 64 - countl_zero(v) gives
+    // floor(log2(v)) + 1.
+    uint64_t v = static_cast<uint64_t>(value);
+    idx = 64 - __builtin_clzll(v);
+    if (idx >= kBuckets) idx = kBuckets - 1;
+  }
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->Value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    MetricsSnapshot::HistogramData h;
+    h.count = hist->Count();
+    h.sum = hist->Sum();
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      int64_t c = hist->BucketCount(i);
+      if (c == 0) continue;
+      // Inclusive upper bound of bucket i: 2^i - 1 (bucket 0: 0).
+      int64_t ub = i == 0 ? 0 : (int64_t{1} << i) - 1;
+      h.buckets.emplace_back(ub, c);
+    }
+    snap.histograms[name] = std::move(h);
+  }
+  return snap;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* g = new MetricsRegistry();  // never destroyed
+  return *g;
+}
+
+void WriteJson(std::ostream& out, const MetricsSnapshot& snap) {
+  out << "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) out << ", ";
+    first = false;
+    out << '"' << JsonEscape(name) << "\": " << value;
+  }
+  out << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) out << ", ";
+    first = false;
+    out << '"' << JsonEscape(name) << "\": {\"count\": " << h.count
+        << ", \"sum\": " << h.sum << ", \"buckets\": [";
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << '[' << h.buckets[i].first << ", " << h.buckets[i].second << ']';
+    }
+    out << "]}";
+  }
+  out << "}}";
+}
+
+std::string ToJsonString(const MetricsSnapshot& snap) {
+  std::ostringstream out;
+  WriteJson(out, snap);
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace dd

@@ -1,0 +1,120 @@
+#include "obs/stats_view.h"
+
+namespace dd {
+namespace obs {
+
+namespace {
+
+const char* ExhaustionName(BudgetExhaustion e) {
+  switch (e) {
+    case BudgetExhaustion::kNone:
+      return "none";
+    case BudgetExhaustion::kDeadline:
+      return "deadline";
+    case BudgetExhaustion::kConflicts:
+      return "conflicts";
+    case BudgetExhaustion::kOracleCalls:
+      return "oracle_calls";
+    case BudgetExhaustion::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+void Publish(const MinimalStats& s, MetricsRegistry* reg) {
+  reg->Add(kMinimalSatCalls, s.sat_calls);
+  reg->Add(kMinimalMinimizations, s.minimizations);
+  reg->Add(kMinimalCegar, s.cegar_iterations);
+  reg->Add(kMinimalModels, s.models_enumerated);
+}
+
+void Publish(const analysis::DispatchStats& d, MetricsRegistry* reg) {
+  reg->Add("dd.dispatch.generic", d.generic);
+  reg->Add("dd.dispatch.fixpoint_literal", d.fixpoint_literal);
+  reg->Add("dd.dispatch.horn_least_model", d.horn_least_model);
+  reg->Add("dd.dispatch.certain_fact", d.certain_fact);
+  reg->Add("dd.dispatch.const_answer", d.const_answer);
+}
+
+void Publish(const oracle::SessionStats& s, MetricsRegistry* reg) {
+  reg->Add("dd.session.base_loads", s.base_loads);
+  reg->Add("dd.session.solves", s.solves);
+  reg->Add("dd.session.contexts_opened", s.contexts_opened);
+  reg->Add("dd.session.contexts_retired", s.contexts_retired);
+  reg->Add("dd.session.guarded_clauses", s.guarded_clauses);
+  reg->Add("dd.session.cache_hits", s.cache_hits);
+  reg->Add("dd.session.cache_misses", s.cache_misses);
+  reg->Add("dd.session.projections_replayed", s.projections_replayed);
+  reg->Add("dd.session.projections_discovered", s.projections_discovered);
+}
+
+void Publish(const QbfStats& q, MetricsRegistry* reg) {
+  reg->Add("dd.qbf.candidate_calls", q.candidate_calls);
+  reg->Add("dd.qbf.verification_calls", q.verification_calls);
+  reg->Add("dd.qbf.refinements", q.refinements);
+}
+
+void Publish(const Budget& b, MetricsRegistry* reg) {
+  reg->Add("dd.budget.conflicts_consumed", b.conflicts_consumed());
+  reg->Add("dd.budget.oracle_calls_consumed", b.oracle_calls_consumed());
+  BudgetExhaustion why = b.reason();
+  if (why != BudgetExhaustion::kNone) {
+    reg->Add(std::string("dd.budget.exhausted.") + ExhaustionName(why), 1);
+  }
+}
+
+MinimalStats MinimalStatsView(const MetricsSnapshot& snap) {
+  MinimalStats s;
+  s.sat_calls = snap.Value(kMinimalSatCalls);
+  s.minimizations = snap.Value(kMinimalMinimizations);
+  s.cegar_iterations = snap.Value(kMinimalCegar);
+  s.models_enumerated = snap.Value(kMinimalModels);
+  return s;
+}
+
+analysis::DispatchStats DispatchStatsView(const MetricsSnapshot& snap) {
+  analysis::DispatchStats d;
+  d.generic = snap.Value("dd.dispatch.generic");
+  d.fixpoint_literal = snap.Value("dd.dispatch.fixpoint_literal");
+  d.horn_least_model = snap.Value("dd.dispatch.horn_least_model");
+  d.certain_fact = snap.Value("dd.dispatch.certain_fact");
+  d.const_answer = snap.Value("dd.dispatch.const_answer");
+  return d;
+}
+
+oracle::SessionStats SessionStatsView(const MetricsSnapshot& snap) {
+  oracle::SessionStats s;
+  s.base_loads = snap.Value("dd.session.base_loads");
+  s.solves = snap.Value("dd.session.solves");
+  s.contexts_opened = snap.Value("dd.session.contexts_opened");
+  s.contexts_retired = snap.Value("dd.session.contexts_retired");
+  s.guarded_clauses = snap.Value("dd.session.guarded_clauses");
+  s.cache_hits = snap.Value("dd.session.cache_hits");
+  s.cache_misses = snap.Value("dd.session.cache_misses");
+  s.projections_replayed = snap.Value("dd.session.projections_replayed");
+  s.projections_discovered = snap.Value("dd.session.projections_discovered");
+  return s;
+}
+
+QbfStats QbfStatsView(const MetricsSnapshot& snap) {
+  QbfStats q;
+  q.candidate_calls = snap.Value("dd.qbf.candidate_calls");
+  q.verification_calls = snap.Value("dd.qbf.verification_calls");
+  q.refinements = snap.Value("dd.qbf.refinements");
+  return q;
+}
+
+MetricsSnapshot SnapshotOf(const MinimalStats& s,
+                           const analysis::DispatchStats* d,
+                           const oracle::SessionStats* sess) {
+  MetricsRegistry reg;
+  Publish(s, &reg);
+  if (d != nullptr) Publish(*d, &reg);
+  if (sess != nullptr) Publish(*sess, &reg);
+  return reg.Snapshot();
+}
+
+}  // namespace obs
+}  // namespace dd

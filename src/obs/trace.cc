@@ -1,0 +1,163 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace dd {
+namespace obs {
+
+namespace {
+
+/// Per-thread stack of (context, span id) for parent inference. A thread
+/// may interleave spans of several contexts (nested engines with distinct
+/// traces); parents are matched per context.
+std::vector<std::pair<const TraceContext*, int>>& OpenSpans() {
+  thread_local std::vector<std::pair<const TraceContext*, int>> stack;
+  return stack;
+}
+
+}  // namespace
+
+TraceContext::TraceContext() : epoch_(std::chrono::steady_clock::now()) {}
+
+TraceContext::~TraceContext() {
+  // Drop any leftovers of this context from this thread's open stack
+  // (open spans at destruction are a caller bug, but must not leave
+  // dangling pointers behind).
+  auto& stack = OpenSpans();
+  stack.erase(std::remove_if(
+                  stack.begin(), stack.end(),
+                  [this](const auto& e) { return e.first == this; }),
+              stack.end());
+}
+
+int TraceContext::OpenSpan(std::string name, std::string layer) {
+  auto& stack = OpenSpans();
+  int parent = -1;
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (it->first == this) {
+      parent = it->second;
+      break;
+    }
+  }
+  int64_t now_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now() - epoch_)
+                       .count();
+  int id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = static_cast<int>(spans_.size());
+    Span s;
+    s.id = id;
+    s.parent = parent;
+    s.name = std::move(name);
+    s.layer = std::move(layer);
+    s.start_us = now_us;
+    spans_.push_back(std::move(s));
+  }
+  stack.emplace_back(this, id);
+  return id;
+}
+
+void TraceContext::CloseSpan(int id) {
+  int64_t now_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now() - epoch_)
+                       .count();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id < 0 || id >= static_cast<int>(spans_.size())) return;
+    if (spans_[static_cast<size_t>(id)].end_us >= 0) return;  // already closed
+    spans_[static_cast<size_t>(id)].end_us = now_us;
+  }
+  auto& stack = OpenSpans();
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (it->first == this && it->second == id) {
+      stack.erase(std::next(it).base());
+      break;
+    }
+  }
+}
+
+void TraceContext::AddCounter(int id, std::string_view key, int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || id >= static_cast<int>(spans_.size())) return;
+  Span& s = spans_[static_cast<size_t>(id)];
+  for (auto& [k, v] : s.counters) {
+    if (k == key) {
+      v += delta;
+      return;
+    }
+  }
+  s.counters.emplace_back(std::string(key), delta);
+}
+
+void TraceContext::SetAttr(int id, std::string_view key, std::string value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || id >= static_cast<int>(spans_.size())) return;
+  Span& s = spans_[static_cast<size_t>(id)];
+  for (auto& [k, v] : s.attrs) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  s.attrs.emplace_back(std::string(key), std::move(value));
+}
+
+std::vector<Span> TraceContext::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+size_t TraceContext::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+int64_t TraceContext::SumCounter(std::string_view key,
+                                 std::string_view layer) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t sum = 0;
+  for (const Span& s : spans_) {
+    if (!layer.empty() && s.layer != layer) continue;
+    sum += s.Counter(key);
+  }
+  return sum;
+}
+
+void TraceContext::WriteJson(std::ostream& out) const {
+  std::vector<Span> spans = Snapshot();
+  out << "{\"trace_schema\": 1, \"spans\": [";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const Span& s = spans[i];
+    if (i > 0) out << ",";
+    out << "\n  {\"id\": " << s.id << ", \"parent\": " << s.parent
+        << ", \"name\": \"" << JsonEscape(s.name) << "\", \"layer\": \""
+        << JsonEscape(s.layer) << "\", \"start_us\": " << s.start_us
+        << ", \"end_us\": " << s.end_us << ", \"counters\": {";
+    for (size_t j = 0; j < s.counters.size(); ++j) {
+      if (j > 0) out << ", ";
+      out << '"' << JsonEscape(s.counters[j].first)
+          << "\": " << s.counters[j].second;
+    }
+    out << "}, \"attrs\": {";
+    for (size_t j = 0; j < s.attrs.size(); ++j) {
+      if (j > 0) out << ", ";
+      out << '"' << JsonEscape(s.attrs[j].first) << "\": \""
+          << JsonEscape(s.attrs[j].second) << '"';
+    }
+    out << "}}";
+  }
+  out << "\n]}\n";
+}
+
+std::string TraceContext::ToJsonString() const {
+  std::ostringstream out;
+  WriteJson(out);
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace dd

@@ -34,6 +34,26 @@ Result<bool> QbfCegarSession::Solve(Interpretation* counterexample) {
     }
     return *result_;
   }
+  // One "qbf"-layer span per unmemoized Solve(), attributing the CEGAR
+  // work this call performed (deltas against the session's cumulative
+  // counters, so a budget-interrupted run plus its retry split correctly).
+  obs::ScopedSpan span(trace_, "qbf.cegar", "qbf");
+  const QbfStats before = stats_;
+  struct SpanCloser {
+    obs::ScopedSpan& span;
+    const QbfStats& before;
+    const QbfStats& stats;
+    ~SpanCloser() {
+      span.Counter("candidate_calls",
+                   stats.candidate_calls - before.candidate_calls);
+      span.Counter("verification_calls",
+                   stats.verification_calls - before.verification_calls);
+      span.Counter("refinements", stats.refinements - before.refinements);
+      span.Counter("oracle_calls",
+                   (stats.candidate_calls - before.candidate_calls) +
+                       (stats.verification_calls - before.verification_calls));
+    }
+  } closer{span, before, stats_};
   for (;;) {
     ++stats_.candidate_calls;
     SolveResult ar = abstract_.Solve();
@@ -108,9 +128,11 @@ Result<bool> QbfCegarSession::Solve(Interpretation* counterexample) {
 Result<bool> SolveForallExists(const QbfForallExistsCnf& q,
                                Interpretation* counterexample,
                                QbfStats* stats,
-                               const std::shared_ptr<Budget>& budget) {
+                               const std::shared_ptr<Budget>& budget,
+                               obs::TraceContext* trace) {
   QbfCegarSession session(q);
   session.SetBudget(budget);
+  session.SetTrace(trace);
   DD_ASSIGN_OR_RETURN(bool valid, session.Solve(counterexample));
   if (stats != nullptr) {
     stats->candidate_calls += session.stats().candidate_calls;
@@ -122,12 +144,13 @@ Result<bool> SolveForallExists(const QbfForallExistsCnf& q,
 
 Result<bool> SolveExistsForall(const QbfExistsForallDnf& q,
                                Interpretation* witness, QbfStats* stats,
-                               const std::shared_ptr<Budget>& budget) {
+                               const std::shared_ptr<Budget>& budget,
+                               obs::TraceContext* trace) {
   DD_RETURN_IF_ERROR(q.Validate());
   QbfForallExistsCnf dual = NegateToForallExists(q);
   Interpretation ce;
   DD_ASSIGN_OR_RETURN(bool dual_valid,
-                      SolveForallExists(dual, &ce, stats, budget));
+                      SolveForallExists(dual, &ce, stats, budget, trace));
   if (!dual_valid && witness != nullptr) *witness = ce;
   return !dual_valid;
 }

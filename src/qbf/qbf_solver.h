@@ -14,6 +14,7 @@
 #include <optional>
 
 #include "logic/interpretation.h"
+#include "obs/trace.h"
 #include "qbf/qbf.h"
 #include "sat/solver.h"
 #include "util/budget.h"
@@ -56,6 +57,11 @@ class QbfCegarSession {
     abstract_.SetBudget(std::move(budget));
   }
 
+  /// Attaches (nullptr detaches) a query trace: each unmemoized Solve()
+  /// records one "qbf"-layer span carrying its candidate/verification/
+  /// refinement deltas. Memoized replays record no span.
+  void SetTrace(obs::TraceContext* trace) { trace_ = trace; }
+
   /// Cumulative CEGAR accounting (frozen once the verdict is memoized).
   const QbfStats& stats() const { return stats_; }
 
@@ -73,6 +79,7 @@ class QbfCegarSession {
   std::optional<bool> result_;
   Interpretation counterexample_;
   std::shared_ptr<Budget> budget_;
+  obs::TraceContext* trace_ = nullptr;
 };
 
 /// Decides validity of ∀X∃Yφ. If invalid and `counterexample` is non-null,
@@ -82,14 +89,16 @@ class QbfCegarSession {
 Result<bool> SolveForallExists(const QbfForallExistsCnf& q,
                                Interpretation* counterexample = nullptr,
                                QbfStats* stats = nullptr,
-                               const std::shared_ptr<Budget>& budget = nullptr);
+                               const std::shared_ptr<Budget>& budget = nullptr,
+                               obs::TraceContext* trace = nullptr);
 
 /// Decides validity of ∃X∀Yψ (DNF matrix). If valid and `witness` non-null,
 /// it receives an X-assignment all of whose Y-completions satisfy ψ.
 Result<bool> SolveExistsForall(const QbfExistsForallDnf& q,
                                Interpretation* witness = nullptr,
                                QbfStats* stats = nullptr,
-                               const std::shared_ptr<Budget>& budget = nullptr);
+                               const std::shared_ptr<Budget>& budget = nullptr,
+                               obs::TraceContext* trace = nullptr);
 
 /// Reference implementation by full expansion of the universal block
 /// (exponential in |X|; use only for small instances / cross-checks).

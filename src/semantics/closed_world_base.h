@@ -43,9 +43,14 @@ class ClosedWorldSemantics : public Semantics {
   /// a *successful* (uninterrupted) computation, so it stays sound.
   void SetBudget(std::shared_ptr<Budget> budget) override;
 
+  /// Attaches the query trace to the owned engine.
+  void SetTrace(obs::TraceContext* trace) override { engine_.SetTrace(trace); }
+
   /// Session-reuse accounting of the underlying engine (all zero in
   /// fresh-solver mode). The benches report cache_hits from here.
-  oracle::SessionStats session_stats() const { return engine_.session_stats(); }
+  oracle::SessionStats session_stats() const override {
+    return engine_.session_stats();
+  }
 
  protected:
   /// Computes the set of atoms x whose ¬x joins the database.

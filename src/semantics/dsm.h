@@ -52,6 +52,15 @@ class DsmSemantics : public Semantics {
   /// options).
   void SetBudget(std::shared_ptr<Budget> budget) override;
 
+  /// Attaches the query trace to the owned engine (reduct engines run
+  /// untraced; their counters fold into stats()).
+  void SetTrace(obs::TraceContext* trace) override { engine_.SetTrace(trace); }
+
+  /// Session-reuse accounting of the owned engine.
+  oracle::SessionStats session_stats() const override {
+    return engine_.session_stats();
+  }
+
  private:
   /// Runs `visit` over stable models until it returns false.
   Status ForEachStable(const std::function<bool(const Interpretation&)>& visit);

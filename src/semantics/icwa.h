@@ -57,6 +57,14 @@ class IcwaSemantics : public Semantics {
   /// loop's dedicated solver is budgeted from the options).
   void SetBudget(std::shared_ptr<Budget> budget) override;
 
+  /// Attaches the query trace to the owned engine.
+  void SetTrace(obs::TraceContext* trace) override { engine_.SetTrace(trace); }
+
+  /// Session-reuse accounting of the owned engine.
+  oracle::SessionStats session_stats() const override {
+    return engine_.session_stats();
+  }
+
  private:
   Status EnsureStratified();
 

@@ -64,6 +64,15 @@ class PdsmSemantics : public Semantics {
   /// engines and the bit-model candidate solver inherit it).
   void SetBudget(std::shared_ptr<Budget> budget) override;
 
+  /// Attaches the query trace to the owned (bit-level) engine; reduct
+  /// engines run untraced and fold their counters into stats().
+  void SetTrace(obs::TraceContext* trace) override { engine_.SetTrace(trace); }
+
+  /// Session-reuse accounting of the owned engine.
+  oracle::SessionStats session_stats() const override {
+    return engine_.session_stats();
+  }
+
   /// The two-bit encoding of the 3-valued models of the database itself
   /// (exposed for tests): atom v maps to bits t=v and nf=num_vars+v.
   const Database& bit_database() const { return bit_db_; }

@@ -24,6 +24,7 @@
 #include "logic/formula.h"
 #include "logic/interpretation.h"
 #include "minimal/minimal_models.h"
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace dd {
@@ -138,6 +139,19 @@ class Semantics {
   /// identical to the unbudgeted one ("Unknown is allowed, wrong is not",
   /// docs/ROBUSTNESS.md).
   virtual void SetBudget(std::shared_ptr<Budget> budget) = 0;
+
+  /// Attaches (nullptr detaches) a query trace to this semantics and the
+  /// engine(s) it owns: the owned MinimalEngine opens one "minimal"-layer
+  /// span per outermost operation. Helper/reduct engines spawned during a
+  /// query run untraced — their counters fold into the owning engine's
+  /// stats and are attributed to the enclosing span. Installed per query
+  /// by core/Reasoner; see obs/trace.h and docs/OBSERVABILITY.md.
+  virtual void SetTrace(obs::TraceContext* trace) = 0;
+
+  /// Session-reuse accounting of the owned engine(s) (all zero in
+  /// fresh-solver mode). The benches and the reasoner's trace spans report
+  /// cache_hits from here.
+  virtual oracle::SessionStats session_stats() const = 0;
 
   /// Anytime payload: the models a Models() call had already collected when
   /// it was cut short by budget exhaustion (the call itself returns the

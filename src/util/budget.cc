@@ -45,6 +45,7 @@ bool Budget::Exhausted() {
 }
 
 bool Budget::ConsumeConflicts(int64_t n) {
+  conflicts_consumed_.fetch_add(n, std::memory_order_relaxed);
   if (limits_.conflict_budget < 0) return true;
   int64_t left =
       conflicts_left_.fetch_sub(n, std::memory_order_relaxed) - n;
@@ -56,6 +57,7 @@ bool Budget::ConsumeConflicts(int64_t n) {
 }
 
 bool Budget::ConsumeOracleCall() {
+  oracle_calls_consumed_.fetch_add(1, std::memory_order_relaxed);
   if (limits_.oracle_call_budget < 0) return true;
   int64_t left = oracle_calls_left_.fetch_sub(1, std::memory_order_relaxed) - 1;
   if (left < 0) {
@@ -72,7 +74,10 @@ Status Budget::ToStatus() const {
     case BudgetExhaustion::kDeadline:
       return Status::DeadlineExceeded("query deadline exceeded");
     case BudgetExhaustion::kCancelled:
-      return Status::DeadlineExceeded("query cancelled");
+      // Sibling/user cancellation is its own taxon: a query stopped by its
+      // CancelToken did NOT necessarily run out of wall clock, and callers
+      // (retry policies, exit-code mapping) may treat the two differently.
+      return Status::Cancelled("query cancelled");
     case BudgetExhaustion::kConflicts:
       return Status::ResourceExhausted("conflict budget exhausted");
     case BudgetExhaustion::kOracleCalls:

@@ -128,9 +128,20 @@ class Budget {
   }
 
   /// Maps the latched reason to the Status a query should surface:
-  /// deadline/cancellation -> kDeadlineExceeded, conflict/oracle budgets ->
-  /// kResourceExhausted. OK if not exhausted.
+  /// deadline -> kDeadlineExceeded, external cancellation -> kCancelled,
+  /// conflict/oracle budgets -> kResourceExhausted. OK if not exhausted.
+  /// All three non-OK codes satisfy Status::IsBudgetExhaustion().
   Status ToStatus() const;
+
+  /// Total conflicts / oracle calls consumed through this budget, counted
+  /// even when the corresponding limit is unlimited. This is the
+  /// budget-consumption attribution the trace spans report (src/obs/).
+  int64_t conflicts_consumed() const {
+    return conflicts_consumed_.load(std::memory_order_relaxed);
+  }
+  int64_t oracle_calls_consumed() const {
+    return oracle_calls_consumed_.load(std::memory_order_relaxed);
+  }
 
   const std::shared_ptr<CancelToken>& cancel_token() const { return cancel_; }
 
@@ -150,6 +161,8 @@ class Budget {
   std::chrono::steady_clock::time_point deadline_;  // valid iff deadline_ms>=0
   std::atomic<int64_t> conflicts_left_;
   std::atomic<int64_t> oracle_calls_left_;
+  std::atomic<int64_t> conflicts_consumed_{0};
+  std::atomic<int64_t> oracle_calls_consumed_{0};
   std::atomic<int> reason_{static_cast<int>(BudgetExhaustion::kNone)};
   std::shared_ptr<CancelToken> cancel_;
 };

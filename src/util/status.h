@@ -19,7 +19,8 @@ enum class StatusCode {
   kFailedPrecondition,///< operation not applicable (e.g. DB not stratified)
   kResourceExhausted, ///< configured limit hit (model cap, conflict budget)
   kInternal,          ///< invariant violation inside the library
-  kDeadlineExceeded,  ///< wall-clock deadline passed / query cancelled
+  kDeadlineExceeded,  ///< wall-clock deadline passed
+  kCancelled,         ///< external CancelToken fired (sibling/user cancel)
 };
 
 /// Result of a fallible operation: a code plus a human-readable message.
@@ -54,12 +55,20 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
-  /// True for the two "ran out of budget, answer is Unknown rather than
-  /// wrong" codes that anytime queries treat as a soft stop.
+  /// True for the "ran out of budget / was told to stop, answer is Unknown
+  /// rather than wrong" codes that anytime queries treat as a soft stop:
+  /// deadline, resource budget, or external cancellation. The three are
+  /// siblings in the anytime protocol (docs/ROBUSTNESS.md) but distinct in
+  /// the taxonomy, so callers can tell a genuine deadline from a
+  /// cancellation they requested themselves.
   bool IsBudgetExhaustion() const {
     return code_ == StatusCode::kDeadlineExceeded ||
-           code_ == StatusCode::kResourceExhausted;
+           code_ == StatusCode::kResourceExhausted ||
+           code_ == StatusCode::kCancelled;
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

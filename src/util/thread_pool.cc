@@ -1,7 +1,10 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <utility>
 
 namespace dd {
@@ -58,8 +61,24 @@ void ThreadPool::WorkerLoop() {
 
 int ThreadPool::DefaultThreads() {
   if (const char* env = std::getenv("DD_THREADS")) {
-    int v = std::atoi(env);
-    if (v > 0) return v;
+    // Strict parse (the hardened-DIMACS-reader pattern): the whole string
+    // must be a positive decimal integer. std::atoi would silently accept
+    // "4x" as 4 and "abc" as 0; a malformed value instead warns once and
+    // falls back to hardware concurrency.
+    errno = 0;
+    char* end = nullptr;
+    long long v = std::strtoll(env, &end, 10);
+    if (errno == 0 && end != env && *end == '\0' && v > 0 &&
+        v <= 1'000'000) {
+      return static_cast<int>(v);
+    }
+    static std::once_flag warned;
+    std::call_once(warned, [env] {
+      std::fprintf(stderr,
+                   "dd: ignoring malformed DD_THREADS='%s' (want a positive "
+                   "integer); using hardware concurrency\n",
+                   env);
+    });
   }
   unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;

@@ -86,14 +86,19 @@ TEST(Budget, DeadlineLatchesDeadlineExceeded) {
   EXPECT_EQ(b->RemainingMs(), 0);
 }
 
-TEST(Budget, ExternalCancellationReportsDeadlineExceeded) {
+// External cancellation is a *sibling/user* kill, not a deadline: it must
+// surface as the dedicated kCancelled status (still a budget exhaustion for
+// IsBudgetExhaustion / exit-code purposes) so callers can distinguish "you
+// ran out of time" from "someone else answered first".
+TEST(Budget, ExternalCancellationReportsCancelled) {
   auto token = std::make_shared<CancelToken>();
   auto b = Budget::Make(Budget::Limits{}, token);
   EXPECT_FALSE(b->Exhausted());
   token->Cancel();
   EXPECT_TRUE(b->Exhausted());
   EXPECT_EQ(b->reason(), BudgetExhaustion::kCancelled);
-  EXPECT_EQ(b->ToStatus().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(b->ToStatus().code(), StatusCode::kCancelled);
+  EXPECT_TRUE(b->ToStatus().IsBudgetExhaustion());
 }
 
 TEST(Budget, FirstExhaustionReasonWins) {
