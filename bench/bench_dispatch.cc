@@ -143,6 +143,56 @@ void BM_HasModelAllSemantics(benchmark::State& state) {
 }
 BENCHMARK(BM_HasModelAllSemantics)->Arg(0)->Arg(1);
 
+// --- HCF modular family: slice + unfounded-set vs the coNP oracle ---------
+// The acceptance bar for the structural paths (docs/ANALYSIS.md): on this
+// positive, disjunctive, head-cycle-free family, dispatch routes literal
+// queries through the relevance slice and answers minimality with the
+// polynomial founded-set check; generic runs the full SAT-backed
+// minimal-model machinery over the whole database. The audit (run once,
+// outside the timed region, on the dispatch variant) re-asks every query
+// both ways and re-checks every emitted certificate: an answer mismatch
+// or a certificate rejection fails the benchmark rather than skewing it.
+
+void BM_HcfModularGcwaLiterals(benchmark::State& state) {
+  const int modules = static_cast<int>(state.range(0));
+  const bool dispatch = state.range(1) != 0;
+  Database db = HcfModularDdb(modules, 6, 4, 31);
+  if (dispatch) {
+    Reasoner fast(db);
+    fast.EnableCertification(true);
+    Reasoner slow(db);
+    slow.set_analysis_dispatch(false);
+    for (Var v = 0; v < db.num_vars(); ++v) {
+      for (bool neg : {false, true}) {
+        std::string q = neg ? "not " + db.vocabulary().Name(v)
+                            : db.vocabulary().Name(v);
+        auto a = fast.InfersLiteral(SemanticsKind::kGcwa, q);
+        auto b = slow.InfersLiteral(SemanticsKind::kGcwa, q);
+        if (!a.ok() || !b.ok() || *a != *b) {
+          state.SkipWithError("dispatch answer differs from generic");
+          return;
+        }
+      }
+    }
+    if (fast.certification_stats().rejected != 0) {
+      state.SkipWithError("certificate rejected by the independent checker");
+      return;
+    }
+  }
+  for (auto _ : state) {
+    Reasoner r(db);
+    r.set_analysis_dispatch(dispatch);
+    RunLiteralQueries(&r, SemanticsKind::kGcwa, db, /*negative=*/false);
+    RunLiteralQueries(&r, SemanticsKind::kGcwa, db, /*negative=*/true);
+  }
+  state.SetLabel(dispatch ? "dispatch" : "generic");
+}
+BENCHMARK(BM_HcfModularGcwaLiterals)
+    ->Args({2, 0})->Args({2, 1})
+    ->Args({4, 0})->Args({4, 1})
+    ->Args({6, 0})->Args({6, 1})
+    ->Unit(benchmark::kMillisecond);
+
 // --- The analyzer itself: the fixed cost dispatch pays once ---------------
 
 void BM_Analyze(benchmark::State& state) {

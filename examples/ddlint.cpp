@@ -13,6 +13,9 @@
 //   --no-integrity-note  silence the per-integrity-clause notes
 //   --properties-only    print only the properties block
 //   --diagnostics-only   print only the diagnostics
+//   --sarif=FILE         additionally write every diagnostic as a SARIF
+//                        2.1.0 log (one run, one result per diagnostic,
+//                        with clickable file/line locations)
 //   --timeout-ms=N       wall-clock deadline for the whole run
 //   --conflict-budget=N  accepted for CLI uniformity with ddquery (lint
 //                        runs no SAT oracle, so it never consumes it)
@@ -34,6 +37,7 @@
 #include "analysis/linter.h"
 #include "analysis/program_properties.h"
 #include "logic/parser.h"
+#include "obs/metrics.h"
 #include "util/budget.h"
 
 namespace {
@@ -96,12 +100,83 @@ bool ParseFlagValue(const std::string& arg, const std::string& prefix,
   return true;
 }
 
+/// Accumulates diagnostics across files and renders one SARIF 2.1.0 log:
+/// a single run, one `result` per diagnostic, with the file/line location
+/// attached so SARIF viewers make it clickable.
+class SarifLog {
+ public:
+  void Add(const std::string& file, const dd::analysis::LintDiagnostic& d) {
+    using dd::analysis::LintSeverity;
+    const char* level = d.severity == LintSeverity::kError     ? "error"
+                        : d.severity == LintSeverity::kWarning ? "warning"
+                                                               : "note";
+    if (!results_.empty()) results_ += ", ";
+    results_ += "{\"ruleId\": \"";
+    results_ += dd::analysis::LintRuleName(d.rule);
+    results_ += "\", \"level\": \"";
+    results_ += level;
+    results_ += "\", \"message\": {\"text\": \"";
+    results_ += dd::obs::JsonEscape(d.message);
+    results_ += "\"}, \"locations\": [{\"physicalLocation\": "
+                "{\"artifactLocation\": {\"uri\": \"";
+    results_ += dd::obs::JsonEscape(file);
+    results_ += "\"}";
+    if (d.line > 0) {
+      results_ += ", \"region\": {\"startLine\": ";
+      results_ += std::to_string(d.line);
+      results_ += "}";
+    }
+    results_ += "}}]}";
+  }
+
+  /// Writes the log; returns false (with a message) on I/O failure.
+  bool Write(const std::string& path) const {
+    std::string out =
+        "{\"version\": \"2.1.0\", \"$schema\": "
+        "\"https://json.schemastore.org/sarif-2.1.0.json\", "
+        "\"runs\": [{\"tool\": {\"driver\": {\"name\": \"ddlint\", "
+        "\"informationUri\": \"docs/ANALYSIS.md\", \"rules\": [";
+    static const dd::analysis::LintRule kRules[] = {
+        dd::analysis::LintRule::kTautology,
+        dd::analysis::LintRule::kContradictoryBody,
+        dd::analysis::LintRule::kDuplicateClause,
+        dd::analysis::LintRule::kSubsumedClause,
+        dd::analysis::LintRule::kUnderivableAtom,
+        dd::analysis::LintRule::kOnlyNegativeAtom,
+        dd::analysis::LintRule::kConstraintLikeHead,
+        dd::analysis::LintRule::kIntegrityClause,
+        dd::analysis::LintRule::kHeadCycle,
+        dd::analysis::LintRule::kRelevanceDead,
+    };
+    bool first = true;
+    for (dd::analysis::LintRule r : kRules) {
+      if (!first) out += ", ";
+      first = false;
+      out += "{\"id\": \"";
+      out += dd::analysis::LintRuleName(r);
+      out += "\"}";
+    }
+    out += "]}}, \"results\": [" + results_ + "]}]}\n";
+    std::ofstream f(path);
+    if (!f || !(f << out)) {
+      std::fprintf(stderr, "ddlint: cannot write SARIF log to %s\n",
+                   path.c_str());
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  std::string results_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   dd::analysis::LintOptions lint_opts;
   bool properties_only = false;
   bool diagnostics_only = false;
+  std::string sarif_path;
   int64_t timeout_ms = -1;
   int64_t conflict_budget = -1;  // accepted for uniformity; lint is SAT-free
   std::vector<std::string> files;
@@ -115,6 +190,12 @@ int main(int argc, char** argv) {
       properties_only = true;
     } else if (arg == "--diagnostics-only") {
       diagnostics_only = true;
+    } else if (arg.rfind("--sarif=", 0) == 0) {
+      sarif_path = arg.substr(std::string("--sarif=").size());
+      if (sarif_path.empty()) {
+        std::fprintf(stderr, "ddlint: --sarif needs a file name\n");
+        return 1;
+      }
     } else if (arg.rfind("--timeout-ms=", 0) == 0) {
       if (!ParseFlagValue(arg, "--timeout-ms=", &timeout_ms)) return 1;
     } else if (arg.rfind("--conflict-budget=", 0) == 0) {
@@ -123,7 +204,7 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: ddlint [--no-subsumption] [--no-integrity-note] "
-                  "[--properties-only] [--diagnostics-only] "
+                  "[--properties-only] [--diagnostics-only] [--sarif=FILE] "
                   "[--timeout-ms=N] [--conflict-budget=N] <file.ddb>...\n");
       return 0;
     } else {
@@ -146,12 +227,17 @@ int main(int argc, char** argv) {
   }
 
   int worst = 0;
+  SarifLog sarif;
+  // Budget exits still flush the partial SARIF log: an exit-2 run has seen
+  // only a prefix of the inputs, but every recorded diagnostic is real.
+  auto out_of_budget = [&]() {
+    std::fprintf(stderr, "ddlint: out of budget (%s); stopping\n",
+                 budget->ToStatus().ToString().c_str());
+    if (!sarif_path.empty()) sarif.Write(sarif_path);
+    return 2;
+  };
   for (const std::string& path : files) {
-    if (budget != nullptr && budget->Exhausted()) {
-      std::fprintf(stderr, "ddlint: out of budget (%s); stopping\n",
-                   budget->ToStatus().ToString().c_str());
-      return 2;
-    }
+    if (budget != nullptr && budget->Exhausted()) return out_of_budget();
     std::string text;
     if (!ReadFile(path, &text)) {
       std::fprintf(stderr, "ddlint: cannot read %s\n", path.c_str());
@@ -172,11 +258,7 @@ int main(int argc, char** argv) {
       if (!properties_only) PrintDispatchTable(props);
     }
     if (!properties_only) {
-      if (budget != nullptr && budget->Exhausted()) {
-        std::fprintf(stderr, "ddlint: out of budget (%s); stopping\n",
-                     budget->ToStatus().ToString().c_str());
-        return 2;
-      }
+      if (budget != nullptr && budget->Exhausted()) return out_of_budget();
       std::vector<dd::analysis::LintDiagnostic> diags =
           dd::analysis::Lint(*prog, lint_opts);
       if (diags.empty()) {
@@ -185,6 +267,7 @@ int main(int argc, char** argv) {
         std::printf("diagnostics:\n%s",
                     dd::analysis::FormatDiagnostics(diags).c_str());
         for (const auto& d : diags) {
+          sarif.Add(path, d);
           if (d.severity != dd::analysis::LintSeverity::kNote && worst < 1) {
             worst = 1;
           }
@@ -192,6 +275,9 @@ int main(int argc, char** argv) {
       }
     }
     std::printf("\n");
+  }
+  if (!sarif_path.empty() && !sarif.Write(sarif_path) && worst < 1) {
+    worst = 1;
   }
   return worst;
 }

@@ -30,11 +30,19 @@
 //   --trace-json=FILE     write the session's span tree as JSON on exit
 //   --metrics             print the metrics-registry snapshot as JSON on
 //                         exit (counters under the canonical dd.* names)
+//   --certify             certificate-checked mode (docs/ANALYSIS.md):
+//                         every HCF fast-path minimality verdict and every
+//                         slice/module routing emits a machine-checkable
+//                         witness, re-verified by the independent certifier;
+//                         the tally prints on exit and any rejection (an
+//                         engine/certifier disagreement, i.e. a bug) fails
+//                         the run
 //
 // Exit status: 0 on success, 1 on a load/parse failure of the initial
-// program (or an unwritable --trace-json file), 2 if any query ran out of
-// budget — deadline, conflicts, oracle calls OR external cancellation
-// (kCancelled); both answer "unknown"/truncated — see docs/ROBUSTNESS.md.
+// program (or an unwritable --trace-json file, or a rejected --certify
+// certificate), 2 if any query ran out of budget — deadline, conflicts,
+// oracle calls OR external cancellation (kCancelled); both answer
+// "unknown"/truncated — see docs/ROBUSTNESS.md.
 #include <unistd.h>
 
 #include <cerrno>
@@ -97,7 +105,9 @@ void PrintHelp() {
       "semantics: gcwa egcwa ccwa ecwa ddr pws perf icwa dsm pdsm\n"
       "flags: --timeout-ms=N --conflict-budget=N (budgeted queries; exit 2\n"
       "       if any query runs out of budget)\n"
-      "       --trace-json=FILE --metrics (observability exports)\n");
+      "       --trace-json=FILE --metrics (observability exports)\n"
+      "       --certify (verify every fast-path answer's certificate;\n"
+      "       rejections fail the run)\n");
 }
 
 /// Parses "--name=123" / "--name 123" style int64 flags; advances *i when
@@ -182,6 +192,7 @@ int main(int argc, char** argv) {
   dd::QueryOptions query_opts;
   std::string trace_path;
   bool print_metrics = false;
+  bool certify = false;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     bool matched = false;
@@ -198,6 +209,10 @@ int main(int argc, char** argv) {
     std::string arg = argv[i];
     if (arg == "--metrics") {
       print_metrics = true;
+      continue;
+    }
+    if (arg == "--certify") {
+      certify = true;
       continue;
     }
     if (arg.rfind("--trace-json=", 0) == 0) {
@@ -226,6 +241,7 @@ int main(int argc, char** argv) {
 
   dd::Reasoner reasoner{dd::Database()};
   reasoner.set_trace(trace_ptr);
+  reasoner.EnableCertification(certify);
   if (!positional.empty()) {
     auto text = ReadFile(positional[0]);
     if (!text) {
@@ -239,6 +255,7 @@ int main(int argc, char** argv) {
     }
     reasoner = std::move(r).value();
     reasoner.set_trace(trace_ptr);
+    reasoner.EnableCertification(certify);
     std::printf("loaded %s (%s)\n", positional[0].c_str(),
                 dd::DatabaseSummary(reasoner.db()).c_str());
   }
@@ -273,6 +290,9 @@ int main(int argc, char** argv) {
       std::printf("%s\n", dd::FormatStats(reasoner.TotalStats(),
                                           reasoner.dispatch_stats(), sess)
                               .c_str());
+      if (reasoner.certification_enabled()) {
+        std::printf("%s\n", reasoner.certification_stats().ToString().c_str());
+      }
       continue;
     }
     if (cmd == "load" || cmd == "loadg") {
@@ -299,6 +319,7 @@ int main(int argc, char** argv) {
         reasoner = std::move(r).value();
       }
       reasoner.set_trace(trace_ptr);
+      reasoner.EnableCertification(certify);
       std::printf("loaded (%s)\n",
                   dd::DatabaseSummary(reasoner.db()).c_str());
       continue;
@@ -315,6 +336,7 @@ int main(int argc, char** argv) {
       }
       reasoner = std::move(r).value();
       reasoner.set_trace(trace_ptr);
+      reasoner.EnableCertification(certify);
       std::printf("ok (%s)\n", dd::DatabaseSummary(reasoner.db()).c_str());
       continue;
     }
@@ -465,6 +487,17 @@ int main(int argc, char** argv) {
     reasoner.PublishMetrics(&reg);
     dd::obs::WriteJson(std::cout, reg.Snapshot());
     std::cout << "\n";
+  }
+  if (certify) {
+    const dd::analysis::CertificationStats& cs =
+        reasoner.certification_stats();
+    std::printf("%s\n", cs.ToString().c_str());
+    if (cs.rejected > 0) {
+      for (const std::string& why : reasoner.certification_failures()) {
+        std::fprintf(stderr, "ddquery: %s\n", why.c_str());
+      }
+      if (worst_exit == 0) worst_exit = 1;
+    }
   }
   return worst_exit;
 }

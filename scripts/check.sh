@@ -9,12 +9,18 @@
 #      triples runtimes, and the rest of the suite is single-threaded
 #   5. clang-tidy over src/ (skipped with a notice when not installed)
 #   6. clang-format --dry-run -Werror over src/ (same skip rule)
-#   7. ddlint over examples/programs/*.ddb (exit 2 = out of budget and
-#      fails the check; 1 means diagnostics or a parse failure were
-#      reported, which the bait program does on purpose)
+#   7. ddlint over examples/programs/*.ddb, diffed against the committed
+#      golden diagnostics (examples/programs/lint_golden.txt) so rule
+#      regressions show as a diff, with the SARIF export validated
+#      through `python3 -m json.tool`; exit 2 = out of budget and fails
+#      the check (1 just means diagnostics, which the bait programs
+#      produce on purpose)
 #   8. observability export smoke: ddquery --trace-json/--metrics on a
 #      real example program, both outputs validated through
-#      `python3 -m json.tool` (docs/OBSERVABILITY.md schema contract)
+#      `python3 -m json.tool` (docs/OBSERVABILITY.md schema contract),
+#      plus a `ddquery --certify` sweep over every example program —
+#      certificate rejections flip the exit code and fail the leg
+#      (docs/ANALYSIS.md section 5)
 #   9. fault-injection + deadline soak: the DD_FAULT_UNKNOWN_AT /
 #      DD_FAULT_EXHAUST_AFTER matrix over the injection-tolerant
 #      FaultSoak suite of budget_test, under the ASan build (docs/
@@ -96,16 +102,26 @@ else
   echo "clang-format: not installed; skipping"
 fi
 
-echo "===== ddlint over examples/programs ====="
+echo "===== ddlint over examples/programs (golden + SARIF) ====="
 LINT_BIN=build-check-release/examples/ddlint
 if [ -x "$LINT_BIN" ]; then
-  "$LINT_BIN" examples/programs/*.ddb >/dev/null 2>&1
+  LINT_TMP="$(mktemp -d)"
+  "$LINT_BIN" --diagnostics-only --sarif="$LINT_TMP/lint.sarif" \
+    examples/programs/*.ddb >"$LINT_TMP/lint.out" 2>&1
   rc=$?
   if [ "$rc" -ge 2 ]; then
     echo "ddlint: out of budget / unexpected failure (exit $rc)"; FAILED=1
+  elif ! diff -u examples/programs/lint_golden.txt "$LINT_TMP/lint.out"; then
+    echo "ddlint: diagnostics drifted from the committed golden file"
+    echo "  (regenerate: ddlint --diagnostics-only examples/programs/*.ddb > examples/programs/lint_golden.txt)"
+    FAILED=1
+  elif command -v python3 >/dev/null 2>&1 && \
+       ! python3 -m json.tool "$LINT_TMP/lint.sarif" >/dev/null 2>&1; then
+    echo "ddlint: SARIF export does not parse as JSON"; FAILED=1
   else
-    echo "ddlint: OK (exit $rc; 1 = diagnostics reported, expected on lint_bait.ddb)"
+    echo "ddlint: OK (diagnostics match golden, SARIF validates; exit $rc)"
   fi
+  rm -rf "$LINT_TMP"
 else
   echo "ddlint: binary not built; skipping"
 fi
@@ -132,6 +148,51 @@ if [ -x "$QUERY_BIN" ] && command -v python3 >/dev/null 2>&1; then
   rm -rf "$OBS_TMP"
 else
   echo "obs: ddquery or python3 unavailable; skipping"
+fi
+
+echo "===== ddquery --certify over examples/programs ====="
+if [ -x "$QUERY_BIN" ]; then
+  CERT_TMP="$(mktemp -d)"
+  CERT_FAILED=0
+  for prog in examples/programs/*.ddb; do
+    case "$(basename "$prog")" in
+      positive.ddb)
+        q='lit gcwa goal\nlit gcwa not detour\ninfer egcwa detour | shortcut\nlit dsm hub\n' ;;
+      example31.ddb)
+        q='lit gcwa a\nlit pws not c\nlit ddr not c\n' ;;
+      head_cycle.ddb)
+        q='lit gcwa d\nlit dsm not e\n' ;;
+      horn.ddb)
+        q='lit gcwa reach_c\nlit ccwa not blocked\n' ;;
+      lint_bait.ddb)
+        q='infer gcwa e | f\nlit egcwa not g\n' ;;
+      stratified.ddb)
+        q='lit perf awake\nlit icwa not broken\n' ;;
+      *)  # new example programs still get a model-existence sweep
+        q='exists gcwa\nexists dsm\n' ;;
+    esac
+    if ! printf "${q}stats\nquit\n" | "$QUERY_BIN" --certify "$prog" \
+         >"$CERT_TMP/out.txt" 2>&1; then
+      echo "certify: $prog FAILED (certificate rejected or query error)"
+      cat "$CERT_TMP/out.txt"
+      CERT_FAILED=1
+    fi
+    cat "$CERT_TMP/out.txt" >>"$CERT_TMP/all.txt"
+  done
+  # The sweep must actually exercise the certificate layer: at least one
+  # program (positive.ddb's slice/module cones) emits witnesses.
+  if ! grep -Eq 'certificates: emitted=[1-9]' "$CERT_TMP/all.txt"; then
+    echo "certify: sweep emitted no certificates (fast paths disabled?)"
+    CERT_FAILED=1
+  fi
+  if [ "$CERT_FAILED" -ne 0 ]; then
+    FAILED=1
+  else
+    echo "certify: OK (all certificates accepted across $(ls examples/programs/*.ddb | wc -l) programs)"
+  fi
+  rm -rf "$CERT_TMP"
+else
+  echo "certify: ddquery not built; skipping"
 fi
 
 echo "===== fault-injection + deadline soak (ASan) ====="

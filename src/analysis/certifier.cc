@@ -1,0 +1,163 @@
+#include "analysis/certifier.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace dd {
+namespace analysis {
+
+namespace {
+
+Status Fail(CertificateKind k, const std::string& why) {
+  return Status::InvalidArgument(
+      StrFormat("certificate rejected (%s): %s", CertificateKindName(k),
+                why.c_str()));
+}
+
+// kHcfMinimalModel: replay the founded order. A valid order proves subset-
+// minimality of `model` among classical models of db (see certifier.h).
+Status VerifyMinimalModel(const Certificate& c) {
+  const CertificateKind k = c.kind;
+  if (c.model.num_vars() != c.db.num_vars()) {
+    return Fail(k, "model arity differs from database");
+  }
+  if (!c.db.Satisfies(c.model)) return Fail(k, "claimed model is no model");
+  if (c.founded_order.size() != c.support_clauses.size()) {
+    return Fail(k, "order and support-clause lists differ in length");
+  }
+  if (static_cast<int>(c.founded_order.size()) != c.model.TrueCount()) {
+    return Fail(k, "founded order does not cover the model");
+  }
+  Interpretation derived(c.db.num_vars());
+  for (size_t i = 0; i < c.founded_order.size(); ++i) {
+    const Var a = c.founded_order[i];
+    if (a < 0 || a >= c.db.num_vars()) return Fail(k, "atom out of range");
+    if (!c.model.Contains(a)) return Fail(k, "founded atom not in model");
+    if (derived.Contains(a)) return Fail(k, "atom founded twice");
+    const int ci = c.support_clauses[i];
+    if (ci < 0 || ci >= c.db.num_clauses()) {
+      return Fail(k, "support clause index out of range");
+    }
+    const Clause& cl = c.db.clause(ci);
+    // The support condition: a is the ONLY head atom true in M, every
+    // positive body atom was founded strictly earlier, and the negative
+    // body is false in M. Any model M' ⊊ M must then re-derive a.
+    bool a_in_heads = false;
+    for (Var h : cl.heads()) {
+      if (h == a) {
+        a_in_heads = true;
+      } else if (c.model.Contains(h)) {
+        return Fail(k, "support clause has a second true head atom");
+      }
+    }
+    if (!a_in_heads) return Fail(k, "support clause does not head the atom");
+    for (Var b : cl.pos_body()) {
+      if (!derived.Contains(b)) {
+        return Fail(k, "positive body atom not founded earlier");
+      }
+    }
+    for (Var nb : cl.neg_body()) {
+      if (c.model.Contains(nb)) {
+        return Fail(k, "negative body atom true in the model");
+      }
+    }
+    derived.Insert(a);
+  }
+  return Status::OK();
+}
+
+Status VerifyNonMinimalWitness(const Certificate& c) {
+  const CertificateKind k = c.kind;
+  if (c.model.num_vars() != c.db.num_vars() ||
+      c.smaller.num_vars() != c.db.num_vars()) {
+    return Fail(k, "interpretation arity differs from database");
+  }
+  if (!c.db.Satisfies(c.model)) return Fail(k, "claimed model is no model");
+  if (!c.smaller.StrictSubsetOf(c.model)) {
+    return Fail(k, "witness is not a strict subset of the model");
+  }
+  if (!c.db.Satisfies(c.smaller)) return Fail(k, "witness is no model");
+  return Status::OK();
+}
+
+Status VerifySliceRelevance(const Certificate& c) {
+  const CertificateKind k = c.kind;
+  if (c.relevant.num_vars() != c.db.num_vars()) {
+    return Fail(k, "relevant-set arity differs from database");
+  }
+  for (Var r : c.roots) {
+    if (r < 0 || r >= c.db.num_vars()) return Fail(k, "root out of range");
+    if (!c.relevant.Contains(r)) return Fail(k, "root outside the cone");
+  }
+  std::vector<bool> in_slice(static_cast<size_t>(c.db.num_clauses()), false);
+  for (int ci : c.slice_clauses) {
+    if (ci < 0 || ci >= c.db.num_clauses()) {
+      return Fail(k, "slice clause index out of range");
+    }
+    if (in_slice[static_cast<size_t>(ci)]) {
+      return Fail(k, "duplicate slice clause index");
+    }
+    in_slice[static_cast<size_t>(ci)] = true;
+  }
+  for (int ci = 0; ci < c.db.num_clauses(); ++ci) {
+    const Clause& cl = c.db.clause(ci);
+    // The soundness theorem is stated for positive databases only.
+    if (!cl.neg_body().empty()) return Fail(k, "database has negation");
+    if (cl.is_integrity()) return Fail(k, "database has integrity clauses");
+    bool head_in_cone = false;
+    for (Var h : cl.heads()) {
+      if (c.relevant.Contains(h)) head_in_cone = true;
+    }
+    if (head_in_cone != in_slice[static_cast<size_t>(ci)]) {
+      return Fail(k, head_in_cone
+                         ? "clause heading into the cone missing from slice"
+                         : "slice clause has no head in the cone");
+    }
+    if (!head_in_cone) continue;
+    // Head-closure: the cone absorbs every atom of a clause it touches.
+    for (Var h : cl.heads()) {
+      if (!c.relevant.Contains(h)) return Fail(k, "cone not head-closed");
+    }
+    for (Var b : cl.pos_body()) {
+      if (!c.relevant.Contains(b)) return Fail(k, "cone not body-closed");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* CertificateKindName(CertificateKind k) {
+  switch (k) {
+    case CertificateKind::kHcfMinimalModel:
+      return "hcf-minimal-model";
+    case CertificateKind::kNonMinimalWitness:
+      return "non-minimal-witness";
+    case CertificateKind::kSliceRelevance:
+      return "slice-relevance";
+  }
+  return "?";
+}
+
+Status VerifyCertificate(const Certificate& c) {
+  switch (c.kind) {
+    case CertificateKind::kHcfMinimalModel:
+      return VerifyMinimalModel(c);
+    case CertificateKind::kNonMinimalWitness:
+      return VerifyNonMinimalWitness(c);
+    case CertificateKind::kSliceRelevance:
+      return VerifySliceRelevance(c);
+  }
+  return Status::Internal("unknown certificate kind");
+}
+
+std::string CertificationStats::ToString() const {
+  return StrFormat("certificates: emitted=%lld, accepted=%lld, rejected=%lld",
+                   static_cast<long long>(emitted),
+                   static_cast<long long>(accepted),
+                   static_cast<long long>(rejected));
+}
+
+}  // namespace analysis
+}  // namespace dd

@@ -1,0 +1,104 @@
+// Independent certificate checking for downgraded answers.
+//
+// Every structural fast path (the HCF polynomial minimality check, the
+// relevance slicer) can emit a machine-checkable witness for the claim it
+// shortcut. This module re-verifies those witnesses from first principles:
+// it depends only on logic/ (model checks, clause traversal) and never on
+// the engines it audits, so an engine bug cannot also hide the evidence.
+//
+// The three certificate kinds and what acceptance proves:
+//
+//   kHcfMinimalModel   M is a model and `founded_order` enumerates exactly
+//                      its true atoms, each justified by a clause whose
+//                      only true head atom is the derived atom and whose
+//                      positive body lies strictly earlier in the order
+//                      (negative body false in M). Such an order proves M
+//                      is subset-minimal among classical models — for ANY
+//                      clause set, head-cycle-free or not; HCF is only what
+//                      makes the engine-side check complete.
+//
+//   kNonMinimalWitness `smaller` is a model of the database and a strict
+//                      subset of M, refuting M's minimality outright.
+//
+//   kSliceRelevance    the database is positive, `relevant` contains the
+//                      query roots, and `slice_clauses` is exactly the set
+//                      of clauses with a head in `relevant`, each fully
+//                      contained in `relevant` (head-closed cone). This is
+//                      the premise of the slicing soundness theorem
+//                      (docs/ANALYSIS.md): minimal models restricted to the
+//                      cone coincide with the slice's minimal models.
+#ifndef DD_ANALYSIS_CERTIFIER_H_
+#define DD_ANALYSIS_CERTIFIER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logic/database.h"
+#include "logic/interpretation.h"
+#include "logic/types.h"
+#include "util/status.h"
+
+namespace dd {
+namespace analysis {
+
+/// What a certificate claims (see file comment).
+enum class CertificateKind {
+  kHcfMinimalModel,
+  kNonMinimalWitness,
+  kSliceRelevance,
+};
+
+const char* CertificateKindName(CertificateKind k);
+
+/// A self-contained witness. Each certificate carries its own copy of the
+/// database the claim is about: the emitting engines routinely run on
+/// derived databases (GL reducts, stratum slices, positivizations), so
+/// verifying against "the" query database would check the wrong object.
+struct Certificate {
+  CertificateKind kind = CertificateKind::kHcfMinimalModel;
+  Database db;
+
+  // kHcfMinimalModel / kNonMinimalWitness: the model whose (non-)minimality
+  // is claimed.
+  Interpretation model;
+
+  // kHcfMinimalModel: derivation order of model's true atoms and, parallel
+  // to it, the supporting clause index for each derived atom.
+  std::vector<Var> founded_order;
+  std::vector<int> support_clauses;
+
+  // kNonMinimalWitness: a model strictly below `model`.
+  Interpretation smaller;
+
+  // kSliceRelevance: query atoms, their cone of influence, and the clause
+  // indices of the slice.
+  std::vector<Var> roots;
+  Interpretation relevant;
+  std::vector<int> slice_clauses;
+};
+
+/// Re-derives the certificate's claim from the database alone.
+/// OK = accepted; any failure names the first broken obligation.
+Status VerifyCertificate(const Certificate& c);
+
+/// Acceptance accounting for --certify runs (flat-zero `rejected` is part
+/// of the bench_dispatch acceptance bar).
+struct CertificationStats {
+  int64_t emitted = 0;
+  int64_t accepted = 0;
+  int64_t rejected = 0;
+
+  void Add(const CertificationStats& o) {
+    emitted += o.emitted;
+    accepted += o.accepted;
+    rejected += o.rejected;
+  }
+  /// "certificates: emitted=…, accepted=…, rejected=…".
+  std::string ToString() const;
+};
+
+}  // namespace analysis
+}  // namespace dd
+
+#endif  // DD_ANALYSIS_CERTIFIER_H_

@@ -107,6 +107,12 @@ const char* EnginePathName(EnginePath p) {
       return "certain-fact";
     case EnginePath::kConstAnswer:
       return "const-answer";
+    case EnginePath::kSliceLiteral:
+      return "slice-literal";
+    case EnginePath::kModuleFormula:
+      return "module-formula";
+    case EnginePath::kHcfUnfounded:
+      return "hcf-unfounded";
   }
   return "?";
 }
@@ -128,6 +134,15 @@ void DispatchStats::Record(EnginePath p) {
     case EnginePath::kConstAnswer:
       ++const_answer;
       break;
+    case EnginePath::kSliceLiteral:
+      ++slice_literal;
+      break;
+    case EnginePath::kModuleFormula:
+      ++module_formula;
+      break;
+    case EnginePath::kHcfUnfounded:
+      ++hcf_unfounded;
+      break;
   }
 }
 
@@ -137,10 +152,13 @@ void DispatchStats::Add(const DispatchStats& o) {
   horn_least_model += o.horn_least_model;
   certain_fact += o.certain_fact;
   const_answer += o.const_answer;
+  slice_literal += o.slice_literal;
+  module_formula += o.module_formula;
+  hcf_unfounded += o.hcf_unfounded;
 }
 
 std::string DispatchStats::ToString() const {
-  return StrFormat(
+  std::string out = StrFormat(
       "dispatch: generic=%lld, fixpoint=%lld, horn=%lld, certain=%lld, "
       "const=%lld",
       static_cast<long long>(generic),
@@ -148,10 +166,73 @@ std::string DispatchStats::ToString() const {
       static_cast<long long>(horn_least_model),
       static_cast<long long>(certain_fact),
       static_cast<long long>(const_answer));
+  if (slice_literal != 0 || module_formula != 0 || hcf_unfounded != 0) {
+    out += StrFormat(", slice=%lld, module=%lld, hcf=%lld",
+                     static_cast<long long>(slice_literal),
+                     static_cast<long long>(module_formula),
+                     static_cast<long long>(hcf_unfounded));
+  }
+  return out;
+}
+
+bool SliceIsSound(const ProgramProperties& props, SemanticsKind sem,
+                  bool custom_partition) {
+  if (!props.is_positive) return false;
+  if (custom_partition &&
+      (sem == SemanticsKind::kCcwa || sem == SemanticsKind::kEcwa)) {
+    return false;
+  }
+  switch (sem) {
+    case SemanticsKind::kGcwa:
+    case SemanticsKind::kEgcwa:
+    case SemanticsKind::kCcwa:  // = GCWA under the default partition
+    case SemanticsKind::kEcwa:  // = EGCWA under the default partition
+    case SemanticsKind::kDdr:   // fixpoint restricts to the cone
+    case SemanticsKind::kPws:   // possible models restrict to the cone
+    case SemanticsKind::kPerf:  // = MM on positive DBs
+    case SemanticsKind::kIcwa:  // = EGCWA on positive DBs
+    case SemanticsKind::kDsm:   // reduct is identity; stable = MM
+      return true;
+    case SemanticsKind::kCwa:   // inconsistency is a global property
+    case SemanticsKind::kPdsm:  // three-valued models
+      return false;
+  }
+  return false;
+}
+
+bool HcfFastPathApplies(const ProgramProperties& props, SemanticsKind sem,
+                        bool custom_partition) {
+  // Horn rows have strictly cheaper paths; without disjunction the HCF
+  // check degenerates and the generic machinery is already fine.
+  if (!props.is_deductive || !props.is_head_cycle_free ||
+      !props.has_disjunction) {
+    return false;
+  }
+  if (custom_partition &&
+      (sem == SemanticsKind::kCcwa || sem == SemanticsKind::kEcwa)) {
+    return false;
+  }
+  switch (sem) {
+    case SemanticsKind::kGcwa:
+    case SemanticsKind::kEgcwa:
+    case SemanticsKind::kCcwa:
+    case SemanticsKind::kEcwa:
+    case SemanticsKind::kPerf:
+    case SemanticsKind::kIcwa:
+    case SemanticsKind::kDsm:
+      return true;
+    case SemanticsKind::kCwa:   // provability-based, no minimality oracle
+    case SemanticsKind::kDdr:   // fixpoint-based
+    case SemanticsKind::kPws:   // possible-model split, no minimality oracle
+    case SemanticsKind::kPdsm:  // three-valued; bit-level engines
+      return false;
+  }
+  return false;
 }
 
 EnginePath SelectPath(const ProgramProperties& props, SemanticsKind sem,
-                      QueryKind query, Lit lit, bool custom_partition) {
+                      QueryKind query, Lit lit, bool custom_partition,
+                      const QueryShape* shape) {
   // A caller-supplied CCWA/ECWA partition changes the minimization
   // preorder; the fast-path arguments assume minimize-everything.
   if (custom_partition &&
@@ -162,6 +243,8 @@ EnginePath SelectPath(const ProgramProperties& props, SemanticsKind sem,
   if (!GenericWouldAnswer(props, sem)) return EnginePath::kGeneric;
 
   const bool horn_ok = props.is_horn && HornCollapses(sem);
+  const bool slice_ok = SliceIsSound(props, sem, custom_partition);
+  const bool hcf_ok = HcfFastPathApplies(props, sem, custom_partition);
   switch (query) {
     case QueryKind::kLiteral:
       if (horn_ok) return EnginePath::kHornLeastModel;
@@ -174,9 +257,19 @@ EnginePath SelectPath(const ProgramProperties& props, SemanticsKind sem,
           IntendedModelsAreClassical(sem)) {
         return EnginePath::kCertainFact;
       }
+      // Structural paths: prefer the (strictly smaller) cone slice; fall
+      // back to the polynomial minimality oracle on the full database.
+      if (slice_ok && shape != nullptr && shape->proper_slice) {
+        return EnginePath::kSliceLiteral;
+      }
+      if (hcf_ok) return EnginePath::kHcfUnfounded;
       return EnginePath::kGeneric;
     case QueryKind::kFormula:
       if (horn_ok) return EnginePath::kHornLeastModel;
+      if (slice_ok && shape != nullptr && shape->proper_module) {
+        return EnginePath::kModuleFormula;
+      }
+      if (hcf_ok) return EnginePath::kHcfUnfounded;
       return EnginePath::kGeneric;
     case QueryKind::kHasModel:
       if (props.is_positive && PositiveAlwaysHasModel(sem)) {

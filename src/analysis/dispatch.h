@@ -31,6 +31,10 @@ enum class EnginePath {
   kHornLeastModel,   ///< Horn DBs: evaluate on the definite least model (P)
   kCertainFact,      ///< literal proven by the analyzer's unit closure (P)
   kConstAnswer,      ///< read off the properties (e.g. HasModel, Table 1)
+  kSliceLiteral,     ///< literal answered on its cone-of-influence slice
+  kModuleFormula,    ///< formula answered on the union of its modules
+  kHcfUnfounded,     ///< generic engine with the polynomial HCF minimality
+                     ///< check in place of the coNP oracle (minimal/hcf.h)
 };
 
 const char* EnginePathName(EnginePath p);
@@ -43,24 +47,56 @@ struct DispatchStats {
   int64_t horn_least_model = 0;
   int64_t certain_fact = 0;
   int64_t const_answer = 0;
+  int64_t slice_literal = 0;
+  int64_t module_formula = 0;
+  int64_t hcf_unfounded = 0;
 
   void Record(EnginePath p);
   void Add(const DispatchStats& o);
-  /// Queries answered without the generic engine.
+  /// Queries answered without the (full-database) generic engine.
   int64_t Downgrades() const {
-    return fixpoint_literal + horn_least_model + certain_fact + const_answer;
+    return fixpoint_literal + horn_least_model + certain_fact + const_answer +
+           slice_literal + module_formula + hcf_unfounded;
   }
-  /// "dispatch: generic=…, fixpoint=…, horn=…, certain=…, const=…".
+  /// "dispatch: generic=…, fixpoint=…, horn=…, certain=…, const=…"; the
+  /// slice/module/hcf columns append only when nonzero, keeping historical
+  /// output stable for programs that never hit the structural paths.
   std::string ToString() const;
 };
 
 /// The query classes the dispatch table distinguishes.
 enum class QueryKind { kLiteral, kFormula, kHasModel };
 
+/// Query-specific structure the Reasoner computed with analysis/slicer.h:
+/// whether the query's cone of influence (resp. module union) is a proper
+/// sub-database. SelectPath treats a null shape like an improper one —
+/// callers without a slicer lose only the structural paths.
+struct QueryShape {
+  bool proper_slice = false;
+  bool proper_module = false;
+};
+
+/// Per-semantics soundness gate of the slice/module paths: the query may
+/// be answered on a head-closed sub-database exactly when the database is
+/// positive and the semantics' inference is determined componentwise
+/// (docs/ANALYSIS.md "Slicing, modules, certificates"). CWA is excluded —
+/// its inconsistency can be caused by clauses outside any cone — and so
+/// are PDSM's three-valued models and custom CCWA/ECWA partitions.
+bool SliceIsSound(const ProgramProperties& props, SemanticsKind sem,
+                  bool custom_partition);
+
+/// Gate of EnginePath::kHcfUnfounded: the semantics' oracle usage reduces
+/// to minimize-all minimality checks that minimal/hcf.h answers in
+/// polynomial time — deductive + head-cycle-free databases, minimality-
+/// based semantics, and actual disjunction (Horn has cheaper rows).
+bool HcfFastPathApplies(const ProgramProperties& props, SemanticsKind sem,
+                        bool custom_partition);
+
 /// Pure dispatch decision. `lit` matters only for QueryKind::kLiteral.
 /// `custom_partition` must be true when a caller-supplied <P;Q;Z>
 /// partition is active for CCWA/ECWA (fast paths assume the default
-/// minimize-everything partition and step aside otherwise).
+/// minimize-everything partition and step aside otherwise). `shape`
+/// (optional) enables the query-directed structural paths.
 ///
 /// Guarantee: any non-generic path returns exactly the answer the generic
 /// engine would return, including vacuous-truth on semantics-inconsistent
@@ -68,7 +104,8 @@ enum class QueryKind { kLiteral, kFormula, kHasModel };
 /// are always routed generic so the error surfaces unchanged.
 EnginePath SelectPath(const ProgramProperties& props, SemanticsKind sem,
                       QueryKind query, Lit lit = Lit(),
-                      bool custom_partition = false);
+                      bool custom_partition = false,
+                      const QueryShape* shape = nullptr);
 
 /// Executes the cheap paths chosen by SelectPath. Holds (lazily built,
 /// cached) polynomial-time artifacts for one database. Like the semantics

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "analysis/slicer.h"
+#include "strat/dependency_graph.h"
 #include "util/string_util.h"
 
 namespace dd {
@@ -79,6 +81,10 @@ const char* LintRuleName(LintRule r) {
       return "constraint-like-head";
     case LintRule::kIntegrityClause:
       return "integrity-clause";
+    case LintRule::kHeadCycle:
+      return "head-cycle";
+    case LintRule::kRelevanceDead:
+      return "relevance-dead";
   }
   return "?";
 }
@@ -225,6 +231,77 @@ std::vector<LintDiagnostic> Lint(const Database& db,
     }
   }
 
+  // ---- graph-aware rules --------------------------------------------------
+  // Head cycles: a clause with two distinct head atoms in one nontrivial SCC
+  // of the positive body->head graph is exactly what breaks
+  // head-cycle-freeness (strat/IsHeadCycleFree). Report the concrete pair
+  // plus a positive cycle through both atoms as the witness.
+  {
+    const DependencyGraph positive(db, DepGraphOptions{false, false});
+    const std::vector<int> scc = positive.SccIds();
+    std::vector<int> comp_size(scc.size(), 0);
+    for (int id : scc) ++comp_size[static_cast<size_t>(id)];
+    // Shortest positive path from -> to. Any path to a node of the same SCC
+    // stays inside the SCC (the condensation is acyclic), so plain BFS
+    // yields an in-SCC witness.
+    auto path = [&](Var from, Var to) {
+      std::vector<Var> parent(static_cast<size_t>(n), kInvalidVar);
+      std::vector<Var> queue = {from};
+      parent[static_cast<size_t>(from)] = from;
+      for (size_t qi = 0; qi < queue.size(); ++qi) {
+        const Var u = queue[qi];
+        if (u == to && qi > 0) break;
+        for (const DepEdge& e : positive.OutEdges(u)) {
+          if (parent[static_cast<size_t>(e.to)] != kInvalidVar) continue;
+          parent[static_cast<size_t>(e.to)] = u;
+          queue.push_back(e.to);
+        }
+      }
+      std::vector<Var> rev;
+      for (Var v = to; v != from; v = parent[static_cast<size_t>(v)]) {
+        rev.push_back(v);
+      }
+      std::reverse(rev.begin(), rev.end());
+      return rev;  // from excluded, to included
+    };
+    for (int ci = 0; ci < m; ++ci) {
+      const std::vector<Var>& heads = norm[static_cast<size_t>(ci)].heads;
+      if (heads.size() < 2) continue;
+      bool reported_clause = false;
+      for (size_t i = 0; i < heads.size() && !reported_clause; ++i) {
+        for (size_t j = i + 1; j < heads.size() && !reported_clause; ++j) {
+          const Var a = heads[i], b = heads[j];
+          if (scc[static_cast<size_t>(a)] != scc[static_cast<size_t>(b)] ||
+              comp_size[static_cast<size_t>(scc[static_cast<size_t>(a)])] <
+                  2) {
+            continue;
+          }
+          std::string cycle = voc.Name(a);
+          for (Var v : path(a, b)) cycle += " -> " + voc.Name(v);
+          for (Var v : path(b, a)) cycle += " -> " + voc.Name(v);
+          add(LintRule::kHeadCycle, LintSeverity::kNote, ci, a,
+              StrFormat("head atoms '%s' and '%s' lie on a positive cycle "
+                        "(%s); the program is not head-cycle-free, so "
+                        "minimality checks stay on the coNP oracle path",
+                        voc.Name(a).c_str(), voc.Name(b).c_str(),
+                        cycle.c_str()));
+          reported_clause = true;
+        }
+      }
+    }
+  }
+
+  // Relevance cone of every head atom: atoms outside it are mentioned only
+  // by integrity clauses, so no literal query's slice ever includes them.
+  Interpretation head_cone(n);
+  {
+    std::vector<Var> head_atoms;
+    for (Var v = 0; v < n; ++v) {
+      if (head_occ[static_cast<size_t>(v)] > 0) head_atoms.push_back(v);
+    }
+    head_cone = Slicer(db).Cone(head_atoms).relevant;
+  }
+
   // ---- atom-level rules ---------------------------------------------------
   for (Var v = 0; v < n; ++v) {
     const bool in_head = head_occ[static_cast<size_t>(v)] > 0;
@@ -235,6 +312,12 @@ std::vector<LintDiagnostic> Lint(const Database& db,
       add(LintRule::kOnlyNegativeAtom, LintSeverity::kNote, -1, v,
           StrFormat("atom '%s' occurs only under 'not'; it is never "
                     "derivable, so the negation always succeeds",
+                    voc.Name(v).c_str()));
+    } else if (!head_cone.Contains(v)) {
+      add(LintRule::kRelevanceDead, LintSeverity::kNote, -1, v,
+          StrFormat("atom '%s' is outside the relevance cone of every head "
+                    "(only integrity clauses mention it); no query slice "
+                    "includes it",
                     voc.Name(v).c_str()));
     } else {
       add(LintRule::kUnderivableAtom, LintSeverity::kWarning, -1, v,

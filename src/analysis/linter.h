@@ -39,6 +39,10 @@ enum class LintRule {
   kOnlyNegativeAtom,   ///< atom used only under "not"
   kConstraintLikeHead, ///< head atom used nowhere else: ":- body."?
   kIntegrityClause,    ///< Table 2 regime / ignored by the DDR fixpoint
+  kHeadCycle,          ///< two co-head atoms on a positive cycle: not HCF,
+                       ///< the polynomial minimality path stays disabled
+  kRelevanceDead,      ///< atom outside every head's relevance cone: no
+                       ///< query slice ever includes it
 };
 
 const char* LintRuleName(LintRule r);

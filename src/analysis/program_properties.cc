@@ -142,24 +142,7 @@ ProgramProperties Analyze(const Database& db) {
       break;
     }
   }
-  p.is_head_cycle_free = true;
-  for (const Clause& c : db.clauses()) {
-    if (c.heads().size() < 2) continue;
-    for (size_t i = 0; i + 1 < c.heads().size() && p.is_head_cycle_free;
-         ++i) {
-      for (size_t j = i + 1; j < c.heads().size(); ++j) {
-        Var a = c.heads()[i], b = c.heads()[j];
-        if (a != b && pcomp[static_cast<size_t>(a)] ==
-                          pcomp[static_cast<size_t>(b)] &&
-            pcomp_size[static_cast<size_t>(pcomp[static_cast<size_t>(a)])] >
-                1) {
-          p.is_head_cycle_free = false;
-          break;
-        }
-      }
-    }
-    if (!p.is_head_cycle_free) break;
-  }
+  p.is_head_cycle_free = IsHeadCycleFree(db, pcomp);
 
   // ---- stratification -----------------------------------------------------
   if (Result<Stratification> s = Stratify(db); s.ok()) {

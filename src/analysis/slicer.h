@@ -1,0 +1,81 @@
+// Query-directed relevance slicing and module decomposition.
+//
+// Two structural restrictions of a database, both purely syntactic:
+//
+//   * the *cone of influence* of a query atom set: the least atom set R
+//     containing the roots and closed under "a clause with a head in R
+//     contributes all its atoms" — every derivation of a root lives inside
+//     the cone's clauses (the slice);
+//
+//   * the *modules*: connected components of the clause hypergraph (two
+//     atoms are connected when some clause mentions both). Modules are
+//     unions of SCCs of strat/DependencyGraph and, on positive databases,
+//     minimal models factor as independent products over them.
+//
+// Both yield head-closed sub-databases, which is the premise of the
+// slicing soundness theorem (docs/ANALYSIS.md): for positive databases,
+// {M ∩ R : M ∈ MM(DB)} = MM(slice)↾R, and the DDR/PWS fixpoint and
+// possible-model constructions restrict the same way. The per-semantics
+// gate (which semantics may be answered on the slice) is SliceIsSound in
+// analysis/dispatch.h; this module is policy-free.
+#ifndef DD_ANALYSIS_SLICER_H_
+#define DD_ANALYSIS_SLICER_H_
+
+#include <vector>
+
+#include "logic/database.h"
+#include "logic/interpretation.h"
+#include "logic/types.h"
+
+namespace dd {
+namespace analysis {
+
+/// A head-closed restriction of the database.
+struct SliceResult {
+  Interpretation relevant;         ///< the atom cone R
+  std::vector<int> clause_indices; ///< exactly the clauses with a head in R,
+                                   ///< ascending
+  bool proper = false;             ///< strictly fewer clauses than the DB
+};
+
+/// Precomputed incidence structure for one database. Keeps its own copy of
+/// the database (like FastPathEngine), so it stays valid when the owning
+/// facade moves; the Reasoner drops it whenever the vocabulary grows.
+class Slicer {
+ public:
+  explicit Slicer(Database db);
+
+  const Database& db() const { return db_; }
+
+  /// Cone of influence of `roots` (directed, head-downward closure).
+  SliceResult Cone(const std::vector<Var>& roots) const;
+
+  /// Union of the modules containing `roots` (undirected closure); always
+  /// a superset of Cone(roots).
+  SliceResult ModuleUnion(const std::vector<Var>& roots) const;
+
+  /// Dense module id per atom; atoms mentioned in no clause are singleton
+  /// modules.
+  const std::vector<int>& module_ids() const { return module_id_; }
+  int num_modules() const { return num_modules_; }
+
+  /// Materializes the sliced sub-database (same vocabulary and variable
+  /// space; atoms outside the cone simply never occur).
+  Database MakeSubDatabase(const SliceResult& slice) const {
+    return db_.SelectClauses(slice.clause_indices);
+  }
+
+ private:
+  Database db_;
+  /// atom -> indices of clauses having it among their heads.
+  std::vector<std::vector<int>> head_clauses_;
+  /// atom -> indices of clauses mentioning it anywhere.
+  std::vector<std::vector<int>> touch_clauses_;
+  std::vector<int> module_id_;
+  int num_modules_ = 0;
+};
+
+}  // namespace analysis
+}  // namespace dd
+
+#endif  // DD_ANALYSIS_SLICER_H_

@@ -28,12 +28,18 @@ std::string SessionSuffix(const oracle::SessionStats& sess) {
 }  // namespace
 
 std::string FormatStats(const MinimalStats& s) {
-  return StrFormat(
+  std::string out = StrFormat(
       "SAT calls=%lld, minimizations=%lld, CEGAR=%lld, models=%lld",
       static_cast<long long>(s.sat_calls),
       static_cast<long long>(s.minimizations),
       static_cast<long long>(s.cegar_iterations),
       static_cast<long long>(s.models_enumerated));
+  // Appended only when the polynomial HCF path actually ran, so the
+  // long-standing renderings of oracle-only runs stay byte-identical.
+  if (s.hcf_checks != 0) {
+    out += StrFormat(", hcf checks=%lld", static_cast<long long>(s.hcf_checks));
+  }
+  return out;
 }
 
 std::string FormatStats(const MinimalStats& s,

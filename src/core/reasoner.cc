@@ -49,7 +49,15 @@ class QuerySpan {
     t_->AddCounter(id_, "dispatch_generic",
                    d.generic - dispatch_before_.generic);
     t_->AddCounter(id_, "dispatch_downgrades",
-                   Downgrades(d) - Downgrades(dispatch_before_));
+                   d.Downgrades() - dispatch_before_.Downgrades());
+    // The structural-path counters append only when the query used one, so
+    // span trees of programs that never slice stay byte-identical.
+    const int64_t slice = d.slice_literal - dispatch_before_.slice_literal;
+    const int64_t module = d.module_formula - dispatch_before_.module_formula;
+    const int64_t hcf = d.hcf_unfounded - dispatch_before_.hcf_unfounded;
+    if (slice != 0) t_->AddCounter(id_, "dispatch_slice", slice);
+    if (module != 0) t_->AddCounter(id_, "dispatch_module", module);
+    if (hcf != 0) t_->AddCounter(id_, "dispatch_hcf", hcf);
     if (budget_ != nullptr) {
       t_->AddCounter(id_, "conflicts_consumed", budget_->conflicts_consumed());
       t_->AddCounter(id_, "oracle_calls_consumed",
@@ -64,11 +72,6 @@ class QuerySpan {
   QuerySpan& operator=(const QuerySpan&) = delete;
 
  private:
-  static int64_t Downgrades(const analysis::DispatchStats& d) {
-    return d.fixpoint_literal + d.horn_least_model + d.certain_fact +
-           d.const_answer;
-  }
-
   obs::TraceContext* t_;
   Reasoner* r_;
   int id_ = -1;
@@ -106,9 +109,45 @@ Semantics* Reasoner::Get(SemanticsKind kind) {
   return it->second.get();
 }
 
+Semantics* Reasoner::GetHcf(SemanticsKind kind) {
+  auto it = hcf_engines_.find(kind);
+  if (it == hcf_engines_.end()) {
+    SemanticsOptions o = opts_;
+    o.hcf_minimality = true;
+    o.hcf_certificates = certify_ ? hcf_cert_sink_.get() : nullptr;
+    // kHcfUnfounded is never selected under a custom CCWA/ECWA partition,
+    // so the parameterless factory covers every kind that reaches here.
+    std::unique_ptr<Semantics> engine = MakeSemantics(kind, db_, o);
+    engine->SetTrace(trace_);
+    it = hcf_engines_.emplace(kind, std::move(engine)).first;
+  }
+  return it->second.get();
+}
+
+Semantics* Reasoner::GetSliced(SemanticsKind kind,
+                               const analysis::SliceResult& s) {
+  auto key = std::make_pair(kind, s.clause_indices);
+  auto it = slice_engines_.find(key);
+  if (it == slice_engines_.end()) {
+    SemanticsOptions o = opts_;
+    // Compose the speedups: a sub-database of a head-cycle-free database
+    // is head-cycle-free (its positive graph is a subgraph), and the
+    // engine re-verifies applicability on the slice itself anyway.
+    o.hcf_minimality = true;
+    o.hcf_certificates = certify_ ? hcf_cert_sink_.get() : nullptr;
+    Database sub = slicer()->MakeSubDatabase(s);
+    std::unique_ptr<Semantics> engine = MakeSemantics(kind, sub, o);
+    engine->SetTrace(trace_);
+    it = slice_engines_.emplace(std::move(key), std::move(engine)).first;
+  }
+  return it->second.get();
+}
+
 void Reasoner::set_trace(obs::TraceContext* trace) {
   trace_ = trace;
   for (auto& [kind, engine] : engines_) engine->SetTrace(trace);
+  for (auto& [kind, engine] : hcf_engines_) engine->SetTrace(trace);
+  for (auto& [key, engine] : slice_engines_) engine->SetTrace(trace);
 }
 
 Status Reasoner::SetPartition(const std::vector<std::string>& p_atoms,
@@ -166,8 +205,43 @@ Status Reasoner::SetPartition(const std::vector<std::string>& p_atoms,
 
 void Reasoner::InvalidateCaches() {
   engines_.clear();
+  hcf_engines_.clear();
+  slice_engines_.clear();
   props_.reset();
   fast_.reset();
+  slicer_.reset();
+}
+
+analysis::Slicer* Reasoner::slicer() {
+  if (slicer_ == nullptr) {
+    slicer_ = std::make_unique<analysis::Slicer>(db_);
+  }
+  return slicer_.get();
+}
+
+void Reasoner::EnableCertification(bool on) {
+  if (certify_ == on) return;
+  certify_ = on;
+  // Engines capture the sink pointer at construction; rebuild them so it
+  // attaches (or detaches) everywhere.
+  InvalidateCaches();
+}
+
+void Reasoner::CheckCertificate(const analysis::Certificate& cert) {
+  ++cert_stats_.emitted;
+  Status s = analysis::VerifyCertificate(cert);
+  if (s.ok()) {
+    ++cert_stats_.accepted;
+  } else {
+    ++cert_stats_.rejected;
+    if (cert_failures_.size() < 16) cert_failures_.push_back(s.ToString());
+  }
+}
+
+void Reasoner::DrainHcfCertificates() {
+  if (hcf_cert_sink_->empty()) return;
+  for (const analysis::Certificate& c : *hcf_cert_sink_) CheckCertificate(c);
+  hcf_cert_sink_->clear();
 }
 
 const analysis::ProgramProperties& Reasoner::properties() {
@@ -182,6 +256,109 @@ analysis::FastPathEngine* Reasoner::fast_engine() {
   return fast_.get();
 }
 
+Reasoner::Routed Reasoner::RouteLiteral(SemanticsKind kind, Lit l) {
+  Routed rt;
+  if (!opts_.analysis_dispatch) {
+    rt.engine = Get(kind);
+    return rt;
+  }
+  const analysis::ProgramProperties& props = properties();
+  analysis::QueryShape shape;
+  std::optional<analysis::SliceResult> slice;
+  if (analysis::SliceIsSound(props, kind, partition_.has_value())) {
+    slice = slicer()->Cone({l.var()});
+    shape.proper_slice = slice->proper;
+  }
+  rt.path = analysis::SelectPath(props, kind, analysis::QueryKind::kLiteral, l,
+                                 partition_.has_value(), &shape);
+  dispatch_stats_.Record(rt.path);
+  switch (rt.path) {
+    case analysis::EnginePath::kSliceLiteral:
+      if (certify_) {
+        analysis::Certificate cert;
+        cert.kind = analysis::CertificateKind::kSliceRelevance;
+        cert.db = db_;
+        cert.roots = {l.var()};
+        cert.relevant = slice->relevant;
+        cert.slice_clauses = slice->clause_indices;
+        CheckCertificate(cert);
+      }
+      rt.engine = GetSliced(kind, *slice);
+      return rt;
+    case analysis::EnginePath::kHcfUnfounded:
+      rt.engine = GetHcf(kind);
+      return rt;
+    case analysis::EnginePath::kGeneric:
+      rt.engine = Get(kind);
+      return rt;
+    default:
+      // Polynomial fast path; FastPathEngine serves it, engine stays null.
+      return rt;
+  }
+}
+
+Reasoner::Routed Reasoner::RouteFormula(SemanticsKind kind, const Formula& f) {
+  Routed rt;
+  if (!opts_.analysis_dispatch) {
+    rt.engine = Get(kind);
+    return rt;
+  }
+  const analysis::ProgramProperties& props = properties();
+  analysis::QueryShape shape;
+  std::optional<analysis::SliceResult> mod;
+  std::vector<Var> roots;
+  if (analysis::SliceIsSound(props, kind, partition_.has_value())) {
+    Interpretation atoms(db_.num_vars());
+    f->CollectAtoms(&atoms);
+    roots = atoms.TrueAtoms();
+    // A formula may range over several cones (e.g. "a | b" with unrelated
+    // a, b); the union of their *modules* is the smallest head-closed
+    // restriction that provably preserves the joint model set.
+    mod = slicer()->ModuleUnion(roots);
+    shape.proper_module = mod->proper;
+  }
+  rt.path =
+      analysis::SelectPath(props, kind, analysis::QueryKind::kFormula, Lit(),
+                           partition_.has_value(), &shape);
+  dispatch_stats_.Record(rt.path);
+  switch (rt.path) {
+    case analysis::EnginePath::kModuleFormula:
+      if (certify_) {
+        analysis::Certificate cert;
+        cert.kind = analysis::CertificateKind::kSliceRelevance;
+        cert.db = db_;
+        cert.roots = roots;
+        cert.relevant = mod->relevant;
+        cert.slice_clauses = mod->clause_indices;
+        CheckCertificate(cert);
+      }
+      rt.engine = GetSliced(kind, *mod);
+      return rt;
+    case analysis::EnginePath::kHcfUnfounded:
+      rt.engine = GetHcf(kind);
+      return rt;
+    case analysis::EnginePath::kGeneric:
+      rt.engine = Get(kind);
+      return rt;
+    default:
+      return rt;
+  }
+}
+
+Reasoner::Routed Reasoner::RouteHasModel(SemanticsKind kind) {
+  Routed rt;
+  if (!opts_.analysis_dispatch) {
+    rt.engine = Get(kind);
+    return rt;
+  }
+  rt.path = analysis::SelectPath(properties(), kind,
+                                 analysis::QueryKind::kHasModel, Lit(),
+                                 partition_.has_value());
+  dispatch_stats_.Record(rt.path);
+  if (rt.path == analysis::EnginePath::kGeneric) rt.engine = Get(kind);
+  return rt;
+}
+
 Result<bool> Reasoner::InfersLiteral(SemanticsKind kind,
                                      std::string_view literal) {
   int before = db_.num_vars();
@@ -192,16 +369,11 @@ Result<bool> Reasoner::InfersLiteral(SemanticsKind kind,
     InvalidateCaches();
   }
   QuerySpan span(trace_, this, "InfersLiteral", kind);
-  if (opts_.analysis_dispatch) {
-    analysis::EnginePath path =
-        analysis::SelectPath(properties(), kind, analysis::QueryKind::kLiteral,
-                             l, partition_.has_value());
-    dispatch_stats_.Record(path);
-    if (path != analysis::EnginePath::kGeneric) {
-      return fast_engine()->InfersLiteral(path, l);
-    }
-  }
-  return Get(kind)->InfersLiteral(l);
+  Routed rt = RouteLiteral(kind, l);
+  if (rt.engine == nullptr) return fast_engine()->InfersLiteral(rt.path, l);
+  Result<bool> r = rt.engine->InfersLiteral(l);
+  DrainHcfCertificates();
+  return r;
 }
 
 Result<Formula> Reasoner::ParseQueryFormula(std::string_view formula) {
@@ -215,30 +387,20 @@ Result<bool> Reasoner::InfersFormula(SemanticsKind kind,
                                      std::string_view formula) {
   DD_ASSIGN_OR_RETURN(Formula f, ParseQueryFormula(formula));
   QuerySpan span(trace_, this, "InfersFormula", kind);
-  if (opts_.analysis_dispatch) {
-    analysis::EnginePath path =
-        analysis::SelectPath(properties(), kind, analysis::QueryKind::kFormula,
-                             Lit(), partition_.has_value());
-    dispatch_stats_.Record(path);
-    if (path != analysis::EnginePath::kGeneric) {
-      return fast_engine()->InfersFormula(path, f);
-    }
-  }
-  return Get(kind)->InfersFormula(f);
+  Routed rt = RouteFormula(kind, f);
+  if (rt.engine == nullptr) return fast_engine()->InfersFormula(rt.path, f);
+  Result<bool> r = rt.engine->InfersFormula(f);
+  DrainHcfCertificates();
+  return r;
 }
 
 Result<bool> Reasoner::HasModel(SemanticsKind kind) {
   QuerySpan span(trace_, this, "HasModel", kind);
-  if (opts_.analysis_dispatch) {
-    analysis::EnginePath path = analysis::SelectPath(
-        properties(), kind, analysis::QueryKind::kHasModel, Lit(),
-        partition_.has_value());
-    dispatch_stats_.Record(path);
-    if (path != analysis::EnginePath::kGeneric) {
-      return fast_engine()->HasModel(path);
-    }
-  }
-  return Get(kind)->HasModel();
+  Routed rt = RouteHasModel(kind);
+  if (rt.engine == nullptr) return fast_engine()->HasModel(rt.path);
+  Result<bool> r = rt.engine->HasModel();
+  DrainHcfCertificates();
+  return r;
 }
 
 Result<std::vector<Interpretation>> Reasoner::Models(SemanticsKind kind,
@@ -325,23 +487,19 @@ Result<Trilean> Reasoner::InfersLiteral(SemanticsKind kind,
   if (db_.num_vars() != before) InvalidateCaches();
   QuerySpan span(q.trace != nullptr ? q.trace : trace_, this, "InfersLiteral",
                  kind);
-  if (opts_.analysis_dispatch) {
-    analysis::EnginePath path =
-        analysis::SelectPath(properties(), kind, analysis::QueryKind::kLiteral,
-                             l, partition_.has_value());
-    dispatch_stats_.Record(path);
-    if (path != analysis::EnginePath::kGeneric) {
-      // Polynomial fast path: completes without oracle calls, so the
-      // budget is irrelevant and the exact answer stands.
-      return ToTrilean(fast_engine()->InfersLiteral(path, l));
-    }
+  Routed rt = RouteLiteral(kind, l);
+  if (rt.engine == nullptr) {
+    // Polynomial fast path: completes without oracle calls, so the
+    // budget is irrelevant and the exact answer stands.
+    return ToTrilean(fast_engine()->InfersLiteral(rt.path, l));
   }
-  Semantics* s = Get(kind);
-  ScopedTrace traced(s, q.trace, trace_);
+  ScopedTrace traced(rt.engine, q.trace, trace_);
   std::shared_ptr<Budget> b = MakeQueryBudget(q);
   span.AttachBudget(b);
-  ScopedBudget scope(s, std::move(b));
-  return ToTrilean(s->InfersLiteral(l));
+  ScopedBudget scope(rt.engine, std::move(b));
+  Result<bool> r = rt.engine->InfersLiteral(l);
+  DrainHcfCertificates();
+  return ToTrilean(r);
 }
 
 Result<Trilean> Reasoner::InfersFormula(SemanticsKind kind,
@@ -350,41 +508,33 @@ Result<Trilean> Reasoner::InfersFormula(SemanticsKind kind,
   DD_ASSIGN_OR_RETURN(Formula f, ParseQueryFormula(formula));
   QuerySpan span(q.trace != nullptr ? q.trace : trace_, this, "InfersFormula",
                  kind);
-  if (opts_.analysis_dispatch) {
-    analysis::EnginePath path =
-        analysis::SelectPath(properties(), kind, analysis::QueryKind::kFormula,
-                             Lit(), partition_.has_value());
-    dispatch_stats_.Record(path);
-    if (path != analysis::EnginePath::kGeneric) {
-      return ToTrilean(fast_engine()->InfersFormula(path, f));
-    }
+  Routed rt = RouteFormula(kind, f);
+  if (rt.engine == nullptr) {
+    return ToTrilean(fast_engine()->InfersFormula(rt.path, f));
   }
-  Semantics* s = Get(kind);
-  ScopedTrace traced(s, q.trace, trace_);
+  ScopedTrace traced(rt.engine, q.trace, trace_);
   std::shared_ptr<Budget> b = MakeQueryBudget(q);
   span.AttachBudget(b);
-  ScopedBudget scope(s, std::move(b));
-  return ToTrilean(s->InfersFormula(f));
+  ScopedBudget scope(rt.engine, std::move(b));
+  Result<bool> r = rt.engine->InfersFormula(f);
+  DrainHcfCertificates();
+  return ToTrilean(r);
 }
 
 Result<Trilean> Reasoner::HasModel(SemanticsKind kind, const QueryOptions& q) {
   QuerySpan span(q.trace != nullptr ? q.trace : trace_, this, "HasModel",
                  kind);
-  if (opts_.analysis_dispatch) {
-    analysis::EnginePath path = analysis::SelectPath(
-        properties(), kind, analysis::QueryKind::kHasModel, Lit(),
-        partition_.has_value());
-    dispatch_stats_.Record(path);
-    if (path != analysis::EnginePath::kGeneric) {
-      return ToTrilean(fast_engine()->HasModel(path));
-    }
+  Routed rt = RouteHasModel(kind);
+  if (rt.engine == nullptr) {
+    return ToTrilean(fast_engine()->HasModel(rt.path));
   }
-  Semantics* s = Get(kind);
-  ScopedTrace traced(s, q.trace, trace_);
+  ScopedTrace traced(rt.engine, q.trace, trace_);
   std::shared_ptr<Budget> b = MakeQueryBudget(q);
   span.AttachBudget(b);
-  ScopedBudget scope(s, std::move(b));
-  return ToTrilean(s->HasModel());
+  ScopedBudget scope(rt.engine, std::move(b));
+  Result<bool> r = rt.engine->HasModel();
+  DrainHcfCertificates();
+  return ToTrilean(r);
 }
 
 Result<ModelsAnswer> Reasoner::Models(SemanticsKind kind, int64_t cap,
@@ -444,12 +594,24 @@ MinimalStats Reasoner::TotalStats() const {
   for (const auto& [kind, engine] : engines_) {
     out.Add(engine->stats());
   }
+  for (const auto& [kind, engine] : hcf_engines_) {
+    out.Add(engine->stats());
+  }
+  for (const auto& [key, engine] : slice_engines_) {
+    out.Add(engine->stats());
+  }
   return out;
 }
 
 oracle::SessionStats Reasoner::TotalSessionStats() const {
   oracle::SessionStats out;
   for (const auto& [kind, engine] : engines_) {
+    out.Add(engine->session_stats());
+  }
+  for (const auto& [kind, engine] : hcf_engines_) {
+    out.Add(engine->session_stats());
+  }
+  for (const auto& [key, engine] : slice_engines_) {
     out.Add(engine->session_stats());
   }
   return out;

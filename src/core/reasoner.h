@@ -17,8 +17,10 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/certifier.h"
 #include "analysis/dispatch.h"
 #include "analysis/program_properties.h"
+#include "analysis/slicer.h"
 #include "logic/database.h"
 #include "logic/parser.h"
 #include "minimal/pqz.h"
@@ -178,20 +180,78 @@ class Reasoner {
   /// the generic engines.
   void set_analysis_dispatch(bool on) { opts_.analysis_dispatch = on; }
 
+  /// Toggles certificate-checked mode (ddquery --certify): while on, every
+  /// polynomial HCF minimality verdict and every slice/module routing
+  /// emits a machine-checkable witness that is immediately re-verified by
+  /// analysis/certifier.h — independently of the engines that produced it.
+  /// Accounting lands in certification_stats(); a nonzero `rejected` means
+  /// an engine and the certifier disagree (a bug, never a user error).
+  /// Resets cached engines so certificate sinks attach everywhere.
+  void EnableCertification(bool on);
+  bool certification_enabled() const { return certify_; }
+  const analysis::CertificationStats& certification_stats() const {
+    return cert_stats_;
+  }
+  /// Rejection messages (capped; empty when every certificate verified).
+  const std::vector<std::string>& certification_failures() const {
+    return cert_failures_;
+  }
+
  private:
+  /// A routed query: which path, and (for engine-executed paths) which
+  /// Semantics instance runs it — null when FastPathEngine serves it.
+  struct Routed {
+    analysis::EnginePath path = analysis::EnginePath::kGeneric;
+    Semantics* engine = nullptr;
+  };
+
   /// Drops cached engines and analysis after the vocabulary grew.
   void InvalidateCaches();
   /// The fast-path engine for the current database (never null).
   analysis::FastPathEngine* fast_engine();
+  /// The incidence/module index of the current database (never null).
+  analysis::Slicer* slicer();
+  /// The `kind` engine with the polynomial HCF minimality path enabled
+  /// (EnginePath::kHcfUnfounded); cached separately from Get(kind) so the
+  /// generic baseline's oracle accounting is untouched.
+  Semantics* GetHcf(SemanticsKind kind);
+  /// The `kind` engine over the sliced sub-database, cached by the slice's
+  /// clause-index set.
+  Semantics* GetSliced(SemanticsKind kind, const analysis::SliceResult& s);
+
+  /// Routing front half shared by the literal/formula entry points:
+  /// computes the query shape, records dispatch stats, emits the slice
+  /// certificate in certify mode, and picks the executing engine.
+  Routed RouteLiteral(SemanticsKind kind, Lit l);
+  Routed RouteFormula(SemanticsKind kind, const Formula& f);
+  Routed RouteHasModel(SemanticsKind kind);
+
+  /// Certify-mode bookkeeping: verifies and discards `cert`.
+  void CheckCertificate(const analysis::Certificate& cert);
+  /// Verifies every certificate the HCF engines queued since last drain.
+  void DrainHcfCertificates();
 
   Database db_;
   SemanticsOptions opts_;
   obs::TraceContext* trace_ = nullptr;
   std::map<SemanticsKind, std::unique_ptr<Semantics>> engines_;
+  std::map<SemanticsKind, std::unique_ptr<Semantics>> hcf_engines_;
+  std::map<std::pair<SemanticsKind, std::vector<int>>,
+           std::unique_ptr<Semantics>>
+      slice_engines_;
   std::optional<Partition> partition_;
   std::optional<analysis::ProgramProperties> props_;
   std::unique_ptr<analysis::FastPathEngine> fast_;
+  std::unique_ptr<analysis::Slicer> slicer_;
   analysis::DispatchStats dispatch_stats_;
+
+  bool certify_ = false;
+  analysis::CertificationStats cert_stats_;
+  std::vector<std::string> cert_failures_;
+  /// Heap-allocated so its address survives Reasoner moves (engines capture
+  /// the pointer at construction time).
+  std::unique_ptr<std::vector<analysis::Certificate>> hcf_cert_sink_ =
+      std::make_unique<std::vector<analysis::Certificate>>();
 };
 
 }  // namespace dd

@@ -261,4 +261,49 @@ Database DiagnosisDdb(int num_gates, int num_faulty, Rng* rng_in) {
   return db;
 }
 
+Database HcfModularDdb(int num_modules, int vars_per_module,
+                       int clauses_per_module, uint64_t seed) {
+  Rng rng(seed);
+  return HcfModularDdb(num_modules, vars_per_module, clauses_per_module,
+                       &rng);
+}
+
+Database HcfModularDdb(int num_modules, int vars_per_module,
+                       int clauses_per_module, Rng* rng_in) {
+  DD_CHECK(num_modules >= 1 && vars_per_module >= 4);
+  Rng& rng = *rng_in;
+  Database db;
+  for (int m = 0; m < num_modules; ++m) {
+    std::vector<Var> atom(static_cast<size_t>(vars_per_module));
+    for (int j = 0; j < vars_per_module; ++j) {
+      atom[static_cast<size_t>(j)] =
+          db.vocabulary().Intern(StrFormat("m%d_p%d", m, j));
+    }
+    const int top = vars_per_module - 1;  // the 2-cycle: {top-1, top}
+    // Disjunctive seed fact.
+    db.AddClause(Clause::Fact({atom[0], atom[1]}));
+    // Random 2-head clauses, heads strictly above their bodies in the
+    // per-module order (acyclic among multi-head clauses => no SCC ever
+    // holds two co-heads).
+    for (int c = 0; c < clauses_per_module; ++c) {
+      int h2 = static_cast<int>(rng.Range(2, top - 1));
+      int h1 = static_cast<int>(rng.Range(1, h2 - 1));
+      std::vector<Var> body = {atom[static_cast<size_t>(rng.Below(
+          static_cast<uint64_t>(h1)))]};
+      db.AddClause(Clause({atom[static_cast<size_t>(h1)],
+                           atom[static_cast<size_t>(h2)]},
+                          std::move(body), {}));
+    }
+    // A nontrivial positive SCC of single-head rules, fed from the module
+    // base: head-cycle-free programs may be cyclic, just not through two
+    // heads of one clause.
+    db.AddClause(Clause({atom[static_cast<size_t>(top - 1)]}, {atom[0]}, {}));
+    db.AddClause(Clause({atom[static_cast<size_t>(top)]},
+                        {atom[static_cast<size_t>(top - 1)]}, {}));
+    db.AddClause(Clause({atom[static_cast<size_t>(top - 1)]},
+                        {atom[static_cast<size_t>(top)]}, {}));
+  }
+  return db;
+}
+
 }  // namespace dd

@@ -62,6 +62,20 @@ Database GraphColoringDdb(int num_nodes, double edge_probability,
 /// `num_faulty` gates. Minimal models localize minimal diagnoses.
 Database DiagnosisDdb(int num_gates, int num_faulty, uint64_t seed);
 
+/// Head-cycle-free disjunctive family for the slicing/module/HCF fast
+/// paths: `num_modules` disconnected modules of `vars_per_module` atoms
+/// each (named "m<i>_p<j>"). Per module, a disjunctive fact plus
+/// `clauses_per_module` random positive 2-head clauses whose heads sit
+/// strictly above their bodies in the per-module atom order (so the
+/// multi-head part of the positive graph is acyclic), plus one 2-cycle of
+/// single-head rules over the module's top two atoms (a nontrivial SCC
+/// that never contains two co-heads). The result is positive, deductive,
+/// disjunctive and head-cycle-free by construction, and its clause
+/// hypergraph has exactly `num_modules` connected components.
+/// `vars_per_module` must be >= 4.
+Database HcfModularDdb(int num_modules, int vars_per_module,
+                       int clauses_per_module, uint64_t seed);
+
 // ---------------------------------------------------------------------------
 // Explicit-stream variants. Each generator above owns a local Rng seeded
 // from its `seed` argument; these overloads instead draw from a caller-owned
@@ -84,6 +98,8 @@ sat::Cnf RandomCnf(int num_vars, int num_clauses, int width, Rng* rng);
 Database GraphColoringDdb(int num_nodes, double edge_probability,
                           int num_colors, Rng* rng);
 Database DiagnosisDdb(int num_gates, int num_faulty, Rng* rng);
+Database HcfModularDdb(int num_modules, int vars_per_module,
+                       int clauses_per_module, Rng* rng);
 
 }  // namespace dd
 

@@ -1,0 +1,156 @@
+#include "minimal/hcf.h"
+
+#include <algorithm>
+
+#include "strat/dependency_graph.h"
+#include "util/macros.h"
+
+namespace dd {
+namespace hcf {
+
+FoundedResult CheckFounded(const Database& db, const Interpretation& m) {
+  const int n = db.num_vars();
+  FoundedResult r;
+  r.unfounded = Interpretation(n);
+
+  // A clause can found its (unique) true head only if every positive body
+  // atom is true (F ⊆ M, so a false body atom can never become founded)
+  // and its negative body is false in M.
+  struct Candidate {
+    Var head;
+    int clause;
+    int waiting;  // positive body atoms not yet founded
+  };
+  std::vector<Candidate> cands;
+  std::vector<std::vector<int>> watch(static_cast<size_t>(n));
+  Interpretation founded(n);
+  std::vector<Var> queue;
+
+  auto derive = [&](Var a, int clause) {
+    if (founded.Contains(a)) return;
+    founded.Insert(a);
+    r.order.push_back(a);
+    r.support_clauses.push_back(clause);
+    queue.push_back(a);
+  };
+
+  for (int ci = 0; ci < db.num_clauses(); ++ci) {
+    const Clause& c = db.clause(ci);
+    Var true_head = -1;
+    bool usable = true;
+    for (Var h : c.heads()) {
+      if (!m.Contains(h)) continue;
+      if (true_head != -1 && h != true_head) {
+        usable = false;
+        break;
+      }
+      true_head = h;
+    }
+    if (!usable || true_head == -1) continue;
+    for (Var nb : c.neg_body()) {
+      if (m.Contains(nb)) {
+        usable = false;
+        break;
+      }
+    }
+    if (!usable) continue;
+    int waiting = 0;
+    for (Var b : c.pos_body()) {
+      if (!m.Contains(b)) {
+        usable = false;
+        break;
+      }
+      ++waiting;
+    }
+    if (!usable) continue;
+    if (waiting == 0) {
+      derive(true_head, ci);
+      continue;
+    }
+    const int idx = static_cast<int>(cands.size());
+    cands.push_back({true_head, ci, waiting});
+    for (Var b : c.pos_body()) watch[static_cast<size_t>(b)].push_back(idx);
+  }
+
+  while (!queue.empty()) {
+    const Var v = queue.back();
+    queue.pop_back();
+    for (int idx : watch[static_cast<size_t>(v)]) {
+      Candidate& cand = cands[static_cast<size_t>(idx)];
+      if (--cand.waiting == 0) derive(cand.head, cand.clause);
+    }
+  }
+
+  r.founded = true;
+  for (Var v : m.TrueAtoms()) {
+    if (!founded.Contains(v)) {
+      r.founded = false;
+      r.unfounded.Insert(v);
+    }
+  }
+  return r;
+}
+
+bool HcfApplicable(const Database& db) {
+  return db.IsDeductive() && IsHeadCycleFree(db);
+}
+
+Interpretation ShrinkOnce(const Database& /*db*/, const Interpretation& m,
+                          const Interpretation& unfounded,
+                          const std::vector<int>& pos_scc_ids) {
+  // Tarjan ids are reverse-topological (comp(u) > comp(v) whenever comp(u)
+  // strictly reaches comp(v)), so the unfounded SCC with the LARGEST id
+  // receives no positive edge from any other unfounded atom: removing it
+  // cannot strip the last founded-later support of a remaining atom. With
+  // head-cycle-freeness the removed SCC also carries at most one true head
+  // per clause, so every clause stays satisfied — see docs/ANALYSIS.md for
+  // the full argument.
+  int source_comp = -1;
+  for (Var v : unfounded.TrueAtoms()) {
+    source_comp = std::max(source_comp, pos_scc_ids[static_cast<size_t>(v)]);
+  }
+  DD_CHECK(source_comp >= 0);
+  Interpretation out = m;
+  for (Var v : unfounded.TrueAtoms()) {
+    if (pos_scc_ids[static_cast<size_t>(v)] == source_comp) out.Erase(v);
+  }
+  return out;
+}
+
+Interpretation MinimizePoly(const Database& db, const Interpretation& m) {
+  DependencyGraph positive(db, DepGraphOptions{/*link_heads=*/false,
+                                               /*include_negation=*/false});
+  const std::vector<int> pcomp = positive.SccIds();
+  Interpretation cur = m;
+  for (;;) {
+    FoundedResult f = CheckFounded(db, cur);
+    if (f.founded) return cur;
+    cur = ShrinkOnce(db, cur, f.unfounded, pcomp);
+  }
+}
+
+analysis::Certificate MakeMinimalCertificate(const Database& db,
+                                             const Interpretation& m,
+                                             const FoundedResult& f) {
+  analysis::Certificate c;
+  c.kind = analysis::CertificateKind::kHcfMinimalModel;
+  c.db = db;
+  c.model = m;
+  c.founded_order = f.order;
+  c.support_clauses = f.support_clauses;
+  return c;
+}
+
+analysis::Certificate MakeNonMinimalCertificate(const Database& db,
+                                               const Interpretation& m,
+                                               const Interpretation& smaller) {
+  analysis::Certificate c;
+  c.kind = analysis::CertificateKind::kNonMinimalWitness;
+  c.db = db;
+  c.model = m;
+  c.smaller = smaller;
+  return c;
+}
+
+}  // namespace hcf
+}  // namespace dd

@@ -1,0 +1,74 @@
+// Polynomial minimality checking for head-cycle-free deductive databases.
+//
+// Ben-Eliyahu & Dechter's reduction: over a deductive (negation-free) DB
+// whose positive body->head graph puts no two co-head atoms in one cycle,
+// a model M is subset-minimal iff every atom of M is *founded* — derivable
+// through a chain of clauses each contributing exactly one new true head.
+// The founded set is a linear-time fixpoint, so the coNP minimality oracle
+// of MinimalEngine collapses to polynomial time on this class (the
+// EnginePath::kHcfUnfounded dispatch row; docs/ANALYSIS.md).
+//
+// Direction 1 (founded => minimal) holds for arbitrary clause sets and is
+// what the emitted kHcfMinimalModel certificates replay. Direction 2
+// (minimal => founded) is where head-cycle-freeness earns its keep: an
+// unfounded part U of a model can then be peeled by removing the
+// source-most SCC of U, which stays a model (ShrinkOnce) — giving both a
+// polynomial Minimize and a strict-subset kNonMinimalWitness certificate.
+#ifndef DD_MINIMAL_HCF_H_
+#define DD_MINIMAL_HCF_H_
+
+#include <vector>
+
+#include "analysis/certifier.h"
+#include "logic/database.h"
+#include "logic/interpretation.h"
+#include "logic/types.h"
+
+namespace dd {
+namespace hcf {
+
+/// Outcome of the founded-fixpoint computation for one model.
+struct FoundedResult {
+  bool founded = false;             ///< F == M: every true atom founded
+  std::vector<Var> order;           ///< derivation order of F
+  std::vector<int> support_clauses; ///< clause justifying each order entry
+  Interpretation unfounded;         ///< M \ F (empty iff founded)
+};
+
+/// Greatest founded subset of model `m`: starting from F = ∅, repeatedly
+/// add a ∈ M\F having a clause c with heads(c) ∩ M = {a}, pos_body(c) ⊆ F
+/// and neg_body(c) ∩ M = ∅. Watched-counter fixpoint, linear in the
+/// program size. `m` need not be a model (callers check separately).
+FoundedResult CheckFounded(const Database& db, const Interpretation& m);
+
+/// Is the founded check decisive for `db`? True iff db is deductive and
+/// head-cycle-free — then founded <=> subset-minimal for every model.
+bool HcfApplicable(const Database& db);
+
+/// Given a model `m` of an HCF-applicable db and its nonempty unfounded
+/// part, removes the source-most unfounded SCC of the positive dependency
+/// graph and returns the result — provably still a model, strictly below
+/// `m`. `pos_scc_ids` are the SccIds() of the positive no-head-link graph.
+Interpretation ShrinkOnce(const Database& db, const Interpretation& m,
+                          const Interpretation& unfounded,
+                          const std::vector<int>& pos_scc_ids);
+
+/// Full polynomial minimization: iterates CheckFounded/ShrinkOnce down to
+/// a founded (hence minimal) model below `m`. Zero oracle calls.
+/// Precondition: HcfApplicable(db) and m is a model.
+Interpretation MinimizePoly(const Database& db, const Interpretation& m);
+
+/// Packages a founded model as a minimality certificate.
+analysis::Certificate MakeMinimalCertificate(const Database& db,
+                                             const Interpretation& m,
+                                             const FoundedResult& f);
+
+/// Packages a strictly smaller model as a non-minimality certificate.
+analysis::Certificate MakeNonMinimalCertificate(const Database& db,
+                                                const Interpretation& m,
+                                                const Interpretation& smaller);
+
+}  // namespace hcf
+}  // namespace dd
+
+#endif  // DD_MINIMAL_HCF_H_

@@ -4,8 +4,10 @@
 #include <memory>
 #include <utility>
 
+#include "minimal/hcf.h"
 #include "oracle/sat_session.h"
 #include "sat/solver.h"
+#include "strat/dependency_graph.h"
 #include "util/macros.h"
 #include "util/thread_pool.h"
 
@@ -190,9 +192,66 @@ std::optional<Interpretation> MinimalEngine::FindModel() {
   return found_model_;
 }
 
+bool MinimalEngine::HcfEligible(const Partition& pqz) {
+  if (!opts_.hcf_minimality) return false;
+  // The founded <=> minimal equivalence is stated for subset-minimality
+  // over ALL atoms; a custom <P;Q;Z> partition steps aside to the oracle.
+  if (pqz.q.TrueCount() != 0 || pqz.z.TrueCount() != 0) return false;
+  if (!hcf_applicable_) hcf_applicable_ = hcf::HcfApplicable(db_);
+  return *hcf_applicable_;
+}
+
+const std::vector<int>& MinimalEngine::PosSccIds() {
+  if (!pos_scc_) {
+    DependencyGraph positive(db_, DepGraphOptions{/*link_heads=*/false,
+                                                  /*include_negation=*/false});
+    pos_scc_ = positive.SccIds();
+  }
+  return *pos_scc_;
+}
+
+std::optional<bool> MinimalEngine::TryHcfIsMinimal(const Interpretation& m,
+                                                   const Partition& pqz) {
+  if (!HcfEligible(pqz)) return std::nullopt;
+  if (!IsModel(m)) return false;
+  ++stats_.hcf_checks;
+  hcf::FoundedResult f = hcf::CheckFounded(db_, m);
+  if (opts_.hcf_certificates) {
+    if (f.founded) {
+      opts_.hcf_certificates->push_back(
+          hcf::MakeMinimalCertificate(db_, m, f));
+    } else {
+      opts_.hcf_certificates->push_back(hcf::MakeNonMinimalCertificate(
+          db_, m, hcf::ShrinkOnce(db_, m, f.unfounded, PosSccIds())));
+    }
+  }
+  return f.founded;
+}
+
+std::optional<Interpretation> MinimalEngine::TryHcfMinimize(
+    const Interpretation& m, const Partition& pqz) {
+  if (!HcfEligible(pqz)) return std::nullopt;
+  DD_CHECK(IsModel(m));
+  ++stats_.minimizations;
+  Interpretation cur = m;
+  hcf::FoundedResult f;
+  for (;;) {
+    ++stats_.hcf_checks;
+    f = hcf::CheckFounded(db_, cur);
+    if (f.founded) break;
+    cur = hcf::ShrinkOnce(db_, cur, f.unfounded, PosSccIds());
+  }
+  if (opts_.hcf_certificates) {
+    opts_.hcf_certificates->push_back(
+        hcf::MakeMinimalCertificate(db_, cur, f));
+  }
+  return cur;
+}
+
 bool MinimalEngine::IsMinimal(const Interpretation& m, const Partition& pqz) {
   if (interrupted_) return false;
   OpScope op(this, "minimal.is_minimal");
+  if (std::optional<bool> h = TryHcfIsMinimal(m, pqz)) return *h;
   if (!opts_.use_sessions) return IsMinimalFresh(m, pqz);
   if (!IsModel(m)) return false;
   const Interpretation masked = oracle::MinimalityCache::MaskPQ(m, pqz);
@@ -239,6 +298,7 @@ Interpretation MinimalEngine::Minimize(const Interpretation& m,
                                        const Partition& pqz) {
   if (interrupted_) return m;
   OpScope op(this, "minimal.minimize");
+  if (std::optional<Interpretation> h = TryHcfMinimize(m, pqz)) return *h;
   if (!opts_.use_sessions) return MinimizeFresh(m, pqz);
   DD_CHECK(IsModel(m));
   ++stats_.minimizations;
@@ -322,6 +382,9 @@ std::vector<bool> MinimalEngine::AreMinimal(
   // which keeps the span tree bit-identical across thread counts.
   MinimalOptions chunk_opts = opts_;
   chunk_opts.trace = nullptr;
+  // The certificate sink is a plain vector: chunk engines run detached so
+  // parallel verdicts never race on it.
+  chunk_opts.hcf_certificates = nullptr;
   ParallelFor(chunks, threads, cancel, [&](int64_t c) {
     const int64_t lo = c * n / chunks;
     const int64_t hi = (c + 1) * n / chunks;

@@ -31,6 +31,7 @@
 #include <optional>
 #include <vector>
 
+#include "analysis/certifier.h"
 #include "logic/database.h"
 #include "logic/formula.h"
 #include "logic/interpretation.h"
@@ -57,12 +58,15 @@ struct MinimalStats {
   int64_t minimizations = 0;    ///< model-minimization loops run
   int64_t cegar_iterations = 0; ///< refinement steps in entailment loops
   int64_t models_enumerated = 0;
+  int64_t hcf_checks = 0;       ///< polynomial founded-fixpoint checks that
+                                ///< replaced a minimality oracle call
 
   void Add(const MinimalStats& o) {
     sat_calls += o.sat_calls;
     minimizations += o.minimizations;
     cegar_iterations += o.cegar_iterations;
     models_enumerated += o.models_enumerated;
+    hcf_checks += o.hcf_checks;
   }
 };
 
@@ -77,6 +81,24 @@ struct MinimalOptions {
   /// session or fresh — and inherited by chunk-local and helper engines
   /// built from these options. See util/budget.h and docs/ROBUSTNESS.md.
   std::shared_ptr<Budget> budget;
+
+  /// Answer minimality checks and minimizations through the polynomial
+  /// founded-fixpoint test (minimal/hcf.h) instead of the SAT oracle. The
+  /// engine self-verifies applicability per call: the path engages only
+  /// when ITS database is deductive and head-cycle-free and the partition
+  /// minimizes everything — so the flag is safe to inherit into helper
+  /// engines (GL reducts, stratum slices) that run on derived databases.
+  /// Off by default: the analyzer-driven Reasoner enables it per database
+  /// (EnginePath::kHcfUnfounded), keeping the baselines' oracle-call
+  /// accounting untouched.
+  bool hcf_minimality = false;
+
+  /// When non-null (and hcf_minimality engaged), every polynomial verdict
+  /// appends a machine-checkable witness here: a founded order for
+  /// "minimal", a strictly smaller model for "not minimal"
+  /// (analysis/certifier.h). Not thread-safe: AreMinimal's chunk engines
+  /// run with the sink detached.
+  std::vector<analysis::Certificate>* hcf_certificates = nullptr;
 
   /// Optional query trace (not owned; null = tracing off, zero overhead).
   /// When set, every outermost public engine operation opens one
@@ -290,6 +312,19 @@ class MinimalEngine {
   /// budget (or a generic ResourceExhausted for injected faults).
   void MarkInterrupted();
 
+  // --- Polynomial HCF fast path (minimal/hcf.h) ---------------------------
+  /// True iff opts_.hcf_minimality is set, pqz minimizes everything, and
+  /// this engine's database is deductive + head-cycle-free (memoized).
+  bool HcfEligible(const Partition& pqz);
+  /// SCC ids of the positive no-head-link dependency graph (memoized).
+  const std::vector<int>& PosSccIds();
+  /// Polynomial IsMinimal; nullopt = not eligible, fall through to oracle.
+  std::optional<bool> TryHcfIsMinimal(const Interpretation& m,
+                                      const Partition& pqz);
+  /// Polynomial Minimize; nullopt = not eligible.
+  std::optional<Interpretation> TryHcfMinimize(const Interpretation& m,
+                                               const Partition& pqz);
+
   Database db_;
   MinimalOptions opts_;
   MinimalStats stats_;
@@ -304,6 +339,10 @@ class MinimalEngine {
   std::optional<bool> has_model_;
   Interpretation found_model_;
   int64_t memo_hits_ = 0;
+
+  // HCF fast-path memos (valid for the lifetime of db_).
+  std::optional<bool> hcf_applicable_;
+  std::optional<std::vector<int>> pos_scc_;
 };
 
 }  // namespace dd

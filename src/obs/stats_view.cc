@@ -28,6 +28,7 @@ void Publish(const MinimalStats& s, MetricsRegistry* reg) {
   reg->Add(kMinimalMinimizations, s.minimizations);
   reg->Add(kMinimalCegar, s.cegar_iterations);
   reg->Add(kMinimalModels, s.models_enumerated);
+  reg->Add(kMinimalHcfChecks, s.hcf_checks);
 }
 
 void Publish(const analysis::DispatchStats& d, MetricsRegistry* reg) {
@@ -36,6 +37,9 @@ void Publish(const analysis::DispatchStats& d, MetricsRegistry* reg) {
   reg->Add("dd.dispatch.horn_least_model", d.horn_least_model);
   reg->Add("dd.dispatch.certain_fact", d.certain_fact);
   reg->Add("dd.dispatch.const_answer", d.const_answer);
+  reg->Add("dd.dispatch.slice", d.slice_literal);
+  reg->Add("dd.dispatch.module", d.module_formula);
+  reg->Add("dd.dispatch.hcf", d.hcf_unfounded);
 }
 
 void Publish(const oracle::SessionStats& s, MetricsRegistry* reg) {
@@ -71,6 +75,7 @@ MinimalStats MinimalStatsView(const MetricsSnapshot& snap) {
   s.minimizations = snap.Value(kMinimalMinimizations);
   s.cegar_iterations = snap.Value(kMinimalCegar);
   s.models_enumerated = snap.Value(kMinimalModels);
+  s.hcf_checks = snap.Value(kMinimalHcfChecks);
   return s;
 }
 
@@ -81,6 +86,9 @@ analysis::DispatchStats DispatchStatsView(const MetricsSnapshot& snap) {
   d.horn_least_model = snap.Value("dd.dispatch.horn_least_model");
   d.certain_fact = snap.Value("dd.dispatch.certain_fact");
   d.const_answer = snap.Value("dd.dispatch.const_answer");
+  d.slice_literal = snap.Value("dd.dispatch.slice");
+  d.module_formula = snap.Value("dd.dispatch.module");
+  d.hcf_unfounded = snap.Value("dd.dispatch.hcf");
   return d;
 }
 

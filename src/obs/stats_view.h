@@ -40,6 +40,7 @@ inline constexpr const char* kMinimalMinimizations =
     "dd.minimal.minimizations";
 inline constexpr const char* kMinimalCegar = "dd.minimal.cegar_iterations";
 inline constexpr const char* kMinimalModels = "dd.minimal.models_enumerated";
+inline constexpr const char* kMinimalHcfChecks = "dd.minimal.hcf_checks";
 
 void Publish(const MinimalStats& s, MetricsRegistry* reg);
 void Publish(const analysis::DispatchStats& d, MetricsRegistry* reg);

@@ -62,11 +62,26 @@ struct SemanticsOptions {
   /// per-query via Semantics::SetBudget (see core/Reasoner's QueryOptions).
   std::shared_ptr<Budget> budget;
 
+  /// Answer minimality checks through the polynomial founded-fixpoint test
+  /// when the engine's database is deductive and head-cycle-free
+  /// (minimal/hcf.h; EnginePath::kHcfUnfounded). Inherited by every owned
+  /// and helper MinimalEngine, each of which re-verifies applicability on
+  /// its own (possibly derived) database. Off by default; the Reasoner
+  /// enables it on dedicated engine instances so baseline oracle-call
+  /// accounting is untouched.
+  bool hcf_minimality = false;
+
+  /// Certificate sink for the HCF fast path (see MinimalOptions); not
+  /// owned, may be null. Set by the Reasoner in --certify mode only.
+  std::vector<analysis::Certificate>* hcf_certificates = nullptr;
+
   /// The engine-level tuning derived from these options.
   MinimalOptions minimal_options() const {
     MinimalOptions mo;
     mo.use_sessions = use_sessions;
     mo.budget = budget;
+    mo.hcf_minimality = hcf_minimality;
+    mo.hcf_certificates = hcf_certificates;
     return mo;
   }
 };

@@ -95,6 +95,37 @@ std::vector<int> DependencyGraph::SccIds() const {
   return comp;
 }
 
+bool IsHeadCycleFree(const Database& db,
+                     const std::vector<int>& pos_scc_ids) {
+  const int n = db.num_vars();
+  std::vector<int> comp_size(static_cast<size_t>(n), 0);
+  for (Var v = 0; v < n; ++v) {
+    ++comp_size[static_cast<size_t>(pos_scc_ids[static_cast<size_t>(v)])];
+  }
+  for (const Clause& c : db.clauses()) {
+    if (c.heads().size() < 2) continue;
+    for (size_t i = 0; i + 1 < c.heads().size(); ++i) {
+      for (size_t j = i + 1; j < c.heads().size(); ++j) {
+        Var a = c.heads()[i], b = c.heads()[j];
+        if (a != b &&
+            pos_scc_ids[static_cast<size_t>(a)] ==
+                pos_scc_ids[static_cast<size_t>(b)] &&
+            comp_size[static_cast<size_t>(
+                pos_scc_ids[static_cast<size_t>(a)])] > 1) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool IsHeadCycleFree(const Database& db) {
+  DependencyGraph positive(db, DepGraphOptions{/*link_heads=*/false,
+                                               /*include_negation=*/false});
+  return IsHeadCycleFree(db, positive.SccIds());
+}
+
 bool DependencyGraph::HasStrictCycle() const {
   std::vector<int> comp = SccIds();
   for (Var v = 0; v < num_nodes(); ++v) {

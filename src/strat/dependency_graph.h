@@ -56,6 +56,16 @@ class DependencyGraph {
   std::vector<std::vector<DepEdge>> adj_;
 };
 
+/// Head-cycle-freeness (Ben-Eliyahu & Dechter): no clause has two distinct
+/// head atoms in one nontrivial SCC of the positive body->head graph
+/// (DepGraphOptions{link_heads=false, include_negation=false}).
+/// `pos_scc_ids` must be the SccIds() of exactly that graph.
+bool IsHeadCycleFree(const Database& db,
+                     const std::vector<int>& pos_scc_ids);
+
+/// Convenience overload that builds the positive graph itself.
+bool IsHeadCycleFree(const Database& db);
+
 }  // namespace dd
 
 #endif  // DD_STRAT_DEPENDENCY_GRAPH_H_

@@ -1,10 +1,13 @@
 // Golden tests for the static analyzer (analysis/program_properties).
 #include "analysis/program_properties.h"
 
+#include <vector>
+
 #include "core/reasoner.h"
 #include "gen/generators.h"
 #include "gtest/gtest.h"
 #include "tests/test_util.h"
+#include "util/rng.h"
 
 namespace dd {
 namespace {
@@ -229,6 +232,68 @@ TEST(Analyze, CertainAtomsHoldInEveryMinimalModel) {
         }
       }
     }
+  }
+}
+
+TEST(Analyze, HcfAndTightnessAgreeWithBruteForce) {
+  // Cross-check the SCC-based verdicts against a definition-level
+  // implementation: Floyd-Warshall reachability over the positive
+  // body->head edges. Tight = no atom reaches itself; head-cycle-free =
+  // no clause has two distinct head atoms that reach each other.
+  for (int i = 0; i < 40; ++i) {
+    DdbConfig cfg;
+    cfg.num_vars = 6;
+    cfg.num_clauses = 4 + (i % 9);
+    cfg.max_head = 3;
+    cfg.max_body = 2;
+    cfg.fact_fraction = 0.2;
+    cfg.integrity_fraction = (i % 3 == 0) ? 0.2 : 0.0;
+    cfg.negation_fraction = (i % 2 == 0) ? 0.3 : 0.0;
+    cfg.seed = DeriveSeed(0xB07CEC5ULL, static_cast<uint64_t>(i));
+    Database db = RandomDdb(cfg);
+
+    const int n = db.num_vars();
+    std::vector<std::vector<bool>> reach(
+        static_cast<size_t>(n), std::vector<bool>(static_cast<size_t>(n)));
+    for (int ci = 0; ci < db.num_clauses(); ++ci) {
+      const Clause& cl = db.clause(ci);
+      for (Var h : cl.heads()) {
+        for (Var b : cl.pos_body()) {
+          reach[static_cast<size_t>(b)][static_cast<size_t>(h)] = true;
+        }
+      }
+    }
+    for (int k = 0; k < n; ++k) {
+      for (int a = 0; a < n; ++a) {
+        if (!reach[static_cast<size_t>(a)][static_cast<size_t>(k)]) continue;
+        for (int b = 0; b < n; ++b) {
+          if (reach[static_cast<size_t>(k)][static_cast<size_t>(b)]) {
+            reach[static_cast<size_t>(a)][static_cast<size_t>(b)] = true;
+          }
+        }
+      }
+    }
+    bool tight = true;
+    for (int v = 0; v < n; ++v) {
+      if (reach[static_cast<size_t>(v)][static_cast<size_t>(v)]) tight = false;
+    }
+    bool hcf = true;
+    for (int ci = 0; ci < db.num_clauses(); ++ci) {
+      const auto& heads = db.clause(ci).heads();
+      for (size_t x = 0; x < heads.size(); ++x) {
+        for (size_t y = x + 1; y < heads.size(); ++y) {
+          Var h1 = heads[x], h2 = heads[y];
+          if (h1 != h2 && reach[static_cast<size_t>(h1)][static_cast<size_t>(h2)] &&
+              reach[static_cast<size_t>(h2)][static_cast<size_t>(h1)]) {
+            hcf = false;
+          }
+        }
+      }
+    }
+
+    ProgramProperties p = Analyze(db);
+    EXPECT_EQ(p.is_tight, tight) << "instance " << i;
+    EXPECT_EQ(p.is_head_cycle_free, hcf) << "instance " << i;
   }
 }
 

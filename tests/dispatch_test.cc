@@ -13,6 +13,7 @@
 #include "core/reasoner.h"
 #include "gen/generators.h"
 #include "gtest/gtest.h"
+#include "sat/fault.h"
 #include "tests/test_util.h"
 #include "util/string_util.h"
 
@@ -93,10 +94,12 @@ TEST(SelectPath, CertainFactsShortCircuit) {
   EXPECT_EQ(SelectPath(p, SemanticsKind::kGcwa, QueryKind::kLiteral,
                        Lit::Pos(1)),
             EnginePath::kCertainFact);
-  // Not certain: falls through (positive literal, non-Horn program).
+  // Not certain: falls through — and since this program is deductive and
+  // head-cycle-free, the fall-through lands on the polynomial
+  // unfounded-set minimality path rather than the generic oracle.
   EXPECT_EQ(SelectPath(p, SemanticsKind::kGcwa, QueryKind::kLiteral,
                        Lit::Pos(2)),
-            EnginePath::kGeneric);
+            EnginePath::kHcfUnfounded);
 }
 
 TEST(SelectPath, CustomPartitionForcesGeneric) {
@@ -279,6 +282,132 @@ TEST(DispatchRegression, PartitionedReasonerStaysGenericButCorrect) {
                        without.InfersLiteral(k, name),
                        StrFormat("partition/%s", name.c_str()));
     }
+  }
+}
+
+TEST(DispatchRegression, HcfModularFamily) {
+  // The family built for the structural paths: positive, disjunctive,
+  // head-cycle-free, several disconnected modules. Literal queries route
+  // through the relevance slice, formulas through the module union, and
+  // minimality checks ride the polynomial unfounded-set path — all of
+  // which must answer exactly what the generic engines answer.
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    CheckAllQueriesAgree(
+        HcfModularDdb(2, 5, 3, seed),
+        StrFormat("hcf-modular-seed%llu",
+                  static_cast<unsigned long long>(seed)));
+  }
+}
+
+TEST(DispatchRegression, StructuralPathsFireAndCertify) {
+  // Slice + module routing on the modular family...
+  Database db = HcfModularDdb(2, 6, 4, /*seed=*/7);
+  Reasoner r(db);
+  r.EnableCertification(true);
+  EXPECT_TRUE(r.certification_enabled());
+  for (Var v = 0; v < db.num_vars(); ++v) {
+    ASSERT_TRUE(
+        r.InfersLiteral(SemanticsKind::kGcwa, db.vocabulary().Name(v)).ok());
+  }
+  ASSERT_TRUE(r.InfersFormula(SemanticsKind::kEgcwa, "m0_p0 | m0_p1").ok());
+  EXPECT_GT(r.dispatch_stats().slice_literal, 0);
+  EXPECT_GT(r.dispatch_stats().module_formula, 0);
+
+  // ...and the HCF unfounded-set path on a single-cone program where
+  // slicing cannot drop anything (cone of c = whole database), so the
+  // dispatch falls through to kHcfUnfounded. The db is HCF: heads {a, b}
+  // of the disjunctive fact sit in different SCCs ({a, c} vs {b}).
+  Database whole = Db(
+      "a | b.\n"
+      "c :- a.\n"
+      "c :- b.\n"
+      "a :- c.\n");
+  Reasoner h(whole);
+  h.EnableCertification(true);
+  ASSERT_TRUE(h.InfersLiteral(SemanticsKind::kGcwa, "c").ok());
+  ASSERT_TRUE(h.InfersLiteral(SemanticsKind::kDsm, "not a").ok());
+  EXPECT_GT(h.dispatch_stats().hcf_unfounded, 0);
+
+  // Every certificate either reasoner emitted passed the independent
+  // checker: zero rejections, no retained failure messages.
+  for (Reasoner* rp : {&r, &h}) {
+    analysis::CertificationStats cs = rp->certification_stats();
+    EXPECT_GT(cs.emitted, 0);
+    EXPECT_EQ(cs.rejected, 0) << [&] {
+      std::string all;
+      for (const std::string& f : rp->certification_failures()) {
+        all += f + "\n";
+      }
+      return all;
+    }();
+    EXPECT_EQ(cs.accepted, cs.emitted);
+    EXPECT_TRUE(rp->certification_failures().empty());
+  }
+}
+
+TEST(DispatchFaults, StructuralPathsNeverWrongUnderInjection) {
+  // Anytime contract for the new paths, mirroring budget_test's FaultSoak:
+  // compute fault-free references with the generic engines, then replay
+  // the same queries through the dispatch-enabled reasoner under a sweep
+  // of oracle fault plans. Acceptable outcomes are exactly {reference
+  // answer, budget-exhaustion Status} — a fast path must never convert an
+  // injected Unknown into a flipped verdict. Certification stays on so a
+  // fault can also never smuggle in a bogus certificate.
+  Database db = HcfModularDdb(2, 5, 3, /*seed=*/11);
+  const SemanticsKind kKinds[] = {SemanticsKind::kGcwa, SemanticsKind::kEgcwa,
+                                  SemanticsKind::kDsm};
+  struct Ref {
+    std::string query;
+    bool is_formula = false;
+    SemanticsKind kind;
+    bool value = false;
+  };
+  std::vector<Ref> refs;
+  {
+    sat::ScopedFaultPlan fault_free{sat::FaultPlan{}};
+    Reasoner r(db);
+    r.set_analysis_dispatch(false);
+    for (SemanticsKind k : kKinds) {
+      for (Var v = 0; v < db.num_vars(); v += 2) {
+        const std::string& name = db.vocabulary().Name(v);
+        auto res = r.InfersLiteral(k, name);
+        ASSERT_TRUE(res.ok()) << name;
+        refs.push_back({name, false, k, *res});
+      }
+      auto f = r.InfersFormula(k, "m0_p0 | m1_p0");
+      ASSERT_TRUE(f.ok());
+      refs.push_back({"m0_p0 | m1_p0", true, k, *f});
+    }
+  }
+  auto replay = [&](const char* label) {
+    Reasoner with(db);
+    with.EnableCertification(true);
+    for (const Ref& ref : refs) {
+      Result<bool> res = ref.is_formula
+                             ? with.InfersFormula(ref.kind, ref.query)
+                             : with.InfersLiteral(ref.kind, ref.query);
+      if (res.ok()) {
+        EXPECT_EQ(*res, ref.value)
+            << label << " flipped " << SemanticsKindName(ref.kind) << "/"
+            << ref.query;
+      } else {
+        EXPECT_TRUE(res.status().IsBudgetExhaustion())
+            << label << " " << ref.query << ": " << res.status().ToString();
+      }
+    }
+    EXPECT_EQ(with.certification_stats().rejected, 0) << label;
+  };
+  for (int64_t k : {1, 2, 3, 5, 8}) {
+    sat::FaultPlan plan;
+    plan.unknown_at = k;
+    sat::ScopedFaultPlan scoped(plan);
+    replay("unknown_at");
+  }
+  for (int64_t k : {1, 4, 9}) {
+    sat::FaultPlan plan;
+    plan.exhaust_after = k;
+    sat::ScopedFaultPlan scoped(plan);
+    replay("exhaust_after");
   }
 }
 

@@ -165,6 +165,43 @@ TEST(Lint, IntegrityClauseNoteAndToggle) {
   EXPECT_TRUE(off.empty());
 }
 
+TEST(Lint, HeadCycleWitnessesPairAndCycle) {
+  auto diags = OfRule(LintText("a | b :- c.\n"
+                               "c :- a.\n"
+                               "c :- b.\n"),
+                      LintRule::kHeadCycle);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, LintSeverity::kNote);
+  EXPECT_EQ(diags[0].clause_index, 0);
+  EXPECT_EQ(diags[0].line, 1);
+  // The message names the co-head pair and prints a concrete cycle.
+  EXPECT_NE(diags[0].message.find("'a'"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("'b'"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("->"), std::string::npos);
+}
+
+TEST(Lint, HeadCycleAbsentOnHcfPrograms) {
+  // a and c share a positive cycle, but no clause has two head atoms in
+  // that cycle: head-cycle-freeness holds, cyclicity alone is no smell.
+  auto diags = OfRule(LintText("a | b :- c.\n"
+                               "c :- a.\n"),
+                      LintRule::kHeadCycle);
+  EXPECT_TRUE(diags.empty()) << FormatDiagnostics(diags);
+}
+
+TEST(Lint, RelevanceDeadAtomOutsideEveryCone) {
+  auto all = LintText(
+      "d.\n"
+      ":- d, e.\n");
+  auto dead = OfRule(all, LintRule::kRelevanceDead);
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0].severity, LintSeverity::kNote);
+  EXPECT_NE(dead[0].message.find("'e'"), std::string::npos);
+  // Precedence: the sharper relevance-dead verdict replaces the plain
+  // underivable-atom warning for e.
+  EXPECT_TRUE(OfRule(all, LintRule::kUnderivableAtom).empty());
+}
+
 TEST(Lint, WithoutPositionsFallsBackToClauseIndex) {
   auto r = ParseDatabase("e | f.\ne | f | g.\n");
   ASSERT_TRUE(r.ok());

@@ -1,0 +1,175 @@
+// Unit tests for the relevance slicer and module decomposer
+// (analysis/slicer). The routing-level guarantees (sliced answers equal
+// generic answers) live in dispatch_test.cc; here we pin the structural
+// contracts: cone contents, head-closure, clause selection, module ids.
+#include "analysis/slicer.h"
+
+#include <algorithm>
+
+#include "analysis/program_properties.h"
+#include "gen/generators.h"
+#include "gtest/gtest.h"
+#include "logic/database.h"
+#include "tests/test_util.h"
+
+namespace dd {
+namespace {
+
+using ::dd::analysis::SliceResult;
+using ::dd::analysis::Slicer;
+using ::dd::testing::Db;
+
+// Head-closure invariant shared by Cone and ModuleUnion results: the
+// clause list is exactly the clauses with a head in `relevant`, and every
+// atom of a selected clause lies in `relevant`.
+void ExpectHeadClosed(const Database& db, const SliceResult& s) {
+  std::vector<bool> selected(static_cast<size_t>(db.num_clauses()), false);
+  for (int ci : s.clause_indices) {
+    ASSERT_GE(ci, 0);
+    ASSERT_LT(ci, db.num_clauses());
+    selected[static_cast<size_t>(ci)] = true;
+  }
+  for (int ci = 0; ci < db.num_clauses(); ++ci) {
+    const Clause& cl = db.clause(ci);
+    bool head_in = false;
+    for (Var h : cl.heads()) head_in |= s.relevant.Contains(h);
+    EXPECT_EQ(head_in, selected[static_cast<size_t>(ci)]) << "clause " << ci;
+    if (!head_in) continue;
+    for (Var h : cl.heads()) EXPECT_TRUE(s.relevant.Contains(h));
+    for (Var b : cl.pos_body()) EXPECT_TRUE(s.relevant.Contains(b));
+  }
+  EXPECT_TRUE(std::is_sorted(s.clause_indices.begin(),
+                             s.clause_indices.end()));
+}
+
+TEST(Slicer, ConeFollowsDerivations) {
+  Database db = Db(
+      "a :- b.\n"
+      "b | c.\n"
+      "d.\n"
+      "e :- d.\n");
+  Slicer slicer(db);
+  Var a = db.vocabulary().Find("a");
+  SliceResult s = slicer.Cone({a});
+  // Deriving a needs b; b's clause also mentions c; d/e are unreachable.
+  EXPECT_TRUE(s.relevant.Contains(a));
+  EXPECT_TRUE(s.relevant.Contains(db.vocabulary().Find("b")));
+  EXPECT_TRUE(s.relevant.Contains(db.vocabulary().Find("c")));
+  EXPECT_FALSE(s.relevant.Contains(db.vocabulary().Find("d")));
+  EXPECT_FALSE(s.relevant.Contains(db.vocabulary().Find("e")));
+  EXPECT_EQ(s.clause_indices, (std::vector<int>{0, 1}));
+  EXPECT_TRUE(s.proper);
+  ExpectHeadClosed(db, s);
+}
+
+TEST(Slicer, ConeOfSinkAtomIsImproper) {
+  Database db = Db(
+      "a :- b.\n"
+      "b :- e.\n"
+      "e.\n");
+  Slicer slicer(db);
+  // a pulls in the whole chain: no clause is dropped.
+  SliceResult s = slicer.Cone({db.vocabulary().Find("a")});
+  EXPECT_EQ(static_cast<int>(s.clause_indices.size()), db.num_clauses());
+  EXPECT_FALSE(s.proper);
+  ExpectHeadClosed(db, s);
+}
+
+TEST(Slicer, ConeIgnoresBodyOnlyOccurrences) {
+  // b occurs in the body of the e-clause; slicing for b must not drag the
+  // e-clause in (only clauses that can *derive* a cone atom count).
+  Database db = Db(
+      "b.\n"
+      "e :- b.\n");
+  Slicer slicer(db);
+  SliceResult s = slicer.Cone({db.vocabulary().Find("b")});
+  EXPECT_EQ(s.clause_indices, (std::vector<int>{0}));
+  EXPECT_FALSE(s.relevant.Contains(db.vocabulary().Find("e")));
+  EXPECT_TRUE(s.proper);
+  ExpectHeadClosed(db, s);
+}
+
+TEST(Slicer, ModuleIdsPartitionConnectedComponents) {
+  Database db = Db(
+      "a | b.\n"
+      "c :- a.\n"
+      "x :- y.\n"
+      "y.\n");
+  Slicer slicer(db);
+  EXPECT_EQ(slicer.num_modules(), 2);
+  const std::vector<int>& id = slicer.module_ids();
+  Var a = db.vocabulary().Find("a"), b = db.vocabulary().Find("b");
+  Var c = db.vocabulary().Find("c"), x = db.vocabulary().Find("x");
+  Var y = db.vocabulary().Find("y");
+  EXPECT_EQ(id[a], id[b]);
+  EXPECT_EQ(id[a], id[c]);
+  EXPECT_EQ(id[x], id[y]);
+  EXPECT_NE(id[a], id[x]);
+}
+
+TEST(Slicer, ModuleUnionContainsConeAndIsHeadClosed) {
+  Database db = Db(
+      "a | b.\n"
+      "c :- a.\n"
+      "x :- y.\n"
+      "y.\n");
+  Slicer slicer(db);
+  Var a = db.vocabulary().Find("a");
+  SliceResult cone = slicer.Cone({a});
+  SliceResult mod = slicer.ModuleUnion({a});
+  EXPECT_TRUE(cone.relevant.SubsetOf(mod.relevant));
+  // a's module additionally holds c (connected via the c :- a clause),
+  // which the cone of a omits.
+  EXPECT_FALSE(cone.relevant.Contains(db.vocabulary().Find("c")));
+  EXPECT_TRUE(mod.relevant.Contains(db.vocabulary().Find("c")));
+  EXPECT_FALSE(mod.relevant.Contains(db.vocabulary().Find("x")));
+  EXPECT_TRUE(mod.proper);
+  ExpectHeadClosed(db, mod);
+}
+
+TEST(Slicer, MakeSubDatabaseKeepsVocabularyAndSelection) {
+  Database db = Db(
+      "a :- b.\n"
+      "b | c.\n"
+      "d.\n");
+  Slicer slicer(db);
+  SliceResult s = slicer.Cone({db.vocabulary().Find("a")});
+  Database sub = slicer.MakeSubDatabase(s);
+  // Same variable space; only the selected clauses survive.
+  EXPECT_EQ(sub.num_vars(), db.num_vars());
+  EXPECT_EQ(sub.num_clauses(), static_cast<int>(s.clause_indices.size()));
+  for (size_t i = 0; i < s.clause_indices.size(); ++i) {
+    EXPECT_EQ(sub.clause(static_cast<int>(i)).heads(),
+              db.clause(s.clause_indices[i]).heads());
+  }
+}
+
+// --- generator family -----------------------------------------------------
+
+TEST(Slicer, HcfModularFamilyHasAdvertisedStructure) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    Database db = HcfModularDdb(3, 6, 4, seed);
+    analysis::ProgramProperties p = analysis::Analyze(db);
+    EXPECT_TRUE(p.is_positive) << "seed " << seed;
+    EXPECT_TRUE(p.is_deductive);
+    EXPECT_TRUE(p.is_head_cycle_free);
+    EXPECT_GT(p.num_disjunctive, 0);
+    // The reserved 2-cycle makes every module non-tight.
+    EXPECT_FALSE(p.is_tight);
+
+    Slicer slicer(db);
+    EXPECT_EQ(slicer.num_modules(), 3);
+    // A cone rooted in module 0 never leaves module 0's atoms.
+    Var root = db.vocabulary().Find("m0_p0");
+    ASSERT_NE(root, kInvalidVar);
+    SliceResult s = slicer.Cone({root});
+    for (Var v : s.relevant.TrueAtoms()) {
+      EXPECT_EQ(slicer.module_ids()[v], slicer.module_ids()[root]);
+    }
+    EXPECT_TRUE(s.proper);
+    ExpectHeadClosed(db, s);
+  }
+}
+
+}  // namespace
+}  // namespace dd
