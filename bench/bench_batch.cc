@@ -1,0 +1,198 @@
+// Batched query evaluation A/B (docs/BATCHING.md): the same literal
+// workload against one database runs once through Reasoner::AnswerBatch
+// (canonicalize + dedupe + answer cache + slice-grouped model banks,
+// groups in parallel) and once through the sequential one-query-at-a-time
+// entry points, at batch sizes {1, 16, 256, 4096} across all eleven
+// semantics.
+//
+// The printed table reports wall-clock for both legs and the amortized
+// speedup; the built-in audit asserts, for every row, that (a) the batch
+// answers are identical to the sequential answers wherever both are
+// definite and (b) the answer cache holds no kUnknown entry — a violation
+// exits nonzero, so the harness doubles as an end-to-end soundness check.
+//
+// Flags: --seed=N --threads=N --timeout-ms=N (see bench_util.h; the
+// timeout bounds each leg per row — the batch leg via the whole-batch
+// budget, the sequential leg via an elapsed-time watchdog — and marks cut
+// rows "timeout": true). Results land in BENCH_batch.json (schema 2) for
+// scripts/run_experiments.sh.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "batch/query_batch.h"
+#include "core/reasoner.h"
+#include "gen/generators.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace dd {
+namespace {
+
+using bench::BenchArgs;
+using bench::BenchJsonWriter;
+using bench::BenchRecord;
+
+/// Instance shape per semantics: positive deductive databases keep all
+/// eleven applicable; the Σ₂ᵖ-flavoured and enumeration-heavy kinds get
+/// smaller instances so the sequential baseline finishes at 4096.
+struct KindCfg {
+  SemanticsKind kind;
+  int vars;
+  int clauses;
+};
+
+const KindCfg kKinds[] = {
+    {SemanticsKind::kCwa, 14, 22},  {SemanticsKind::kGcwa, 20, 48},
+    {SemanticsKind::kEgcwa, 20, 48}, {SemanticsKind::kCcwa, 14, 22},
+    {SemanticsKind::kEcwa, 12, 20}, {SemanticsKind::kDdr, 18, 28},
+    {SemanticsKind::kPws, 18, 28},  {SemanticsKind::kPerf, 10, 16},
+    {SemanticsKind::kIcwa, 10, 16}, {SemanticsKind::kDsm, 12, 20},
+    {SemanticsKind::kPdsm, 10, 16},
+};
+
+const int kBatchSizes[] = {1, 16, 256, 4096};
+
+/// A random literal workload: n queries drawn uniformly over both
+/// polarities of the database's atoms. Large n repeats queries heavily —
+/// exactly the regime batching amortizes.
+std::vector<batch::BatchQuery> LiteralWorkload(int n, int vars, Rng* rng) {
+  std::vector<batch::BatchQuery> qs;
+  qs.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const int v = static_cast<int>(rng->Below(vars));
+    qs.push_back({rng->Chance(0.5) ? StrFormat("p%d", v)
+                                   : StrFormat("not p%d", v),
+                  true});
+  }
+  return qs;
+}
+
+int g_audit_failures = 0;
+
+void Audit(bool ok, const char* what, const char* kind, int n) {
+  if (!ok) {
+    ++g_audit_failures;
+    std::fprintf(stderr, "AUDIT FAILURE [%s n=%d]: %s\n", kind, n, what);
+  }
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  BenchJsonWriter out("batch");
+  std::printf(
+      "Batched vs sequential query evaluation (seed=%llu, threads=%d)\n"
+      "%-6s %6s | %10s %10s %8s | %6s %6s %6s\n",
+      static_cast<unsigned long long>(args.seed), args.threads, "sem", "n",
+      "batch ms", "seq ms", "speedup", "uniq", "groups", "hits");
+
+  for (const KindCfg& cfg : kKinds) {
+    const char* kind_name = SemanticsKindName(cfg.kind);
+    Database db = RandomPositiveDdb(
+        cfg.vars, cfg.clauses, DeriveSeed(args.seed, cfg.vars * 131 + 7));
+    for (int n : kBatchSizes) {
+      Timer gen_timer;
+      Rng rng(DeriveSeed(args.seed, static_cast<uint64_t>(n) * 211 +
+                                        static_cast<uint64_t>(cfg.kind)));
+      std::vector<batch::BatchQuery> qs = LiteralWorkload(n, cfg.vars, &rng);
+      const double gen_ms = gen_timer.ElapsedSeconds() * 1e3;
+
+      // Batch leg: one AnswerBatch call on a fresh reasoner.
+      Reasoner rb(db);
+      batch::BatchOptions bo;
+      bo.num_threads = args.threads;
+      bo.deadline_ms = args.timeout_ms;
+      Timer batch_timer;
+      Result<batch::BatchAnswer> batch = rb.AnswerBatch(cfg.kind, qs, bo);
+      const double batch_ms = batch_timer.ElapsedSeconds() * 1e3;
+      if (!batch.ok()) {
+        Audit(false, batch.status().ToString().c_str(), kind_name, n);
+        continue;
+      }
+      bool timeout = batch->stats.unknowns > 0;
+
+      // Sequential leg: the one-query-at-a-time entry points on an equally
+      // fresh reasoner (same engine caches and sessions as any CLI user).
+      Reasoner rs(db);
+      std::vector<Trilean> seq(qs.size(), Trilean::kUnknown);
+      bool seq_complete = true;
+      Timer seq_timer;
+      for (size_t i = 0; i < qs.size(); ++i) {
+        if (args.timeout_ms > 0 &&
+            seq_timer.ElapsedSeconds() * 1e3 > args.timeout_ms) {
+          seq_complete = false;
+          timeout = true;
+          break;
+        }
+        Result<bool> r = rs.InfersLiteral(cfg.kind, qs[i].text);
+        if (!r.ok()) {
+          Audit(false, r.status().ToString().c_str(), kind_name, n);
+          seq_complete = false;
+          break;
+        }
+        seq[i] = TrileanFromBool(*r);
+      }
+      const double seq_ms = seq_timer.ElapsedSeconds() * 1e3;
+
+      // Audit (a): batch answers equal sequential answers wherever both
+      // legs produced a definite verdict.
+      if (seq_complete) {
+        for (size_t i = 0; i < qs.size(); ++i) {
+          if (batch->answers[i] == Trilean::kUnknown) continue;
+          Audit(batch->answers[i] == seq[i],
+                "batch/sequential answer mismatch", kind_name, n);
+          if (batch->answers[i] != seq[i]) break;
+        }
+      }
+      // Audit (b): "Unknown is never cached".
+      if (rb.answer_cache() != nullptr) {
+        rb.answer_cache()->ForEach([&](const std::string& key, Trilean t) {
+          Audit(t != Trilean::kUnknown, "kUnknown found in answer cache",
+                kind_name, n);
+        });
+      }
+
+      const double speedup = batch_ms > 0 ? seq_ms / batch_ms : 0.0;
+      std::printf("%-6s %6d | %10.2f %10.2f %7.2fx | %6lld %6lld %6lld%s\n",
+                  kind_name, n, batch_ms, seq_ms, speedup,
+                  static_cast<long long>(batch->stats.unique_queries),
+                  static_cast<long long>(batch->stats.groups),
+                  static_cast<long long>(batch->stats.cache_hits),
+                  timeout ? "  (timeout)" : "");
+
+      BenchRecord rec;
+      rec.name = StrFormat("%s/literals", kind_name);
+      rec.n = n;
+      rec.wall_ms = batch_ms;
+      rec.oracle_calls = rb.TotalStats().sat_calls;
+      rec.cache_hits = batch->stats.cache_hits;
+      rec.timeout = timeout;
+      rec.AddPhase("generate", gen_ms)
+          .AddPhase("batch", batch_ms)
+          .AddPhase("sequential", seq_ms);
+      obs::MetricsRegistry reg;
+      rb.PublishMetrics(&reg);
+      rec.metrics = reg.Snapshot();
+      out.Add(std::move(rec));
+    }
+  }
+
+  if (!out.Write()) {
+    std::fprintf(stderr, "cannot write BENCH_batch.json\n");
+    return 1;
+  }
+  if (g_audit_failures > 0) {
+    std::fprintf(stderr, "%d audit failure(s)\n", g_audit_failures);
+    return 1;
+  }
+  std::printf("audit: batch == sequential, no kUnknown cached\n");
+  return 0;
+}
+
+}  // namespace dd
+
+int main(int argc, char** argv) { return dd::Main(argc, argv); }

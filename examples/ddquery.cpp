@@ -2,6 +2,12 @@
 //
 //   ddquery <program.ddb>          load a database and read commands from
 //                                  stdin (or pipe a script in)
+//   ddquery --batch=FILE <prog>    batched mode: FILE holds one query per
+//                                  line ("lit <SEM> <literal>" or
+//                                  "infer <SEM> <formula>"; blank lines and
+//                                  # comments are skipped); answers print
+//                                  in input order, one per line, identical
+//                                  for every --threads value
 //   ddquery                        start with an empty database
 //
 // Commands:
@@ -22,9 +28,15 @@
 //
 // SEM is one of: gcwa egcwa ccwa ecwa ddr pws perf icwa dsm pdsm
 //
-// Budget options (apply to every query command):
+// Budget options (apply to every query command; in --batch mode they bound
+// the whole batch as one shared budget):
 //   --timeout-ms=N        per-query wall-clock deadline
 //   --conflict-budget=N   per-query total CDCL conflict budget
+//
+// Batch options (docs/BATCHING.md):
+//   --batch=FILE          evaluate FILE's queries via Reasoner::AnswerBatch
+//                         (dedupe, answer cache, slice-grouped model banks)
+//   --threads=N           worker threads for parallel group evaluation
 //
 // Observability options (see docs/OBSERVABILITY.md):
 //   --trace-json=FILE     write the session's span tree as JSON on exit
@@ -39,10 +51,10 @@
 //                         the run
 //
 // Exit status: 0 on success, 1 on a load/parse failure of the initial
-// program (or an unwritable --trace-json file, or a rejected --certify
-// certificate), 2 if any query ran out of budget — deadline, conflicts,
-// oracle calls OR external cancellation (kCancelled); both answer
-// "unknown"/truncated — see docs/ROBUSTNESS.md.
+// program or a --batch file (or an unwritable --trace-json file, or a
+// rejected --certify certificate), 2 if any query ran out of budget —
+// deadline, conflicts, oracle calls OR external cancellation (kCancelled);
+// both answer "unknown"/truncated — see docs/ROBUSTNESS.md.
 #include <unistd.h>
 
 #include <cerrno>
@@ -50,9 +62,11 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/oracle_stats.h"
 #include "core/reasoner.h"
@@ -105,6 +119,8 @@ void PrintHelp() {
       "semantics: gcwa egcwa ccwa ecwa ddr pws perf icwa dsm pdsm\n"
       "flags: --timeout-ms=N --conflict-budget=N (budgeted queries; exit 2\n"
       "       if any query runs out of budget)\n"
+      "       --batch=FILE --threads=N (batched evaluation; one\n"
+      "       'lit <sem> <literal>' or 'infer <sem> <formula>' per line)\n"
       "       --trace-json=FILE --metrics (observability exports)\n"
       "       --certify (verify every fast-path answer's certificate;\n"
       "       rejections fail the run)\n");
@@ -186,11 +202,92 @@ bool ParsePartitionArgs(const std::string& rest_of_line, dd::Reasoner* r) {
   return true;
 }
 
+/// Runs --batch mode: parses `path` ("lit <sem> <literal>" / "infer <sem>
+/// <formula>" per line; blanks and # comments skipped), calls
+/// Reasoner::AnswerBatch once per semantics, and prints one answer per
+/// query in input-line order — the same strings the interactive shell
+/// prints, so `ddquery --batch=F prog` and `ddquery prog < F` agree line
+/// for line. Returns false on a read/parse failure (exit 1); any kUnknown
+/// answer sets *worst_exit to 2.
+bool RunBatch(dd::Reasoner* reasoner, const std::string& path,
+              const dd::QueryOptions& query_opts, int threads,
+              int* worst_exit) {
+  auto text = ReadFile(path);
+  if (!text) {
+    std::fprintf(stderr, "ddquery: cannot read %s\n", path.c_str());
+    return false;
+  }
+  struct Group {
+    dd::SemanticsKind kind;
+    std::vector<int> slots;  ///< output positions, input order
+    std::vector<dd::batch::BatchQuery> queries;
+  };
+  std::vector<Group> groups;  // first-appearance order per semantics
+  std::map<dd::SemanticsKind, int> group_of;
+  int num_queries = 0;
+  std::istringstream in(*text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    std::string cmd;
+    if (!(ls >> cmd) || cmd[0] == '#') continue;
+    std::string sem_name;
+    std::string rest;
+    ls >> sem_name;
+    std::getline(ls, rest);
+    auto kind = KindFromName(sem_name);
+    const bool is_lit = cmd == "lit";
+    if ((!is_lit && cmd != "infer") || !kind ||
+        rest.find_first_not_of(" \t") == std::string::npos) {
+      std::fprintf(stderr, "ddquery: bad batch line %d: '%s'\n", lineno,
+                   line.c_str());
+      return false;
+    }
+    auto [it, inserted] =
+        group_of.emplace(*kind, static_cast<int>(groups.size()));
+    if (inserted) groups.push_back(Group{*kind, {}, {}});
+    Group& g = groups[it->second];
+    g.slots.push_back(num_queries++);
+    g.queries.push_back(dd::batch::BatchQuery{rest, is_lit});
+  }
+
+  dd::batch::BatchOptions bo;
+  bo.num_threads = threads;
+  bo.deadline_ms = query_opts.deadline_ms;
+  bo.conflict_budget = query_opts.conflict_budget;
+  bo.oracle_call_budget = query_opts.oracle_call_budget;
+  bo.cancel = query_opts.cancel;
+  std::vector<dd::Trilean> answers(num_queries, dd::Trilean::kUnknown);
+  for (const Group& g : groups) {
+    auto r = reasoner->AnswerBatch(g.kind, g.queries, bo);
+    if (!r.ok()) {
+      std::fprintf(stderr, "ddquery: %s\n", r.status().ToString().c_str());
+      return false;
+    }
+    for (size_t k = 0; k < g.slots.size(); ++k) {
+      answers[g.slots[k]] = r->answers[k];
+    }
+  }
+  for (dd::Trilean a : answers) {
+    if (a == dd::Trilean::kUnknown) {
+      std::printf("unknown (out of budget)\n");
+      *worst_exit = 2;
+    } else {
+      std::printf("%s\n", a == dd::Trilean::kYes ? "yes" : "no");
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   dd::QueryOptions query_opts;
   std::string trace_path;
+  std::string batch_path;
+  int64_t num_threads = 1;
   bool print_metrics = false;
   bool certify = false;
   std::vector<std::string> positional;
@@ -206,7 +303,27 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (matched) continue;
+    if (!ParseInt64Flag(argc, argv, &i, "--threads", &num_threads, &matched)) {
+      return 1;
+    }
+    if (matched) continue;
     std::string arg = argv[i];
+    if (arg.rfind("--batch=", 0) == 0) {
+      batch_path = arg.substr(std::string("--batch=").size());
+      if (batch_path.empty()) {
+        std::fprintf(stderr, "ddquery: --batch needs a file name\n");
+        return 1;
+      }
+      continue;
+    }
+    if (arg == "--batch") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ddquery: --batch needs a file name\n");
+        return 1;
+      }
+      batch_path = argv[++i];
+      continue;
+    }
     if (arg == "--metrics") {
       print_metrics = true;
       continue;
@@ -239,23 +356,27 @@ int main(int argc, char** argv) {
   dd::obs::TraceContext trace;
   dd::obs::TraceContext* trace_ptr = trace_path.empty() ? nullptr : &trace;
 
-  dd::Reasoner reasoner{dd::Database()};
-  reasoner.set_trace(trace_ptr);
-  reasoner.EnableCertification(certify);
+  // Parse the program file exactly once, BEFORE constructing the reasoner,
+  // so a single instance is configured (trace, certification) one time —
+  // no throwaway empty reasoner, no double setup.
+  dd::Database initial_db;
   if (!positional.empty()) {
     auto text = ReadFile(positional[0]);
     if (!text) {
       std::fprintf(stderr, "cannot read %s\n", positional[0].c_str());
       return 1;
     }
-    auto r = dd::Reasoner::FromProgram(*text);
-    if (!r.ok()) {
-      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+    auto db = dd::ParseDatabase(*text);
+    if (!db.ok()) {
+      std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
       return 1;
     }
-    reasoner = std::move(r).value();
-    reasoner.set_trace(trace_ptr);
-    reasoner.EnableCertification(certify);
+    initial_db = std::move(db).value();
+  }
+  dd::Reasoner reasoner{std::move(initial_db)};
+  reasoner.set_trace(trace_ptr);
+  reasoner.EnableCertification(certify);
+  if (!positional.empty() && batch_path.empty()) {
     std::printf("loaded %s (%s)\n", positional[0].c_str(),
                 dd::DatabaseSummary(reasoner.db()).c_str());
   }
@@ -263,9 +384,16 @@ int main(int argc, char** argv) {
   // Set to 2 when any budgeted query exhausts its budget; distinct from the
   // load/parse failure exit (1) above.
   int worst_exit = 0;
+  if (!batch_path.empty() &&
+      !RunBatch(&reasoner, batch_path, query_opts,
+                static_cast<int>(num_threads), &worst_exit)) {
+    return 1;
+  }
   std::string line;
-  const bool interactive = isatty(fileno(stdin)) != 0;
-  for (;;) {
+  const bool interactive = batch_path.empty() && isatty(fileno(stdin)) != 0;
+  // Batch mode replaces the shell; the observability epilogue below still
+  // runs, so --metrics / --trace-json compose with --batch.
+  while (batch_path.empty()) {
     if (interactive) {
       std::printf("ddq> ");
       std::fflush(stdout);
@@ -274,6 +402,7 @@ int main(int argc, char** argv) {
     std::istringstream in(line);
     std::string cmd;
     if (!(in >> cmd)) continue;
+    if (cmd[0] == '#') continue;  // comment lines, as in --batch files
     if (cmd == "quit" || cmd == "exit") break;
     if (cmd == "help") {
       PrintHelp();

@@ -21,7 +21,11 @@
 #      plus a `ddquery --certify` sweep over every example program —
 #      certificate rejections flip the exit code and fail the leg
 #      (docs/ANALYSIS.md section 5)
-#   9. fault-injection + deadline soak: the DD_FAULT_UNKNOWN_AT /
+#   9. batched-query A/B: every examples/programs/*.queries file runs
+#      once through `ddquery --batch` (4 workers) and once line-by-line
+#      through the interactive loop; the answer streams must be
+#      identical (docs/BATCHING.md determinism contract)
+#  10. fault-injection + deadline soak: the DD_FAULT_UNKNOWN_AT /
 #      DD_FAULT_EXHAUST_AFTER matrix over the injection-tolerant
 #      FaultSoak suite of budget_test, under the ASan build (docs/
 #      ROBUSTNESS.md: every semantics must answer reference-or-Unknown,
@@ -73,7 +77,9 @@ if [ "$FAST" -eq 0 ]; then
   # The concurrency surface: the thread-pool contract tests, the parallel
   # enumeration layers behind them, and the oracle-session suite (sessions
   # are what parallel chunks must NOT share).
-  CTEST_FILTER='thread_pool_test|oracle_session_test|fixpoint_test|egcwa_ecwa_test|ddr_pws_test' \
+  # batch_test joins the filter because AnswerBatch evaluates slice groups
+  # on the shared pool (group engines must never share oracle sessions).
+  CTEST_FILTER='thread_pool_test|oracle_session_test|fixpoint_test|egcwa_ecwa_test|ddr_pws_test|batch_test' \
   run_leg "tsan (concurrency tests)" build-check-tsan \
           -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDD_SANITIZE=thread \
           -DDD_BUILD_BENCHMARKS=OFF
@@ -193,6 +199,48 @@ if [ -x "$QUERY_BIN" ]; then
   rm -rf "$CERT_TMP"
 else
   echo "certify: ddquery not built; skipping"
+fi
+
+echo "===== ddquery --batch A/B over examples/programs ====="
+if [ -x "$QUERY_BIN" ]; then
+  BATCH_TMP="$(mktemp -d)"
+  BATCH_FAILED=0
+  BATCH_COUNT=0
+  for q in examples/programs/*.queries; do
+    [ -f "$q" ] || continue
+    prog="${q%.queries}.ddb"
+    if [ ! -f "$prog" ]; then
+      echo "batch: $q has no matching .ddb"; BATCH_FAILED=1; continue
+    fi
+    BATCH_COUNT=$((BATCH_COUNT + 1))
+    # Batch leg: one --batch run (4 workers; answers must not depend on
+    # thread count). A nonzero exit is a failure — the committed .queries
+    # files contain no out-of-budget or malformed lines.
+    if ! "$QUERY_BIN" --batch="$q" --threads=4 "$prog" \
+         >"$BATCH_TMP/batch.out" 2>"$BATCH_TMP/batch.err"; then
+      echo "batch: $prog --batch exited nonzero"
+      cat "$BATCH_TMP/batch.err"; BATCH_FAILED=1; continue
+    fi
+    # Sequential leg: the same file replayed line-by-line through the
+    # interactive loop (same grammar; 'loaded ...' banner stripped).
+    if ! "$QUERY_BIN" "$prog" <"$q" >"$BATCH_TMP/seq.raw" 2>/dev/null; then
+      echo "batch: interactive replay of $q failed"; BATCH_FAILED=1; continue
+    fi
+    grep -v '^loaded ' "$BATCH_TMP/seq.raw" >"$BATCH_TMP/seq.out"
+    if ! diff -u "$BATCH_TMP/seq.out" "$BATCH_TMP/batch.out"; then
+      echo "batch: $prog batch/interactive answers differ"; BATCH_FAILED=1
+    fi
+  done
+  if [ "$BATCH_COUNT" -eq 0 ]; then
+    echo "batch: no .queries files found"; FAILED=1
+  elif [ "$BATCH_FAILED" -ne 0 ]; then
+    FAILED=1
+  else
+    echo "batch: OK (batch == interactive on $BATCH_COUNT programs)"
+  fi
+  rm -rf "$BATCH_TMP"
+else
+  echo "batch: ddquery not built; skipping"
 fi
 
 echo "===== fault-injection + deadline soak (ASan) ====="

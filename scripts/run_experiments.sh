@@ -13,9 +13,11 @@
 #
 # --small runs the quick preset instead: skips the test suite and runs
 # only the oracle-call harness (the one whose rows carry full counter
-# snapshots, docs/OBSERVABILITY.md) under a 10 s watchdog. The resulting
-# results/BENCH_oracle_calls.json is small enough to commit as the
-# checked-in reference export.
+# snapshots, docs/OBSERVABILITY.md) and the batch amortization harness
+# (whose audit doubles as an end-to-end soundness check,
+# docs/BATCHING.md) under a 10 s watchdog. The resulting
+# results/BENCH_oracle_calls.json and results/BENCH_batch.json are small
+# enough to commit as the checked-in reference exports.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -34,10 +36,12 @@ cmake --build build
 
 if [ "$SMALL" -eq 1 ]; then
   mkdir -p results
-  rm -f results/BENCH_oracle_calls.json
+  rm -f results/BENCH_oracle_calls.json results/BENCH_batch.json
   echo "########## bench_oracle_calls (--small preset) ##########"
   (cd results && ../build/bench/bench_oracle_calls --timeout-ms=10000 "$@")
-  echo "wrote results/BENCH_oracle_calls.json"
+  echo "########## bench_batch (--small preset) ##########"
+  (cd results && ../build/bench/bench_batch --timeout-ms=10000 "$@")
+  echo "wrote results/BENCH_oracle_calls.json and results/BENCH_batch.json"
   exit 0
 fi
 

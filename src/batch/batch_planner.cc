@@ -1,0 +1,51 @@
+#include "batch/batch_planner.h"
+
+#include <map>
+#include <utility>
+
+namespace dd {
+namespace batch {
+
+std::vector<PlannedGroup> PlanGroups(
+    const analysis::Slicer* slicer, const analysis::ProgramProperties& props,
+    SemanticsKind kind, bool custom_partition,
+    const std::vector<CanonicalQuery>& queries,
+    const std::vector<int>& pending) {
+  std::vector<PlannedGroup> groups;
+  if (pending.empty()) return groups;
+
+  if (slicer == nullptr ||
+      !analysis::SliceIsSound(props, kind, custom_partition)) {
+    PlannedGroup g;
+    g.query_indices = pending;
+    g.whole_db = true;
+    groups.push_back(std::move(g));
+    return groups;
+  }
+
+  // Key each query by its module-union clause footprint; equal footprints
+  // share one engine. std::map keeps lookup deterministic, but emission
+  // order is first appearance over `pending`, tracked explicitly.
+  std::map<std::vector<int>, int> group_of;  // footprint -> groups index
+  for (int qi : pending) {
+    analysis::SliceResult slice = slicer->ModuleUnion(queries[qi].roots);
+    const bool whole = !slice.proper;
+    // All whole-database queries share one footprint regardless of which
+    // improper union produced them.
+    std::vector<int> footprint =
+        whole ? std::vector<int>{-1} : slice.clause_indices;
+    auto [it, inserted] =
+        group_of.emplace(std::move(footprint), static_cast<int>(groups.size()));
+    if (inserted) {
+      PlannedGroup g;
+      g.whole_db = whole;
+      if (!whole) g.slice = std::move(slice);
+      groups.push_back(std::move(g));
+    }
+    groups[it->second].query_indices.push_back(qi);
+  }
+  return groups;
+}
+
+}  // namespace batch
+}  // namespace dd

@@ -1,0 +1,51 @@
+// Grouping a batch's canonical queries into evaluation units.
+//
+// Queries touching the same relevance modules share one engine (and one
+// model bank): the planner keys each query on the module union of its
+// atoms (analysis/slicer.h) and merges queries with identical clause
+// footprints. Slicing soundness is the single-query gate reused verbatim —
+// SliceIsSound(props, kind, custom_partition) — so semantics where module
+// restriction could change answers (CWA, PDSM, custom CCWA/ECWA
+// partitions) collapse into one whole-database group.
+//
+// Determinism: groups are emitted in first-appearance order of their
+// footprint over the query list, and query_indices ascend within each
+// group; the plan is a pure function of (database, semantics, queries),
+// independent of thread count.
+#ifndef DD_BATCH_BATCH_PLANNER_H_
+#define DD_BATCH_BATCH_PLANNER_H_
+
+#include <vector>
+
+#include "analysis/dispatch.h"
+#include "analysis/program_properties.h"
+#include "analysis/slicer.h"
+#include "batch/query_batch.h"
+#include "semantics/semantics.h"
+
+namespace dd {
+namespace batch {
+
+/// One planned group: member queries (indices into the caller's canonical
+/// query vector) plus the database restriction they run on.
+struct PlannedGroup {
+  std::vector<int> query_indices;
+  analysis::SliceResult slice;  ///< meaningful when !whole_db
+  bool whole_db = false;        ///< evaluate on the full database
+};
+
+/// Partitions `pending` (indices into `queries`) into evaluation groups.
+/// With a null slicer or an unsound slice gate everything lands in one
+/// whole-database group; an improper module union (the query reaches the
+/// whole program) likewise maps to whole_db so the engine skips the
+/// sub-database copy.
+std::vector<PlannedGroup> PlanGroups(
+    const analysis::Slicer* slicer, const analysis::ProgramProperties& props,
+    SemanticsKind kind, bool custom_partition,
+    const std::vector<CanonicalQuery>& queries,
+    const std::vector<int>& pending);
+
+}  // namespace batch
+}  // namespace dd
+
+#endif  // DD_BATCH_BATCH_PLANNER_H_

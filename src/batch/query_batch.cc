@@ -1,0 +1,192 @@
+#include "batch/query_batch.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "logic/formula_transform.h"
+#include "semantics/ccwa.h"
+#include "semantics/ecwa_circ.h"
+
+namespace dd {
+namespace batch {
+
+void BatchStats::Add(const BatchStats& o) {
+  queries += o.queries;
+  unique_queries += o.unique_queries;
+  dedup_hits += o.dedup_hits;
+  conjunct_splits += o.conjunct_splits;
+  groups += o.groups;
+  bank_groups += o.bank_groups;
+  fallback_groups += o.fallback_groups;
+  bank_models += o.bank_models;
+  unknowns += o.unknowns;
+  cache_hits += o.cache_hits;
+  cache_misses += o.cache_misses;
+  cache_insertions += o.cache_insertions;
+  cache_evictions += o.cache_evictions;
+  cache_invalidations += o.cache_invalidations;
+}
+
+void Publish(const BatchStats& s, obs::MetricsRegistry* reg) {
+  reg->Add("dd.batch.queries", s.queries);
+  reg->Add("dd.batch.unique_queries", s.unique_queries);
+  reg->Add("dd.batch.dedup_hits", s.dedup_hits);
+  reg->Add("dd.batch.conjunct_splits", s.conjunct_splits);
+  reg->Add("dd.batch.groups", s.groups);
+  reg->Add("dd.batch.bank_groups", s.bank_groups);
+  reg->Add("dd.batch.fallback_groups", s.fallback_groups);
+  reg->Add("dd.batch.bank_models", s.bank_models);
+  reg->Add("dd.batch.unknowns", s.unknowns);
+  reg->Add("dd.cache.hits", s.cache_hits);
+  reg->Add("dd.cache.misses", s.cache_misses);
+  reg->Add("dd.cache.insertions", s.cache_insertions);
+  reg->Add("dd.cache.evictions", s.cache_evictions);
+  reg->Add("dd.cache.invalidations", s.cache_invalidations);
+}
+
+std::string CanonicalKey(const Formula& f, const Vocabulary& voc) {
+  switch (f->kind()) {
+    case FormulaKind::kConst:
+      return f->const_value() ? "1" : "0";
+    case FormulaKind::kAtom:
+      return "a(" + voc.Name(f->atom()) + ")";
+    case FormulaKind::kNot:
+      return "!(" + CanonicalKey(f->children()[0], voc) + ")";
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+    case FormulaKind::kIff: {
+      // Commutative connectives: child keys in sorted order, so "a & b"
+      // and "b & a" share one canonical query.
+      std::vector<std::string> keys;
+      keys.reserve(f->children().size());
+      for (const Formula& c : f->children()) {
+        keys.push_back(CanonicalKey(c, voc));
+      }
+      std::sort(keys.begin(), keys.end());
+      std::string out = f->kind() == FormulaKind::kAnd  ? "&("
+                        : f->kind() == FormulaKind::kOr ? "|("
+                                                        : "<->(";
+      for (size_t i = 0; i < keys.size(); ++i) {
+        out += keys[i];
+        if (i + 1 < keys.size()) out += ",";
+      }
+      return out + ")";
+    }
+    case FormulaKind::kImplies:
+      return "->(" + CanonicalKey(f->children()[0], voc) + "," +
+             CanonicalKey(f->children()[1], voc) + ")";
+  }
+  return "?";
+}
+
+namespace {
+
+/// The literal a simplified formula denotes, if it is one.
+std::optional<Lit> AsLiteral(const Formula& f) {
+  if (f->kind() == FormulaKind::kAtom) return Lit::Pos(f->atom());
+  if (f->kind() == FormulaKind::kNot &&
+      f->children()[0]->kind() == FormulaKind::kAtom) {
+    return Lit::Neg(f->children()[0]->atom());
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+CanonicalQuery Canonicalize(const Formula& f, const Vocabulary& voc) {
+  CanonicalQuery q;
+  q.f = Simplify(f);
+  q.key = CanonicalKey(q.f, voc);
+  Interpretation atoms(voc.size());
+  q.f->CollectAtoms(&atoms);
+  q.roots = atoms.TrueAtoms();
+  q.lit = AsLiteral(q.f);
+  return q;
+}
+
+std::vector<Formula> SplitConjuncts(const Formula& f) {
+  Formula s = Simplify(f);
+  if (s->kind() == FormulaKind::kAnd) {
+    return s->children();  // Simplify already flattened nested ∧
+  }
+  return {s};
+}
+
+bool BankIsSound(SemanticsKind kind) {
+  // Every 2-valued semantics is characterized by its intended-model set
+  // (core/brute_force.h); PDSM answers 3-valued over partial stable
+  // models, which the bank's total models cannot reproduce.
+  return kind != SemanticsKind::kPdsm;
+}
+
+GroupResult EvaluateGroup(const GroupRequest& req) {
+  GroupResult out;
+  out.answers.assign(req.queries.size(), Trilean::kUnknown);
+
+  std::unique_ptr<Semantics> engine;
+  if (req.partition != nullptr && req.kind == SemanticsKind::kCcwa) {
+    engine = std::make_unique<CcwaSemantics>(*req.db, *req.partition,
+                                             req.opts);
+  } else if (req.partition != nullptr && req.kind == SemanticsKind::kEcwa) {
+    engine = std::make_unique<EcwaSemantics>(*req.db, *req.partition,
+                                             req.opts);
+  } else {
+    engine = MakeSemantics(req.kind, *req.db, req.opts);
+  }
+  if (req.budget != nullptr) engine->SetBudget(req.budget);
+
+  // Shared model bank: enumerate the group's intended models once and
+  // answer every member query against them. Only trusted when the whole
+  // set fit strictly under the cap (a full bank may be truncated) — and
+  // only under semantics whose inference is exactly "true in all models".
+  bool bank_done = false;
+  if (BankIsSound(req.kind) && req.model_bank_cap > 0) {
+    const int64_t cap = req.opts.max_models > 0
+                            ? std::min(req.model_bank_cap, req.opts.max_models)
+                            : req.model_bank_cap;
+    Result<std::vector<Interpretation>> models = engine->Models(cap);
+    if (models.ok() && static_cast<int64_t>(models->size()) < cap) {
+      for (size_t i = 0; i < req.queries.size(); ++i) {
+        const Formula& f = req.queries[i]->f;
+        bool all = true;
+        for (const Interpretation& m : *models) {
+          if (!f->Eval(m)) {
+            all = false;
+            break;
+          }
+        }
+        // An empty bank answers yes vacuously — matching the engines'
+        // skeptical convention for model-free databases.
+        out.answers[i] = TrileanFromBool(all);
+      }
+      out.used_bank = true;
+      out.bank_models = static_cast<int64_t>(models->size());
+      bank_done = true;
+    }
+    // Budget exhaustion during banking latches the engine interrupt; the
+    // fallback below then fails fast per query with sound kUnknowns.
+  }
+
+  if (!bank_done) {
+    for (size_t i = 0; i < req.queries.size(); ++i) {
+      const CanonicalQuery* q = req.queries[i];
+      Result<bool> r = q->lit.has_value() ? engine->InfersLiteral(*q->lit)
+                                          : engine->InfersFormula(q->f);
+      if (r.ok()) {
+        out.answers[i] = TrileanFromBool(*r);
+      } else if (r.status().IsBudgetExhaustion()) {
+        out.answers[i] = Trilean::kUnknown;
+      } else {
+        if (out.error.ok()) out.error = r.status();
+        out.answers[i] = Trilean::kUnknown;
+      }
+    }
+  }
+
+  out.stats = engine->stats();
+  out.session_stats = engine->session_stats();
+  return out;
+}
+
+}  // namespace batch
+}  // namespace dd

@@ -1,0 +1,193 @@
+// Batched query evaluation: cross-query work sharing over one database.
+//
+// The paper prices every skeptical query at an NP/Σ₂ᵖ oracle call; the
+// practical lever for serving many queries against the same disjunctive
+// database is amortization. A batch is processed as a pipeline
+// (core/Reasoner::AnswerBatch orchestrates it):
+//
+//   1. canonicalize — every literal/formula query is simplified to a
+//      normal form with an order-independent canonical key; top-level
+//      conjunctions split into their conjuncts (skeptical inference
+//      distributes over ∧ under every implemented semantics, including
+//      PDSM's 3-valued reading), which lets batch members subsume each
+//      other's parts;
+//   2. dedupe — queries with equal canonical keys are answered once;
+//   3. cache — definite answers keyed on (database fingerprint, semantics,
+//      canonical key) are served from batch/answer_cache.h;
+//   4. group — survivors are grouped by relevance module
+//      (batch/batch_planner.h, reusing analysis/slicer under the same
+//      per-semantics soundness gates as single-query dispatch);
+//   5. evaluate — each group runs once on its own engine: a shared
+//      minimal-model bank answers every member query when the group's
+//      intended-model set fits under the bank cap, else the group falls
+//      back to per-query engine calls (still sharing the engine's session,
+//      memo and projection streams). Groups run in parallel under one
+//      shared Budget; exhaustion yields sound kUnknown answers, which are
+//      NEVER cached.
+//
+// Soundness gates (docs/BATCHING.md):
+//   * model bank: requires InfersFormula(f) == "f true in every Models()
+//     entry", which holds for every 2-valued semantics (core/brute_force.h
+//     pins the characterizations) but NOT for PDSM's 3-valued evaluation —
+//     BankIsSound gates it off there;
+//   * bank completeness: the bank is only trusted when Models() returned
+//     strictly fewer models than its cap (a full bank may be truncated);
+//   * grouping: module slicing applies only where SliceIsSound allows
+//     (off for CWA/PDSM and custom CCWA/ECWA partitions — those run as
+//     one whole-database group).
+#ifndef DD_BATCH_QUERY_BATCH_H_
+#define DD_BATCH_QUERY_BATCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "batch/answer_cache.h"
+#include "logic/database.h"
+#include "logic/formula.h"
+#include "logic/vocabulary.h"
+#include "minimal/pqz.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "semantics/semantics.h"
+#include "util/budget.h"
+#include "util/status.h"
+
+namespace dd {
+namespace batch {
+
+/// One query of a batch, by text. Literal queries ("a", "not a") take the
+/// cheaper InfersLiteral fallback path; formula queries parse the full
+/// formula language.
+struct BatchQuery {
+  std::string text;
+  bool is_literal = false;
+};
+
+/// Per-batch knobs. The budget fields mirror core/QueryOptions but cover
+/// the WHOLE batch: one shared Budget is installed across every group.
+struct BatchOptions {
+  /// Worker threads for parallel group evaluation; answers are identical
+  /// for every value (index-slot merging). <= 0 uses
+  /// ThreadPool::DefaultThreads().
+  int num_threads = 1;
+
+  /// Cap on models enumerated into a group's shared model bank; a group
+  /// whose intended-model set does not fit falls back to per-query
+  /// evaluation. <= 0 disables banks entirely.
+  int64_t model_bank_cap = 4096;
+
+  /// Use the reasoner-owned answer cache (created on first use with
+  /// `cache_capacity` entries). `cache` overrides with an external
+  /// instance, e.g. one shared across reasoners by a server.
+  bool use_answer_cache = true;
+  int64_t cache_capacity = 4096;
+  AnswerCache* cache = nullptr;  ///< not owned; may be null
+
+  /// Whole-batch budget (see util/budget.h); -1 / null = unlimited.
+  int64_t deadline_ms = -1;
+  int64_t conflict_budget = -1;
+  int64_t oracle_call_budget = -1;
+  std::shared_ptr<CancelToken> cancel;
+
+  /// Optional per-batch trace override (defaults to the reasoner trace).
+  obs::TraceContext* trace = nullptr;
+};
+
+/// Accounting for one batch (and, via Add, for a reasoner's lifetime).
+/// Published under dd.batch.* / dd.cache.* (docs/OBSERVABILITY.md).
+struct BatchStats {
+  int64_t queries = 0;          ///< input queries
+  int64_t unique_queries = 0;   ///< canonical queries after split + dedupe
+  int64_t dedup_hits = 0;       ///< duplicate canonical queries folded
+  int64_t conjunct_splits = 0;  ///< inputs split at a top-level conjunction
+  int64_t groups = 0;           ///< planned evaluation groups
+  int64_t bank_groups = 0;      ///< groups answered by a shared model bank
+  int64_t fallback_groups = 0;  ///< groups answered per query
+  int64_t bank_models = 0;      ///< models enumerated into banks
+  int64_t unknowns = 0;         ///< kUnknown answers returned (exhaustion)
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_insertions = 0;
+  int64_t cache_evictions = 0;
+  int64_t cache_invalidations = 0;
+
+  void Add(const BatchStats& o);
+};
+
+/// Folds the counters into `reg` under the canonical dd.batch.* /
+/// dd.cache.* names. Monotonic registry: publish once (or deltas).
+void Publish(const BatchStats& s, obs::MetricsRegistry* reg);
+
+/// Answers for one batch, in input order (answers[i] belongs to
+/// queries[i] regardless of dedup/grouping/thread count).
+struct BatchAnswer {
+  std::vector<Trilean> answers;
+  BatchStats stats;
+};
+
+/// A canonicalized query: the simplified formula, its order-independent
+/// key (atom names, sorted ∧/∨ children), its atom roots, and — when the
+/// normal form is a bare literal — that literal for the cheaper fallback.
+struct CanonicalQuery {
+  Formula f;
+  std::string key;
+  std::vector<Var> roots;
+  std::optional<Lit> lit;
+};
+
+/// The canonical key of `f` (assumed simplified): a serialization that is
+/// invariant under child order of ∧/∨/↔ and under vocabulary interning
+/// order (atoms render as names).
+std::string CanonicalKey(const Formula& f, const Vocabulary& voc);
+
+/// Simplifies and keys one query formula.
+CanonicalQuery Canonicalize(const Formula& f, const Vocabulary& voc);
+
+/// The top-level conjuncts of Simplify(f) (the formula itself when it is
+/// not a conjunction). Skeptical inference distributes over ∧: DB |~ G∧H
+/// iff DB |~ G and DB |~ H, because both sides quantify over the same
+/// intended-model set (for PDSM, min-valuation over partial stable models
+/// distributes the same way).
+std::vector<Formula> SplitConjuncts(const Formula& f);
+
+/// True when the shared model bank answers queries exactly like the
+/// engine: every 2-valued semantics infers f iff f holds in all Models().
+/// PDSM evaluates queries 3-valued over partial stable models, which
+/// Models() (their total projections) cannot reproduce.
+bool BankIsSound(SemanticsKind kind);
+
+/// One evaluation group: a database restriction plus the member queries.
+struct GroupRequest {
+  const Database* db = nullptr;  ///< whole db or a module sub-database
+  SemanticsKind kind = SemanticsKind::kGcwa;
+  SemanticsOptions opts;              ///< engine tuning (trace-free)
+  const Partition* partition = nullptr;  ///< custom CCWA/ECWA partition
+  std::vector<const CanonicalQuery*> queries;
+  std::shared_ptr<Budget> budget;  ///< shared whole-batch budget
+  int64_t model_bank_cap = 4096;
+};
+
+/// One group's outcome. `answers` parallels GroupRequest::queries;
+/// exhaustion shows up as kUnknown entries, hard failures (e.g. a
+/// semantics precondition) land in `error` with kUnknown placeholders.
+struct GroupResult {
+  std::vector<Trilean> answers;
+  Status error;  ///< first non-budget failure, OK otherwise
+  MinimalStats stats;
+  oracle::SessionStats session_stats;
+  bool used_bank = false;
+  int64_t bank_models = 0;
+};
+
+/// Evaluates one group on a fresh engine (bank first, per-query fallback).
+/// Self-contained and thread-safe across distinct groups: the only shared
+/// state is the thread-safe Budget.
+GroupResult EvaluateGroup(const GroupRequest& req);
+
+}  // namespace batch
+}  // namespace dd
+
+#endif  // DD_BATCH_QUERY_BATCH_H_

@@ -14,15 +14,23 @@ std::string SessionSuffix(const oracle::SessionStats& sess) {
       sess.projections_replayed == 0) {
     return " | session: off";
   }
-  return StrFormat(" | session: loads=%lld, solves=%lld, ctx=%lld/%lld, "
-                   "cache=%lld/%lld, replayed=%lld",
-                   static_cast<long long>(sess.base_loads),
-                   static_cast<long long>(sess.solves),
-                   static_cast<long long>(sess.contexts_opened),
-                   static_cast<long long>(sess.contexts_retired),
-                   static_cast<long long>(sess.cache_hits),
-                   static_cast<long long>(sess.cache_misses),
-                   static_cast<long long>(sess.projections_replayed));
+  std::string out =
+      StrFormat(" | session: loads=%lld, solves=%lld, ctx=%lld/%lld, "
+                "cache=%lld/%lld, replayed=%lld",
+                static_cast<long long>(sess.base_loads),
+                static_cast<long long>(sess.solves),
+                static_cast<long long>(sess.contexts_opened),
+                static_cast<long long>(sess.contexts_retired),
+                static_cast<long long>(sess.cache_hits),
+                static_cast<long long>(sess.cache_misses),
+                static_cast<long long>(sess.projections_replayed));
+  // Appended only when the bounded memos actually evicted, so renderings of
+  // cap-free runs stay byte-identical.
+  if (sess.cache_evictions != 0) {
+    out += StrFormat(", evicted=%lld",
+                     static_cast<long long>(sess.cache_evictions));
+  }
+  return out;
 }
 
 }  // namespace

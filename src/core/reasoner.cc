@@ -1,9 +1,14 @@
 #include "core/reasoner.h"
 
+#include <unordered_map>
+
+#include "batch/batch_planner.h"
 #include "obs/stats_view.h"
 #include "semantics/ccwa.h"
 #include "semantics/ecwa_circ.h"
+#include "util/fingerprint.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace dd {
 
@@ -30,6 +35,12 @@ class QuerySpan {
   /// Budget-consumption attribution: the budget is created fresh for one
   /// query, so its consumed() totals ARE this query's deltas.
   void AttachBudget(std::shared_ptr<Budget> b) { budget_ = std::move(b); }
+
+  /// Extra per-span counters (the batch entry point annotates its span
+  /// with pipeline totals: queries, groups, cache hits, ...).
+  void AddCounter(const char* name, int64_t v) {
+    if (t_ != nullptr) t_->AddCounter(id_, name, v);
+  }
 
   ~QuerySpan() {
     if (t_ == nullptr) return;
@@ -589,6 +600,229 @@ Result<std::optional<Interpretation>> Reasoner::FindCounterexample(
   return s->FindCounterexample(f);
 }
 
+uint64_t Reasoner::fingerprint() {
+  // Clauses are immutable for the reasoner's lifetime and query-interned
+  // atoms never appear in clauses, so the fingerprint is computed once and
+  // survives InvalidateCaches().
+  if (!fingerprint_.has_value()) {
+    fingerprint_ = DatabaseFingerprint(db_);
+  }
+  return *fingerprint_;
+}
+
+Result<batch::BatchAnswer> Reasoner::AnswerBatch(
+    SemanticsKind kind, const std::vector<batch::BatchQuery>& queries,
+    const batch::BatchOptions& bopts) {
+  // Parse everything up front (one vocabulary pass; fresh atoms invalidate
+  // engine caches exactly once, before any engine is built).
+  const int vars_before = db_.num_vars();
+  std::vector<Formula> parsed;
+  parsed.reserve(queries.size());
+  for (const batch::BatchQuery& q : queries) {
+    if (q.is_literal) {
+      DD_ASSIGN_OR_RETURN(Lit l, ParseLiteral(q.text, &db_.vocabulary()));
+      parsed.push_back(FormulaNode::MakeLit(l));
+    } else {
+      DD_ASSIGN_OR_RETURN(Formula f, ParseFormula(q.text, &db_.vocabulary()));
+      parsed.push_back(std::move(f));
+    }
+  }
+  if (db_.num_vars() != vars_before) InvalidateCaches();
+
+  QuerySpan span(bopts.trace != nullptr ? bopts.trace : trace_, this,
+                 "AnswerBatch", kind);
+  batch::BatchStats bs;
+  bs.queries = static_cast<int64_t>(queries.size());
+
+  // Canonicalize, conjunct-split and dedupe into the unique query list.
+  std::vector<batch::CanonicalQuery> uniq;
+  std::vector<std::vector<int>> conjuncts_of(queries.size());
+  std::unordered_map<std::string, int> index_of;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    std::vector<Formula> parts = batch::SplitConjuncts(parsed[i]);
+    if (parts.size() > 1) ++bs.conjunct_splits;
+    for (const Formula& part : parts) {
+      batch::CanonicalQuery cq =
+          batch::Canonicalize(part, db_.vocabulary());
+      auto [it, inserted] =
+          index_of.emplace(cq.key, static_cast<int>(uniq.size()));
+      if (inserted) {
+        uniq.push_back(std::move(cq));
+      } else {
+        ++bs.dedup_hits;
+      }
+      conjuncts_of[i].push_back(it->second);
+    }
+  }
+  bs.unique_queries = static_cast<int64_t>(uniq.size());
+
+  // The answer cache (external override > reasoner-owned > disabled),
+  // epoch-pinned to this database's fingerprint.
+  batch::AnswerCache* cache = bopts.cache;
+  if (cache == nullptr && bopts.use_answer_cache) {
+    if (answer_cache_ == nullptr) {
+      answer_cache_ = std::make_unique<batch::AnswerCache>(
+          bopts.cache_capacity);
+    }
+    cache = answer_cache_.get();
+  }
+  uint64_t fp = 0;
+  batch::AnswerCache::Stats cache_before;
+  if (cache != nullptr) {
+    fp = fingerprint();
+    cache_before = cache->stats();  // before SetEpoch: invalidations count
+    cache->SetEpoch(fp);
+  }
+
+  std::vector<Trilean> uniq_answers(uniq.size(), Trilean::kUnknown);
+  std::vector<char> answered(uniq.size(), 0);
+  std::vector<std::string> cache_keys(uniq.size());
+  std::vector<int> pending;
+  for (size_t u = 0; u < uniq.size(); ++u) {
+    // Constant-true needs no engine (⊤ holds in every model); constant
+    // FALSE does not short-circuit — it is vacuously inferred by a
+    // semantics-inconsistent database, which only the engine can decide.
+    if (uniq[u].f->kind() == FormulaKind::kConst && uniq[u].f->const_value()) {
+      uniq_answers[u] = Trilean::kYes;
+      answered[u] = 1;
+      continue;
+    }
+    if (cache != nullptr) {
+      cache_keys[u] = batch::AnswerCache::MakeKey(fp, kind, uniq[u].key);
+      if (std::optional<Trilean> hit = cache->Lookup(cache_keys[u])) {
+        uniq_answers[u] = *hit;
+        answered[u] = 1;
+        continue;
+      }
+    }
+    pending.push_back(static_cast<int>(u));
+  }
+
+  // Group survivors by relevance module and evaluate, groups in parallel
+  // under one whole-batch budget.
+  std::vector<batch::PlannedGroup> plan = batch::PlanGroups(
+      opts_.analysis_dispatch ? slicer() : nullptr, properties(), kind,
+      partition_.has_value(), uniq, pending);
+  bs.groups = static_cast<int64_t>(plan.size());
+
+  std::shared_ptr<Budget> budget;
+  if (bopts.deadline_ms >= 0 || bopts.conflict_budget >= 0 ||
+      bopts.oracle_call_budget >= 0 || bopts.cancel != nullptr) {
+    Budget::Limits lim;
+    lim.deadline_ms = bopts.deadline_ms;
+    lim.conflict_budget = bopts.conflict_budget;
+    lim.oracle_call_budget = bopts.oracle_call_budget;
+    budget = Budget::Make(lim, bopts.cancel);
+    span.AttachBudget(budget);
+  }
+
+  std::vector<Database> group_dbs;
+  group_dbs.reserve(plan.size());
+  std::vector<batch::GroupRequest> requests(plan.size());
+  for (size_t g = 0; g < plan.size(); ++g) {
+    batch::GroupRequest& req = requests[g];
+    if (plan[g].whole_db) {
+      req.db = &db_;
+    } else {
+      group_dbs.push_back(slicer()->MakeSubDatabase(plan[g].slice));
+      req.db = &group_dbs.back();
+    }
+    req.kind = kind;
+    req.opts = opts_;
+    // Group engines are single-threaded (the batch parallelizes across
+    // groups), untraced (their counters fold into the reasoner totals
+    // below), and certificate-free (per-group temporaries cannot feed the
+    // reasoner's sink safely from worker threads).
+    req.opts.num_threads = 1;
+    req.opts.hcf_certificates = nullptr;
+    // Sub-databases of an HCF database stay HCF; the engine re-verifies
+    // applicability itself (same composition as GetSliced).
+    if (!plan[g].whole_db) req.opts.hcf_minimality = true;
+    req.partition = partition_.has_value() ? &*partition_ : nullptr;
+    req.queries.reserve(plan[g].query_indices.size());
+    for (int u : plan[g].query_indices) req.queries.push_back(&uniq[u]);
+    req.budget = budget;
+    req.model_bank_cap = bopts.model_bank_cap;
+  }
+
+  const int threads = bopts.num_threads <= 0 ? ThreadPool::DefaultThreads()
+                                             : bopts.num_threads;
+  std::vector<batch::GroupResult> results(plan.size());
+  const CancelToken* cancel =
+      budget != nullptr ? budget->cancel_token().get() : nullptr;
+  ParallelFor(static_cast<int64_t>(plan.size()), threads, cancel,
+              [&](int64_t g) { results[g] = batch::EvaluateGroup(requests[g]); });
+
+  // Merge in plan order (deterministic in the thread count). Group-engine
+  // oracle work folds into the reasoner-owned accumulators BEFORE the
+  // batch span closes, preserving the span-sum == TotalStats contract.
+  Status first_error;
+  for (size_t g = 0; g < plan.size(); ++g) {
+    const batch::GroupResult& res = results[g];
+    batch_engine_stats_.Add(res.stats);
+    batch_engine_session_stats_.Add(res.session_stats);
+    if (!res.error.ok() && first_error.ok()) first_error = res.error;
+    const bool evaluated =
+        res.answers.size() == plan[g].query_indices.size();
+    if (evaluated && res.used_bank) {
+      ++bs.bank_groups;
+      bs.bank_models += res.bank_models;
+    } else if (evaluated) {
+      ++bs.fallback_groups;
+    }
+    for (size_t k = 0; k < plan[g].query_indices.size(); ++k) {
+      const int u = plan[g].query_indices[k];
+      // A group skipped by budget cancellation leaves its slots kUnknown.
+      uniq_answers[u] = evaluated ? res.answers[k] : Trilean::kUnknown;
+      answered[u] = 1;
+    }
+  }
+  if (!first_error.ok()) return first_error;
+
+  // Cache only answers computed this batch (hits are already stored);
+  // Insert itself refuses kUnknown.
+  if (cache != nullptr) {
+    for (int u : pending) cache->Insert(cache_keys[u], uniq_answers[u]);
+  }
+
+  // Compose per-input answers: Kleene conjunction over the conjuncts
+  // (skeptical inference distributes over ∧ — see SplitConjuncts).
+  batch::BatchAnswer out;
+  out.answers.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    Trilean acc = Trilean::kYes;
+    for (int u : conjuncts_of[i]) {
+      if (uniq_answers[u] == Trilean::kNo) {
+        acc = Trilean::kNo;
+        break;
+      }
+      if (uniq_answers[u] == Trilean::kUnknown) acc = Trilean::kUnknown;
+    }
+    if (acc == Trilean::kUnknown) ++bs.unknowns;
+    out.answers.push_back(acc);
+  }
+
+  if (cache != nullptr) {
+    const batch::AnswerCache::Stats& ca = cache->stats();
+    bs.cache_hits = ca.hits - cache_before.hits;
+    bs.cache_misses = ca.misses - cache_before.misses;
+    bs.cache_insertions = ca.insertions - cache_before.insertions;
+    bs.cache_evictions = ca.evictions - cache_before.evictions;
+    bs.cache_invalidations = ca.invalidations - cache_before.invalidations;
+  }
+
+  span.AddCounter("batch_queries", bs.queries);
+  span.AddCounter("batch_unique", bs.unique_queries);
+  span.AddCounter("batch_groups", bs.groups);
+  span.AddCounter("batch_bank_groups", bs.bank_groups);
+  span.AddCounter("batch_cache_hits", bs.cache_hits);
+  span.AddCounter("batch_unknowns", bs.unknowns);
+
+  batch_total_.Add(bs);
+  out.stats = bs;
+  return out;
+}
+
 MinimalStats Reasoner::TotalStats() const {
   MinimalStats out;
   for (const auto& [kind, engine] : engines_) {
@@ -600,6 +834,7 @@ MinimalStats Reasoner::TotalStats() const {
   for (const auto& [key, engine] : slice_engines_) {
     out.Add(engine->stats());
   }
+  out.Add(batch_engine_stats_);
   return out;
 }
 
@@ -614,6 +849,7 @@ oracle::SessionStats Reasoner::TotalSessionStats() const {
   for (const auto& [key, engine] : slice_engines_) {
     out.Add(engine->session_stats());
   }
+  out.Add(batch_engine_session_stats_);
   return out;
 }
 
@@ -621,6 +857,7 @@ void Reasoner::PublishMetrics(obs::MetricsRegistry* reg) const {
   obs::Publish(TotalStats(), reg);
   obs::Publish(dispatch_stats_, reg);
   obs::Publish(TotalSessionStats(), reg);
+  batch::Publish(batch_total_, reg);
 }
 
 }  // namespace dd

@@ -21,6 +21,7 @@
 #include "analysis/dispatch.h"
 #include "analysis/program_properties.h"
 #include "analysis/slicer.h"
+#include "batch/query_batch.h"
 #include "logic/database.h"
 #include "logic/parser.h"
 #include "minimal/pqz.h"
@@ -131,6 +132,32 @@ class Reasoner {
   Result<std::optional<Interpretation>> FindCounterexample(
       SemanticsKind kind, std::string_view formula,
       const QueryOptions& q = {});
+
+  /// Batched skeptical inference (docs/BATCHING.md): canonicalizes,
+  /// dedupes and conjunct-splits `queries`, serves repeats from the
+  /// fingerprinted answer cache, groups the rest by relevance module and
+  /// evaluates each group once — sharing a minimal-model bank per group —
+  /// with groups running in parallel under one whole-batch budget.
+  /// answers[i] always corresponds to queries[i]; budget exhaustion shows
+  /// up as kUnknown entries (never cached), parse errors and engine
+  /// preconditions as Status. Answers are identical to the sequential
+  /// entry points and independent of opts.num_threads.
+  Result<batch::BatchAnswer> AnswerBatch(SemanticsKind kind,
+                                         const std::vector<batch::BatchQuery>& queries,
+                                         const batch::BatchOptions& opts = {});
+
+  /// Stable 64-bit fingerprint of the database's clause multiset
+  /// (util/fingerprint.h): invariant under clause order and vocabulary
+  /// interning order, flipped by any clause change. Computed once —
+  /// clauses are immutable for a reasoner's lifetime, and vocabulary
+  /// growth from query parsing does not contribute.
+  uint64_t fingerprint();
+
+  /// The reasoner-owned answer cache (null until the first cached batch).
+  batch::AnswerCache* answer_cache() { return answer_cache_.get(); }
+
+  /// Cumulative batch accounting across every AnswerBatch call.
+  const batch::BatchStats& batch_stats() const { return batch_total_; }
 
   /// The lazily created engine for `kind` (never null).
   Semantics* Get(SemanticsKind kind);
@@ -244,6 +271,16 @@ class Reasoner {
   std::unique_ptr<analysis::FastPathEngine> fast_;
   std::unique_ptr<analysis::Slicer> slicer_;
   analysis::DispatchStats dispatch_stats_;
+
+  std::optional<uint64_t> fingerprint_;
+  std::unique_ptr<batch::AnswerCache> answer_cache_;
+  /// Oracle work done by batch group engines (they are per-group
+  /// temporaries, so their counters are folded in here before each batch's
+  /// QuerySpan closes — preserving the obs exactness contract) and the
+  /// batch pipeline's own counters.
+  MinimalStats batch_engine_stats_;
+  oracle::SessionStats batch_engine_session_stats_;
+  batch::BatchStats batch_total_;
 
   bool certify_ = false;
   analysis::CertificationStats cert_stats_;

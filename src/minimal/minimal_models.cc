@@ -71,7 +71,10 @@ std::vector<Lit> ProjectionAssumptions(const Interpretation& m,
 }  // namespace
 
 MinimalEngine::MinimalEngine(const Database& db, const MinimalOptions& opts)
-    : db_(db), opts_(opts) {}
+    : db_(db), opts_(opts) {
+  cache_.SetCapacity(opts_.oracle_cache_cap);
+  proj_store_.SetCapacity(opts_.projection_stream_cap);
+}
 
 oracle::SatSession* MinimalEngine::session() {
   if (!opts_.use_sessions) return nullptr;
@@ -103,6 +106,7 @@ oracle::SessionStats MinimalEngine::session_stats() const {
   if (session_) out = session_->stats();
   out.cache_hits += cache_.hits() + memo_hits_;
   out.cache_misses += cache_.misses();
+  out.cache_evictions += cache_.evictions() + proj_store_.evictions();
   return out;
 }
 
@@ -662,6 +666,31 @@ Interpretation MinimalEngine::FreeAtoms(const Partition& pqz) {
       // In a DDDB, minimized atoms can only be supported through heads.
       determined.Insert(v);
     }
+  }
+  // Fast path (opts_.free_atoms_enum_cap): free P-atoms are exactly the
+  // union of the minimal projections' P-parts, so when the (memoized)
+  // stream is small one complete enumeration classifies every atom at
+  // once — this is the fixed setup cost of GCWA/CCWA and of batch model
+  // banks over them. A capped enumeration still settles the atoms it saw
+  // before falling back to the per-atom witness loop.
+  if (opts_.free_atoms_enum_cap > 0 && !interrupted_) {
+    const int64_t cap = opts_.free_atoms_enum_cap;
+    Interpretation seen(n);
+    int got = EnumerateMinimalProjections(
+        pqz, cap, [&](const Interpretation& m) {
+          for (Var v : m.TrueAtoms()) {
+            if (pqz.p.Contains(v)) seen.Insert(v);
+          }
+          return true;
+        });
+    if (interrupted_) return free;  // partial; caller checks interrupted()
+    for (Var v : seen.TrueAtoms()) {
+      free.Insert(v);
+      determined.Insert(v);
+    }
+    // Fewer than cap projections means the enumeration was complete:
+    // every undetermined P-atom is in no minimal model, hence negated.
+    if (got < cap) return free;
   }
   for (Var v = 0; v < n; ++v) {
     if (determined.Contains(v)) continue;

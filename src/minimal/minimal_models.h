@@ -100,6 +100,26 @@ struct MinimalOptions {
   /// run with the sink detached.
   std::vector<analysis::Certificate>* hcf_certificates = nullptr;
 
+  /// Entry cap for the minimality-verdict/certificate memo
+  /// (oracle/minimality_cache.h); <= 0 means unbounded. FIFO eviction;
+  /// evictions only cost recomputation, never answers. The default is
+  /// generous — the cap exists so long-lived batch servers cannot leak.
+  int64_t oracle_cache_cap = 1 << 20;
+
+  /// Cap on live memoized projection streams (oracle/projection_store.h);
+  /// <= 0 means unbounded. LRU eviction; an evicted partition re-enumerates
+  /// deterministically from scratch on next use.
+  int64_t projection_stream_cap = 64;
+
+  /// Fast path for FreeAtoms(): a P-atom is free exactly when some minimal
+  /// projection contains it, so the engine first replays/extends the
+  /// (memoized) projection stream up to this many projections. A complete
+  /// enumeration settles every P-atom with no per-atom oracle loop; a
+  /// capped one still settles the atoms it saw and the per-atom witness
+  /// loop finishes the rest, keeping worst-case behavior. <= 0 disables
+  /// the fast path.
+  int64_t free_atoms_enum_cap = 64;
+
   /// Optional query trace (not owned; null = tracing off, zero overhead).
   /// When set, every outermost public engine operation opens one
   /// "minimal"-layer span carrying the counter deltas it caused

@@ -52,6 +52,10 @@ void Publish(const oracle::SessionStats& s, MetricsRegistry* reg) {
   reg->Add("dd.session.cache_misses", s.cache_misses);
   reg->Add("dd.session.projections_replayed", s.projections_replayed);
   reg->Add("dd.session.projections_discovered", s.projections_discovered);
+  // The eviction counter lives under dd.oracle.*: it accounts the oracle
+  // layer's bounded memos (minimality cache + projection store), not the
+  // session protocol itself.
+  reg->Add("dd.oracle.cache_evictions", s.cache_evictions);
 }
 
 void Publish(const QbfStats& q, MetricsRegistry* reg) {
@@ -103,6 +107,7 @@ oracle::SessionStats SessionStatsView(const MetricsSnapshot& snap) {
   s.cache_misses = snap.Value("dd.session.cache_misses");
   s.projections_replayed = snap.Value("dd.session.projections_replayed");
   s.projections_discovered = snap.Value("dd.session.projections_discovered");
+  s.cache_evictions = snap.Value("dd.oracle.cache_evictions");
   return s;
 }
 

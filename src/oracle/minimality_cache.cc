@@ -22,19 +22,35 @@ Interpretation MinimalityCache::MaskPQ(const Interpretation& m,
   return out;
 }
 
-MinimalityCache::Shard* MinimalityCache::GetShard(const Partition& pqz) {
-  for (Shard& s : shards_) {
-    if (SamePartition(s.pqz, pqz)) return &s;
+size_t MinimalityCache::ShardIndex(const Partition& pqz) {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (SamePartition(shards_[i].pqz, pqz)) return i;
   }
   shards_.push_back(Shard{pqz, {}, {}});
-  return &shards_.back();
+  return shards_.size() - 1;
+}
+
+void MinimalityCache::EvictToCapacity() {
+  while (cap_ > 0 && size_ > cap_ && !fifo_.empty()) {
+    const Entry& e = fifo_.front();
+    Shard& s = shards_[e.shard];
+    size_t erased =
+        e.is_verdict ? s.verdicts.erase(e.key) : s.minimized.erase(e.key);
+    fifo_.pop_front();
+    // Every ledger entry corresponds to a live map entry (maps only shrink
+    // here or in Clear, which empties the ledger too).
+    if (erased != 0) {
+      --size_;
+      ++evictions_;
+    }
+  }
 }
 
 std::optional<bool> MinimalityCache::LookupVerdict(
     const Partition& pqz, const Interpretation& masked) {
-  Shard* s = GetShard(pqz);
-  auto it = s->verdicts.find(masked);
-  if (it == s->verdicts.end()) {
+  Shard& s = shards_[ShardIndex(pqz)];
+  auto it = s.verdicts.find(masked);
+  if (it == s.verdicts.end()) {
     ++misses_;
     return std::nullopt;
   }
@@ -45,14 +61,21 @@ std::optional<bool> MinimalityCache::LookupVerdict(
 void MinimalityCache::StoreVerdict(const Partition& pqz,
                                    const Interpretation& masked,
                                    bool minimal) {
-  GetShard(pqz)->verdicts.insert_or_assign(masked, minimal);
+  size_t si = ShardIndex(pqz);
+  auto [it, inserted] = shards_[si].verdicts.insert_or_assign(masked, minimal);
+  (void)it;
+  if (inserted) {
+    ++size_;
+    fifo_.push_back(Entry{si, true, masked});
+    EvictToCapacity();
+  }
 }
 
 std::optional<Interpretation> MinimalityCache::LookupMinimized(
     const Partition& pqz, const Interpretation& masked) {
-  Shard* s = GetShard(pqz);
-  auto it = s->minimized.find(masked);
-  if (it == s->minimized.end()) {
+  Shard& s = shards_[ShardIndex(pqz)];
+  auto it = s.minimized.find(masked);
+  if (it == s.minimized.end()) {
     ++misses_;
     return std::nullopt;
   }
@@ -63,13 +86,24 @@ std::optional<Interpretation> MinimalityCache::LookupMinimized(
 void MinimalityCache::StoreMinimized(const Partition& pqz,
                                      const Interpretation& masked,
                                      const Interpretation& minimal_model) {
-  GetShard(pqz)->minimized.insert_or_assign(masked, minimal_model);
+  size_t si = ShardIndex(pqz);
+  auto [it, inserted] =
+      shards_[si].minimized.insert_or_assign(masked, minimal_model);
+  (void)it;
+  if (inserted) {
+    ++size_;
+    fifo_.push_back(Entry{si, false, masked});
+    EvictToCapacity();
+  }
 }
 
 void MinimalityCache::Clear() {
   shards_.clear();
+  fifo_.clear();
+  size_ = 0;
   hits_ = 0;
   misses_ = 0;
+  evictions_ = 0;
 }
 
 }  // namespace oracle

@@ -14,10 +14,18 @@
 //
 // Entries are grouped into per-partition shards compared by full bitset
 // equality — never by hash — so distinct partitions can never alias.
+//
+// Capacity: SetCapacity bounds the total entry count across all shards
+// (long-lived batch servers answer unbounded query streams against one
+// database; an unbounded memo is a slow leak). Eviction is FIFO in
+// insertion order — dropping an entry only costs a recomputation, never an
+// answer — and is counted in evictions() (surfaced as
+// dd.oracle.cache_evictions, see docs/ORACLE.md).
 #ifndef DD_ORACLE_MINIMALITY_CACHE_H_
 #define DD_ORACLE_MINIMALITY_CACHE_H_
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -47,8 +55,15 @@ class MinimalityCache {
   void StoreMinimized(const Partition& pqz, const Interpretation& masked,
                       const Interpretation& minimal_model);
 
+  /// Bounds the total entry count across all shards; <= 0 means unbounded.
+  /// Shrinking below the current size evicts (FIFO) on the next store.
+  void SetCapacity(int64_t cap) { cap_ = cap; }
+  int64_t capacity() const { return cap_; }
+  int64_t size() const { return size_; }
+
   int64_t hits() const { return hits_; }
   int64_t misses() const { return misses_; }
+  int64_t evictions() const { return evictions_; }
 
   void Clear();
 
@@ -59,13 +74,27 @@ class MinimalityCache {
     std::unordered_map<Interpretation, Interpretation> minimized;
   };
 
+  /// FIFO ledger entry: which shard, which map, which key.
+  struct Entry {
+    size_t shard;
+    bool is_verdict;
+    Interpretation key;
+  };
+
   /// Finds (or creates) the shard for `pqz` by full bitset equality; the
   /// number of distinct partitions per engine is tiny (typically 1).
-  Shard* GetShard(const Partition& pqz);
+  size_t ShardIndex(const Partition& pqz);
+
+  /// Drops oldest entries until size_ <= cap_ (no-op when unbounded).
+  void EvictToCapacity();
 
   std::vector<Shard> shards_;
+  std::deque<Entry> fifo_;  ///< insertion order over both maps
+  int64_t cap_ = 0;
+  int64_t size_ = 0;
   int64_t hits_ = 0;
   int64_t misses_ = 0;
+  int64_t evictions_ = 0;
 };
 
 }  // namespace oracle

@@ -14,9 +14,19 @@
 // the k-th projection is a function of the database, the partition, and
 // the k-1 blocks already asserted — independent of which oracle call
 // happened to discover it.
+//
+// Capacity: SetCapacity bounds the number of live streams (each one pins
+// its projections plus a kept session context for the life of the store —
+// unbounded growth is a leak under long-lived batch servers that sweep
+// many partitions). Eviction is LRU by GetStream access. Dropping a stream
+// is sound: its kept context stays inert in the session (guarded clauses
+// constrain nothing without their activation assumption), and a later
+// GetStream simply re-enumerates from scratch — deterministically the same
+// stream. Evictions are counted (dd.oracle.cache_evictions).
 #ifndef DD_ORACLE_PROJECTION_STORE_H_
 #define DD_ORACLE_PROJECTION_STORE_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -38,19 +48,31 @@ struct ProjectionStream {
   /// Persistent context guarding the region-blocking clauses; kept alive
   /// for the life of the stream so resumption is incremental.
   std::unique_ptr<SatSession::Context> ctx;
+  /// Last GetStream access (LRU eviction order).
+  int64_t last_used = 0;
 };
 
 /// Per-engine registry of streams, one per partition (full bitset
 /// equality, never hashed).
 class ProjectionStore {
  public:
-  /// Finds or creates the stream for `pqz`.
+  /// Finds or creates the stream for `pqz`. The returned pointer is valid
+  /// until the next GetStream call (which may evict) or Clear.
   ProjectionStream* GetStream(const Partition& pqz);
+
+  /// Bounds the number of live streams; <= 0 means unbounded.
+  void SetCapacity(int64_t cap) { cap_ = cap; }
+  int64_t capacity() const { return cap_; }
+  int64_t size() const { return static_cast<int64_t>(streams_.size()); }
+  int64_t evictions() const { return evictions_; }
 
   void Clear() { streams_.clear(); }
 
  private:
   std::vector<std::unique_ptr<ProjectionStream>> streams_;
+  int64_t cap_ = 0;
+  int64_t tick_ = 0;
+  int64_t evictions_ = 0;
 };
 
 }  // namespace oracle

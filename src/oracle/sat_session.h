@@ -51,6 +51,7 @@ struct SessionStats {
   int64_t cache_misses = 0;       ///< oracle answers actually computed
   int64_t projections_replayed = 0;    ///< minimal projections from memo
   int64_t projections_discovered = 0;  ///< minimal projections computed
+  int64_t cache_evictions = 0;  ///< memo entries / streams dropped at cap
 
   void Add(const SessionStats& o) {
     base_loads += o.base_loads;
@@ -62,6 +63,7 @@ struct SessionStats {
     cache_misses += o.cache_misses;
     projections_replayed += o.projections_replayed;
     projections_discovered += o.projections_discovered;
+    cache_evictions += o.cache_evictions;
   }
 };
 

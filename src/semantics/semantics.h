@@ -75,6 +75,13 @@ struct SemanticsOptions {
   /// owned, may be null. Set by the Reasoner in --certify mode only.
   std::vector<analysis::Certificate>* hcf_certificates = nullptr;
 
+  /// Entry cap for each engine's minimality memo and cap on its live
+  /// memoized projection streams (see MinimalOptions; <= 0 = unbounded).
+  /// Evictions cost recomputation only and are counted in
+  /// SessionStats::cache_evictions (dd.oracle.cache_evictions).
+  int64_t oracle_cache_cap = 1 << 20;
+  int64_t projection_stream_cap = 64;
+
   /// The engine-level tuning derived from these options.
   MinimalOptions minimal_options() const {
     MinimalOptions mo;
@@ -82,6 +89,8 @@ struct SemanticsOptions {
     mo.budget = budget;
     mo.hcf_minimality = hcf_minimality;
     mo.hcf_certificates = hcf_certificates;
+    mo.oracle_cache_cap = oracle_cache_cap;
+    mo.projection_stream_cap = projection_stream_cap;
     return mo;
   }
 };

@@ -1,0 +1,429 @@
+// Batched query evaluation (docs/BATCHING.md).
+//
+// The contracts under test:
+//   * batch == sequential: AnswerBatch returns exactly the answers the
+//     one-query-at-a-time entry points return, on every semantics;
+//   * thread invariance: the answer vector is identical for 1 and 4
+//     worker threads;
+//   * cache discipline: repeat batches are served from the answer cache
+//     with identical answers, the cache invalidates on any fingerprint
+//     change, and kUnknown is NEVER stored — not under budgets, not under
+//     injected oracle faults;
+//   * bounded oracle memos: capping MinimalityCache / ProjectionStore
+//     evicts (visible in SessionStats::cache_evictions) without changing
+//     any answer.
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "batch/answer_cache.h"
+#include "batch/query_batch.h"
+#include "core/reasoner.h"
+#include "gen/generators.h"
+#include "gtest/gtest.h"
+#include "sat/fault.h"
+#include "tests/test_util.h"
+#include "util/fingerprint.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace dd {
+namespace {
+
+using testing::Db;
+
+const SemanticsKind kAllKinds[] = {
+    SemanticsKind::kCwa,  SemanticsKind::kGcwa, SemanticsKind::kEgcwa,
+    SemanticsKind::kCcwa, SemanticsKind::kEcwa, SemanticsKind::kDdr,
+    SemanticsKind::kPws,  SemanticsKind::kPerf, SemanticsKind::kIcwa,
+    SemanticsKind::kDsm,  SemanticsKind::kPdsm,
+};
+
+/// Literal queries over every atom (both polarities) plus a few formulas —
+/// the standard workload the equivalence tests run.
+std::vector<batch::BatchQuery> MixedWorkload(int num_vars) {
+  std::vector<batch::BatchQuery> qs;
+  for (int i = 0; i < num_vars; ++i) {
+    qs.push_back({StrFormat("p%d", i), true});
+    qs.push_back({StrFormat("not p%d", i), true});
+  }
+  qs.push_back({"p0 | p1", false});
+  qs.push_back({"p0 & p2", false});
+  qs.push_back({"~p0 -> p1", false});
+  qs.push_back({"(p0 | p1) & (p2 | p3)", false});
+  qs.push_back({"p1 & p0", false});  // commutation dup of an earlier conjunct
+  return qs;
+}
+
+/// The sequential reference: the unbudgeted single-query entry points.
+std::vector<Trilean> SequentialReference(
+    Reasoner* r, SemanticsKind kind,
+    const std::vector<batch::BatchQuery>& qs) {
+  std::vector<Trilean> out;
+  for (const batch::BatchQuery& q : qs) {
+    Result<bool> ans = q.is_literal ? r->InfersLiteral(kind, q.text)
+                                    : r->InfersFormula(kind, q.text);
+    EXPECT_TRUE(ans.ok()) << SemanticsKindName(kind) << " '" << q.text
+                          << "': " << ans.status().ToString();
+    out.push_back(ans.ok() ? TrileanFromBool(*ans) : Trilean::kUnknown);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprint
+
+TEST(Fingerprint, InvariantUnderClauseAndInterningOrder) {
+  Database a = Db("a | b. c :- a. d :- b, not c.");
+  // Same clauses, different file order AND different interning order.
+  Database b = Db("d :- b, not c. c :- a. a | b.");
+  EXPECT_EQ(DatabaseFingerprint(a), DatabaseFingerprint(b));
+}
+
+TEST(Fingerprint, SensitiveToAnyClauseChange) {
+  const uint64_t base = DatabaseFingerprint(Db("a | b. c :- a."));
+  EXPECT_NE(base, DatabaseFingerprint(Db("a | b. c :- b.")));
+  EXPECT_NE(base, DatabaseFingerprint(Db("a | b.")));
+  EXPECT_NE(base, DatabaseFingerprint(Db("a | b. c :- a. c :- a.")));
+  EXPECT_NE(base, DatabaseFingerprint(Db("a | b. c :- not a.")));
+}
+
+TEST(Fingerprint, QueryInterningDoesNotChangeIt) {
+  Database db = Db("a | b. c :- a.");
+  Reasoner r(db);
+  const uint64_t before = r.fingerprint();
+  // Parsing a query with a fresh atom grows the vocabulary but not the
+  // clause set; the fingerprint (and thus the cache epoch) must hold.
+  EXPECT_TRUE(r.InfersFormula(SemanticsKind::kGcwa, "a | fresh_atom").ok());
+  EXPECT_EQ(r.fingerprint(), before);
+  EXPECT_EQ(before, DatabaseFingerprint(db));
+}
+
+// ---------------------------------------------------------------------------
+// AnswerCache unit tests
+
+TEST(AnswerCache, LruEvictionAtCapacity) {
+  batch::AnswerCache cache(2);
+  cache.SetEpoch(1);
+  cache.Insert("k1", Trilean::kYes);
+  cache.Insert("k2", Trilean::kNo);
+  // Touch k1 so k2 is the LRU victim when k3 arrives.
+  EXPECT_EQ(cache.Lookup("k1"), Trilean::kYes);
+  cache.Insert("k3", Trilean::kYes);
+  EXPECT_EQ(cache.size(), 2);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_TRUE(cache.Lookup("k1").has_value());
+  EXPECT_FALSE(cache.Lookup("k2").has_value());
+  EXPECT_TRUE(cache.Lookup("k3").has_value());
+}
+
+TEST(AnswerCache, RefusesUnknown) {
+  batch::AnswerCache cache(8);
+  cache.SetEpoch(1);
+  cache.Insert("k", Trilean::kUnknown);
+  EXPECT_EQ(cache.size(), 0);
+  EXPECT_EQ(cache.stats().unknown_rejected, 1);
+  EXPECT_FALSE(cache.Lookup("k").has_value());
+}
+
+TEST(AnswerCache, EpochChangeInvalidates) {
+  batch::AnswerCache cache(8);
+  cache.SetEpoch(1);
+  cache.Insert("k", Trilean::kYes);
+  cache.SetEpoch(1);  // same epoch: no-op
+  EXPECT_EQ(cache.size(), 1);
+  EXPECT_EQ(cache.stats().invalidations, 0);
+  cache.SetEpoch(2);  // fingerprint changed: drop everything
+  EXPECT_EQ(cache.size(), 0);
+  EXPECT_EQ(cache.stats().invalidations, 1);
+  EXPECT_FALSE(cache.Lookup("k").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Canonicalization
+
+TEST(Canonicalize, CommutativeConnectivesShareKeys) {
+  Database db = Db("a | b. c :- a.");
+  Vocabulary& voc = db.vocabulary();
+  auto key = [&](const char* text) {
+    Result<Formula> f = ParseFormula(text, &voc);
+    EXPECT_TRUE(f.ok());
+    return batch::Canonicalize(*f, voc).key;
+  };
+  EXPECT_EQ(key("a & b"), key("b & a"));
+  EXPECT_EQ(key("a | b"), key("b | a"));
+  EXPECT_EQ(key("a | (b | c)"), key("c | b | a"));
+  EXPECT_NE(key("a -> b"), key("b -> a"));  // implication is ordered
+  EXPECT_NE(key("a & b"), key("a | b"));
+}
+
+TEST(Canonicalize, DetectsBareLiterals) {
+  Database db = Db("a | b.");
+  Vocabulary& voc = db.vocabulary();
+  Result<Formula> pos = ParseFormula("a", &voc);
+  Result<Formula> neg = ParseFormula("~b", &voc);
+  Result<Formula> compound = ParseFormula("a | b", &voc);
+  ASSERT_TRUE(pos.ok() && neg.ok() && compound.ok());
+  EXPECT_TRUE(batch::Canonicalize(*pos, voc).lit.has_value());
+  EXPECT_TRUE(batch::Canonicalize(*neg, voc).lit.has_value());
+  EXPECT_FALSE(batch::Canonicalize(*compound, voc).lit.has_value());
+}
+
+TEST(Canonicalize, BankSoundnessGate) {
+  for (SemanticsKind kind : kAllKinds) {
+    EXPECT_EQ(batch::BankIsSound(kind), kind != SemanticsKind::kPdsm)
+        << SemanticsKindName(kind);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batch == sequential
+
+TEST(Batch, EqualsSequentialOnEverySemantics) {
+  // Positive deductive databases keep every semantics applicable.
+  for (uint64_t seed : {1u, 7u}) {
+    Database db = RandomPositiveDdb(8, 14, seed);
+    std::vector<batch::BatchQuery> qs = MixedWorkload(8);
+    for (SemanticsKind kind : kAllKinds) {
+      Reasoner seq(db);
+      std::vector<Trilean> want = SequentialReference(&seq, kind, qs);
+      Reasoner r(db);
+      Result<batch::BatchAnswer> got = r.AnswerBatch(kind, qs);
+      ASSERT_TRUE(got.ok()) << SemanticsKindName(kind) << ": "
+                            << got.status().ToString();
+      ASSERT_EQ(got->answers.size(), qs.size());
+      for (size_t i = 0; i < qs.size(); ++i) {
+        EXPECT_EQ(got->answers[i], want[i])
+            << SemanticsKindName(kind) << " seed " << seed << " '"
+            << qs[i].text << "'";
+      }
+      EXPECT_EQ(got->stats.unknowns, 0) << SemanticsKindName(kind);
+      EXPECT_GT(got->stats.dedup_hits, 0);       // "p1 & p0" dups conjuncts
+      EXPECT_GT(got->stats.conjunct_splits, 0);  // "p0 & p2" splits
+    }
+  }
+}
+
+TEST(Batch, ThreadCountInvariance) {
+  Database db = HcfModularDdb(3, 5, 4, 11);
+  std::vector<batch::BatchQuery> qs;
+  for (int m = 0; m < 3; ++m) {
+    for (int p = 0; p < 5; ++p) {
+      qs.push_back({StrFormat("m%d_p%d", m, p), true});
+      qs.push_back({StrFormat("not m%d_p%d", m, p), true});
+    }
+  }
+  qs.push_back({"m0_p0 | m1_p0", false});  // spans two modules
+  qs.push_back({"m2_p1 -> m2_p3", false});
+  for (SemanticsKind kind :
+       {SemanticsKind::kGcwa, SemanticsKind::kEgcwa, SemanticsKind::kDdr,
+        SemanticsKind::kPws, SemanticsKind::kDsm}) {
+    batch::BatchOptions one;
+    one.num_threads = 1;
+    batch::BatchOptions four;
+    four.num_threads = 4;
+    Reasoner r1(db);
+    Reasoner r4(db);
+    Result<batch::BatchAnswer> a1 = r1.AnswerBatch(kind, qs, one);
+    Result<batch::BatchAnswer> a4 = r4.AnswerBatch(kind, qs, four);
+    ASSERT_TRUE(a1.ok() && a4.ok()) << SemanticsKindName(kind);
+    EXPECT_EQ(a1->answers, a4->answers) << SemanticsKindName(kind);
+    // Multi-module databases really do split into several groups.
+    EXPECT_GT(a1->stats.groups, 1) << SemanticsKindName(kind);
+    EXPECT_EQ(a1->stats.groups, a4->stats.groups);
+  }
+}
+
+TEST(Batch, SplitConjunctionMatchesLiteralAnswers) {
+  Database db = RandomPositiveDdb(6, 10, 3);
+  Reasoner r(db);
+  std::vector<batch::BatchQuery> qs = {
+      {"p0", true}, {"p0 & p1", false}, {"p1", true}};
+  Result<batch::BatchAnswer> got = r.AnswerBatch(SemanticsKind::kGcwa, qs);
+  ASSERT_TRUE(got.ok());
+  // The conjunction's answer is the Kleene AND of its conjuncts' answers,
+  // and its parts are shared with the literal queries.
+  const bool both = got->answers[0] == Trilean::kYes &&
+                    got->answers[2] == Trilean::kYes;
+  EXPECT_EQ(got->answers[1], TrileanFromBool(both));
+  EXPECT_EQ(got->stats.unique_queries, 2);
+  EXPECT_EQ(got->stats.dedup_hits, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Answer cache behaviour through the Reasoner
+
+TEST(BatchCache, RepeatBatchIsAllHitsWithIdenticalAnswers) {
+  Database db = RandomPositiveDdb(8, 14, 5);
+  std::vector<batch::BatchQuery> qs = MixedWorkload(8);
+  Reasoner r(db);
+  Result<batch::BatchAnswer> first = r.AnswerBatch(SemanticsKind::kEgcwa, qs);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->stats.cache_hits, 0);
+  EXPECT_GT(first->stats.cache_insertions, 0);
+  Result<batch::BatchAnswer> second = r.AnswerBatch(SemanticsKind::kEgcwa, qs);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->answers, first->answers);
+  EXPECT_EQ(second->stats.cache_hits, second->stats.unique_queries);
+  EXPECT_EQ(second->stats.cache_misses, 0);
+  EXPECT_EQ(second->stats.groups, 0);  // nothing left to evaluate
+}
+
+TEST(BatchCache, SharedCacheHitsAcrossReasonersWithEqualFingerprint) {
+  // Same clause multiset, different order: fingerprints agree, so a cache
+  // shared by two reasoners serves the second from the first's work.
+  Database a = Db("a | b. c :- a. d :- b.");
+  Database b = Db("d :- b. a | b. c :- a.");
+  batch::AnswerCache shared(64);
+  batch::BatchOptions opts;
+  opts.cache = &shared;
+  std::vector<batch::BatchQuery> qs = {
+      {"a", true}, {"not c", true}, {"a | b", false}};
+  Reasoner ra(a);
+  Result<batch::BatchAnswer> first = ra.AnswerBatch(SemanticsKind::kGcwa, qs,
+                                                    opts);
+  ASSERT_TRUE(first.ok());
+  Reasoner rb(b);
+  Result<batch::BatchAnswer> second = rb.AnswerBatch(SemanticsKind::kGcwa, qs,
+                                                     opts);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->answers, first->answers);
+  EXPECT_EQ(second->stats.cache_hits, second->stats.unique_queries);
+  EXPECT_EQ(shared.stats().invalidations, 0);
+}
+
+TEST(BatchCache, FingerprintChangeInvalidatesSharedCache) {
+  batch::AnswerCache shared(64);
+  batch::BatchOptions opts;
+  opts.cache = &shared;
+  std::vector<batch::BatchQuery> qs = {{"a", true}, {"not c", true}};
+  Reasoner ra(Db("a | b. c :- a."));
+  ASSERT_TRUE(ra.AnswerBatch(SemanticsKind::kGcwa, qs, opts).ok());
+  EXPECT_GT(shared.size(), 0);
+  // A different database (one clause added) flips the fingerprint: the
+  // shared cache drops every entry rather than serve stale answers.
+  Reasoner rb(Db("a | b. c :- a. e."));
+  Result<batch::BatchAnswer> second = rb.AnswerBatch(SemanticsKind::kGcwa, qs,
+                                                     opts);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->stats.cache_invalidations, 1);
+  EXPECT_EQ(second->stats.cache_hits, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Budgets and fault injection: kUnknown is sound and never cached
+
+TEST(BatchBudget, ZeroOracleBudgetYieldsUnknownsAndCachesNone) {
+  Database db = RandomPositiveDdb(10, 18, 9);
+  std::vector<batch::BatchQuery> qs = MixedWorkload(10);
+  Reasoner ref(db);
+  std::vector<Trilean> want =
+      SequentialReference(&ref, SemanticsKind::kGcwa, qs);
+  Reasoner r(db);
+  batch::BatchOptions opts;
+  opts.oracle_call_budget = 0;  // exhausted before the first oracle call
+  Result<batch::BatchAnswer> got = r.AnswerBatch(SemanticsKind::kGcwa, qs,
+                                                 opts);
+  ASSERT_TRUE(got.ok());
+  int64_t unknowns = 0;
+  for (size_t i = 0; i < qs.size(); ++i) {
+    if (got->answers[i] == Trilean::kUnknown) {
+      ++unknowns;
+    } else {
+      // Anytime contract: definite answers under budget match the
+      // unbudgeted reference exactly.
+      EXPECT_EQ(got->answers[i], want[i]) << qs[i].text;
+    }
+  }
+  EXPECT_GT(unknowns, 0);
+  ASSERT_NE(r.answer_cache(), nullptr);
+  r.answer_cache()->ForEach([](const std::string& key, Trilean t) {
+    EXPECT_NE(t, Trilean::kUnknown) << key;
+  });
+  // A follow-up unbudgeted batch on the same reasoner recovers the full
+  // reference: the exhausted batch neither poisoned the cache nor wedged
+  // the engines.
+  Result<batch::BatchAnswer> clean = r.AnswerBatch(SemanticsKind::kGcwa, qs);
+  ASSERT_TRUE(clean.ok());
+  for (size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_EQ(clean->answers[i], want[i]) << qs[i].text;
+  }
+}
+
+TEST(BatchBudget, FaultInjectionSweepNeverCachesUnknown) {
+  Database db = RandomPositiveDdb(8, 14, 13);
+  std::vector<batch::BatchQuery> qs = MixedWorkload(8);
+  sat::ScopedFaultPlan clean_ref(sat::FaultPlan{});
+  Reasoner ref(db);
+  std::vector<Trilean> want =
+      SequentialReference(&ref, SemanticsKind::kEgcwa, qs);
+  for (int64_t k = 1; k <= 8; ++k) {
+    sat::FaultPlan plan;
+    plan.unknown_at = k;
+    Reasoner r(db);
+    std::optional<Result<batch::BatchAnswer>> faulted;
+    {
+      sat::ScopedFaultPlan scoped(plan);
+      faulted = r.AnswerBatch(SemanticsKind::kEgcwa, qs);
+    }
+    Result<batch::BatchAnswer>& got = *faulted;
+    ASSERT_TRUE(got.ok()) << "k=" << k << ": " << got.status().ToString();
+    for (size_t i = 0; i < qs.size(); ++i) {
+      if (got->answers[i] != Trilean::kUnknown) {
+        EXPECT_EQ(got->answers[i], want[i]) << "k=" << k << " " << qs[i].text;
+      }
+    }
+    if (r.answer_cache() != nullptr) {
+      r.answer_cache()->ForEach([&](const std::string& key, Trilean t) {
+        EXPECT_NE(t, Trilean::kUnknown) << "k=" << k << " " << key;
+      });
+    }
+    // With the fault gone, the same reasoner answers the full reference.
+    Result<batch::BatchAnswer> after = r.AnswerBatch(SemanticsKind::kEgcwa,
+                                                     qs);
+    ASSERT_TRUE(after.ok());
+    for (size_t i = 0; i < qs.size(); ++i) {
+      EXPECT_EQ(after->answers[i], want[i]) << "k=" << k << " " << qs[i].text;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded oracle memos (MinimalityCache / ProjectionStore caps)
+
+TEST(OracleCacheBound, TinyCapsEvictWithoutChangingAnswers) {
+  Database db = RandomPositiveDdb(10, 18, 17);
+  std::vector<batch::BatchQuery> qs = MixedWorkload(10);
+  Reasoner ref(db);
+  std::vector<Trilean> want =
+      SequentialReference(&ref, SemanticsKind::kGcwa, qs);
+  SemanticsOptions tiny;
+  tiny.oracle_cache_cap = 2;
+  tiny.projection_stream_cap = 1;
+  Reasoner r(db, tiny);
+  Result<batch::BatchAnswer> got = r.AnswerBatch(SemanticsKind::kGcwa, qs);
+  ASSERT_TRUE(got.ok());
+  for (size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_EQ(got->answers[i], want[i]) << qs[i].text;
+  }
+  // The sequential path evicts too (caps flow through MinimalOptions).
+  for (const batch::BatchQuery& q : qs) {
+    if (q.is_literal) {
+      EXPECT_TRUE(r.InfersLiteral(SemanticsKind::kEgcwa, q.text).ok());
+    }
+  }
+  EXPECT_GT(r.TotalSessionStats().cache_evictions, 0);
+}
+
+TEST(OracleCacheBound, DefaultCapsDoNotEvictOnSmallPrograms) {
+  Database db = RandomPositiveDdb(8, 14, 19);
+  Reasoner r(db);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(
+        r.InfersLiteral(SemanticsKind::kGcwa, StrFormat("not p%d", i)).ok());
+  }
+  EXPECT_EQ(r.TotalSessionStats().cache_evictions, 0);
+}
+
+}  // namespace
+}  // namespace dd

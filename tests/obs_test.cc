@@ -220,6 +220,7 @@ TEST(StatsView, SessionRoundTrip) {
   s.cache_misses = 7;
   s.projections_replayed = 8;
   s.projections_discovered = 9;
+  s.cache_evictions = 10;
   oracle::SessionStats v =
       obs::SessionStatsView(obs::SnapshotOf(MinimalStats{}, nullptr, &s));
   EXPECT_EQ(v.base_loads, s.base_loads);
@@ -231,6 +232,7 @@ TEST(StatsView, SessionRoundTrip) {
   EXPECT_EQ(v.cache_misses, s.cache_misses);
   EXPECT_EQ(v.projections_replayed, s.projections_replayed);
   EXPECT_EQ(v.projections_discovered, s.projections_discovered);
+  EXPECT_EQ(v.cache_evictions, s.cache_evictions);
 }
 
 TEST(StatsView, QbfPublishAndView) {
