@@ -1,0 +1,242 @@
+// Serving-layer A/B (docs/SERVING.md): the same literal workload against
+// one database runs three times through serve::QueryServer:
+//
+//   cold    fresh server, empty answer cache — every request pays the
+//           full rung-0 evaluation;
+//   warm    a new server warm-started from the snapshot the cold server
+//           saved (serve/snapshot.h) — requests should be answer-cache
+//           hits that skip the retry ladder entirely;
+//   ladder  fresh server with an injected oracle fault on each request's
+//           first solve (sat/fault.h), forcing one rung escalation per
+//           request — the measured gap over the cold leg is the retry
+//           ladder's overhead.
+//
+// The built-in audit asserts, for every row, that (a) warm and ladder
+// verdicts equal the cold verdicts wherever both are definite (the
+// degradation ladder may add kUnknown, never flip an answer), (b) the
+// warm leg actually loaded the snapshot, and (c) no request ended in a
+// hard error. A violation exits nonzero, so the harness doubles as an
+// end-to-end soundness check of the persistence path.
+//
+// Flags: --seed=N --threads=N --timeout-ms=N (see bench_util.h; the
+// timeout bounds each leg per row and marks cut rows "timeout": true).
+// Results land in BENCH_serve.json (schema 2) for
+// scripts/run_experiments.sh.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "batch/query_batch.h"
+#include "gen/generators.h"
+#include "sat/fault.h"
+#include "serve/server.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace dd {
+namespace {
+
+using bench::BenchArgs;
+using bench::BenchJsonWriter;
+using bench::BenchRecord;
+
+/// Instance shape per semantics, mirroring bench_batch: the
+/// enumeration-heavy kinds get smaller instances so the per-request
+/// (unbatched) serving legs finish quickly.
+struct KindCfg {
+  SemanticsKind kind;
+  int vars;
+  int clauses;
+};
+
+const KindCfg kKinds[] = {
+    {SemanticsKind::kCwa, 14, 22},  {SemanticsKind::kGcwa, 18, 40},
+    {SemanticsKind::kEgcwa, 18, 40}, {SemanticsKind::kCcwa, 14, 22},
+    {SemanticsKind::kEcwa, 12, 20}, {SemanticsKind::kDdr, 16, 26},
+    {SemanticsKind::kPws, 16, 26},  {SemanticsKind::kPerf, 10, 16},
+    {SemanticsKind::kIcwa, 10, 16}, {SemanticsKind::kDsm, 12, 20},
+    {SemanticsKind::kPdsm, 10, 16},
+};
+
+const int kWorkloadSizes[] = {16, 128};
+
+/// A random literal workload over both polarities; large n repeats
+/// queries heavily — the regime the answer cache amortizes.
+std::vector<batch::BatchQuery> LiteralWorkload(int n, int vars, Rng* rng) {
+  std::vector<batch::BatchQuery> qs;
+  qs.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const int v = static_cast<int>(rng->Below(vars));
+    qs.push_back({rng->Chance(0.5) ? StrFormat("p%d", v)
+                                   : StrFormat("not p%d", v),
+                  true});
+  }
+  return qs;
+}
+
+int g_audit_failures = 0;
+
+void Audit(bool ok, const char* what, const char* kind, int n) {
+  if (!ok) {
+    ++g_audit_failures;
+    std::fprintf(stderr, "AUDIT FAILURE [%s n=%d]: %s\n", kind, n, what);
+  }
+}
+
+/// Runs one leg: submits the whole workload through `server`, recording
+/// verdicts and wall-clock. Cut off cooperatively by --timeout-ms.
+struct LegResult {
+  std::vector<Trilean> verdicts;
+  double wall_ms = 0.0;
+  bool timeout = false;
+  bool hard_error = false;
+};
+
+LegResult RunLeg(serve::QueryServer* server, SemanticsKind kind,
+                 const std::vector<batch::BatchQuery>& qs, int64_t timeout_ms,
+                 bool fault_each_request) {
+  LegResult leg;
+  leg.verdicts.assign(qs.size(), Trilean::kUnknown);
+  Timer timer;
+  for (size_t i = 0; i < qs.size(); ++i) {
+    if (timeout_ms > 0 && timer.ElapsedSeconds() * 1e3 > timeout_ms) {
+      leg.timeout = true;
+      break;
+    }
+    serve::QueryServer::Answer a;
+    if (fault_each_request) {
+      // Each request's first oracle call reports kUnknown: rung 0 comes
+      // back empty-handed and the ladder must escalate.
+      sat::FaultPlan plan;
+      plan.unknown_at = 1;
+      sat::ScopedFaultPlan scoped(plan);
+      a = server->Submit(kind, qs[i]);
+    } else {
+      a = server->Submit(kind, qs[i]);
+    }
+    if (!a.status.ok() && a.status.code() != StatusCode::kUnavailable) {
+      leg.hard_error = true;
+      break;
+    }
+    leg.verdicts[i] = a.verdict;
+  }
+  leg.wall_ms = timer.ElapsedSeconds() * 1e3;
+  return leg;
+}
+
+/// Definite verdicts must agree; kUnknown on either side is acceptable
+/// degradation (docs/ROBUSTNESS.md).
+bool DefiniteAgreement(const std::vector<Trilean>& a,
+                       const std::vector<Trilean>& b) {
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    if (a[i] == Trilean::kUnknown || b[i] == Trilean::kUnknown) continue;
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  BenchJsonWriter out("serve");
+  const std::string snapshot_path = "BENCH_serve.cache.tmp";
+  std::printf(
+      "Serving layer: cold vs snapshot-warm vs retry-ladder (seed=%llu, "
+      "threads=%d)\n"
+      "%-6s %6s | %10s %10s %10s | %6s %6s\n",
+      static_cast<unsigned long long>(args.seed), args.threads, "sem", "n",
+      "cold ms", "warm ms", "ladder ms", "hits", "rungs");
+
+  for (const KindCfg& cfg : kKinds) {
+    const char* kind_name = SemanticsKindName(cfg.kind);
+    Database db = RandomPositiveDdb(
+        cfg.vars, cfg.clauses, DeriveSeed(args.seed, cfg.vars * 131 + 7));
+    for (int n : kWorkloadSizes) {
+      Rng rng(DeriveSeed(args.seed, static_cast<uint64_t>(n) * 211 +
+                                        static_cast<uint64_t>(cfg.kind)));
+      std::vector<batch::BatchQuery> qs = LiteralWorkload(n, cfg.vars, &rng);
+
+      serve::ServeOptions opts;
+      opts.cache_path = snapshot_path;
+      opts.num_threads = args.threads;
+
+      // Cold leg: empty cache (stale snapshots from the previous row are
+      // invalidated by construction order — remove to keep loads counted
+      // per row).
+      std::remove(snapshot_path.c_str());
+      serve::QueryServer cold(db, opts);
+      LegResult cold_leg =
+          RunLeg(&cold, cfg.kind, qs, args.timeout_ms, false);
+      Audit(!cold_leg.hard_error, "cold leg hard error", kind_name, n);
+      Status saved = cold.SaveCache();
+      Audit(saved.ok(), saved.ToString().c_str(), kind_name, n);
+
+      // Warm leg: a new server restores the snapshot; repeats should be
+      // pure cache hits.
+      serve::QueryServer warm(db, opts);
+      Audit(warm.stats().cache_loads == 1, "warm leg did not load snapshot",
+            kind_name, n);
+      LegResult warm_leg =
+          RunLeg(&warm, cfg.kind, qs, args.timeout_ms, false);
+      Audit(!warm_leg.hard_error, "warm leg hard error", kind_name, n);
+      Audit(DefiniteAgreement(cold_leg.verdicts, warm_leg.verdicts),
+            "warm/cold verdict mismatch", kind_name, n);
+
+      // Ladder leg: no snapshot, every request's first solve faulted.
+      serve::ServeOptions ladder_opts = opts;
+      ladder_opts.cache_path.clear();
+      serve::QueryServer ladder(db, ladder_opts);
+      LegResult ladder_leg =
+          RunLeg(&ladder, cfg.kind, qs, args.timeout_ms, true);
+      Audit(!ladder_leg.hard_error, "ladder leg hard error", kind_name, n);
+      Audit(DefiniteAgreement(cold_leg.verdicts, ladder_leg.verdicts),
+            "ladder/cold verdict mismatch", kind_name, n);
+
+      const serve::ServeStats warm_stats = warm.stats();
+      const serve::ServeStats ladder_stats = ladder.stats();
+      const bool timeout =
+          cold_leg.timeout || warm_leg.timeout || ladder_leg.timeout;
+      std::printf("%-6s %6d | %10.2f %10.2f %10.2f | %6lld %6lld%s\n",
+                  kind_name, n, cold_leg.wall_ms, warm_leg.wall_ms,
+                  ladder_leg.wall_ms,
+                  static_cast<long long>(warm_stats.cache_hits),
+                  static_cast<long long>(ladder_stats.rungs),
+                  timeout ? "  (timeout)" : "");
+
+      BenchRecord rec;
+      rec.name = StrFormat("%s/serve", kind_name);
+      rec.n = n;
+      rec.wall_ms = cold_leg.wall_ms;
+      rec.cache_hits = warm_stats.cache_hits;
+      rec.timeout = timeout;
+      rec.AddPhase("cold", cold_leg.wall_ms)
+          .AddPhase("warm", warm_leg.wall_ms)
+          .AddPhase("ladder", ladder_leg.wall_ms);
+      obs::MetricsRegistry reg;
+      serve::Publish(ladder_stats, &reg);
+      rec.metrics = reg.Snapshot();
+      out.Add(std::move(rec));
+    }
+  }
+  std::remove(snapshot_path.c_str());
+
+  if (!out.Write()) {
+    std::fprintf(stderr, "cannot write BENCH_serve.json\n");
+    return 1;
+  }
+  if (g_audit_failures > 0) {
+    std::fprintf(stderr, "%d audit failure(s)\n", g_audit_failures);
+    return 1;
+  }
+  std::printf(
+      "audit: warm == cold == ladder on definite answers, snapshots "
+      "restored\n");
+  return 0;
+}
+
+}  // namespace dd
+
+int main(int argc, char** argv) { return dd::Main(argc, argv); }

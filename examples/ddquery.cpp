@@ -8,6 +8,11 @@
 //                                  # comments are skipped); answers print
 //                                  in input order, one per line, identical
 //                                  for every --threads value
+//   ddquery --serve <prog>         serving mode (docs/SERVING.md): a
+//                                  line protocol on stdin/stdout over a
+//                                  long-lived QueryServer — answer cache,
+//                                  budget-escalation retry ladder,
+//                                  admission control, hot reload
 //   ddquery                        start with an empty database
 //
 // Commands:
@@ -26,17 +31,36 @@
 //   stats                          cumulative oracle counters
 //   help | quit
 //
-// SEM is one of: gcwa egcwa ccwa ecwa ddr pws perf icwa dsm pdsm
+// Serve-mode protocol (one request line -> one response line):
+//   QUERY <SEM> <lit|infer> <q>    -> ANSWER yes|no|unknown rungs=N cached=B
+//                                     | UNAVAILABLE <why> | ERR <why>
+//   RELOAD <file>                  -> RELOADED fp=<hex> <summary>
+//   SAVE                           -> SAVED <path> entries=N
+//   STATS                          -> STATS <dd.serve.* JSON>
+//   QUIT                           -> BYE
+// EOF (even mid-line) is a clean shutdown; SIGPIPE is ignored, a closed
+// peer ends the loop instead of killing the process.
+//
+// SEM is one of: cwa gcwa egcwa ccwa ecwa ddr pws perf icwa dsm pdsm
+// (plus the paper's aliases circ = ecwa, wgcwa = ddr, pms = pws).
 //
 // Budget options (apply to every query command; in --batch mode they bound
-// the whole batch as one shared budget):
+// the whole batch as one shared budget; in --serve mode they set the retry
+// ladder's per-request ceilings):
 //   --timeout-ms=N        per-query wall-clock deadline
 //   --conflict-budget=N   per-query total CDCL conflict budget
+//   --retry-rungs=N       serve mode: ladder attempts per request (def. 3)
 //
 // Batch options (docs/BATCHING.md):
 //   --batch=FILE          evaluate FILE's queries via Reasoner::AnswerBatch
 //                         (dedupe, answer cache, slice-grouped model banks)
 //   --threads=N           worker threads for parallel group evaluation
+//
+// Persistence (docs/SERVING.md):
+//   --cache-file=PATH     crash-safe answer-cache snapshot: warm-start from
+//                         PATH (stale/corrupt files degrade to a cold
+//                         start) and save atomically on exit / SAVE.
+//                         Composes with --batch, --serve and the shell.
 //
 // Observability options (see docs/OBSERVABILITY.md):
 //   --trace-json=FILE     write the session's span tree as JSON on exit
@@ -50,24 +74,27 @@
 //                         engine/certifier disagreement, i.e. a bug) fails
 //                         the run
 //
-// Exit status: 0 on success, 1 on a load/parse failure of the initial
-// program or a --batch file (or an unwritable --trace-json file, or a
-// rejected --certify certificate), 2 if any query ran out of budget —
-// deadline, conflicts, oracle calls OR external cancellation (kCancelled);
-// both answer "unknown"/truncated — see docs/ROBUSTNESS.md.
+// Exit status (audited; docs/ROBUSTNESS.md §CLI): 0 on success, 1 on a
+// load/parse failure of the initial program or a --batch file (or an
+// unwritable --trace-json / --cache-file, or a rejected --certify
+// certificate), 2 if any query degraded — out of budget (deadline,
+// conflicts, oracle calls, external kCancelled), or in serve mode answered
+// kUnknown after the full ladder or shed with kUnavailable.
 #include <unistd.h>
 
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <map>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "batch/queries_file.h"
 #include "core/oracle_stats.h"
 #include "core/reasoner.h"
 #include "ground/grounder.h"
@@ -75,32 +102,11 @@
 #include "obs/metrics.h"
 #include "obs/stats_view.h"
 #include "obs/trace.h"
+#include "serve/server.h"
 #include "strat/stratifier.h"
 #include "util/string_util.h"
 
 namespace {
-
-std::optional<dd::SemanticsKind> KindFromName(const std::string& s) {
-  static const std::pair<const char*, dd::SemanticsKind> kMap[] = {
-      {"gcwa", dd::SemanticsKind::kGcwa},
-      {"egcwa", dd::SemanticsKind::kEgcwa},
-      {"ccwa", dd::SemanticsKind::kCcwa},
-      {"ecwa", dd::SemanticsKind::kEcwa},
-      {"circ", dd::SemanticsKind::kEcwa},
-      {"ddr", dd::SemanticsKind::kDdr},
-      {"wgcwa", dd::SemanticsKind::kDdr},
-      {"pws", dd::SemanticsKind::kPws},
-      {"pms", dd::SemanticsKind::kPws},
-      {"perf", dd::SemanticsKind::kPerf},
-      {"icwa", dd::SemanticsKind::kIcwa},
-      {"dsm", dd::SemanticsKind::kDsm},
-      {"pdsm", dd::SemanticsKind::kPdsm},
-  };
-  for (const auto& [name, kind] : kMap) {
-    if (s == name) return kind;
-  }
-  return std::nullopt;
-}
 
 std::optional<std::string> ReadFile(const std::string& path) {
   std::ifstream in(path);
@@ -116,11 +122,14 @@ void PrintHelp() {
       "          models <sem> [cap] | infer <sem> <formula> |\n"
       "          lit <sem> <literal> | exists <sem> |\n"
       "          partition p=a,b q=c rest=z | stats | help | quit\n"
-      "semantics: gcwa egcwa ccwa ecwa ddr pws perf icwa dsm pdsm\n"
+      "semantics: cwa gcwa egcwa ccwa ecwa ddr pws perf icwa dsm pdsm\n"
       "flags: --timeout-ms=N --conflict-budget=N (budgeted queries; exit 2\n"
       "       if any query runs out of budget)\n"
       "       --batch=FILE --threads=N (batched evaluation; one\n"
       "       'lit <sem> <literal>' or 'infer <sem> <formula>' per line)\n"
+      "       --serve --retry-rungs=N (line-protocol serving mode:\n"
+      "       QUERY/RELOAD/SAVE/STATS/QUIT -- docs/SERVING.md)\n"
+      "       --cache-file=PATH (crash-safe answer-cache snapshot)\n"
       "       --trace-json=FILE --metrics (observability exports)\n"
       "       --certify (verify every fast-path answer's certificate;\n"
       "       rejections fail the run)\n");
@@ -156,6 +165,32 @@ bool ParseInt64Flag(int argc, char** argv, int* i, const std::string& name,
     return false;
   }
   *out = v;
+  return true;
+}
+
+/// Parses "--name=PATH" / "--name PATH" style string flags.
+bool ParseStringFlag(int argc, char** argv, int* i, const std::string& name,
+                     std::string* out, bool* matched) {
+  std::string arg = argv[*i];
+  std::string prefix = name + "=";
+  if (arg == name) {
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "ddquery: %s needs a value\n", name.c_str());
+      return false;
+    }
+    *out = argv[++*i];
+    *matched = true;
+  } else if (arg.rfind(prefix, 0) == 0) {
+    *out = arg.substr(prefix.size());
+    *matched = true;
+  } else {
+    *matched = false;
+    return true;
+  }
+  if (out->empty()) {
+    std::fprintf(stderr, "ddquery: %s needs a value\n", name.c_str());
+    return false;
+  }
   return true;
 }
 
@@ -202,65 +237,39 @@ bool ParsePartitionArgs(const std::string& rest_of_line, dd::Reasoner* r) {
   return true;
 }
 
-/// Runs --batch mode: parses `path` ("lit <sem> <literal>" / "infer <sem>
-/// <formula>" per line; blanks and # comments skipped), calls
-/// Reasoner::AnswerBatch once per semantics, and prints one answer per
-/// query in input-line order — the same strings the interactive shell
-/// prints, so `ddquery --batch=F prog` and `ddquery prog < F` agree line
-/// for line. Returns false on a read/parse failure (exit 1); any kUnknown
-/// answer sets *worst_exit to 2.
+/// Runs --batch mode through the hardened .queries parser
+/// (batch/queries_file.h), one Reasoner::AnswerBatch call per semantics,
+/// printing one answer per query in input-line order — the same strings
+/// the interactive shell prints, so `ddquery --batch=F prog` and
+/// `ddquery prog < F` agree line for line. `cache`, when non-null, is the
+/// persistent --cache-file cache (null keeps the reasoner-owned one).
+/// Returns false on a read/parse failure (exit 1); any kUnknown answer
+/// sets *worst_exit to 2.
 bool RunBatch(dd::Reasoner* reasoner, const std::string& path,
               const dd::QueryOptions& query_opts, int threads,
-              int* worst_exit) {
+              dd::batch::AnswerCache* cache, int* worst_exit) {
   auto text = ReadFile(path);
   if (!text) {
     std::fprintf(stderr, "ddquery: cannot read %s\n", path.c_str());
     return false;
   }
-  struct Group {
-    dd::SemanticsKind kind;
-    std::vector<int> slots;  ///< output positions, input order
-    std::vector<dd::batch::BatchQuery> queries;
-  };
-  std::vector<Group> groups;  // first-appearance order per semantics
-  std::map<dd::SemanticsKind, int> group_of;
-  int num_queries = 0;
-  std::istringstream in(*text);
-  std::string line;
-  int lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    std::istringstream ls(line);
-    std::string cmd;
-    if (!(ls >> cmd) || cmd[0] == '#') continue;
-    std::string sem_name;
-    std::string rest;
-    ls >> sem_name;
-    std::getline(ls, rest);
-    auto kind = KindFromName(sem_name);
-    const bool is_lit = cmd == "lit";
-    if ((!is_lit && cmd != "infer") || !kind ||
-        rest.find_first_not_of(" \t") == std::string::npos) {
-      std::fprintf(stderr, "ddquery: bad batch line %d: '%s'\n", lineno,
-                   line.c_str());
-      return false;
-    }
-    auto [it, inserted] =
-        group_of.emplace(*kind, static_cast<int>(groups.size()));
-    if (inserted) groups.push_back(Group{*kind, {}, {}});
-    Group& g = groups[it->second];
-    g.slots.push_back(num_queries++);
-    g.queries.push_back(dd::batch::BatchQuery{rest, is_lit});
+  auto parsed = dd::batch::ParseQueriesFile(*text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "ddquery: %s: %s\n", path.c_str(),
+                 parsed.status().ToString().c_str());
+    return false;
   }
 
   dd::batch::BatchOptions bo;
   bo.num_threads = threads;
+  bo.cache = cache;
   bo.deadline_ms = query_opts.deadline_ms;
   bo.conflict_budget = query_opts.conflict_budget;
   bo.oracle_call_budget = query_opts.oracle_call_budget;
   bo.cancel = query_opts.cancel;
-  std::vector<dd::Trilean> answers(num_queries, dd::Trilean::kUnknown);
-  for (const Group& g : groups) {
+  std::vector<dd::Trilean> answers(parsed->queries.size(),
+                                   dd::Trilean::kUnknown);
+  for (const auto& g : parsed->groups) {
     auto r = reasoner->AnswerBatch(g.kind, g.queries, bo);
     if (!r.ok()) {
       std::fprintf(stderr, "ddquery: %s\n", r.status().ToString().c_str());
@@ -281,15 +290,68 @@ bool RunBatch(dd::Reasoner* reasoner, const std::string& path,
   return true;
 }
 
+/// Runs --serve mode: the QUERY/RELOAD/SAVE/STATS/QUIT line protocol on
+/// stdin/stdout over a serve::QueryServer. I/O robustness contract
+/// (docs/SERVING.md): SIGPIPE is ignored and a failed write (peer closed
+/// the pipe) ends the loop; EOF — even mid-line — is a clean shutdown.
+/// Returns the audited exit code: 1 only for an unwritable --trace-json
+/// file, else QueryServer::ExitCode() (0 clean, 2 degraded).
+int RunServe(dd::Database db, const dd::serve::ServeOptions& sopts,
+             const std::string& trace_path, bool print_metrics) {
+  std::signal(SIGPIPE, SIG_IGN);
+  dd::serve::QueryServer server(std::move(db), sopts);
+  bool io_ok =
+      std::printf("READY fp=%016llx %s\n",
+                  static_cast<unsigned long long>(server.fingerprint()),
+                  server.DbSummary().c_str()) >= 0 &&
+      std::fflush(stdout) == 0;
+  std::string line;
+  bool quit = false;
+  while (io_ok && !quit && std::getline(std::cin, line)) {
+    std::string resp = server.HandleLine(line, &quit);
+    if (resp.empty()) continue;
+    io_ok = std::printf("%s\n", resp.c_str()) >= 0 &&
+            std::fflush(stdout) == 0;
+  }
+  server.Shutdown();
+  if (!sopts.cache_path.empty()) {
+    // Best-effort warm exit; an explicit SAVE already reported its Status.
+    dd::Status s = server.SaveCache();
+    if (!s.ok()) {
+      std::fprintf(stderr, "ddquery: cache save failed: %s\n",
+                   s.ToString().c_str());
+    }
+  }
+  if (sopts.trace != nullptr) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::fprintf(stderr, "ddquery: cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    sopts.trace->WriteJson(out);
+    out << "\n";
+  }
+  if (print_metrics) {
+    dd::obs::MetricsRegistry& reg = dd::obs::MetricsRegistry::Global();
+    dd::serve::Publish(server.stats(), &reg);
+    dd::obs::WriteJson(std::cout, reg.Snapshot());
+    std::cout << "\n";
+  }
+  return server.ExitCode();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   dd::QueryOptions query_opts;
   std::string trace_path;
   std::string batch_path;
+  std::string cache_path;
   int64_t num_threads = 1;
+  int64_t retry_rungs = 3;
   bool print_metrics = false;
   bool certify = false;
+  bool serve = false;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     bool matched = false;
@@ -307,23 +369,26 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (matched) continue;
+    if (!ParseInt64Flag(argc, argv, &i, "--retry-rungs", &retry_rungs,
+                        &matched)) {
+      return 1;
+    }
+    if (matched) continue;
+    if (!ParseStringFlag(argc, argv, &i, "--batch", &batch_path, &matched)) {
+      return 1;
+    }
+    if (matched) continue;
+    if (!ParseStringFlag(argc, argv, &i, "--cache-file", &cache_path,
+                         &matched)) {
+      return 1;
+    }
+    if (matched) continue;
+    if (!ParseStringFlag(argc, argv, &i, "--trace-json", &trace_path,
+                         &matched)) {
+      return 1;
+    }
+    if (matched) continue;
     std::string arg = argv[i];
-    if (arg.rfind("--batch=", 0) == 0) {
-      batch_path = arg.substr(std::string("--batch=").size());
-      if (batch_path.empty()) {
-        std::fprintf(stderr, "ddquery: --batch needs a file name\n");
-        return 1;
-      }
-      continue;
-    }
-    if (arg == "--batch") {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "ddquery: --batch needs a file name\n");
-        return 1;
-      }
-      batch_path = argv[++i];
-      continue;
-    }
     if (arg == "--metrics") {
       print_metrics = true;
       continue;
@@ -332,27 +397,16 @@ int main(int argc, char** argv) {
       certify = true;
       continue;
     }
-    if (arg.rfind("--trace-json=", 0) == 0) {
-      trace_path = arg.substr(std::string("--trace-json=").size());
-      if (trace_path.empty()) {
-        std::fprintf(stderr, "ddquery: --trace-json needs a file name\n");
-        return 1;
-      }
-      continue;
-    }
-    if (arg == "--trace-json") {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "ddquery: --trace-json needs a file name\n");
-        return 1;
-      }
-      trace_path = argv[++i];
+    if (arg == "--serve") {
+      serve = true;
       continue;
     }
     positional.push_back(argv[i]);
   }
 
   // One span tree for the whole session: every query command records one
-  // "reasoner"-layer span (with engine-layer spans nested below).
+  // "reasoner"-layer span (in serve mode, a "serve"-layer request span
+  // with the reasoner spans nested below).
   dd::obs::TraceContext trace;
   dd::obs::TraceContext* trace_ptr = trace_path.empty() ? nullptr : &trace;
 
@@ -373,6 +427,25 @@ int main(int argc, char** argv) {
     }
     initial_db = std::move(db).value();
   }
+
+  if (serve) {
+    dd::serve::ServeOptions sopts;
+    sopts.cache_path = cache_path;
+    sopts.num_threads = static_cast<int>(num_threads);
+    sopts.trace = trace_ptr;
+    sopts.retry.max_rungs = static_cast<int>(retry_rungs);
+    // The one-shot budget flags become the ladder's per-request ceilings
+    // (rung 0 stays small; escalation is clamped at the ceiling).
+    if (query_opts.conflict_budget >= 0) {
+      sopts.retry.conflict_ceiling = query_opts.conflict_budget;
+    }
+    if (query_opts.deadline_ms >= 0) {
+      sopts.retry.initial_deadline_ms = query_opts.deadline_ms;
+      sopts.retry.deadline_ceiling_ms = query_opts.deadline_ms;
+    }
+    return RunServe(std::move(initial_db), sopts, trace_path, print_metrics);
+  }
+
   dd::Reasoner reasoner{std::move(initial_db)};
   reasoner.set_trace(trace_ptr);
   reasoner.EnableCertification(certify);
@@ -381,12 +454,31 @@ int main(int argc, char** argv) {
                 dd::DatabaseSummary(reasoner.db()).c_str());
   }
 
+  // --cache-file outside serve mode: one external cache shared by --batch
+  // and the shell's lit/infer commands, warm-started here and snapshotted
+  // at exit. Stale and corrupt files degrade to a cold start (the latter
+  // with a notice), per the snapshot contract.
+  std::unique_ptr<dd::batch::AnswerCache> answer_cache;
+  if (!cache_path.empty()) {
+    answer_cache = std::make_unique<dd::batch::AnswerCache>();
+    dd::serve::SnapshotLoad outcome = dd::serve::SnapshotLoad::kMissing;
+    dd::serve::LoadAnswerCache(cache_path, reasoner.fingerprint(),
+                               answer_cache.get(), &outcome);
+    if (outcome == dd::serve::SnapshotLoad::kCorrupt) {
+      std::fprintf(stderr,
+                   "ddquery: cache file %s failed integrity checks; "
+                   "starting cold\n",
+                   cache_path.c_str());
+    }
+  }
+
   // Set to 2 when any budgeted query exhausts its budget; distinct from the
   // load/parse failure exit (1) above.
   int worst_exit = 0;
   if (!batch_path.empty() &&
       !RunBatch(&reasoner, batch_path, query_opts,
-                static_cast<int>(num_threads), &worst_exit)) {
+                static_cast<int>(num_threads), answer_cache.get(),
+                &worst_exit)) {
     return 1;
   }
   std::string line;
@@ -493,7 +585,7 @@ int main(int argc, char** argv) {
         std::printf("missing semantics name\n");
         continue;
       }
-      auto kind = KindFromName(sem_name);
+      auto kind = dd::SemanticsKindFromName(sem_name);
       if (!kind) {
         std::printf("unknown semantics '%s'\n", sem_name.c_str());
         continue;
@@ -576,6 +668,29 @@ int main(int argc, char** argv) {
       } else {
         std::string rest;
         std::getline(in, rest);
+        if (answer_cache != nullptr) {
+          // --cache-file: route through AnswerBatch so the persistent
+          // cache applies (a one-query batch answers identically to the
+          // plain path — docs/BATCHING.md).
+          dd::batch::BatchOptions bo;
+          bo.cache = answer_cache.get();
+          bo.deadline_ms = query_opts.deadline_ms;
+          bo.conflict_budget = query_opts.conflict_budget;
+          bo.oracle_call_budget = query_opts.oracle_call_budget;
+          bo.cancel = query_opts.cancel;
+          auto r = reasoner.AnswerBatch(
+              *kind, {dd::batch::BatchQuery{rest, cmd == "lit"}}, bo);
+          if (!r.ok()) {
+            std::printf("%s\n", r.status().ToString().c_str());
+          } else if (r->answers[0] == dd::Trilean::kUnknown) {
+            std::printf("unknown (out of budget)\n");
+            worst_exit = 2;
+          } else {
+            std::printf("%s\n",
+                        r->answers[0] == dd::Trilean::kYes ? "yes" : "no");
+          }
+          continue;
+        }
         if (!query_opts.unlimited()) {
           auto r = cmd == "infer"
                        ? reasoner.InfersFormula(*kind, rest, query_opts)
@@ -600,6 +715,15 @@ int main(int argc, char** argv) {
     std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
   }
 
+  if (answer_cache != nullptr) {
+    dd::Status s = dd::serve::SaveAnswerCache(
+        *answer_cache, reasoner.fingerprint(), cache_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "ddquery: cannot write %s: %s\n",
+                   cache_path.c_str(), s.ToString().c_str());
+      if (worst_exit == 0) worst_exit = 1;
+    }
+  }
   if (trace_ptr != nullptr) {
     std::ofstream out(trace_path);
     if (!out) {

@@ -25,7 +25,12 @@
 #      once through `ddquery --batch` (4 workers) and once line-by-line
 #      through the interactive loop; the answer streams must be
 #      identical (docs/BATCHING.md determinism contract)
-#  10. fault-injection + deadline soak: the DD_FAULT_UNKNOWN_AT /
+#  10. crash-recovery: a --batch run covering all eleven semantics with
+#      --cache-file is killed (kill -9 via _exit) at each
+#      DD_SNAPSHOT_CRASH_AT point mid-save; the restarted run must load
+#      clean (or cold-start from the torn temp file) and answer
+#      identically to a cache-less cold run (docs/SERVING.md §snapshots)
+#  11. fault-injection + deadline soak: the DD_FAULT_UNKNOWN_AT /
 #      DD_FAULT_EXHAUST_AFTER matrix over the injection-tolerant
 #      FaultSoak suite of budget_test, under the ASan build (docs/
 #      ROBUSTNESS.md: every semantics must answer reference-or-Unknown,
@@ -79,7 +84,9 @@ if [ "$FAST" -eq 0 ]; then
   # are what parallel chunks must NOT share).
   # batch_test joins the filter because AnswerBatch evaluates slice groups
   # on the shared pool (group engines must never share oracle sessions).
-  CTEST_FILTER='thread_pool_test|oracle_session_test|fixpoint_test|egcwa_ecwa_test|ddr_pws_test|batch_test' \
+  # serve_test joins because the serving layer's gate/session-swap paths
+  # are exercised from multiple threads (RequestGate waiters, hot reload).
+  CTEST_FILTER='thread_pool_test|oracle_session_test|fixpoint_test|egcwa_ecwa_test|ddr_pws_test|batch_test|serve_test' \
   run_leg "tsan (concurrency tests)" build-check-tsan \
           -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDD_SANITIZE=thread \
           -DDD_BUILD_BENCHMARKS=OFF
@@ -241,6 +248,68 @@ if [ -x "$QUERY_BIN" ]; then
   rm -rf "$BATCH_TMP"
 else
   echo "batch: ddquery not built; skipping"
+fi
+
+echo "===== crash-recovery (snapshot save under kill -9) ====="
+if [ -x "$QUERY_BIN" ]; then
+  CR_TMP="$(mktemp -d)"
+  CR_FAILED=0
+  # An integrity-constraint-free program (PERF rejects ICs) with one
+  # query per semantics, so recovery is proven on all eleven.
+  printf 'a | b.\nc :- a.\nc :- b.\nd.\n' >"$CR_TMP/prog.ddb"
+  cat >"$CR_TMP/all.queries" <<'EOF'
+lit cwa d
+lit gcwa c
+lit egcwa d
+lit ccwa not a
+lit ecwa not a
+lit ddr not a
+lit pws not a
+lit perf c
+lit icwa not a
+lit dsm d
+lit pdsm not a
+EOF
+  # Reference: a cache-less cold run.
+  if ! "$QUERY_BIN" --batch="$CR_TMP/all.queries" "$CR_TMP/prog.ddb" \
+       >"$CR_TMP/cold.out" 2>&1; then
+    echo "crash-recovery: reference cold run failed"; CR_FAILED=1
+  fi
+  for point in partial before-rename after-rename; do
+    [ "$CR_FAILED" -ne 0 ] && break
+    rm -f "$CR_TMP/cache.snap" "$CR_TMP/cache.snap.tmp"
+    # Leg A: the run is killed mid-save (snapshot.cc calls _exit(137) at
+    # the injected point; "partial" additionally tears the temp file).
+    env DD_SNAPSHOT_CRASH_AT="$point" \
+      "$QUERY_BIN" --batch="$CR_TMP/all.queries" \
+      --cache-file="$CR_TMP/cache.snap" "$CR_TMP/prog.ddb" >/dev/null 2>&1
+    rc=$?
+    if [ "$rc" -ne 137 ]; then
+      echo "crash-recovery: $point run exited $rc, expected 137"
+      CR_FAILED=1; continue
+    fi
+    # Leg B: restart against whatever the crash left behind (torn temp
+    # file, complete-but-unrenamed temp file, or a valid snapshot). The
+    # answers must be byte-identical to the cold reference.
+    if ! "$QUERY_BIN" --batch="$CR_TMP/all.queries" \
+         --cache-file="$CR_TMP/cache.snap" "$CR_TMP/prog.ddb" \
+         >"$CR_TMP/warm.out" 2>"$CR_TMP/warm.err"; then
+      echo "crash-recovery: restart after $point crash exited nonzero"
+      cat "$CR_TMP/warm.err"; CR_FAILED=1; continue
+    fi
+    if ! diff -u "$CR_TMP/cold.out" "$CR_TMP/warm.out"; then
+      echo "crash-recovery: answers after $point crash differ from cold run"
+      CR_FAILED=1
+    fi
+  done
+  if [ "$CR_FAILED" -ne 0 ]; then
+    FAILED=1
+  else
+    echo "crash-recovery: OK (partial, before-rename, after-rename; 11 semantics)"
+  fi
+  rm -rf "$CR_TMP"
+else
+  echo "crash-recovery: ddquery not built; skipping"
 fi
 
 echo "===== fault-injection + deadline soak (ASan) ====="

@@ -71,6 +71,12 @@ class AnswerCache {
   int64_t capacity() const { return capacity_; }
   const Stats& stats() const { return stats_; }
 
+  /// The fingerprint the cache is currently pinned to (via SetEpoch).
+  /// Snapshot persistence (src/serve/snapshot.h) stamps this into the
+  /// saved file so stale snapshots self-invalidate on load.
+  bool epoch_set() const { return epoch_set_; }
+  uint64_t epoch() const { return epoch_; }
+
   /// Debug/audit iteration over live entries (the bench harness uses this
   /// to assert no kUnknown was ever stored). Order unspecified.
   void ForEach(

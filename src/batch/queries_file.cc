@@ -1,0 +1,86 @@
+#include "batch/queries_file.h"
+
+#include <map>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace dd {
+namespace batch {
+
+namespace {
+
+/// Splits off the first whitespace-delimited token of `s` (which may
+/// contain NUL or arbitrary bytes — only ' ' and '\t' delimit).
+std::string_view NextToken(std::string_view* s) {
+  size_t start = s->find_first_not_of(" \t");
+  if (start == std::string_view::npos) {
+    *s = std::string_view();
+    return std::string_view();
+  }
+  size_t end = s->find_first_of(" \t", start);
+  std::string_view tok = s->substr(start, end - start);
+  *s = end == std::string_view::npos ? std::string_view() : s->substr(end);
+  return tok;
+}
+
+Status BadLine(int lineno, const std::string& why) {
+  return Status::InvalidArgument(StrFormat("queries line %d: %s", lineno,
+                                           why.c_str()));
+}
+
+}  // namespace
+
+Result<QueriesFile> ParseQueriesFile(std::string_view text) {
+  if (text.size() > kMaxQueriesFile) {
+    return Status::InvalidArgument("queries file too large");
+  }
+  QueriesFile out;
+  std::map<SemanticsKind, int> group_of;
+  int lineno = 0;
+  // Manual line walk (not getline on a stream): it preserves NUL bytes,
+  // costs one pass, and naturally handles a missing final newline.
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    if (pos == text.size() && lineno > 0 && text.back() == '\n') break;
+    size_t nl = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, nl == std::string_view::npos ? std::string_view::npos
+                                          : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++lineno;
+    if (line.size() > kMaxQueryLine) return BadLine(lineno, "line too long");
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+
+    std::string_view rest = line;
+    std::string_view cmd = NextToken(&rest);
+    if (cmd.empty() || cmd[0] == '#') continue;
+    const bool is_lit = cmd == "lit";
+    if (!is_lit && cmd != "infer") {
+      return BadLine(lineno, "expected 'lit' or 'infer', got '" +
+                                 std::string(cmd) + "'");
+    }
+    std::string_view sem_name = NextToken(&rest);
+    auto kind = SemanticsKindFromName(sem_name);
+    if (!kind) {
+      return BadLine(lineno,
+                     "unknown semantics '" + std::string(sem_name) + "'");
+    }
+    std::string_view query = Trim(rest);
+    if (query.empty()) return BadLine(lineno, "empty query");
+
+    const int slot = static_cast<int>(out.queries.size());
+    out.queries.push_back(
+        ParsedQuery{*kind, BatchQuery{std::string(query), is_lit}, lineno});
+    auto [it, inserted] =
+        group_of.emplace(*kind, static_cast<int>(out.groups.size()));
+    if (inserted) out.groups.push_back(QueriesFile::Group{*kind, {}, {}});
+    QueriesFile::Group& g = out.groups[it->second];
+    g.slots.push_back(slot);
+    g.queries.push_back(out.queries.back().query);
+  }
+  return out;
+}
+
+}  // namespace batch
+}  // namespace dd

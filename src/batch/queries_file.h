@@ -1,0 +1,74 @@
+// Hardened parser for .queries files (the ddquery --batch input format
+// and the serve-mode QUERY payload's file sibling).
+//
+// Format, one query per line:
+//
+//   lit   <SEM> <literal>     # skeptical literal inference
+//   infer <SEM> <formula>     # skeptical formula inference
+//   # comment                 — skipped, as are blank lines
+//
+// SEM is any name SemanticsKindFromName accepts (all 11 semantics plus
+// the paper's aliases circ/wgcwa/pms).
+//
+// Hardening contract (the .queries twin of sat/dimacs.cc's DIMACS
+// hardening, docs/ROBUSTNESS.md): hostile bytes yield a line-numbered
+// InvalidArgument Status, never a crash, hang, or silent misparse —
+//   * lines longer than kMaxQueryLine are rejected (no unbounded token
+//     growth from a file of a gigabyte on one line);
+//   * CRLF line endings are accepted (the trailing '\r' is stripped);
+//   * an unterminated final line (no trailing '\n') parses normally;
+//   * non-UTF8 / NUL / control bytes never crash the parser: they are
+//     plain bytes — a query containing them simply fails downstream
+//     formula parsing with a Status;
+//   * files larger than kMaxQueriesFile are rejected up front.
+#ifndef DD_BATCH_QUERIES_FILE_H_
+#define DD_BATCH_QUERIES_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "batch/query_batch.h"
+#include "semantics/semantics.h"
+#include "util/status.h"
+
+namespace dd {
+namespace batch {
+
+/// Longest accepted .queries line, in bytes (excluding the newline).
+constexpr size_t kMaxQueryLine = 1 << 20;
+/// Largest accepted .queries file, in bytes.
+constexpr size_t kMaxQueriesFile = size_t{1} << 30;
+
+/// One parsed query line, tagged with its input position.
+struct ParsedQuery {
+  SemanticsKind kind = SemanticsKind::kGcwa;
+  BatchQuery query;
+  int line = 0;  ///< 1-based source line, for error attribution
+};
+
+/// The whole file, plus the queries regrouped per semantics in
+/// first-appearance order — the shape Reasoner::AnswerBatch consumes
+/// (one call per semantics), with `slots` mapping each group member back
+/// to its input position so answers print in input-line order.
+struct QueriesFile {
+  std::vector<ParsedQuery> queries;  ///< input order
+  struct Group {
+    SemanticsKind kind = SemanticsKind::kGcwa;
+    std::vector<int> slots;  ///< input positions, input order
+    std::vector<BatchQuery> queries;
+  };
+  std::vector<Group> groups;
+};
+
+/// Parses .queries text. Any malformed line — unknown command, unknown
+/// semantics, empty query, overlong line — fails the whole parse with a
+/// line-numbered InvalidArgument (batch answers are positional; skipping
+/// bad lines silently would shift every answer after them).
+Result<QueriesFile> ParseQueriesFile(std::string_view text);
+
+}  // namespace batch
+}  // namespace dd
+
+#endif  // DD_BATCH_QUERIES_FILE_H_

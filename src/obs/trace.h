@@ -45,7 +45,7 @@ struct Span {
   int id = 0;
   int parent = -1;  ///< span id, or -1 for a root
   std::string name;
-  std::string layer;  ///< reasoner|semantics|minimal|qbf|oracle|sat|cli
+  std::string layer;  ///< serve|reasoner|semantics|minimal|qbf|oracle|sat|cli
   int64_t start_us = 0;  ///< microseconds since the context's epoch
   int64_t end_us = -1;   ///< -1 while open
   /// Counter attributions, insertion-ordered (AddCounter accumulates on an

@@ -1,5 +1,7 @@
 #include "semantics/semantics.h"
 
+#include <utility>
+
 #include "minimal/pqz.h"
 #include "semantics/ccwa.h"
 #include "semantics/cwa.h"
@@ -43,6 +45,26 @@ const char* SemanticsKindName(SemanticsKind k) {
   }
   DD_CHECK(false);
   return "?";
+}
+
+std::optional<SemanticsKind> SemanticsKindFromName(std::string_view name) {
+  std::string lower(name);
+  for (char& c : lower) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  static const std::pair<const char*, SemanticsKind> kMap[] = {
+      {"cwa", SemanticsKind::kCwa},     {"gcwa", SemanticsKind::kGcwa},
+      {"egcwa", SemanticsKind::kEgcwa}, {"ccwa", SemanticsKind::kCcwa},
+      {"ecwa", SemanticsKind::kEcwa},   {"circ", SemanticsKind::kEcwa},
+      {"ddr", SemanticsKind::kDdr},     {"wgcwa", SemanticsKind::kDdr},
+      {"pws", SemanticsKind::kPws},     {"pms", SemanticsKind::kPws},
+      {"perf", SemanticsKind::kPerf},   {"icwa", SemanticsKind::kIcwa},
+      {"dsm", SemanticsKind::kDsm},     {"pdsm", SemanticsKind::kPdsm},
+  };
+  for (const auto& [n, kind] : kMap) {
+    if (lower == n) return kind;
+  }
+  return std::nullopt;
 }
 
 Result<bool> Semantics::InfersLiteral(Lit l) {

@@ -18,6 +18,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "logic/database.h"
@@ -112,6 +113,12 @@ enum class SemanticsKind {
 
 /// Short uppercase name ("GCWA", ...).
 const char* SemanticsKindName(SemanticsKind k);
+
+/// Parses a (case-insensitive) semantics name, accepting the paper's
+/// aliases: "circ" = ECWA, "wgcwa" = DDR, "pms" = PWS. This is the one
+/// name table the CLI shells, the --batch/.queries parser and the serve
+/// protocol all share. Returns nullopt for unknown names.
+std::optional<SemanticsKind> SemanticsKindFromName(std::string_view name);
 
 /// Abstract base for all semantics.
 class Semantics {

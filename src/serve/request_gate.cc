@@ -1,0 +1,96 @@
+#include "serve/request_gate.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace dd {
+namespace serve {
+
+RequestGate::Ticket& RequestGate::Ticket::operator=(Ticket&& o) noexcept {
+  if (this != &o) {
+    Release();
+    gate_ = o.gate_;
+    o.gate_ = nullptr;
+  }
+  return *this;
+}
+
+void RequestGate::Ticket::Release() {
+  if (gate_ != nullptr) {
+    gate_->Release();
+    gate_ = nullptr;
+  }
+}
+
+RequestGate::RequestGate(const Options& opts) : opts_(opts) {
+  DD_CHECK(opts_.max_concurrent >= 1);
+  DD_CHECK(opts_.max_queue >= 0);
+}
+
+Result<RequestGate::Ticket> RequestGate::Enter() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (shutdown_) {
+    ++stats_.shed;
+    return Status::Unavailable("gate shut down");
+  }
+  if (in_flight_ < opts_.max_concurrent && waiting_ == 0) {
+    ++in_flight_;
+    ++stats_.admitted;
+    return Ticket(this);
+  }
+  if (waiting_ >= opts_.max_queue) {
+    // The load-shedding answer: refuse NOW rather than queue unboundedly.
+    ++stats_.shed;
+    return Status::Unavailable("queue full");
+  }
+  const uint64_t my_seq = next_seq_++;
+  ++waiting_;
+  ++stats_.queued;
+  stats_.queue_peak = std::max<int64_t>(stats_.queue_peak, waiting_);
+  cv_.wait(lock, [&] {
+    return shutdown_ ||
+           (serving_seq_ == my_seq && in_flight_ < opts_.max_concurrent);
+  });
+  --waiting_;
+  if (shutdown_) {
+    ++stats_.shed;
+    cv_.notify_all();
+    return Status::Unavailable("gate shut down");
+  }
+  ++serving_seq_;
+  ++in_flight_;
+  ++stats_.admitted;
+  cv_.notify_all();  // the next FIFO waiter may also be admittable
+  return Ticket(this);
+}
+
+void RequestGate::Release() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --in_flight_;
+  cv_.notify_all();
+}
+
+void RequestGate::Shutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shutdown_ = true;
+  cv_.notify_all();
+}
+
+int RequestGate::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+int RequestGate::waiting() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiting_;
+}
+
+RequestGate::Stats RequestGate::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace serve
+}  // namespace dd

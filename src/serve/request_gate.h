@@ -1,0 +1,101 @@
+// Admission control for the serving layer: a concurrency cap, a bounded
+// wait queue, and load shedding.
+//
+// The paper's complexity results guarantee that some requests are slow —
+// Pi2p-hard queries cannot be made uniformly fast, only bounded. A server
+// that queues unboundedly therefore converts one adversarial query into
+// unbounded memory growth and unbounded tail latency for everyone behind
+// it. The RequestGate makes the overload behaviour explicit:
+//
+//   * at most `max_concurrent` requests hold an execution slot;
+//   * at most `max_queue` further requests wait for one;
+//   * anything beyond that is shed immediately with
+//     StatusCode::kUnavailable — a first-class "try again later" answer,
+//     sibling to kUnknown in the degradation ladder (docs/SERVING.md):
+//     Unknown means "ran out of budget computing", Unavailable means
+//     "refused to start". Both are allowed; wrong is not.
+//
+// Enter() blocks (queued) until a slot frees or the gate shuts down;
+// admission is FIFO among waiters. The returned Ticket releases the slot
+// on destruction (RAII), so a throwing/early-returning caller can never
+// leak a slot.
+#ifndef DD_SERVE_REQUEST_GATE_H_
+#define DD_SERVE_REQUEST_GATE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "util/status.h"
+
+namespace dd {
+namespace serve {
+
+class RequestGate {
+ public:
+  struct Options {
+    int max_concurrent = 1;  ///< execution slots (>= 1)
+    int max_queue = 16;      ///< waiters beyond the slots; 0 = shed at cap
+  };
+
+  /// Counters published under dd.serve.* (docs/OBSERVABILITY.md).
+  struct Stats {
+    int64_t admitted = 0;    ///< requests that got a slot
+    int64_t shed = 0;        ///< requests refused with kUnavailable
+    int64_t queued = 0;      ///< admitted requests that had to wait first
+    int64_t queue_peak = 0;  ///< max waiters observed
+  };
+
+  /// RAII execution slot. A default-constructed (or moved-from) ticket
+  /// holds nothing; ok() says whether admission succeeded.
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& o) noexcept : gate_(o.gate_) { o.gate_ = nullptr; }
+    Ticket& operator=(Ticket&& o) noexcept;
+    ~Ticket() { Release(); }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+
+    bool ok() const { return gate_ != nullptr; }
+    void Release();
+
+   private:
+    friend class RequestGate;
+    explicit Ticket(RequestGate* gate) : gate_(gate) {}
+    RequestGate* gate_ = nullptr;
+  };
+
+  explicit RequestGate(const Options& opts);
+
+  /// Admits the caller, waiting in the bounded queue when all slots are
+  /// busy. Returns a holding Ticket, or kUnavailable when the queue is
+  /// full (load shed) or the gate was shut down while waiting.
+  Result<Ticket> Enter();
+
+  /// Wakes every waiter with kUnavailable and sheds all future Enter()s.
+  /// Slots already handed out stay valid until released.
+  void Shutdown();
+
+  int in_flight() const;  ///< slots currently held
+  int waiting() const;    ///< callers blocked in Enter()
+  Stats stats() const;
+
+ private:
+  const Options opts_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int in_flight_ = 0;
+  int waiting_ = 0;
+  uint64_t next_seq_ = 0;    ///< FIFO order among waiters
+  uint64_t serving_seq_ = 0; ///< lowest seq not yet admitted
+  bool shutdown_ = false;
+  Stats stats_;
+
+  void Release();
+};
+
+}  // namespace serve
+}  // namespace dd
+
+#endif  // DD_SERVE_REQUEST_GATE_H_

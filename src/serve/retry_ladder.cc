@@ -1,0 +1,65 @@
+#include "serve/retry_ladder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dd {
+namespace serve {
+
+namespace {
+
+int64_t ScaleAxis(int64_t initial, int64_t ceiling, double growth, int rung) {
+  if (initial < 0) return -1;  // unlimited stays unlimited
+  const double scaled = static_cast<double>(initial) * std::pow(growth, rung);
+  int64_t v;
+  if (scaled >= static_cast<double>(std::numeric_limits<int64_t>::max()) / 2) {
+    v = std::numeric_limits<int64_t>::max() / 2;  // overflow clamp
+  } else {
+    v = static_cast<int64_t>(scaled);
+  }
+  v = std::max<int64_t>(v, 1);
+  if (ceiling >= 0) v = std::min(v, ceiling);
+  return v;
+}
+
+}  // namespace
+
+Budget::Limits RungLimits(const RetryPolicy& policy, int rung) {
+  const double growth = policy.growth > 1.0 ? policy.growth : 1.0;
+  Budget::Limits lim;
+  lim.conflict_budget =
+      ScaleAxis(policy.initial_conflicts, policy.conflict_ceiling, growth, rung);
+  lim.oracle_call_budget = ScaleAxis(policy.initial_oracle_calls,
+                                     policy.oracle_call_ceiling, growth, rung);
+  lim.deadline_ms = ScaleAxis(policy.initial_deadline_ms,
+                              policy.deadline_ceiling_ms, growth, rung);
+  return lim;
+}
+
+LadderResult RunLadder(const RetryPolicy& policy, const AttemptFn& attempt) {
+  LadderResult out;
+  const int max_rungs = std::max(1, policy.max_rungs);
+  for (int rung = 0; rung < max_rungs; ++rung) {
+    Status why;
+    out.answer = attempt(RungLimits(policy, rung), &why);
+    ++out.rungs;
+    if (out.answer != Trilean::kUnknown) {
+      out.exhausted = Status::OK();
+      break;
+    }
+    if (!why.ok() && !why.IsBudgetExhaustion()) {
+      // A hard failure (parse error, violated precondition) — escalation
+      // cannot fix it; surface it instead of burning the remaining rungs.
+      out.exhausted = why;
+      break;
+    }
+    out.exhausted =
+        why.ok() ? Status::ResourceExhausted("rung budget exhausted") : why;
+  }
+  out.escalated = out.rungs > 1;
+  return out;
+}
+
+}  // namespace serve
+}  // namespace dd

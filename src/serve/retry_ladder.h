@@ -1,0 +1,85 @@
+// Budget-escalation retry ladder: kUnknown is a rung, not a wall.
+//
+// Under the anytime contract (docs/ROBUSTNESS.md) a budgeted query answers
+// kUnknown when its budget runs dry — sound, but terminal for the caller.
+// The serving layer turns that into graceful escalation: run the query on
+// a small budget first (most queries are easy — the paper's hardness is
+// worst-case), and re-run only the kUnknown ones with geometrically larger
+// budgets, up to a per-request ceiling.
+//
+// Determinism: RungLimits is a pure function of (policy, rung); with
+// conflict/oracle-call budgets (the default — wall-clock rungs are opt-in,
+// since deadlines depend on machine load) the whole ladder is
+// deterministic: the same seed and policy produce the same rung sequence
+// and the same final answer on every run. docs/SERVING.md §retry ladder.
+//
+// The ladder never caches and never invents answers: a definite verdict
+// from any rung equals the unbudgeted answer (anytime contract), and a
+// ladder that exhausts its ceiling surfaces kUnknown.
+#ifndef DD_SERVE_RETRY_LADDER_H_
+#define DD_SERVE_RETRY_LADDER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "util/budget.h"
+
+namespace dd {
+namespace serve {
+
+/// Geometric escalation policy. Any axis set to -1 at rung 0 stays
+/// unlimited on every rung (escalating "unlimited" is meaningless); a
+/// ceiling of -1 means "no ceiling" for that axis.
+struct RetryPolicy {
+  int max_rungs = 3;       ///< total attempts (>= 1); 1 = no retries
+  double growth = 4.0;     ///< per-rung budget multiplier (> 1)
+
+  int64_t initial_conflicts = 2048;    ///< rung-0 CDCL conflict budget
+  int64_t conflict_ceiling = -1;       ///< clamp for escalated rungs
+
+  int64_t initial_oracle_calls = -1;   ///< rung-0 oracle-call budget
+  int64_t oracle_call_ceiling = -1;
+
+  int64_t initial_deadline_ms = -1;    ///< rung-0 wall-clock (opt-in)
+  int64_t deadline_ceiling_ms = -1;
+
+  /// True when rung 0 already imposes no limit on any axis — the ladder
+  /// degenerates to a single unbudgeted attempt.
+  bool unlimited() const {
+    return initial_conflicts < 0 && initial_oracle_calls < 0 &&
+           initial_deadline_ms < 0;
+  }
+};
+
+/// The budget limits of attempt `rung` (0-based): each limited axis grows
+/// by growth^rung, clamped to its ceiling. Pure — this is what makes the
+/// rung sequence reproducible.
+Budget::Limits RungLimits(const RetryPolicy& policy, int rung);
+
+/// One ladder run. `rungs` is the number of attempts actually made;
+/// `escalated` is true when more than one rung ran; `exhausted` reports
+/// the last rung's budget status when the final answer is kUnknown.
+struct LadderResult {
+  Trilean answer = Trilean::kUnknown;
+  int rungs = 0;
+  bool escalated = false;
+  Status exhausted;  ///< OK unless the ladder ended kUnknown
+};
+
+/// The attempt callback: evaluate the query under `limits`, reporting the
+/// answer and (for kUnknown) the exhaustion status via *why.
+using AttemptFn =
+    std::function<Trilean(const Budget::Limits& limits, Status* why)>;
+
+/// Runs `attempt` up the ladder until a definite answer or the rung
+/// ceiling. An attempt whose kUnknown was NOT budget exhaustion (e.g. an
+/// injected oracle fault with no budget attached) is still retried — the
+/// escalated rung re-runs it — but a hard error Status in *why stops the
+/// ladder immediately (callers surface it; retrying can't fix a parse
+/// error).
+LadderResult RunLadder(const RetryPolicy& policy, const AttemptFn& attempt);
+
+}  // namespace serve
+}  // namespace dd
+
+#endif  // DD_SERVE_RETRY_LADDER_H_

@@ -1,0 +1,218 @@
+#include "serve/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/fingerprint.h"
+#include "util/string_util.h"
+
+namespace dd {
+namespace serve {
+
+namespace {
+
+constexpr char kMagic[8] = {'D', 'D', 'C', 'A', 'C', 'H', 'E', '1'};
+constexpr size_t kMagicLen = sizeof(kMagic);
+constexpr size_t kU64 = 8;
+constexpr size_t kU32 = 4;
+/// Header (magic + epoch + count) and trailer (checksum) sizes.
+constexpr size_t kHeaderLen = kMagicLen + 2 * kU64;
+constexpr size_t kMinLen = kHeaderLen + kU64;
+/// Hard caps: a snapshot failing them is corrupt, not huge. Keys are
+/// "fp|SEM|canonical-query" strings — 1 MiB is orders of magnitude above
+/// any real key; the file cap bounds the load-time allocation.
+constexpr uint64_t kMaxKeyLen = 1ull << 20;
+constexpr uint64_t kMaxFileLen = 1ull << 30;
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint32_t ReadU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<uint8_t>(p[i]);
+  return v;
+}
+
+uint64_t ReadU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | static_cast<uint8_t>(p[i]);
+  return v;
+}
+
+/// The crash-injection point requested via DD_SNAPSHOT_CRASH_AT, read
+/// fresh on every save (the knob is a CI harness, not a hot path).
+const char* CrashPoint() { return std::getenv("DD_SNAPSHOT_CRASH_AT"); }
+
+void MaybeCrash(const char* point) {
+  const char* want = CrashPoint();
+  // _exit skips every destructor and stream flush — the closest a process
+  // can get to its own kill -9.
+  if (want != nullptr && std::strcmp(want, point) == 0) _exit(137);
+}
+
+/// Writes `data` to `path` via POSIX fd so it can be fsync'd before the
+/// rename (an atomic rename of un-synced data can survive the process but
+/// not a power cut). `write_bytes` < data.size() simulates a torn write.
+Status WriteFileDurably(const std::string& path, const std::string& data,
+                        size_t write_bytes) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal(
+        StrFormat("snapshot: cannot open %s: %s", path.c_str(),
+                  std::strerror(errno)));
+  }
+  size_t off = 0;
+  while (off < write_bytes) {
+    ssize_t n = ::write(fd, data.data() + off, write_bytes - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status s = Status::Internal(StrFormat("snapshot: write %s: %s",
+                                            path.c_str(),
+                                            std::strerror(errno)));
+      ::close(fd);
+      return s;
+    }
+    off += static_cast<size_t>(n);
+  }
+  // fsync failure is a real durability failure, not a soft warning.
+  if (::fsync(fd) != 0) {
+    Status s = Status::Internal(StrFormat("snapshot: fsync %s: %s",
+                                          path.c_str(),
+                                          std::strerror(errno)));
+    ::close(fd);
+    return s;
+  }
+  if (::close(fd) != 0) {
+    return Status::Internal(StrFormat("snapshot: close %s: %s", path.c_str(),
+                                      std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveAnswerCache(const batch::AnswerCache& cache, uint64_t epoch,
+                       const std::string& path) {
+  // Serialize LRU-last so a loader's Inserts (which prepend) reproduce the
+  // recency order exactly — snapshots round-trip byte-identically.
+  std::vector<std::pair<std::string, Trilean>> entries;
+  entries.reserve(static_cast<size_t>(cache.size()));
+  cache.ForEach([&](const std::string& key, Trilean answer) {
+    entries.emplace_back(key, answer);
+  });
+
+  std::string data;
+  data.append(kMagic, kMagicLen);
+  AppendU64(&data, epoch);
+  AppendU64(&data, static_cast<uint64_t>(entries.size()));
+  for (const auto& [key, answer] : entries) {
+    AppendU32(&data, static_cast<uint32_t>(key.size()));
+    data.append(key);
+    data.push_back(answer == Trilean::kYes ? 1 : 0);
+  }
+  AppendU64(&data, FingerprintBytes(data));
+
+  const std::string tmp = path + ".tmp";
+  const char* crash = CrashPoint();
+  const bool partial = crash != nullptr && std::strcmp(crash, "partial") == 0;
+  // "partial" tears the write mid-payload: the temp file holds a prefix
+  // whose checksum cannot validate, and the target is never touched.
+  DD_RETURN_IF_ERROR(
+      WriteFileDurably(tmp, data, partial ? data.size() / 2 : data.size()));
+  MaybeCrash("partial");
+  MaybeCrash("before-rename");
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status s = Status::Internal(StrFormat("snapshot: rename %s -> %s: %s",
+                                          tmp.c_str(), path.c_str(),
+                                          std::strerror(errno)));
+    std::remove(tmp.c_str());
+    return s;
+  }
+  MaybeCrash("after-rename");
+  return Status::OK();
+}
+
+Status LoadAnswerCache(const std::string& path, uint64_t expected_epoch,
+                       batch::AnswerCache* cache, SnapshotLoad* outcome) {
+  // Every exit path leaves the cache cold-started and epoch-pinned; only
+  // the success path below adds entries on top.
+  cache->Clear();
+  cache->SetEpoch(expected_epoch);
+  auto classify = [&](SnapshotLoad o, Status s) {
+    if (outcome != nullptr) *outcome = o;
+    return s;
+  };
+  auto corrupt = [&](const std::string& why) {
+    return classify(SnapshotLoad::kCorrupt,
+                    Status::DataLoss(StrFormat("snapshot %s: %s", path.c_str(),
+                                               why.c_str())));
+  };
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return classify(SnapshotLoad::kMissing, Status::OK());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in.good() && !in.eof()) return corrupt("read failed");
+  const std::string data = buf.str();
+
+  if (data.size() < kMinLen) return corrupt("truncated header");
+  if (data.size() > kMaxFileLen) return corrupt("file exceeds size cap");
+  if (std::memcmp(data.data(), kMagic, kMagicLen) != 0) {
+    return corrupt("bad magic / version skew");
+  }
+  const uint64_t checksum = ReadU64(data.data() + data.size() - kU64);
+  const std::string_view payload(data.data(), data.size() - kU64);
+  if (FingerprintBytes(payload) != checksum) return corrupt("checksum mismatch");
+
+  const uint64_t epoch = ReadU64(data.data() + kMagicLen);
+  const uint64_t count = ReadU64(data.data() + kMagicLen + kU64);
+
+  // Structural validation BEFORE the epoch check: a corrupt file must
+  // always be reported as corrupt, even if it happens to carry another
+  // database's epoch.
+  std::vector<std::pair<std::string_view, Trilean>> entries;
+  size_t off = kHeaderLen;
+  const size_t end = data.size() - kU64;
+  for (uint64_t i = 0; i < count; ++i) {
+    if (end - off < kU32) return corrupt("truncated entry length");
+    const uint64_t key_len = ReadU32(data.data() + off);
+    off += kU32;
+    if (key_len > kMaxKeyLen) return corrupt("entry key exceeds cap");
+    if (end - off < key_len + 1) return corrupt("truncated entry");
+    std::string_view key(data.data() + off, key_len);
+    off += key_len;
+    const uint8_t answer = static_cast<uint8_t>(data[off++]);
+    // No encoding for kUnknown exists on purpose; anything but 0/1 is
+    // corruption, never a third answer.
+    if (answer > 1) return corrupt("answer byte outside {no, yes}");
+    entries.emplace_back(key, answer == 1 ? Trilean::kYes : Trilean::kNo);
+  }
+  if (off != end) return corrupt("trailing bytes after last entry");
+
+  if (epoch != expected_epoch) return classify(SnapshotLoad::kStale, Status::OK());
+
+  // Insert LRU-first (reverse of serialization order) so the restored
+  // recency order matches the saved cache.
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    cache->Insert(std::string(it->first), it->second);
+  }
+  return classify(SnapshotLoad::kLoaded, Status::OK());
+}
+
+}  // namespace serve
+}  // namespace dd

@@ -1,0 +1,72 @@
+// Crash-safe persistence for the batch answer cache.
+//
+// A snapshot is one self-validating binary file:
+//
+//   magic   "DDCACHE1"                     8 bytes
+//   epoch   database fingerprint           u64 LE
+//   count   number of entries              u64 LE
+//   entry*  [key_len u32 LE][key bytes][answer u8: 0=no, 1=yes]
+//   check   FingerprintBytes over all preceding bytes   u64 LE
+//
+// The invalidation contract mirrors the in-memory cache (docs/BATCHING.md):
+// the epoch is the database fingerprint the answers were computed against,
+// so a snapshot from a different database loads as a *stale* empty cache —
+// silently, by design. Corruption of any kind (truncation, bit flips,
+// version skew, absurd lengths) must degrade to a cold start, never a crash
+// and never a wrong answer: every length is bounds-checked before use and
+// the trailing checksum covers every payload byte, so a torn or flipped
+// file fails closed. "Unknown is never cached" extends to disk — the format
+// has no encoding for kUnknown, and a loader finding an answer byte outside
+// {0,1} rejects the file.
+//
+// Saves are atomic: the snapshot is serialized to `path + ".tmp"`, flushed
+// and fsync'd, then renamed over `path`. A reader therefore sees either the
+// complete previous snapshot or the complete new one; a process killed
+// mid-save (scripts/check.sh does this with SIGKILL) leaves at worst a
+// stale temp file, which later saves simply overwrite.
+//
+// DD_SNAPSHOT_CRASH_AT — test-only crash injection (the snapshot analogue
+// of DD_FAULT_*, docs/ROBUSTNESS.md): when set to "partial", "before-rename"
+// or "after-rename", SaveAnswerCache calls _exit(137) at that point of the
+// save, simulating kill -9 with deterministic timing. Used by the
+// crash-recovery leg of scripts/check.sh.
+#ifndef DD_SERVE_SNAPSHOT_H_
+#define DD_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "batch/answer_cache.h"
+#include "util/status.h"
+
+namespace dd {
+namespace serve {
+
+/// Outcome classification of LoadAnswerCache, for dd.serve.* accounting.
+enum class SnapshotLoad {
+  kLoaded,   ///< entries restored (epoch matched)
+  kMissing,  ///< no file at `path` — plain cold start
+  kStale,    ///< valid file for a different epoch — cold start by contract
+  kCorrupt,  ///< failed integrity checks — cold start, counts as a failure
+};
+
+/// Serializes `cache` (all live entries, MRU first) stamped with `epoch`
+/// and atomically replaces `path`. Returns non-OK on I/O failure; the
+/// previous snapshot, if any, is preserved in that case.
+Status SaveAnswerCache(const batch::AnswerCache& cache, uint64_t epoch,
+                       const std::string& path);
+
+/// Restores `cache` from `path` for a database whose fingerprint is
+/// `expected_epoch`. The cache is cleared and epoch-pinned first, so every
+/// outcome leaves it usable; entries are added only when the snapshot is
+/// intact AND stamped with `expected_epoch`. `*outcome` (may be null)
+/// reports the classification; the returned Status is non-OK only for
+/// kCorrupt (so callers can log/count it) — missing and stale files are
+/// normal cold starts.
+Status LoadAnswerCache(const std::string& path, uint64_t expected_epoch,
+                       batch::AnswerCache* cache, SnapshotLoad* outcome);
+
+}  // namespace serve
+}  // namespace dd
+
+#endif  // DD_SERVE_SNAPSHOT_H_

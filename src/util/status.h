@@ -21,6 +21,8 @@ enum class StatusCode {
   kInternal,          ///< invariant violation inside the library
   kDeadlineExceeded,  ///< wall-clock deadline passed
   kCancelled,         ///< external CancelToken fired (sibling/user cancel)
+  kUnavailable,       ///< load shed: admission control refused the request
+  kDataLoss,          ///< persisted state failed integrity checks (snapshots)
 };
 
 /// Result of a fallible operation: a code plus a human-readable message.
@@ -57,6 +59,12 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   /// True for the "ran out of budget / was told to stop, answer is Unknown

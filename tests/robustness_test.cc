@@ -4,6 +4,7 @@
 // enumeration-based procedures.
 #include <string>
 
+#include "batch/queries_file.h"
 #include "gen/generators.h"
 #include "gtest/gtest.h"
 #include "logic/parser.h"
@@ -137,6 +138,112 @@ TEST(DimacsFuzz, RoundTripAfterMutationNeverCrashes) {
     EXPECT_EQ(again->clauses.size(), cnf->clauses.size());
     EXPECT_GE(again->num_vars, 0);
   }
+}
+
+// ---------------------------------------------------------------------------
+// .queries file fuzzing (batch/queries_file.cc): the --batch input format
+// gets the same treatment as DIMACS above — hostile bytes must come back
+// as a line-numbered Status, never crash, never shift answer positions.
+
+TEST(QueriesFuzz, RandomGarbageNeverCrashes) {
+  const char charset[] = "litnfergcwapdsm |:-,.()~&\r\n\t#x 0\xff";
+  Rng rng(20260808);
+  int parsed_ok = 0;
+  for (int iter = 0; iter < 3000; ++iter) {
+    std::string text;
+    int len = static_cast<int>(rng.Below(60));
+    for (int i = 0; i < len; ++i) {
+      text += charset[rng.Below(sizeof(charset) - 1)];
+    }
+    if (rng.Below(4) == 0) text += '\0';  // embedded NUL bytes too
+    auto parsed = batch::ParseQueriesFile(text);
+    parsed_ok += parsed.ok() ? 1 : 0;
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+  EXPECT_GT(parsed_ok, 0);  // blank/comment-only files parse fine
+}
+
+TEST(QueriesFuzz, WellFormedInputsParse) {
+  auto parsed = batch::ParseQueriesFile(
+      "# header comment\n"
+      "lit gcwa a\n"
+      "infer pdsm (a | b)\n"
+      "\n"
+      "lit ddr not c\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->queries.size(), 3u);
+  EXPECT_EQ(parsed->queries[0].kind, SemanticsKind::kGcwa);
+  EXPECT_TRUE(parsed->queries[0].query.is_literal);
+  EXPECT_EQ(parsed->queries[0].query.text, "a");
+  EXPECT_EQ(parsed->queries[0].line, 2);
+  EXPECT_FALSE(parsed->queries[1].query.is_literal);
+  EXPECT_EQ(parsed->queries[2].query.text, "not c");
+  // Regrouped per semantics, slots mapping back to input positions.
+  ASSERT_EQ(parsed->groups.size(), 3u);
+  EXPECT_EQ(parsed->groups[0].kind, SemanticsKind::kGcwa);
+  EXPECT_EQ(parsed->groups[0].slots, (std::vector<int>{0}));
+  EXPECT_EQ(parsed->groups[2].slots, (std::vector<int>{2}));
+}
+
+TEST(QueriesFuzz, AcceptsEverySemanticsNameAndAlias) {
+  for (const char* name :
+       {"cwa", "gcwa", "egcwa", "ccwa", "ecwa", "circ", "ddr", "wgcwa",
+        "pws", "pms", "perf", "icwa", "dsm", "pdsm", "GCWA", "Pdsm"}) {
+    auto parsed =
+        batch::ParseQueriesFile(std::string("lit ") + name + " a\n");
+    EXPECT_TRUE(parsed.ok()) << name;
+  }
+  EXPECT_FALSE(batch::ParseQueriesFile("lit nosuch a\n").ok());
+}
+
+TEST(QueriesFuzz, CrlfAndUnterminatedFinalLine) {
+  // CRLF endings are stripped; a final line without '\n' still counts.
+  auto parsed =
+      batch::ParseQueriesFile("lit gcwa a\r\ninfer egcwa (a & b)");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->queries.size(), 2u);
+  EXPECT_EQ(parsed->queries[0].query.text, "a");  // no trailing '\r'
+  EXPECT_EQ(parsed->queries[1].query.text, "(a & b)");
+  EXPECT_EQ(parsed->queries[1].line, 2);
+}
+
+TEST(QueriesFuzz, OverlongLineRejectedWithLineNumber) {
+  std::string text = "lit gcwa a\nlit gcwa ";
+  text.append(batch::kMaxQueryLine + 1, 'x');
+  text += "\n";
+  auto parsed = batch::ParseQueriesFile(text);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("line 2"), std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(QueriesFuzz, MalformedLinesAttributedNotSkipped) {
+  // A bad line fails the WHOLE parse (silently skipping would shift every
+  // later answer off its input line).
+  for (const char* text :
+       {"bogus gcwa a\n", "lit gcwa\n", "lit\n", "lit gcwa  \t \n",
+        "infer nosuch (a)\n"}) {
+    auto parsed = batch::ParseQueriesFile(text);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << text;
+  }
+  auto parsed = batch::ParseQueriesFile("lit gcwa a\nlit gcwa\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(QueriesFuzz, NulAndHighBytesAreQueryText) {
+  // Non-UTF8 bytes are not the parser's business: the line structure
+  // parses, the garbage lands in the query text for downstream parsing.
+  std::string text = "lit gcwa a";
+  text.push_back('\0');
+  text += "\xc3\x28\n";  // invalid UTF-8 sequence
+  auto parsed = batch::ParseQueriesFile(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->queries.size(), 1u);
+  EXPECT_EQ(parsed->queries[0].query.text.size(), 4u);  // a, NUL, 0xc3, 0x28
 }
 
 TEST(SolverStress, ThresholdInstancesExerciseRestartsAndReduce) {
