@@ -3,8 +3,9 @@
 //   ddquery <program.ddb>          load a database and read commands from
 //                                  stdin (or pipe a script in)
 //   ddquery --batch=FILE <prog>    batched mode: FILE holds one query per
-//                                  line ("lit <SEM> <literal>" or
-//                                  "infer <SEM> <formula>"; blank lines and
+//                                  line ("lit <SEM> <literal>",
+//                                  "infer <SEM> <formula>" or
+//                                  "brave <SEM> <formula>"; blank lines and
 //                                  # comments are skipped); answers print
 //                                  in input order, one per line, identical
 //                                  for every --threads value
@@ -34,6 +35,7 @@
 // Serve-mode protocol (one request line -> one response line):
 //   QUERY <SEM> <lit|infer> <q>    -> ANSWER yes|no|unknown rungs=N cached=B
 //                                     | UNAVAILABLE <why> | ERR <why>
+//   BRAVE <SEM> <formula>          -> same responses, credulous inference
 //   RELOAD <file>                  -> RELOADED fp=<hex> <summary>
 //   SAVE                           -> SAVED <path> entries=N
 //   STATS                          -> STATS <dd.serve.* JSON>
@@ -126,7 +128,8 @@ void PrintHelp() {
       "flags: --timeout-ms=N --conflict-budget=N (budgeted queries; exit 2\n"
       "       if any query runs out of budget)\n"
       "       --batch=FILE --threads=N (batched evaluation; one\n"
-      "       'lit <sem> <literal>' or 'infer <sem> <formula>' per line)\n"
+      "       'lit <sem> <literal>', 'infer <sem> <formula>' or\n"
+      "       'brave <sem> <formula>' per line)\n"
       "       --serve --retry-rungs=N (line-protocol serving mode:\n"
       "       QUERY/RELOAD/SAVE/STATS/QUIT -- docs/SERVING.md)\n"
       "       --cache-file=PATH (crash-safe answer-cache snapshot)\n"
@@ -238,7 +241,8 @@ bool ParsePartitionArgs(const std::string& rest_of_line, dd::Reasoner* r) {
 }
 
 /// Runs --batch mode through the hardened .queries parser
-/// (batch/queries_file.h), one Reasoner::AnswerBatch call per semantics,
+/// (batch/queries_file.h), one Reasoner::AnswerBatch (or, for `brave`
+/// lines, AnswerBatchCredulous) call per (semantics, mode) group,
 /// printing one answer per query in input-line order — the same strings
 /// the interactive shell prints, so `ddquery --batch=F prog` and
 /// `ddquery prog < F` agree line for line. `cache`, when non-null, is the
@@ -270,7 +274,8 @@ bool RunBatch(dd::Reasoner* reasoner, const std::string& path,
   std::vector<dd::Trilean> answers(parsed->queries.size(),
                                    dd::Trilean::kUnknown);
   for (const auto& g : parsed->groups) {
-    auto r = reasoner->AnswerBatch(g.kind, g.queries, bo);
+    auto r = g.brave ? reasoner->AnswerBatchCredulous(g.kind, g.queries, bo)
+                     : reasoner->AnswerBatch(g.kind, g.queries, bo);
     if (!r.ok()) {
       std::fprintf(stderr, "ddquery: %s\n", r.status().ToString().c_str());
       return false;

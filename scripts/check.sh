@@ -83,10 +83,11 @@ if [ "$FAST" -eq 0 ]; then
   # enumeration layers behind them, and the oracle-session suite (sessions
   # are what parallel chunks must NOT share).
   # batch_test joins the filter because AnswerBatch evaluates slice groups
-  # on the shared pool (group engines must never share oracle sessions).
+  # on the shared pool (group engines must never share oracle sessions);
+  # bank_store_test adds the cross-batch bank store feeding those groups.
   # serve_test joins because the serving layer's gate/session-swap paths
   # are exercised from multiple threads (RequestGate waiters, hot reload).
-  CTEST_FILTER='thread_pool_test|oracle_session_test|fixpoint_test|egcwa_ecwa_test|ddr_pws_test|batch_test|serve_test' \
+  CTEST_FILTER='thread_pool_test|oracle_session_test|fixpoint_test|egcwa_ecwa_test|ddr_pws_test|batch_test|bank_store_test|serve_test' \
   run_leg "tsan (concurrency tests)" build-check-tsan \
           -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDD_SANITIZE=thread \
           -DDD_BUILD_BENCHMARKS=OFF

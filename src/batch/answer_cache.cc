@@ -6,10 +6,23 @@ namespace dd {
 namespace batch {
 
 std::string AnswerCache::MakeKey(uint64_t fingerprint, SemanticsKind kind,
-                                 const std::string& canonical_query) {
-  return StrFormat("%016llx|%s|", static_cast<unsigned long long>(fingerprint),
-                   SemanticsKindName(kind)) +
+                                 const std::string& canonical_query,
+                                 bool brave) {
+  return StrFormat("%016llx|%s%s|",
+                   static_cast<unsigned long long>(fingerprint),
+                   SemanticsKindName(kind), brave ? "~brave" : "") +
          canonical_query;
+}
+
+bool AnswerCache::IsBraveKey(const std::string& key) {
+  // The mode tag lives in the kind segment (between the first and second
+  // '|'); the query segment after it may contain arbitrary bytes and is
+  // never inspected.
+  const size_t first = key.find('|');
+  if (first == std::string::npos) return false;
+  const size_t second = key.find('|', first + 1);
+  if (second == std::string::npos) return false;
+  return key.find('~', first + 1) < second;
 }
 
 void AnswerCache::SetEpoch(uint64_t fingerprint) {

@@ -51,9 +51,19 @@ class AnswerCache {
   /// `capacity` <= 0 means unbounded (tests only; servers should bound).
   explicit AnswerCache(int64_t capacity = 4096) : capacity_(capacity) {}
 
-  /// The canonical composite key.
+  /// The canonical composite key. `brave` tags credulous-mode entries in
+  /// the kind segment ("KIND~brave"), so brave and skeptical answers for
+  /// the same canonical query never collide while skeptical keys stay
+  /// byte-identical to the pre-brave format (existing snapshots load
+  /// unchanged).
   static std::string MakeKey(uint64_t fingerprint, SemanticsKind kind,
-                             const std::string& canonical_query);
+                             const std::string& canonical_query,
+                             bool brave = false);
+
+  /// True for keys minted by MakeKey(..., brave=true). Snapshot
+  /// persistence filters these out: snapshots stay skeptical-only
+  /// (docs/SERVING.md).
+  static bool IsBraveKey(const std::string& key);
 
   /// Pins the cache to a database fingerprint; entries computed against a
   /// different fingerprint are dropped wholesale (invalidation contract).

@@ -36,7 +36,7 @@ Result<QueriesFile> ParseQueriesFile(std::string_view text) {
     return Status::InvalidArgument("queries file too large");
   }
   QueriesFile out;
-  std::map<SemanticsKind, int> group_of;
+  std::map<std::pair<SemanticsKind, bool>, int> group_of;
   int lineno = 0;
   // Manual line walk (not getline on a stream): it preserves NUL bytes,
   // costs one pass, and naturally handles a missing final newline.
@@ -56,8 +56,9 @@ Result<QueriesFile> ParseQueriesFile(std::string_view text) {
     std::string_view cmd = NextToken(&rest);
     if (cmd.empty() || cmd[0] == '#') continue;
     const bool is_lit = cmd == "lit";
-    if (!is_lit && cmd != "infer") {
-      return BadLine(lineno, "expected 'lit' or 'infer', got '" +
+    const bool is_brave = cmd == "brave";
+    if (!is_lit && !is_brave && cmd != "infer") {
+      return BadLine(lineno, "expected 'lit', 'infer' or 'brave', got '" +
                                  std::string(cmd) + "'");
     }
     std::string_view sem_name = NextToken(&rest);
@@ -70,11 +71,13 @@ Result<QueriesFile> ParseQueriesFile(std::string_view text) {
     if (query.empty()) return BadLine(lineno, "empty query");
 
     const int slot = static_cast<int>(out.queries.size());
-    out.queries.push_back(
-        ParsedQuery{*kind, BatchQuery{std::string(query), is_lit}, lineno});
-    auto [it, inserted] =
-        group_of.emplace(*kind, static_cast<int>(out.groups.size()));
-    if (inserted) out.groups.push_back(QueriesFile::Group{*kind, {}, {}});
+    out.queries.push_back(ParsedQuery{
+        *kind, is_brave, BatchQuery{std::string(query), is_lit}, lineno});
+    auto [it, inserted] = group_of.emplace(
+        std::make_pair(*kind, is_brave), static_cast<int>(out.groups.size()));
+    if (inserted) {
+      out.groups.push_back(QueriesFile::Group{*kind, is_brave, {}, {}});
+    }
     QueriesFile::Group& g = out.groups[it->second];
     g.slots.push_back(slot);
     g.queries.push_back(out.queries.back().query);

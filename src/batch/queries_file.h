@@ -5,6 +5,7 @@
 //
 //   lit   <SEM> <literal>     # skeptical literal inference
 //   infer <SEM> <formula>     # skeptical formula inference
+//   brave <SEM> <formula>     # brave (credulous) formula inference
 //   # comment                 — skipped, as are blank lines
 //
 // SEM is any name SemanticsKindFromName accepts (all 11 semantics plus
@@ -44,18 +45,21 @@ constexpr size_t kMaxQueriesFile = size_t{1} << 30;
 /// One parsed query line, tagged with its input position.
 struct ParsedQuery {
   SemanticsKind kind = SemanticsKind::kGcwa;
+  bool brave = false;  ///< credulous mode ("brave" command)
   BatchQuery query;
   int line = 0;  ///< 1-based source line, for error attribution
 };
 
-/// The whole file, plus the queries regrouped per semantics in
-/// first-appearance order — the shape Reasoner::AnswerBatch consumes
-/// (one call per semantics), with `slots` mapping each group member back
-/// to its input position so answers print in input-line order.
+/// The whole file, plus the queries regrouped per (semantics, mode) in
+/// first-appearance order — the shape the Reasoner's batch entry points
+/// consume (one AnswerBatch/AnswerBatchCredulous call per group), with
+/// `slots` mapping each group member back to its input position so
+/// answers print in input-line order.
 struct QueriesFile {
   std::vector<ParsedQuery> queries;  ///< input order
   struct Group {
     SemanticsKind kind = SemanticsKind::kGcwa;
+    bool brave = false;  ///< routes to AnswerBatchCredulous
     std::vector<int> slots;  ///< input positions, input order
     std::vector<BatchQuery> queries;
   };

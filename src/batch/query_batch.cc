@@ -1,6 +1,7 @@
 #include "batch/query_batch.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "logic/formula_transform.h"
@@ -15,6 +16,7 @@ void BatchStats::Add(const BatchStats& o) {
   unique_queries += o.unique_queries;
   dedup_hits += o.dedup_hits;
   conjunct_splits += o.conjunct_splits;
+  disjunct_splits += o.disjunct_splits;
   groups += o.groups;
   bank_groups += o.bank_groups;
   fallback_groups += o.fallback_groups;
@@ -25,6 +27,12 @@ void BatchStats::Add(const BatchStats& o) {
   cache_insertions += o.cache_insertions;
   cache_evictions += o.cache_evictions;
   cache_invalidations += o.cache_invalidations;
+  bank_store_hits += o.bank_store_hits;
+  bank_store_misses += o.bank_store_misses;
+  bank_store_insertions += o.bank_store_insertions;
+  bank_store_evictions += o.bank_store_evictions;
+  bank_store_invalidations += o.bank_store_invalidations;
+  bank_store_truncated_rejected += o.bank_store_truncated_rejected;
 }
 
 void Publish(const BatchStats& s, obs::MetricsRegistry* reg) {
@@ -32,6 +40,7 @@ void Publish(const BatchStats& s, obs::MetricsRegistry* reg) {
   reg->Add("dd.batch.unique_queries", s.unique_queries);
   reg->Add("dd.batch.dedup_hits", s.dedup_hits);
   reg->Add("dd.batch.conjunct_splits", s.conjunct_splits);
+  reg->Add("dd.batch.disjunct_splits", s.disjunct_splits);
   reg->Add("dd.batch.groups", s.groups);
   reg->Add("dd.batch.bank_groups", s.bank_groups);
   reg->Add("dd.batch.fallback_groups", s.fallback_groups);
@@ -42,6 +51,12 @@ void Publish(const BatchStats& s, obs::MetricsRegistry* reg) {
   reg->Add("dd.cache.insertions", s.cache_insertions);
   reg->Add("dd.cache.evictions", s.cache_evictions);
   reg->Add("dd.cache.invalidations", s.cache_invalidations);
+  reg->Add("dd.bank.hits", s.bank_store_hits);
+  reg->Add("dd.bank.misses", s.bank_store_misses);
+  reg->Add("dd.bank.insertions", s.bank_store_insertions);
+  reg->Add("dd.bank.evictions", s.bank_store_evictions);
+  reg->Add("dd.bank.invalidations", s.bank_store_invalidations);
+  reg->Add("dd.bank.truncated_rejected", s.bank_store_truncated_rejected);
 }
 
 std::string CanonicalKey(const Formula& f, const Vocabulary& voc) {
@@ -112,6 +127,14 @@ std::vector<Formula> SplitConjuncts(const Formula& f) {
   return {s};
 }
 
+std::vector<Formula> SplitDisjuncts(const Formula& f) {
+  Formula s = Simplify(f);
+  if (s->kind() == FormulaKind::kOr) {
+    return s->children();  // Simplify already flattened nested ∨
+  }
+  return {s};
+}
+
 bool BankIsSound(SemanticsKind kind) {
   // Every 2-valued semantics is characterized by its intended-model set
   // (core/brute_force.h); PDSM answers 3-valued over partial stable
@@ -119,9 +142,64 @@ bool BankIsSound(SemanticsKind kind) {
   return kind != SemanticsKind::kPdsm;
 }
 
+bool BraveBankIsSound(SemanticsKind kind) {
+  // Same characterization, existential direction: credulous inference is
+  // "f true in some intended model" for every 2-valued semantics. PDSM's
+  // credulous check runs 3-valued over partial stable models
+  // (FindCounterexample of ¬f under Eval3), which the total projections
+  // in a bank cannot reproduce — same gate, same reason.
+  return kind != SemanticsKind::kPdsm;
+}
+
+namespace {
+
+/// Answers every member query from a complete bank: a for-all pass
+/// (skeptical) or an exists pass (brave) of polynomial formula
+/// evaluations. On an EMPTY bank (a semantics-inconsistent module) the
+/// for-all pass answers yes vacuously and the exists pass answers no —
+/// matching the engines' conventions for model-free databases.
+void AnswerFromBank(const GroupRequest& req, const ModelBank& bank,
+                    GroupResult* out) {
+  const bool brave = req.mode == BatchMode::kBrave;
+  for (size_t i = 0; i < req.queries.size(); ++i) {
+    const Formula& f = req.queries[i]->f;
+    const Interpretation* found = nullptr;
+    for (const Interpretation& m : *bank.models) {
+      // The decisive model: satisfying for brave, violating for skeptical.
+      if (f->Eval(m) == brave) {
+        found = &m;
+        break;
+      }
+    }
+    out->answers[i] = TrileanFromBool(brave ? found != nullptr
+                                            : found == nullptr);
+    if (req.collect_witnesses && found != nullptr) {
+      out->witnesses[i] = *found;
+    }
+  }
+}
+
+}  // namespace
+
 GroupResult EvaluateGroup(const GroupRequest& req) {
   GroupResult out;
   out.answers.assign(req.queries.size(), Trilean::kUnknown);
+  if (req.collect_witnesses) {
+    out.witnesses.assign(req.queries.size(), std::nullopt);
+  }
+  const bool brave = req.mode == BatchMode::kBrave;
+  const bool bank_sound =
+      brave ? BraveBankIsSound(req.kind) : BankIsSound(req.kind);
+
+  // A stored complete bank answers the whole group with zero oracle work
+  // (and zero budget spend): the expensive enumeration already happened
+  // in an earlier batch or ladder rung.
+  if (bank_sound && req.bank != nullptr && req.bank->complete) {
+    AnswerFromBank(req, *req.bank, &out);
+    out.used_bank = true;
+    out.bank_from_store = true;
+    return out;
+  }
 
   std::unique_ptr<Semantics> engine;
   if (req.partition != nullptr && req.kind == SemanticsKind::kCcwa) {
@@ -136,40 +214,76 @@ GroupResult EvaluateGroup(const GroupRequest& req) {
   if (req.budget != nullptr) engine->SetBudget(req.budget);
 
   // Shared model bank: enumerate the group's intended models once and
-  // answer every member query against them. Only trusted when the whole
-  // set fit strictly under the cap (a full bank may be truncated) — and
-  // only under semantics whose inference is exactly "true in all models".
+  // answer every member query against them. Asking for cap+1 models and
+  // trusting only when at most cap came back PROVES completeness — an
+  // enumeration engine may silently stop at its cap (PERF, ICWA) or
+  // error past it (CWA family, EGCWA), and either way a result of
+  // exactly cap models under a cap-sized request could be truncated,
+  // while under a (cap+1)-sized request it cannot be.
   bool bank_done = false;
-  if (BankIsSound(req.kind) && req.model_bank_cap > 0) {
-    const int64_t cap = req.opts.max_models > 0
-                            ? std::min(req.model_bank_cap, req.opts.max_models)
-                            : req.model_bank_cap;
-    Result<std::vector<Interpretation>> models = engine->Models(cap);
-    if (models.ok() && static_cast<int64_t>(models->size()) < cap) {
-      for (size_t i = 0; i < req.queries.size(); ++i) {
-        const Formula& f = req.queries[i]->f;
-        bool all = true;
-        for (const Interpretation& m : *models) {
-          if (!f->Eval(m)) {
-            all = false;
-            break;
-          }
-        }
-        // An empty bank answers yes vacuously — matching the engines'
-        // skeptical convention for model-free databases.
-        out.answers[i] = TrileanFromBool(all);
-      }
+  if (bank_sound && req.model_bank_cap > 0) {
+    const int64_t cap = EffectiveBankCap(req.model_bank_cap, req.opts);
+    Result<std::shared_ptr<const std::vector<Interpretation>>> models =
+        engine->SharedModels(cap + 1);
+    if (models.ok() && static_cast<int64_t>((*models)->size()) <= cap) {
+      auto bank = std::make_shared<ModelBank>();
+      bank->models = std::move(*models);
+      bank->num_vars = bank->models->empty()
+                           ? std::numeric_limits<int>::max()
+                           : bank->models->front().num_vars();
+      bank->complete = true;
+      AnswerFromBank(req, *bank, &out);
       out.used_bank = true;
-      out.bank_models = static_cast<int64_t>(models->size());
+      out.bank_models = static_cast<int64_t>(bank->models->size());
+      if (req.export_bank) out.built_bank = std::move(bank);
       bank_done = true;
     }
     // Budget exhaustion during banking latches the engine interrupt; the
-    // fallback below then fails fast per query with sound kUnknowns.
+    // fallback below then fails fast per query with sound kUnknowns. A
+    // model-count overflow (more intended models than the cap) does not
+    // latch anything — the fallback answers normally. Neither outcome
+    // ever exports a bank.
   }
 
   if (!bank_done) {
     for (size_t i = 0; i < req.queries.size(); ++i) {
       const CanonicalQuery* q = req.queries[i];
+      if (brave) {
+        // The engine's own credulous check, witness included: a model
+        // violating ¬f is exactly a model satisfying f. Routing through
+        // FindCounterexample keeps fallback answers equal to the
+        // sequential InfersCredulously entry point by construction
+        // (including PDSM's 3-valued reading).
+        Result<std::optional<Interpretation>> r =
+            engine->FindCounterexample(FormulaNode::MakeNot(q->f));
+        if (r.ok()) {
+          out.answers[i] = TrileanFromBool(r->has_value());
+          if (req.collect_witnesses && r->has_value()) {
+            out.witnesses[i] = std::move(**r);
+          }
+        } else if (r.status().IsBudgetExhaustion()) {
+          out.answers[i] = Trilean::kUnknown;
+        } else {
+          if (out.error.ok()) out.error = r.status();
+          out.answers[i] = Trilean::kUnknown;
+        }
+        continue;
+      }
+      if (req.collect_witnesses) {
+        // Witness-bearing skeptical path: nullopt ⇔ inferred.
+        Result<std::optional<Interpretation>> r =
+            engine->FindCounterexample(q->f);
+        if (r.ok()) {
+          out.answers[i] = TrileanFromBool(!r->has_value());
+          if (r->has_value()) out.witnesses[i] = std::move(**r);
+        } else if (r.status().IsBudgetExhaustion()) {
+          out.answers[i] = Trilean::kUnknown;
+        } else {
+          if (out.error.ok()) out.error = r.status();
+          out.answers[i] = Trilean::kUnknown;
+        }
+        continue;
+      }
       Result<bool> r = q->lit.has_value() ? engine->InfersLiteral(*q->lit)
                                           : engine->InfersFormula(q->f);
       if (r.ok()) {

@@ -21,23 +21,43 @@
 //      minimal-model bank answers every member query when the group's
 //      intended-model set fits under the bank cap, else the group falls
 //      back to per-query engine calls (still sharing the engine's session,
-//      memo and projection streams). Groups run in parallel under one
-//      shared Budget; exhaustion yields sound kUnknown answers, which are
-//      NEVER cached.
+//      memo and projection streams). Complete banks are reused across
+//      batches via batch/model_bank_store.h. Groups run in parallel under
+//      one shared Budget; exhaustion yields sound kUnknown answers, which
+//      are NEVER cached.
+//
+// The pipeline runs in one of two modes (BatchMode):
+//   * kSkeptical — "f true in EVERY intended model". Top-level ∧ splits;
+//     a group bank answers by a for-all pass.
+//   * kBrave — "f true in SOME intended model" (InfersCredulously).
+//     Brave inference distributes over ∨, not ∧, so top-level ∨ splits
+//     and answers recompose by Kleene disjunction; a group bank answers
+//     by an exists pass over the SAME models a skeptical batch would
+//     bank. Per-query fallback goes through the engine's own
+//     FindCounterexample(¬f), so fallback answers equal the sequential
+//     InfersCredulously entry point by construction.
 //
 // Soundness gates (docs/BATCHING.md):
 //   * model bank: requires InfersFormula(f) == "f true in every Models()
-//     entry", which holds for every 2-valued semantics (core/brute_force.h
-//     pins the characterizations) but NOT for PDSM's 3-valued evaluation —
-//     BankIsSound gates it off there;
-//   * bank completeness: the bank is only trusted when Models() returned
-//     strictly fewer models than its cap (a full bank may be truncated);
+//     entry" (skeptical) resp. InfersCredulously(f) == "f true in some
+//     Models() entry" (brave), which holds for every 2-valued semantics
+//     (core/brute_force.h pins the characterizations) but NOT for PDSM's
+//     3-valued evaluation — BankIsSound / BraveBankIsSound gate it off
+//     there;
+//   * bank completeness: the enumeration asks for cap+1 models and the
+//     bank is trusted only when at most cap came back — which proves the
+//     set is complete even when it has exactly cap models (trusting a
+//     possibly-truncated bank could flip answers);
 //   * grouping: module slicing applies only where SliceIsSound allows
 //     (off for CWA/PDSM and custom CCWA/ECWA partitions — those run as
-//     one whole-database group).
+//     one whole-database group). SliceIsSound certifies a bijection
+//     between the slice's and the whole database's intended models over
+//     the module's atoms, which preserves both the for-all and the
+//     exists pass, so the same gate covers both modes.
 #ifndef DD_BATCH_QUERY_BATCH_H_
 #define DD_BATCH_QUERY_BATCH_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -45,6 +65,7 @@
 #include <vector>
 
 #include "batch/answer_cache.h"
+#include "batch/model_bank_store.h"
 #include "logic/database.h"
 #include "logic/formula.h"
 #include "logic/vocabulary.h"
@@ -64,6 +85,13 @@ namespace batch {
 struct BatchQuery {
   std::string text;
   bool is_literal = false;
+};
+
+/// Which direction a batch answers (see the header comment): skeptical
+/// "true in every intended model" or brave/credulous "true in some".
+enum class BatchMode {
+  kSkeptical,
+  kBrave,
 };
 
 /// Per-batch knobs. The budget fields mirror core/QueryOptions but cover
@@ -86,6 +114,22 @@ struct BatchOptions {
   int64_t cache_capacity = 4096;
   AnswerCache* cache = nullptr;  ///< not owned; may be null
 
+  /// Use the reasoner-owned model-bank store (created on first use with
+  /// `bank_store_capacity` banks), so complete group banks are reused by
+  /// later non-identical batches. `bank_store` overrides with an external
+  /// instance. Automatically disabled for reasoners with a custom
+  /// CCWA/ECWA partition (the store key cannot see partitions) and when
+  /// model_bank_cap <= 0.
+  bool use_bank_store = true;
+  int64_t bank_store_capacity = 32;
+  ModelBankStore* bank_store = nullptr;  ///< not owned; may be null
+
+  /// Collect per-query witness models: for a brave kYes the intended
+  /// model satisfying the query; for a skeptical kNo the counterexample
+  /// violating it. Disables answer-cache reads for the batch (hits carry
+  /// no witness), so every answer is computed with its certificate.
+  bool collect_witnesses = false;
+
   /// Whole-batch budget (see util/budget.h); -1 / null = unlimited.
   int64_t deadline_ms = -1;
   int64_t conflict_budget = -1;
@@ -103,16 +147,25 @@ struct BatchStats {
   int64_t unique_queries = 0;   ///< canonical queries after split + dedupe
   int64_t dedup_hits = 0;       ///< duplicate canonical queries folded
   int64_t conjunct_splits = 0;  ///< inputs split at a top-level conjunction
+  int64_t disjunct_splits = 0;  ///< brave inputs split at a top-level ∨
   int64_t groups = 0;           ///< planned evaluation groups
   int64_t bank_groups = 0;      ///< groups answered by a shared model bank
   int64_t fallback_groups = 0;  ///< groups answered per query
-  int64_t bank_models = 0;      ///< models enumerated into banks
+  int64_t bank_models = 0;      ///< models enumerated into banks (built
+                                ///< this batch; store hits add nothing)
   int64_t unknowns = 0;         ///< kUnknown answers returned (exhaustion)
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
   int64_t cache_insertions = 0;
   int64_t cache_evictions = 0;
   int64_t cache_invalidations = 0;
+  /// Model-bank store deltas (dd.bank.*): cross-batch bank reuse.
+  int64_t bank_store_hits = 0;
+  int64_t bank_store_misses = 0;
+  int64_t bank_store_insertions = 0;
+  int64_t bank_store_evictions = 0;
+  int64_t bank_store_invalidations = 0;
+  int64_t bank_store_truncated_rejected = 0;
 
   void Add(const BatchStats& o);
 };
@@ -125,6 +178,12 @@ void Publish(const BatchStats& s, obs::MetricsRegistry* reg);
 /// queries[i] regardless of dedup/grouping/thread count).
 struct BatchAnswer {
   std::vector<Trilean> answers;
+  /// With BatchOptions::collect_witnesses: witnesses[i] is the certifying
+  /// intended model for answers[i] — a model satisfying the query for a
+  /// brave kYes, a counterexample violating it for a skeptical kNo —
+  /// and nullopt for the verdicts that have no certificate (skeptical
+  /// kYes, brave kNo, kUnknown). Empty when witnesses are not collected.
+  std::vector<std::optional<Interpretation>> witnesses;
   BatchStats stats;
 };
 
@@ -153,21 +212,53 @@ CanonicalQuery Canonicalize(const Formula& f, const Vocabulary& voc);
 /// distributes the same way).
 std::vector<Formula> SplitConjuncts(const Formula& f);
 
+/// The top-level disjuncts of Simplify(f) (the formula itself when it is
+/// not a disjunction). Brave inference distributes over ∨: DB |~brave G∨H
+/// iff DB |~brave G or DB |~brave H — a model satisfies the disjunction
+/// iff it satisfies a disjunct, and ∃ commutes with ∨ (for PDSM the
+/// 3-valued reading distributes the same way: ¬(G∨H) is not-true in a
+/// partial model iff ¬G or ¬H is).
+std::vector<Formula> SplitDisjuncts(const Formula& f);
+
 /// True when the shared model bank answers queries exactly like the
 /// engine: every 2-valued semantics infers f iff f holds in all Models().
 /// PDSM evaluates queries 3-valued over partial stable models, which
 /// Models() (their total projections) cannot reproduce.
 bool BankIsSound(SemanticsKind kind);
 
+/// The brave twin: every 2-valued semantics infers f credulously iff f
+/// holds in SOME Models() entry. False for PDSM for the same 3-valued
+/// reason — its credulous check runs over partial stable models.
+bool BraveBankIsSound(SemanticsKind kind);
+
+/// The enumeration cap a group bank actually runs under: the batch's
+/// model_bank_cap clamped by the engine options' max_models. One
+/// definition shared by EvaluateGroup and the bank-store key, so a store
+/// hit is exactly the bank the group would have rebuilt.
+inline int64_t EffectiveBankCap(int64_t model_bank_cap,
+                                const SemanticsOptions& opts) {
+  return opts.max_models > 0 ? std::min(model_bank_cap, opts.max_models)
+                             : model_bank_cap;
+}
+
 /// One evaluation group: a database restriction plus the member queries.
 struct GroupRequest {
   const Database* db = nullptr;  ///< whole db or a module sub-database
   SemanticsKind kind = SemanticsKind::kGcwa;
+  BatchMode mode = BatchMode::kSkeptical;
   SemanticsOptions opts;              ///< engine tuning (trace-free)
   const Partition* partition = nullptr;  ///< custom CCWA/ECWA partition
   std::vector<const CanonicalQuery*> queries;
   std::shared_ptr<Budget> budget;  ///< shared whole-batch budget
   int64_t model_bank_cap = 4096;
+  /// A stored complete bank for this group (batch/model_bank_store.h):
+  /// when set (and the mode's bank gate allows), the group is answered
+  /// entirely from it — no engine, no oracle work, no budget spend.
+  std::shared_ptr<const ModelBank> bank;
+  /// Hand a freshly built complete bank back in GroupResult::built_bank
+  /// so the caller can store it (set on store misses).
+  bool export_bank = false;
+  bool collect_witnesses = false;
 };
 
 /// One group's outcome. `answers` parallels GroupRequest::queries;
@@ -179,7 +270,15 @@ struct GroupResult {
   MinimalStats stats;
   oracle::SessionStats session_stats;
   bool used_bank = false;
-  int64_t bank_models = 0;
+  bool bank_from_store = false;  ///< answered from GroupRequest::bank
+  int64_t bank_models = 0;       ///< models enumerated (0 on store hits)
+  /// The complete bank built this evaluation, for the caller's store
+  /// (only with GroupRequest::export_bank, only when provably complete —
+  /// a truncated enumeration never produces one).
+  std::shared_ptr<const ModelBank> built_bank;
+  /// Parallel to `answers` with GroupRequest::collect_witnesses (see
+  /// BatchAnswer::witnesses).
+  std::vector<std::optional<Interpretation>> witnesses;
 };
 
 /// Evaluates one group on a fresh engine (bank first, per-query fallback).

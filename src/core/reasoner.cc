@@ -613,6 +613,19 @@ uint64_t Reasoner::fingerprint() {
 Result<batch::BatchAnswer> Reasoner::AnswerBatch(
     SemanticsKind kind, const std::vector<batch::BatchQuery>& queries,
     const batch::BatchOptions& bopts) {
+  return AnswerBatchImpl(kind, queries, bopts, batch::BatchMode::kSkeptical);
+}
+
+Result<batch::BatchAnswer> Reasoner::AnswerBatchCredulous(
+    SemanticsKind kind, const std::vector<batch::BatchQuery>& queries,
+    const batch::BatchOptions& bopts) {
+  return AnswerBatchImpl(kind, queries, bopts, batch::BatchMode::kBrave);
+}
+
+Result<batch::BatchAnswer> Reasoner::AnswerBatchImpl(
+    SemanticsKind kind, const std::vector<batch::BatchQuery>& queries,
+    const batch::BatchOptions& bopts, batch::BatchMode mode) {
+  const bool brave = mode == batch::BatchMode::kBrave;
   // Parse everything up front (one vocabulary pass; fresh atoms invalidate
   // engine caches exactly once, before any engine is built).
   const int vars_before = db_.num_vars();
@@ -630,17 +643,27 @@ Result<batch::BatchAnswer> Reasoner::AnswerBatch(
   if (db_.num_vars() != vars_before) InvalidateCaches();
 
   QuerySpan span(bopts.trace != nullptr ? bopts.trace : trace_, this,
-                 "AnswerBatch", kind);
+                 brave ? "AnswerBatchCredulous" : "AnswerBatch", kind);
   batch::BatchStats bs;
   bs.queries = static_cast<int64_t>(queries.size());
 
-  // Canonicalize, conjunct-split and dedupe into the unique query list.
+  // Canonicalize, split and dedupe into the unique query list. Skeptical
+  // inference distributes over ∧, brave over ∨ (see SplitConjuncts /
+  // SplitDisjuncts), so each mode splits its own connective; the split
+  // parts recompose below by the matching Kleene connective.
   std::vector<batch::CanonicalQuery> uniq;
-  std::vector<std::vector<int>> conjuncts_of(queries.size());
+  std::vector<std::vector<int>> parts_of(queries.size());
   std::unordered_map<std::string, int> index_of;
   for (size_t i = 0; i < queries.size(); ++i) {
-    std::vector<Formula> parts = batch::SplitConjuncts(parsed[i]);
-    if (parts.size() > 1) ++bs.conjunct_splits;
+    std::vector<Formula> parts = brave ? batch::SplitDisjuncts(parsed[i])
+                                       : batch::SplitConjuncts(parsed[i]);
+    if (parts.size() > 1) {
+      if (brave) {
+        ++bs.disjunct_splits;
+      } else {
+        ++bs.conjunct_splits;
+      }
+    }
     for (const Formula& part : parts) {
       batch::CanonicalQuery cq =
           batch::Canonicalize(part, db_.vocabulary());
@@ -651,7 +674,7 @@ Result<batch::BatchAnswer> Reasoner::AnswerBatch(
       } else {
         ++bs.dedup_hits;
       }
-      conjuncts_of[i].push_back(it->second);
+      parts_of[i].push_back(it->second);
     }
   }
   bs.unique_queries = static_cast<int64_t>(uniq.size());
@@ -666,33 +689,66 @@ Result<batch::BatchAnswer> Reasoner::AnswerBatch(
     }
     cache = answer_cache_.get();
   }
+  // The cross-batch model-bank store (external override > reasoner-owned
+  // > disabled). Disabled for a custom CCWA/ECWA partition — the store
+  // key cannot see partitions — when banks are off entirely, and where
+  // the mode's soundness gate forbids bank answers (PDSM).
+  batch::ModelBankStore* store = bopts.bank_store;
+  if (store == nullptr && bopts.use_bank_store) {
+    if (bank_store_ == nullptr) {
+      bank_store_ = std::make_unique<batch::ModelBankStore>(
+          bopts.bank_store_capacity);
+    }
+    store = bank_store_.get();
+  }
+  if (partition_.has_value() || bopts.model_bank_cap <= 0 ||
+      !(brave ? batch::BraveBankIsSound(kind) : batch::BankIsSound(kind))) {
+    store = nullptr;
+  }
+
   uint64_t fp = 0;
   batch::AnswerCache::Stats cache_before;
+  batch::ModelBankStore::Stats store_before;
+  if (cache != nullptr || store != nullptr) fp = fingerprint();
   if (cache != nullptr) {
-    fp = fingerprint();
     cache_before = cache->stats();  // before SetEpoch: invalidations count
     cache->SetEpoch(fp);
   }
+  if (store != nullptr) {
+    store_before = store->stats();
+    store->SetEpoch(fp);
+  }
 
   std::vector<Trilean> uniq_answers(uniq.size(), Trilean::kUnknown);
+  std::vector<std::optional<Interpretation>> uniq_witnesses(
+      bopts.collect_witnesses ? uniq.size() : 0);
   std::vector<char> answered(uniq.size(), 0);
   std::vector<std::string> cache_keys(uniq.size());
   std::vector<int> pending;
   for (size_t u = 0; u < uniq.size(); ++u) {
-    // Constant-true needs no engine (⊤ holds in every model); constant
-    // FALSE does not short-circuit — it is vacuously inferred by a
-    // semantics-inconsistent database, which only the engine can decide.
-    if (uniq[u].f->kind() == FormulaKind::kConst && uniq[u].f->const_value()) {
-      uniq_answers[u] = Trilean::kYes;
+    // Constants that hold regardless of the model set need no engine:
+    // skeptical ⊤ (true in every model, vacuously so without models) and
+    // brave ⊥ (no model satisfies it, with or without models). The duals
+    // do NOT short-circuit — skeptical ⊥ is vacuously inferred and brave
+    // ⊤ refuted exactly when the database is semantics-inconsistent,
+    // which only the engine can decide.
+    if (uniq[u].f->kind() == FormulaKind::kConst &&
+        uniq[u].f->const_value() != brave) {
+      uniq_answers[u] = brave ? Trilean::kNo : Trilean::kYes;
       answered[u] = 1;
       continue;
     }
     if (cache != nullptr) {
-      cache_keys[u] = batch::AnswerCache::MakeKey(fp, kind, uniq[u].key);
-      if (std::optional<Trilean> hit = cache->Lookup(cache_keys[u])) {
-        uniq_answers[u] = *hit;
-        answered[u] = 1;
-        continue;
+      cache_keys[u] = batch::AnswerCache::MakeKey(fp, kind, uniq[u].key,
+                                                  brave);
+      // Witness collection bypasses cache reads: a hit carries no
+      // certifying model. (Definite answers still get inserted below.)
+      if (!bopts.collect_witnesses) {
+        if (std::optional<Trilean> hit = cache->Lookup(cache_keys[u])) {
+          uniq_answers[u] = *hit;
+          answered[u] = 1;
+          continue;
+        }
       }
     }
     pending.push_back(static_cast<int>(u));
@@ -719,6 +775,7 @@ Result<batch::BatchAnswer> Reasoner::AnswerBatch(
   std::vector<Database> group_dbs;
   group_dbs.reserve(plan.size());
   std::vector<batch::GroupRequest> requests(plan.size());
+  std::vector<std::string> store_keys(plan.size());
   for (size_t g = 0; g < plan.size(); ++g) {
     batch::GroupRequest& req = requests[g];
     if (plan[g].whole_db) {
@@ -743,6 +800,29 @@ Result<batch::BatchAnswer> Reasoner::AnswerBatch(
     for (int u : plan[g].query_indices) req.queries.push_back(&uniq[u]);
     req.budget = budget;
     req.model_bank_cap = bopts.model_bank_cap;
+    req.mode = mode;
+    req.collect_witnesses = bopts.collect_witnesses;
+    // Cross-batch bank reuse: probe the store for this group's module
+    // bank (lookups and inserts run on the caller's thread — the store
+    // is not thread-safe). The key is the module's OWN fingerprint, so a
+    // module shared by two differently-shaped batches hits the same
+    // bank; the width floor guards Interpretation::Contains against
+    // queries whose atoms were interned after the bank was built.
+    if (store != nullptr) {
+      const uint64_t module_fp =
+          plan[g].whole_db ? fp : DatabaseFingerprint(*req.db);
+      store_keys[g] = batch::ModelBankStore::MakeKey(
+          module_fp, kind, batch::EffectiveBankCap(bopts.model_bank_cap,
+                                                   req.opts));
+      int min_vars = 0;
+      for (const batch::CanonicalQuery* q : req.queries) {
+        for (Var v : q->roots) {
+          min_vars = std::max(min_vars, static_cast<int>(v) + 1);
+        }
+      }
+      req.bank = store->Lookup(store_keys[g], min_vars);
+      req.export_bank = req.bank == nullptr;
+    }
   }
 
   const int threads = bopts.num_threads <= 0 ? ThreadPool::DefaultThreads()
@@ -770,11 +850,21 @@ Result<batch::BatchAnswer> Reasoner::AnswerBatch(
     } else if (evaluated) {
       ++bs.fallback_groups;
     }
+    // A complete bank built on a store miss feeds the store for later
+    // batches; EvaluateGroup never exports truncated banks, and Insert
+    // itself refuses them (defense in depth, counted).
+    if (store != nullptr && res.built_bank != nullptr) {
+      store->Insert(store_keys[g], res.built_bank);
+    }
     for (size_t k = 0; k < plan[g].query_indices.size(); ++k) {
       const int u = plan[g].query_indices[k];
       // A group skipped by budget cancellation leaves its slots kUnknown.
       uniq_answers[u] = evaluated ? res.answers[k] : Trilean::kUnknown;
       answered[u] = 1;
+      if (bopts.collect_witnesses && evaluated &&
+          k < res.witnesses.size()) {
+        uniq_witnesses[u] = res.witnesses[k];
+      }
     }
   }
   if (!first_error.ok()) return first_error;
@@ -785,15 +875,22 @@ Result<batch::BatchAnswer> Reasoner::AnswerBatch(
     for (int u : pending) cache->Insert(cache_keys[u], uniq_answers[u]);
   }
 
-  // Compose per-input answers: Kleene conjunction over the conjuncts
-  // (skeptical inference distributes over ∧ — see SplitConjuncts).
+  // Compose per-input answers by the mode's Kleene connective: AND over
+  // conjuncts (skeptical distributes over ∧), OR over disjuncts (brave
+  // distributes over ∨). The decisive value dominates kUnknown in both.
+  // The first decisive part's witness certifies the composition: a
+  // counterexample to one conjunct violates the conjunction, a model of
+  // one disjunct satisfies the disjunction.
+  const Trilean decisive = brave ? Trilean::kYes : Trilean::kNo;
   batch::BatchAnswer out;
   out.answers.reserve(queries.size());
+  if (bopts.collect_witnesses) out.witnesses.resize(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
-    Trilean acc = Trilean::kYes;
-    for (int u : conjuncts_of[i]) {
-      if (uniq_answers[u] == Trilean::kNo) {
-        acc = Trilean::kNo;
+    Trilean acc = brave ? Trilean::kNo : Trilean::kYes;
+    for (int u : parts_of[i]) {
+      if (uniq_answers[u] == decisive) {
+        acc = decisive;
+        if (bopts.collect_witnesses) out.witnesses[i] = uniq_witnesses[u];
         break;
       }
       if (uniq_answers[u] == Trilean::kUnknown) acc = Trilean::kUnknown;
@@ -810,11 +907,23 @@ Result<batch::BatchAnswer> Reasoner::AnswerBatch(
     bs.cache_evictions = ca.evictions - cache_before.evictions;
     bs.cache_invalidations = ca.invalidations - cache_before.invalidations;
   }
+  if (store != nullptr) {
+    const batch::ModelBankStore::Stats& sa = store->stats();
+    bs.bank_store_hits = sa.hits - store_before.hits;
+    bs.bank_store_misses = sa.misses - store_before.misses;
+    bs.bank_store_insertions = sa.insertions - store_before.insertions;
+    bs.bank_store_evictions = sa.evictions - store_before.evictions;
+    bs.bank_store_invalidations =
+        sa.invalidations - store_before.invalidations;
+    bs.bank_store_truncated_rejected =
+        sa.truncated_rejected - store_before.truncated_rejected;
+  }
 
   span.AddCounter("batch_queries", bs.queries);
   span.AddCounter("batch_unique", bs.unique_queries);
   span.AddCounter("batch_groups", bs.groups);
   span.AddCounter("batch_bank_groups", bs.bank_groups);
+  span.AddCounter("batch_bank_store_hits", bs.bank_store_hits);
   span.AddCounter("batch_cache_hits", bs.cache_hits);
   span.AddCounter("batch_unknowns", bs.unknowns);
 

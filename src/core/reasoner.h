@@ -146,6 +146,19 @@ class Reasoner {
                                          const std::vector<batch::BatchQuery>& queries,
                                          const batch::BatchOptions& opts = {});
 
+  /// Batched brave (credulous) inference: the existential dual of
+  /// AnswerBatch over the SAME shared model banks and bank store. Queries
+  /// are disjunct-split (∃ distributes over ∨, including under PDSM's
+  /// 3-valued reading) and recomposed by Kleene OR; cache entries carry a
+  /// mode tag so brave and skeptical answers never collide. Answers are
+  /// identical to sequential InfersCredulously and independent of
+  /// opts.num_threads. With opts.collect_witnesses, answers[i] == kYes
+  /// carries a satisfying intended model in witnesses[i] (skeptical
+  /// batches would carry a counterexample on kNo instead).
+  Result<batch::BatchAnswer> AnswerBatchCredulous(
+      SemanticsKind kind, const std::vector<batch::BatchQuery>& queries,
+      const batch::BatchOptions& opts = {});
+
   /// Stable 64-bit fingerprint of the database's clause multiset
   /// (util/fingerprint.h): invariant under clause order and vocabulary
   /// interning order, flipped by any clause change. Computed once —
@@ -155,6 +168,12 @@ class Reasoner {
 
   /// The reasoner-owned answer cache (null until the first cached batch).
   batch::AnswerCache* answer_cache() { return answer_cache_.get(); }
+
+  /// The reasoner-owned cross-batch model-bank store (null until the
+  /// first batch that uses one). Banks built by one AnswerBatch call are
+  /// reused by later, non-identical batches hitting the same relevance
+  /// module (docs/BATCHING.md).
+  batch::ModelBankStore* bank_store() { return bank_store_.get(); }
 
   /// Cumulative batch accounting across every AnswerBatch call.
   const batch::BatchStats& batch_stats() const { return batch_total_; }
@@ -253,6 +272,13 @@ class Reasoner {
   Routed RouteFormula(SemanticsKind kind, const Formula& f);
   Routed RouteHasModel(SemanticsKind kind);
 
+  /// The one batched-inference pipeline, parameterized by mode (universal
+  /// vs existential pass over the shared banks); AnswerBatch and
+  /// AnswerBatchCredulous are thin wrappers.
+  Result<batch::BatchAnswer> AnswerBatchImpl(
+      SemanticsKind kind, const std::vector<batch::BatchQuery>& queries,
+      const batch::BatchOptions& opts, batch::BatchMode mode);
+
   /// Certify-mode bookkeeping: verifies and discards `cert`.
   void CheckCertificate(const analysis::Certificate& cert);
   /// Verifies every certificate the HCF engines queued since last drain.
@@ -274,6 +300,7 @@ class Reasoner {
 
   std::optional<uint64_t> fingerprint_;
   std::unique_ptr<batch::AnswerCache> answer_cache_;
+  std::unique_ptr<batch::ModelBankStore> bank_store_;
   /// Oracle work done by batch group engines (they are per-group
   /// temporaries, so their counters are folded in here before each batch's
   /// QuerySpan closes — preserving the obs exactness contract) and the

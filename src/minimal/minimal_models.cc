@@ -435,7 +435,7 @@ int MinimalEngine::EnumerateMinimalProjections(
   oracle::ProjectionStream* stream = proj_store_.GetStream(pqz);
   int emitted = 0;
   // Replay the memoized prefix: zero SAT calls.
-  for (const Interpretation& proj : stream->projections) {
+  for (const Interpretation& proj : *stream->projections) {
     if (cap >= 0 && emitted >= cap) return emitted;
     ++emitted;
     ++stats_.models_enumerated;
@@ -472,7 +472,7 @@ int MinimalEngine::EnumerateMinimalProjections(
     }
     // Record the projection and its block BEFORE consulting the consumer,
     // so the stream stays consistent even on early exit.
-    stream->projections.push_back(mm);
+    stream->projections->push_back(mm);
     ++s->stats().projections_discovered;
     std::vector<Lit> block = RegionBlockClause(mm, pqz);
     if (block.empty()) {
@@ -486,6 +486,14 @@ int MinimalEngine::EnumerateMinimalProjections(
     if (stream->exhausted) break;
   }
   return emitted;
+}
+
+std::shared_ptr<const std::vector<Interpretation>>
+MinimalEngine::SharedExhaustedProjections(const Partition& pqz) {
+  if (!opts_.use_sessions) return nullptr;
+  oracle::ProjectionStream* stream = proj_store_.FindStream(pqz);
+  if (stream == nullptr || !stream->exhausted) return nullptr;
+  return stream->projections;
 }
 
 int MinimalEngine::EnumerateAllMinimalModels(

@@ -229,6 +229,16 @@ class MinimalEngine {
       const Partition& pqz, int64_t cap,
       const std::function<bool(const Interpretation&)>& cb);
 
+  /// A shared handle on `pqz`'s memoized projection stream, iff session
+  /// mode is on and the stream exists and is EXHAUSTED (so the vector is
+  /// frozen — exhausted streams never mutate). Null otherwise. Lets a
+  /// semantics whose model set IS a projection stream (EGCWA) export it
+  /// to the batch layer's model banks without re-materializing: the
+  /// stream, the bank and the bank store then all alias one copy, and
+  /// stream eviction merely drops this store's reference.
+  std::shared_ptr<const std::vector<Interpretation>>
+  SharedExhaustedProjections(const Partition& pqz);
+
   /// Enumerates *all* <P;Z>-minimal models, i.e. every Z-completion of
   /// every minimal projection. Exponential in |Z| in the worst case; used
   /// by cross-checks and small-instance tooling.

@@ -5,6 +5,15 @@
 namespace dd {
 namespace oracle {
 
+ProjectionStream* ProjectionStore::FindStream(const Partition& pqz) {
+  for (auto& s : streams_) {
+    if (s->pqz.p == pqz.p && s->pqz.q == pqz.q && s->pqz.z == pqz.z) {
+      return s.get();
+    }
+  }
+  return nullptr;
+}
+
 ProjectionStream* ProjectionStore::GetStream(const Partition& pqz) {
   for (auto& s : streams_) {
     if (s->pqz.p == pqz.p && s->pqz.q == pqz.q && s->pqz.z == pqz.z) {

@@ -41,8 +41,14 @@ namespace oracle {
 struct ProjectionStream {
   Partition pqz;
   /// Minimal projections in discovery order (each is a full model; its
-  /// (P,Q)-projection is the canonical datum).
-  std::vector<Interpretation> projections;
+  /// (P,Q)-projection is the canonical datum). Held behind a shared
+  /// handle so an EXHAUSTED stream's storage can be aliased outward
+  /// (Semantics::SharedModels → the batch layer's model banks) without a
+  /// copy: once exhausted the vector is never mutated again, and eviction
+  /// only drops this stream's reference while outstanding handles keep
+  /// the models alive. Never null.
+  std::shared_ptr<std::vector<Interpretation>> projections =
+      std::make_shared<std::vector<Interpretation>>();
   /// True once the region blocks cover the whole model space.
   bool exhausted = false;
   /// Persistent context guarding the region-blocking clauses; kept alive
@@ -59,6 +65,12 @@ class ProjectionStore {
   /// Finds or creates the stream for `pqz`. The returned pointer is valid
   /// until the next GetStream call (which may evict) or Clear.
   ProjectionStream* GetStream(const Partition& pqz);
+
+  /// Finds the stream for `pqz` without creating one (and without
+  /// touching LRU order): nullptr when absent. Read-only probes — e.g.
+  /// handing out an exhausted stream's shared projections — must not
+  /// trigger eviction of an unrelated live stream.
+  ProjectionStream* FindStream(const Partition& pqz);
 
   /// Bounds the number of live streams; <= 0 means unbounded.
   void SetCapacity(int64_t cap) { cap_ = cap; }

@@ -75,6 +75,35 @@ Result<std::vector<Interpretation>> EgcwaSemantics::Models(int64_t cap) {
   return out;
 }
 
+Result<std::shared_ptr<const std::vector<Interpretation>>>
+EgcwaSemantics::SharedModels(int64_t cap) {
+  if (cap < 0) cap = opts_.max_models;
+  // Drive the (memoized) projection stream to exhaustion — or to cap+1,
+  // which proves overflow — WITHOUT collecting: on success the stream
+  // itself is the model set and we alias it.
+  int64_t seen = 0;
+  bool overflow = false;
+  engine_.EnumerateMinimalProjections(all_, cap + 1,
+                                      [&](const Interpretation&) {
+                                        if (seen >= cap) {
+                                          overflow = true;
+                                          return false;
+                                        }
+                                        ++seen;
+                                        return true;
+                                      });
+  if (engine_.interrupted()) return engine_.interrupt_status();
+  if (overflow) {
+    return Status::ResourceExhausted(StrFormat(
+        "more than %lld minimal models", static_cast<long long>(cap)));
+  }
+  std::shared_ptr<const std::vector<Interpretation>> shared =
+      engine_.SharedExhaustedProjections(all_);
+  if (shared != nullptr) return shared;
+  // Fresh-solver mode has no memoized stream; copy via the default.
+  return Semantics::SharedModels(cap);
+}
+
 Result<std::vector<std::vector<Var>>> EgcwaSemantics::EntailedNegativeClauses(
     int max_size) {
   // Materialize the minimal models once; a set S yields an entailed

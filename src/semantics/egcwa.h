@@ -34,6 +34,17 @@ class EgcwaSemantics : public Semantics {
   /// The minimal models themselves.
   Result<std::vector<Interpretation>> Models(int64_t cap = -1) override;
 
+  /// Zero-copy model handle: EGCWA's model set IS the engine's memoized
+  /// projection stream, so once enumeration exhausts the stream this
+  /// aliases its storage instead of re-materializing — the stream, the
+  /// batch layer's in-flight bank and the bank store then share ONE copy
+  /// (safe: exhausted streams are frozen, and stream eviction only drops
+  /// the engine's reference). Falls back to the copying default when the
+  /// stream is unavailable (fresh-solver mode). Same cap/overflow
+  /// conventions as Models().
+  Result<std::shared_ptr<const std::vector<Interpretation>>> SharedModels(
+      int64_t cap = -1) override;
+
   /// The augmentation EGCWA literally performs (Yahya & Henschen): the
   /// ⊆-minimal atom sets S with |S| <= max_size such that the negative
   /// clause ¬s1 | ... | ¬sk is true in every minimal model — equivalently,

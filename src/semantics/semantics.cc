@@ -78,6 +78,13 @@ Result<bool> Semantics::InfersCredulously(const Formula& f) {
   return witness.has_value();
 }
 
+Result<std::shared_ptr<const std::vector<Interpretation>>>
+Semantics::SharedModels(int64_t cap) {
+  DD_ASSIGN_OR_RETURN(std::vector<Interpretation> models, Models(cap));
+  return std::shared_ptr<const std::vector<Interpretation>>(
+      std::make_shared<std::vector<Interpretation>>(std::move(models)));
+}
+
 Result<std::optional<Interpretation>> Semantics::FindCounterexample(
     const Formula& f) {
   DD_ASSIGN_OR_RETURN(std::vector<Interpretation> models, Models());

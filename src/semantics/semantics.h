@@ -143,6 +143,17 @@ class Semantics {
   /// stable models here.
   virtual Result<std::vector<Interpretation>> Models(int64_t cap = -1) = 0;
 
+  /// Models() with shared ownership, for consumers that hold the model
+  /// set beyond the engine's lifetime (the batch layer's model banks,
+  /// batch/model_bank_store.h). The default moves the Models(cap) result
+  /// into a freshly allocated handle — still a single materialization.
+  /// Engines whose enumeration is memoized override it to alias internal
+  /// storage (EGCWA hands out its exhausted projection stream), so the
+  /// stream, the in-flight bank and the store all reference ONE copy.
+  /// Same cap/overflow conventions as Models().
+  virtual Result<std::shared_ptr<const std::vector<Interpretation>>>
+  SharedModels(int64_t cap = -1);
+
   /// A certificate for a failed inference: an intended model violating `f`,
   /// or nullopt when f is inferred. The default enumerates Models() (so it
   /// may hit the resource caps); semantics with native counterexample

@@ -35,6 +35,8 @@ void Publish(const ServeStats& s, obs::MetricsRegistry* reg) {
   reg->Add("dd.serve.queued", s.queued);
   reg->Add("dd.serve.cache_hits", s.cache_hits);
   reg->Add("dd.serve.cache_misses", s.cache_misses);
+  reg->Add("dd.serve.brave_requests", s.brave_requests);
+  reg->Add("dd.serve.bank_reuses", s.bank_reuses);
   reg->Add("dd.serve.rungs", s.rungs);
   reg->Add("dd.serve.escalations", s.escalations);
   reg->Add("dd.serve.retry_successes", s.retry_successes);
@@ -96,10 +98,13 @@ std::shared_ptr<QueryServer::Session> QueryServer::CurrentSession() const {
 }
 
 QueryServer::Answer QueryServer::Submit(SemanticsKind kind,
-                                        const batch::BatchQuery& query) {
+                                        const batch::BatchQuery& query,
+                                        batch::BatchMode mode) {
+  const bool brave = mode == batch::BatchMode::kBrave;
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.requests;
+    if (brave) ++stats_.brave_requests;
   }
   Result<RequestGate::Ticket> ticket = gate_.Enter();
   if (!ticket.ok()) {
@@ -110,6 +115,7 @@ QueryServer::Answer QueryServer::Submit(SemanticsKind kind,
 
   obs::ScopedSpan request_span(opts_.trace, "serve_request", "serve");
   request_span.Attr("semantics", SemanticsKindName(kind));
+  request_span.Attr("mode", brave ? "brave" : "skeptical");
   request_span.Attr("query", QueryPreview(query.text));
 
   // In-flight requests pin their session: a concurrent Reload swaps the
@@ -119,6 +125,7 @@ QueryServer::Answer QueryServer::Submit(SemanticsKind kind,
 
   bool cache_hit = false;
   int64_t first_rung_misses = 0;
+  int64_t bank_reuses = 0;
   int rung_index = 0;
   LadderResult lr = RunLadder(
       opts_.retry, [&](const Budget::Limits& lim, Status* why) -> Trilean {
@@ -129,11 +136,19 @@ QueryServer::Answer QueryServer::Submit(SemanticsKind kind,
         bo.num_threads = opts_.num_threads;
         bo.model_bank_cap = opts_.model_bank_cap;
         bo.cache = &session->cache;
+        // The session Reasoner's own bank store spans requests AND rungs:
+        // a retried query reuses every complete bank an earlier rung (or
+        // an earlier request) built instead of re-enumerating it — the
+        // ladder never rebuilds a bank it just finished.
+        bo.use_bank_store = opts_.bank_store_capacity > 0;
+        bo.bank_store_capacity = opts_.bank_store_capacity;
         bo.deadline_ms = lim.deadline_ms;
         bo.conflict_budget = lim.conflict_budget;
         bo.oracle_call_budget = lim.oracle_call_budget;
         bo.trace = opts_.trace;
-        auto r = session->reasoner.AnswerBatch(kind, {query}, bo);
+        auto r = brave
+                     ? session->reasoner.AnswerBatchCredulous(kind, {query}, bo)
+                     : session->reasoner.AnswerBatch(kind, {query}, bo);
         if (!r.ok()) {
           *why = r.status();
           rung_span.Attr("status", r.status().ToString());
@@ -144,6 +159,8 @@ QueryServer::Answer QueryServer::Submit(SemanticsKind kind,
           cache_hit = r->stats.cache_hits > 0;
           first_rung_misses = r->stats.cache_misses;
         }
+        bank_reuses += r->stats.bank_store_hits;
+        rung_span.Counter("bank_reuses", r->stats.bank_store_hits);
         rung_span.Attr("result", TrileanName(r->answers[0]));
         ++rung_index;
         return r->answers[0];
@@ -166,6 +183,7 @@ QueryServer::Answer QueryServer::Submit(SemanticsKind kind,
   stats_.escalations += lr.rungs - 1;
   if (cache_hit) ++stats_.cache_hits;
   stats_.cache_misses += first_rung_misses;
+  stats_.bank_reuses += bank_reuses;
   if (!a.status.ok()) {
     ++stats_.errors;
   } else if (lr.answer == Trilean::kUnknown) {
@@ -285,6 +303,26 @@ std::string QueryServer::HandleLine(std::string_view line, bool* quit) {
     const std::string_view trimmed = Trim(rest);
     if (trimmed.empty()) return "ERR empty query";
     Answer a = Submit(*kind, batch::BatchQuery{std::string(trimmed), is_lit});
+    if (a.status.code() == StatusCode::kUnavailable) {
+      return "UNAVAILABLE " + a.status.message();
+    }
+    if (!a.status.ok()) return "ERR " + a.status.ToString();
+    return StrFormat("ANSWER %s rungs=%d cached=%d", TrileanName(a.verdict),
+                     a.rungs, a.cache_hit ? 1 : 0);
+  }
+  if (cmd == "BRAVE") {
+    // Brave/credulous inference, same response shape as QUERY. Formulas
+    // only: a literal is its own formula, so no lit|infer discriminator.
+    std::string sem_name;
+    in >> sem_name;
+    auto kind = SemanticsKindFromName(sem_name);
+    if (!kind) return "ERR usage: BRAVE <semantics> <formula>";
+    std::string rest;
+    std::getline(in, rest);
+    const std::string_view trimmed = Trim(rest);
+    if (trimmed.empty()) return "ERR empty query";
+    Answer a = Submit(*kind, batch::BatchQuery{std::string(trimmed), false},
+                      batch::BatchMode::kBrave);
     if (a.status.code() == StatusCode::kUnavailable) {
       return "UNAVAILABLE " + a.status.message();
     }

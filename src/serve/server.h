@@ -69,6 +69,14 @@ struct ServeOptions {
   int num_threads = 1;
   int64_t model_bank_cap = 4096;
 
+  /// Capacity of the session Reasoner's cross-batch model-bank store
+  /// (batch/model_bank_store.h): complete banks built by one request —
+  /// or one ladder rung — are reused by later requests and rungs on the
+  /// same module, so a retry never rebuilds a bank an earlier rung
+  /// already completed. <= 0 disables reuse. ServeStats::bank_reuses
+  /// counts the hits.
+  int64_t bank_store_capacity = 32;
+
   /// Base engine options for every session's Reasoner.
   SemanticsOptions engine;
 
@@ -85,6 +93,8 @@ struct ServeStats {
   int64_t queued = 0;       ///< admitted after waiting
   int64_t cache_hits = 0;   ///< served from the answer cache
   int64_t cache_misses = 0;
+  int64_t brave_requests = 0;   ///< Submit calls in brave/credulous mode
+  int64_t bank_reuses = 0;      ///< groups answered from a stored bank
   int64_t rungs = 0;            ///< ladder attempts run
   int64_t escalations = 0;      ///< rungs beyond the first
   int64_t retry_successes = 0;  ///< definite answers from an escalated rung
@@ -119,8 +129,13 @@ class QueryServer {
 
   QueryServer(Database db, ServeOptions opts);
 
-  /// Serves one skeptical query through gate + cache + retry ladder.
-  Answer Submit(SemanticsKind kind, const batch::BatchQuery& query);
+  /// Serves one query through gate + cache + retry ladder: skeptical by
+  /// default, brave/credulous with BatchMode::kBrave (the BRAVE protocol
+  /// verb). Both modes share the session's answer cache (mode-tagged
+  /// keys) and model-bank store; snapshots persist skeptical entries
+  /// only (docs/SERVING.md).
+  Answer Submit(SemanticsKind kind, const batch::BatchQuery& query,
+                batch::BatchMode mode = batch::BatchMode::kSkeptical);
 
   /// Swaps in a new database without dropping in-flight requests (they
   /// finish on the old session). The new session's cache is epoch-pinned
@@ -134,8 +149,8 @@ class QueryServer {
   /// Sheds all queued and future requests (used on shutdown paths).
   void Shutdown();
 
-  /// Handles one line of the serve protocol (QUERY / RELOAD / SAVE /
-  /// STATS / QUIT — docs/SERVING.md). Returns the response line ("" for
+  /// Handles one line of the serve protocol (QUERY / BRAVE / RELOAD /
+  /// SAVE / STATS / QUIT — docs/SERVING.md). Returns the response line ("" for
   /// blank/comment input) and sets *quit on QUIT. Robust to oversized
   /// lines, CRLF endings and arbitrary bytes: malformed input yields an
   /// "ERR ..." response, never a crash.

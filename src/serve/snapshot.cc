@@ -110,9 +110,14 @@ Status SaveAnswerCache(const batch::AnswerCache& cache, uint64_t epoch,
                        const std::string& path) {
   // Serialize LRU-last so a loader's Inserts (which prepend) reproduce the
   // recency order exactly — snapshots round-trip byte-identically.
+  // Snapshots stay skeptical-only (docs/SERVING.md): brave entries are
+  // filtered here, so pre-brave snapshot files remain byte-compatible in
+  // both directions and a skeptical-only consumer never sees a
+  // mode-tagged key.
   std::vector<std::pair<std::string, Trilean>> entries;
   entries.reserve(static_cast<size_t>(cache.size()));
   cache.ForEach([&](const std::string& key, Trilean answer) {
+    if (batch::AnswerCache::IsBraveKey(key)) return;
     entries.emplace_back(key, answer);
   });
 

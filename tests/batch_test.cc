@@ -173,7 +173,26 @@ TEST(Canonicalize, BankSoundnessGate) {
   for (SemanticsKind kind : kAllKinds) {
     EXPECT_EQ(batch::BankIsSound(kind), kind != SemanticsKind::kPdsm)
         << SemanticsKindName(kind);
+    // The brave gate mirrors the skeptical one: PDSM's credulous check
+    // runs 3-valued over partial stable models, which a bank of total
+    // projections cannot reproduce.
+    EXPECT_EQ(batch::BraveBankIsSound(kind), kind != SemanticsKind::kPdsm)
+        << SemanticsKindName(kind);
   }
+}
+
+TEST(Canonicalize, SplitDisjunctsMirrorsSplitConjuncts) {
+  Database db = Db("a | b. c :- a.");
+  Vocabulary& voc = db.vocabulary();
+  auto parse = [&](const char* text) {
+    Result<Formula> f = ParseFormula(text, &voc);
+    EXPECT_TRUE(f.ok());
+    return *f;
+  };
+  EXPECT_EQ(batch::SplitDisjuncts(parse("a | b | c")).size(), 3u);
+  EXPECT_EQ(batch::SplitDisjuncts(parse("a & b")).size(), 1u);
+  EXPECT_EQ(batch::SplitDisjuncts(parse("a")).size(), 1u);
+  EXPECT_EQ(batch::SplitConjuncts(parse("a | b | c")).size(), 1u);
 }
 
 // ---------------------------------------------------------------------------
@@ -248,6 +267,155 @@ TEST(Batch, SplitConjunctionMatchesLiteralAnswers) {
   EXPECT_EQ(got->answers[1], TrileanFromBool(both));
   EXPECT_EQ(got->stats.unique_queries, 2);
   EXPECT_EQ(got->stats.dedup_hits, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Brave batches == sequential InfersCredulously
+
+/// Disjunction-bearing workload: literals plus the ∨/∧ shapes the brave
+/// splitter cares about (top-level ∨ splits; ∧ stays whole).
+std::vector<batch::BatchQuery> BraveWorkload(int num_vars) {
+  std::vector<batch::BatchQuery> qs;
+  for (int i = 0; i < num_vars; ++i) {
+    qs.push_back({StrFormat("p%d", i), true});
+    qs.push_back({StrFormat("not p%d", i), true});
+  }
+  qs.push_back({"p0 | p1", false});
+  qs.push_back({"p0 | ~p1 | p2", false});
+  qs.push_back({"p0 & p1", false});
+  qs.push_back({"(p0 & p1) | (p2 & p3)", false});
+  qs.push_back({"p1 | p0", false});  // commutation dup of an earlier disjunct
+  return qs;
+}
+
+TEST(BatchBrave, EqualsSequentialCredulousOnEverySemantics) {
+  for (uint64_t seed : {1u, 7u}) {
+    Database db = RandomPositiveDdb(8, 14, seed);
+    std::vector<batch::BatchQuery> qs = BraveWorkload(8);
+    for (SemanticsKind kind : kAllKinds) {
+      Reasoner seq(db);
+      std::vector<Trilean> want;
+      for (const batch::BatchQuery& q : qs) {
+        Result<Trilean> ans = seq.InfersCredulously(kind, q.text);
+        ASSERT_TRUE(ans.ok()) << SemanticsKindName(kind) << " '" << q.text
+                              << "': " << ans.status().ToString();
+        want.push_back(*ans);
+      }
+      Reasoner r(db);
+      Result<batch::BatchAnswer> got = r.AnswerBatchCredulous(kind, qs);
+      ASSERT_TRUE(got.ok()) << SemanticsKindName(kind) << ": "
+                            << got.status().ToString();
+      ASSERT_EQ(got->answers.size(), qs.size());
+      for (size_t i = 0; i < qs.size(); ++i) {
+        EXPECT_EQ(got->answers[i], want[i])
+            << SemanticsKindName(kind) << " seed " << seed << " '"
+            << qs[i].text << "'";
+      }
+      EXPECT_EQ(got->stats.unknowns, 0) << SemanticsKindName(kind);
+      EXPECT_GT(got->stats.disjunct_splits, 0) << SemanticsKindName(kind);
+      EXPECT_GT(got->stats.dedup_hits, 0) << SemanticsKindName(kind);
+    }
+  }
+}
+
+TEST(BatchBrave, ThreadCountInvariance) {
+  Database db = HcfModularDdb(3, 5, 4, 11);
+  std::vector<batch::BatchQuery> qs;
+  for (int m = 0; m < 3; ++m) {
+    for (int p = 0; p < 5; ++p) {
+      qs.push_back({StrFormat("m%d_p%d", m, p), true});
+      qs.push_back({StrFormat("not m%d_p%d", m, p), true});
+    }
+  }
+  qs.push_back({"m0_p0 | m1_p0", false});  // spans two modules
+  qs.push_back({"m2_p1 & m2_p3", false});
+  for (SemanticsKind kind :
+       {SemanticsKind::kGcwa, SemanticsKind::kEgcwa, SemanticsKind::kDdr,
+        SemanticsKind::kPws, SemanticsKind::kDsm}) {
+    batch::BatchOptions one;
+    one.num_threads = 1;
+    batch::BatchOptions four;
+    four.num_threads = 4;
+    Reasoner r1(db);
+    Reasoner r4(db);
+    Result<batch::BatchAnswer> a1 = r1.AnswerBatchCredulous(kind, qs, one);
+    Result<batch::BatchAnswer> a4 = r4.AnswerBatchCredulous(kind, qs, four);
+    ASSERT_TRUE(a1.ok() && a4.ok()) << SemanticsKindName(kind);
+    EXPECT_EQ(a1->answers, a4->answers) << SemanticsKindName(kind);
+    EXPECT_GT(a1->stats.groups, 1) << SemanticsKindName(kind);
+    EXPECT_EQ(a1->stats.groups, a4->stats.groups);
+  }
+}
+
+TEST(BatchBrave, ModeTaggedCacheKeysNeverCollide) {
+  // "a | b" holds in SOME intended model but (on this database) not in
+  // all; a shared cache must keep the two verdicts apart.
+  Database db = Db("a | b. c :- a.");
+  Reasoner r(db);
+  std::vector<batch::BatchQuery> qs = {{"a | b", false}, {"a", true}};
+  Result<batch::BatchAnswer> brave =
+      r.AnswerBatchCredulous(SemanticsKind::kGcwa, qs);
+  ASSERT_TRUE(brave.ok());
+  EXPECT_EQ(brave->answers[0], Trilean::kYes);
+  EXPECT_EQ(brave->answers[1], Trilean::kYes);  // a holds in some model
+  Result<batch::BatchAnswer> skeptical =
+      r.AnswerBatch(SemanticsKind::kGcwa, qs);
+  ASSERT_TRUE(skeptical.ok());
+  EXPECT_EQ(skeptical->answers[0], Trilean::kYes);  // a|b is the clause
+  EXPECT_EQ(skeptical->answers[1], Trilean::kNo);   // a fails in {b}-models
+  // Repeat both: each mode hits its OWN entries.
+  Result<batch::BatchAnswer> brave2 =
+      r.AnswerBatchCredulous(SemanticsKind::kGcwa, qs);
+  ASSERT_TRUE(brave2.ok());
+  EXPECT_EQ(brave2->answers, brave->answers);
+  EXPECT_EQ(brave2->stats.cache_hits, brave2->stats.unique_queries);
+}
+
+TEST(BatchBrave, WitnessesCertifyAnswers) {
+  Database db = RandomPositiveDdb(8, 14, 37);
+  std::vector<batch::BatchQuery> qs = BraveWorkload(8);
+  batch::BatchOptions opts;
+  opts.collect_witnesses = true;
+  Reasoner r(db);
+  Result<batch::BatchAnswer> brave =
+      r.AnswerBatchCredulous(SemanticsKind::kGcwa, qs, opts);
+  ASSERT_TRUE(brave.ok());
+  ASSERT_EQ(brave->witnesses.size(), qs.size());
+  int certified = 0;
+  for (size_t i = 0; i < qs.size(); ++i) {
+    if (brave->answers[i] == Trilean::kYes) {
+      // A brave kYes must carry an intended model satisfying the query.
+      ASSERT_TRUE(brave->witnesses[i].has_value()) << qs[i].text;
+      Result<Formula> f = r.ParseQueryFormula(qs[i].text);
+      ASSERT_TRUE(f.ok());
+      EXPECT_TRUE((*f)->Eval(*brave->witnesses[i])) << qs[i].text;
+      ++certified;
+    } else {
+      EXPECT_FALSE(brave->witnesses[i].has_value()) << qs[i].text;
+    }
+  }
+  EXPECT_GT(certified, 0);
+
+  // Skeptical witnesses are counterexamples: a kNo carries an intended
+  // model violating the query.
+  Reasoner rs(db);
+  Result<batch::BatchAnswer> skeptical =
+      rs.AnswerBatch(SemanticsKind::kGcwa, qs, opts);
+  ASSERT_TRUE(skeptical.ok());
+  ASSERT_EQ(skeptical->witnesses.size(), qs.size());
+  certified = 0;
+  for (size_t i = 0; i < qs.size(); ++i) {
+    if (skeptical->answers[i] == Trilean::kNo) {
+      ASSERT_TRUE(skeptical->witnesses[i].has_value()) << qs[i].text;
+      Result<Formula> f = rs.ParseQueryFormula(qs[i].text);
+      ASSERT_TRUE(f.ok());
+      EXPECT_FALSE((*f)->Eval(*skeptical->witnesses[i])) << qs[i].text;
+      ++certified;
+    } else {
+      EXPECT_FALSE(skeptical->witnesses[i].has_value()) << qs[i].text;
+    }
+  }
+  EXPECT_GT(certified, 0);
 }
 
 // ---------------------------------------------------------------------------

@@ -580,6 +580,92 @@ TEST(QueryServerTest, ShutdownShedsNewRequests) {
 // Protocol (HandleLine)
 // ---------------------------------------------------------------------------
 
+TEST(QueryServerTest, BraveModeAnswersAndCounts) {
+  QueryServer server(Db("a | b. c :- a."), ServeOptions{});
+  // Brave: true in SOME intended model. GCWA's augmentation is empty
+  // here, so {a, b, c} is intended and both verdicts flip vs skeptical.
+  QueryServer::Answer brave = server.Submit(
+      SemanticsKind::kGcwa, BatchQuery{"a & b", false},
+      batch::BatchMode::kBrave);
+  EXPECT_TRUE(brave.status.ok());
+  EXPECT_EQ(brave.verdict, Trilean::kYes);
+  QueryServer::Answer skeptical =
+      server.Submit(SemanticsKind::kGcwa, BatchQuery{"a & b", false});
+  EXPECT_EQ(skeptical.verdict, Trilean::kNo);
+  // Mode-tagged cache keys: the repeat brave submit hits its own entry.
+  QueryServer::Answer again = server.Submit(
+      SemanticsKind::kGcwa, BatchQuery{"a & b", false},
+      batch::BatchMode::kBrave);
+  EXPECT_EQ(again.verdict, Trilean::kYes);
+  EXPECT_TRUE(again.cache_hit);
+  serve::ServeStats s = server.stats();
+  EXPECT_EQ(s.brave_requests, 2);
+  EXPECT_EQ(s.requests, 3);
+  EXPECT_EQ(server.ExitCode(), 0);
+}
+
+TEST(QueryServerTest, BankStoreSpansRequestsAndCountsReuses) {
+  // Distinct query texts defeat the answer cache, so the second request's
+  // group must be answered from the bank the first request stored.
+  QueryServer server(Db("a | b. c :- a. c :- b. d."), ServeOptions{});
+  EXPECT_EQ(server.Submit(SemanticsKind::kGcwa,
+                          BatchQuery{"c", true}).verdict,
+            Trilean::kYes);
+  EXPECT_EQ(server.Submit(SemanticsKind::kGcwa,
+                          BatchQuery{"a", true}).verdict,
+            Trilean::kNo);
+  EXPECT_EQ(server.Submit(SemanticsKind::kGcwa,
+                          BatchQuery{"not e", true}).verdict,
+            Trilean::kYes);
+  EXPECT_GT(server.stats().bank_reuses, 0);
+
+  // bank_store_capacity <= 0 disables reuse without changing answers.
+  ServeOptions off;
+  off.bank_store_capacity = 0;
+  QueryServer cold(Db("a | b. c :- a. c :- b. d."), off);
+  EXPECT_EQ(cold.Submit(SemanticsKind::kGcwa, BatchQuery{"c", true}).verdict,
+            Trilean::kYes);
+  EXPECT_EQ(cold.Submit(SemanticsKind::kGcwa, BatchQuery{"a", true}).verdict,
+            Trilean::kNo);
+  EXPECT_EQ(cold.stats().bank_reuses, 0);
+}
+
+TEST(QueryServerTest, SnapshotPersistsSkepticalEntriesOnly) {
+  TempFile f("brave_filter");
+  ServeOptions opts;
+  opts.cache_path = f.path();
+  const char* kProgram = "a | b. c :- a. c :- b.";
+  {
+    QueryServer server(Db(kProgram), opts);
+    EXPECT_EQ(server.Submit(SemanticsKind::kGcwa,
+                            BatchQuery{"c", true}).verdict,
+              Trilean::kYes);
+    EXPECT_EQ(server.Submit(SemanticsKind::kGcwa, BatchQuery{"a & b", false},
+                            batch::BatchMode::kBrave).verdict,
+              Trilean::kYes);
+    ASSERT_TRUE(server.SaveCache().ok());
+  }
+  // Reload the snapshot raw: every key must be skeptical (no mode tag).
+  AnswerCache loaded(64);
+  SnapshotLoad outcome = SnapshotLoad::kMissing;
+  ASSERT_TRUE(LoadAnswerCache(f.path(),
+                              DatabaseFingerprint(Db(kProgram)), &loaded,
+                              &outcome)
+                  .ok());
+  EXPECT_EQ(outcome, SnapshotLoad::kLoaded);
+  EXPECT_GT(loaded.size(), 0);
+  loaded.ForEach([](const std::string& key, Trilean) {
+    EXPECT_FALSE(AnswerCache::IsBraveKey(key)) << key;
+  });
+  // A warm-started server still answers brave queries correctly (they
+  // are simply recomputed).
+  QueryServer warm(Db(kProgram), opts);
+  EXPECT_EQ(warm.Submit(SemanticsKind::kGcwa, BatchQuery{"a & b", false},
+                        batch::BatchMode::kBrave).verdict,
+            Trilean::kYes);
+  EXPECT_EQ(warm.stats().cache_loads, 1);
+}
+
 TEST(ServeProtocol, QueryReloadSaveStatsQuit) {
   TempFile db2("reload_db");
   {
@@ -619,6 +705,26 @@ TEST(ServeProtocol, QueryReloadSaveStatsQuit) {
   EXPECT_FALSE(quit);
   EXPECT_EQ(server.HandleLine("QUIT", &quit), "BYE");
   EXPECT_TRUE(quit);
+}
+
+TEST(ServeProtocol, BraveVerb) {
+  QueryServer server(Db("a | b. c :- a."), ServeOptions{});
+  bool quit = false;
+  // GCWA on this database: every model is intended (empty augmentation),
+  // so "a & b" is bravely yes but skeptically no.
+  EXPECT_EQ(server.HandleLine("BRAVE gcwa a & b", &quit),
+            "ANSWER yes rungs=1 cached=0");
+  EXPECT_EQ(server.HandleLine("BRAVE gcwa a & b", &quit),
+            "ANSWER yes rungs=1 cached=1");
+  EXPECT_EQ(server.HandleLine("QUERY gcwa infer a & b", &quit),
+            "ANSWER no rungs=1 cached=0");
+  EXPECT_EQ(server.HandleLine("BRAVE", &quit).rfind("ERR ", 0), 0u);
+  EXPECT_EQ(server.HandleLine("BRAVE nosuch a", &quit).rfind("ERR ", 0), 0u);
+  EXPECT_EQ(server.HandleLine("BRAVE gcwa", &quit).rfind("ERR ", 0), 0u);
+  EXPECT_EQ(server.HandleLine("BRAVE gcwa ((((", &quit).rfind("ERR ", 0), 0u);
+  // Two answered + the unparseable one (parsing happens inside Submit).
+  EXPECT_EQ(server.stats().brave_requests, 3);
+  EXPECT_FALSE(quit);
 }
 
 TEST(ServeProtocol, MalformedInputYieldsErrNeverCrash) {
