@@ -1,13 +1,20 @@
 // ddquery: an interactive / scriptable query shell over the library.
 //
 //   ddquery <program.ddb>          load a database and read commands from
-//                                  stdin (or pipe a script in)
+//                                  stdin (or pipe a script in). First-order
+//                                  programs (any rule with a variable) are
+//                                  auto-detected and grounded on load
+//                                  (ground/grounder.h); --first-order
+//                                  forces the grounding path
 //   ddquery --batch=FILE <prog>    batched mode: FILE holds one query per
 //                                  line ("lit <SEM> <literal>",
-//                                  "infer <SEM> <formula>" or
-//                                  "brave <SEM> <formula>"; blank lines and
-//                                  # comments are skipped); answers print
-//                                  in input order, one per line, identical
+//                                  "infer <SEM> <formula>",
+//                                  "brave <SEM> <formula>",
+//                                  "answers <SEM> <template>" or
+//                                  "banswers <SEM> <template>"; blank lines
+//                                  and # comments are skipped); answers
+//                                  print in input order (template lines as
+//                                  multi-line answer blocks), identical
 //                                  for every --threads value
 //   ddquery --serve <prog>         serving mode (docs/SERVING.md): a
 //                                  line protocol on stdin/stdout over a
@@ -17,8 +24,10 @@
 //   ddquery                        start with an empty database
 //
 // Commands:
-//   load <file>                    replace the database from a file
+//   load <file>                    replace the database from a file (first-
+//                                  order programs ground automatically)
 //   loadg <file>                   load a first-order program and ground it
+//                                  (forced, even for variable-free text)
 //   add <clause.>                  append one clause (same syntax as files)
 //   show                           print the database
 //   strata                         print the stratification (if any)
@@ -27,6 +36,10 @@
 //   brave <SEM> <formula>          credulous inference (some model)
 //   why <SEM> <formula>            verdict + counter-model when it fails
 //   lit <SEM> <literal>            skeptical literal inference
+//   answers <SEM> <template>       skeptical template answers: the variable
+//                                  substitutions making the template true
+//                                  in every intended model (docs/TEMPLATES.md)
+//   banswers <SEM> <template>      brave template answers (some model)
 //   exists <SEM>                   model existence
 //   partition p=a,b q=c rest=z     set the CCWA/ECWA partition
 //   stats                          cumulative oracle counters
@@ -36,6 +49,10 @@
 //   QUERY <SEM> <lit|infer> <q>    -> ANSWER yes|no|unknown rungs=N cached=B
 //                                     | UNAVAILABLE <why> | ERR <why>
 //   BRAVE <SEM> <formula>          -> same responses, credulous inference
+//   ANSWERS <SEM> <skeptical|brave> <template>
+//                                  -> ANSWERS yes=N unknown=M candidates=K
+//                                     rungs=R [vacuous=1] [X=n1,C=r ...]
+//                                     | UNAVAILABLE <why> | ERR <why>
 //   RELOAD <file>                  -> RELOADED fp=<hex> <summary>
 //   SAVE                           -> SAVED <path> entries=N
 //   STATS                          -> STATS <dd.serve.* JSON>
@@ -58,6 +75,21 @@
 //                         (dedupe, answer cache, slice-grouped model banks)
 //   --threads=N           worker threads for parallel group evaluation
 //
+// First-order / template options (docs/TEMPLATES.md):
+//   --first-order         force the grounding path for the program file
+//                         (auto-detection only grounds when a rule has a
+//                         variable, so variable-free FO text keeps the
+//                         propositional parser's clause multiset)
+//   --ground-max-clauses=N  grounding clause cap (exit 1 beyond; default
+//                         1000000)
+//   --ground-relevance    atom-level relevance filter during grounding
+//                         (GroundOptions::relevance_filter; sound for the
+//                         GCWA/EGCWA fixpoint family, auto-disabled under
+//                         negation)
+//   --naive-templates     A/B baseline: answer template lines through the
+//                         sequential entry points instead of one batch
+//                         (same answers, no shared model banks)
+//
 // Persistence (docs/SERVING.md):
 //   --cache-file=PATH     crash-safe answer-cache snapshot: warm-start from
 //                         PATH (stale/corrupt files degrade to a cold
@@ -77,11 +109,12 @@
 //                         the run
 //
 // Exit status (audited; docs/ROBUSTNESS.md §CLI): 0 on success, 1 on a
-// load/parse failure of the initial program or a --batch file (or an
-// unwritable --trace-json / --cache-file, or a rejected --certify
-// certificate), 2 if any query degraded — out of budget (deadline,
-// conflicts, oracle calls, external kCancelled), or in serve mode answered
-// kUnknown after the full ladder or shed with kUnavailable.
+// load/parse/grounding failure of the initial program (including a blown
+// --ground-max-clauses cap) or a --batch file (or an unwritable
+// --trace-json / --cache-file, or a rejected --certify certificate), 2 if
+// any query degraded — out of budget (deadline, conflicts, oracle calls,
+// external kCancelled), a template substitution left kUnknown, or in serve
+// mode answered kUnknown after the full ladder or shed with kUnavailable.
 #include <unistd.h>
 
 #include <cerrno>
@@ -100,12 +133,14 @@
 #include "core/oracle_stats.h"
 #include "core/reasoner.h"
 #include "ground/grounder.h"
+#include "ground/parser.h"
 #include "logic/printer.h"
 #include "obs/metrics.h"
 #include "obs/stats_view.h"
 #include "obs/trace.h"
 #include "serve/server.h"
 #include "strat/stratifier.h"
+#include "tmpl/answer.h"
 #include "util/string_util.h"
 
 namespace {
@@ -118,20 +153,49 @@ std::optional<std::string> ReadFile(const std::string& path) {
   return buf.str();
 }
 
+/// Loads program text, auto-detecting the language: when the text parses
+/// as a first-order program AND some rule carries a variable (or
+/// `force_fo` — the --first-order flag / loadg command), it grounds via
+/// ground::Ground under `gopts`; otherwise the propositional parser reads
+/// it directly. The variable test matters: variable-free FO text is also
+/// valid propositional text, and the propositional parser preserves the
+/// clause multiset (duplicates and all) where the grounder dedupes — so
+/// only programs that NEED grounding take the grounding path.
+dd::Result<dd::Database> LoadProgram(const std::string& text, bool force_fo,
+                                     const dd::ground::GroundOptions& gopts) {
+  auto fo = dd::ground::ParseProgram(text);
+  bool is_fo = force_fo;
+  if (!is_fo && fo.ok()) {
+    for (const auto& r : fo->rules) {
+      if (!r.Variables().empty()) {
+        is_fo = true;
+        break;
+      }
+    }
+  }
+  if (!is_fo) return dd::ParseDatabase(text);
+  if (!fo.ok()) return fo.status();
+  return dd::ground::Ground(*fo, gopts);
+}
+
 void PrintHelp() {
   std::printf(
-      "commands: load <file> | add <clause.> | show | strata |\n"
-      "          models <sem> [cap] | infer <sem> <formula> |\n"
-      "          lit <sem> <literal> | exists <sem> |\n"
+      "commands: load <file> | loadg <file> | add <clause.> | show |\n"
+      "          strata | models <sem> [cap] | infer <sem> <formula> |\n"
+      "          lit <sem> <literal> | answers <sem> <template> |\n"
+      "          banswers <sem> <template> | exists <sem> |\n"
       "          partition p=a,b q=c rest=z | stats | help | quit\n"
       "semantics: cwa gcwa egcwa ccwa ecwa ddr pws perf icwa dsm pdsm\n"
       "flags: --timeout-ms=N --conflict-budget=N (budgeted queries; exit 2\n"
       "       if any query runs out of budget)\n"
       "       --batch=FILE --threads=N (batched evaluation; one\n"
-      "       'lit <sem> <literal>', 'infer <sem> <formula>' or\n"
-      "       'brave <sem> <formula>' per line)\n"
+      "       'lit <sem> <literal>', 'infer <sem> <formula>',\n"
+      "       'brave <sem> <formula>', 'answers <sem> <template>' or\n"
+      "       'banswers <sem> <template>' per line)\n"
+      "       --first-order --ground-max-clauses=N --ground-relevance\n"
+      "       --naive-templates (grounding + templates; docs/TEMPLATES.md)\n"
       "       --serve --retry-rungs=N (line-protocol serving mode:\n"
-      "       QUERY/RELOAD/SAVE/STATS/QUIT -- docs/SERVING.md)\n"
+      "       QUERY/ANSWERS/RELOAD/SAVE/STATS/QUIT -- docs/SERVING.md)\n"
       "       --cache-file=PATH (crash-safe answer-cache snapshot)\n"
       "       --trace-json=FILE --metrics (observability exports)\n"
       "       --certify (verify every fast-path answer's certificate;\n"
@@ -241,17 +305,21 @@ bool ParsePartitionArgs(const std::string& rest_of_line, dd::Reasoner* r) {
 }
 
 /// Runs --batch mode through the hardened .queries parser
-/// (batch/queries_file.h), one Reasoner::AnswerBatch (or, for `brave`
-/// lines, AnswerBatchCredulous) call per (semantics, mode) group,
-/// printing one answer per query in input-line order — the same strings
-/// the interactive shell prints, so `ddquery --batch=F prog` and
-/// `ddquery prog < F` agree line for line. `cache`, when non-null, is the
-/// persistent --cache-file cache (null keeps the reasoner-owned one).
-/// Returns false on a read/parse failure (exit 1); any kUnknown answer
-/// sets *worst_exit to 2.
+/// (batch/queries_file.h): one Reasoner::AnswerBatch (or, for `brave`
+/// lines, AnswerBatchCredulous) call per (semantics, mode) group, plus one
+/// tmpl::AnswerTemplateText call per `answers`/`banswers` line (each
+/// template fans out into a batch of its own). Output prints in
+/// input-line order — one line per plain query, a FormatAnswer block per
+/// template — using the same strings the interactive shell prints, so
+/// `ddquery --batch=F prog` and `ddquery prog < F` agree line for line.
+/// `cache`, when non-null, is the persistent --cache-file cache (null
+/// keeps the reasoner-owned one); template stats accumulate into
+/// `tmpl_stats` for the --metrics epilogue. Returns false on a read/parse
+/// failure (exit 1); any kUnknown answer sets *worst_exit to 2.
 bool RunBatch(dd::Reasoner* reasoner, const std::string& path,
               const dd::QueryOptions& query_opts, int threads,
-              dd::batch::AnswerCache* cache, int* worst_exit) {
+              bool naive_templates, dd::batch::AnswerCache* cache,
+              dd::tmpl::TemplateStats* tmpl_stats, int* worst_exit) {
   auto text = ReadFile(path);
   if (!text) {
     std::fprintf(stderr, "ddquery: cannot read %s\n", path.c_str());
@@ -271,8 +339,7 @@ bool RunBatch(dd::Reasoner* reasoner, const std::string& path,
   bo.conflict_budget = query_opts.conflict_budget;
   bo.oracle_call_budget = query_opts.oracle_call_budget;
   bo.cancel = query_opts.cancel;
-  std::vector<dd::Trilean> answers(parsed->queries.size(),
-                                   dd::Trilean::kUnknown);
+  std::vector<std::string> outputs(parsed->queries.size());
   for (const auto& g : parsed->groups) {
     auto r = g.brave ? reasoner->AnswerBatchCredulous(g.kind, g.queries, bo)
                      : reasoner->AnswerBatch(g.kind, g.queries, bo);
@@ -281,16 +348,37 @@ bool RunBatch(dd::Reasoner* reasoner, const std::string& path,
       return false;
     }
     for (size_t k = 0; k < g.slots.size(); ++k) {
-      answers[g.slots[k]] = r->answers[k];
+      dd::Trilean a = r->answers[k];
+      if (a == dd::Trilean::kUnknown) {
+        outputs[g.slots[k]] = "unknown (out of budget)\n";
+        *worst_exit = 2;
+      } else {
+        outputs[g.slots[k]] = a == dd::Trilean::kYes ? "yes\n" : "no\n";
+      }
     }
   }
-  for (dd::Trilean a : answers) {
-    if (a == dd::Trilean::kUnknown) {
-      std::printf("unknown (out of budget)\n");
-      *worst_exit = 2;
-    } else {
-      std::printf("%s\n", a == dd::Trilean::kYes ? "yes" : "no");
+  for (size_t i = 0; i < parsed->queries.size(); ++i) {
+    const dd::batch::ParsedQuery& q = parsed->queries[i];
+    if (!q.is_template) continue;
+    dd::tmpl::TemplateOptions topts;
+    topts.naive = naive_templates;
+    topts.batch = bo;
+    auto a = dd::tmpl::AnswerTemplateText(
+        reasoner, q.kind, q.query.text,
+        q.brave ? dd::batch::BatchMode::kBrave
+                : dd::batch::BatchMode::kSkeptical,
+        topts);
+    if (!a.ok()) {
+      std::fprintf(stderr, "ddquery: %s line %d: %s\n", path.c_str(), q.line,
+                   a.status().ToString().c_str());
+      return false;
     }
+    tmpl_stats->Add(a->stats);
+    if (!a->unknown.empty()) *worst_exit = 2;
+    outputs[i] = dd::tmpl::FormatAnswer(*a);
+  }
+  for (const std::string& out : outputs) {
+    std::printf("%s", out.c_str());
   }
   return true;
 }
@@ -357,6 +445,9 @@ int main(int argc, char** argv) {
   bool print_metrics = false;
   bool certify = false;
   bool serve = false;
+  bool first_order = false;
+  bool naive_templates = false;
+  dd::ground::GroundOptions ground_opts;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     bool matched = false;
@@ -376,6 +467,11 @@ int main(int argc, char** argv) {
     if (matched) continue;
     if (!ParseInt64Flag(argc, argv, &i, "--retry-rungs", &retry_rungs,
                         &matched)) {
+      return 1;
+    }
+    if (matched) continue;
+    if (!ParseInt64Flag(argc, argv, &i, "--ground-max-clauses",
+                        &ground_opts.max_clauses, &matched)) {
       return 1;
     }
     if (matched) continue;
@@ -406,6 +502,18 @@ int main(int argc, char** argv) {
       serve = true;
       continue;
     }
+    if (arg == "--first-order") {
+      first_order = true;
+      continue;
+    }
+    if (arg == "--ground-relevance") {
+      ground_opts.relevance_filter = true;
+      continue;
+    }
+    if (arg == "--naive-templates") {
+      naive_templates = true;
+      continue;
+    }
     positional.push_back(argv[i]);
   }
 
@@ -425,7 +533,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot read %s\n", positional[0].c_str());
       return 1;
     }
-    auto db = dd::ParseDatabase(*text);
+    auto db = LoadProgram(*text, first_order, ground_opts);
     if (!db.ok()) {
       std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
       return 1;
@@ -480,10 +588,11 @@ int main(int argc, char** argv) {
   // Set to 2 when any budgeted query exhausts its budget; distinct from the
   // load/parse failure exit (1) above.
   int worst_exit = 0;
+  dd::tmpl::TemplateStats tmpl_stats;
   if (!batch_path.empty() &&
       !RunBatch(&reasoner, batch_path, query_opts,
-                static_cast<int>(num_threads), answer_cache.get(),
-                &worst_exit)) {
+                static_cast<int>(num_threads), naive_templates,
+                answer_cache.get(), &tmpl_stats, &worst_exit)) {
     return 1;
   }
   std::string line;
@@ -529,21 +638,15 @@ int main(int argc, char** argv) {
         std::printf("cannot read %s\n", path.c_str());
         continue;
       }
-      if (cmd == "loadg") {
-        auto db = dd::ground::GroundProgramText(*text);
-        if (!db.ok()) {
-          std::printf("%s\n", db.status().ToString().c_str());
-          continue;
-        }
-        reasoner = dd::Reasoner(std::move(db).value());
-      } else {
-        auto r = dd::Reasoner::FromProgram(*text);
-        if (!r.ok()) {
-          std::printf("%s\n", r.status().ToString().c_str());
-          continue;
-        }
-        reasoner = std::move(r).value();
+      // "load" auto-detects first-order text (any rule with a variable)
+      // exactly like the program-file argument; "loadg" forces grounding.
+      auto db = LoadProgram(*text, first_order || cmd == "loadg",
+                            ground_opts);
+      if (!db.ok()) {
+        std::printf("%s\n", db.status().ToString().c_str());
+        continue;
       }
+      reasoner = dd::Reasoner(std::move(db).value());
       reasoner.set_trace(trace_ptr);
       reasoner.EnableCertification(certify);
       std::printf("loaded (%s)\n",
@@ -579,6 +682,49 @@ int main(int argc, char** argv) {
       std::string rest;
       std::getline(in, rest);
       ParsePartitionArgs(rest, &reasoner);
+      continue;
+    }
+
+    if (cmd == "answers" || cmd == "banswers") {
+      std::string sem_name;
+      if (!(in >> sem_name)) {
+        std::printf("missing semantics name\n");
+        continue;
+      }
+      auto kind = dd::SemanticsKindFromName(sem_name);
+      if (!kind) {
+        std::printf("unknown semantics '%s'\n", sem_name.c_str());
+        continue;
+      }
+      std::string rest;
+      std::getline(in, rest);
+      if (dd::Trim(rest).empty()) {
+        std::printf("missing template (e.g. answers gcwa p(X))\n");
+        continue;
+      }
+      // The same TemplateOptions the --batch path builds, so replaying a
+      // .queries file through the shell prints byte-identical blocks.
+      dd::tmpl::TemplateOptions topts;
+      topts.naive = naive_templates;
+      topts.batch.num_threads = static_cast<int>(num_threads);
+      topts.batch.cache = answer_cache.get();
+      topts.batch.deadline_ms = query_opts.deadline_ms;
+      topts.batch.conflict_budget = query_opts.conflict_budget;
+      topts.batch.oracle_call_budget = query_opts.oracle_call_budget;
+      topts.batch.cancel = query_opts.cancel;
+      auto a = dd::tmpl::AnswerTemplateText(
+          &reasoner, *kind, rest,
+          cmd == "banswers" ? dd::batch::BatchMode::kBrave
+                            : dd::batch::BatchMode::kSkeptical,
+          topts);
+      if (!a.ok()) {
+        std::printf("%s\n", a.status().ToString().c_str());
+        if (a.status().IsBudgetExhaustion()) worst_exit = 2;
+        continue;
+      }
+      tmpl_stats.Add(a->stats);
+      if (!a->unknown.empty()) worst_exit = 2;
+      std::printf("%s", dd::tmpl::FormatAnswer(*a).c_str());
       continue;
     }
 
@@ -743,6 +889,7 @@ int main(int argc, char** argv) {
     // snapshot under the canonical dd.* names.
     dd::obs::MetricsRegistry& reg = dd::obs::MetricsRegistry::Global();
     reasoner.PublishMetrics(&reg);
+    dd::tmpl::Publish(tmpl_stats, &reg);
     dd::obs::WriteJson(std::cout, reg.Snapshot());
     std::cout << "\n";
   }

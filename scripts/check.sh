@@ -24,7 +24,12 @@
 #   9. batched-query A/B: every examples/programs/*.queries file runs
 #      once through `ddquery --batch` (4 workers) and once line-by-line
 #      through the interactive loop; the answer streams must be
-#      identical (docs/BATCHING.md determinism contract)
+#      identical (docs/BATCHING.md determinism contract). First-order
+#      programs (.fodb) join via the grounder auto-detect.
+#  9b. template A/B: the first-order coloring3 workload replayed under
+#      --naive-templates (sequential per-instantiation evaluation) must
+#      emit byte-identical answer blocks to the batched default
+#      (docs/TEMPLATES.md equivalence contract)
 #  10. crash-recovery: a --batch run covering all eleven semantics with
 #      --cache-file is killed (kill -9 via _exit) at each
 #      DD_SNAPSHOT_CRASH_AT point mid-save; the restarted run must load
@@ -87,7 +92,9 @@ if [ "$FAST" -eq 0 ]; then
   # bank_store_test adds the cross-batch bank store feeding those groups.
   # serve_test joins because the serving layer's gate/session-swap paths
   # are exercised from multiple threads (RequestGate waiters, hot reload).
-  CTEST_FILTER='thread_pool_test|oracle_session_test|fixpoint_test|egcwa_ecwa_test|ddr_pws_test|batch_test|bank_store_test|serve_test' \
+  # tmpl_test joins because template answering fans every substitution out
+  # over the batch pool (threads {1,4} sweeps in the equivalence matrix).
+  CTEST_FILTER='thread_pool_test|oracle_session_test|fixpoint_test|egcwa_ecwa_test|ddr_pws_test|batch_test|bank_store_test|serve_test|tmpl_test' \
   run_leg "tsan (concurrency tests)" build-check-tsan \
           -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDD_SANITIZE=thread \
           -DDD_BUILD_BENCHMARKS=OFF
@@ -216,9 +223,12 @@ if [ -x "$QUERY_BIN" ]; then
   BATCH_COUNT=0
   for q in examples/programs/*.queries; do
     [ -f "$q" ] || continue
+    # Propositional programs are .ddb; first-order (grounder-ingested)
+    # programs are .fodb — ddquery auto-detects the syntax either way.
     prog="${q%.queries}.ddb"
+    [ -f "$prog" ] || prog="${q%.queries}.fodb"
     if [ ! -f "$prog" ]; then
-      echo "batch: $q has no matching .ddb"; BATCH_FAILED=1; continue
+      echo "batch: $q has no matching .ddb/.fodb"; BATCH_FAILED=1; continue
     fi
     BATCH_COUNT=$((BATCH_COUNT + 1))
     # Batch leg: one --batch run (4 workers; answers must not depend on
@@ -249,6 +259,51 @@ if [ -x "$QUERY_BIN" ]; then
   rm -rf "$BATCH_TMP"
 else
   echo "batch: ddquery not built; skipping"
+fi
+
+echo "===== template A/B (batched vs --naive-templates) ====="
+if [ -x "$QUERY_BIN" ]; then
+  TPL_TMP="$(mktemp -d)"
+  TPL_FAILED=0
+  TPL_PROG=examples/programs/coloring3.fodb
+  TPL_Q=examples/programs/coloring3.queries
+  # Batched default: every template's instantiations share one AnswerBatch
+  # call (bank + cache). Naive flag: the sequential single-query entry
+  # points. The answer blocks must be byte-identical — including the
+  # candidate counts, so grounding must match too.
+  if ! "$QUERY_BIN" --batch="$TPL_Q" --threads=4 "$TPL_PROG" \
+       >"$TPL_TMP/batched.out" 2>"$TPL_TMP/batched.err"; then
+    echo "template: batched run exited nonzero"
+    cat "$TPL_TMP/batched.err"; TPL_FAILED=1
+  elif ! "$QUERY_BIN" --batch="$TPL_Q" --naive-templates "$TPL_PROG" \
+       >"$TPL_TMP/naive.out" 2>"$TPL_TMP/naive.err"; then
+    echo "template: --naive-templates run exited nonzero"
+    cat "$TPL_TMP/naive.err"; TPL_FAILED=1
+  elif ! diff -u "$TPL_TMP/batched.out" "$TPL_TMP/naive.out"; then
+    echo "template: batched/naive answers differ"; TPL_FAILED=1
+  fi
+  # Relevance-filtered grounding must keep every yes answer (candidate
+  # counts legitimately shrink, so compare the answer lines only).
+  if [ "$TPL_FAILED" -eq 0 ]; then
+    if ! "$QUERY_BIN" --batch="$TPL_Q" --ground-relevance "$TPL_PROG" \
+         >"$TPL_TMP/relevance.out" 2>&1; then
+      echo "template: --ground-relevance run exited nonzero"; TPL_FAILED=1
+    else
+      grep -E '^(answer:|yes|no)' "$TPL_TMP/batched.out" >"$TPL_TMP/full.ans"
+      grep -E '^(answer:|yes|no)' "$TPL_TMP/relevance.out" >"$TPL_TMP/rel.ans"
+      if ! diff -u "$TPL_TMP/full.ans" "$TPL_TMP/rel.ans"; then
+        echo "template: --ground-relevance changed the answers"; TPL_FAILED=1
+      fi
+    fi
+  fi
+  if [ "$TPL_FAILED" -ne 0 ]; then
+    FAILED=1
+  else
+    echo "template: OK (batched == naive, relevance grounding answer-stable)"
+  fi
+  rm -rf "$TPL_TMP"
+else
+  echo "template: ddquery not built; skipping"
 fi
 
 echo "===== crash-recovery (snapshot save under kill -9) ====="

@@ -15,10 +15,12 @@
 # only the oracle-call harness (the one whose rows carry full counter
 # snapshots, docs/OBSERVABILITY.md), the batch amortization harness
 # (whose audit doubles as an end-to-end soundness check,
-# docs/BATCHING.md), and the serving-layer harness (warm vs cold vs
-# retry-ladder latency, docs/SERVING.md) under a 10 s watchdog. The
-# resulting results/BENCH_oracle_calls.json, results/BENCH_batch.json
-# and results/BENCH_serve.json are small enough to commit as the
+# docs/BATCHING.md), the serving-layer harness (warm vs cold vs
+# retry-ladder latency, docs/SERVING.md) and the template harness
+# (batched vs per-instantiation answering, docs/TEMPLATES.md) under a
+# 10 s watchdog. The resulting results/BENCH_oracle_calls.json,
+# results/BENCH_batch.json, results/BENCH_serve.json and
+# results/BENCH_template.json are small enough to commit as the
 # checked-in reference exports.
 set -u
 cd "$(dirname "$0")/.."
@@ -39,14 +41,16 @@ cmake --build build
 if [ "$SMALL" -eq 1 ]; then
   mkdir -p results
   rm -f results/BENCH_oracle_calls.json results/BENCH_batch.json \
-        results/BENCH_serve.json
+        results/BENCH_serve.json results/BENCH_template.json
   echo "########## bench_oracle_calls (--small preset) ##########"
   (cd results && ../build/bench/bench_oracle_calls --timeout-ms=10000 "$@")
   echo "########## bench_batch (--small preset) ##########"
   (cd results && ../build/bench/bench_batch --timeout-ms=10000 "$@")
   echo "########## bench_serve (--small preset) ##########"
   (cd results && ../build/bench/bench_serve --timeout-ms=10000 "$@")
-  echo "wrote results/BENCH_oracle_calls.json, results/BENCH_batch.json and results/BENCH_serve.json"
+  echo "########## bench_template (--small preset) ##########"
+  (cd results && ../build/bench/bench_template --timeout-ms=10000 "$@")
+  echo "wrote results/BENCH_oracle_calls.json, results/BENCH_batch.json, results/BENCH_serve.json and results/BENCH_template.json"
   exit 0
 fi
 

@@ -56,10 +56,13 @@ Result<QueriesFile> ParseQueriesFile(std::string_view text) {
     std::string_view cmd = NextToken(&rest);
     if (cmd.empty() || cmd[0] == '#') continue;
     const bool is_lit = cmd == "lit";
-    const bool is_brave = cmd == "brave";
-    if (!is_lit && !is_brave && cmd != "infer") {
-      return BadLine(lineno, "expected 'lit', 'infer' or 'brave', got '" +
-                                 std::string(cmd) + "'");
+    const bool is_template = cmd == "answers" || cmd == "banswers";
+    const bool is_brave = cmd == "brave" || cmd == "banswers";
+    if (!is_lit && !is_brave && !is_template && cmd != "infer") {
+      return BadLine(lineno,
+                     "expected 'lit', 'infer', 'brave', 'answers' or "
+                     "'banswers', got '" +
+                         std::string(cmd) + "'");
     }
     std::string_view sem_name = NextToken(&rest);
     auto kind = SemanticsKindFromName(sem_name);
@@ -71,8 +74,12 @@ Result<QueriesFile> ParseQueriesFile(std::string_view text) {
     if (query.empty()) return BadLine(lineno, "empty query");
 
     const int slot = static_cast<int>(out.queries.size());
-    out.queries.push_back(ParsedQuery{
-        *kind, is_brave, BatchQuery{std::string(query), is_lit}, lineno});
+    out.queries.push_back(
+        ParsedQuery{*kind, is_brave, is_template,
+                    BatchQuery{std::string(query), is_lit}, lineno});
+    // Template lines are answered per line (tmpl::AnswerTemplate issues its
+    // own batch over the instantiations), so they join no group.
+    if (is_template) continue;
     auto [it, inserted] = group_of.emplace(
         std::make_pair(*kind, is_brave), static_cast<int>(out.groups.size()));
     if (inserted) {

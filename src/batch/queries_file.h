@@ -3,13 +3,18 @@
 //
 // Format, one query per line:
 //
-//   lit   <SEM> <literal>     # skeptical literal inference
-//   infer <SEM> <formula>     # skeptical formula inference
-//   brave <SEM> <formula>     # brave (credulous) formula inference
-//   # comment                 — skipped, as are blank lines
+//   lit      <SEM> <literal>     # skeptical literal inference
+//   infer    <SEM> <formula>     # skeptical formula inference
+//   brave    <SEM> <formula>     # brave (credulous) formula inference
+//   answers  <SEM> <template>    # skeptical template answers (tmpl/)
+//   banswers <SEM> <template>    # brave template answers
+//   # comment                    — skipped, as are blank lines
 //
 // SEM is any name SemanticsKindFromName accepts (all 11 semantics plus
-// the paper's aliases circ/wgcwa/pms).
+// the paper's aliases circ/wgcwa/pms). Template lines hold a first-order
+// conjunctive template like "color(X, red), not bad(X)" (docs/TEMPLATES.md);
+// they are answered one template per line (each template IS a batch), so
+// they join no (semantics, mode) group.
 //
 // Hardening contract (the .queries twin of sat/dimacs.cc's DIMACS
 // hardening, docs/ROBUSTNESS.md): hostile bytes yield a line-numbered
@@ -45,7 +50,11 @@ constexpr size_t kMaxQueriesFile = size_t{1} << 30;
 /// One parsed query line, tagged with its input position.
 struct ParsedQuery {
   SemanticsKind kind = SemanticsKind::kGcwa;
-  bool brave = false;  ///< credulous mode ("brave" command)
+  bool brave = false;  ///< credulous mode ("brave"/"banswers" commands)
+  /// Template line ("answers"/"banswers"): `query.text` holds the raw
+  /// template for tmpl::AnswerTemplateText, and the line joins no group —
+  /// a template already fans out into one batch of its own.
+  bool is_template = false;
   BatchQuery query;
   int line = 0;  ///< 1-based source line, for error attribution
 };

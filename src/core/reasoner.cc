@@ -209,6 +209,7 @@ Status Reasoner::SetPartition(const std::vector<std::string>& p_atoms,
   }
   DD_RETURN_IF_ERROR(part.Validate());
   partition_ = std::move(part);
+  partition_rest_ = rest;
   engines_.erase(SemanticsKind::kCcwa);
   engines_.erase(SemanticsKind::kEcwa);
   return Status::OK();
@@ -221,6 +222,36 @@ void Reasoner::InvalidateCaches() {
   props_.reset();
   fast_.reset();
   slicer_.reset();
+  // Parsing a query can intern fresh atoms; a custom <P;Q;Z> partition
+  // snapshot must keep covering the whole vocabulary or the CCWA/ECWA
+  // rebuild trips its size invariant. New atoms join the `rest` part the
+  // caller picked at SetPartition time.
+  if (partition_.has_value() && partition_->num_vars() != db_.num_vars()) {
+    const int n = db_.num_vars();
+    auto grow = [n](const Interpretation& old) {
+      Interpretation out(n);
+      for (Var v : old.TrueAtoms()) out.Insert(v);
+      return out;
+    };
+    Partition part;
+    part.p = grow(partition_->p);
+    part.q = grow(partition_->q);
+    part.z = grow(partition_->z);
+    for (Var v = partition_->num_vars(); v < n; ++v) {
+      switch (partition_rest_) {
+        case 'p':
+          part.p.Insert(v);
+          break;
+        case 'q':
+          part.q.Insert(v);
+          break;
+        default:
+          part.z.Insert(v);
+          break;
+      }
+    }
+    partition_ = std::move(part);
+  }
 }
 
 analysis::Slicer* Reasoner::slicer() {

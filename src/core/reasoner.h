@@ -189,6 +189,13 @@ class Reasoner {
                       const std::vector<std::string>& z_atoms,
                       char rest = 'z');
 
+  /// The custom CCWA/ECWA partition, or null when the default
+  /// minimize-everything preorder applies (callers like tmpl/answer.h
+  /// gate relevance pruning on this).
+  const Partition* partition() const {
+    return partition_.has_value() ? &*partition_ : nullptr;
+  }
+
   /// Aggregated oracle counters over all engines used so far.
   MinimalStats TotalStats() const;
 
@@ -293,6 +300,9 @@ class Reasoner {
            std::unique_ptr<Semantics>>
       slice_engines_;
   std::optional<Partition> partition_;
+  /// Where atoms interned AFTER SetPartition land when the partition is
+  /// regrown to a larger vocabulary (see InvalidateCaches).
+  char partition_rest_ = 'z';
   std::optional<analysis::ProgramProperties> props_;
   std::unique_ptr<analysis::FastPathEngine> fast_;
   std::unique_ptr<analysis::Slicer> slicer_;

@@ -15,33 +15,6 @@ namespace ground {
 
 namespace {
 
-// Predicate-level derivability: a predicate can hold in some intended
-// model only if it heads a rule whose positive-body predicates are all
-// derivable. Used by the relevance filter (deductive programs only; with
-// negation an underivable atom can still be forced true classically, so
-// the filter is disabled there).
-std::set<std::string> DerivablePredicates(const FoProgram& prog) {
-  std::set<std::string> derivable;
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (const FoRule& r : prog.rules) {
-      bool body_ok = true;
-      for (const PredAtom& b : r.pos_body) {
-        if (derivable.find(b.predicate) == derivable.end()) {
-          body_ok = false;
-          break;
-        }
-      }
-      if (!body_ok) continue;
-      for (const PredAtom& h : r.heads) {
-        if (derivable.insert(h.predicate).second) changed = true;
-      }
-    }
-  }
-  return derivable;
-}
-
 bool HasNegation(const FoProgram& prog) {
   for (const FoRule& r : prog.rules) {
     if (!r.neg_body.empty()) return true;
@@ -65,100 +38,8 @@ Var InternGround(const PredAtom& atom,
   return voc->Intern(name);
 }
 
-}  // namespace
-
-Result<Database> Ground(const FoProgram& program, const GroundOptions& opts) {
-  // Safety.
-  if (opts.require_safety) {
-    for (const FoRule& r : program.rules) {
-      if (!r.IsSafe()) {
-        return Status::FailedPrecondition(
-            "unsafe rule (variable outside the positive body): " +
-            r.ToString());
-      }
-    }
-  }
-  std::vector<std::string> universe = program.Constants();
-  const bool use_relevance =
-      opts.relevance_filter && !HasNegation(program);
-  std::set<std::string> derivable;
-  if (use_relevance) derivable = DerivablePredicates(program);
-
-  Database db;
-  std::set<std::vector<int32_t>> seen;  // clause dedupe keys
-  int64_t emitted = 0;
-
-  for (const FoRule& r : program.rules) {
-    if (use_relevance) {
-      bool feasible = true;
-      for (const PredAtom& b : r.pos_body) {
-        if (derivable.find(b.predicate) == derivable.end()) {
-          feasible = false;
-          break;
-        }
-      }
-      if (!feasible) continue;  // the body can never hold
-    }
-    std::vector<std::string> vars = r.Variables();
-    if (!vars.empty() && universe.empty()) {
-      // No constants anywhere: rules with variables have no instances.
-      continue;
-    }
-    // Odometer over universe^|vars|.
-    std::vector<size_t> pick(vars.size(), 0);
-    std::unordered_map<std::string, std::string> subst;
-    for (;;) {
-      subst.clear();
-      for (size_t i = 0; i < vars.size(); ++i) {
-        subst[vars[i]] = universe[pick[i]];
-      }
-      std::vector<Var> heads, pos, neg;
-      for (const PredAtom& a : r.heads) {
-        heads.push_back(InternGround(a, subst, &db.vocabulary()));
-      }
-      for (const PredAtom& a : r.pos_body) {
-        pos.push_back(InternGround(a, subst, &db.vocabulary()));
-      }
-      for (const PredAtom& a : r.neg_body) {
-        neg.push_back(InternGround(a, subst, &db.vocabulary()));
-      }
-      Clause clause(std::move(heads), std::move(pos), std::move(neg));
-      std::vector<int32_t> key;
-      for (Var v : clause.heads()) key.push_back(v);
-      key.push_back(-1);
-      for (Var v : clause.pos_body()) key.push_back(v);
-      key.push_back(-2);
-      for (Var v : clause.neg_body()) key.push_back(v);
-      if (seen.insert(key).second) {
-        db.AddClause(std::move(clause));
-        if (++emitted > opts.max_clauses) {
-          return Status::ResourceExhausted(
-              StrFormat("grounding exceeded %lld clauses",
-                        static_cast<long long>(opts.max_clauses)));
-        }
-      }
-      // Advance.
-      size_t i = 0;
-      for (; i < pick.size(); ++i) {
-        if (++pick[i] < universe.size()) break;
-        pick[i] = 0;
-      }
-      if (i == pick.size()) break;
-    }
-  }
-  return db;
-}
-
-Result<Database> GroundProgramText(std::string_view text,
-                                   const GroundOptions& opts) {
-  DD_ASSIGN_OR_RETURN(FoProgram prog, ParseProgram(text));
-  return Ground(prog, opts);
-}
-
-namespace {
-
-// Ground-tuple store for the bottom-up grounder: per predicate, the set of
-// derived argument tuples.
+// Ground-tuple store shared by the bottom-up grounder and the atom-level
+// relevance filter: per predicate, the set of derived argument tuples.
 class TupleStore {
  public:
   // Returns true if the tuple was new.
@@ -168,6 +49,13 @@ class TupleStore {
     if (!entry.seen.insert(key).second) return false;
     entry.tuples.push_back(std::move(args));
     return true;
+  }
+
+  bool Contains(const std::string& pred,
+                const std::vector<std::string>& args) const {
+    auto it = by_pred_.find(pred);
+    if (it == by_pred_.end()) return false;
+    return it->second.seen.count(Join(args, "\x1f")) > 0;
   }
 
   const std::vector<std::vector<std::string>>* Tuples(
@@ -227,7 +115,172 @@ void JoinBody(const std::vector<PredAtom>& body, size_t idx,
   }
 }
 
+// The ground args of `a` under `subst`; head variables left unbound by an
+// unsafe rule's body join are expanded over the universe by the caller.
+std::vector<std::string> GroundArgs(
+    const PredAtom& a,
+    const std::unordered_map<std::string, std::string>& subst) {
+  std::vector<std::string> out;
+  out.reserve(a.args.size());
+  for (const Term& t : a.args) {
+    out.push_back(t.is_variable ? subst.at(t.name) : t.name);
+  }
+  return out;
+}
+
+// Atom-level derivability closure: the fixpoint of "a ground head atom is
+// derivable when some rule instance's positive body lies inside the
+// closure". This is exactly the tuple set GroundBottomUp joins against,
+// which is what makes Ground(relevance_filter) emit the same clause set
+// (hence the same util/fingerprint key) as GroundBottomUp on safe
+// deductive programs. Head variables outside the positive body (unsafe
+// rules, allowed with require_safety=false) expand over the universe.
+TupleStore DerivableAtoms(const FoProgram& prog,
+                          const std::vector<std::string>& universe) {
+  TupleStore store;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<std::pair<std::string, std::vector<std::string>>> pending;
+    for (const FoRule& r : prog.rules) {
+      std::unordered_map<std::string, std::string> subst;
+      JoinBody(r.pos_body, 0, store, &subst, [&]() {
+        for (const PredAtom& h : r.heads) {
+          std::vector<std::string> free;
+          for (const Term& t : h.args) {
+            if (t.is_variable && subst.find(t.name) == subst.end()) {
+              free.push_back(t.name);
+            }
+          }
+          if (free.empty()) {
+            pending.emplace_back(h.predicate, GroundArgs(h, subst));
+            continue;
+          }
+          if (universe.empty()) continue;
+          // Unsafe head: every instantiation of the free variables.
+          std::vector<size_t> pick(free.size(), 0);
+          for (;;) {
+            for (size_t i = 0; i < free.size(); ++i) {
+              subst[free[i]] = universe[pick[i]];
+            }
+            pending.emplace_back(h.predicate, GroundArgs(h, subst));
+            size_t i = 0;
+            for (; i < pick.size(); ++i) {
+              if (++pick[i] < universe.size()) break;
+              pick[i] = 0;
+            }
+            if (i == pick.size()) break;
+          }
+          for (const std::string& v : free) subst.erase(v);
+        }
+      });
+    }
+    for (auto& [pred, args] : pending) {
+      if (store.Insert(pred, std::move(args))) changed = true;
+    }
+  }
+  return store;
+}
+
 }  // namespace
+
+Result<Database> Ground(const FoProgram& program, const GroundOptions& opts) {
+  // Safety.
+  if (opts.require_safety) {
+    for (const FoRule& r : program.rules) {
+      if (!r.IsSafe()) {
+        return Status::FailedPrecondition(
+            "unsafe rule (variable outside the positive body): " +
+            r.ToString());
+      }
+    }
+  }
+  std::vector<std::string> universe = program.Constants();
+  const bool use_relevance =
+      opts.relevance_filter && !HasNegation(program);
+  TupleStore derivable;
+  if (use_relevance) derivable = DerivableAtoms(program, universe);
+
+  Database db;
+  std::set<std::vector<int32_t>> seen;  // clause dedupe keys
+  int64_t emitted = 0;
+
+  for (const FoRule& r : program.rules) {
+    std::vector<std::string> vars = r.Variables();
+    if (!vars.empty() && universe.empty()) {
+      // No constants anywhere: rules with variables have no instances.
+      continue;
+    }
+    // Odometer over universe^|vars|.
+    std::vector<size_t> pick(vars.size(), 0);
+    std::unordered_map<std::string, std::string> subst;
+    auto advance = [&]() {
+      size_t i = 0;
+      for (; i < pick.size(); ++i) {
+        if (++pick[i] < universe.size()) return true;
+        pick[i] = 0;
+      }
+      return false;
+    };
+    for (;;) {
+      subst.clear();
+      for (size_t i = 0; i < vars.size(); ++i) {
+        subst[vars[i]] = universe[pick[i]];
+      }
+      // Atom-level relevance: skip the instance unless every positive
+      // body atom lies in the derivable closure — the same membership
+      // test the bottom-up grounder's join performs, so the two grounders
+      // emit identical clause sets (and fingerprints) on safe deductive
+      // programs.
+      bool relevant = true;
+      if (use_relevance) {
+        for (const PredAtom& b : r.pos_body) {
+          if (!derivable.Contains(b.predicate, GroundArgs(b, subst))) {
+            relevant = false;
+            break;
+          }
+        }
+      }
+      if (!relevant) {
+        if (!advance()) break;
+        continue;
+      }
+      std::vector<Var> heads, pos, neg;
+      for (const PredAtom& a : r.heads) {
+        heads.push_back(InternGround(a, subst, &db.vocabulary()));
+      }
+      for (const PredAtom& a : r.pos_body) {
+        pos.push_back(InternGround(a, subst, &db.vocabulary()));
+      }
+      for (const PredAtom& a : r.neg_body) {
+        neg.push_back(InternGround(a, subst, &db.vocabulary()));
+      }
+      Clause clause(std::move(heads), std::move(pos), std::move(neg));
+      std::vector<int32_t> key;
+      for (Var v : clause.heads()) key.push_back(v);
+      key.push_back(-1);
+      for (Var v : clause.pos_body()) key.push_back(v);
+      key.push_back(-2);
+      for (Var v : clause.neg_body()) key.push_back(v);
+      if (seen.insert(key).second) {
+        db.AddClause(std::move(clause));
+        if (++emitted > opts.max_clauses) {
+          return Status::ResourceExhausted(
+              StrFormat("grounding exceeded %lld clauses",
+                        static_cast<long long>(opts.max_clauses)));
+        }
+      }
+      if (!advance()) break;
+    }
+  }
+  return db;
+}
+
+Result<Database> GroundProgramText(std::string_view text,
+                                   const GroundOptions& opts) {
+  DD_ASSIGN_OR_RETURN(FoProgram prog, ParseProgram(text));
+  return Ground(prog, opts);
+}
 
 Result<Database> GroundBottomUp(const FoProgram& program,
                                 const GroundOptions& opts) {
@@ -249,17 +302,6 @@ Result<Database> GroundBottomUp(const FoProgram& program,
   std::set<std::vector<int32_t>> seen_clauses;
   int64_t emitted = 0;
   Status overflow = Status::OK();
-
-  auto ground_args =
-      [](const PredAtom& a,
-         const std::unordered_map<std::string, std::string>& subst) {
-        std::vector<std::string> out;
-        out.reserve(a.args.size());
-        for (const Term& t : a.args) {
-          out.push_back(t.is_variable ? subst.at(t.name) : t.name);
-        }
-        return out;
-      };
 
   bool changed = true;
   while (changed && overflow.ok()) {
@@ -297,7 +339,7 @@ Result<Database> GroundBottomUp(const FoProgram& program,
         }
         // Every head atom becomes derivable (installed after the pass).
         for (const PredAtom& a : r.heads) {
-          pending.emplace_back(a.predicate, ground_args(a, subst));
+          pending.emplace_back(a.predicate, GroundArgs(a, subst));
         }
       });
     }

@@ -21,9 +21,14 @@ struct GroundOptions {
   /// (Datalog safety). When false, unsafe rules are instantiated over the
   /// full universe.
   bool require_safety = true;
-  /// Drop ground rules whose positive body mentions a predicate that no
-  /// rule head can ever derive (a cheap relevance filter that typically
-  /// shrinks the grounding by orders of magnitude).
+  /// Drop ground rules whose positive body mentions a ground atom outside
+  /// the head-derivable closure (an atom-level relevance filter that
+  /// typically shrinks the grounding by orders of magnitude). The filter
+  /// performs the same closure-membership test GroundBottomUp joins
+  /// against, so Ground(relevance_filter) and GroundBottomUp emit the
+  /// SAME clause set — hence the same util/fingerprint key — on safe
+  /// deductive programs: either grounder's output hits the other's shared
+  /// answer-cache and model-bank entries instead of missing.
   ///
   /// SOUNDNESS SCOPE: the filter preserves every semantics whose intended
   /// models live inside the head-derivable closure — GCWA, EGCWA, full

@@ -36,6 +36,7 @@ void Publish(const ServeStats& s, obs::MetricsRegistry* reg) {
   reg->Add("dd.serve.cache_hits", s.cache_hits);
   reg->Add("dd.serve.cache_misses", s.cache_misses);
   reg->Add("dd.serve.brave_requests", s.brave_requests);
+  reg->Add("dd.serve.template_requests", s.template_requests);
   reg->Add("dd.serve.bank_reuses", s.bank_reuses);
   reg->Add("dd.serve.rungs", s.rungs);
   reg->Add("dd.serve.escalations", s.escalations);
@@ -194,6 +195,105 @@ QueryServer::Answer QueryServer::Submit(SemanticsKind kind,
   return a;
 }
 
+QueryServer::TemplateResult QueryServer::SubmitTemplate(
+    SemanticsKind kind, std::string_view template_text,
+    batch::BatchMode mode) {
+  const bool brave = mode == batch::BatchMode::kBrave;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.requests;
+    ++stats_.template_requests;
+    if (brave) ++stats_.brave_requests;
+  }
+  TemplateResult out;
+  Result<RequestGate::Ticket> ticket = gate_.Enter();
+  if (!ticket.ok()) {
+    out.status = ticket.status();
+    return out;
+  }
+
+  obs::ScopedSpan request_span(opts_.trace, "serve_request", "serve");
+  request_span.Attr("semantics", SemanticsKindName(kind));
+  request_span.Attr("mode", brave ? "brave" : "skeptical");
+  request_span.Attr("template", QueryPreview(std::string(template_text)));
+
+  std::shared_ptr<Session> session = CurrentSession();
+  std::lock_guard<std::mutex> eval(session->eval_mu);
+
+  int64_t bank_reuses = 0;
+  int rung_index = 0;
+  bool have_answer = false;
+  LadderResult lr = RunLadder(
+      opts_.retry, [&](const Budget::Limits& lim, Status* why) -> Trilean {
+        obs::ScopedSpan rung_span(opts_.trace, "serve_rung", "serve");
+        rung_span.Counter("rung", rung_index);
+        rung_span.Counter("conflict_limit", lim.conflict_budget);
+        tmpl::TemplateOptions topts;
+        topts.batch.num_threads = opts_.num_threads;
+        topts.batch.model_bank_cap = opts_.model_bank_cap;
+        topts.batch.cache = &session->cache;
+        topts.batch.use_bank_store = opts_.bank_store_capacity > 0;
+        topts.batch.bank_store_capacity = opts_.bank_store_capacity;
+        topts.batch.deadline_ms = lim.deadline_ms;
+        topts.batch.conflict_budget = lim.conflict_budget;
+        topts.batch.oracle_call_budget = lim.oracle_call_budget;
+        topts.batch.trace = opts_.trace;
+        auto r = tmpl::AnswerTemplateText(&session->reasoner, kind,
+                                          template_text, mode, topts);
+        if (!r.ok()) {
+          *why = r.status();
+          rung_span.Attr("status", r.status().ToString());
+          ++rung_index;
+          return Trilean::kUnknown;
+        }
+        have_answer = true;
+        out.answer = *std::move(r);
+        bank_reuses += out.answer.batch_stats.bank_store_hits;
+        rung_span.Counter("bank_reuses", out.answer.batch_stats.bank_store_hits);
+        rung_span.Counter("yes", static_cast<int64_t>(out.answer.yes.size()));
+        rung_span.Counter("unknown",
+                          static_cast<int64_t>(out.answer.unknown.size()));
+        ++rung_index;
+        // A rung is definite when every substitution answered; residual
+        // kUnknown substitutions escalate (the cache carries the definite
+        // ones forward, so the next rung only re-evaluates the residue).
+        if (!out.answer.unknown.empty()) {
+          *why = Status::ResourceExhausted(
+              StrFormat("%lld substitutions out of budget",
+                        static_cast<long long>(out.answer.unknown.size())));
+          return Trilean::kUnknown;
+        }
+        return Trilean::kYes;
+      });
+
+  out.rungs = lr.rungs;
+  if (!have_answer) {
+    // No rung produced an answer at all: the hard Status (parse error,
+    // candidate-cap ResourceExhausted, precondition) is the outcome.
+    out.status = !lr.exhausted.ok()
+                     ? lr.exhausted
+                     : Status::Internal("template ladder produced no answer");
+  }
+  request_span.Counter("rungs", lr.rungs);
+  request_span.Attr("result",
+                    !out.status.ok()             ? "error"
+                    : out.answer.unknown.empty() ? "complete"
+                                                 : "degraded");
+
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.rungs += lr.rungs;
+  stats_.escalations += lr.rungs - 1;
+  stats_.bank_reuses += bank_reuses;
+  if (!out.status.ok()) {
+    ++stats_.errors;
+  } else if (!out.answer.unknown.empty()) {
+    ++stats_.unknowns;
+  } else if (lr.escalated) {
+    ++stats_.retry_successes;
+  }
+  return out;
+}
+
 Status QueryServer::Reload(Database db) {
   std::shared_ptr<Session> fresh = MakeSession(std::move(db));
   {
@@ -309,6 +409,48 @@ std::string QueryServer::HandleLine(std::string_view line, bool* quit) {
     if (!a.status.ok()) return "ERR " + a.status.ToString();
     return StrFormat("ANSWER %s rungs=%d cached=%d", TrileanName(a.verdict),
                      a.rungs, a.cache_hit ? 1 : 0);
+  }
+  if (cmd == "ANSWERS") {
+    // First-order template answers (docs/TEMPLATES.md), one response line:
+    //   ANSWERS <SEM> <skeptical|brave> <template>
+    //     -> ANSWERS yes=N unknown=M candidates=K rungs=R [vacuous=1]
+    //        [X=n1,C=r X=n2,C=g ...]
+    // Yes-tuples print comma-joined and lexicographically sorted; residual
+    // kUnknown substitutions are counted (degrading the exit code), not
+    // listed.
+    std::string sem_name;
+    std::string mode_name;
+    in >> sem_name >> mode_name;
+    auto kind = SemanticsKindFromName(sem_name);
+    const bool is_brave = mode_name == "brave";
+    if (!kind || (!is_brave && mode_name != "skeptical")) {
+      return "ERR usage: ANSWERS <semantics> <skeptical|brave> <template>";
+    }
+    std::string rest;
+    std::getline(in, rest);
+    const std::string_view trimmed = Trim(rest);
+    if (trimmed.empty()) return "ERR empty template";
+    TemplateResult r = SubmitTemplate(
+        *kind, trimmed,
+        is_brave ? batch::BatchMode::kBrave : batch::BatchMode::kSkeptical);
+    if (r.status.code() == StatusCode::kUnavailable) {
+      return "UNAVAILABLE " + r.status.message();
+    }
+    if (!r.status.ok()) return "ERR " + r.status.ToString();
+    std::string resp = StrFormat(
+        "ANSWERS yes=%lld unknown=%lld candidates=%lld rungs=%d",
+        static_cast<long long>(r.answer.yes.size()),
+        static_cast<long long>(r.answer.unknown.size()),
+        static_cast<long long>(r.answer.candidates), r.rungs);
+    if (r.answer.vacuous) resp += " vacuous=1";
+    for (const auto& binding : r.answer.yes) {
+      resp += " ";
+      for (size_t i = 0; i < binding.size(); ++i) {
+        if (i) resp += ",";
+        resp += r.answer.vars[i] + "=" + binding[i];
+      }
+    }
+    return resp;
   }
   if (cmd == "BRAVE") {
     // Brave/credulous inference, same response shape as QUERY. Formulas

@@ -19,6 +19,11 @@
 // is answered definitely, or kUnknown after the full ladder, or
 // kUnavailable without starting — never wrongly. kUnknown is never cached.
 //
+// SubmitTemplate (the ANSWERS verb) runs a first-order template
+// (tmpl/answer.h) through the same gate and ladder: each rung answers the
+// whole instantiation set as ONE batch against the session cache, so
+// escalated rungs re-evaluate only the previously-kUnknown substitutions.
+//
 // Hot reload: Reload() builds a NEW session and atomically swaps it in.
 // In-flight requests keep a shared_ptr to the old session and finish
 // against the database they started with; the new session's cache is
@@ -52,6 +57,7 @@
 #include "serve/request_gate.h"
 #include "serve/retry_ladder.h"
 #include "serve/snapshot.h"
+#include "tmpl/answer.h"
 
 namespace dd {
 namespace serve {
@@ -94,6 +100,7 @@ struct ServeStats {
   int64_t cache_hits = 0;   ///< served from the answer cache
   int64_t cache_misses = 0;
   int64_t brave_requests = 0;   ///< Submit calls in brave/credulous mode
+  int64_t template_requests = 0;  ///< SubmitTemplate calls (ANSWERS verb)
   int64_t bank_reuses = 0;      ///< groups answered from a stored bank
   int64_t rungs = 0;            ///< ladder attempts run
   int64_t escalations = 0;      ///< rungs beyond the first
@@ -137,6 +144,27 @@ class QueryServer {
   Answer Submit(SemanticsKind kind, const batch::BatchQuery& query,
                 batch::BatchMode mode = batch::BatchMode::kSkeptical);
 
+  /// One template request's outcome (the ANSWERS protocol verb). `status`
+  /// is OK when the template was answered (possibly with residual
+  /// kUnknown substitutions, listed in answer.unknown), kUnavailable when
+  /// shed, and a hard error (e.g. a template parse failure) otherwise.
+  struct TemplateResult {
+    tmpl::TemplateAnswer answer;
+    int rungs = 0;
+    Status status;
+  };
+
+  /// Serves one first-order template through the same gate + ladder as
+  /// Submit: every rung routes ALL instantiations through one AnswerBatch
+  /// call against the session cache (tmpl/answer.h), so an escalated rung
+  /// re-evaluates only the substitutions the previous rung left kUnknown —
+  /// the definite ones answer from the cache. A rung counts as complete
+  /// (no retry) when no substitution is kUnknown; residual unknowns after
+  /// the full ladder degrade the exit code exactly like a kUnknown Submit.
+  TemplateResult SubmitTemplate(
+      SemanticsKind kind, std::string_view template_text,
+      batch::BatchMode mode = batch::BatchMode::kSkeptical);
+
   /// Swaps in a new database without dropping in-flight requests (they
   /// finish on the old session). The new session's cache is epoch-pinned
   /// to the new fingerprint and warm-started from the snapshot file.
@@ -149,11 +177,11 @@ class QueryServer {
   /// Sheds all queued and future requests (used on shutdown paths).
   void Shutdown();
 
-  /// Handles one line of the serve protocol (QUERY / BRAVE / RELOAD /
-  /// SAVE / STATS / QUIT — docs/SERVING.md). Returns the response line ("" for
-  /// blank/comment input) and sets *quit on QUIT. Robust to oversized
-  /// lines, CRLF endings and arbitrary bytes: malformed input yields an
-  /// "ERR ..." response, never a crash.
+  /// Handles one line of the serve protocol (QUERY / BRAVE / ANSWERS /
+  /// RELOAD / SAVE / STATS / QUIT — docs/SERVING.md). Returns the response
+  /// line ("" for blank/comment input) and sets *quit on QUIT. Robust to
+  /// oversized lines, CRLF endings and arbitrary bytes: malformed input
+  /// yields an "ERR ..." response, never a crash.
   std::string HandleLine(std::string_view line, bool* quit);
 
   /// Exit-code audit for serve mode (docs/ROBUSTNESS.md §CLI): 0 when

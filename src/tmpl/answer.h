@@ -1,0 +1,121 @@
+// Template answering: one template → one propositional query batch.
+//
+// AnswerTemplate enumerates the candidate substitutions (tmpl/enumerate.h),
+// compiles each into a canonical propositional query, and routes the whole
+// set through ONE Reasoner::AnswerBatch / AnswerBatchCredulous call — so
+// every instantiation of a template shares a single database fingerprint,
+// group model bank (batch/model_bank_store.h) and answer cache, which is
+// the amortization the grounder-to-batch pipeline exists for
+// (docs/TEMPLATES.md).
+//
+// Soundness (inherited + local gates):
+//   * the batch layer's per-semantics gates (BankIsSound, SliceIsSound,
+//     kUnknown-never-cached) apply unchanged — an instantiation answers
+//     exactly like the sequential entry point, or kUnknown, never wrong;
+//   * relevance pruning restricts candidates to clause-mentioned atoms,
+//     which is sound because an atom no clause mentions is false in every
+//     intended model under every implemented semantics with the default
+//     minimize-everything partition. Two cases break that premise and
+//     disable pruning (full-universe odometer instead):
+//       - a custom CCWA/ECWA partition: floating (Z) and fixed (Q) atoms
+//         outside every clause can still be true in intended models;
+//       - skeptical mode on a database with NO intended model (HasModel
+//         says kNo, or kUnknown under budget): inference is vacuous, so
+//         unmentioned instantiations are answers too. The answer carries
+//         vacuous=true in the kNo case.
+//   * degradation: budget/fault pressure turns individual instantiations
+//     kUnknown (listed in TemplateAnswer::unknown, never cached); callers
+//     see exactly which substitutions degraded.
+#ifndef DD_TMPL_ANSWER_H_
+#define DD_TMPL_ANSWER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "batch/query_batch.h"
+#include "core/reasoner.h"
+#include "obs/metrics.h"
+#include "tmpl/enumerate.h"
+#include "tmpl/template.h"
+#include "util/status.h"
+
+namespace dd {
+namespace tmpl {
+
+/// Per-call knobs. The batch options carry the whole-template budget,
+/// threads, cache/bank-store wiring and trace, exactly as AnswerBatch
+/// consumes them.
+struct TemplateOptions {
+  /// Candidate cap (ResourceExhausted beyond — the template analogue of
+  /// GroundOptions::max_clauses).
+  int64_t max_candidates = 1000000;
+  /// A/B baseline: evaluate every instantiation through the sequential
+  /// single-query entry points instead of one batch (no shared banks, no
+  /// cache). Same answers by the anytime contract; bench_template
+  /// measures the gap.
+  bool naive = false;
+  batch::BatchOptions batch;
+};
+
+/// Template accounting, published under dd.tmpl.* (docs/OBSERVABILITY.md).
+struct TemplateStats {
+  int64_t templates = 0;    ///< AnswerTemplate calls
+  int64_t candidates = 0;   ///< substitutions compiled into queries
+  int64_t full_space = 0;   ///< universe^|vars| (saturated)
+  int64_t pruned = 0;       ///< full_space - candidates when pruning ran
+  int64_t answers = 0;      ///< kYes substitutions
+  int64_t unknowns = 0;     ///< kUnknown substitutions (degraded)
+  int64_t vacuous = 0;      ///< templates answered under "no intended model"
+  int64_t naive_evals = 0;  ///< sequential evaluations (naive mode only)
+
+  void Add(const TemplateStats& o);
+};
+
+/// Folds the counters into `reg` under dd.tmpl.*. Monotonic registry:
+/// publish once per accumulation, not per call.
+void Publish(const TemplateStats& s, obs::MetricsRegistry* reg);
+
+/// One template's answers. `yes` and `unknown` are disjoint subsets of
+/// the candidates, lexicographically sorted; every candidate in neither
+/// list answered kNo. Bindings are parallel to `vars`.
+struct TemplateAnswer {
+  std::vector<std::string> vars;
+  std::vector<std::vector<std::string>> yes;
+  std::vector<std::vector<std::string>> unknown;
+  int64_t candidates = 0;
+  /// Skeptical mode only: the database has no intended model under this
+  /// semantics, so inference is vacuous and the candidates cover the full
+  /// universe rather than the clause-mentioned domain.
+  bool vacuous = false;
+  TemplateStats stats;
+  batch::BatchStats batch_stats;  ///< zeroed in naive mode
+};
+
+/// Answers `t` against r's database under `kind`: the substitutions θ
+/// with P |~ tθ (skeptical) resp. tθ true in some intended model (brave).
+/// Opens a "tmpl_answers" span on the batch/reasoner trace.
+Result<TemplateAnswer> AnswerTemplate(Reasoner* r, SemanticsKind kind,
+                                      const Template& t,
+                                      batch::BatchMode mode,
+                                      const TemplateOptions& opts = {});
+
+/// Convenience: parse + answer in one step.
+Result<TemplateAnswer> AnswerTemplateText(Reasoner* r, SemanticsKind kind,
+                                          std::string_view template_text,
+                                          batch::BatchMode mode,
+                                          const TemplateOptions& opts = {});
+
+/// Renders the CLI answer block (shared verbatim by ddquery's --batch and
+/// interactive paths, so replaying a .queries file through the shell
+/// diffs clean):
+///
+///   answer: X=n1 C=red
+///   unknown: X=n2 C=red
+///   answers: 1 yes, 1 unknown, 6 candidates
+std::string FormatAnswer(const TemplateAnswer& a);
+
+}  // namespace tmpl
+}  // namespace dd
+
+#endif  // DD_TMPL_ANSWER_H_

@@ -1,0 +1,66 @@
+// Candidate-substitution enumeration for query templates.
+//
+// The naive answer procedure instantiates a template over
+// universe^|vars| — exponential in the variable count and almost all
+// wasted: an instantiation whose positive conjuncts are not even
+// mentioned by the database is false in every intended model under every
+// implemented semantics (with the default minimize-everything partition),
+// so it can never be an answer.
+//
+// DomainIndex extracts, per predicate, the ground argument tuples the
+// database's clauses actually mention (per-argument-position domain
+// extraction), and EnumerateBindings backtrack-joins the template's
+// positive conjuncts against those tuples — relevance pruning that never
+// materializes the constant cross-product. The full-universe odometer
+// remains available (EnumerateOptions::prune = false) for the cases where
+// pruning is unsound; tmpl/answer.h owns that gate (docs/TEMPLATES.md
+// §soundness).
+#ifndef DD_TMPL_ENUMERATE_H_
+#define DD_TMPL_ENUMERATE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "logic/database.h"
+#include "tmpl/template.h"
+#include "util/status.h"
+
+namespace dd {
+namespace tmpl {
+
+/// The ground-atom shape of one database: per predicate, the argument
+/// tuples mentioned by any clause (sorted, deduplicated), plus the
+/// Herbrand universe of constants those tuples mention (sorted). Bare
+/// propositional atoms appear as arity-0 predicates with one empty tuple.
+struct DomainIndex {
+  std::map<std::string, std::vector<std::vector<std::string>>> tuples;
+  std::vector<std::string> universe;
+
+  static DomainIndex Build(const Database& db);
+};
+
+struct EnumerateOptions {
+  /// Candidate cap: enumeration beyond this fails ResourceExhausted
+  /// (the template analogue of GroundOptions::max_clauses).
+  int64_t max_candidates = 1000000;
+  /// Join against clause-mentioned tuples (true) or run the full
+  /// universe^|vars| odometer (false).
+  bool prune = true;
+};
+
+/// The candidate bindings of `t` (each parallel to t.vars), sorted
+/// lexicographically and deduplicated — a deterministic order independent
+/// of join order and thread count. A template with no variables has
+/// exactly one (empty) candidate.
+Result<std::vector<std::vector<std::string>>> EnumerateBindings(
+    const Template& t, const DomainIndex& idx, const EnumerateOptions& opts);
+
+/// |universe|^exp, saturating at INT64_MAX (the pruning-denominator stat).
+int64_t SaturatingPow(int64_t base, size_t exp);
+
+}  // namespace tmpl
+}  // namespace dd
+
+#endif  // DD_TMPL_ENUMERATE_H_

@@ -1,0 +1,131 @@
+#include "tmpl/template.h"
+
+#include <set>
+
+#include "ground/parser.h"
+
+namespace dd {
+namespace tmpl {
+
+bool Template::IsSafe() const {
+  std::set<std::string> positive;
+  for (const ground::PredAtom& a : pos) {
+    for (const ground::Term& t : a.args) {
+      if (t.is_variable) positive.insert(t.name);
+    }
+  }
+  for (const std::string& v : vars) {
+    if (positive.find(v) == positive.end()) return false;
+  }
+  return true;
+}
+
+std::string Template::ToString() const {
+  std::string out;
+  for (const ground::PredAtom& a : pos) {
+    if (!out.empty()) out += ", ";
+    out += a.ToString();
+  }
+  for (const ground::PredAtom& a : neg) {
+    if (!out.empty()) out += ", ";
+    out += "not " + a.ToString();
+  }
+  return out;
+}
+
+Result<Template> ParseTemplate(std::string_view text) {
+  // A template IS a rule body; parsing ":- <text>." reuses the
+  // first-order grammar (terms, comments, hardening) verbatim.
+  std::string wrapped = ":- ";
+  wrapped += text;
+  wrapped += ".";
+  auto prog = ground::ParseProgram(wrapped);
+  if (!prog.ok()) {
+    return Status::InvalidArgument("template: " + prog.status().message());
+  }
+  if (prog->rules.size() != 1 || !prog->rules[0].heads.empty()) {
+    return Status::InvalidArgument(
+        "template must be a single conjunction of atoms, got: " +
+        std::string(text));
+  }
+  Template t;
+  t.pos = std::move(prog->rules[0].pos_body);
+  t.neg = std::move(prog->rules[0].neg_body);
+  if (t.pos.empty() && t.neg.empty()) {
+    return Status::InvalidArgument("empty template");
+  }
+  // Variables in first-occurrence order (positive conjuncts first — the
+  // order a reader sees them in ToString()).
+  std::set<std::string> seen;
+  auto collect = [&](const std::vector<ground::PredAtom>& atoms) {
+    for (const ground::PredAtom& a : atoms) {
+      for (const ground::Term& term : a.args) {
+        if (term.is_variable && seen.insert(term.name).second) {
+          t.vars.push_back(term.name);
+        }
+      }
+    }
+  };
+  collect(t.pos);
+  collect(t.neg);
+  if (!t.IsSafe()) {
+    return Status::InvalidArgument(
+        "unsafe template (variable outside the positive conjuncts): " +
+        t.ToString());
+  }
+  return t;
+}
+
+std::string GroundAtomName(
+    const ground::PredAtom& atom,
+    const std::unordered_map<std::string, std::string>& subst) {
+  if (atom.args.empty()) return atom.predicate;
+  std::string name = atom.predicate + "(";
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    if (i) name += ",";
+    const ground::Term& t = atom.args[i];
+    if (t.is_variable) {
+      name += subst.at(t.name);
+    } else {
+      name += t.name;
+    }
+  }
+  name += ")";
+  return name;
+}
+
+batch::BatchQuery InstantiateQuery(const Template& t,
+                                   const std::vector<std::string>& binding,
+                                   batch::BatchMode mode) {
+  std::unordered_map<std::string, std::string> subst;
+  for (size_t i = 0; i < t.vars.size(); ++i) subst[t.vars[i]] = binding[i];
+  // Skeptical single-conjunct templates take the literal fast lane; brave
+  // batches disjunct-split formulas, so they always get formula text.
+  if (mode == batch::BatchMode::kSkeptical && t.neg.empty() &&
+      t.pos.size() == 1) {
+    return batch::BatchQuery{GroundAtomName(t.pos[0], subst), true};
+  }
+  if (mode == batch::BatchMode::kSkeptical && t.pos.empty() &&
+      t.neg.size() == 1) {
+    // Build with += rather than `"not " + <temporary>`: GCC 12's -Wrestrict
+    // false-positives on operator+(const char*, string&&) under -O2 (PR
+    // 105329) and the release leg compiles with -Werror.
+    std::string lit = "not ";
+    lit += GroundAtomName(t.neg[0], subst);
+    return batch::BatchQuery{std::move(lit), true};
+  }
+  std::string f;
+  for (const ground::PredAtom& a : t.pos) {
+    if (!f.empty()) f += " & ";
+    f += GroundAtomName(a, subst);
+  }
+  for (const ground::PredAtom& a : t.neg) {
+    if (!f.empty()) f += " & ";
+    f += '~';
+    f += GroundAtomName(a, subst);
+  }
+  return batch::BatchQuery{std::move(f), false};
+}
+
+}  // namespace tmpl
+}  // namespace dd

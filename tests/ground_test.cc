@@ -7,6 +7,7 @@
 #include "semantics/dsm.h"
 #include "semantics/egcwa.h"
 #include "tests/test_util.h"
+#include "util/fingerprint.h"
 #include "util/string_util.h"
 
 namespace dd {
@@ -271,6 +272,56 @@ TEST(Grounder, TransitiveClosure) {
   Reasoner r(std::move(db).value());
   EXPECT_TRUE(*r.InfersLiteral(SemanticsKind::kGcwa, "path(a,c)"));
   EXPECT_TRUE(*r.InfersLiteral(SemanticsKind::kGcwa, "not path(c,a)"));
+}
+
+TEST(Grounder, RelevanceFilterMatchesBottomUpClauseForClause) {
+  // The atom-level divergence case: p is derivable AS A PREDICATE (p(a)
+  // is a fact) but p(b) is not derivable as an atom, so the instance
+  // "q(b) :- p(b), d(b)" must be dropped. A predicate-level filter keeps
+  // it, splitting Ground's fingerprint from GroundBottomUp's and missing
+  // every shared answer-cache / bank-store entry.
+  const char* text =
+      "d(a). d(b). p(a).\n"
+      "q(X) :- p(X), d(X).\n";
+  GroundOptions rel;
+  rel.relevance_filter = true;
+  auto filtered = GroundProgramText(text, rel);
+  auto prog = ParseProgram(text);
+  ASSERT_TRUE(filtered.ok() && prog.ok());
+  auto bottom_up = ground::GroundBottomUp(*prog);
+  ASSERT_TRUE(bottom_up.ok());
+  EXPECT_EQ(filtered->num_clauses(), bottom_up->num_clauses());
+  EXPECT_EQ(DatabaseFingerprint(*filtered), DatabaseFingerprint(*bottom_up));
+  EXPECT_EQ(filtered->vocabulary().Find("q(b)"), kInvalidVar);
+  EXPECT_NE(filtered->vocabulary().Find("q(a)"), kInvalidVar);
+}
+
+TEST(Grounder, RelevanceFilterFingerprintSharedAcrossGrounders) {
+  // Disjunctive heads + a join rule + a rule reorder: both grounders and
+  // both rule orders must land on ONE fingerprint, the key of the shared
+  // answer cache and model-bank store (docs/TEMPLATES.md §cache keys).
+  const char* text =
+      "node(a). node(b). edge(a, b).\n"
+      "color(X, r) | color(X, g) :- node(X).\n"
+      "agree(X, Y) :- edge(X, Y), color(X, C), color(Y, C).\n";
+  const char* reordered =
+      "agree(X, Y) :- edge(X, Y), color(X, C), color(Y, C).\n"
+      "color(X, r) | color(X, g) :- node(X).\n"
+      "edge(a, b). node(b). node(a).\n";
+  GroundOptions rel;
+  rel.relevance_filter = true;
+  auto a = GroundProgramText(text, rel);
+  auto b = GroundProgramText(reordered, rel);
+  auto prog = ParseProgram(text);
+  ASSERT_TRUE(a.ok() && b.ok() && prog.ok());
+  auto c = ground::GroundBottomUp(*prog);
+  ASSERT_TRUE(c.ok());
+  const uint64_t fp = DatabaseFingerprint(*a);
+  EXPECT_EQ(fp, DatabaseFingerprint(*b));
+  EXPECT_EQ(fp, DatabaseFingerprint(*c));
+  // Junk instances over the color constants never materialize: r/g are
+  // not nodes, so color(r,g)-style atoms stay out of the closure.
+  EXPECT_EQ(a->vocabulary().Find("color(r,g)"), kInvalidVar);
 }
 
 TEST(Grounder, StratifiedDefaultsThroughGrounding) {

@@ -727,6 +727,100 @@ TEST(ServeProtocol, BraveVerb) {
   EXPECT_FALSE(quit);
 }
 
+TEST(ServeProtocol, AnswersVerb) {
+  // Template answers over a ground first-order database: GCWA minimal
+  // models are {p(a),p(b)} and {p(a),q(b)}, so p(X) is skeptically true
+  // only at X=a but bravely true at X=a and X=b.
+  QueryServer server(Db("p(a). p(b) | q(b)."), ServeOptions{});
+  bool quit = false;
+  EXPECT_EQ(server.HandleLine("ANSWERS gcwa skeptical p(X)", &quit),
+            "ANSWERS yes=1 unknown=0 candidates=2 rungs=1 X=a");
+  EXPECT_EQ(server.HandleLine("ANSWERS gcwa brave p(X)", &quit),
+            "ANSWERS yes=2 unknown=0 candidates=2 rungs=1 X=a X=b");
+  // The second identical request answers from the session cache (each
+  // instantiation is a cached one-query-batch entry).
+  EXPECT_EQ(server.HandleLine("ANSWERS gcwa skeptical p(X)", &quit),
+            "ANSWERS yes=1 unknown=0 candidates=2 rungs=1 X=a");
+  EXPECT_EQ(server.HandleLine("ANSWERS", &quit).rfind("ERR ", 0), 0u);
+  EXPECT_EQ(server.HandleLine("ANSWERS nosuch skeptical p(X)", &quit)
+                .rfind("ERR ", 0),
+            0u);
+  EXPECT_EQ(server.HandleLine("ANSWERS gcwa sideways p(X)", &quit)
+                .rfind("ERR ", 0),
+            0u);
+  EXPECT_EQ(server.HandleLine("ANSWERS gcwa skeptical", &quit)
+                .rfind("ERR ", 0),
+            0u);
+  // An unsafe template is a hard error (parse-level, inside the ladder).
+  EXPECT_EQ(server.HandleLine("ANSWERS gcwa skeptical not p(X)", &quit)
+                .rfind("ERR ", 0),
+            0u);
+  EXPECT_EQ(server.stats().template_requests, 4);  // 3 answered + unsafe
+  EXPECT_EQ(server.stats().brave_requests, 1);
+  EXPECT_EQ(server.ExitCode(), 0);
+  EXPECT_FALSE(quit);
+}
+
+TEST(QueryServerTest, SubmitTemplateMatchesSequentialSubmits) {
+  // Every substitution the template reports must answer exactly like the
+  // same ground query through Submit (the serve-layer never-wrong gate).
+  QueryServer server(Db("p(a). p(b) | q(b). r(a) :- p(a)."),
+                     ServeOptions{});
+  QueryServer::TemplateResult t =
+      server.SubmitTemplate(SemanticsKind::kGcwa, "p(X)");
+  ASSERT_TRUE(t.status.ok());
+  ASSERT_TRUE(t.answer.unknown.empty());
+  ASSERT_EQ(t.answer.vars, std::vector<std::string>{"X"});
+  for (const std::string c : {"a", "b"}) {
+    Trilean ref = server.Submit(SemanticsKind::kGcwa,
+                                BatchQuery{"p(" + c + ")", true})
+                      .verdict;
+    bool in_yes = false;
+    for (const auto& b : t.answer.yes) in_yes |= b[0] == c;
+    EXPECT_EQ(in_yes, ref == Trilean::kYes) << c;
+  }
+}
+
+TEST(QueryServerTest, TemplateLadderEscalatesPastInjectedFault) {
+  // Rung 0 hits an injected kUnknown; the escalated rung re-runs only the
+  // degraded substitutions (the definite ones are cached) and must end
+  // complete with the fault-free answer set — or stay degraded, never
+  // wrong.
+  ServeOptions opts;
+  opts.retry.max_rungs = 3;
+  QueryServer server(Db("p(a). p(b) | q(b)."), opts);
+  std::vector<std::vector<std::string>> reference;
+  {
+    sat::ScopedFaultPlan clean((sat::FaultPlan()));
+    QueryServer::TemplateResult t =
+        server.SubmitTemplate(SemanticsKind::kGcwa, "p(X)");
+    ASSERT_TRUE(t.status.ok());
+    ASSERT_TRUE(t.answer.unknown.empty());
+    reference = t.answer.yes;
+  }
+  ASSERT_TRUE(server.Reload(Db("p(a). p(b) | q(b).")).ok());  // cold cache
+  {
+    sat::FaultPlan plan;
+    plan.unknown_at = 1;
+    sat::ScopedFaultPlan faulty(plan);
+    QueryServer::TemplateResult t =
+        server.SubmitTemplate(SemanticsKind::kGcwa, "p(X)");
+    ASSERT_TRUE(t.status.ok());
+    if (t.answer.unknown.empty()) {
+      EXPECT_EQ(t.answer.yes, reference);
+    } else {
+      // Degraded: whatever did answer yes must be a subset of the
+      // fault-free yes set.
+      for (const auto& b : t.answer.yes) {
+        bool in_ref = false;
+        for (const auto& r : reference) in_ref |= r == b;
+        EXPECT_TRUE(in_ref);
+      }
+      EXPECT_EQ(server.ExitCode(), 2);
+    }
+  }
+}
+
 TEST(ServeProtocol, MalformedInputYieldsErrNeverCrash) {
   QueryServer server(Db("a."), ServeOptions{});
   bool quit = false;
